@@ -1,0 +1,252 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section (run `go test -bench=. -benchmem`), plus per-query
+// microbenchmarks for each algorithm. The experiment benchmarks print the
+// paper-style tables on their first iteration so a bench run doubles as a
+// results regeneration (cmd/ltr-bench runs the same experiments at larger
+// scale).
+package longtail_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"longtailrec"
+	"longtailrec/internal/experiments"
+)
+
+// benchScale keeps every experiment benchmark in the seconds range.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		TestRatings: 40,
+		Negatives:   200,
+		PanelUsers:  30,
+		Evaluators:  15,
+		MaxN:        50,
+		ListSize:    10,
+	}
+}
+
+var (
+	benchMu   sync.Mutex
+	benchEnvs = map[string]*experiments.Env{}
+)
+
+// benchEnv lazily builds and caches the per-dataset environment so env
+// construction (corpus generation, LDA/SVD training) is excluded from
+// every benchmark's measured loop.
+func benchEnv(b *testing.B, kind string) *experiments.Env {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if e, ok := benchEnvs[kind]; ok {
+		return e
+	}
+	e, err := experiments.NewEnv(kind, benchScale(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Force model training (LDA for AC2, SVD) outside the timer.
+	if _, err := e.Suite(); err != nil {
+		b.Fatal(err)
+	}
+	benchEnvs[kind] = e
+	return e
+}
+
+// printOnce emits the experiment table on the first benchmark iteration.
+func printOnce(i int, text string) {
+	if i == 0 {
+		fmt.Print(text)
+	}
+}
+
+// BenchmarkFigure2 regenerates the §3.3 worked example (exact hitting
+// times on the Figure 2 graph).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkTable1 regenerates the LDA topic readout.
+func BenchmarkTable1(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(env, 2, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkFigure5a regenerates Recall@N on the MovieLens-shaped corpus.
+func BenchmarkFigure5a(b *testing.B) {
+	benchRecall(b, "movielens")
+}
+
+// BenchmarkFigure5b regenerates Recall@N on the Douban-shaped corpus.
+func BenchmarkFigure5b(b *testing.B) {
+	benchRecall(b, "douban")
+}
+
+func benchRecall(b *testing.B, kind string) {
+	env := benchEnv(b, kind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkFigure6a regenerates Popularity@N on the Douban-shaped corpus
+// (with Tables 2/3/5 as by-products of the same panel).
+func BenchmarkFigure6a(b *testing.B) {
+	benchLists(b, "douban", true)
+}
+
+// BenchmarkFigure6b regenerates Popularity@N on the MovieLens-shaped corpus.
+func BenchmarkFigure6b(b *testing.B) {
+	benchLists(b, "movielens", true)
+}
+
+// BenchmarkTable2Diversity regenerates the Table 2 diversity comparison.
+func BenchmarkTable2Diversity(b *testing.B) {
+	benchLists(b, "douban", false)
+}
+
+// BenchmarkTable3Similarity regenerates the Table 3 ontology-similarity
+// comparison (same panel pass; the similarity column is the target).
+func BenchmarkTable3Similarity(b *testing.B) {
+	benchLists(b, "douban", false)
+}
+
+// BenchmarkTable5Timing regenerates the Table 5 per-user latency
+// comparison.
+func BenchmarkTable5Timing(b *testing.B) {
+	benchLists(b, "douban", false)
+}
+
+func benchLists(b *testing.B, kind string, figure6 bool) {
+	env := benchEnv(b, kind)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ListExperiments(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if figure6 {
+			printOnce(i, experiments.Figure6Text(res))
+		} else {
+			printOnce(i, res.Text)
+		}
+	}
+}
+
+// BenchmarkTable4MuSweep regenerates the µ-impact sweep for AC2.
+func BenchmarkTable4MuSweep(b *testing.B) {
+	env := benchEnv(b, "douban")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(env, []int{300, 600, 0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkBeyondAccuracy regenerates the beyond-accuracy extension panel
+// (novelty, serendipity, intra-list similarity, coverage).
+func BenchmarkBeyondAccuracy(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BeyondAccuracyExperiment(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkStratifiedRecall regenerates the popularity-stratified recall
+// extension (accuracy by held-out item popularity + bootstrap CIs).
+func BenchmarkStratifiedRecall(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.StratifiedExperiment(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// BenchmarkTable6UserStudy regenerates the simulated user study.
+func BenchmarkTable6UserStudy(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table6(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Text)
+	}
+}
+
+// Per-query microbenchmarks: the cost of one user's recommendation.
+
+func benchAlgorithmQuery(b *testing.B, name string) {
+	env := benchEnv(b, "movielens")
+	rec, err := env.Sys.Algorithm(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := env.Panel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		if _, err := rec.Recommend(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryHT(b *testing.B)          { benchAlgorithmQuery(b, "HT") }
+func BenchmarkQueryAT(b *testing.B)          { benchAlgorithmQuery(b, "AT") }
+func BenchmarkQueryAC1(b *testing.B)         { benchAlgorithmQuery(b, "AC1") }
+func BenchmarkQueryAC2(b *testing.B)         { benchAlgorithmQuery(b, "AC2") }
+func BenchmarkQueryDPPR(b *testing.B)        { benchAlgorithmQuery(b, "DPPR") }
+func BenchmarkQueryPureSVD(b *testing.B)     { benchAlgorithmQuery(b, "PureSVD") }
+func BenchmarkQueryLDA(b *testing.B)         { benchAlgorithmQuery(b, "LDA") }
+func BenchmarkQueryUserKNN(b *testing.B)     { benchAlgorithmQuery(b, "UserKNN") }
+func BenchmarkQueryItemKNN(b *testing.B)     { benchAlgorithmQuery(b, "ItemKNN") }
+func BenchmarkQueryMostPopular(b *testing.B) { benchAlgorithmQuery(b, "MostPopular") }
+func BenchmarkQueryBiasedMF(b *testing.B)    { benchAlgorithmQuery(b, "BiasedMF") }
+func BenchmarkQuerySVDPP(b *testing.B)       { benchAlgorithmQuery(b, "SVDPP") }
+func BenchmarkQueryAsySVD(b *testing.B)      { benchAlgorithmQuery(b, "AsySVD") }
+
+// BenchmarkSystemConstruction measures graph building and indexing on the
+// MovieLens-shaped corpus (model training excluded: recommenders are lazy).
+func BenchmarkSystemConstruction(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	train := env.Split.Train
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := longtail.NewSystem(train, longtail.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

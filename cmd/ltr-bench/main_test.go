@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"longtailrec/internal/experiments"
+)
+
+func quickRunner() *runner {
+	return &runner{
+		scale:  experiments.Scale{TestRatings: 10, Negatives: 40, PanelUsers: 8, Evaluators: 4, MaxN: 10, ListSize: 5},
+		seed:   3,
+		envs:   map[string]*experiments.Env{},
+		panels: map[string]*experiments.ListPanel{},
+	}
+}
+
+func TestExperimentFig2(t *testing.T) {
+	// fig2 needs no environment: the fastest end-to-end dispatch check.
+	text, err := quickRunner().experiment("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "M4") {
+		t.Fatalf("fig2 output missing the niche movie: %s", text)
+	}
+}
+
+func TestExperimentUnknownID(t *testing.T) {
+	if _, err := quickRunner().experiment("nope"); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	if err := run("fig2", "gigantic", 1); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run(" , ,", "quick", 1); err == nil {
+		t.Fatal("empty experiment list accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesRatingsAndGenres(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "ratings.tsv")
+	genres := filepath.Join(dir, "genres.tsv")
+	if err := run("movielens", 3, out, genres, 60, 80); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 100 {
+		t.Fatalf("only %d rating lines", len(lines))
+	}
+	for _, line := range lines[:5] {
+		if len(strings.Split(line, "\t")) != 3 {
+			t.Fatalf("bad TSV line %q", line)
+		}
+	}
+	graw, err := os.ReadFile(genres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	glines := strings.Split(strings.TrimSpace(string(graw)), "\n")
+	if len(glines) != 80 {
+		t.Fatalf("genre sidecar has %d lines, want 80", len(glines))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("neither", 1, filepath.Join(t.TempDir(), "x.tsv"), "", 0, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run("movielens", 1, filepath.Join(t.TempDir(), "no", "such", "dir", "x.tsv"), "", 50, 60); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

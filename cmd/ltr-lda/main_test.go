@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ratings.tsv")
+	var lines []string
+	// Two taste communities for interpretable topics.
+	for u := 0; u < 5; u++ {
+		for i := 0; i < 5; i++ {
+			lines = append(lines, strings.Join([]string{
+				"a" + string(rune('0'+u)), "x" + string(rune('0'+i)), "5",
+			}, "\t"))
+		}
+	}
+	for u := 0; u < 5; u++ {
+		for i := 0; i < 5; i++ {
+			lines = append(lines, strings.Join([]string{
+				"b" + string(rune('0'+u)), "y" + string(rune('0'+i)), "4",
+			}, "\t"))
+		}
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTrainsAndReports(t *testing.T) {
+	path := writeRatings(t)
+	if err := run(path, "tsv", 2, 15, 3, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// With an LL trace enabled.
+	if err := run(path, "tsv", 2, 12, 3, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeRatings(t)
+	if err := run("", "tsv", 2, 5, 3, 1, 0); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(path, "nope", 2, 5, 3, 1, 0); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run(path, "tsv", 0, 5, 3, 1, 0); err == nil {
+		t.Fatal("zero topics accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ratings.tsv")
+	lines := []string{
+		"alice\tmatrix\t5", "alice\tinception\t4", "alice\tmemento\t5",
+		"bob\tmatrix\t4", "bob\tmemento\t5", "bob\theat\t3",
+		"carol\tinception\t5", "carol\theat\t4",
+		"dave\tmatrix\t3", "dave\theat\t5",
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunRecommends(t *testing.T) {
+	path := writeRatings(t)
+	for _, algo := range []string{"HT", "AT", "MostPopular"} {
+		if err := run(path, "tsv", "alice", algo, 3, 2); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeRatings(t)
+	if err := run("", "tsv", "alice", "AT", 3, 2); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(path, "tsv", "", "AT", 3, 2); err == nil {
+		t.Fatal("missing -user accepted")
+	}
+	if err := run(path, "nope", "alice", "AT", 3, 2); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run(path, "tsv", "nobody", "AT", 3, 2); err == nil {
+		t.Fatal("unknown user accepted")
+	}
+	if err := run(path, "tsv", "alice", "Nope", 3, 2); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

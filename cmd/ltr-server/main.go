@@ -1,0 +1,135 @@
+// Command ltr-server serves long-tail recommendations over HTTP/JSON.
+//
+//	ltr-server -addr :8080 -in ratings.tsv -format tsv
+//	ltr-server -in snapshot.ltrz -format ltrz          # persist container
+//	ltr-server -synthetic movielens                    # demo corpus
+//
+// Endpoints: /v1/health, /v1/stats, /v1/algorithms,
+// /v1/recommend?user=&algo=&k=, /v1/explain?user=&item=,
+// /v1/users/{id}, /v1/items/{id}, /v1/items/{id}/similar?k=.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"longtailrec"
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/persist"
+	"longtailrec/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		in        = flag.String("in", "", "ratings file path (required unless -synthetic)")
+		format    = flag.String("format", "tsv", "input format: tsv, csv, movielens or ltrz")
+		synthetic = flag.String("synthetic", "", "serve a synthetic corpus instead: movielens or douban")
+		algo      = flag.String("algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
+		topics    = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
+		seed      = flag.Int64("seed", 42, "seed for the synthetic corpus")
+	)
+	flag.Parse()
+	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, in, format, synthetic, algo string, topics int, seed int64) error {
+	data, err := loadData(in, format, synthetic, seed)
+	if err != nil {
+		return err
+	}
+	cfg := longtail.DefaultConfig()
+	cfg.LDA.NumTopics = topics
+	cfg.Seed = seed
+	sys, err := longtail.NewSystem(data, cfg)
+	if err != nil {
+		return err
+	}
+	logger := log.New(os.Stderr, "ltr-server ", log.LstdFlags)
+	srv, err := server.New(sys, server.Options{
+		Addr:             addr,
+		DefaultAlgorithm: algo,
+		Logger:           logger,
+	})
+	if err != nil {
+		return err
+	}
+	st := data.Summarize()
+	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s)",
+		st.NumUsers, st.NumItems, st.NumRatings, addr, algo)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		logger.Printf("shutting down")
+		return srv.Shutdown(context.Background())
+	}
+}
+
+func loadData(in, format, synthetic string, seed int64) (*longtail.Dataset, error) {
+	if synthetic != "" {
+		var w *longtail.World
+		var err error
+		switch synthetic {
+		case "movielens":
+			w, err = longtail.GenerateMovieLensLike(seed)
+		case "douban":
+			w, err = longtail.GenerateDoubanLike(seed)
+		default:
+			return nil, fmt.Errorf("unknown synthetic corpus %q (want movielens or douban)", synthetic)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return w.Data, nil
+	}
+	if in == "" {
+		return nil, fmt.Errorf("-in is required (or pass -synthetic movielens)")
+	}
+	if format == "ltrz" {
+		var d *longtail.Dataset
+		err := persist.LoadFile(in, func(r io.Reader) error {
+			var lerr error
+			d, lerr = persist.LoadDataset(r)
+			return lerr
+		})
+		return d, err
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var loaded *dataset.Loaded
+	switch format {
+	case "tsv":
+		loaded, err = dataset.LoadTSV(f)
+	case "csv":
+		loaded, err = dataset.LoadCSV(f)
+	case "movielens":
+		loaded, err = dataset.LoadMovieLens(f)
+	default:
+		return nil, fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return loaded.Data, nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"longtailrec/internal/persist"
+)
+
+func writeCorpus(t *testing.T) (tsvPath, ltrzPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	tsvPath = filepath.Join(dir, "ratings.tsv")
+	lines := []string{
+		"u1\ti1\t5", "u1\ti2\t4",
+		"u2\ti1\t4", "u2\ti3\t5",
+		"u3\ti2\t2", "u3\ti3\t5",
+	}
+	if err := os.WriteFile(tsvPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := loadData(tsvPath, "tsv", "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ltrzPath = filepath.Join(dir, "corpus.ltrz")
+	if err := persist.SaveFile(ltrzPath, func(w io.Writer) error {
+		return persist.SaveDataset(w, d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tsvPath, ltrzPath
+}
+
+func TestLoadDataFormats(t *testing.T) {
+	tsvPath, ltrzPath := writeCorpus(t)
+	for _, c := range []struct{ path, format string }{
+		{tsvPath, "tsv"},
+		{ltrzPath, "ltrz"},
+	} {
+		d, err := loadData(c.path, c.format, "", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.format, err)
+		}
+		if d.NumRatings() != 6 {
+			t.Fatalf("%s: ratings %d", c.format, d.NumRatings())
+		}
+	}
+}
+
+func TestLoadDataErrors(t *testing.T) {
+	tsvPath, _ := writeCorpus(t)
+	if _, err := loadData("", "tsv", "", 1); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if _, err := loadData(tsvPath, "nope", "", 1); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := loadData("", "tsv", "neither", 1); err == nil {
+		t.Fatal("unknown synthetic corpus accepted")
+	}
+	if _, err := loadData("/does/not/exist", "tsv", "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A TSV fed to the ltrz loader must be rejected by the magic check.
+	if _, err := loadData(tsvPath, "ltrz", "", 1); err == nil {
+		t.Fatal("TSV accepted as ltrz")
+	}
+}

@@ -1,0 +1,112 @@
+// Command ltr-stats summarizes a rating corpus the way §5.1.2 describes
+// the paper's datasets: universe sizes, density, degree ranges, the Pareto
+// (hits-vs-niche) curve of Figure 1, and the long-tail split at a chosen
+// rating share. Optionally applies k-core preprocessing first.
+//
+//	ltr-stats -in ratings.tsv
+//	ltr-stats -in ml-1m/ratings.dat -format movielens -kcore 20,1 -tail 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"longtailrec/internal/dataset"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "ratings file path (required)")
+		format = flag.String("format", "tsv", "input format: tsv, csv or movielens")
+		tail   = flag.Float64("tail", 0.2, "rating share defining the long tail")
+		kcore  = flag.String("kcore", "", "optional 'minUserDeg,minItemDeg' k-core filter")
+	)
+	flag.Parse()
+	if err := run(*in, *format, *tail, *kcore); err != nil {
+		fmt.Fprintf(os.Stderr, "ltr-stats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, format string, tailShare float64, kcore string) error {
+	if in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var loaded *dataset.Loaded
+	switch format {
+	case "tsv":
+		loaded, err = dataset.LoadTSV(f)
+	case "csv":
+		loaded, err = dataset.LoadCSV(f)
+	case "movielens":
+		loaded, err = dataset.LoadMovieLens(f)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	d := loaded.Data
+	if kcore != "" {
+		parts := strings.SplitN(kcore, ",", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("-kcore wants 'minUserDeg,minItemDeg'")
+		}
+		mu, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return fmt.Errorf("-kcore user threshold: %v", err)
+		}
+		mi, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return fmt.Errorf("-kcore item threshold: %v", err)
+		}
+		before := d.NumRatings()
+		d, err = d.KCore(mu, mi)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("k-core(%d,%d): %d -> %d ratings\n\n", mu, mi, before, d.NumRatings())
+	}
+
+	s := d.Summarize()
+	fmt.Printf("users    %d\n", s.NumUsers)
+	fmt.Printf("items    %d\n", s.NumItems)
+	fmt.Printf("ratings  %d\n", s.NumRatings)
+	fmt.Printf("density  %.4f%%\n", 100*s.Density)
+	fmt.Printf("user degree  [%d, %d]\n", s.MinUserDegree, s.MaxUserDegree)
+	fmt.Printf("item degree  [%d, %d]\n", s.MinItemDegree, s.MaxItemDegree)
+	fmt.Printf("mean score   %.2f\n\n", s.MeanScore)
+
+	// Pareto curve.
+	pop := d.ItemPopularity()
+	sorted := append([]int(nil), pop...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	total := 0
+	for _, p := range sorted {
+		total += p
+	}
+	fmt.Println("Pareto curve:")
+	acc, next := 0, 0.1
+	for i, p := range sorted {
+		acc += p
+		share := float64(i+1) / float64(len(sorted))
+		for share >= next-1e-9 && next <= 1.0 {
+			fmt.Printf("  top %3.0f%% of items -> %5.1f%% of ratings\n",
+				next*100, 100*float64(acc)/float64(total))
+			next += 0.1
+		}
+	}
+	tailItems := d.LongTailItems(tailShare)
+	fmt.Printf("\nlong tail at %.0f%% of ratings: %d items (%.1f%% of catalog)\n",
+		100*tailShare, len(tailItems), 100*float64(len(tailItems))/float64(d.NumItems()))
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeRatings(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ratings.tsv")
+	lines := []string{
+		"u1\ti1\t5", "u1\ti2\t4", "u1\ti3\t3",
+		"u2\ti1\t4", "u2\ti2\t5",
+		"u3\ti1\t3", "u3\ti4\t5",
+		"u4\ti1\t2", "u4\ti2\t4", "u4\ti5\t5",
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPrintsStats(t *testing.T) {
+	path := writeRatings(t)
+	if err := run(path, "tsv", 0.2, ""); err != nil {
+		t.Fatal(err)
+	}
+	// With a k-core filter.
+	if err := run(path, "tsv", 0.2, "2,2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeRatings(t)
+	if err := run("", "tsv", 0.2, ""); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run(path, "nope", 0.2, ""); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run(path, "tsv", 0.2, "notanumber"); err == nil {
+		t.Fatal("bad k-core spec accepted")
+	}
+	if err := run(path, "tsv", 0.2, "5"); err == nil {
+		t.Fatal("single-field k-core spec accepted")
+	}
+	if err := run("/does/not/exist", "tsv", 0.2, ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

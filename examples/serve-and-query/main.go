@@ -1,0 +1,130 @@
+// Serve-and-query: the production loop end to end in one process.
+//
+// This example exports a corpus to the binary .ltrz container (the offline
+// phase), reloads it, starts the HTTP recommendation server on a random
+// port, and queries it like a client would: stats, a recommendation list,
+// and an explanation for the top pick.
+//
+// Run with: go run ./examples/serve-and-query
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	"longtailrec"
+	"longtailrec/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Offline phase: build a corpus and persist it.
+	world, err := longtail.GenerateMovieLensLike(21)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "ltr-example")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "corpus.ltrz")
+	if err := longtail.SaveDatasetFile(path, world.Data); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exported corpus to %s (%d bytes)\n", filepath.Base(path), info.Size())
+
+	// Online phase: reload and serve.
+	data, err := longtail.LoadDatasetFile(path)
+	if err != nil {
+		return err
+	}
+	sys, err := longtail.NewSystem(data, longtail.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(sys, server.Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("serving on %s\n\n", ts.URL)
+
+	// Client phase.
+	var stats server.StatsResponse
+	if err := getJSON(ts.URL+"/v1/stats", &stats); err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d users, %d items, %d ratings (density %.2f%%, %.0f%% of items in the 20%% tail)\n",
+		stats.NumUsers, stats.NumItems, stats.NumRatings, 100*stats.Density, 100*stats.TailItemFraction)
+
+	const user = 11
+	var rec server.RecommendResponse
+	if err := getJSON(fmt.Sprintf("%s/v1/recommend?user=%d&k=5", ts.URL, user), &rec); err != nil {
+		return err
+	}
+	fmt.Printf("\ntop-5 for user %d by %s:\n", rec.User, rec.Algorithm)
+	for rank, item := range rec.Items {
+		tag := "head"
+		if item.LongTail {
+			tag = "tail"
+		}
+		fmt.Printf("  %d. item %-5d score %9.3f  popularity %3d  (%s)\n",
+			rank+1, item.Item, item.Score, item.Popularity, tag)
+	}
+	if len(rec.Items) == 0 {
+		return fmt.Errorf("no recommendations for user %d", user)
+	}
+
+	var ex server.ExplainResponse
+	if err := getJSON(fmt.Sprintf("%s/v1/explain?user=%d&item=%d", ts.URL, user, rec.Items[0].Item), &ex); err != nil {
+		return err
+	}
+	fmt.Printf("\nwhy item %d? absorption shares over user %d's rated items:\n", ex.Item, ex.User)
+	for i, a := range ex.Anchors {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(ex.Anchors)-3)
+			break
+		}
+		fmt.Printf("  item %-5d %.0f%%\n", a.Item, 100*a.Probability)
+	}
+
+	// Graceful shutdown (httptest handles the listener; this shows the API).
+	return srv.Shutdown(context.Background())
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, into)
+}

@@ -1,0 +1,108 @@
+// Streaming ingest: build a corpus from an event stream, persist it, and
+// query item-to-item neighbors — the data-pipeline half of a deployment.
+//
+// A rating stream replays out of order and with re-ratings; the Builder
+// resolves duplicates by policy (KeepLast here, event-stream semantics).
+// The materialized dataset is snapshotted to a binary container, reloaded,
+// and served: top-k for a user plus "people who liked X also liked".
+//
+// Run with: go run ./examples/streaming-ingest
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"longtailrec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Simulate an event stream from the synthetic world: every rating
+	// arrives as an event, 5% of users later revise their score.
+	world, err := longtail.GenerateMovieLensLike(33)
+	if err != nil {
+		return err
+	}
+	events := world.Data.Ratings()
+	rng := rand.New(rand.NewSource(33))
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+
+	b := longtail.NewBuilder(longtail.KeepLast)
+	revisions := 0
+	for k, e := range events {
+		if err := b.Add(e.User, e.Item, e.Score); err != nil {
+			return err
+		}
+		// Occasional re-rating: the newest score must win.
+		if k%20 == 0 {
+			revised := e.Score/2 + 1
+			if err := b.Add(e.User, e.Item, revised); err != nil {
+				return err
+			}
+			revisions++
+		}
+	}
+	data, err := b.Build(world.Data.NumUsers(), world.Data.NumItems())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ingested %d events (%d re-ratings) -> %d distinct ratings\n",
+		len(events)+revisions, revisions, data.NumRatings())
+
+	// Snapshot and reload — the persistence boundary.
+	dir, err := os.MkdirTemp("", "ltr-stream")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	snap := filepath.Join(dir, "snapshot.ltrz")
+	if err := longtail.SaveDatasetFile(snap, data); err != nil {
+		return err
+	}
+	reloaded, err := longtail.LoadDatasetFile(snap)
+	if err != nil {
+		return err
+	}
+	stats := reloaded.Summarize()
+	fmt.Printf("snapshot %s: %d users / %d items / %d ratings (%.0f%% of items in the 20%% tail)\n",
+		filepath.Base(snap), stats.NumUsers, stats.NumItems, stats.NumRatings, 100*stats.TailItemFraction)
+
+	// Serve from the reloaded snapshot.
+	sys, err := longtail.NewSystem(reloaded, longtail.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	const user = 7
+	recs, err := sys.AT().Recommend(user, 5)
+	if err != nil {
+		return err
+	}
+	pop := reloaded.ItemPopularity()
+	fmt.Printf("\ntop-5 for user %d by Absorbing Time:\n", user)
+	for rank, r := range recs {
+		fmt.Printf("  %d. item %-5d (popularity %d)\n", rank+1, r.Item, pop[r.Item])
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("no recommendations for user %d", user)
+	}
+
+	// Item-to-item: the "customers who liked this" panel for the top pick.
+	sims, err := sys.SimilarItems(recs[0].Item, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\npeople who liked item %d also liked:\n", recs[0].Item)
+	for _, s := range sims {
+		fmt.Printf("  item %-5d cosine %.3f (popularity %d)\n", s.Item, s.Similarity, pop[s.Item])
+	}
+	return nil
+}

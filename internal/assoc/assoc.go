@@ -1,0 +1,140 @@
+// Package assoc implements a pairwise association-rule recommender, the
+// comparator the paper's introduction singles out as structurally biased
+// toward popular items: a rule item_a → item_b needs high support for both
+// sides, so mined rules cover only the head of the catalog. Having the
+// real mechanism available lets the benchmark harness demonstrate that
+// bias rather than assert it.
+package assoc
+
+import (
+	"fmt"
+	"sort"
+
+	"longtailrec/internal/dataset"
+)
+
+// Rule is a mined pairwise association A → B.
+type Rule struct {
+	Antecedent, Consequent int
+	Support                float64 // P(A ∧ B): co-rating fraction over users
+	Confidence             float64 // P(B | A)
+}
+
+// Options configure mining thresholds.
+type Options struct {
+	MinSupport    float64 // minimum co-rating fraction; <= 0 means 0.01
+	MinConfidence float64 // minimum confidence; <= 0 means 0.1
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinSupport <= 0 {
+		o.MinSupport = 0.01
+	}
+	if o.MinConfidence <= 0 {
+		o.MinConfidence = 0.1
+	}
+	return o
+}
+
+// Miner holds mined rules indexed by antecedent.
+type Miner struct {
+	data         *dataset.Dataset
+	rules        []Rule
+	byAntecedent map[int][]int // antecedent item -> rule indices
+}
+
+// Mine enumerates pairwise rules meeting the thresholds. Complexity is
+// O(Σ_u |S_u|²) for candidate generation — fine at the corpus sizes this
+// library targets.
+func Mine(d *dataset.Dataset, opts Options) (*Miner, error) {
+	opts = opts.withDefaults()
+	nu := d.NumUsers()
+	if nu == 0 {
+		return nil, fmt.Errorf("assoc: empty dataset")
+	}
+	// Count co-occurrences.
+	pairCount := make(map[[2]int]int)
+	itemCount := make([]int, d.NumItems())
+	for u := 0; u < nu; u++ {
+		rs := d.UserRatings(u)
+		items := make([]int, len(rs))
+		for k, r := range rs {
+			items[k] = r.Item
+			itemCount[r.Item]++
+		}
+		sort.Ints(items)
+		for a := 0; a < len(items); a++ {
+			for b := a + 1; b < len(items); b++ {
+				pairCount[[2]int{items[a], items[b]}]++
+			}
+		}
+	}
+	m := &Miner{data: d, byAntecedent: make(map[int][]int)}
+	total := float64(nu)
+	for pair, cnt := range pairCount {
+		support := float64(cnt) / total
+		if support < opts.MinSupport {
+			continue
+		}
+		// Both directions.
+		for _, dir := range [][2]int{{pair[0], pair[1]}, {pair[1], pair[0]}} {
+			ante, cons := dir[0], dir[1]
+			if itemCount[ante] == 0 {
+				continue
+			}
+			conf := float64(cnt) / float64(itemCount[ante])
+			if conf < opts.MinConfidence {
+				continue
+			}
+			m.byAntecedent[ante] = append(m.byAntecedent[ante], len(m.rules))
+			m.rules = append(m.rules, Rule{Antecedent: ante, Consequent: cons, Support: support, Confidence: conf})
+		}
+	}
+	return m, nil
+}
+
+// NumRules returns how many rules were mined.
+func (m *Miner) NumRules() int { return len(m.rules) }
+
+// Rules returns a copy of all mined rules.
+func (m *Miner) Rules() []Rule {
+	out := make([]Rule, len(m.rules))
+	copy(out, m.rules)
+	return out
+}
+
+// RulesFrom returns the rules whose antecedent is the given item, sorted by
+// descending confidence.
+func (m *Miner) RulesFrom(item int) []Rule {
+	idx := m.byAntecedent[item]
+	out := make([]Rule, len(idx))
+	for k, i := range idx {
+		out[k] = m.rules[i]
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Confidence != out[b].Confidence {
+			return out[a].Confidence > out[b].Confidence
+		}
+		return out[a].Consequent < out[b].Consequent
+	})
+	return out
+}
+
+// ScoreAll fills out[i] with the summed confidence of all rules firing
+// from the user's rated items into item i.
+func (m *Miner) ScoreAll(user int, out []float64) []float64 {
+	ni := m.data.NumItems()
+	if len(out) != ni {
+		out = make([]float64, ni)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, r := range m.data.UserRatings(user) {
+		for _, idx := range m.byAntecedent[r.Item] {
+			rule := m.rules[idx]
+			out[rule.Consequent] += rule.Confidence
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package assoc
+
+import (
+	"math"
+	"testing"
+
+	"longtailrec/internal/dataset"
+)
+
+func coRatedDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	// Items 0 and 1 are co-rated by 4 of 5 users; item 2 is rated once.
+	var ratings []dataset.Rating
+	for u := 0; u < 4; u++ {
+		ratings = append(ratings,
+			dataset.Rating{User: u, Item: 0, Score: 5},
+			dataset.Rating{User: u, Item: 1, Score: 4})
+	}
+	ratings = append(ratings, dataset.Rating{User: 4, Item: 2, Score: 5})
+	d, err := dataset.New(5, 3, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineFindsStrongPair(t *testing.T) {
+	d := coRatedDataset(t)
+	m, err := Mine(d, Options{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRules() != 2 {
+		t.Fatalf("rules %d, want 2 (both directions)", m.NumRules())
+	}
+	rules := m.RulesFrom(0)
+	if len(rules) != 1 {
+		t.Fatalf("rules from 0: %+v", rules)
+	}
+	r := rules[0]
+	if r.Consequent != 1 {
+		t.Fatalf("consequent %d", r.Consequent)
+	}
+	if math.Abs(r.Support-0.8) > 1e-12 {
+		t.Fatalf("support %v, want 0.8", r.Support)
+	}
+	if math.Abs(r.Confidence-1) > 1e-12 {
+		t.Fatalf("confidence %v, want 1", r.Confidence)
+	}
+}
+
+func TestMineThresholdsFilter(t *testing.T) {
+	d := coRatedDataset(t)
+	m, err := Mine(d, Options{MinSupport: 0.9, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRules() != 0 {
+		t.Fatalf("high support threshold kept %d rules", m.NumRules())
+	}
+}
+
+func TestScoreAllFiresRules(t *testing.T) {
+	d := coRatedDataset(t)
+	m, err := Mine(d, Options{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hypothetical user who rated item 0: rules fire into item 1.
+	scores := m.ScoreAll(0, nil)
+	if scores[1] <= 0 {
+		t.Fatalf("scores %v", scores)
+	}
+	if scores[2] != 0 {
+		t.Fatalf("tail item scored %v by association rules", scores[2])
+	}
+}
+
+func TestAssociationRulesNeverReachTail(t *testing.T) {
+	// The §1 claim this baseline exists to demonstrate: rules require head
+	// support, so tail items can never be consequents.
+	d := coRatedDataset(t)
+	m, err := Mine(d, Options{MinSupport: 0.3, MinConfidence: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range m.Rules() {
+		if r.Consequent == 2 || r.Antecedent == 2 {
+			t.Fatalf("tail item appears in rule %+v", r)
+		}
+	}
+}
+
+func TestRulesCopyIsolation(t *testing.T) {
+	d := coRatedDataset(t)
+	m, err := Mine(d, Options{MinSupport: 0.5, MinConfidence: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := m.Rules()
+	if len(rules) == 0 {
+		t.Fatal("no rules")
+	}
+	rules[0].Confidence = -99
+	if m.Rules()[0].Confidence == -99 {
+		t.Fatal("Rules leaked internal storage")
+	}
+}

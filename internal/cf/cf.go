@@ -1,0 +1,326 @@
+// Package cf implements the classic neighborhood collaborative-filtering
+// baselines the paper discusses in Sections 1–2: user-based kNN with
+// Pearson or cosine similarity, item-based kNN, and the MostPopular
+// non-personalized ranking. These recommenders exhibit exactly the
+// popularity bias the paper's graph algorithms are designed to beat, which
+// makes them useful comparators in the evaluation harness.
+package cf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"longtailrec/internal/dataset"
+)
+
+// Similarity selects the user/item similarity measure.
+type Similarity int
+
+const (
+	// Cosine similarity over the co-rated profile vectors.
+	Cosine Similarity = iota
+	// Pearson correlation over co-rated items (mean-centered per user).
+	Pearson
+)
+
+func (s Similarity) String() string {
+	switch s {
+	case Cosine:
+		return "cosine"
+	case Pearson:
+		return "pearson"
+	default:
+		return fmt.Sprintf("Similarity(%d)", int(s))
+	}
+}
+
+// profile is a sparse rating vector keyed by item (or user).
+type profile map[int]float64
+
+// UserKNN is a user-based k-nearest-neighbor recommender.
+type UserKNN struct {
+	data     *dataset.Dataset
+	k        int
+	sim      Similarity
+	profiles []profile // per user: item -> score
+	means    []float64 // per user mean rating (for Pearson)
+}
+
+// NewUserKNN builds the index. k is the neighborhood size.
+func NewUserKNN(d *dataset.Dataset, k int, sim Similarity) (*UserKNN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cf: k %d, need >= 1", k)
+	}
+	u := &UserKNN{data: d, k: k, sim: sim,
+		profiles: make([]profile, d.NumUsers()),
+		means:    make([]float64, d.NumUsers())}
+	for user := 0; user < d.NumUsers(); user++ {
+		rs := d.UserRatings(user)
+		p := make(profile, len(rs))
+		total := 0.0
+		for _, r := range rs {
+			p[r.Item] = r.Score
+			total += r.Score
+		}
+		u.profiles[user] = p
+		if len(rs) > 0 {
+			u.means[user] = total / float64(len(rs))
+		}
+	}
+	return u, nil
+}
+
+// similarity computes the configured similarity between users a and b.
+func (u *UserKNN) similarity(a, b int) float64 {
+	pa, pb := u.profiles[a], u.profiles[b]
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+		a, b = b, a
+	}
+	switch u.sim {
+	case Cosine:
+		dot := 0.0
+		for item, wa := range pa {
+			if wb, ok := pb[item]; ok {
+				dot += wa * wb
+			}
+		}
+		if dot == 0 {
+			return 0
+		}
+		na, nb := 0.0, 0.0
+		for _, w := range pa {
+			na += w * w
+		}
+		for _, w := range pb {
+			nb += w * w
+		}
+		return dot / math.Sqrt(na*nb)
+	case Pearson:
+		ma, mb := u.means[a], u.means[b]
+		var num, da, db float64
+		for item, wa := range pa {
+			wb, ok := pb[item]
+			if !ok {
+				continue
+			}
+			xa, xb := wa-ma, wb-mb
+			num += xa * xb
+			da += xa * xa
+			db += xb * xb
+		}
+		if da == 0 || db == 0 {
+			return 0
+		}
+		return num / math.Sqrt(da*db)
+	default:
+		panic(fmt.Sprintf("cf: unknown similarity %d", int(u.sim)))
+	}
+}
+
+// neighbor couples a candidate with its similarity.
+type neighbor struct {
+	id  int
+	sim float64
+}
+
+// Neighbors returns the k most similar users to u (positive similarity
+// only), sorted by descending similarity.
+func (u *UserKNN) Neighbors(user int) []neighbor {
+	// Candidate users: anyone sharing at least one item.
+	cands := make(map[int]struct{})
+	for item := range u.profiles[user] {
+		for _, r := range u.data.ItemRatings(item) {
+			if r.User != user {
+				cands[r.User] = struct{}{}
+			}
+		}
+	}
+	nbrs := make([]neighbor, 0, len(cands))
+	for c := range cands {
+		if s := u.similarity(user, c); s > 0 {
+			nbrs = append(nbrs, neighbor{id: c, sim: s})
+		}
+	}
+	sort.Slice(nbrs, func(a, b int) bool {
+		if nbrs[a].sim != nbrs[b].sim {
+			return nbrs[a].sim > nbrs[b].sim
+		}
+		return nbrs[a].id < nbrs[b].id
+	})
+	if len(nbrs) > u.k {
+		nbrs = nbrs[:u.k]
+	}
+	return nbrs
+}
+
+// ScoreAll fills out[i] with the similarity-weighted neighborhood score of
+// item i for the user: Σ_{v∈N(u)} sim(u,v)·w(v,i). Items rated by the user
+// are still scored; callers exclude them when ranking.
+func (u *UserKNN) ScoreAll(user int, out []float64) []float64 {
+	ni := u.data.NumItems()
+	if len(out) != ni {
+		out = make([]float64, ni)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, nb := range u.Neighbors(user) {
+		for item, w := range u.profiles[nb.id] {
+			out[item] += nb.sim * w
+		}
+	}
+	return out
+}
+
+// ItemKNN is an item-based kNN recommender: score(u,i) is the
+// similarity-weighted sum over the user's rated items.
+type ItemKNN struct {
+	data     *dataset.Dataset
+	k        int
+	profiles []profile // per item: user -> score
+}
+
+// NewItemKNN builds the index.
+func NewItemKNN(d *dataset.Dataset, k int) (*ItemKNN, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cf: k %d, need >= 1", k)
+	}
+	m := &ItemKNN{data: d, k: k, profiles: make([]profile, d.NumItems())}
+	for item := 0; item < d.NumItems(); item++ {
+		rs := d.ItemRatings(item)
+		p := make(profile, len(rs))
+		for _, r := range rs {
+			p[r.User] = r.Score
+		}
+		m.profiles[item] = p
+	}
+	return m, nil
+}
+
+// similarity is cosine over the item-user vectors.
+func (m *ItemKNN) similarity(a, b int) float64 {
+	pa, pb := m.profiles[a], m.profiles[b]
+	if len(pa) > len(pb) {
+		pa, pb = pb, pa
+	}
+	dot := 0.0
+	for user, wa := range pa {
+		if wb, ok := pb[user]; ok {
+			dot += wa * wb
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	na, nb := 0.0, 0.0
+	for _, w := range pa {
+		na += w * w
+	}
+	for _, w := range pb {
+		nb += w * w
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// ScoreAll fills out[i] = Σ_{j∈S_u} sim(i,j)·w(u,j), restricting each rated
+// item's influence to its k most similar items.
+func (m *ItemKNN) ScoreAll(user int, out []float64) []float64 {
+	ni := m.data.NumItems()
+	if len(out) != ni {
+		out = make([]float64, ni)
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, r := range m.data.UserRatings(user) {
+		sims := m.topSimilar(r.Item)
+		for _, nb := range sims {
+			out[nb.id] += nb.sim * r.Score
+		}
+	}
+	return out
+}
+
+// SimilarItem pairs an item with its cosine similarity to a query item.
+type SimilarItem struct {
+	Item       int
+	Similarity float64
+}
+
+// SimilarItems returns up to k items most similar to item (cosine over
+// the item-user rating vectors), in descending similarity. Only items
+// sharing at least one rater can have positive similarity, and the index
+// keeps its top NewItemKNN-k neighbors per item, so the list may be
+// shorter than k.
+func (m *ItemKNN) SimilarItems(item, k int) ([]SimilarItem, error) {
+	if item < 0 || item >= m.data.NumItems() {
+		return nil, fmt.Errorf("cf: item %d out of range [0,%d)", item, m.data.NumItems())
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("cf: k %d, need >= 1", k)
+	}
+	nbrs := m.topSimilar(item)
+	if len(nbrs) > k {
+		nbrs = nbrs[:k]
+	}
+	out := make([]SimilarItem, len(nbrs))
+	for i, nb := range nbrs {
+		out[i] = SimilarItem{Item: nb.id, Similarity: nb.sim}
+	}
+	return out, nil
+}
+
+// topSimilar finds the k items most similar to item j among co-rated
+// candidates.
+func (m *ItemKNN) topSimilar(j int) []neighbor {
+	cands := make(map[int]struct{})
+	for user := range m.profiles[j] {
+		for _, r := range m.data.UserRatings(user) {
+			if r.Item != j {
+				cands[r.Item] = struct{}{}
+			}
+		}
+	}
+	nbrs := make([]neighbor, 0, len(cands))
+	for c := range cands {
+		if s := m.similarity(j, c); s > 0 {
+			nbrs = append(nbrs, neighbor{id: c, sim: s})
+		}
+	}
+	sort.Slice(nbrs, func(a, b int) bool {
+		if nbrs[a].sim != nbrs[b].sim {
+			return nbrs[a].sim > nbrs[b].sim
+		}
+		return nbrs[a].id < nbrs[b].id
+	})
+	if len(nbrs) > m.k {
+		nbrs = nbrs[:m.k]
+	}
+	return nbrs
+}
+
+// MostPopular scores every item by its rating frequency — the fully
+// non-personalized baseline that any long-tail recommender must beat on
+// novelty.
+type MostPopular struct {
+	pop []int
+}
+
+// NewMostPopular indexes item popularity.
+func NewMostPopular(d *dataset.Dataset) *MostPopular {
+	return &MostPopular{pop: d.ItemPopularity()}
+}
+
+// ScoreAll fills out[i] with the popularity of item i (identical for every
+// user).
+func (m *MostPopular) ScoreAll(_ int, out []float64) []float64 {
+	if len(out) != len(m.pop) {
+		out = make([]float64, len(m.pop))
+	}
+	for i, p := range m.pop {
+		out[i] = float64(p)
+	}
+	return out
+}

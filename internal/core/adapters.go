@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"longtailrec/internal/graph"
+)
+
+// ScoreFunc computes higher-is-better item scores for a user.
+type ScoreFunc func(u int) ([]float64, error)
+
+// FuncRecommender adapts any score function (LDA, PureSVD, DPPR, kNN,
+// popularity, association rules, ...) to the Recommender interface, using
+// the graph to exclude already-rated items from Recommend.
+type FuncRecommender struct {
+	name string
+	g    *graph.Bipartite
+	fn   ScoreFunc
+}
+
+// NewFuncRecommender wraps fn under the given algorithm name.
+func NewFuncRecommender(name string, g *graph.Bipartite, fn ScoreFunc) (*FuncRecommender, error) {
+	if name == "" {
+		return nil, fmt.Errorf("core: empty recommender name")
+	}
+	if g == nil || fn == nil {
+		return nil, fmt.Errorf("core: nil graph or score function")
+	}
+	return &FuncRecommender{name: name, g: g, fn: fn}, nil
+}
+
+// Name implements Recommender.
+func (f *FuncRecommender) Name() string { return f.name }
+
+// ScoreItems implements Recommender.
+func (f *FuncRecommender) ScoreItems(u int) ([]float64, error) {
+	if err := validateUser(u, f.g.NumUsers()); err != nil {
+		return nil, err
+	}
+	scores, err := f.fn(u)
+	if err != nil {
+		return nil, err
+	}
+	if len(scores) != f.g.NumItems() {
+		return nil, fmt.Errorf("core: %s returned %d scores for %d items", f.name, len(scores), f.g.NumItems())
+	}
+	return scores, nil
+}
+
+// Recommend implements Recommender.
+func (f *FuncRecommender) Recommend(u, k int) ([]Scored, error) {
+	return recommendByScores(f, f.g, u, k)
+}

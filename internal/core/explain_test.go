@@ -1,0 +1,65 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExplainAbsorptionFigure2(t *testing.T) {
+	// Explaining M4 for U5 (rated M2, M3): M4 connects only through U4,
+	// whose other item is M3 — so M3 must dominate the absorption mass.
+	g := figure2Graph(t)
+	anchors, err := ExplainAbsorption(g, 4, 3, WalkOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anchors) == 0 {
+		t.Fatal("no anchors")
+	}
+	total := 0.0
+	for _, a := range anchors {
+		if a.Item != 1 && a.Item != 2 {
+			t.Fatalf("anchor %d is not a rated item of U5", a.Item)
+		}
+		if a.Probability < 0 || a.Probability > 1 {
+			t.Fatalf("anchor probability %v", a.Probability)
+		}
+		total += a.Probability
+	}
+	if math.Abs(total-1) > 1e-6 {
+		t.Fatalf("absorption shares sum to %v", total)
+	}
+	if anchors[0].Item != 2 {
+		t.Fatalf("top anchor %d, want 2 (M3, the U4 connection)", anchors[0].Item)
+	}
+	if anchors[0].Probability < 0.5 {
+		t.Fatalf("M3 share %v should dominate", anchors[0].Probability)
+	}
+}
+
+func TestExplainAbsorptionSortedDescending(t *testing.T) {
+	g := figure2Graph(t)
+	anchors, err := ExplainAbsorption(g, 4, 0, WalkOptions{}) // explain M1
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < len(anchors); k++ {
+		if anchors[k].Probability > anchors[k-1].Probability {
+			t.Fatal("anchors not sorted")
+		}
+	}
+}
+
+func TestExplainAbsorptionValidation(t *testing.T) {
+	g := figure2Graph(t)
+	if _, err := ExplainAbsorption(g, -1, 0, WalkOptions{}); err == nil {
+		t.Fatal("bad user accepted")
+	}
+	if _, err := ExplainAbsorption(g, 4, 99, WalkOptions{}); err == nil {
+		t.Fatal("bad candidate accepted")
+	}
+	// Candidate already rated by the user.
+	if _, err := ExplainAbsorption(g, 4, 1, WalkOptions{}); err == nil {
+		t.Fatal("rated candidate accepted")
+	}
+}

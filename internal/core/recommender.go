@@ -1,0 +1,108 @@
+// Package core implements the paper's contribution: the suite of
+// graph-based long-tail recommenders — Hitting Time (§3.3), Absorbing Time
+// (§4.1, Algorithm 1) and the two entropy-biased Absorbing Cost variants
+// (§4.2) — behind a single Recommender interface, plus adapters that wrap
+// the score-based baselines (LDA, PureSVD, DPPR, kNN, popularity) so the
+// evaluation harness can treat every algorithm uniformly.
+//
+// All recommenders expose higher-is-better item scores; the random-walk
+// algorithms internally rank by smallest time/cost and negate, so a small
+// hitting time becomes a large score. Items an algorithm cannot score for
+// a user (e.g. outside the BFS subgraph of Algorithm 1) get -Inf.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"longtailrec/internal/topk"
+)
+
+// ErrColdUser is returned when a query user has no rated items to anchor
+// the walk (S_q = ∅).
+var ErrColdUser = errors.New("core: user has no rated items")
+
+// Scored pairs an item with its ranking score (higher is better).
+type Scored struct {
+	Item  int
+	Score float64
+}
+
+// Recommender is the uniform interface over all algorithms in the paper's
+// evaluation.
+type Recommender interface {
+	// Name identifies the algorithm (e.g. "HT", "AC2", "PureSVD").
+	Name() string
+	// ScoreItems returns a per-item score vector for user u, higher
+	// meaning more recommendable. Unscorable items are -Inf. The caller
+	// owns the returned slice.
+	ScoreItems(u int) ([]float64, error)
+	// Recommend returns the top-k items for u by score, excluding the
+	// items u has already rated. Fewer than k items may be returned when
+	// the algorithm cannot score enough candidates.
+	Recommend(u, k int) ([]Scored, error)
+}
+
+// TopK selects the k highest-scoring items from scores, skipping excluded
+// items and -Inf/NaN entries. Ties break toward the smaller item index so
+// results are deterministic. Selection runs in O(n log k) via a bounded
+// min-heap.
+func TopK(scores []float64, k int, exclude map[int]struct{}) []Scored {
+	if k <= 0 {
+		return nil
+	}
+	sel := topk.NewSelector(k)
+	for i, s := range scores {
+		if math.IsInf(s, -1) || math.IsNaN(s) {
+			continue
+		}
+		if _, skip := exclude[i]; skip {
+			continue
+		}
+		sel.Offer(i, s)
+	}
+	items := sel.Take()
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Item: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// RankOf returns the 1-based rank of target within the candidate set under
+// the given scores (higher scores rank first; ties resolved against the
+// target pessimistically, matching the conservative reading of the
+// Recall@N protocol). Returns 0 if the target is not in candidates.
+func RankOf(scores []float64, target int, candidates []int) int {
+	found := false
+	for _, c := range candidates {
+		if c == target {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0
+	}
+	ts := scores[target]
+	rank := 1
+	for _, c := range candidates {
+		if c == target {
+			continue
+		}
+		cs := scores[c]
+		if cs > ts || (cs == ts && c < target) {
+			rank++
+		}
+	}
+	return rank
+}
+
+// validateUser bounds-checks a user index against a universe size.
+func validateUser(u, numUsers int) error {
+	if u < 0 || u >= numUsers {
+		return fmt.Errorf("core: user %d out of range [0,%d)", u, numUsers)
+	}
+	return nil
+}

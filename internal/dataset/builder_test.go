@@ -1,0 +1,278 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(KeepLast)
+	if err := b.Add(0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len %d", b.Len())
+	}
+	d, err := b.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 2 || d.NumItems() != 3 || d.NumRatings() != 2 {
+		t.Fatalf("dims %d/%d/%d", d.NumUsers(), d.NumItems(), d.NumRatings())
+	}
+}
+
+func TestBuilderUniverseExpansion(t *testing.T) {
+	b := NewBuilder(KeepLast)
+	if err := b.Add(2, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Requested universe larger than observed indices wins.
+	d, err := b.Build(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 10 || d.NumItems() != 20 {
+		t.Fatalf("dims %d/%d", d.NumUsers(), d.NumItems())
+	}
+	// Requested universe smaller than observed is expanded, not an error.
+	d, err = b.Build(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumUsers() != 3 || d.NumItems() != 5 {
+		t.Fatalf("dims %d/%d", d.NumUsers(), d.NumItems())
+	}
+}
+
+func TestBuilderDupPolicies(t *testing.T) {
+	cases := []struct {
+		policy DupPolicy
+		want   float64
+	}{
+		{KeepLast, 2},
+		{KeepFirst, 4},
+		{KeepMax, 4},
+	}
+	for _, c := range cases {
+		b := NewBuilder(c.policy)
+		if err := b.Add(0, 0, 4); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Add(0, 0, 2); err != nil {
+			t.Fatalf("%v: %v", c.policy, err)
+		}
+		if b.Len() != 1 {
+			t.Fatalf("%v: len %d", c.policy, b.Len())
+		}
+		d, err := b.Build(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := d.Score(0, 0); got != c.want {
+			t.Fatalf("%v: score %v, want %v", c.policy, got, c.want)
+		}
+	}
+}
+
+func TestBuilderKeepMaxLowerThenHigher(t *testing.T) {
+	b := NewBuilder(KeepMax)
+	b.Add(0, 0, 2)
+	b.Add(0, 0, 5)
+	d, err := b.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Score(0, 0); got != 5 {
+		t.Fatalf("score %v, want 5", got)
+	}
+}
+
+func TestBuilderRejectPolicy(t *testing.T) {
+	b := NewBuilder(Reject)
+	if err := b.Add(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(0, 0, 2); err == nil {
+		t.Fatal("duplicate accepted under Reject")
+	}
+	// The builder is poisoned: Build must fail too.
+	if _, err := b.Build(0, 0); err == nil {
+		t.Fatal("poisoned builder built")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	for _, c := range []struct {
+		u, i int
+		s    float64
+	}{
+		{-1, 0, 1},
+		{0, -1, 1},
+		{0, 0, 0},
+		{0, 0, -2},
+	} {
+		b := NewBuilder(KeepLast)
+		if err := b.Add(c.u, c.i, c.s); err == nil {
+			t.Fatalf("accepted (%d, %d, %v)", c.u, c.i, c.s)
+		}
+	}
+	if _, err := NewBuilder(KeepLast).Build(0, 0); err == nil {
+		t.Fatal("empty builder built")
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder(KeepLast)
+	if err := b.Add(0, 0, -1); err == nil {
+		t.Fatal("bad score accepted")
+	}
+	// Subsequent valid Adds report the original error.
+	if err := b.Add(1, 1, 3); err == nil || !strings.Contains(err.Error(), "score") {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+}
+
+func TestBuilderDeterministicOrder(t *testing.T) {
+	mk := func() *Dataset {
+		b := NewBuilder(KeepLast)
+		b.Add(3, 1, 2)
+		b.Add(0, 0, 5)
+		b.Add(1, 2, 4)
+		d, err := b.Build(0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a, bb := mk().Ratings(), mk().Ratings()
+	for k := range a {
+		if a[k] != bb[k] {
+			t.Fatalf("rating %d differs: %+v vs %+v", k, a[k], bb[k])
+		}
+	}
+	// First-seen order is preserved.
+	if a[0].User != 3 || a[1].User != 0 || a[2].User != 1 {
+		t.Fatalf("order %+v", a)
+	}
+}
+
+func TestBuilderPolicyString(t *testing.T) {
+	for p, want := range map[DupPolicy]string{
+		KeepLast:     "keep-last",
+		KeepFirst:    "keep-first",
+		KeepMax:      "keep-max",
+		Reject:       "reject",
+		DupPolicy(9): "policy(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Fatalf("%d: %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestBuilderEquivalentToNew(t *testing.T) {
+	// Property: for duplicate-free input, Builder(any policy) == New.
+	f := func(raw []struct{ U, I uint8 }) bool {
+		b := NewBuilder(Reject)
+		seen := make(map[[2]int]bool)
+		var ratings []Rating
+		for _, r := range raw {
+			u, i := int(r.U%16), int(r.I%16)
+			if seen[[2]int{u, i}] {
+				continue
+			}
+			seen[[2]int{u, i}] = true
+			score := float64(u%5) + 1
+			if err := b.Add(u, i, score); err != nil {
+				return false
+			}
+			ratings = append(ratings, Rating{User: u, Item: i, Score: score})
+		}
+		if len(ratings) == 0 {
+			return true
+		}
+		got, err := b.Build(16, 16)
+		if err != nil {
+			return false
+		}
+		want, err := New(16, 16, ratings)
+		if err != nil {
+			return false
+		}
+		if got.NumRatings() != want.NumRatings() {
+			return false
+		}
+		for _, r := range ratings {
+			gs, gok := got.Score(r.User, r.Item)
+			ws, wok := want.Score(r.User, r.Item)
+			if gok != wok || gs != ws {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToImplicit(t *testing.T) {
+	d, err := New(3, 3, []Rating{
+		{User: 0, Item: 0, Score: 5},
+		{User: 0, Item: 1, Score: 2},
+		{User: 1, Item: 1, Score: 4},
+		{User: 2, Item: 2, Score: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := d.ToImplicit(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.NumRatings() != 2 {
+		t.Fatalf("kept %d ratings, want 2", imp.NumRatings())
+	}
+	for _, r := range imp.Ratings() {
+		if r.Score != 1 {
+			t.Fatalf("implicit score %v", r.Score)
+		}
+	}
+	if imp.NumUsers() != 3 || imp.NumItems() != 3 {
+		t.Fatal("universe changed")
+	}
+	if _, err := d.ToImplicit(100); err == nil {
+		t.Fatal("empty implicit dataset accepted")
+	}
+}
+
+func TestClampScores(t *testing.T) {
+	d, err := New(2, 2, []Rating{
+		{User: 0, Item: 0, Score: 10},
+		{User: 1, Item: 1, Score: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.ClampScores(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := c.Score(0, 0); s != 5 {
+		t.Fatalf("clamped high %v", s)
+	}
+	if s, _ := c.Score(1, 1); s != 1 {
+		t.Fatalf("clamped low %v", s)
+	}
+	if _, err := d.ClampScores(0, 5); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := d.ClampScores(5, 1); err == nil {
+		t.Fatal("hi<lo accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Interner maps arbitrary external IDs to dense indices, remembering the
+// reverse mapping so results can be reported in the original ID space.
+type Interner struct {
+	index map[string]int
+	names []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{index: make(map[string]int)}
+}
+
+// Intern returns the dense index for id, assigning the next free one on
+// first sight.
+func (in *Interner) Intern(id string) int {
+	if i, ok := in.index[id]; ok {
+		return i
+	}
+	i := len(in.names)
+	in.index[id] = i
+	in.names = append(in.names, id)
+	return i
+}
+
+// Len returns the number of distinct IDs seen.
+func (in *Interner) Len() int { return len(in.names) }
+
+// Name returns the original ID for a dense index.
+func (in *Interner) Name(i int) string { return in.names[i] }
+
+// Lookup returns the dense index for id without interning.
+func (in *Interner) Lookup(id string) (int, bool) {
+	i, ok := in.index[id]
+	return i, ok
+}
+
+// Loaded bundles a parsed dataset with its ID interners.
+type Loaded struct {
+	Data  *Dataset
+	Users *Interner
+	Items *Interner
+}
+
+// LoadDelimited parses "user<sep>item<sep>score[<sep>extra...]" lines,
+// interning user and item IDs in order of first appearance. Blank lines and
+// lines starting with '#' are skipped. Duplicate (user, item) pairs keep
+// the last score seen (real logs often contain re-ratings).
+func LoadDelimited(r io.Reader, sep string) (*Loaded, error) {
+	if sep == "" {
+		return nil, fmt.Errorf("dataset: empty separator")
+	}
+	users := NewInterner()
+	items := NewInterner()
+	type key struct{ u, i int }
+	scores := make(map[key]float64)
+	order := make([]key, 0, 1024)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, sep)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("dataset: line %d: want at least 3 fields separated by %q, got %d", lineNo, sep, len(parts))
+		}
+		score, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad score %q: %v", lineNo, parts[2], err)
+		}
+		if score <= 0 {
+			return nil, fmt.Errorf("dataset: line %d: score %v must be positive", lineNo, score)
+		}
+		k := key{users.Intern(strings.TrimSpace(parts[0])), items.Intern(strings.TrimSpace(parts[1]))}
+		if _, seen := scores[k]; !seen {
+			order = append(order, k)
+		}
+		scores[k] = score
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("dataset: no ratings found")
+	}
+	ratings := make([]Rating, len(order))
+	for n, k := range order {
+		ratings[n] = Rating{User: k.u, Item: k.i, Score: scores[k]}
+	}
+	d, err := New(users.Len(), items.Len(), ratings)
+	if err != nil {
+		return nil, err
+	}
+	return &Loaded{Data: d, Users: users, Items: items}, nil
+}
+
+// LoadMovieLens parses the MovieLens 1M "UserID::MovieID::Rating::Timestamp"
+// format.
+func LoadMovieLens(r io.Reader) (*Loaded, error) {
+	return LoadDelimited(r, "::")
+}
+
+// LoadTSV parses tab-separated "user item score" lines.
+func LoadTSV(r io.Reader) (*Loaded, error) {
+	return LoadDelimited(r, "\t")
+}
+
+// LoadCSV parses comma-separated "user,item,score" lines.
+func LoadCSV(r io.Reader) (*Loaded, error) {
+	return LoadDelimited(r, ",")
+}
+
+// WriteTSV serializes a dataset as "user\titem\tscore" lines using dense
+// indices, sorted by (user, item) for reproducible output.
+func WriteTSV(w io.Writer, d *Dataset) error {
+	ratings := d.Ratings()
+	sort.Slice(ratings, func(a, b int) bool {
+		if ratings[a].User != ratings[b].User {
+			return ratings[a].User < ratings[b].User
+		}
+		return ratings[a].Item < ratings[b].Item
+	})
+	bw := bufio.NewWriter(w)
+	for _, r := range ratings {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%g\n", r.User, r.Item, r.Score); err != nil {
+			return fmt.Errorf("dataset: write: %w", err)
+		}
+	}
+	return bw.Flush()
+}

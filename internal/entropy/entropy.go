@@ -1,0 +1,143 @@
+// Package entropy implements the user-entropy feature of Section 4.2: a
+// measure of how wide a user's interests are, used by the Absorbing Cost
+// recommenders to make taste-specific users cheap to traverse and
+// generalists expensive.
+//
+// Two estimators are provided, matching §4.2.2 and §4.2.3:
+//
+//   - Item-based (Eq. 10): entropy of the user's rating-weight distribution
+//     over the items they rated.
+//   - Topic-based (Eq. 11): entropy of the user's latent topic distribution
+//     θ_u from the LDA model of §4.2.3.
+package entropy
+
+import (
+	"fmt"
+	"math"
+
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/lda"
+)
+
+// ItemBased computes Eq. 10 for one user:
+// E(u) = -Σ_{i∈S_u} p(i|u)·log p(i|u) with p(i|u) = w(u,i)/Σ w(u,·).
+// A user with no ratings has zero entropy. Natural logarithm.
+func ItemBased(d *dataset.Dataset, u int) float64 {
+	ratings := d.UserRatings(u)
+	total := 0.0
+	for _, r := range ratings {
+		total += r.Score
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, r := range ratings {
+		p := r.Score / total
+		if p > 0 {
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}
+
+// AllItemBased computes item-based entropy for every user.
+func AllItemBased(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.NumUsers())
+	for u := range out {
+		out[u] = ItemBased(d, u)
+	}
+	return out
+}
+
+// TopicBased computes Eq. 11 for one user from a trained LDA model.
+func TopicBased(m *lda.Model, u int) float64 {
+	return m.UserEntropy(u)
+}
+
+// AllTopicBased computes topic-based entropy for every user.
+func AllTopicBased(m *lda.Model) []float64 {
+	out := make([]float64, m.NumUsers())
+	for u := range out {
+		out[u] = m.UserEntropy(u)
+	}
+	return out
+}
+
+// ItemEntropy computes the mirror image of Eq. 10 for an item: the
+// entropy of the item's rating-weight distribution over the users who
+// rated it, E(i) = -Σ_{u} p(u|i)·log p(u|i). A blockbuster rated evenly by
+// thousands of users has high entropy (a generic hub); a niche item rated
+// by a couple of fans has low entropy. This powers the symmetric
+// Absorbing Cost extension (AC3): the paper's §4.2.1 keeps the user→item
+// cost at a constant C "in our current model", and this is the natural
+// completion it gestures at.
+func ItemEntropy(d *dataset.Dataset, i int) float64 {
+	ratings := d.ItemRatings(i)
+	total := 0.0
+	for _, r := range ratings {
+		total += r.Score
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, r := range ratings {
+		p := r.Score / total
+		if p > 0 {
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}
+
+// AllItemEntropy computes ItemEntropy for every item.
+func AllItemEntropy(d *dataset.Dataset) []float64 {
+	out := make([]float64, d.NumItems())
+	for i := range out {
+		out[i] = ItemEntropy(d, i)
+	}
+	return out
+}
+
+// Floor returns a copy of entropies with every value raised to at least
+// min. The Absorbing Cost recurrence needs strictly positive step costs:
+// a user with a single rated item has zero item-based entropy, which would
+// make walks through them free and the cost ranking degenerate.
+func Floor(entropies []float64, min float64) []float64 {
+	if min <= 0 {
+		panic(fmt.Sprintf("entropy: Floor min %v must be positive", min))
+	}
+	out := make([]float64, len(entropies))
+	for i, e := range entropies {
+		if e < min {
+			out[i] = min
+		} else {
+			out[i] = e
+		}
+	}
+	return out
+}
+
+// Distribution computes Shannon entropy (natural log) of an arbitrary
+// non-negative weight vector after normalization. Zero vector → 0.
+func Distribution(w []float64) float64 {
+	total := 0.0
+	for _, x := range w {
+		if x < 0 {
+			panic("entropy: negative weight")
+		}
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	e := 0.0
+	for _, x := range w {
+		if x > 0 {
+			p := x / total
+			e -= p * math.Log(p)
+		}
+	}
+	return e
+}

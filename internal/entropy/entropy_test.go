@@ -1,0 +1,226 @@
+package entropy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/lda"
+)
+
+func TestItemBasedUniform(t *testing.T) {
+	// Equal weights over n items → entropy log n.
+	d, err := dataset.New(1, 4, []dataset.Rating{
+		{User: 0, Item: 0, Score: 2}, {User: 0, Item: 1, Score: 2},
+		{User: 0, Item: 2, Score: 2}, {User: 0, Item: 3, Score: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ItemBased(d, 0); math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Fatalf("uniform entropy %v, want %v", got, math.Log(4))
+	}
+}
+
+func TestItemBasedSingleItemIsZero(t *testing.T) {
+	d, err := dataset.New(1, 3, []dataset.Rating{{User: 0, Item: 1, Score: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ItemBased(d, 0); got != 0 {
+		t.Fatalf("single-item entropy %v", got)
+	}
+}
+
+func TestItemBasedNoRatingsIsZero(t *testing.T) {
+	d, err := dataset.New(2, 2, []dataset.Rating{{User: 0, Item: 0, Score: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ItemBased(d, 1); got != 0 {
+		t.Fatalf("empty user entropy %v", got)
+	}
+}
+
+func TestItemBasedSkewBelowUniform(t *testing.T) {
+	d, err := dataset.New(2, 3, []dataset.Rating{
+		{User: 0, Item: 0, Score: 1}, {User: 0, Item: 1, Score: 1}, {User: 0, Item: 2, Score: 1},
+		{User: 1, Item: 0, Score: 10}, {User: 1, Item: 1, Score: 1}, {User: 1, Item: 2, Score: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ItemBased(d, 1) < ItemBased(d, 0)) {
+		t.Fatal("skewed user should have lower entropy than uniform user")
+	}
+}
+
+func TestGeneralistAboveSpecialist(t *testing.T) {
+	// The §4.2.2 assumption: rating more items (evenly) raises entropy.
+	var rts []dataset.Rating
+	for i := 0; i < 12; i++ {
+		rts = append(rts, dataset.Rating{User: 0, Item: i, Score: 3})
+	}
+	for i := 0; i < 2; i++ {
+		rts = append(rts, dataset.Rating{User: 1, Item: i, Score: 3})
+	}
+	d, err := dataset.New(2, 12, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ItemBased(d, 0) > ItemBased(d, 1)) {
+		t.Fatal("generalist not above specialist")
+	}
+}
+
+func TestAllItemBased(t *testing.T) {
+	d, err := dataset.New(3, 3, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5},
+		{User: 1, Item: 0, Score: 2}, {User: 1, Item: 1, Score: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := AllItemBased(d)
+	if len(all) != 3 {
+		t.Fatalf("length %d", len(all))
+	}
+	if all[0] != 0 || all[2] != 0 {
+		t.Fatal("degenerate users should be zero")
+	}
+	if math.Abs(all[1]-math.Log(2)) > 1e-12 {
+		t.Fatalf("user 1 entropy %v", all[1])
+	}
+}
+
+func TestTopicBasedDelegatesToModel(t *testing.T) {
+	d, err := dataset.New(4, 6, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 5},
+		{User: 1, Item: 4, Score: 5}, {User: 1, Item: 5, Score: 5},
+		{User: 2, Item: 0, Score: 5}, {User: 2, Item: 5, Score: 5},
+		{User: 3, Item: 1, Score: 4}, {User: 3, Item: 4, Score: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := lda.Train(d, lda.Config{NumTopics: 2, Alpha: 0.5, Iterations: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := AllTopicBased(m)
+	for u := 0; u < 4; u++ {
+		if all[u] != TopicBased(m, u) {
+			t.Fatal("AllTopicBased disagrees with TopicBased")
+		}
+		if all[u] < 0 || all[u] > math.Log(2)+1e-9 {
+			t.Fatalf("topic entropy %v out of range", all[u])
+		}
+	}
+}
+
+func TestItemEntropy(t *testing.T) {
+	d, err := dataset.New(4, 2, []dataset.Rating{
+		{User: 0, Item: 0, Score: 3}, {User: 1, Item: 0, Score: 3},
+		{User: 2, Item: 0, Score: 3}, {User: 3, Item: 0, Score: 3},
+		{User: 0, Item: 1, Score: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item 0: uniform over 4 raters → log 4. Item 1: single rater → 0.
+	if got := ItemEntropy(d, 0); math.Abs(got-math.Log(4)) > 1e-12 {
+		t.Fatalf("item 0 entropy %v", got)
+	}
+	if got := ItemEntropy(d, 1); got != 0 {
+		t.Fatalf("item 1 entropy %v", got)
+	}
+	all := AllItemEntropy(d)
+	if all[0] != ItemEntropy(d, 0) || all[1] != 0 {
+		t.Fatalf("AllItemEntropy %v", all)
+	}
+}
+
+func TestItemEntropyTracksPopularity(t *testing.T) {
+	// With roughly even scores, more raters → higher item entropy: the
+	// property the AC3 extension exploits to make blockbusters expensive.
+	var rts []dataset.Rating
+	for u := 0; u < 20; u++ {
+		rts = append(rts, dataset.Rating{User: u, Item: 0, Score: 4})
+	}
+	for u := 0; u < 2; u++ {
+		rts = append(rts, dataset.Rating{User: u, Item: 1, Score: 4})
+	}
+	d, err := dataset.New(20, 2, rts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ItemEntropy(d, 0) > ItemEntropy(d, 1)) {
+		t.Fatal("blockbuster entropy not above niche entropy")
+	}
+}
+
+func TestFloor(t *testing.T) {
+	in := []float64{0, 0.5, 2}
+	out := Floor(in, 0.1)
+	if out[0] != 0.1 || out[1] != 0.5 || out[2] != 2 {
+		t.Fatalf("Floor = %v", out)
+	}
+	if in[0] != 0 {
+		t.Fatal("Floor mutated its input")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive floor accepted")
+		}
+	}()
+	Floor(in, 0)
+}
+
+func TestDistribution(t *testing.T) {
+	if got := Distribution([]float64{1, 1}); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Fatalf("Distribution = %v", got)
+	}
+	if got := Distribution([]float64{0, 0}); got != 0 {
+		t.Fatalf("zero vector entropy %v", got)
+	}
+	if got := Distribution([]float64{7}); got != 0 {
+		t.Fatalf("point mass entropy %v", got)
+	}
+}
+
+func TestQuickDistributionBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, r := range raw {
+			w[i] = float64(r)
+		}
+		e := Distribution(w)
+		return e >= 0 && e <= math.Log(float64(len(w)))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistributionScaleInvariant(t *testing.T) {
+	f := func(raw []uint8, scaleRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		scale := float64(scaleRaw)/16 + 0.5
+		w := make([]float64, len(raw))
+		w2 := make([]float64, len(raw))
+		for i, r := range raw {
+			w[i] = float64(r)
+			w2[i] = float64(r) * scale
+		}
+		return math.Abs(Distribution(w)-Distribution(w2)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

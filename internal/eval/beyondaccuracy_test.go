@@ -1,0 +1,191 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"longtailrec/internal/core"
+)
+
+func TestMeasureBeyondAccuracyValidation(t *testing.T) {
+	w := testWorld(t, 61)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(1)), 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureBeyondAccuracy(nil, w.Data, users, BeyondAccuracyOptions{}); err == nil {
+		t.Fatal("no recommenders accepted")
+	}
+	rec := popularityRecommender(t, w.Data)
+	if _, err := MeasureBeyondAccuracy([]core.Recommender{rec}, w.Data, nil, BeyondAccuracyOptions{}); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+}
+
+func TestBeyondAccuracySeparatesHeadAndTail(t *testing.T) {
+	w := testWorld(t, 62)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(2)), 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []core.Recommender{
+		popularityRecommender(t, w.Data),
+		antiPopularityRecommender(t, w.Data),
+	}
+	out, err := MeasureBeyondAccuracy(recs, w.Data, users, BeyondAccuracyOptions{Ontology: w.Ontology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	popM, tailM := out[0], out[1]
+	if popM.Name != "Pop" || tailM.Name != "AntiPop" {
+		t.Fatalf("order changed: %q, %q", popM.Name, tailM.Name)
+	}
+	// The tail-pusher must be strictly more novel and more cold-start
+	// heavy than the head-pusher.
+	if tailM.Novelty <= popM.Novelty {
+		t.Fatalf("novelty: tail %.2f <= head %.2f", tailM.Novelty, popM.Novelty)
+	}
+	if tailM.ColdStartShare < popM.ColdStartShare {
+		t.Fatalf("cold-start: tail %.2f < head %.2f", tailM.ColdStartShare, popM.ColdStartShare)
+	}
+}
+
+func TestBeyondAccuracyCoverageSeparation(t *testing.T) {
+	w := testWorld(t, 67)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(6)), 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The head-pusher recommends the same blockbusters to everyone; a
+	// per-user random scorer disperses across the catalog.
+	recs := []core.Recommender{
+		popularityRecommender(t, w.Data),
+		randomRecommender(t, w.Data, 11),
+	}
+	out, err := MeasureBeyondAccuracy(recs, w.Data, users, BeyondAccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Coverage >= out[1].Coverage {
+		t.Fatalf("coverage: head %.3f >= random %.3f", out[0].Coverage, out[1].Coverage)
+	}
+}
+
+func TestBeyondAccuracyBounds(t *testing.T) {
+	w := testWorld(t, 63)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(3)), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []core.Recommender{
+		popularityRecommender(t, w.Data),
+		randomRecommender(t, w.Data, 5),
+	}
+	out, err := MeasureBeyondAccuracy(recs, w.Data, users, BeyondAccuracyOptions{Ontology: w.Ontology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range out {
+		if m.Novelty < 0 {
+			t.Fatalf("%s: negative novelty %v", m.Name, m.Novelty)
+		}
+		if m.Serendipity < 0 || m.Serendipity > 1 {
+			t.Fatalf("%s: serendipity %v outside [0,1]", m.Name, m.Serendipity)
+		}
+		if m.IntraListSimilarity < 0 || m.IntraListSimilarity > 1 {
+			t.Fatalf("%s: ILS %v outside [0,1]", m.Name, m.IntraListSimilarity)
+		}
+		if m.Coverage <= 0 || m.Coverage > 1 {
+			t.Fatalf("%s: coverage %v outside (0,1]", m.Name, m.Coverage)
+		}
+		if m.ColdStartShare < 0 || m.ColdStartShare > 1 {
+			t.Fatalf("%s: cold-start share %v outside [0,1]", m.Name, m.ColdStartShare)
+		}
+		if m.UsersServed != len(users) {
+			t.Fatalf("%s: served %d of %d users", m.Name, m.UsersServed, len(users))
+		}
+	}
+}
+
+func TestBeyondAccuracyWithoutOntology(t *testing.T) {
+	w := testWorld(t, 64)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(4)), 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := MeasureBeyondAccuracy([]core.Recommender{popularityRecommender(t, w.Data)},
+		w.Data, users, BeyondAccuracyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].IntraListSimilarity != 0 {
+		t.Fatalf("ILS %v without ontology", out[0].IntraListSimilarity)
+	}
+	// Serendipity degrades to pure unexpectedness, still in [0,1].
+	if out[0].Serendipity < 0 || out[0].Serendipity > 1 {
+		t.Fatalf("serendipity %v", out[0].Serendipity)
+	}
+}
+
+func TestBeyondAccuracyErrorPropagation(t *testing.T) {
+	w := testWorld(t, 65)
+	users, err := w.Data.SampleUsers(rand.New(rand.NewSource(5)), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failing, err := core.NewFuncRecommender("Boom", w.Data.Graph(), func(u int) ([]float64, error) {
+		return nil, errScoring
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MeasureBeyondAccuracy([]core.Recommender{failing}, w.Data, users, BeyondAccuracyOptions{}); err == nil {
+		t.Fatal("scoring error swallowed")
+	}
+}
+
+func TestSelfInformation(t *testing.T) {
+	// An item rated by every user carries zero bits.
+	if got := selfInformation(100, 100); got != 0 {
+		t.Fatalf("universal item: %v bits", got)
+	}
+	// Halving popularity adds one bit.
+	if got := selfInformation(50, 100); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("half-popular item: %v bits", got)
+	}
+	// Zero popularity is clamped to 1 rating, not infinite.
+	if got := selfInformation(0, 100); math.IsInf(got, 1) || got <= 0 {
+		t.Fatalf("unrated item: %v bits", got)
+	}
+	// Popularity above the user count clamps at zero bits.
+	if got := selfInformation(500, 100); got != 0 {
+		t.Fatalf("over-popular item: %v bits", got)
+	}
+}
+
+func TestSelfInformationMonotone(t *testing.T) {
+	// Property: novelty is non-increasing in popularity.
+	f := func(a, b uint16) bool {
+		pa, pb := int(a%1000)+1, int(b%1000)+1
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return selfInformation(pa, 1000) >= selfInformation(pb, 1000)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraListSimilarityDegenerate(t *testing.T) {
+	w := testWorld(t, 66)
+	if got := intraListSimilarity(w.Ontology, []int{3}); got != 0 {
+		t.Fatalf("single-item list ILS %v", got)
+	}
+	// A list of one item repeated is maximally self-similar.
+	if got := intraListSimilarity(w.Ontology, []int{3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical-items ILS %v, want 1", got)
+	}
+}

@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"longtailrec/internal/core"
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/ontology"
+)
+
+// ListOptions configure the §5.2.2–§5.2.6 panel experiments.
+type ListOptions struct {
+	// ListSize is how many items each user receives (the paper uses 10).
+	// <= 0 means 10.
+	ListSize int
+	// Ontology enables the Table 3 similarity measurement when non-nil.
+	Ontology *ontology.Tree
+}
+
+func (o ListOptions) withDefaults() ListOptions {
+	if o.ListSize <= 0 {
+		o.ListSize = 10
+	}
+	return o
+}
+
+// ListMetrics aggregates one algorithm's behaviour over a test-user panel.
+type ListMetrics struct {
+	Name string
+	// PopularityAt[n-1] is the mean rating-frequency of the item at
+	// position n, averaged over users (Figure 6's y-axis).
+	PopularityAt []float64
+	// MeanPopularity averages popularity over all recommended slots.
+	MeanPopularity float64
+	// Diversity is Eq. 17 with the paper's normalization: unique items
+	// recommended across the panel divided by the ideal maximum
+	// min(catalog, users×listSize) (Table 2).
+	Diversity float64
+	// Similarity is the Table 3 ontology relevance (0 when no ontology
+	// was supplied).
+	Similarity float64
+	// SecondsPerUser is the mean wall-clock recommendation latency
+	// (Table 5's quantity).
+	SecondsPerUser float64
+	// UsersServed counts users who received at least one recommendation.
+	UsersServed int
+}
+
+// Lists runs every recommender over the user panel and measures the
+// popularity, diversity, similarity and latency of its top-N lists. The
+// panel users must exist in train (which supplies item popularity and the
+// preference sets for the similarity measurement).
+func Lists(recs []core.Recommender, train *dataset.Dataset, users []int, opts ListOptions) ([]ListMetrics, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("eval: no recommenders")
+	}
+	if len(users) == 0 {
+		return nil, fmt.Errorf("eval: empty user panel")
+	}
+	opts = opts.withDefaults()
+	pop := train.ItemPopularity()
+
+	ideal := len(users) * opts.ListSize
+	if train.NumItems() < ideal {
+		ideal = train.NumItems()
+	}
+
+	out := make([]ListMetrics, 0, len(recs))
+	for _, rec := range recs {
+		m := ListMetrics{Name: rec.Name(), PopularityAt: make([]float64, opts.ListSize)}
+		posCount := make([]int, opts.ListSize)
+		unique := make(map[int]struct{})
+		var popTotal float64
+		var popSlots int
+		var simTotal float64
+		var simUsers int
+		var elapsed time.Duration
+		for _, u := range users {
+			start := time.Now()
+			list, err := rec.Recommend(u, opts.ListSize)
+			elapsed += time.Since(start)
+			if err != nil {
+				return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, err)
+			}
+			if len(list) == 0 {
+				continue
+			}
+			m.UsersServed++
+			items := make([]int, len(list))
+			for n, s := range list {
+				items[n] = s.Item
+				unique[s.Item] = struct{}{}
+				m.PopularityAt[n] += float64(pop[s.Item])
+				posCount[n]++
+				popTotal += float64(pop[s.Item])
+				popSlots++
+			}
+			if opts.Ontology != nil {
+				prefs := make([]int, 0, 16)
+				for i := range train.UserItemSet(u) {
+					prefs = append(prefs, i)
+				}
+				simTotal += opts.Ontology.MeanListSimilarity(prefs, items)
+				simUsers++
+			}
+		}
+		for n := range m.PopularityAt {
+			if posCount[n] > 0 {
+				m.PopularityAt[n] /= float64(posCount[n])
+			}
+		}
+		if popSlots > 0 {
+			m.MeanPopularity = popTotal / float64(popSlots)
+		}
+		m.Diversity = float64(len(unique)) / float64(ideal)
+		if simUsers > 0 {
+			m.Similarity = simTotal / float64(simUsers)
+		}
+		m.SecondsPerUser = elapsed.Seconds() / float64(len(users))
+		out = append(out, m)
+	}
+	return out, nil
+}

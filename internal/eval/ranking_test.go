@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"longtailrec/internal/core"
+)
+
+func TestRankingMetricsOracleVsRandom(t *testing.T) {
+	w := testWorld(t, 21)
+	split := splitWorld(t, w, 25)
+	oracle := oracleRecommender(t, split.Train, split.Test)
+	rnd := randomRecommender(t, split.Train, 31)
+	res, err := RankingMetrics([]core.Recommender{oracle, rnd}, split.Train, split.Test,
+		RecallOptions{NumNegatives: 100, MaxN: 50, Seed: 9, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, r := res[0], res[1]
+	if o.MRR < 0.8 {
+		t.Fatalf("oracle MRR %v", o.MRR)
+	}
+	if o.NDCG < 0.8 {
+		t.Fatalf("oracle NDCG %v", o.NDCG)
+	}
+	if o.MeanRank > 2 {
+		t.Fatalf("oracle mean rank %v", o.MeanRank)
+	}
+	if r.MRR >= o.MRR || r.NDCG >= o.NDCG {
+		t.Fatalf("random (%v/%v) outranks oracle (%v/%v)", r.MRR, r.NDCG, o.MRR, o.NDCG)
+	}
+	// Random ranks uniformly over ~101 candidates.
+	if r.MeanRank < 20 || r.MeanRank > 85 {
+		t.Fatalf("random mean rank %v", r.MeanRank)
+	}
+	for _, x := range res {
+		if x.MRR < 0 || x.MRR > 1 || x.NDCG < 0 || x.NDCG > 1 {
+			t.Fatalf("%s metrics out of range: %+v", x.Name, x)
+		}
+		if x.Cases != 25 || x.Scored > x.Cases {
+			t.Fatalf("%s case counts: %+v", x.Name, x)
+		}
+	}
+}
+
+func TestRankingMetricsUnscoredTargets(t *testing.T) {
+	w := testWorld(t, 22)
+	split := splitWorld(t, w, 10)
+	neverScores, err := core.NewFuncRecommender("Never", split.Train.Graph(), func(u int) ([]float64, error) {
+		out := make([]float64, split.Train.NumItems())
+		for i := range out {
+			out[i] = math.Inf(-1)
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RankingMetrics([]core.Recommender{neverScores}, split.Train, split.Test,
+		RecallOptions{NumNegatives: 50, MaxN: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Scored != 0 || res[0].MRR != 0 || res[0].NDCG != 0 {
+		t.Fatalf("unscored targets produced metrics: %+v", res[0])
+	}
+}
+
+func TestRankingMetricsValidation(t *testing.T) {
+	w := testWorld(t, 23)
+	split := splitWorld(t, w, 5)
+	rec := constantRecommender(t, split.Train)
+	if _, err := RankingMetrics(nil, split.Train, split.Test, RecallOptions{}); err == nil {
+		t.Fatal("no recommenders accepted")
+	}
+	if _, err := RankingMetrics([]core.Recommender{rec}, split.Train, nil, RecallOptions{}); err == nil {
+		t.Fatal("empty test accepted")
+	}
+	if _, err := RankingMetrics([]core.Recommender{rec}, split.Train, split.Test,
+		RecallOptions{NumNegatives: 100000}); err == nil {
+		t.Fatal("excess negatives accepted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package eval implements the paper's evaluation protocols (§5.2): the
+// Recall@N leave-out test (Figure 5), the Popularity@N, Diversity and
+// ontology-Similarity list measurements (Figure 6, Tables 2–3), the µ
+// sweep (Table 4), per-user timing (Table 5), and the simulated user study
+// (Table 6, see DESIGN.md §4 for the substitution).
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"longtailrec/internal/core"
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/randutil"
+)
+
+// RecallOptions configure the §5.2.1 protocol.
+type RecallOptions struct {
+	// NumNegatives is how many random unrated items accompany each test
+	// item (the paper uses 1000). <= 0 means 1000.
+	NumNegatives int
+	// MaxN is the largest N in the Recall@N curve (the paper plots 1–50).
+	// <= 0 means 50.
+	MaxN int
+	// Seed drives the negative sampling.
+	Seed int64
+	// Parallelism is the number of goroutines scoring test cases
+	// concurrently. <= 0 means 1 (serial). Recommenders must be safe for
+	// concurrent reads, which every algorithm in this library is.
+	Parallelism int
+}
+
+func (o RecallOptions) withDefaults() RecallOptions {
+	if o.NumNegatives <= 0 {
+		o.NumNegatives = 1000
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 50
+	}
+	return o
+}
+
+// RecallResult is one algorithm's Recall@N curve; Recall[n-1] is Recall@n.
+type RecallResult struct {
+	Name   string
+	Recall []float64
+	// Cases is the number of test cases evaluated.
+	Cases int
+}
+
+// Recall runs the Figure 5 protocol: for every held-out (user, long-tail,
+// 5-star) rating, rank the test item among NumNegatives random items the
+// user never rated, and report the fraction of cases where it lands in the
+// top N.
+//
+// All recommenders must have been trained on train (the split's training
+// half); test comes from dataset.SplitLongTailTest.
+func Recall(recs []core.Recommender, train *dataset.Dataset, test []dataset.Rating, opts RecallOptions) ([]RecallResult, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("eval: no recommenders")
+	}
+	if len(test) == 0 {
+		return nil, fmt.Errorf("eval: empty test set")
+	}
+	opts = opts.withDefaults()
+	if train.NumItems() <= opts.NumNegatives {
+		return nil, fmt.Errorf("eval: catalog of %d items cannot supply %d negatives", train.NumItems(), opts.NumNegatives)
+	}
+	candidates := drawCandidates(train, test, opts)
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(test) {
+		workers = len(test)
+	}
+	results := make([]RecallResult, 0, len(recs))
+	for _, rec := range recs {
+		ranks, err := caseRanks(rec, test, candidates, workers)
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]int, opts.MaxN+1) // hits[n] = cases with rank <= n
+		for _, rank := range ranks {
+			if rank == 0 || rank > opts.MaxN {
+				continue
+			}
+			for n := rank; n <= opts.MaxN; n++ {
+				hits[n]++
+			}
+		}
+		curve := make([]float64, opts.MaxN)
+		for n := 1; n <= opts.MaxN; n++ {
+			curve[n-1] = float64(hits[n]) / float64(len(test))
+		}
+		results = append(results, RecallResult{Name: rec.Name(), Recall: curve, Cases: len(test)})
+	}
+	return results, nil
+}
+
+// drawCandidates pre-draws the candidate sets once so every algorithm
+// ranks the same items (the paper's "fair to all competitors"
+// requirement). Each set is NumNegatives unrated items plus the target.
+func drawCandidates(train *dataset.Dataset, test []dataset.Rating, opts RecallOptions) [][]int {
+	rng := rand.New(rand.NewSource(opts.Seed))
+	candidates := make([][]int, len(test))
+	for t, r := range test {
+		excl := make(map[int]struct{})
+		for i := range train.UserItemSet(r.User) {
+			excl[i] = struct{}{}
+		}
+		excl[r.Item] = struct{}{}
+		// Heavy raters may leave fewer than NumNegatives unrated items on
+		// small catalogs; clamp per case rather than failing the protocol.
+		n := opts.NumNegatives
+		if avail := train.NumItems() - len(excl); avail < n {
+			n = avail
+		}
+		negs := randutil.SampleExcluding(rng, train.NumItems(), n, excl)
+		candidates[t] = append(negs, r.Item)
+	}
+	return candidates
+}
+
+// caseRanks scores every test case under one recommender, fanning the
+// per-user scoring across workers goroutines. A rank of 0 marks a miss
+// (target unscored). The first scoring error aborts the whole pass.
+func caseRanks(rec core.Recommender, test []dataset.Rating, candidates [][]int, workers int) ([]int, error) {
+	ranks := make([]int, len(test))
+	if workers <= 1 {
+		for t, r := range test {
+			rank, err := oneCaseRank(rec, r, candidates[t])
+			if err != nil {
+				return nil, err
+			}
+			ranks[t] = rank
+		}
+		return ranks, nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(test) || failed.Load() {
+					return
+				}
+				rank, err := oneCaseRank(rec, test[t], candidates[t])
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed.Store(true)
+					return
+				}
+				ranks[t] = rank
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return ranks, nil
+}
+
+func oneCaseRank(rec core.Recommender, r dataset.Rating, cands []int) (int, error) {
+	scores, err := rec.ScoreItems(r.User)
+	if err != nil {
+		return 0, fmt.Errorf("eval: %s scoring user %d: %w", rec.Name(), r.User, err)
+	}
+	if math.IsInf(scores[r.Item], -1) {
+		return 0, nil // unscored target: a miss at every N
+	}
+	return core.RankOf(scores, r.Item, cands), nil
+}

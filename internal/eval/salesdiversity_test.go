@@ -1,0 +1,105 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"longtailrec/internal/core"
+)
+
+func TestGiniCoefficient(t *testing.T) {
+	// Perfectly even exposure → 0.
+	if g := giniCoefficient([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Fatalf("even Gini %v", g)
+	}
+	// All exposure on one of n items → (n-1)/n.
+	if g := giniCoefficient([]int{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini %v, want 0.75", g)
+	}
+	// Empty and zero vectors.
+	if giniCoefficient(nil) != 0 || giniCoefficient([]int{0, 0}) != 0 {
+		t.Fatal("degenerate Gini nonzero")
+	}
+	// Known small case: [1, 3] → G = 0.25.
+	if g := giniCoefficient([]int{1, 3}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("Gini([1,3]) = %v", g)
+	}
+}
+
+func TestGiniScaleInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(20)
+			b[i] = a[i] * 3
+		}
+		if math.Abs(giniCoefficient(a)-giniCoefficient(b)) > 1e-12 {
+			t.Fatal("Gini not scale invariant")
+		}
+	}
+}
+
+func TestGiniBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(40)
+		counts := make([]int, n)
+		for i := range counts {
+			counts[i] = rng.Intn(50)
+		}
+		g := giniCoefficient(counts)
+		if g < -1e-12 || g > 1 {
+			t.Fatalf("Gini %v out of [0,1] for %v", g, counts)
+		}
+	}
+}
+
+func TestMeasureSalesDiversity(t *testing.T) {
+	w := testWorld(t, 11)
+	d := w.Data
+	users, err := d.SampleUsers(rand.New(rand.NewSource(3)), 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []core.Recommender{
+		popularityRecommender(t, d), // same head list for everyone
+		randomRecommender(t, d, 5),  // personalized spread
+	}
+	res, err := MeasureSalesDiversity(recs, d, users, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, rnd := res[0], res[1]
+	if pop.Gini <= rnd.Gini {
+		t.Fatalf("popularity pusher Gini %v should exceed random %v", pop.Gini, rnd.Gini)
+	}
+	if pop.Coverage >= rnd.Coverage {
+		t.Fatalf("popularity pusher coverage %v should be below random %v", pop.Coverage, rnd.Coverage)
+	}
+	if rnd.TailShare <= pop.TailShare {
+		t.Fatalf("random tail share %v should exceed popularity pusher %v", rnd.TailShare, pop.TailShare)
+	}
+	for _, r := range res {
+		if r.Gini < 0 || r.Gini > 1 || r.Coverage < 0 || r.Coverage > 1 || r.TailShare < 0 || r.TailShare > 1 {
+			t.Fatalf("%s metrics out of range: %+v", r.Name, r)
+		}
+		if r.Slots != 30*10 {
+			t.Fatalf("%s slots %d", r.Name, r.Slots)
+		}
+	}
+}
+
+func TestMeasureSalesDiversityValidation(t *testing.T) {
+	w := testWorld(t, 12)
+	rec := constantRecommender(t, w.Data)
+	if _, err := MeasureSalesDiversity(nil, w.Data, []int{0}, 10); err == nil {
+		t.Fatal("no recommenders accepted")
+	}
+	if _, err := MeasureSalesDiversity([]core.Recommender{rec}, w.Data, nil, 10); err == nil {
+		t.Fatal("empty panel accepted")
+	}
+}

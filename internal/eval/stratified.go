@@ -1,0 +1,306 @@
+// Popularity-stratified recall and bootstrap confidence intervals — the
+// statistical-rigor layer over the Figure 5 protocol. Stratifying by item
+// popularity is how Cremonesi et al. (the paper's PureSVD source) separate
+// head accuracy from tail accuracy; bootstrap CIs say whether an observed
+// gap between two algorithms survives resampling noise.
+
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"longtailrec/internal/core"
+	"longtailrec/internal/dataset"
+)
+
+// StratumResult is one popularity bucket of a stratified recall run.
+type StratumResult struct {
+	// MaxPopularity is the bucket's inclusive upper popularity bound.
+	MaxPopularity int
+	// Cases is how many test ratings fell in the bucket.
+	Cases int
+	// RecallAtN is Recall@N within the bucket; index n-1 holds Recall@n.
+	RecallAtN []float64
+}
+
+// StratifiedResult is one algorithm's recall broken down by the
+// popularity of the held-out item.
+type StratifiedResult struct {
+	Name    string
+	Strata  []StratumResult
+	Overall []float64
+}
+
+// StratifiedRecall runs the Figure 5 protocol once per algorithm and
+// reports recall separately for each popularity bucket. bounds are the
+// inclusive upper popularity limits of the buckets in ascending order
+// (e.g. 10, 50, math.MaxInt for tail / torso / head); the final bound is
+// raised to cover every item if needed.
+func StratifiedRecall(recs []core.Recommender, train *dataset.Dataset, test []dataset.Rating, bounds []int, opts RecallOptions) ([]StratifiedResult, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("eval: no strata bounds")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("eval: strata bounds must be strictly ascending, got %v", bounds)
+		}
+	}
+	ranksPer, opts, err := allCaseRanks(recs, train, test, opts)
+	if err != nil {
+		return nil, err
+	}
+	pop := train.ItemPopularity()
+	// The last bound must cover every test item.
+	maxPop := 0
+	for _, r := range test {
+		if pop[r.Item] > maxPop {
+			maxPop = pop[r.Item]
+		}
+	}
+	bounds = append([]int(nil), bounds...)
+	if bounds[len(bounds)-1] < maxPop {
+		bounds[len(bounds)-1] = maxPop
+	}
+	stratumOf := func(item int) int {
+		p := pop[item]
+		for s, b := range bounds {
+			if p <= b {
+				return s
+			}
+		}
+		return len(bounds) - 1
+	}
+
+	out := make([]StratifiedResult, 0, len(recs))
+	for ri, rec := range recs {
+		res := StratifiedResult{Name: rec.Name(), Overall: curveFromRanks(ranksPer[ri], nil, opts.MaxN)}
+		for s, b := range bounds {
+			// Must stay non-nil: curveFromRanks reads nil as "all cases",
+			// which would report the overall curve for an empty stratum.
+			idx := make([]int, 0, len(test))
+			for t, r := range test {
+				if stratumOf(r.Item) == s {
+					idx = append(idx, t)
+				}
+			}
+			res.Strata = append(res.Strata, StratumResult{
+				MaxPopularity: b,
+				Cases:         len(idx),
+				RecallAtN:     curveFromRanks(ranksPer[ri], idx, opts.MaxN),
+			})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RecallInterval is a bootstrap confidence interval for one Recall@N point.
+type RecallInterval struct {
+	Name     string
+	N        int
+	Point    float64 // recall on the full test set
+	Lo, Hi   float64 // percentile bootstrap bounds
+	Level    float64 // e.g. 0.95
+	Resample int     // bootstrap replicates
+}
+
+// BootstrapRecall estimates a percentile-bootstrap confidence interval for
+// Recall@n by resampling test cases with replacement. level is the
+// two-sided confidence level (0 < level < 1); resamples <= 0 means 1000.
+func BootstrapRecall(recs []core.Recommender, train *dataset.Dataset, test []dataset.Rating, n int, level float64, resamples int, opts RecallOptions) ([]RecallInterval, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: bootstrap N %d, need >= 1", n)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("eval: confidence level %v outside (0,1)", level)
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if opts.MaxN < n {
+		opts.MaxN = n
+	}
+	ranksPer, opts, err := allCaseRanks(recs, train, test, opts)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7919))
+	out := make([]RecallInterval, 0, len(recs))
+	for ri, rec := range recs {
+		ranks := ranksPer[ri]
+		hits := make([]float64, len(ranks)) // 1 if rank in [1,n]
+		point := 0.0
+		for t, rank := range ranks {
+			if rank >= 1 && rank <= n {
+				hits[t] = 1
+				point++
+			}
+		}
+		point /= float64(len(ranks))
+		stats := make([]float64, resamples)
+		for b := 0; b < resamples; b++ {
+			total := 0.0
+			for c := 0; c < len(hits); c++ {
+				total += hits[rng.Intn(len(hits))]
+			}
+			stats[b] = total / float64(len(hits))
+		}
+		sort.Float64s(stats)
+		alpha := (1 - level) / 2
+		lo := stats[clampIndex(int(math.Floor(alpha*float64(resamples))), resamples)]
+		hi := stats[clampIndex(int(math.Ceil((1-alpha)*float64(resamples)))-1, resamples)]
+		out = append(out, RecallInterval{
+			Name: rec.Name(), N: n, Point: point,
+			Lo: lo, Hi: hi, Level: level, Resample: resamples,
+		})
+	}
+	return out, nil
+}
+
+// DiffInterval is a paired-bootstrap confidence interval on the Recall@N
+// difference between two algorithms. Significant means the interval
+// excludes zero — the observed gap survives resampling noise.
+type DiffInterval struct {
+	NameA, NameB string
+	N            int
+	Diff         float64 // Recall_A@N − Recall_B@N on the full test set
+	Lo, Hi       float64
+	Level        float64
+	Significant  bool
+}
+
+// PairedBootstrapDiff estimates a percentile-bootstrap interval on
+// Recall@n(a) − Recall@n(b). Pairing matters: both algorithms rank the
+// same candidate sets, so resampling test cases jointly cancels the
+// shared per-case difficulty that independent intervals would double
+// count.
+func PairedBootstrapDiff(a, b core.Recommender, train *dataset.Dataset, test []dataset.Rating, n int, level float64, resamples int, opts RecallOptions) (*DiffInterval, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("eval: paired bootstrap N %d, need >= 1", n)
+	}
+	if level <= 0 || level >= 1 {
+		return nil, fmt.Errorf("eval: confidence level %v outside (0,1)", level)
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if opts.MaxN < n {
+		opts.MaxN = n
+	}
+	ranksPer, opts, err := allCaseRanks([]core.Recommender{a, b}, train, test, opts)
+	if err != nil {
+		return nil, err
+	}
+	diff := make([]float64, len(test)) // per-case hit difference in {-1,0,1}
+	point := 0.0
+	for t := range test {
+		var da, db float64
+		if r := ranksPer[0][t]; r >= 1 && r <= n {
+			da = 1
+		}
+		if r := ranksPer[1][t]; r >= 1 && r <= n {
+			db = 1
+		}
+		diff[t] = da - db
+		point += diff[t]
+	}
+	point /= float64(len(test))
+	rng := rand.New(rand.NewSource(opts.Seed + 104729))
+	stats := make([]float64, resamples)
+	for bt := 0; bt < resamples; bt++ {
+		total := 0.0
+		for c := 0; c < len(diff); c++ {
+			total += diff[rng.Intn(len(diff))]
+		}
+		stats[bt] = total / float64(len(diff))
+	}
+	sort.Float64s(stats)
+	alpha := (1 - level) / 2
+	lo := stats[clampIndex(int(math.Floor(alpha*float64(resamples))), resamples)]
+	hi := stats[clampIndex(int(math.Ceil((1-alpha)*float64(resamples)))-1, resamples)]
+	return &DiffInterval{
+		NameA: a.Name(), NameB: b.Name(), N: n,
+		Diff: point, Lo: lo, Hi: hi, Level: level,
+		Significant: lo > 0 || hi < 0,
+	}, nil
+}
+
+// allCaseRanks draws the shared candidate sets and computes per-case ranks
+// for every recommender — the common core of Recall, StratifiedRecall and
+// BootstrapRecall.
+func allCaseRanks(recs []core.Recommender, train *dataset.Dataset, test []dataset.Rating, opts RecallOptions) ([][]int, RecallOptions, error) {
+	if len(recs) == 0 {
+		return nil, opts, fmt.Errorf("eval: no recommenders")
+	}
+	if len(test) == 0 {
+		return nil, opts, fmt.Errorf("eval: empty test set")
+	}
+	opts = opts.withDefaults()
+	if train.NumItems() <= opts.NumNegatives {
+		return nil, opts, fmt.Errorf("eval: catalog of %d items cannot supply %d negatives", train.NumItems(), opts.NumNegatives)
+	}
+	candidates := drawCandidates(train, test, opts)
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > len(test) {
+		workers = len(test)
+	}
+	out := make([][]int, len(recs))
+	for ri, rec := range recs {
+		ranks, err := caseRanks(rec, test, candidates, workers)
+		if err != nil {
+			return nil, opts, err
+		}
+		out[ri] = ranks
+	}
+	return out, opts, nil
+}
+
+// curveFromRanks converts per-case ranks into a Recall@1..MaxN curve. idx
+// selects a subset of cases; nil means all. An empty subset yields zeros.
+func curveFromRanks(ranks []int, idx []int, maxN int) []float64 {
+	curve := make([]float64, maxN)
+	cases := len(ranks)
+	if idx != nil {
+		cases = len(idx)
+	}
+	if cases == 0 {
+		return curve
+	}
+	consider := func(rank int) {
+		if rank == 0 || rank > maxN {
+			return
+		}
+		for n := rank - 1; n < maxN; n++ {
+			curve[n]++
+		}
+	}
+	if idx == nil {
+		for _, rank := range ranks {
+			consider(rank)
+		}
+	} else {
+		for _, t := range idx {
+			consider(ranks[t])
+		}
+	}
+	for n := range curve {
+		curve[n] /= float64(cases)
+	}
+	return curve
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

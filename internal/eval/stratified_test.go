@@ -1,0 +1,292 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"longtailrec/internal/core"
+)
+
+func TestStratifiedRecallValidation(t *testing.T) {
+	w := testWorld(t, 71)
+	split := splitWorld(t, w, 20)
+	rec := oracleRecommender(t, split.Train, split.Test)
+	opts := RecallOptions{NumNegatives: 50, MaxN: 20, Seed: 1}
+	if _, err := StratifiedRecall([]core.Recommender{rec}, split.Train, split.Test, nil, opts); err == nil {
+		t.Fatal("no bounds accepted")
+	}
+	if _, err := StratifiedRecall([]core.Recommender{rec}, split.Train, split.Test, []int{10, 10}, opts); err == nil {
+		t.Fatal("non-ascending bounds accepted")
+	}
+	if _, err := StratifiedRecall(nil, split.Train, split.Test, []int{10}, opts); err == nil {
+		t.Fatal("no recommenders accepted")
+	}
+}
+
+func TestStratifiedRecallPartitionsCases(t *testing.T) {
+	w := testWorld(t, 72)
+	split := splitWorld(t, w, 25)
+	rec := oracleRecommender(t, split.Train, split.Test)
+	opts := RecallOptions{NumNegatives: 50, MaxN: 20, Seed: 2}
+	res, err := StratifiedRecall([]core.Recommender{rec}, split.Train, split.Test, []int{3, 8, 1 << 30}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Strata) != 3 {
+		t.Fatalf("shape %+v", res)
+	}
+	total := 0
+	for _, s := range res[0].Strata {
+		total += s.Cases
+		for n := 1; n < len(s.RecallAtN); n++ {
+			if s.RecallAtN[n] < s.RecallAtN[n-1] {
+				t.Fatalf("stratum %d recall not monotone", s.MaxPopularity)
+			}
+		}
+	}
+	if total != len(split.Test) {
+		t.Fatalf("strata cover %d of %d cases", total, len(split.Test))
+	}
+	// The oracle hits everything, so every non-empty stratum is ~1 at max N.
+	for _, s := range res[0].Strata {
+		if s.Cases == 0 {
+			continue
+		}
+		if got := s.RecallAtN[len(s.RecallAtN)-1]; got < 0.99 {
+			t.Fatalf("oracle stratum %d recall %v", s.MaxPopularity, got)
+		}
+	}
+}
+
+func TestStratifiedRecallOverallMatchesRecall(t *testing.T) {
+	w := testWorld(t, 73)
+	split := splitWorld(t, w, 20)
+	recs := []core.Recommender{popularityRecommender(t, split.Train)}
+	opts := RecallOptions{NumNegatives: 60, MaxN: 15, Seed: 3}
+	plain, err := Recall(recs, split.Train, split.Test, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strat, err := StratifiedRecall(recs, split.Train, split.Test, []int{1 << 30}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := range plain[0].Recall {
+		if math.Abs(plain[0].Recall[n]-strat[0].Overall[n]) > 1e-12 {
+			t.Fatalf("overall curve diverges at N=%d: %v vs %v", n+1, strat[0].Overall[n], plain[0].Recall[n])
+		}
+		// A single all-covering stratum must equal the overall curve too.
+		if math.Abs(plain[0].Recall[n]-strat[0].Strata[0].RecallAtN[n]) > 1e-12 {
+			t.Fatalf("single stratum diverges at N=%d", n+1)
+		}
+	}
+}
+
+func TestStratifiedRecallTailVsHead(t *testing.T) {
+	// A popularity scorer must do much better on head strata than tail
+	// strata — the effect stratification exists to expose.
+	w := testWorld(t, 74)
+	split := splitWorld(t, w, 30)
+	rec := popularityRecommender(t, split.Train)
+	opts := RecallOptions{NumNegatives: 60, MaxN: 30, Seed: 4}
+	res, err := StratifiedRecall([]core.Recommender{rec}, split.Train, split.Test, []int{6, 1 << 30}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, head := res[0].Strata[0], res[0].Strata[1]
+	if tail.Cases == 0 || head.Cases == 0 {
+		t.Skipf("degenerate split: tail %d, head %d cases", tail.Cases, head.Cases)
+	}
+	if tail.RecallAtN[29] >= head.RecallAtN[29] {
+		t.Fatalf("popularity scorer: tail recall %v >= head recall %v",
+			tail.RecallAtN[29], head.RecallAtN[29])
+	}
+}
+
+func TestStratifiedRecallEmptyStratumIsZero(t *testing.T) {
+	// Regression: an empty stratum must report a zero curve, not the
+	// overall curve (a nil index slice once meant "all cases").
+	w := testWorld(t, 79)
+	split := splitWorld(t, w, 15)
+	rec := oracleRecommender(t, split.Train, split.Test)
+	// Held-out items are all long-tail, so a popularity-0 bucket below
+	// every real popularity is guaranteed empty... popularity >= 1 for
+	// rated items, so use an impossible bound structure: bucket 1 catches
+	// everything with pop <= huge, leaving bucket 2 empty.
+	res, err := StratifiedRecall([]core.Recommender{rec}, split.Train, split.Test,
+		[]int{1 << 29, 1 << 30}, RecallOptions{NumNegatives: 50, MaxN: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := res[0].Strata[1]
+	if empty.Cases != 0 {
+		t.Fatalf("second stratum has %d cases, expected 0", empty.Cases)
+	}
+	for n, v := range empty.RecallAtN {
+		if v != 0 {
+			t.Fatalf("empty stratum recall@%d = %v, want 0", n+1, v)
+		}
+	}
+}
+
+func TestBootstrapRecallValidation(t *testing.T) {
+	w := testWorld(t, 75)
+	split := splitWorld(t, w, 15)
+	rec := oracleRecommender(t, split.Train, split.Test)
+	opts := RecallOptions{NumNegatives: 50, Seed: 5}
+	if _, err := BootstrapRecall([]core.Recommender{rec}, split.Train, split.Test, 0, 0.95, 100, opts); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := BootstrapRecall([]core.Recommender{rec}, split.Train, split.Test, 10, 0, 100, opts); err == nil {
+		t.Fatal("level=0 accepted")
+	}
+	if _, err := BootstrapRecall([]core.Recommender{rec}, split.Train, split.Test, 10, 1, 100, opts); err == nil {
+		t.Fatal("level=1 accepted")
+	}
+}
+
+func TestBootstrapRecallBracketsPoint(t *testing.T) {
+	w := testWorld(t, 76)
+	split := splitWorld(t, w, 25)
+	recs := []core.Recommender{
+		oracleRecommender(t, split.Train, split.Test),
+		randomRecommender(t, split.Train, 6),
+	}
+	res, err := BootstrapRecall(recs, split.Train, split.Test, 10, 0.95, 400,
+		RecallOptions{NumNegatives: 80, MaxN: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results %d", len(res))
+	}
+	for _, r := range res {
+		if r.Lo > r.Point+1e-12 || r.Hi < r.Point-1e-12 {
+			t.Fatalf("%s: interval [%v, %v] does not bracket point %v", r.Name, r.Lo, r.Hi, r.Point)
+		}
+		if r.Lo < 0 || r.Hi > 1 {
+			t.Fatalf("%s: interval [%v, %v] outside [0,1]", r.Name, r.Lo, r.Hi)
+		}
+		if r.N != 10 || r.Level != 0.95 || r.Resample != 400 {
+			t.Fatalf("metadata %+v", r)
+		}
+	}
+	// The oracle's interval must sit entirely above random's.
+	if res[0].Lo <= res[1].Hi {
+		t.Fatalf("oracle CI [%v,%v] overlaps random CI [%v,%v]",
+			res[0].Lo, res[0].Hi, res[1].Lo, res[1].Hi)
+	}
+}
+
+func TestBootstrapRecallDeterministic(t *testing.T) {
+	w := testWorld(t, 77)
+	split := splitWorld(t, w, 15)
+	rec := popularityRecommender(t, split.Train)
+	opts := RecallOptions{NumNegatives: 50, MaxN: 10, Seed: 7}
+	a, err := BootstrapRecall([]core.Recommender{rec}, split.Train, split.Test, 10, 0.9, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapRecall([]core.Recommender{rec}, split.Train, split.Test, 10, 0.9, 200, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != b[0] {
+		t.Fatalf("same seed, different intervals: %+v vs %+v", a[0], b[0])
+	}
+}
+
+func TestPairedBootstrapDiffSeparatesOracleFromRandom(t *testing.T) {
+	w := testWorld(t, 81)
+	split := splitWorld(t, w, 25)
+	oracle := oracleRecommender(t, split.Train, split.Test)
+	random := randomRecommender(t, split.Train, 4)
+	opts := RecallOptions{NumNegatives: 80, MaxN: 10, Seed: 9}
+	d, err := PairedBootstrapDiff(oracle, random, split.Train, split.Test, 10, 0.95, 400, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NameA != "Oracle" || d.NameB != "Rand" {
+		t.Fatalf("names %+v", d)
+	}
+	if d.Diff <= 0 {
+		t.Fatalf("oracle-random diff %v", d.Diff)
+	}
+	if !d.Significant || d.Lo <= 0 {
+		t.Fatalf("clear gap not significant: %+v", d)
+	}
+	if d.Lo > d.Diff || d.Hi < d.Diff {
+		t.Fatalf("interval [%v,%v] excludes point %v", d.Lo, d.Hi, d.Diff)
+	}
+}
+
+func TestPairedBootstrapDiffSelfIsZero(t *testing.T) {
+	w := testWorld(t, 82)
+	split := splitWorld(t, w, 15)
+	rec := popularityRecommender(t, split.Train)
+	d, err := PairedBootstrapDiff(rec, rec, split.Train, split.Test, 10, 0.95, 200,
+		RecallOptions{NumNegatives: 60, MaxN: 10, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Diff != 0 || d.Lo != 0 || d.Hi != 0 || d.Significant {
+		t.Fatalf("self comparison %+v", d)
+	}
+}
+
+func TestPairedBootstrapDiffValidation(t *testing.T) {
+	w := testWorld(t, 83)
+	split := splitWorld(t, w, 10)
+	rec := popularityRecommender(t, split.Train)
+	opts := RecallOptions{NumNegatives: 60, Seed: 11}
+	if _, err := PairedBootstrapDiff(rec, rec, split.Train, split.Test, 0, 0.95, 100, opts); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	if _, err := PairedBootstrapDiff(rec, rec, split.Train, split.Test, 10, 2, 100, opts); err == nil {
+		t.Fatal("level=2 accepted")
+	}
+	if _, err := PairedBootstrapDiff(rec, rec, split.Train, nil, 10, 0.95, 100, opts); err == nil {
+		t.Fatal("empty test set accepted")
+	}
+}
+
+func TestCurveFromRanksSubset(t *testing.T) {
+	ranks := []int{1, 3, 0, 11, 2}
+	// All cases, MaxN 10: hits are ranks 1,2,3 → 3/5 at N≥3.
+	full := curveFromRanks(ranks, nil, 10)
+	if full[0] != 0.2 || full[2] != 0.6 || full[9] != 0.6 {
+		t.Fatalf("full curve %v", full)
+	}
+	// Subset {0, 2}: ranks 1 and 0 → 1/2 everywhere.
+	sub := curveFromRanks(ranks, []int{0, 2}, 10)
+	if sub[0] != 0.5 || sub[9] != 0.5 {
+		t.Fatalf("subset curve %v", sub)
+	}
+	// Empty subset: all zeros.
+	empty := curveFromRanks(ranks, []int{}, 10)
+	for _, v := range empty {
+		if v != 0 {
+			t.Fatalf("empty subset curve %v", empty)
+		}
+	}
+}
+
+func TestClampIndex(t *testing.T) {
+	if clampIndex(-1, 5) != 0 || clampIndex(5, 5) != 4 || clampIndex(3, 5) != 3 {
+		t.Fatal("clampIndex broken")
+	}
+}
+
+// splitWorldHelper sanity: splitWorld is defined in eval_test.go and
+// reused here; this test pins the assumption that the held-out ratings
+// are all long-tail (the strata tests depend on popularity spread).
+func TestSplitWorldHoldsOutTailRatings(t *testing.T) {
+	w := testWorld(t, 78)
+	split := splitWorld(t, w, 10)
+	tail := w.Data.LongTailItems(0.2)
+	for _, r := range split.Test {
+		if _, ok := tail[r.Item]; !ok {
+			t.Fatalf("held-out item %d not in the catalog tail", r.Item)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package graph models the undirected, edge-weighted user–item bipartite
+// graph of Section 3.1 of the paper: users and items are nodes, a rating
+// w(u,i) is an undirected edge whose weight is the rating score.
+//
+// Node numbering convention (used throughout the library): user u occupies
+// node u, item i occupies node NumUsers+i. The adjacency matrix is stored
+// symmetric in CSR form, so random-walk transition probabilities
+// p_ij = a(i,j)/d_i (Eq. 1) fall out of row normalization.
+package graph
+
+import (
+	"fmt"
+
+	"longtailrec/internal/sparse"
+)
+
+// Rating is one user–item edge with its weight (the rating score).
+type Rating struct {
+	User, Item int
+	Weight     float64
+}
+
+// Bipartite is an immutable user–item graph.
+type Bipartite struct {
+	numUsers, numItems int
+	adj                *sparse.CSR // (NU+NI)×(NU+NI), symmetric
+	degrees            []float64   // weighted degree d_i per node
+	totalWeight        float64     // Σ_ij a(i,j) (each edge counted twice)
+}
+
+// Builder accumulates ratings before freezing them into a Bipartite.
+type Builder struct {
+	numUsers, numItems int
+	coo                *sparse.COO
+}
+
+// NewBuilder creates a builder for a graph with the given universe sizes.
+func NewBuilder(numUsers, numItems int) *Builder {
+	if numUsers < 0 || numItems < 0 {
+		panic(fmt.Sprintf("graph: NewBuilder(%d, %d)", numUsers, numItems))
+	}
+	n := numUsers + numItems
+	return &Builder{
+		numUsers: numUsers,
+		numItems: numItems,
+		coo:      sparse.NewCOO(n, n),
+	}
+}
+
+// AddRating records the undirected edge (user u — item i) with weight w.
+// Duplicate pairs are summed. Non-positive weights are rejected since the
+// paper's graph has strictly positive edge weights.
+func (b *Builder) AddRating(u, i int, w float64) error {
+	if u < 0 || u >= b.numUsers {
+		return fmt.Errorf("graph: user %d out of range [0,%d)", u, b.numUsers)
+	}
+	if i < 0 || i >= b.numItems {
+		return fmt.Errorf("graph: item %d out of range [0,%d)", i, b.numItems)
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge weight %v must be positive", w)
+	}
+	un, in := u, b.numUsers+i
+	b.coo.Add(un, in, w)
+	b.coo.Add(in, un, w)
+	return nil
+}
+
+// Build freezes the builder into an immutable graph.
+func (b *Builder) Build() *Bipartite {
+	adj := b.coo.ToCSR()
+	n := b.numUsers + b.numItems
+	g := &Bipartite{
+		numUsers: b.numUsers,
+		numItems: b.numItems,
+		adj:      adj,
+		degrees:  make([]float64, n),
+	}
+	for v := 0; v < n; v++ {
+		d := adj.RowSum(v)
+		g.degrees[v] = d
+		g.totalWeight += d
+	}
+	return g
+}
+
+// FromRatings builds a graph directly from a rating slice.
+func FromRatings(numUsers, numItems int, ratings []Rating) (*Bipartite, error) {
+	b := NewBuilder(numUsers, numItems)
+	for _, r := range ratings {
+		if err := b.AddRating(r.User, r.Item, r.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// NumUsers returns the number of user nodes.
+func (g *Bipartite) NumUsers() int { return g.numUsers }
+
+// NumItems returns the number of item nodes.
+func (g *Bipartite) NumItems() int { return g.numItems }
+
+// NumNodes returns the total node count.
+func (g *Bipartite) NumNodes() int { return g.numUsers + g.numItems }
+
+// NumEdges returns the number of undirected edges.
+func (g *Bipartite) NumEdges() int { return g.adj.NNZ() / 2 }
+
+// UserNode maps a user index to its node id.
+func (g *Bipartite) UserNode(u int) int {
+	if u < 0 || u >= g.numUsers {
+		panic(fmt.Sprintf("graph: user %d out of range", u))
+	}
+	return u
+}
+
+// ItemNode maps an item index to its node id.
+func (g *Bipartite) ItemNode(i int) int {
+	if i < 0 || i >= g.numItems {
+		panic(fmt.Sprintf("graph: item %d out of range", i))
+	}
+	return g.numUsers + i
+}
+
+// IsUserNode reports whether node v is a user.
+func (g *Bipartite) IsUserNode(v int) bool { return v >= 0 && v < g.numUsers }
+
+// IsItemNode reports whether node v is an item.
+func (g *Bipartite) IsItemNode(v int) bool {
+	return v >= g.numUsers && v < g.numUsers+g.numItems
+}
+
+// ItemIndex maps an item node id back to its item index.
+func (g *Bipartite) ItemIndex(v int) int {
+	if !g.IsItemNode(v) {
+		panic(fmt.Sprintf("graph: node %d is not an item", v))
+	}
+	return v - g.numUsers
+}
+
+// Degree returns the weighted degree d_v of node v.
+func (g *Bipartite) Degree(v int) float64 { return g.degrees[v] }
+
+// Degrees returns the weighted degree vector (aliases internal storage).
+func (g *Bipartite) Degrees() []float64 { return g.degrees }
+
+// TotalWeight returns Σ_ij a(i,j) with each undirected edge counted twice,
+// the normalizer of the stationary distribution (Eq. 2).
+func (g *Bipartite) TotalWeight() float64 { return g.totalWeight }
+
+// Adjacency returns the symmetric adjacency matrix (shared; do not modify).
+func (g *Bipartite) Adjacency() *sparse.CSR { return g.adj }
+
+// Neighbors returns the adjacent node ids and edge weights of v. The slices
+// alias internal storage and must not be modified.
+func (g *Bipartite) Neighbors(v int) (nodes []int, weights []float64) {
+	return g.adj.Row(v)
+}
+
+// Weight returns the edge weight between nodes v and w (0 if absent).
+func (g *Bipartite) Weight(v, w int) float64 { return g.adj.At(v, w) }
+
+// Stationary returns the stationary distribution π of the random walk
+// (Eq. 2): π_v = d_v / Σ_w d_w. Nodes in different components still get
+// degree-proportional mass, consistent with the formula.
+func (g *Bipartite) Stationary() []float64 {
+	pi := make([]float64, g.NumNodes())
+	if g.totalWeight == 0 {
+		return pi
+	}
+	for v, d := range g.degrees {
+		pi[v] = d / g.totalWeight
+	}
+	return pi
+}
+
+// ItemPopularity returns, for every item, the number of users who rated it
+// (its rating frequency — the paper's popularity measure in §5.2.2).
+func (g *Bipartite) ItemPopularity() []int {
+	pop := make([]int, g.numItems)
+	for i := 0; i < g.numItems; i++ {
+		pop[i] = g.adj.RowNNZ(g.ItemNode(i))
+	}
+	return pop
+}
+
+// UserItems returns the item indices rated by user u (the set S_u) along
+// with the rating weights. The returned slices are freshly allocated.
+func (g *Bipartite) UserItems(u int) (items []int, weights []float64) {
+	nodes, ws := g.Neighbors(g.UserNode(u))
+	items = make([]int, len(nodes))
+	weights = make([]float64, len(nodes))
+	for k, v := range nodes {
+		items[k] = g.ItemIndex(v)
+		weights[k] = ws[k]
+	}
+	return items, weights
+}
+
+// ConnectedComponents labels every node with a component id (0-based,
+// ordered by discovery) and returns the labels plus the component count.
+// Isolated nodes (degree 0) each form their own component.
+func (g *Bipartite) ConnectedComponents() (labels []int, count int) {
+	n := g.NumNodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	queue := make([]int, 0, n)
+	for start := 0; start < n; start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			nbrs, _ := g.Neighbors(v)
+			for _, w := range nbrs {
+				if labels[w] == -1 {
+					labels[w] = count
+					queue = append(queue, w)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"fmt"
+
+	"longtailrec/internal/sparse"
+)
+
+// Subgraph is a node-induced local neighborhood of a Bipartite graph,
+// produced by the breadth-first expansion of Algorithm 1 step 2. It keeps
+// its own compact node numbering (0..len(Nodes)-1) plus the mapping back to
+// the parent graph.
+//
+// Edges between two subgraph nodes are retained with their original
+// weights; edges leaving the subgraph are dropped, so the local random walk
+// is the paper's truncated approximation of the global one.
+type Subgraph struct {
+	parent  *Bipartite
+	nodes   []int       // local id -> original node id (BFS discovery order)
+	localOf map[int]int // original node id -> local id
+	adj     *sparse.CSR // local symmetric adjacency
+	items   int         // number of item nodes contained
+}
+
+// ExtractSubgraph grows a subgraph outward from the seed nodes by
+// breadth-first search, following Algorithm 1: expansion stops once the
+// subgraph contains more than maxItems item nodes (seeds are always kept,
+// whatever their type). A non-positive maxItems means "no limit", yielding
+// the whole reachable component.
+func ExtractSubgraph(g *Bipartite, seeds []int, maxItems int) (*Subgraph, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("graph: ExtractSubgraph needs at least one seed")
+	}
+	n := g.NumNodes()
+	sg := &Subgraph{
+		parent:  g,
+		localOf: make(map[int]int),
+	}
+	queue := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("graph: seed node %d out of range [0,%d)", s, n)
+		}
+		if _, seen := sg.localOf[s]; seen {
+			continue
+		}
+		sg.add(s)
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		if maxItems > 0 && sg.items > maxItems {
+			break
+		}
+		v := queue[0]
+		queue = queue[1:]
+		nbrs, _ := g.Neighbors(v)
+		for _, w := range nbrs {
+			if _, seen := sg.localOf[w]; seen {
+				continue
+			}
+			if maxItems > 0 && sg.items > maxItems && g.IsItemNode(w) {
+				continue
+			}
+			sg.add(w)
+			queue = append(queue, w)
+		}
+	}
+	sg.adj = g.Adjacency().Submatrix(sg.nodes, sg.nodes)
+	return sg, nil
+}
+
+func (sg *Subgraph) add(orig int) {
+	sg.localOf[orig] = len(sg.nodes)
+	sg.nodes = append(sg.nodes, orig)
+	if sg.parent.IsItemNode(orig) {
+		sg.items++
+	}
+}
+
+// Len returns the number of nodes in the subgraph.
+func (sg *Subgraph) Len() int { return len(sg.nodes) }
+
+// NumItemNodes returns how many item nodes the subgraph contains.
+func (sg *Subgraph) NumItemNodes() int { return sg.items }
+
+// Adjacency returns the local symmetric adjacency matrix.
+func (sg *Subgraph) Adjacency() *sparse.CSR { return sg.adj }
+
+// OriginalNode maps a local id back to the parent graph's node id.
+func (sg *Subgraph) OriginalNode(local int) int { return sg.nodes[local] }
+
+// LocalNode maps a parent node id to the local id, reporting presence.
+func (sg *Subgraph) LocalNode(orig int) (int, bool) {
+	l, ok := sg.localOf[orig]
+	return l, ok
+}
+
+// IsItemLocal reports whether local node l is an item in the parent graph.
+func (sg *Subgraph) IsItemLocal(l int) bool {
+	return sg.parent.IsItemNode(sg.nodes[l])
+}
+
+// IsUserLocal reports whether local node l is a user in the parent graph.
+func (sg *Subgraph) IsUserLocal(l int) bool {
+	return sg.parent.IsUserNode(sg.nodes[l])
+}
+
+// ItemLocals returns the local ids of all item nodes.
+func (sg *Subgraph) ItemLocals() []int {
+	out := make([]int, 0, sg.items)
+	for l := range sg.nodes {
+		if sg.IsItemLocal(l) {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+// Model-quality diagnostics (held-out perplexity, UMass topic coherence)
+// and new-user fold-in. The paper validates its LDA variant qualitatively
+// (Table 1's interpretable genre topics); the diagnostics give the same
+// check a number, and InferUser extends the trained topic space to users
+// who arrived after training.
+
+package lda
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"longtailrec/internal/dataset"
+)
+
+// Perplexity returns exp(−LL/N) of the dataset under the model's point
+// estimates, where N is the token count (ratings weighted by rounded
+// score, the same expansion Train uses). Lower is better; a model that
+// assigned uniform probability to every item would score ~NumItems.
+func (m *Model) Perplexity(d *dataset.Dataset) float64 {
+	tokens := 0.0
+	for _, r := range d.Ratings() {
+		mult := math.Round(r.Score)
+		if mult < 1 {
+			mult = 1
+		}
+		tokens += mult
+	}
+	if tokens == 0 {
+		return math.Inf(1)
+	}
+	return math.Exp(-m.LogLikelihood(d) / tokens)
+}
+
+// TopicCoherence scores every topic with the UMass measure over the
+// dataset's user "documents":
+//
+//	C(z) = Σ_{m=2..topN} Σ_{l=1..m-1} log( (D(i_m, i_l) + 1) / D(i_l) )
+//
+// where i_1..i_topN are the topic's top items, D(i) counts users who rated
+// i, and D(i, j) counts users who rated both. Closer to zero is more
+// coherent: a topic whose top items are always rated together scores ~0,
+// one whose top items never co-occur scores very negative. Items never
+// rated in d contribute the worst case via a 1-smoothed denominator.
+func (m *Model) TopicCoherence(d *dataset.Dataset, topN int) ([]float64, error) {
+	if d == nil {
+		return nil, fmt.Errorf("lda: nil dataset")
+	}
+	if d.NumItems() != m.numItems {
+		return nil, fmt.Errorf("lda: dataset has %d items, model %d", d.NumItems(), m.numItems)
+	}
+	if topN < 2 {
+		return nil, fmt.Errorf("lda: coherence needs topN >= 2, got %d", topN)
+	}
+	out := make([]float64, m.numTopics)
+	for z := 0; z < m.numTopics; z++ {
+		top := m.TopItems(z, topN)
+		c := 0.0
+		for a := 1; a < len(top); a++ {
+			raters := make(map[int]struct{})
+			for _, r := range d.ItemRatings(top[a].Item) {
+				raters[r.User] = struct{}{}
+			}
+			for b := 0; b < a; b++ {
+				di := len(d.ItemRatings(top[b].Item))
+				if di == 0 {
+					di = 1 // smoothed: an unrated conditioning item
+				}
+				co := 0
+				for _, r := range d.ItemRatings(top[b].Item) {
+					if _, ok := raters[r.User]; ok {
+						co++
+					}
+				}
+				c += math.Log(float64(co+1) / float64(di))
+			}
+		}
+		out[z] = c
+	}
+	return out, nil
+}
+
+// InferUser folds a user unseen at training time into the topic space:
+// Gibbs-sample topic assignments for their rating tokens with φ held
+// fixed, then return the point estimate of θ. This is what lets AC2-style
+// entropy and LDA scoring serve new users without retraining the corpus
+// model. Ratings are expanded by rounded score exactly as Train does.
+func (m *Model) InferUser(ratings []dataset.Rating, iters int, seed int64) ([]float64, error) {
+	if iters <= 0 {
+		iters = 20
+	}
+	k := m.numTopics
+	// Expand into tokens.
+	var items []int
+	for _, r := range ratings {
+		if r.Item < 0 || r.Item >= m.numItems {
+			return nil, fmt.Errorf("lda: InferUser item %d out of range [0,%d)", r.Item, m.numItems)
+		}
+		mult := int(math.Round(r.Score))
+		if mult < 1 {
+			mult = 1
+		}
+		for c := 0; c < mult; c++ {
+			items = append(items, r.Item)
+		}
+	}
+	theta := make([]float64, k)
+	if len(items) == 0 {
+		// No evidence: the symmetric prior mean.
+		for z := range theta {
+			theta[z] = 1 / float64(k)
+		}
+		return theta, nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	assign := make([]int, len(items))
+	counts := make([]int, k)
+	for t := range items {
+		z := rng.Intn(k)
+		assign[t] = z
+		counts[z]++
+	}
+	probs := make([]float64, k)
+	for iter := 0; iter < iters; iter++ {
+		for t, item := range items {
+			counts[assign[t]]--
+			total := 0.0
+			for z := 0; z < k; z++ {
+				p := m.phi[z][item] * (float64(counts[z]) + m.alpha)
+				probs[z] = p
+				total += p
+			}
+			u := rng.Float64() * total
+			acc := 0.0
+			zNew := k - 1
+			for z := 0; z < k; z++ {
+				acc += probs[z]
+				if u < acc {
+					zNew = z
+					break
+				}
+			}
+			assign[t] = zNew
+			counts[zNew]++
+		}
+	}
+	denom := float64(len(items)) + float64(k)*m.alpha
+	for z := 0; z < k; z++ {
+		theta[z] = (float64(counts[z]) + m.alpha) / denom
+	}
+	return theta, nil
+}
+
+// MeanCoherence averages TopicCoherence across topics — the single-number
+// model-quality view.
+func (m *Model) MeanCoherence(d *dataset.Dataset, topN int) (float64, error) {
+	cs, err := m.TopicCoherence(d, topN)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, c := range cs {
+		total += c
+	}
+	return total / float64(len(cs)), nil
+}

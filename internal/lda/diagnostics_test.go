@@ -1,0 +1,285 @@
+package lda
+
+import (
+	"math"
+	"testing"
+
+	"longtailrec/internal/dataset"
+)
+
+// genreDataset builds two clean taste communities: users 0..5 rate items
+// 0..5, users 6..11 rate items 6..11, with one bridge rating keeping the
+// graph connected.
+func genreDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	var ratings []dataset.Rating
+	for u := 0; u < 6; u++ {
+		for i := 0; i < 6; i++ {
+			if (u+i)%3 == 0 {
+				continue
+			}
+			ratings = append(ratings, dataset.Rating{User: u, Item: i, Score: 5})
+		}
+	}
+	for u := 6; u < 12; u++ {
+		for i := 6; i < 12; i++ {
+			if (u+i)%3 == 0 {
+				continue
+			}
+			ratings = append(ratings, dataset.Rating{User: u, Item: i, Score: 5})
+		}
+	}
+	ratings = append(ratings, dataset.Rating{User: 0, Item: 6, Score: 1})
+	d, err := dataset.New(12, 12, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPerplexityTrainedBeatsRandom(t *testing.T) {
+	d := genreDataset(t)
+	trained, err := Train(d, Config{NumTopics: 2, Iterations: 40, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomModel(d.NumUsers(), d.NumItems(), Config{NumTopics: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := trained.Perplexity(d)
+	pr := random.Perplexity(d)
+	if math.IsNaN(pt) || math.IsInf(pt, 0) || pt <= 0 {
+		t.Fatalf("trained perplexity %v", pt)
+	}
+	if pt >= pr {
+		t.Fatalf("trained perplexity %.2f not below random %.2f", pt, pr)
+	}
+	// Two clean 6-item communities: a good 2-topic model approaches
+	// per-community uniformity (~6), far below catalog uniformity (12).
+	if pt > 10 {
+		t.Fatalf("trained perplexity %.2f suspiciously close to uniform (12)", pt)
+	}
+}
+
+func TestPerplexityEmptyDataset(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty, err := dataset.New(12, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.Perplexity(empty); !math.IsInf(p, 1) {
+		t.Fatalf("perplexity of empty corpus %v, want +Inf", p)
+	}
+}
+
+func TestTraceRecordsImprovement(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 30, Seed: 5, TraceEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if len(tr) != 6 {
+		t.Fatalf("trace length %d, want 6 (every 5 of 30)", len(tr))
+	}
+	for i, p := range tr {
+		if p.Iteration != (i+1)*5 {
+			t.Fatalf("checkpoint %d at iteration %d", i, p.Iteration)
+		}
+		if math.IsNaN(p.LogLikelihood) || p.LogLikelihood > 0 {
+			t.Fatalf("checkpoint %d LL %v", i, p.LogLikelihood)
+		}
+	}
+	if last, first := tr[len(tr)-1].LogLikelihood, tr[0].LogLikelihood; last < first-1e-9 {
+		// Gibbs LL is stochastic but on this trivially separable corpus it
+		// must not end below where it started.
+		t.Fatalf("log-likelihood regressed: %.2f -> %.2f", first, last)
+	}
+	// The final checkpoint must agree with the returned model.
+	if got := m.LogLikelihood(d); math.Abs(got-tr[len(tr)-1].LogLikelihood) > 1e-9 {
+		t.Fatalf("final checkpoint %.4f != model LL %.4f", tr[len(tr)-1].LogLikelihood, got)
+	}
+}
+
+func TestTraceFinalIterationAlwaysRecorded(t *testing.T) {
+	d := genreDataset(t)
+	// 7 iterations with TraceEvery 3 → checkpoints at 3, 6, 7.
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 7, Seed: 2, TraceEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if len(tr) != 3 || tr[2].Iteration != 7 {
+		t.Fatalf("trace %+v", tr)
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Trace()) != 0 {
+		t.Fatalf("unexpected trace %+v", m.Trace())
+	}
+}
+
+func TestTopicCoherenceValidation(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopicCoherence(nil, 5); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := m.TopicCoherence(d, 1); err == nil {
+		t.Fatal("topN=1 accepted")
+	}
+	other, err := dataset.New(3, 3, []dataset.Rating{{User: 0, Item: 0, Score: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TopicCoherence(other, 3); err == nil {
+		t.Fatal("mismatched dataset accepted")
+	}
+}
+
+func TestTopicCoherenceSeparatesTrainedFromRandom(t *testing.T) {
+	d := genreDataset(t)
+	trained, err := Train(d, Config{NumTopics: 2, Iterations: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomModel(d.NumUsers(), d.NumItems(), Config{NumTopics: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trained.MeanCoherence(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, err := random.MeanCoherence(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trained topics group co-rated items, so their top items co-occur and
+	// coherence sits near zero; random topics mix the two communities.
+	if ct <= cr {
+		t.Fatalf("trained coherence %.2f not above random %.2f", ct, cr)
+	}
+	cs, err := trained.TopicCoherence(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 {
+		t.Fatalf("topics %d", len(cs))
+	}
+	for z, c := range cs {
+		if c > 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("topic %d coherence %v (UMass must be <= 0 and finite)", z, c)
+		}
+	}
+}
+
+func TestInferUserRecoverCommunity(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 40, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identify which topic owns the first community by a training user.
+	trainTheta := m.Theta(1) // user 1 rates only items 0..5
+	topicA := 0
+	if trainTheta[1] > trainTheta[0] {
+		topicA = 1
+	}
+	// A new user who loves the same community must land on the same topic.
+	newUser := []dataset.Rating{
+		{Item: 0, Score: 5}, {Item: 2, Score: 4}, {Item: 4, Score: 5},
+	}
+	theta, err := m.InferUser(newUser, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(theta) != 2 {
+		t.Fatalf("theta %v", theta)
+	}
+	total := 0.0
+	for _, p := range theta {
+		if p < 0 || p > 1 {
+			t.Fatalf("theta %v", theta)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("theta sums to %v", total)
+	}
+	if theta[topicA] < 0.6 {
+		t.Fatalf("new community-A user got theta %v (topic A = %d)", theta, topicA)
+	}
+	// A user from the other community lands on the other topic.
+	other, err := m.InferUser([]dataset.Rating{
+		{Item: 7, Score: 5}, {Item: 9, Score: 5}, {Item: 11, Score: 4},
+	}, 30, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other[topicA] > 0.4 {
+		t.Fatalf("community-B user got theta %v (topic A = %d)", other, topicA)
+	}
+}
+
+func TestInferUserEdgeCases(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 3, Iterations: 10, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty history: the prior mean (uniform for a symmetric prior).
+	theta, err := m.InferUser(nil, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range theta {
+		if math.Abs(p-1.0/3) > 1e-12 {
+			t.Fatalf("empty-history theta %v, want uniform", theta)
+		}
+	}
+	// Out-of-range item: error, not panic.
+	if _, err := m.InferUser([]dataset.Rating{{Item: 99, Score: 5}}, 10, 1); err == nil {
+		t.Fatal("out-of-range item accepted")
+	}
+	// iters <= 0 falls back to a sane default and still works.
+	if _, err := m.InferUser([]dataset.Rating{{Item: 0, Score: 4}}, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInferUserDeterministic(t *testing.T) {
+	d := genreDataset(t)
+	m, err := Train(d, Config{NumTopics: 2, Iterations: 15, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := []dataset.Rating{{Item: 1, Score: 5}, {Item: 3, Score: 4}}
+	a, err := m.InferUser(rs, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.InferUser(rs, 25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for z := range a {
+		if a[z] != b[z] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}

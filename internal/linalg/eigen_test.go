@@ -1,0 +1,137 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := NewDenseFrom([][]float64{
+		{3, 0, 0},
+		{0, 1, 0},
+		{0, 0, 2},
+	})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-10 {
+			t.Fatalf("vals = %v", vals)
+		}
+	}
+	// Eigenvectors of a diagonal matrix are (signed) unit basis vectors.
+	for j := 0; j < 3; j++ {
+		col := vecs.Col(j, nil)
+		if math.Abs(Norm2(col)-1) > 1e-10 {
+			t.Fatalf("eigenvector %d not unit: %v", j, col)
+		}
+	}
+}
+
+func TestSymEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	vals, vecs, err := SymEigen(NewDenseFrom([][]float64{{2, 1}, {1, 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-12 || math.Abs(vals[1]-1) > 1e-12 {
+		t.Fatalf("vals = %v", vals)
+	}
+	// First eigenvector proportional to (1,1)/√2.
+	v0 := vecs.Col(0, nil)
+	if math.Abs(math.Abs(v0[0])-1/math.Sqrt2) > 1e-10 || math.Abs(v0[0]-v0[1]) > 1e-10 {
+		t.Fatalf("v0 = %v", v0)
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(12)
+		a := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Descending order.
+		for i := 1; i < n; i++ {
+			if vals[i] > vals[i-1]+1e-12 {
+				t.Fatalf("eigenvalues not descending: %v", vals)
+			}
+		}
+		// V·diag(vals)·Vᵀ == A.
+		d := NewDense(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, vals[i])
+		}
+		rec := vecs.Mul(d).Mul(vecs.T())
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(rec.At(i, j)-a.At(i, j)) > 1e-8 {
+					t.Fatalf("trial %d: reconstruction error at (%d,%d): %v vs %v",
+						trial, i, j, rec.At(i, j), a.At(i, j))
+				}
+			}
+		}
+		// VᵀV == I.
+		vtv := vecs.T().Mul(vecs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vtv.At(i, j)-want) > 1e-8 {
+					t.Fatalf("trial %d: VᵀV(%d,%d) = %v", trial, i, j, vtv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSymEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		a := NewDense(n, n)
+		trace := 0.0
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+			trace += a.At(i, i)
+		}
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-trace) > 1e-8 {
+			t.Fatalf("trace %v vs eigenvalue sum %v", trace, sum)
+		}
+	}
+}
+
+func TestSymEigenRejectsNonSquareAndAsymmetric(t *testing.T) {
+	if _, _, err := SymEigen(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := SymEigen(NewDenseFrom([][]float64{{1, 2}, {9, 1}})); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+}

@@ -1,0 +1,10 @@
+package markov
+
+// forceGaussSeidel lowers the dense-solver cutoff so tests can exercise the
+// Gauss–Seidel path on small systems, restoring it afterwards.
+func forceGaussSeidel(fn func()) {
+	old := maxDenseSolveVar
+	maxDenseSolveVar = 0
+	defer func() { maxDenseSolveVar = old }()
+	fn()
+}

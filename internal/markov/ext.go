@@ -1,0 +1,252 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"longtailrec/internal/linalg"
+)
+
+// This file implements the §3.2 comparator proximities the paper argues
+// cannot challenge long-tail recommendation: the Katz index and
+// random-walk-with-restart (no popularity discount at all), and commute
+// time (dominated by the stationary distribution, hence popularity-biased).
+// Having the real mechanisms lets the benchmark suite demonstrate those
+// biases instead of asserting them.
+
+// KatzScores computes the truncated Katz index from node q to every node:
+// K(q,·) = Σ_{l=1..iters} β^l·(A^l)_{q,·}. The series converges for
+// β < 1/λ_max(A); callers should keep β small (e.g. 0.005 for rating
+// graphs). Returned scores are raw proximities, higher = closer.
+func (c *Chain) KatzScores(q int, beta float64, iters int) ([]float64, error) {
+	if q < 0 || q >= c.n {
+		return nil, fmt.Errorf("markov: Katz source %d out of range [0,%d)", q, c.n)
+	}
+	if beta <= 0 {
+		return nil, fmt.Errorf("markov: Katz beta %v must be positive", beta)
+	}
+	if iters < 1 {
+		return nil, fmt.Errorf("markov: Katz iters %d must be >= 1", iters)
+	}
+	cur := make([]float64, c.n)
+	nxt := make([]float64, c.n)
+	out := make([]float64, c.n)
+	cur[q] = 1
+	scale := 1.0
+	for l := 1; l <= iters; l++ {
+		// nxt = Aᵀ·cur = A·cur (A symmetric).
+		c.adj.MulVec(cur, nxt)
+		scale *= beta
+		if scale < 1e-300 {
+			break
+		}
+		for i := range out {
+			out[i] += scale * nxt[i]
+		}
+		cur, nxt = nxt, cur
+	}
+	return out, nil
+}
+
+// RWRScores computes random-walk-with-restart proximity from node q: the
+// stationary distribution of a walk that restarts at q with probability
+// 1-damping after every step. Equivalent to single-source personalized
+// PageRank on the chain.
+func (c *Chain) RWRScores(q int, damping float64, iters int, tol float64) ([]float64, error) {
+	if q < 0 || q >= c.n {
+		return nil, fmt.Errorf("markov: RWR source %d out of range [0,%d)", q, c.n)
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("markov: RWR damping %v must be in (0,1)", damping)
+	}
+	if iters < 1 {
+		iters = 100
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	cur := make([]float64, c.n)
+	nxt := make([]float64, c.n)
+	cur[q] = 1
+	for it := 0; it < iters; it++ {
+		c.StepDistribution(cur, nxt)
+		diff := 0.0
+		for i := range nxt {
+			v := damping * nxt[i]
+			if i == q {
+				v += 1 - damping
+			}
+			diff += math.Abs(v - cur[i])
+			nxt[i] = v
+		}
+		cur, nxt = nxt, cur
+		if diff < tol {
+			break
+		}
+	}
+	return cur, nil
+}
+
+// maxCommuteNodes bounds the dense Laplacian eigendecomposition inside
+// CommuteTimes; Jacobi sweeps are O(n³) per pass.
+const maxCommuteNodes = 600
+
+// CommuteTimes computes the commute time C(q,j) = H(q|j) + H(j|q) for
+// every node j via the Laplacian pseudoinverse identity
+// C(i,j) = vol(G)·(ℓ⁺_ii + ℓ⁺_jj − 2·ℓ⁺_ij). Exact but dense: it
+// eigendecomposes the n×n Laplacian, so it is limited to graphs with at
+// most 600 nodes — it exists as a comparator, not a production path.
+// Unreachable pairs (different components) return +Inf.
+func (c *Chain) CommuteTimes(q int) ([]float64, error) {
+	if q < 0 || q >= c.n {
+		return nil, fmt.Errorf("markov: commute source %d out of range [0,%d)", q, c.n)
+	}
+	if c.n > maxCommuteNodes {
+		return nil, fmt.Errorf("markov: commute time limited to %d nodes, graph has %d", maxCommuteNodes, c.n)
+	}
+	// L = D − A.
+	lap := linalg.NewDense(c.n, c.n)
+	vol := 0.0
+	for i := 0; i < c.n; i++ {
+		lap.Set(i, i, c.degrees[i])
+		vol += c.degrees[i]
+		cols, vals := c.adj.Row(i)
+		for k, j := range cols {
+			lap.Add(i, j, -vals[k])
+		}
+	}
+	vals, vecs, err := linalg.SymEigen(lap)
+	if err != nil {
+		return nil, fmt.Errorf("markov: Laplacian eigen: %w", err)
+	}
+	// ℓ⁺ = Σ_{λ>0} (1/λ)·v·vᵀ. Zero eigenvalues correspond to connected
+	// components; treat |λ| below a relative threshold as zero.
+	thresh := 1e-9 * math.Max(1, math.Abs(vals[0]))
+	// Component detection for unreachable pairs.
+	comp := c.componentLabels()
+	diag := make([]float64, c.n)
+	cross := make([]float64, c.n) // ℓ⁺_{qj}
+	vq := make([]float64, c.n)
+	for e := 0; e < c.n; e++ {
+		if vals[e] <= thresh {
+			continue
+		}
+		inv := 1 / vals[e]
+		vecs.Col(e, vq)
+		vqe := vq[q]
+		for j := 0; j < c.n; j++ {
+			diag[j] += inv * vq[j] * vq[j]
+			cross[j] += inv * vqe * vq[j]
+		}
+	}
+	out := make([]float64, c.n)
+	lqq := diag[q]
+	for j := 0; j < c.n; j++ {
+		if comp[j] != comp[q] {
+			out[j] = math.Inf(1)
+			continue
+		}
+		ct := vol * (lqq + diag[j] - 2*cross[j])
+		if ct < 0 {
+			ct = 0 // numerical round-off at j == q
+		}
+		out[j] = ct
+	}
+	return out, nil
+}
+
+// AbsorptionProbability solves, for every state i, the probability that a
+// walker starting at i is absorbed at `target` rather than any other
+// member of the absorbing set: b_i = P_{i,target} + Σ_{j transient}
+// p_ij·b_j. For the Absorbing Time recommender this answers "*which* of
+// the user's rated items does a candidate item drain into", a diagnostic
+// for explaining recommendations. target must be a member of absorbing.
+// States that cannot reach the absorbing set get probability 0.
+func (c *Chain) AbsorptionProbability(absorbing []int, target int) ([]float64, error) {
+	mask, err := c.validateAbsorbing(absorbing)
+	if err != nil {
+		return nil, err
+	}
+	if target < 0 || target >= c.n || !mask[target] {
+		return nil, fmt.Errorf("markov: target %d is not an absorbing state", target)
+	}
+	reach := c.reachable(mask)
+	out := make([]float64, c.n)
+	out[target] = 1
+	transient := make([]int, 0, c.n)
+	localOf := make(map[int]int)
+	for i := 0; i < c.n; i++ {
+		if !mask[i] && reach[i] {
+			localOf[i] = len(transient)
+			transient = append(transient, i)
+		}
+	}
+	if len(transient) == 0 {
+		return out, nil
+	}
+	// Gauss–Seidel on b_i = p_{i,target} + Σ_{j transient} p_ij·b_j; the
+	// iteration matrix is the same substochastic P_TT as the time solver,
+	// so convergence is monotone from zero.
+	x := make([]float64, len(transient))
+	for iter := 0; iter < gaussSeidelMaxIter; iter++ {
+		maxDelta := 0.0
+		for li, i := range transient {
+			d := c.degrees[i]
+			cols, vals := c.adj.Row(i)
+			acc := 0.0
+			for k, j := range cols {
+				switch {
+				case j == target:
+					acc += vals[k] / d
+				case mask[j]:
+					// Other absorbing states contribute 0.
+				default:
+					if lj, ok := localOf[j]; ok {
+						acc += vals[k] / d * x[lj]
+					}
+				}
+			}
+			if delta := math.Abs(acc - x[li]); delta > maxDelta {
+				maxDelta = delta
+			}
+			x[li] = acc
+		}
+		if maxDelta < gaussSeidelTol {
+			break
+		}
+	}
+	for li, i := range transient {
+		out[i] = x[li]
+	}
+	return out, nil
+}
+
+// componentLabels labels nodes by connected component.
+func (c *Chain) componentLabels() []int {
+	labels := make([]int, c.n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	comp := 0
+	queue := make([]int, 0, c.n)
+	for s := 0; s < c.n; s++ {
+		if labels[s] != -1 {
+			continue
+		}
+		labels[s] = comp
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			cols, _ := c.adj.Row(v)
+			for _, w := range cols {
+				if labels[w] == -1 {
+					labels[w] = comp
+					queue = append(queue, w)
+				}
+			}
+		}
+		comp++
+	}
+	return labels
+}

@@ -1,0 +1,255 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"longtailrec/internal/graph"
+)
+
+func TestKatzScoresBasics(t *testing.T) {
+	g := figure2Graph(t)
+	ch := chainOf(t, g)
+	q := g.UserNode(4)
+	scores, err := ch.KatzScores(q, 0.01, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct neighbors (M2, M3) must outscore non-neighbors.
+	if scores[g.ItemNode(1)] <= scores[g.ItemNode(3)] {
+		t.Fatalf("neighbor M2 %v not above distant M4 %v", scores[g.ItemNode(1)], scores[g.ItemNode(3)])
+	}
+	for i, s := range scores {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("Katz score %v at %d", s, i)
+		}
+	}
+}
+
+func TestKatzMatchesPowerSeries(t *testing.T) {
+	// Two-step check: K = βA + β²A² row q.
+	g := figure2Graph(t)
+	ch := chainOf(t, g)
+	q := g.ItemNode(0)
+	beta := 0.02
+	got, err := ch.KatzScores(q, beta, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := ch.Len()
+	a := make([][]float64, n)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			a[i][j] = g.Weight(i, j)
+		}
+	}
+	for j := 0; j < n; j++ {
+		want := beta * a[q][j]
+		for k := 0; k < n; k++ {
+			want += beta * beta * a[q][k] * a[k][j]
+		}
+		if math.Abs(got[j]-want) > 1e-9 {
+			t.Fatalf("Katz[%d] = %v, want %v", j, got[j], want)
+		}
+	}
+}
+
+func TestKatzValidation(t *testing.T) {
+	ch := chainOf(t, figure2Graph(t))
+	if _, err := ch.KatzScores(-1, 0.01, 5); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := ch.KatzScores(0, 0, 5); err == nil {
+		t.Fatal("zero beta accepted")
+	}
+	if _, err := ch.KatzScores(0, 0.01, 0); err == nil {
+		t.Fatal("zero iters accepted")
+	}
+}
+
+func TestRWRScoresIsDistribution(t *testing.T) {
+	g := figure2Graph(t)
+	ch := chainOf(t, g)
+	q := g.UserNode(0)
+	scores, err := ch.RWRScores(q, 0.5, 500, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range scores {
+		if s < 0 {
+			t.Fatalf("negative RWR %v", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-8 {
+		t.Fatalf("RWR sums to %v", sum)
+	}
+	// Restart node keeps the most mass.
+	for i, s := range scores {
+		if i != q && s > scores[q] {
+			t.Fatalf("node %d outranks restart node", i)
+		}
+	}
+}
+
+func TestRWRValidation(t *testing.T) {
+	ch := chainOf(t, figure2Graph(t))
+	if _, err := ch.RWRScores(99, 0.5, 10, 0); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	if _, err := ch.RWRScores(0, 1.5, 10, 0); err == nil {
+		t.Fatal("damping > 1 accepted")
+	}
+}
+
+func TestCommuteTimesMatchHittingTimes(t *testing.T) {
+	// The defining identity: C(q,j) = H(q|j) + H(j|q).
+	g := figure2Graph(t)
+	ch := chainOf(t, g)
+	q := g.UserNode(4)
+	ct, err := ch.CommuteTimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	toQ, err := ch.HittingTimeExact(q) // H(q|j) for all j
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < ch.Len(); j++ {
+		if j == q {
+			if ct[j] > 1e-6 {
+				t.Fatalf("C(q,q) = %v", ct[j])
+			}
+			continue
+		}
+		fromQ, err := ch.HittingTimeExact(j) // H(j|i) for all i; take i=q
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := toQ[j] + fromQ[q]
+		if math.Abs(ct[j]-want) > 1e-5*math.Max(1, want) {
+			t.Fatalf("C(q,%d) = %v, want H+H = %v", j, ct[j], want)
+		}
+	}
+}
+
+func TestCommuteTimesDisconnected(t *testing.T) {
+	b := graph.NewBuilder(2, 2)
+	_ = b.AddRating(0, 0, 5)
+	_ = b.AddRating(1, 1, 3)
+	g := b.Build()
+	ch := chainOf(t, g)
+	ct, err := ch.CommuteTimes(g.UserNode(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(ct[g.UserNode(1)], 1) {
+		t.Fatalf("cross-component commute time %v", ct[g.UserNode(1)])
+	}
+	if math.IsInf(ct[g.ItemNode(0)], 1) {
+		t.Fatal("same-component commute time infinite")
+	}
+}
+
+func TestCommuteTimesSizeGuard(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := graph.NewBuilder(400, 300)
+	for u := 0; u < 400; u++ {
+		for _, i := range rng.Perm(300)[:3] {
+			_ = b.AddRating(u, i, 3)
+		}
+	}
+	ch := chainOf(t, b.Build())
+	if _, err := ch.CommuteTimes(0); err == nil {
+		t.Fatal("oversized graph accepted")
+	}
+}
+
+// TestSection32PopularityBias validates the paper's §3.2/§3.3 motivation:
+// commute time and RWR rank items nearly in popularity order, while the
+// hitting time H(q|j) breaks that correlation by discounting the
+// stationary mass.
+func TestSection32PopularityBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// A popularity-skewed bipartite graph.
+	const nu, ni = 60, 40
+	b := graph.NewBuilder(nu, ni)
+	for u := 0; u < nu; u++ {
+		seen := map[int]bool{}
+		for k := 0; k < 8; k++ {
+			i := int(float64(ni) * math.Pow(rng.Float64(), 2.5))
+			if i >= ni || seen[i] {
+				continue
+			}
+			seen[i] = true
+			_ = b.AddRating(u, i, float64(1+rng.Intn(5)))
+		}
+	}
+	g := b.Build()
+	ch := chainOf(t, g)
+	pop := g.ItemPopularity()
+	q := g.UserNode(0)
+
+	// High damping: the walk mixes toward the stationary distribution,
+	// which is the regime the paper's popularity-bias argument describes.
+	rwr, err := ch.RWRScores(q, 0.9, 2000, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ch.CommuteTimes(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := ch.HittingTimeExact(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spearman-style rank correlation between item popularity and each
+	// proximity's preference order.
+	corr := func(score func(item int) float64) float64 {
+		type pair struct{ pop, s float64 }
+		var ps []pair
+		for i := 0; i < ni; i++ {
+			v := score(i)
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				continue
+			}
+			ps = append(ps, pair{pop: float64(pop[i]), s: v})
+		}
+		// Pearson on the raw values is enough for a sign/strength check.
+		var mp, ms float64
+		for _, p := range ps {
+			mp += p.pop
+			ms += p.s
+		}
+		mp /= float64(len(ps))
+		ms /= float64(len(ps))
+		var num, dp, ds float64
+		for _, p := range ps {
+			num += (p.pop - mp) * (p.s - ms)
+			dp += (p.pop - mp) * (p.pop - mp)
+			ds += (p.s - ms) * (p.s - ms)
+		}
+		if dp == 0 || ds == 0 {
+			return 0
+		}
+		return num / math.Sqrt(dp*ds)
+	}
+	rwrCorr := corr(func(i int) float64 { return rwr[g.ItemNode(i)] })
+	ctCorr := corr(func(i int) float64 { return -ct[g.ItemNode(i)] }) // small commute = preferred
+	htCorr := corr(func(i int) float64 { return -ht[g.ItemNode(i)] }) // small hitting time = preferred
+
+	if rwrCorr < 0.5 {
+		t.Fatalf("RWR popularity correlation %v — expected strong bias", rwrCorr)
+	}
+	if ctCorr < 0.5 {
+		t.Fatalf("commute-time popularity correlation %v — expected strong bias", ctCorr)
+	}
+	if htCorr > ctCorr-0.2 {
+		t.Fatalf("hitting time correlation %v not clearly below commute time %v", htCorr, ctCorr)
+	}
+}

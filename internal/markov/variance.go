@@ -1,0 +1,69 @@
+// Second-moment statistics of the absorbing walk. The paper ranks by the
+// expectation AT(S|i); the variance quantifies how reliable that ranking
+// signal is per node — two items with equal expected absorbing time can
+// have very different spreads, and high-variance times come from loosely
+// connected tail regions.
+
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// AbsorbingTimeVariance returns Var[T_S | s(0)=i] for every state, where
+// T_S is the first-passage time into the absorbing set.
+//
+// With fundamental matrix N = (I−Q)^{-1} and first moment τ = N·1, the
+// second moment is E[T²] = (2N−I)·τ, so Var = 2·(N·τ) − τ − τ². Both N·1
+// and N·τ are single linear solves, reusing the exact absorbing-cost
+// solver. Absorbing states get 0; states that cannot reach S get +Inf.
+func (c *Chain) AbsorbingTimeVariance(absorbing []int) ([]float64, error) {
+	tau, err := c.AbsorbingTimeExact(absorbing)
+	if err != nil {
+		return nil, err
+	}
+	// Solve (I−Q)·x = τ on the transient states. Unreachable states carry
+	// τ = +Inf, which must not poison the right-hand side of reachable
+	// rows; they cannot be adjacent to reachable transient states (a
+	// reachable neighbor would make them reachable), so zeroing is safe.
+	rhs := make([]float64, c.n)
+	for i, t := range tau {
+		if math.IsInf(t, 1) {
+			rhs[i] = 0
+			continue
+		}
+		rhs[i] = t
+	}
+	ntau, err := c.AbsorbingCostExact(absorbing, rhs)
+	if err != nil {
+		return nil, fmt.Errorf("markov: variance second solve: %w", err)
+	}
+	out := make([]float64, c.n)
+	for i := range out {
+		switch {
+		case math.IsInf(tau[i], 1):
+			out[i] = math.Inf(1)
+		default:
+			v := 2*ntau[i] - tau[i] - tau[i]*tau[i]
+			if v < 0 {
+				v = 0 // numerical slop on nearly deterministic paths
+			}
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// AbsorbingTimeStdDev returns the per-state standard deviation of the
+// first-passage time — Var^(1/2), in the same step units as the time.
+func (c *Chain) AbsorbingTimeStdDev(absorbing []int) ([]float64, error) {
+	v, err := c.AbsorbingTimeVariance(absorbing)
+	if err != nil {
+		return nil, err
+	}
+	for i := range v {
+		v[i] = math.Sqrt(v[i])
+	}
+	return v, nil
+}

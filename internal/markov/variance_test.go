@@ -1,0 +1,207 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"longtailrec/internal/graph"
+)
+
+// pathGraph builds the path u0—i0—u1—i1—... as a bipartite graph, giving
+// a chain whose absorbing-time moments have closed forms.
+func pathGraph(t testing.TB, hops int) *graph.Bipartite {
+	t.Helper()
+	// users 0..hops rated items so that node sequence alternates.
+	var ratings []graph.Rating
+	for k := 0; k < hops; k++ {
+		ratings = append(ratings, graph.Rating{User: k, Item: k, Weight: 1})
+		if k+1 <= hops {
+			ratings = append(ratings, graph.Rating{User: k + 1, Item: k, Weight: 1})
+		}
+	}
+	g, err := graph.FromRatings(hops+1, hops, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestVarianceDeterministicPathIsZero(t *testing.T) {
+	// Two nodes joined by one edge: from the transient node the walk is
+	// absorbed in exactly one step, so the variance is 0.
+	g, err := graph.FromRatings(1, 1, []graph.Rating{{User: 0, Item: 0, Weight: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chainOf(t, g)
+	v, err := ch.AbsorbingTimeVariance([]int{g.ItemNode(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[g.UserNode(0)] != 0 {
+		t.Fatalf("deterministic absorption variance %v", v[g.UserNode(0)])
+	}
+	if v[g.ItemNode(0)] != 0 {
+		t.Fatalf("absorbing state variance %v", v[g.ItemNode(0)])
+	}
+}
+
+func TestVarianceThreeNodePathClosedForm(t *testing.T) {
+	// Path a—b—c with absorption at c: starting at b,
+	// E[T]=3 and Var[T]=8; starting at a, E[T]=4 and Var[T]=8.
+	g := pathGraph(t, 1) // users {0,1}, item {0}: path u0—i0—u1
+	ch := chainOf(t, g)
+	absorb := []int{g.UserNode(1)}
+	tau, err := ch.AbsorbingTimeExact(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ch.AbsorbingTimeVariance(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, end := g.ItemNode(0), g.UserNode(0)
+	if math.Abs(tau[mid]-3) > 1e-9 || math.Abs(tau[end]-4) > 1e-9 {
+		t.Fatalf("expected times %v / %v, want 3 / 4", tau[mid], tau[end])
+	}
+	if math.Abs(v[mid]-8) > 1e-9 {
+		t.Fatalf("variance at middle %v, want 8", v[mid])
+	}
+	if math.Abs(v[end]-8) > 1e-9 {
+		t.Fatalf("variance at end %v, want 8", v[end])
+	}
+}
+
+func TestVarianceMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g, ch := randomChain(rng, 5, 6)
+	absorb := []int{g.ItemNode(0), g.ItemNode(1)}
+	v, err := ch.AbsorbingTimeVariance(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau, err := ch.AbsorbingTimeExact(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := g.UserNode(3)
+	if math.IsInf(tau[start], 1) {
+		t.Skip("start disconnected from absorbing set")
+	}
+	// Simulate walks and compare the empirical variance.
+	const walks = 60000
+	absorbSet := map[int]bool{absorb[0]: true, absorb[1]: true}
+	var sum, sumSq float64
+	for w := 0; w < walks; w++ {
+		node, steps := start, 0
+		for !absorbSet[node] {
+			node = stepFrom(rng, ch, node)
+			steps++
+			if steps > 1_000_000 {
+				t.Fatal("walk did not absorb")
+			}
+		}
+		fs := float64(steps)
+		sum += fs
+		sumSq += fs * fs
+	}
+	mean := sum / walks
+	varMC := sumSq/walks - mean*mean
+	if math.Abs(mean-tau[start]) > 0.12*tau[start] {
+		t.Fatalf("Monte Carlo mean %v vs exact %v", mean, tau[start])
+	}
+	if math.Abs(varMC-v[start]) > 0.15*v[start]+1 {
+		t.Fatalf("Monte Carlo variance %v vs exact %v", varMC, v[start])
+	}
+}
+
+// stepFrom samples one transition of the chain.
+func stepFrom(rng *rand.Rand, ch *Chain, i int) int {
+	u := rng.Float64()
+	acc := 0.0
+	last := i
+	for j := 0; j < ch.Len(); j++ {
+		p := ch.TransitionProb(i, j)
+		if p == 0 {
+			continue
+		}
+		acc += p
+		last = j
+		if u < acc {
+			return j
+		}
+	}
+	return last
+}
+
+func TestVarianceNonNegativeEverywhere(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		g, ch := randomChain(rng, 4+trial%3, 5+trial%4)
+		absorb := []int{g.ItemNode(trial % g.NumItems())}
+		v, err := ch.AbsorbingTimeVariance(absorb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for node, x := range v {
+			if x < 0 || math.IsNaN(x) {
+				t.Fatalf("trial %d node %d variance %v", trial, node, x)
+			}
+		}
+	}
+}
+
+func TestVarianceUnreachableIsInf(t *testing.T) {
+	// Two disconnected components: absorbing in one, query the other.
+	ratings := []graph.Rating{
+		{User: 0, Item: 0, Weight: 1},
+		{User: 1, Item: 1, Weight: 1},
+	}
+	g, err := graph.FromRatings(2, 2, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := chainOf(t, g)
+	v, err := ch.AbsorbingTimeVariance([]int{g.ItemNode(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(v[g.UserNode(1)], 1) {
+		t.Fatalf("unreachable node variance %v, want +Inf", v[g.UserNode(1)])
+	}
+	if v[g.UserNode(0)] != 0 {
+		t.Fatalf("deterministic neighbor variance %v", v[g.UserNode(0)])
+	}
+}
+
+func TestStdDevIsSqrtOfVariance(t *testing.T) {
+	g := pathGraph(t, 1)
+	ch := chainOf(t, g)
+	absorb := []int{g.UserNode(1)}
+	v, err := ch.AbsorbingTimeVariance(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := ch.AbsorbingTimeStdDev(absorb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		want := math.Sqrt(v[i])
+		if sd[i] != want && !(math.IsInf(sd[i], 1) && math.IsInf(want, 1)) {
+			t.Fatalf("node %d: sd %v, sqrt(var) %v", i, sd[i], want)
+		}
+	}
+}
+
+func TestVarianceValidation(t *testing.T) {
+	g := pathGraph(t, 1)
+	ch := chainOf(t, g)
+	if _, err := ch.AbsorbingTimeVariance(nil); err == nil {
+		t.Fatal("empty absorbing set accepted")
+	}
+	if _, err := ch.AbsorbingTimeVariance([]int{-1}); err == nil {
+		t.Fatal("out-of-range absorbing node accepted")
+	}
+}

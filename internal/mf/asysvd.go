@@ -1,0 +1,196 @@
+// Asymmetric-SVD (Koren, KDD 2008 §4): the user is represented purely
+// through the items they rated, with no free user factor —
+//
+//	r̂_ui = μ + b_u + b_i + q_i · |R(u)|^{-1/2}·Σ_{j∈R(u)} [(r_uj − b_uj)·x_j + y_j]
+//
+// where b_uj = μ + b_u + b_j is the baseline estimate. Because users are a
+// function of item factors only, new users are served without retraining —
+// the property Koren advertises and the reason the paper's §4 motivates
+// item-centric models ("every item has more information to use").
+
+package mf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"longtailrec/internal/dataset"
+)
+
+// AsySVD is a trained Asymmetric-SVD model.
+type AsySVD struct {
+	numUsers, numItems int
+	factors            int
+	mu                 float64
+	bu, bi             []float64
+	q, x, y            []float64 // stride = factors
+	ratings            [][]dataset.Rating
+	norm               []float64 // |R(u)|^{-1/2} per user
+	trace              []float64
+}
+
+// TrainAsySVD fits an Asymmetric-SVD model to the dataset.
+func TrainAsySVD(d *dataset.Dataset, opts Options) (*AsySVD, error) {
+	if d == nil {
+		return nil, fmt.Errorf("mf: nil dataset")
+	}
+	if d.NumRatings() == 0 {
+		return nil, fmt.Errorf("mf: empty dataset")
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	f := opts.Factors
+	m := &AsySVD{
+		numUsers: d.NumUsers(),
+		numItems: d.NumItems(),
+		factors:  f,
+		mu:       globalMean(d),
+		bu:       make([]float64, d.NumUsers()),
+		bi:       make([]float64, d.NumItems()),
+		q:        make([]float64, d.NumItems()*f),
+		x:        make([]float64, d.NumItems()*f),
+		y:        make([]float64, d.NumItems()*f),
+		ratings:  make([][]dataset.Rating, d.NumUsers()),
+		norm:     make([]float64, d.NumUsers()),
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		rs := d.UserRatings(u)
+		m.ratings[u] = rs
+		if len(rs) > 0 {
+			m.norm[u] = 1 / math.Sqrt(float64(len(rs)))
+		}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	initFactors(rng, m.q, opts.InitScale)
+	// x and y start at zero: the model begins as the bias-only baseline.
+
+	all := d.Ratings()
+	order := newOrder(len(all))
+	lr := opts.LearnRate
+	z := make([]float64, f)
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sse := 0.0
+		for _, k := range order {
+			r := all[k]
+			qi := m.q[r.Item*f : (r.Item+1)*f]
+			nrm := m.norm[r.User]
+			m.compose(r.User, z)
+			pred := m.mu + m.bu[r.User] + m.bi[r.Item] + dot(z, qi)
+			e := r.Score - pred
+			sse += e * e
+			m.bu[r.User] += lr * (e - opts.Reg*m.bu[r.User])
+			m.bi[r.Item] += lr * (e - opts.Reg*m.bi[r.Item])
+			for j := 0; j < f; j++ {
+				qi[j] += lr * (e*z[j] - opts.Reg*qi[j])
+			}
+			for _, ur := range m.ratings[r.User] {
+				resid := ur.Score - (m.mu + m.bu[r.User] + m.bi[ur.Item])
+				xj := m.x[ur.Item*f : (ur.Item+1)*f]
+				yj := m.y[ur.Item*f : (ur.Item+1)*f]
+				for j := 0; j < f; j++ {
+					g := e * nrm * qi[j]
+					xj[j] += lr * (g*resid - opts.Reg*xj[j])
+					yj[j] += lr * (g - opts.Reg*yj[j])
+				}
+			}
+		}
+		m.trace = append(m.trace, math.Sqrt(sse/float64(len(all))))
+		lr *= opts.LearnRateDecay
+	}
+	return m, nil
+}
+
+// compose builds the virtual user vector into dst:
+// |R(u)|^{-1/2}·Σ_{j∈R(u)} [(r_uj − b_uj)·x_j + y_j].
+func (m *AsySVD) compose(u int, dst []float64) {
+	f := m.factors
+	for j := 0; j < f; j++ {
+		dst[j] = 0
+	}
+	nrm := m.norm[u]
+	if nrm == 0 {
+		return
+	}
+	for _, r := range m.ratings[u] {
+		resid := r.Score - (m.mu + m.bu[u] + m.bi[r.Item])
+		xj := m.x[r.Item*f : (r.Item+1)*f]
+		yj := m.y[r.Item*f : (r.Item+1)*f]
+		for j := 0; j < f; j++ {
+			dst[j] += resid*xj[j] + yj[j]
+		}
+	}
+	for j := 0; j < f; j++ {
+		dst[j] *= nrm
+	}
+}
+
+// Factors returns the latent dimensionality.
+func (m *AsySVD) Factors() int { return m.factors }
+
+// Trace returns the training RMSE measured online during each epoch.
+func (m *AsySVD) Trace() []float64 {
+	out := make([]float64, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+// Score predicts r̂_ui.
+func (m *AsySVD) Score(u, i int) float64 {
+	f := m.factors
+	z := make([]float64, f)
+	m.compose(u, z)
+	return m.mu + m.bu[u] + m.bi[i] + dot(z, m.q[i*f:(i+1)*f])
+}
+
+// ScoreAll fills out[i] = r̂_ui for every item; out is reused when it has
+// the right length.
+func (m *AsySVD) ScoreAll(u int, out []float64) []float64 {
+	if len(out) != m.numItems {
+		out = make([]float64, m.numItems)
+	}
+	f := m.factors
+	z := make([]float64, f)
+	m.compose(u, z)
+	base := m.mu + m.bu[u]
+	for i := 0; i < m.numItems; i++ {
+		out[i] = base + m.bi[i] + dot(z, m.q[i*f:(i+1)*f])
+	}
+	return out
+}
+
+// ScoreNewUser predicts scores for a user unseen at training time, given
+// only their ratings — AsySVD's headline capability. The ratings must
+// reference item indices within the trained universe; the unknown user
+// bias is taken as 0.
+func (m *AsySVD) ScoreNewUser(ratings []dataset.Rating, out []float64) ([]float64, error) {
+	if len(out) != m.numItems {
+		out = make([]float64, m.numItems)
+	}
+	f := m.factors
+	z := make([]float64, f)
+	if len(ratings) > 0 {
+		nrm := 1 / math.Sqrt(float64(len(ratings)))
+		for _, r := range ratings {
+			if r.Item < 0 || r.Item >= m.numItems {
+				return nil, fmt.Errorf("mf: new-user rating item %d out of range [0,%d)", r.Item, m.numItems)
+			}
+			resid := r.Score - (m.mu + m.bi[r.Item])
+			xj := m.x[r.Item*f : (r.Item+1)*f]
+			yj := m.y[r.Item*f : (r.Item+1)*f]
+			for j := 0; j < f; j++ {
+				z[j] += resid*xj[j] + yj[j]
+			}
+		}
+		for j := 0; j < f; j++ {
+			z[j] *= nrm
+		}
+	}
+	for i := 0; i < m.numItems; i++ {
+		out[i] = m.mu + m.bi[i] + dot(z, m.q[i*f:(i+1)*f])
+	}
+	return out, nil
+}

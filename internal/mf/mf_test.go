@@ -1,0 +1,222 @@
+package mf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"longtailrec/internal/dataset"
+)
+
+// blockDataset builds a two-block rating matrix with clear low-rank
+// structure: users 0..nu/2 love items 0..ni/2 (score 5) and dislike the
+// rest (score 1); the other half is mirrored. A 10% sprinkle of ratings is
+// left out to keep the matrix sparse.
+func blockDataset(t testing.TB, nu, ni int, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ratings []dataset.Rating
+	for u := 0; u < nu; u++ {
+		for i := 0; i < ni; i++ {
+			if rng.Float64() < 0.3 {
+				continue // hold out ~30% of the grid
+			}
+			score := 1.0
+			if (u < nu/2) == (i < ni/2) {
+				score = 5.0
+			}
+			ratings = append(ratings, dataset.Rating{User: u, Item: i, Score: score})
+		}
+	}
+	d, err := dataset.New(nu, ni, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestTrainBiasedMFValidation(t *testing.T) {
+	if _, err := TrainBiasedMF(nil, DefaultOptions()); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	d := blockDataset(t, 8, 8, 1)
+	if _, err := TrainBiasedMF(d, Options{Reg: -1}); err == nil {
+		t.Fatal("negative regularization accepted")
+	}
+	empty, err := dataset.New(3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainBiasedMF(empty, DefaultOptions()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestBiasedMFFitsBlockStructure(t *testing.T) {
+	d := blockDataset(t, 20, 20, 2)
+	m, err := TrainBiasedMF(d, Options{Factors: 4, Epochs: 60, LearnRate: 0.02, Reg: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RMSE(m, d.Ratings()); got > 0.5 {
+		t.Fatalf("training RMSE %.3f on trivially low-rank data, want < 0.5", got)
+	}
+	// A loved-block item must outscore a disliked-block item for user 0.
+	scores := m.ScoreAll(0, nil)
+	if scores[0] <= scores[19] {
+		t.Fatalf("user 0: in-block item scored %.2f <= out-of-block %.2f", scores[0], scores[19])
+	}
+}
+
+func TestBiasedMFTraceDecreases(t *testing.T) {
+	d := blockDataset(t, 16, 16, 3)
+	m, err := TrainBiasedMF(d, Options{Factors: 4, Epochs: 30, LearnRate: 0.02, Reg: 0.01, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if len(tr) != 30 {
+		t.Fatalf("trace length %d, want 30", len(tr))
+	}
+	if tr[len(tr)-1] >= tr[0] {
+		t.Fatalf("training RMSE did not improve: first %.3f, last %.3f", tr[0], tr[len(tr)-1])
+	}
+}
+
+func TestBiasedMFDeterminism(t *testing.T) {
+	d := blockDataset(t, 12, 12, 4)
+	opts := Options{Factors: 3, Epochs: 10, LearnRate: 0.01, Reg: 0.02, Seed: 42}
+	a, err := TrainBiasedMF(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainBiasedMF(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		sa := a.ScoreAll(u, nil)
+		sb := b.ScoreAll(u, nil)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("same seed, different prediction for (%d,%d): %v vs %v", u, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+func TestBiasedMFScoreAllMatchesScore(t *testing.T) {
+	d := blockDataset(t, 10, 14, 5)
+	m, err := TrainBiasedMF(d, Options{Factors: 3, Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		all := m.ScoreAll(u, nil)
+		for i := 0; i < d.NumItems(); i++ {
+			if diff := math.Abs(all[i] - m.Score(u, i)); diff > 1e-12 {
+				t.Fatalf("ScoreAll/Score disagree at (%d,%d) by %v", u, i, diff)
+			}
+		}
+	}
+}
+
+func TestBiasedMFScoreAllReusesBuffer(t *testing.T) {
+	d := blockDataset(t, 8, 8, 6)
+	m, err := TrainBiasedMF(d, Options{Factors: 2, Epochs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, d.NumItems())
+	out := m.ScoreAll(0, buf)
+	if &out[0] != &buf[0] {
+		t.Fatal("correctly sized buffer was not reused")
+	}
+	short := make([]float64, 2)
+	out = m.ScoreAll(0, short)
+	if len(out) != d.NumItems() {
+		t.Fatalf("missized buffer: got len %d, want %d", len(out), d.NumItems())
+	}
+}
+
+func TestBiasedMFBetterThanGlobalMean(t *testing.T) {
+	d := blockDataset(t, 20, 20, 7)
+	m, err := TrainBiasedMF(d, Options{Factors: 4, Epochs: 40, LearnRate: 0.02, Reg: 0.01, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global-mean RMSE on the two-block data is ~2 (scores are 1 or 5).
+	mean := m.GlobalMean()
+	sse := 0.0
+	for _, r := range d.Ratings() {
+		e := r.Score - mean
+		sse += e * e
+	}
+	meanRMSE := math.Sqrt(sse / float64(d.NumRatings()))
+	if fit := RMSE(m, d.Ratings()); fit >= meanRMSE/2 {
+		t.Fatalf("MF RMSE %.3f not clearly better than global-mean %.3f", fit, meanRMSE)
+	}
+}
+
+func TestDefaultOptionsApplied(t *testing.T) {
+	opts, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Factors != 20 || opts.Epochs != 20 {
+		t.Fatalf("defaults: %+v", opts)
+	}
+	if opts.LearnRate != 0.005 || opts.LearnRateDecay != 1 {
+		t.Fatalf("defaults: %+v", opts)
+	}
+	if opts.InitScale <= 0 {
+		t.Fatalf("InitScale default missing: %+v", opts)
+	}
+}
+
+func TestMAEAndRMSEEmpty(t *testing.T) {
+	d := blockDataset(t, 8, 8, 8)
+	m, err := TrainBiasedMF(d, Options{Factors: 2, Epochs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RMSE(m, nil) != 0 || MAE(m, nil) != 0 {
+		t.Fatal("empty rating slice should measure 0")
+	}
+	if MAE(m, d.Ratings()) > RMSE(m, d.Ratings())+1e-12 {
+		t.Fatal("MAE exceeded RMSE (Jensen violation)")
+	}
+}
+
+func TestBiasedMFPredictionsFinite(t *testing.T) {
+	d := blockDataset(t, 15, 15, 9)
+	m, err := TrainBiasedMF(d, Options{Factors: 5, Epochs: 20, LearnRate: 0.02, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property: every (u, i) prediction is finite, including cold pairs.
+	f := func(u, i uint8) bool {
+		uu := int(u) % d.NumUsers()
+		ii := int(i) % d.NumItems()
+		s := m.Score(uu, ii)
+		return !math.IsNaN(s) && !math.IsInf(s, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnRateDecayConverges(t *testing.T) {
+	d := blockDataset(t, 16, 16, 10)
+	// An aggressive learn rate with decay must still end below where it
+	// started; this exercises the decay path.
+	m, err := TrainBiasedMF(d, Options{Factors: 4, Epochs: 30, LearnRate: 0.05, LearnRateDecay: 0.9, Reg: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if tr[len(tr)-1] >= tr[0] {
+		t.Fatalf("decayed SGD diverged: first %.3f last %.3f", tr[0], tr[len(tr)-1])
+	}
+}

@@ -1,0 +1,216 @@
+package mf
+
+import (
+	"math"
+	"testing"
+
+	"longtailrec/internal/dataset"
+)
+
+func TestTrainSVDPPValidation(t *testing.T) {
+	if _, err := TrainSVDPP(nil, DefaultOptions()); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	d := blockDataset(t, 8, 8, 1)
+	if _, err := TrainSVDPP(d, Options{Reg: -0.5}); err == nil {
+		t.Fatal("negative regularization accepted")
+	}
+}
+
+func TestSVDPPFitsBlockStructure(t *testing.T) {
+	d := blockDataset(t, 20, 20, 20)
+	m, err := TrainSVDPP(d, Options{Factors: 4, Epochs: 50, LearnRate: 0.02, Reg: 0.01, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RMSE(m, d.Ratings()); got > 0.6 {
+		t.Fatalf("training RMSE %.3f, want < 0.6", got)
+	}
+	scores := m.ScoreAll(0, nil)
+	if scores[0] <= scores[19] {
+		t.Fatalf("user 0: in-block item %.2f <= out-of-block %.2f", scores[0], scores[19])
+	}
+}
+
+func TestSVDPPTraceDecreases(t *testing.T) {
+	d := blockDataset(t, 16, 16, 21)
+	m, err := TrainSVDPP(d, Options{Factors: 4, Epochs: 25, LearnRate: 0.02, Reg: 0.01, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if len(tr) != 25 {
+		t.Fatalf("trace length %d", len(tr))
+	}
+	if tr[len(tr)-1] >= tr[0] {
+		t.Fatalf("no improvement: %.3f -> %.3f", tr[0], tr[len(tr)-1])
+	}
+}
+
+func TestSVDPPScoreAllMatchesScore(t *testing.T) {
+	d := blockDataset(t, 10, 12, 22)
+	m, err := TrainSVDPP(d, Options{Factors: 3, Epochs: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		all := m.ScoreAll(u, nil)
+		for i := 0; i < d.NumItems(); i++ {
+			if diff := math.Abs(all[i] - m.Score(u, i)); diff > 1e-12 {
+				t.Fatalf("disagree at (%d,%d) by %v", u, i, diff)
+			}
+		}
+	}
+}
+
+func TestSVDPPDeterminism(t *testing.T) {
+	d := blockDataset(t, 12, 12, 23)
+	opts := Options{Factors: 3, Epochs: 8, LearnRate: 0.01, Reg: 0.02, Seed: 99}
+	a, err := TrainSVDPP(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainSVDPP(d, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		if a.Score(u, 0) != b.Score(u, 0) {
+			t.Fatalf("same seed diverged for user %d", u)
+		}
+	}
+}
+
+func TestSVDPPColdUserGetsBaseline(t *testing.T) {
+	// User 3 has one rating; a user universe slot with zero ratings is
+	// impossible through dataset.New plus graph, but SVD++ must still not
+	// blow up on a minimal-history user.
+	d, err := dataset.New(4, 4, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 4},
+		{User: 1, Item: 0, Score: 5}, {User: 1, Item: 2, Score: 2},
+		{User: 2, Item: 1, Score: 3}, {User: 2, Item: 3, Score: 4},
+		{User: 3, Item: 2, Score: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainSVDPP(d, Options{Factors: 2, Epochs: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if s := m.Score(3, i); math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("cold-ish user score(3,%d) = %v", i, s)
+		}
+	}
+}
+
+func TestAsySVDValidation(t *testing.T) {
+	if _, err := TrainAsySVD(nil, DefaultOptions()); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	d := blockDataset(t, 8, 8, 30)
+	if _, err := TrainAsySVD(d, Options{Reg: -2}); err == nil {
+		t.Fatal("negative regularization accepted")
+	}
+}
+
+func TestAsySVDFitsBlockStructure(t *testing.T) {
+	d := blockDataset(t, 20, 20, 31)
+	m, err := TrainAsySVD(d, Options{Factors: 4, Epochs: 50, LearnRate: 0.02, Reg: 0.01, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RMSE(m, d.Ratings()); got > 0.8 {
+		t.Fatalf("training RMSE %.3f, want < 0.8", got)
+	}
+	scores := m.ScoreAll(0, nil)
+	if scores[0] <= scores[19] {
+		t.Fatalf("user 0: in-block %.2f <= out-of-block %.2f", scores[0], scores[19])
+	}
+}
+
+func TestAsySVDTraceDecreases(t *testing.T) {
+	d := blockDataset(t, 16, 16, 32)
+	m, err := TrainAsySVD(d, Options{Factors: 4, Epochs: 20, LearnRate: 0.02, Reg: 0.01, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := m.Trace()
+	if tr[len(tr)-1] >= tr[0] {
+		t.Fatalf("no improvement: %.3f -> %.3f", tr[0], tr[len(tr)-1])
+	}
+}
+
+func TestAsySVDScoreAllMatchesScore(t *testing.T) {
+	d := blockDataset(t, 10, 12, 33)
+	m, err := TrainAsySVD(d, Options{Factors: 3, Epochs: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		all := m.ScoreAll(u, nil)
+		for i := 0; i < d.NumItems(); i++ {
+			if diff := math.Abs(all[i] - m.Score(u, i)); diff > 1e-12 {
+				t.Fatalf("disagree at (%d,%d) by %v", u, i, diff)
+			}
+		}
+	}
+}
+
+func TestAsySVDNewUserFoldIn(t *testing.T) {
+	d := blockDataset(t, 20, 20, 34)
+	m, err := TrainAsySVD(d, Options{Factors: 4, Epochs: 40, LearnRate: 0.02, Reg: 0.01, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A brand-new user who loves the first block must have first-block
+	// items outrank second-block items, with zero retraining.
+	newRatings := []dataset.Rating{
+		{Item: 0, Score: 5}, {Item: 1, Score: 5}, {Item: 2, Score: 5},
+		{Item: 15, Score: 1}, {Item: 16, Score: 1},
+	}
+	scores, err := m.ScoreNewUser(newRatings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[4] <= scores[18] {
+		t.Fatalf("fold-in failed: unrated in-block item %.2f <= out-of-block %.2f", scores[4], scores[18])
+	}
+	// Out-of-range items must error, not panic.
+	if _, err := m.ScoreNewUser([]dataset.Rating{{Item: 99, Score: 5}}, nil); err == nil {
+		t.Fatal("out-of-range fold-in item accepted")
+	}
+	// An empty history degrades to the bias-only baseline.
+	base, err := m.ScoreNewUser(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range base {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("baseline score[%d] = %v", i, s)
+		}
+	}
+}
+
+func TestAsySVDColdUserFinite(t *testing.T) {
+	d, err := dataset.New(3, 3, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 3},
+		{User: 1, Item: 1, Score: 4}, {User: 1, Item: 2, Score: 2},
+		{User: 2, Item: 0, Score: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TrainAsySVD(d, Options{Factors: 2, Epochs: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		for i := 0; i < 3; i++ {
+			if s := m.Score(u, i); math.IsNaN(s) || math.IsInf(s, 0) {
+				t.Fatalf("score(%d,%d) = %v", u, i, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package ontology implements the category-tree similarity of §5.2.4: the
+// paper maps Douban books into dangdang's hierarchical catalog and scores
+// two items by the length of their categories' longest common prefix
+// divided by the length of the longer path (Eq. 18); a recommendation is
+// relevant to a user if it is similar to any of their preferred items
+// (Eq. 19).
+//
+// Category paths are rooted sequences like
+// ["Book", "Computer & Internet", "Database", "Data Mining"]. Items are
+// assigned to leaf categories; unassigned items have zero similarity to
+// everything.
+package ontology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree maps items to category paths.
+type Tree struct {
+	paths map[int][]string
+}
+
+// New returns an empty ontology.
+func New() *Tree {
+	return &Tree{paths: make(map[int][]string)}
+}
+
+// Assign records item's category path (copied). An empty path is invalid.
+func (t *Tree) Assign(item int, path []string) error {
+	if len(path) == 0 {
+		return fmt.Errorf("ontology: empty path for item %d", item)
+	}
+	for k, seg := range path {
+		if strings.TrimSpace(seg) == "" {
+			return fmt.Errorf("ontology: blank segment %d in path for item %d", k, item)
+		}
+	}
+	cp := make([]string, len(path))
+	copy(cp, path)
+	t.paths[item] = cp
+	return nil
+}
+
+// Path returns item's category path and whether it is assigned. The slice
+// must not be modified.
+func (t *Tree) Path(item int) ([]string, bool) {
+	p, ok := t.paths[item]
+	return p, ok
+}
+
+// Len returns the number of assigned items.
+func (t *Tree) Len() int { return len(t.paths) }
+
+// PathSimilarity computes Eq. 18 on raw category paths:
+// |longest common prefix| / max(|a|, |b|).
+func PathSimilarity(a, b []string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	common := 0
+	for common < len(a) && common < len(b) && a[common] == b[common] {
+		common++
+	}
+	maxLen := len(a)
+	if len(b) > maxLen {
+		maxLen = len(b)
+	}
+	return float64(common) / float64(maxLen)
+}
+
+// ItemSimilarity computes Eq. 18 between two items; unassigned items score
+// zero against everything.
+func (t *Tree) ItemSimilarity(a, b int) float64 {
+	pa, ok := t.paths[a]
+	if !ok {
+		return 0
+	}
+	pb, ok := t.paths[b]
+	if !ok {
+		return 0
+	}
+	return PathSimilarity(pa, pb)
+}
+
+// UserSimilarity computes Eq. 19: the relevance of item i to a user whose
+// preferred item set is prefs — the maximum ontology similarity between i
+// and any preferred item.
+func (t *Tree) UserSimilarity(prefs []int, i int) float64 {
+	best := 0.0
+	for _, j := range prefs {
+		if s := t.ItemSimilarity(i, j); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// MeanListSimilarity averages UserSimilarity over a recommendation list —
+// the per-user quantity that Table 3 aggregates.
+func (t *Tree) MeanListSimilarity(prefs, recs []int) float64 {
+	if len(recs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, i := range recs {
+		total += t.UserSimilarity(prefs, i)
+	}
+	return total / float64(len(recs))
+}

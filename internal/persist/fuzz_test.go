@@ -1,0 +1,100 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/mf"
+)
+
+// trainTinyMF fits a minimal model for fuzz seeds.
+func trainTinyMF(f *testing.F, d *dataset.Dataset) *mf.BiasedMF {
+	f.Helper()
+	m, err := mf.TrainBiasedMF(d, mf.Options{Factors: 2, Epochs: 2, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return m
+}
+
+// FuzzLoadDataset asserts the decoder never panics and never returns an
+// internally inconsistent dataset, whatever bytes it is fed. Run the seeds
+// with `go test`; fuzz with `go test -fuzz FuzzLoadDataset ./internal/persist`.
+func FuzzLoadDataset(f *testing.F) {
+	// Seed 1: a valid container.
+	d, err := dataset.New(3, 4, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5},
+		{User: 1, Item: 2, Score: 3},
+		{User: 2, Item: 3, Score: 1},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, d); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	// Seed 2: valid container with the payload length doubled.
+	bad := append([]byte(nil), valid...)
+	bad[4+4] *= 2
+	f.Add(bad)
+	// Seed 3: truncated halfway.
+	f.Add(valid[:len(valid)/2])
+	// Seed 4: empty and garbage.
+	f.Add([]byte{})
+	f.Add([]byte("LTRZ and then nonsense that is not a real payload at all"))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, err := LoadDataset(bytes.NewReader(raw))
+		if err != nil {
+			return // rejection is always acceptable
+		}
+		// Anything accepted must be a self-consistent dataset.
+		if got.NumUsers() <= 0 || got.NumItems() <= 0 {
+			t.Fatalf("accepted dataset with dims %d×%d", got.NumUsers(), got.NumItems())
+		}
+		for _, r := range got.Ratings() {
+			if r.User < 0 || r.User >= got.NumUsers() || r.Item < 0 || r.Item >= got.NumItems() || r.Score <= 0 {
+				t.Fatalf("accepted inconsistent rating %+v", r)
+			}
+		}
+	})
+}
+
+// FuzzLoadBiasedMF does the same for the model decoder, whose payload has
+// nested length-prefixed sections.
+func FuzzLoadBiasedMF(f *testing.F) {
+	d, err := dataset.New(4, 4, []dataset.Rating{
+		{User: 0, Item: 0, Score: 5},
+		{User: 1, Item: 1, Score: 3},
+		{User: 2, Item: 2, Score: 4},
+		{User: 3, Item: 3, Score: 2},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// A real trained model as the primary seed.
+	m := trainTinyMF(f, d)
+	var buf bytes.Buffer
+	if err := SaveBiasedMF(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	mangled := append([]byte(nil), valid...)
+	mangled[20] ^= 0xFF
+	f.Add(mangled)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, err := LoadBiasedMF(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Accepted models must score without panicking.
+		_ = got.Score(0, 0)
+	})
+}

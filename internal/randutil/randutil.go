@@ -1,0 +1,273 @@
+// Package randutil provides seeded random sampling primitives used across
+// the long-tail recommendation library: categorical and alias sampling,
+// Zipf-like power-law popularity draws, Dirichlet vectors, and reproducible
+// shuffles.
+//
+// Every function takes an explicit *rand.Rand so that experiments are
+// deterministic given a seed; nothing in this package touches the global
+// rand source.
+package randutil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded with seed. It is a tiny convenience wrapper
+// so callers do not need to import math/rand alongside this package.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Categorical draws one index from the (not necessarily normalized)
+// non-negative weight vector w. It panics if w is empty or sums to zero or
+// contains a negative weight, since those are programmer errors on internal
+// sampling paths.
+func Categorical(rng *rand.Rand, w []float64) int {
+	if len(w) == 0 {
+		panic("randutil: Categorical on empty weights")
+	}
+	total := 0.0
+	for i, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic(fmt.Sprintf("randutil: Categorical weight[%d] = %v", i, x))
+		}
+		total += x
+	}
+	if total <= 0 {
+		panic("randutil: Categorical weights sum to zero")
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slop: return the last index with positive weight.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// CumSum returns the inclusive prefix-sum of w, for repeated categorical
+// sampling via SearchCum.
+func CumSum(w []float64) []float64 {
+	cum := make([]float64, len(w))
+	acc := 0.0
+	for i, x := range w {
+		acc += x
+		cum[i] = acc
+	}
+	return cum
+}
+
+// SearchCum draws one index from the distribution whose inclusive prefix
+// sums are cum (as produced by CumSum). It runs in O(log n).
+func SearchCum(rng *rand.Rand, cum []float64) int {
+	if len(cum) == 0 {
+		panic("randutil: SearchCum on empty cumulative weights")
+	}
+	total := cum[len(cum)-1]
+	if total <= 0 {
+		panic("randutil: SearchCum total weight is zero")
+	}
+	u := rng.Float64() * total
+	return sort.SearchFloat64s(cum, u+1e-300) // strictly-greater search
+}
+
+// Dirichlet draws a sample from a symmetric Dirichlet distribution with
+// concentration alpha over k categories.
+func Dirichlet(rng *rand.Rand, alpha float64, k int) []float64 {
+	if k <= 0 {
+		panic("randutil: Dirichlet k must be positive")
+	}
+	if alpha <= 0 {
+		panic("randutil: Dirichlet alpha must be positive")
+	}
+	out := make([]float64, k)
+	total := 0.0
+	for i := range out {
+		g := Gamma(rng, alpha)
+		out[i] = g
+		total += g
+	}
+	if total == 0 {
+		// Degenerate draw (tiny alpha): fall back to a single spike.
+		out[rng.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// DirichletVec draws a Dirichlet sample with per-category concentrations.
+func DirichletVec(rng *rand.Rand, alpha []float64) []float64 {
+	out := make([]float64, len(alpha))
+	total := 0.0
+	for i, a := range alpha {
+		if a <= 0 {
+			panic("randutil: DirichletVec alpha must be positive")
+		}
+		g := Gamma(rng, a)
+		out[i] = g
+		total += g
+	}
+	if total == 0 {
+		out[rng.Intn(len(alpha))] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Gamma draws from a Gamma(shape, 1) distribution using the
+// Marsaglia–Tsang method, with the standard boost for shape < 1.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("randutil: Gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Gamma(a) = Gamma(a+1) * U^(1/a)
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// ZipfWeights returns the unnormalized Zipf-Mandelbrot weights
+// w[r] = 1/(r+1+shift)^exponent for ranks r = 0..n-1. These model the
+// long-tail popularity curve of Figure 1 in the paper: a few head items
+// with large weight and a long tail of niche items.
+func ZipfWeights(n int, exponent, shift float64) []float64 {
+	if n <= 0 {
+		panic("randutil: ZipfWeights n must be positive")
+	}
+	w := make([]float64, n)
+	for r := 0; r < n; r++ {
+		w[r] = 1 / math.Pow(float64(r+1)+shift, exponent)
+	}
+	return w
+}
+
+// Perm fills a reproducible permutation of 0..n-1.
+func Perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// Shuffle shuffles xs in place.
+func Shuffle[T any](rng *rand.Rand, xs []T) {
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SampleWithoutReplacement picks k distinct integers from [0, n) uniformly.
+// It uses Floyd's algorithm, O(k) expected time and memory.
+func SampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		panic(fmt.Sprintf("randutil: sample k=%d > n=%d", k, n))
+	}
+	if k < 0 {
+		panic("randutil: sample k must be non-negative")
+	}
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := rng.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	Shuffle(rng, out)
+	return out
+}
+
+// SampleExcluding picks k distinct integers from [0, n) uniformly,
+// excluding every member of excl. It panics if fewer than k candidates
+// remain. Intended for the Recall@N protocol's "1000 random unrated items".
+func SampleExcluding(rng *rand.Rand, n, k int, excl map[int]struct{}) []int {
+	avail := n - len(excl)
+	if avail < k {
+		panic(fmt.Sprintf("randutil: sample k=%d > available=%d", k, avail))
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	// Rejection sampling is efficient while the exclusion set is small
+	// relative to n; fall back to explicit enumeration otherwise.
+	if len(excl)+k < n/2 {
+		for len(out) < k {
+			c := rng.Intn(n)
+			if _, bad := excl[c]; bad {
+				continue
+			}
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			out = append(out, c)
+		}
+		return out
+	}
+	cands := make([]int, 0, avail)
+	for i := 0; i < n; i++ {
+		if _, bad := excl[i]; !bad {
+			cands = append(cands, i)
+		}
+	}
+	idx := SampleWithoutReplacement(rng, len(cands), k)
+	for _, i := range idx {
+		out = append(out, cands[i])
+	}
+	return out
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(rng *rand.Rand, p float64) bool {
+	return rng.Float64() < p
+}
+
+// Normalize scales w in place so it sums to 1, returning w. A zero vector
+// is left unchanged.
+func Normalize(w []float64) []float64 {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		return w
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}

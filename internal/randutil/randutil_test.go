@@ -1,0 +1,415 @@
+package randutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	rng := New(1)
+	w := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		counts[Categorical(rng, w)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / n
+	if math.Abs(frac0-0.25) > 0.02 {
+		t.Fatalf("category 0 frequency %.3f, want ~0.25", frac0)
+	}
+}
+
+func TestCategoricalSingleton(t *testing.T) {
+	rng := New(2)
+	for i := 0; i < 10; i++ {
+		if got := Categorical(rng, []float64{5}); got != 0 {
+			t.Fatalf("singleton categorical returned %d", got)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{nil, {}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Categorical(%v) did not panic", w)
+				}
+			}()
+			Categorical(New(1), w)
+		}()
+	}
+}
+
+func TestSearchCumMatchesCategorical(t *testing.T) {
+	rng := New(3)
+	w := []float64{0.5, 2, 0, 1.5}
+	cum := CumSum(w)
+	counts := make([]int, len(w))
+	const n = 80000
+	for i := 0; i < n; i++ {
+		idx := SearchCum(rng, cum)
+		if idx < 0 || idx >= len(w) {
+			t.Fatalf("SearchCum out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero-weight category sampled %d times", counts[2])
+	}
+	if frac := float64(counts[1]) / n; math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("category 1 frequency %.3f, want ~0.5", frac)
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := New(4)
+	for _, alpha := range []float64{0.05, 0.5, 1, 10} {
+		for _, k := range []int{1, 2, 10, 50} {
+			v := Dirichlet(rng, alpha, k)
+			if len(v) != k {
+				t.Fatalf("Dirichlet length %d, want %d", len(v), k)
+			}
+			sum := 0.0
+			for _, x := range v {
+				if x < 0 {
+					t.Fatalf("negative Dirichlet component %v", x)
+				}
+				sum += x
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("Dirichlet(alpha=%v,k=%d) sums to %v", alpha, k, sum)
+			}
+		}
+	}
+}
+
+func TestDirichletConcentration(t *testing.T) {
+	// Large alpha concentrates near uniform; small alpha produces spikes.
+	rng := New(5)
+	const k = 10
+	flat := Dirichlet(rng, 1000, k)
+	for _, x := range flat {
+		if math.Abs(x-1.0/k) > 0.05 {
+			t.Fatalf("alpha=1000 component %v far from uniform %v", x, 1.0/k)
+		}
+	}
+	spikyMax := 0.0
+	for trial := 0; trial < 20; trial++ {
+		v := Dirichlet(rng, 0.02, k)
+		for _, x := range v {
+			spikyMax = math.Max(spikyMax, x)
+		}
+	}
+	if spikyMax < 0.9 {
+		t.Fatalf("alpha=0.02 never produced a spike, max component %v", spikyMax)
+	}
+}
+
+func TestGammaMeanVariance(t *testing.T) {
+	rng := New(6)
+	for _, shape := range []float64{0.3, 1, 2.5, 9} {
+		const n = 200000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			g := Gamma(rng, shape)
+			if g < 0 {
+				t.Fatalf("negative gamma draw %v", g)
+			}
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-shape) > 0.05*shape+0.02 {
+			t.Fatalf("Gamma(%v) mean %v, want %v", shape, mean, shape)
+		}
+		if math.Abs(variance-shape) > 0.1*shape+0.05 {
+			t.Fatalf("Gamma(%v) variance %v, want %v", shape, variance, shape)
+		}
+	}
+}
+
+func TestZipfWeightsShape(t *testing.T) {
+	w := ZipfWeights(100, 1.0, 0)
+	if w[0] != 1 {
+		t.Fatalf("rank-0 weight %v, want 1", w[0])
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] >= w[i-1] {
+			t.Fatalf("Zipf weights not strictly decreasing at %d", i)
+		}
+	}
+	if math.Abs(w[9]-0.1) > 1e-12 {
+		t.Fatalf("rank-9 weight %v, want 0.1", w[9])
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := New(7)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(50)
+		k := rng.Intn(n + 1)
+		got := SampleWithoutReplacement(rng, n, k)
+		if len(got) != k {
+			t.Fatalf("sample size %d, want %d", len(got), k)
+		}
+		seen := make(map[int]struct{})
+		for _, x := range got {
+			if x < 0 || x >= n {
+				t.Fatalf("sample %d out of range [0,%d)", x, n)
+			}
+			if _, dup := seen[x]; dup {
+				t.Fatalf("duplicate sample %d", x)
+			}
+			seen[x] = struct{}{}
+		}
+	}
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	rng := New(8)
+	counts := make([]int, 5)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		for _, x := range SampleWithoutReplacement(rng, 5, 2) {
+			counts[x]++
+		}
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(trials)
+		if math.Abs(frac-0.4) > 0.02 {
+			t.Fatalf("element %d picked with frequency %.3f, want ~0.4", i, frac)
+		}
+	}
+}
+
+func TestSampleExcluding(t *testing.T) {
+	rng := New(9)
+	excl := map[int]struct{}{0: {}, 5: {}, 9: {}}
+	for trial := 0; trial < 500; trial++ {
+		got := SampleExcluding(rng, 10, 7, excl)
+		if len(got) != 7 {
+			t.Fatalf("got %d samples, want 7", len(got))
+		}
+		seen := make(map[int]struct{})
+		for _, x := range got {
+			if _, bad := excl[x]; bad {
+				t.Fatalf("excluded element %d sampled", x)
+			}
+			if _, dup := seen[x]; dup {
+				t.Fatalf("duplicate %d", x)
+			}
+			seen[x] = struct{}{}
+		}
+	}
+}
+
+func TestSampleExcludingDenseFallback(t *testing.T) {
+	rng := New(10)
+	excl := make(map[int]struct{})
+	for i := 0; i < 90; i++ {
+		excl[i] = struct{}{}
+	}
+	got := SampleExcluding(rng, 100, 10, excl)
+	if len(got) != 10 {
+		t.Fatalf("got %d samples, want 10", len(got))
+	}
+	for _, x := range got {
+		if x < 90 {
+			t.Fatalf("excluded element %d sampled", x)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	w := []float64{2, 6}
+	Normalize(w)
+	if w[0] != 0.25 || w[1] != 0.75 {
+		t.Fatalf("Normalize gave %v", w)
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Fatalf("Normalize of zero vector changed it: %v", z)
+	}
+}
+
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		x := Categorical(a, []float64{1, 2, 3})
+		y := Categorical(b, []float64{1, 2, 3})
+		if x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestQuickCumSumMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, r := range raw {
+			w[i] = float64(r)
+		}
+		cum := CumSum(w)
+		prev := 0.0
+		for _, c := range cum {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDirichletSimplex(t *testing.T) {
+	rng := New(11)
+	f := func(kRaw uint8, aRaw uint8) bool {
+		k := int(kRaw)%20 + 1
+		alpha := float64(aRaw)/32 + 0.05
+		v := Dirichlet(rng, alpha, k)
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 || x > 1+1e-12 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletVec(t *testing.T) {
+	rng := New(17)
+	alpha := []float64{0.5, 2, 8}
+	v := DirichletVec(rng, alpha)
+	if len(v) != 3 {
+		t.Fatalf("len %d", len(v))
+	}
+	total := 0.0
+	for _, x := range v {
+		if x < 0 || x > 1 {
+			t.Fatalf("component %v", x)
+		}
+		total += x
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("sum %v", total)
+	}
+	// Mean of component i approaches alpha_i / sum(alpha).
+	const draws = 4000
+	means := make([]float64, 3)
+	for d := 0; d < draws; d++ {
+		s := DirichletVec(rng, alpha)
+		for i, x := range s {
+			means[i] += x / draws
+		}
+	}
+	want := []float64{0.5 / 10.5, 2 / 10.5, 8 / 10.5}
+	for i := range want {
+		if math.Abs(means[i]-want[i]) > 0.03 {
+			t.Fatalf("component %d mean %.3f, want %.3f", i, means[i], want[i])
+		}
+	}
+}
+
+func TestDirichletVecPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-positive alpha")
+		}
+	}()
+	DirichletVec(New(1), []float64{1, 0, 2})
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	rng := New(3)
+	p := Perm(rng, 10)
+	if len(p) != 10 {
+		t.Fatalf("len %d", len(p))
+	}
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	rng := New(5)
+	for i := 0; i < 50; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("p=0 fired")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("p=1 missed")
+		}
+	}
+	// p=0.3 lands near 0.3 over many draws.
+	hits := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	if f := float64(hits) / draws; math.Abs(f-0.3) > 0.02 {
+		t.Fatalf("empirical p %.3f", f)
+	}
+}
+
+func TestSampleExcludingExhaustsExactly(t *testing.T) {
+	rng := New(9)
+	excl := map[int]struct{}{0: {}, 2: {}}
+	got := SampleExcluding(rng, 5, 3, excl)
+	want := map[int]bool{1: true, 3: true, 4: true}
+	for _, v := range got {
+		if !want[v] {
+			t.Fatalf("unexpected %d in %v", v, got)
+		}
+	}
+}
+
+func TestSampleExcludingPanicsWhenShort(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic when k exceeds availability")
+		}
+	}()
+	SampleExcluding(New(1), 4, 4, map[int]struct{}{1: {}})
+}
+
+func TestSearchCumPanics(t *testing.T) {
+	for name, cum := range map[string][]float64{
+		"empty": {},
+		"zero":  {0, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s cumulative weights accepted", name)
+				}
+			}()
+			SearchCum(New(1), cum)
+		}()
+	}
+}

@@ -1,0 +1,266 @@
+// Endpoint handlers and their response shapes.
+
+package server
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// HealthResponse is the /v1/health body.
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// StatsResponse is the /v1/stats body — the §5.1.2 corpus description.
+type StatsResponse struct {
+	NumUsers         int     `json:"num_users"`
+	NumItems         int     `json:"num_items"`
+	NumRatings       int     `json:"num_ratings"`
+	Density          float64 `json:"density"`
+	MeanScore        float64 `json:"mean_score"`
+	TailItemFraction float64 `json:"tail_item_fraction"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.src.Data().Summarize()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		NumUsers:         st.NumUsers,
+		NumItems:         st.NumItems,
+		NumRatings:       st.NumRatings,
+		Density:          st.Density,
+		MeanScore:        st.MeanScore,
+		TailItemFraction: st.TailItemFraction,
+	})
+}
+
+// AlgorithmsResponse is the /v1/algorithms body.
+type AlgorithmsResponse struct {
+	Algorithms []string `json:"algorithms"`
+	Default    string   `json:"default"`
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, AlgorithmsResponse{
+		Algorithms: s.src.Algorithms(),
+		Default:    s.opts.DefaultAlgorithm,
+	})
+}
+
+// RecommendedItem is one entry of a recommendation list.
+type RecommendedItem struct {
+	Item       int     `json:"item"`
+	Score      float64 `json:"score"`
+	Popularity int     `json:"popularity"`
+	LongTail   bool    `json:"long_tail"`
+}
+
+// RecommendResponse is the /v1/recommend body.
+type RecommendResponse struct {
+	User      int               `json:"user"`
+	Algorithm string            `json:"algorithm"`
+	Items     []RecommendedItem `json:"items"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k <= 0 || k > s.opts.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", s.opts.MaxK, k)
+		return
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = s.opts.DefaultAlgorithm
+	}
+	rec, err := s.src.Algorithm(algo)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	if user < 0 || user >= s.src.Data().NumUsers() {
+		writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", user, s.src.Data().NumUsers())
+		return
+	}
+	scored, err := rec.Recommend(user, k)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	pop := s.src.Data().ItemPopularity()
+	items := make([]RecommendedItem, len(scored))
+	for i, sc := range scored {
+		_, tail := s.tail[sc.Item]
+		items[i] = RecommendedItem{
+			Item:       sc.Item,
+			Score:      sc.Score,
+			Popularity: pop[sc.Item],
+			LongTail:   tail,
+		}
+	}
+	writeJSON(w, http.StatusOK, RecommendResponse{User: user, Algorithm: rec.Name(), Items: items})
+}
+
+// ExplainAnchor attributes a share of the recommendation to a rated item.
+type ExplainAnchor struct {
+	Item        int     `json:"item"`
+	Probability float64 `json:"probability"`
+}
+
+// ExplainResponse is the /v1/explain body.
+type ExplainResponse struct {
+	User    int             `json:"user"`
+	Item    int             `json:"item"`
+	Anchors []ExplainAnchor `json:"anchors"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	user, err := queryInt(r, "user", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	item, err := queryInt(r, "item", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	anchors, err := s.src.Explain(user, item)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	out := make([]ExplainAnchor, len(anchors))
+	for i, a := range anchors {
+		out[i] = ExplainAnchor{Item: a.Item, Probability: a.Probability}
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{User: user, Item: item, Anchors: out})
+}
+
+// UserRating is one (item, score) pair of a user profile.
+type UserRating struct {
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// UserResponse is the /v1/users/{id} body.
+type UserResponse struct {
+	User    int          `json:"user"`
+	Degree  int          `json:"degree"`
+	Ratings []UserRating `json:"ratings"`
+}
+
+func (s *Server) handleUser(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "user id %q is not an integer", r.PathValue("id"))
+		return
+	}
+	d := s.src.Data()
+	if id < 0 || id >= d.NumUsers() {
+		writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", id, d.NumUsers())
+		return
+	}
+	rs := d.UserRatings(id)
+	ratings := make([]UserRating, len(rs))
+	for i, rt := range rs {
+		ratings[i] = UserRating{Item: rt.Item, Score: rt.Score}
+	}
+	writeJSON(w, http.StatusOK, UserResponse{User: id, Degree: len(ratings), Ratings: ratings})
+}
+
+// SimilarEntry is one neighbor in a /v1/items/{id}/similar response.
+type SimilarEntry struct {
+	Item       int     `json:"item"`
+	Similarity float64 `json:"similarity"`
+	Popularity int     `json:"popularity"`
+	LongTail   bool    `json:"long_tail"`
+}
+
+// SimilarResponse is the /v1/items/{id}/similar body.
+type SimilarResponse struct {
+	Item    int            `json:"item"`
+	Similar []SimilarEntry `json:"similar"`
+}
+
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "item id %q is not an integer", r.PathValue("id"))
+		return
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k <= 0 || k > s.opts.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", s.opts.MaxK, k)
+		return
+	}
+	sims, err := s.src.SimilarItems(id, k)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	pop := s.src.Data().ItemPopularity()
+	out := make([]SimilarEntry, len(sims))
+	for i, sim := range sims {
+		_, tail := s.tail[sim.Item]
+		out[i] = SimilarEntry{
+			Item:       sim.Item,
+			Similarity: sim.Similarity,
+			Popularity: pop[sim.Item],
+			LongTail:   tail,
+		}
+	}
+	writeJSON(w, http.StatusOK, SimilarResponse{Item: id, Similar: out})
+}
+
+// ItemResponse is the /v1/items/{id} body.
+type ItemResponse struct {
+	Item       int     `json:"item"`
+	Popularity int     `json:"popularity"`
+	MeanScore  float64 `json:"mean_score"`
+	LongTail   bool    `json:"long_tail"`
+}
+
+func (s *Server) handleItem(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "item id %q is not an integer", r.PathValue("id"))
+		return
+	}
+	d := s.src.Data()
+	if id < 0 || id >= d.NumItems() {
+		writeError(w, http.StatusNotFound, "item %d out of range [0,%d)", id, d.NumItems())
+		return
+	}
+	rs := d.ItemRatings(id)
+	mean := 0.0
+	for _, rt := range rs {
+		mean += rt.Score
+	}
+	if len(rs) > 0 {
+		mean /= float64(len(rs))
+	}
+	_, tail := s.tail[id]
+	writeJSON(w, http.StatusOK, ItemResponse{
+		Item:       id,
+		Popularity: len(rs),
+		MeanScore:  mean,
+		LongTail:   tail,
+	})
+}

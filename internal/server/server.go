@@ -1,0 +1,257 @@
+// Package server exposes a trained recommendation System over HTTP/JSON —
+// the online half of a production deployment (the offline half being
+// internal/persist model artifacts). Endpoints (all GET):
+//
+//	/v1/health                     liveness probe
+//	/v1/stats                      corpus statistics (§5.1.2 view)
+//	/v1/algorithms                 available algorithm names
+//	/v1/recommend?user=&algo=&k=   top-k recommendations
+//	/v1/explain?user=&item=        absorption-probability explanation
+//	/v1/users/{id}                 user profile: ratings, degree
+//	/v1/items/{id}                 item profile: popularity, tail membership
+//	/v1/items/{id}/similar?k=      item-to-item cosine neighbors
+//	/v1/metrics                    request counters and mean latency
+//
+// Errors are JSON {"error": "..."} with conventional status codes; every
+// handler is wrapped in panic recovery so one bad request cannot take the
+// process down.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"longtailrec/internal/cf"
+	"longtailrec/internal/core"
+	"longtailrec/internal/dataset"
+)
+
+// Source is the recommendation capability the server fronts.
+// *longtail.System satisfies it.
+type Source interface {
+	// Algorithm resolves a recommender by name.
+	Algorithm(name string) (core.Recommender, error)
+	// Algorithms lists the accepted names.
+	Algorithms() []string
+	// Data returns the training dataset.
+	Data() *dataset.Dataset
+	// Explain attributes a would-be recommendation over the user's rated
+	// items.
+	Explain(u, candidate int) ([]core.Anchor, error)
+	// SimilarItems returns the item-to-item neighbors of an item.
+	SimilarItems(item, k int) ([]cf.SimilarItem, error)
+}
+
+// Options configure the server.
+type Options struct {
+	// Addr is the listen address; "" means ":8080".
+	Addr string
+	// DefaultAlgorithm serves /v1/recommend when ?algo= is absent;
+	// "" means "AC2" (the paper's best variant).
+	DefaultAlgorithm string
+	// MaxK caps the ?k= parameter; <= 0 means 100.
+	MaxK int
+	// TailShare defines the long-tail split reported by /v1/items;
+	// <= 0 means 0.20 (the 80/20 rule).
+	TailShare float64
+	// Logger receives request logs and panics; nil means the standard
+	// logger.
+	Logger *log.Logger
+	// ShutdownTimeout bounds graceful Shutdown; <= 0 means 5s.
+	ShutdownTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Addr == "" {
+		o.Addr = ":8080"
+	}
+	if o.DefaultAlgorithm == "" {
+		o.DefaultAlgorithm = "AC2"
+	}
+	if o.MaxK <= 0 {
+		o.MaxK = 100
+	}
+	if o.TailShare <= 0 {
+		o.TailShare = 0.20
+	}
+	if o.Logger == nil {
+		o.Logger = log.Default()
+	}
+	if o.ShutdownTimeout <= 0 {
+		o.ShutdownTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Server is a configured HTTP front end over a Source.
+type Server struct {
+	src     Source
+	opts    Options
+	tail    map[int]struct{} // long-tail item set, computed once
+	mux     *http.ServeMux
+	http    *http.Server
+	metrics *metrics
+}
+
+// New builds a Server. The Source must already be trained/indexed; New
+// precomputes the long-tail split so /v1/items answers in O(1).
+func New(src Source, opts Options) (*Server, error) {
+	if src == nil {
+		return nil, fmt.Errorf("server: nil source")
+	}
+	opts = opts.withDefaults()
+	s := &Server{
+		src:     src,
+		opts:    opts,
+		tail:    src.Data().LongTailItems(opts.TailShare),
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+	}
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/users/{id}", s.handleUser)
+	s.mux.HandleFunc("GET /v1/items/{id}", s.handleItem)
+	s.mux.HandleFunc("GET /v1/items/{id}/similar", s.handleSimilar)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.http = &http.Server{
+		Addr:              opts.Addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Handler returns the full middleware-wrapped handler, usable directly in
+// tests via httptest.
+func (s *Server) Handler() http.Handler {
+	return s.recoverPanics(s.logRequests(s.mux))
+}
+
+// ListenAndServe serves until Shutdown or a listener error. Returns nil on
+// graceful shutdown.
+func (s *Server) ListenAndServe() error {
+	err := s.http.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in-flight requests, bounded by Options.ShutdownTimeout.
+func (s *Server) Shutdown(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, s.opts.ShutdownTimeout)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+// --- middleware ---
+
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		s.metrics.observe(r.Method+" "+normalizePath(r.URL.Path), sw.status, elapsed)
+		s.opts.Logger.Printf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond))
+	})
+}
+
+// normalizePath collapses numeric path segments to "{id}" so
+// /v1/users/1 and /v1/users/2 aggregate under one metrics key.
+func normalizePath(path string) string {
+	segs := strings.Split(path, "/")
+	changed := false
+	for i, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		if _, err := strconv.Atoi(seg); err == nil {
+			segs[i] = "{id}"
+			changed = true
+		}
+	}
+	if !changed {
+		return path
+	}
+	return strings.Join(segs, "/")
+}
+
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.opts.Logger.Printf("panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// statusWriter records the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// --- JSON plumbing ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	// Encoding a value we constructed cannot fail except on a dead
+	// connection, which there is no way to report anyway.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// queryInt parses an integer query parameter, with def used when absent
+// (def < 0 marks the parameter required).
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		if def < 0 {
+			return 0, fmt.Errorf("missing required parameter %q", name)
+		}
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// errStatus maps a recommendation error to an HTTP status.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrColdUser):
+		return http.StatusNotFound
+	case strings.Contains(err.Error(), "unknown algorithm"):
+		return http.StatusBadRequest
+	case strings.Contains(err.Error(), "out of range"):
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}

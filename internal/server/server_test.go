@@ -1,0 +1,433 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"longtailrec"
+	"longtailrec/internal/core"
+)
+
+// testSystem builds a small but connected corpus: two taste blocks plus a
+// bridge user, and user 7 left cold (no ratings).
+func testSystem(t testing.TB) *longtail.System {
+	t.Helper()
+	ratings := []longtail.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 4}, {User: 0, Item: 2, Score: 5},
+		{User: 1, Item: 0, Score: 4}, {User: 1, Item: 2, Score: 5}, {User: 1, Item: 3, Score: 3},
+		{User: 2, Item: 1, Score: 5}, {User: 2, Item: 3, Score: 4},
+		{User: 3, Item: 4, Score: 5}, {User: 3, Item: 5, Score: 4}, {User: 3, Item: 6, Score: 5},
+		{User: 4, Item: 4, Score: 4}, {User: 4, Item: 6, Score: 5}, {User: 4, Item: 7, Score: 3},
+		{User: 5, Item: 5, Score: 5}, {User: 5, Item: 7, Score: 4},
+		{User: 6, Item: 3, Score: 3}, {User: 6, Item: 4, Score: 3}, // bridge
+	}
+	d, err := longtail.NewDataset(8, 8, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.DefaultConfig()
+	cfg.LDA.NumTopics = 2
+	cfg.LDA.Iterations = 5
+	cfg.SVDRank = 2
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testServer(t testing.TB) (*Server, *httptest.Server) {
+	t.Helper()
+	srv, err := New(testSystem(t), Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t testing.TB, url string, wantStatus int, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s = %d, want %d (body %s)", url, resp.StatusCode, wantStatus, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if into != nil {
+		if err := json.Unmarshal(body, into); err != nil {
+			t.Fatalf("decode %s: %v (body %s)", url, err, body)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestHealth(t *testing.T) {
+	_, ts := testServer(t)
+	var h HealthResponse
+	getJSON(t, ts.URL+"/v1/health", http.StatusOK, &h)
+	if h.Status != "ok" {
+		t.Fatalf("health %+v", h)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := testServer(t)
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.NumUsers != 8 || st.NumItems != 8 || st.NumRatings != 18 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Density <= 0 || st.MeanScore <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAlgorithms(t *testing.T) {
+	_, ts := testServer(t)
+	var a AlgorithmsResponse
+	getJSON(t, ts.URL+"/v1/algorithms", http.StatusOK, &a)
+	if a.Default != "AT" {
+		t.Fatalf("default %q", a.Default)
+	}
+	found := false
+	for _, name := range a.Algorithms {
+		if name == "AC2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("AC2 missing from %v", a.Algorithms)
+	}
+}
+
+func TestRecommend(t *testing.T) {
+	_, ts := testServer(t)
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=3", http.StatusOK, &rec)
+	if rec.Algorithm != "AT" {
+		t.Fatalf("algorithm %q, want default AT", rec.Algorithm)
+	}
+	if len(rec.Items) == 0 || len(rec.Items) > 3 {
+		t.Fatalf("items %+v", rec.Items)
+	}
+	rated := map[int]bool{0: true, 1: true, 2: true}
+	for _, it := range rec.Items {
+		if rated[it.Item] {
+			t.Fatalf("recommended already-rated item %d", it.Item)
+		}
+		if it.Popularity <= 0 {
+			t.Fatalf("item %d popularity %d", it.Item, it.Popularity)
+		}
+	}
+}
+
+func TestRecommendExplicitAlgo(t *testing.T) {
+	_, ts := testServer(t)
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=1&algo=HT&k=2", http.StatusOK, &rec)
+	if rec.Algorithm != "HT" {
+		t.Fatalf("algorithm %q", rec.Algorithm)
+	}
+}
+
+func TestRecommendErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"", http.StatusBadRequest},                  // missing user
+		{"?user=abc", http.StatusBadRequest},         // non-integer
+		{"?user=0&k=0", http.StatusBadRequest},       // k too small
+		{"?user=0&k=101", http.StatusBadRequest},     // k over MaxK
+		{"?user=0&k=zz", http.StatusBadRequest},      // bad k
+		{"?user=0&algo=Nope", http.StatusBadRequest}, // unknown algorithm
+		{"?user=99", http.StatusNotFound},            // out of range
+		{"?user=7", http.StatusNotFound},             // cold user
+		{"?user=-3", http.StatusNotFound},            // negative user
+	}
+	for _, c := range cases {
+		var e map[string]string
+		getJSON(t, ts.URL+"/v1/recommend"+c.query, c.want, &e)
+		if e["error"] == "" {
+			t.Fatalf("%s: no error message", c.query)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, ts := testServer(t)
+	// Find something AT recommends to user 0, then explain it.
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=1", http.StatusOK, &rec)
+	if len(rec.Items) == 0 {
+		t.Fatal("no recommendation to explain")
+	}
+	var ex ExplainResponse
+	url := fmt.Sprintf("%s/v1/explain?user=0&item=%d", ts.URL, rec.Items[0].Item)
+	getJSON(t, url, http.StatusOK, &ex)
+	if len(ex.Anchors) == 0 {
+		t.Fatal("no anchors")
+	}
+	total := 0.0
+	for _, a := range ex.Anchors {
+		if a.Probability <= 0 || a.Probability > 1 {
+			t.Fatalf("anchor %+v", a)
+		}
+		total += a.Probability
+	}
+	if total > 1.0001 {
+		t.Fatalf("anchor probabilities sum to %v", total)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	_, ts := testServer(t)
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/explain?user=0", http.StatusBadRequest, &e)
+	getJSON(t, ts.URL+"/v1/explain?item=4", http.StatusBadRequest, &e)
+	getJSON(t, ts.URL+"/v1/explain?user=0&item=400", http.StatusNotFound, &e)
+}
+
+func TestUserProfile(t *testing.T) {
+	_, ts := testServer(t)
+	var u UserResponse
+	getJSON(t, ts.URL+"/v1/users/0", http.StatusOK, &u)
+	if u.Degree != 3 || len(u.Ratings) != 3 {
+		t.Fatalf("user profile %+v", u)
+	}
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/users/99", http.StatusNotFound, &e)
+	getJSON(t, ts.URL+"/v1/users/zz", http.StatusBadRequest, &e)
+}
+
+func TestItemProfile(t *testing.T) {
+	_, ts := testServer(t)
+	var it ItemResponse
+	getJSON(t, ts.URL+"/v1/items/0", http.StatusOK, &it)
+	if it.Popularity != 2 {
+		t.Fatalf("item 0 popularity %d, want 2", it.Popularity)
+	}
+	if it.MeanScore != 4.5 {
+		t.Fatalf("item 0 mean score %v, want 4.5", it.MeanScore)
+	}
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/items/99", http.StatusNotFound, &e)
+	getJSON(t, ts.URL+"/v1/items/xx", http.StatusBadRequest, &e)
+}
+
+func TestSimilarItems(t *testing.T) {
+	_, ts := testServer(t)
+	var sim SimilarResponse
+	getJSON(t, ts.URL+"/v1/items/0/similar?k=5", http.StatusOK, &sim)
+	if sim.Item != 0 {
+		t.Fatalf("echoed item %d", sim.Item)
+	}
+	if len(sim.Similar) == 0 {
+		t.Fatal("no neighbors for a co-rated item")
+	}
+	for i, e := range sim.Similar {
+		if e.Item == 0 {
+			t.Fatal("item is its own neighbor")
+		}
+		if e.Similarity <= 0 || e.Similarity > 1+1e-12 {
+			t.Fatalf("similarity %v", e.Similarity)
+		}
+		if i > 0 && e.Similarity > sim.Similar[i-1].Similarity {
+			t.Fatal("neighbors not sorted by similarity")
+		}
+	}
+	// Items 0 and 2 share two raters (users 0, 1); item 0's top neighbors
+	// must include item 2.
+	found := false
+	for _, e := range sim.Similar {
+		if e.Item == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("co-rated item 2 missing from %+v", sim.Similar)
+	}
+}
+
+func TestSimilarItemsErrors(t *testing.T) {
+	_, ts := testServer(t)
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/items/99/similar", http.StatusNotFound, &e)
+	getJSON(t, ts.URL+"/v1/items/zz/similar", http.StatusBadRequest, &e)
+	getJSON(t, ts.URL+"/v1/items/0/similar?k=0", http.StatusBadRequest, &e)
+	getJSON(t, ts.URL+"/v1/items/0/similar?k=9999", http.StatusBadRequest, &e)
+}
+
+func TestLongTailFlagConsistent(t *testing.T) {
+	srv, ts := testServer(t)
+	for i := 0; i < 8; i++ {
+		var it ItemResponse
+		getJSON(t, fmt.Sprintf("%s/v1/items/%d", ts.URL, i), http.StatusOK, &it)
+		_, want := srv.tail[i]
+		if it.LongTail != want {
+			t.Fatalf("item %d long_tail=%v, precomputed %v", i, it.LongTail, want)
+		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	// Generate traffic: two successes on the same logical route, one error.
+	var u UserResponse
+	getJSON(t, ts.URL+"/v1/users/0", http.StatusOK, &u)
+	getJSON(t, ts.URL+"/v1/users/1", http.StatusOK, &u)
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/users/99", http.StatusNotFound, &e)
+
+	var m MetricsResponse
+	getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &m)
+	if m.UptimeSeconds < 0 {
+		t.Fatalf("uptime %v", m.UptimeSeconds)
+	}
+	users, ok := m.Endpoints["GET /v1/users/{id}"]
+	if !ok {
+		t.Fatalf("user route not aggregated: %+v", m.Endpoints)
+	}
+	if users.Requests != 3 || users.Errors != 1 {
+		t.Fatalf("user route stats %+v", users)
+	}
+	if users.MeanLatencyMS < 0 {
+		t.Fatalf("latency %v", users.MeanLatencyMS)
+	}
+}
+
+func TestNormalizePath(t *testing.T) {
+	for in, want := range map[string]string{
+		"/v1/users/123":         "/v1/users/{id}",
+		"/v1/items/5/similar":   "/v1/items/{id}/similar",
+		"/v1/stats":             "/v1/stats",
+		"/v1/recommend":         "/v1/recommend",
+		"/v1/items/abc/similar": "/v1/items/abc/similar",
+	} {
+		if got := normalizePath(in); got != want {
+			t.Fatalf("normalizePath(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestUnknownRouteIs404(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/v1/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Post(ts.URL+"/v1/recommend?user=0", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status %d, want 405", resp.StatusCode)
+	}
+}
+
+// panicSource explodes on Algorithm, to exercise the recovery middleware.
+type panicSource struct{ Source }
+
+func (panicSource) Algorithm(string) (core.Recommender, error) { panic("kaboom") }
+
+func TestPanicRecovery(t *testing.T) {
+	sys := testSystem(t)
+	srv, err := New(panicSource{sys}, Options{Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/recommend?user=0", http.StatusInternalServerError, &e)
+	if !strings.Contains(e["error"], "internal error") {
+		t.Fatalf("error %q", e["error"])
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	_, ts := testServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/recommend?user=%d&k=3&algo=HT", ts.URL, i%7)
+			resp, err := http.Get(url)
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("user %d: status %d", i%7, resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	srv, err := New(testSystem(t), Options{
+		Addr:   "127.0.0.1:0",
+		Logger: log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	// Shutdown before any request; ListenAndServe must return nil.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("ListenAndServe after shutdown: %v", err)
+	}
+}
+
+// Interface conformance: *longtail.System must satisfy Source.
+var _ Source = (*longtail.System)(nil)

@@ -1,0 +1,178 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSC is an immutable compressed-sparse-column matrix — the
+// column-oriented twin of CSR, efficient for "who rated this item"
+// traversals (per-item rating lists) where CSR favors per-user rows.
+type CSC struct {
+	rows, cols int
+	colPtr     []int // length cols+1
+	rowIdx     []int // length nnz, strictly increasing within a column
+	vals       []float64
+}
+
+// ToCSC compiles a COO builder into CSC form, summing duplicates and
+// dropping zero-sum entries, mirroring ToCSR.
+func (c *COO) ToCSC() *CSC {
+	type key struct{ r, c int }
+	agg := make(map[key]float64, len(c.entries))
+	for _, e := range c.entries {
+		agg[key{e.Row, e.Col}] += e.Val
+	}
+	compact := make([]Entry, 0, len(agg))
+	for k, v := range agg {
+		if v != 0 {
+			compact = append(compact, Entry{Row: k.r, Col: k.c, Val: v})
+		}
+	}
+	sort.Slice(compact, func(a, b int) bool {
+		if compact[a].Col != compact[b].Col {
+			return compact[a].Col < compact[b].Col
+		}
+		return compact[a].Row < compact[b].Row
+	})
+	m := &CSC{
+		rows:   c.rows,
+		cols:   c.cols,
+		colPtr: make([]int, c.cols+1),
+		rowIdx: make([]int, len(compact)),
+		vals:   make([]float64, len(compact)),
+	}
+	for i, e := range compact {
+		m.colPtr[e.Col+1]++
+		m.rowIdx[i] = e.Row
+		m.vals[i] = e.Val
+	}
+	for j := 0; j < c.cols; j++ {
+		m.colPtr[j+1] += m.colPtr[j]
+	}
+	return m
+}
+
+// ToCSC converts a CSR matrix into CSC form (an explicit transpose-layout
+// change; values are identical).
+func (m *CSR) ToCSC() *CSC {
+	out := &CSC{
+		rows:   m.rows,
+		cols:   m.cols,
+		colPtr: make([]int, m.cols+1),
+		rowIdx: make([]int, len(m.vals)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for _, j := range m.colIdx {
+		out.colPtr[j+1]++
+	}
+	for j := 0; j < m.cols; j++ {
+		out.colPtr[j+1] += out.colPtr[j]
+	}
+	next := make([]int, m.cols)
+	copy(next, out.colPtr[:m.cols])
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := m.colIdx[k]
+			pos := next[j]
+			out.rowIdx[pos] = i
+			out.vals[pos] = m.vals[k]
+			next[j]++
+		}
+	}
+	return out
+}
+
+// Dims returns (rows, cols).
+func (m *CSC) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the stored nonzero count.
+func (m *CSC) NNZ() int { return len(m.vals) }
+
+// Col returns the row indices and values of column j; the slices alias
+// internal storage.
+func (m *CSC) Col(j int) (rows []int, vals []float64) {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: CSC.Col(%d) out of bounds for %d cols", j, m.cols))
+	}
+	lo, hi := m.colPtr[j], m.colPtr[j+1]
+	return m.rowIdx[lo:hi], m.vals[lo:hi]
+}
+
+// ColNNZ returns the nonzero count of column j.
+func (m *CSC) ColNNZ(j int) int { return m.colPtr[j+1] - m.colPtr[j] }
+
+// ColSum returns the sum of column j's values.
+func (m *CSC) ColSum(j int) float64 {
+	_, vals := m.Col(j)
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// At returns element (i, j), zero if absent.
+func (m *CSC) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("sparse: CSC.At(%d, %d) out of bounds for %dx%d", i, j, m.rows, m.cols))
+	}
+	rows, vals := m.Col(j)
+	k := sort.SearchInts(rows, i)
+	if k < len(rows) && rows[k] == i {
+		return vals[k]
+	}
+	return 0
+}
+
+// MulVec computes y = M·x column-wise: y accumulates x[j]·col_j.
+func (m *CSC) MulVec(x, y []float64) {
+	if len(x) != m.cols || len(y) != m.rows {
+		panic(fmt.Sprintf("sparse: CSC.MulVec shape mismatch: M is %dx%d, x %d, y %d",
+			m.rows, m.cols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < m.cols; j++ {
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		lo, hi := m.colPtr[j], m.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			y[m.rowIdx[k]] += m.vals[k] * xj
+		}
+	}
+}
+
+// ToCSR converts back to row-compressed form.
+func (m *CSC) ToCSR() *CSR {
+	out := &CSR{
+		rows:   m.rows,
+		cols:   m.cols,
+		rowPtr: make([]int, m.rows+1),
+		colIdx: make([]int, len(m.vals)),
+		vals:   make([]float64, len(m.vals)),
+	}
+	for _, i := range m.rowIdx {
+		out.rowPtr[i+1]++
+	}
+	for i := 0; i < m.rows; i++ {
+		out.rowPtr[i+1] += out.rowPtr[i]
+	}
+	next := make([]int, m.rows)
+	copy(next, out.rowPtr[:m.rows])
+	for j := 0; j < m.cols; j++ {
+		lo, hi := m.colPtr[j], m.colPtr[j+1]
+		for k := lo; k < hi; k++ {
+			i := m.rowIdx[k]
+			pos := next[i]
+			out.colIdx[pos] = j
+			out.vals[pos] = m.vals[k]
+			next[i]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSC(t *testing.T) {
+	coo := NewCOO(3, 4)
+	coo.Add(0, 1, 2)
+	coo.Add(2, 1, 3)
+	coo.Add(0, 1, 1) // duplicate sums
+	coo.Add(1, 3, 4)
+	m := coo.ToCSC()
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("nnz %d", m.NNZ())
+	}
+	rows, vals := m.Col(1)
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 2 || vals[0] != 3 || vals[1] != 3 {
+		t.Fatalf("col 1 = %v %v", rows, vals)
+	}
+	if m.ColNNZ(0) != 0 || m.ColNNZ(3) != 1 {
+		t.Fatal("ColNNZ wrong")
+	}
+	if m.ColSum(1) != 6 {
+		t.Fatalf("ColSum %v", m.ColSum(1))
+	}
+	if m.At(1, 3) != 4 || m.At(0, 0) != 0 {
+		t.Fatal("At wrong")
+	}
+}
+
+func TestCSRToCSCRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		coo := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(40); k++ {
+			coo.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		csr := coo.ToCSR()
+		back := csr.ToCSC().ToCSR()
+		if !csr.Equal(back, 0) {
+			t.Fatalf("trial %d: CSR->CSC->CSR not identity", trial)
+		}
+	}
+}
+
+func TestCSCMulVecMatchesCSR(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		coo := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(60); k++ {
+			coo.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		csr := coo.ToCSR()
+		csc := coo.ToCSC()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, rows)
+		y2 := make([]float64, rows)
+		csr.MulVec(x, y1)
+		csc.MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				t.Fatalf("trial %d: CSC MulVec[%d] = %v vs CSR %v", trial, i, y2[i], y1[i])
+			}
+		}
+	}
+}
+
+func TestCSCBoundsPanics(t *testing.T) {
+	m := NewCOO(2, 2).ToCSC()
+	for _, fn := range []func(){
+		func() { m.Col(-1) },
+		func() { m.Col(2) },
+		func() { m.At(0, 5) },
+		func() { m.MulVec([]float64{1}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickCSCColumnOrder(t *testing.T) {
+	f := func(raw []uint8) bool {
+		coo := NewCOO(7, 5)
+		for k := 0; k+2 < len(raw); k += 3 {
+			coo.Add(int(raw[k])%7, int(raw[k+1])%5, float64(raw[k+2])+1)
+		}
+		m := coo.ToCSC()
+		total := 0
+		for j := 0; j < 5; j++ {
+			rows, _ := m.Col(j)
+			for k := 1; k < len(rows); k++ {
+				if rows[k] <= rows[k-1] {
+					return false
+				}
+			}
+			total += len(rows)
+		}
+		return total == m.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCSCSumsMatchCSR(t *testing.T) {
+	f := func(raw []uint8) bool {
+		coo := NewCOO(6, 6)
+		for k := 0; k+2 < len(raw); k += 3 {
+			coo.Add(int(raw[k])%6, int(raw[k+1])%6, float64(int(raw[k+2]))-100)
+		}
+		csr := coo.ToCSR()
+		csc := coo.ToCSC()
+		colSums := 0.0
+		for j := 0; j < 6; j++ {
+			colSums += csc.ColSum(j)
+		}
+		return math.Abs(colSums-csr.Sum()) < 1e-9 && csc.NNZ() == csr.NNZ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

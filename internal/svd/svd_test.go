@@ -1,0 +1,254 @@
+package svd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/sparse"
+)
+
+func TestTruncatedValidation(t *testing.T) {
+	m := sparse.NewCSRFromDense([][]float64{{1, 2}, {3, 4}})
+	if _, err := Truncated(m, Options{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	if _, err := Truncated(m, Options{Rank: 3}); err == nil {
+		t.Fatal("rank above min dimension accepted")
+	}
+}
+
+func TestTruncatedExactRankOne(t *testing.T) {
+	// A = σ·u·vᵀ with u = (3,4)/5, v = (1,0), σ = 10.
+	m := sparse.NewCSRFromDense([][]float64{
+		{6, 0},
+		{8, 0},
+	})
+	dec, err := Truncated(m, Options{Rank: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.S[0]-10) > 1e-8 {
+		t.Fatalf("σ = %v, want 10", dec.S[0])
+	}
+	u := dec.U.Col(0, nil)
+	v := dec.V.Col(0, nil)
+	// Signs may flip jointly.
+	sign := 1.0
+	if u[0] < 0 {
+		sign = -1
+	}
+	if math.Abs(sign*u[0]-0.6) > 1e-8 || math.Abs(sign*u[1]-0.8) > 1e-8 {
+		t.Fatalf("u = %v", u)
+	}
+	if math.Abs(sign*v[0]-1) > 1e-8 || math.Abs(v[1]) > 1e-8 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestTruncatedDiagonalSingularValues(t *testing.T) {
+	m := sparse.NewCSRFromDense([][]float64{
+		{5, 0, 0},
+		{0, 3, 0},
+		{0, 0, 1},
+	})
+	dec, err := Truncated(m, Options{Rank: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.S[0]-5) > 1e-8 || math.Abs(dec.S[1]-3) > 1e-8 {
+		t.Fatalf("S = %v, want [5 3]", dec.S)
+	}
+}
+
+func TestTruncatedReconstructsLowRankMatrix(t *testing.T) {
+	// Build an exactly rank-3 matrix and verify rank-3 truncation recovers
+	// it to numerical precision.
+	rng := rand.New(rand.NewSource(3))
+	const rows, cols, rank = 30, 20, 3
+	u := make([][]float64, rows)
+	v := make([][]float64, cols)
+	for i := range u {
+		u[i] = make([]float64, rank)
+		for j := range u[i] {
+			u[i][j] = rng.NormFloat64()
+		}
+	}
+	for i := range v {
+		v[i] = make([]float64, rank)
+		for j := range v[i] {
+			v[i][j] = rng.NormFloat64()
+		}
+	}
+	dense := make([][]float64, rows)
+	for i := range dense {
+		dense[i] = make([]float64, cols)
+		for j := range dense[i] {
+			for l := 0; l < rank; l++ {
+				dense[i][j] += u[i][l] * v[j][l]
+			}
+		}
+	}
+	m := sparse.NewCSRFromDense(dense)
+	dec, err := Truncated(m, Options{Rank: rank, PowerIters: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct and compare.
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			acc := 0.0
+			for l := 0; l < rank; l++ {
+				acc += dec.U.At(i, l) * dec.S[l] * dec.V.At(j, l)
+			}
+			if math.Abs(acc-dense[i][j]) > 1e-6 {
+				t.Fatalf("reconstruction error at (%d,%d): %v vs %v", i, j, acc, dense[i][j])
+			}
+		}
+	}
+}
+
+func TestSingularVectorsOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	coo := sparse.NewCOO(40, 25)
+	for k := 0; k < 300; k++ {
+		coo.Add(rng.Intn(40), rng.Intn(25), 1+4*rng.Float64())
+	}
+	dec, err := Truncated(coo.ToCSR(), Options{Rank: 5, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			du, dv := 0.0, 0.0
+			for i := 0; i < 40; i++ {
+				du += dec.U.At(i, a) * dec.U.At(i, b)
+			}
+			for i := 0; i < 25; i++ {
+				dv += dec.V.At(i, a) * dec.V.At(i, b)
+			}
+			if math.Abs(du-want) > 1e-6 {
+				t.Fatalf("UᵀU(%d,%d) = %v", a, b, du)
+			}
+			if math.Abs(dv-want) > 1e-6 {
+				t.Fatalf("VᵀV(%d,%d) = %v", a, b, dv)
+			}
+		}
+	}
+	// Descending singular values.
+	for j := 1; j < 5; j++ {
+		if dec.S[j] > dec.S[j-1]+1e-10 {
+			t.Fatalf("singular values not descending: %v", dec.S)
+		}
+	}
+}
+
+func TestSVDMatchesAv(t *testing.T) {
+	// A·v_j must equal σ_j·u_j for the leading triplets.
+	rng := rand.New(rand.NewSource(7))
+	coo := sparse.NewCOO(30, 30)
+	for k := 0; k < 200; k++ {
+		coo.Add(rng.Intn(30), rng.Intn(30), rng.NormFloat64())
+	}
+	m := coo.ToCSR()
+	dec, err := Truncated(m, Options{Rank: 3, PowerIters: 8, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		v := dec.V.Col(j, nil)
+		av := make([]float64, 30)
+		m.MulVec(v, av)
+		for i := 0; i < 30; i++ {
+			if math.Abs(av[i]-dec.S[j]*dec.U.At(i, j)) > 1e-4 {
+				t.Fatalf("A·v != σ·u at (%d, %d): %v vs %v", i, j, av[i], dec.S[j]*dec.U.At(i, j))
+			}
+		}
+	}
+}
+
+func clusteredDataset(t testing.TB, seed int64) *dataset.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var ratings []dataset.Rating
+	// Two user clusters with disjoint item preferences.
+	for u := 0; u < 20; u++ {
+		for _, i := range rng.Perm(10)[:6] {
+			ratings = append(ratings, dataset.Rating{User: u, Item: i, Score: 4 + float64(rng.Intn(2))})
+		}
+	}
+	for u := 20; u < 40; u++ {
+		for _, i := range rng.Perm(10)[:6] {
+			ratings = append(ratings, dataset.Rating{User: u, Item: 10 + i, Score: 4 + float64(rng.Intn(2))})
+		}
+	}
+	d, err := dataset.New(40, 20, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPureSVDPrefersInClusterItems(t *testing.T) {
+	d := clusteredDataset(t, 9)
+	rec, err := NewPureSVD(d, Options{Rank: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Rank() != 2 {
+		t.Fatalf("rank %d", rec.Rank())
+	}
+	scores := rec.ScoreAll(0, nil)
+	rated := d.UserItemSet(0)
+	var inMean, outMean float64
+	var nIn, nOut int
+	for i := 0; i < 20; i++ {
+		if _, ok := rated[i]; ok {
+			continue
+		}
+		if i < 10 {
+			inMean += scores[i]
+			nIn++
+		} else {
+			outMean += scores[i]
+			nOut++
+		}
+	}
+	if nIn == 0 || nOut == 0 {
+		t.Skip("degenerate draw")
+	}
+	if inMean/float64(nIn) <= outMean/float64(nOut) {
+		t.Fatalf("in-cluster %v not above out-cluster %v", inMean/float64(nIn), outMean/float64(nOut))
+	}
+}
+
+func TestPureSVDScoreConsistency(t *testing.T) {
+	d := clusteredDataset(t, 11)
+	rec, err := NewPureSVD(d, Options{Rank: 3, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := rec.ScoreAll(5, nil)
+	for i := 0; i < d.NumItems(); i += 3 {
+		if math.Abs(all[i]-rec.Score(5, i)) > 1e-12 {
+			t.Fatalf("ScoreAll[%d] = %v vs Score %v", i, all[i], rec.Score(5, i))
+		}
+	}
+	// Buffer reuse.
+	buf := rec.ScoreAll(6, all)
+	if &buf[0] != &all[0] {
+		t.Fatal("buffer not reused")
+	}
+}
+
+func TestPureSVDRankValidation(t *testing.T) {
+	d := clusteredDataset(t, 13)
+	if _, err := NewPureSVD(d, Options{Rank: 0}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+}

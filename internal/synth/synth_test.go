@@ -1,0 +1,303 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{NumUsers: 0, NumItems: 5}); err == nil {
+		t.Fatal("zero users accepted")
+	}
+	if _, err := Generate(Config{NumUsers: 5, NumItems: 5, NoiseRate: 1.5}); err == nil {
+		t.Fatal("noise > 1 accepted")
+	}
+}
+
+func smallConfig(seed int64) Config {
+	return Config{
+		NumUsers:           120,
+		NumItems:           200,
+		NumGenres:          4,
+		SubgenresPerGenre:  3,
+		MeanRatingsPerUser: 20,
+		MinRatingsPerUser:  5,
+		Seed:               seed,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	w, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := w.Data
+	if d.NumUsers() != 120 || d.NumItems() != 200 {
+		t.Fatalf("universe %d/%d", d.NumUsers(), d.NumItems())
+	}
+	// Every user must reach the activity floor.
+	for u := 0; u < d.NumUsers(); u++ {
+		if d.UserDegree(u) < 5 {
+			t.Fatalf("user %d has %d ratings, floor 5", u, d.UserDegree(u))
+		}
+	}
+	// Scores on the 1–5 star scale.
+	for _, r := range d.Ratings() {
+		if r.Score < 1 || r.Score > 5 || r.Score != math.Round(r.Score) {
+			t.Fatalf("score %v not an integer star", r.Score)
+		}
+	}
+	// Ground truth present and consistent.
+	if len(w.ItemGenre) != 200 || len(w.UserPrefs) != 120 {
+		t.Fatal("ground truth sizes wrong")
+	}
+	for i, g := range w.ItemGenre {
+		if g < 0 || g >= 4 {
+			t.Fatalf("item %d genre %d", i, g)
+		}
+	}
+	for _, prefs := range w.UserPrefs {
+		sum := 0.0
+		for _, p := range prefs {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("user prefs sum to %v", sum)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.NumRatings() != b.Data.NumRatings() {
+		t.Fatal("same seed produced different corpora")
+	}
+	ra, rb := a.Data.Ratings(), b.Data.Ratings()
+	for k := range ra {
+		if ra[k] != rb[k] {
+			t.Fatalf("rating %d differs: %+v vs %+v", k, ra[k], rb[k])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.NumRatings() == b.Data.NumRatings() {
+		same := true
+		ra, rb := a.Data.Ratings(), b.Data.Ratings()
+		for k := range ra {
+			if ra[k] != rb[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	// The generated catalog must have a long tail: top 10% of items carry
+	// far more ratings than the bottom 50%.
+	w, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := w.Data.ItemPopularity()
+	sorted := append([]int(nil), pop...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] > sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+	}
+	top, bottom := 0, 0
+	for i := 0; i < len(sorted)/10; i++ {
+		top += sorted[i]
+	}
+	for i := len(sorted) / 2; i < len(sorted); i++ {
+		bottom += sorted[i]
+	}
+	if top <= bottom {
+		t.Fatalf("no popularity skew: top 10%% carries %d vs bottom 50%% %d", top, bottom)
+	}
+}
+
+func TestUsersPreferTheirGenres(t *testing.T) {
+	// Ratings must cluster on each user's preferred genres: in-top-genre
+	// rating share must clearly beat the uniform share.
+	w, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTop, total := 0, 0
+	for u := 0; u < w.Data.NumUsers(); u++ {
+		// Top genre of the user.
+		best, bestP := 0, 0.0
+		for g, p := range w.UserPrefs[u] {
+			if p > bestP {
+				best, bestP = g, p
+			}
+		}
+		for _, r := range w.Data.UserRatings(u) {
+			total++
+			if w.ItemGenre[r.Item] == best {
+				inTop++
+			}
+		}
+	}
+	share := float64(inTop) / float64(total)
+	if share < 0.35 { // uniform would be 0.25 over 4 genres
+		t.Fatalf("in-genre share %.3f too close to uniform", share)
+	}
+}
+
+func TestScoresTrackAffinity(t *testing.T) {
+	w, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean score of high-affinity ratings must exceed low-affinity ones.
+	var hi, lo, nHi, nLo float64
+	for _, r := range w.Data.Ratings() {
+		if w.TasteAffinity(r.User, r.Item) > 0.8 {
+			hi += r.Score
+			nHi++
+		} else if w.TasteAffinity(r.User, r.Item) < 0.2 {
+			lo += r.Score
+			nLo++
+		}
+	}
+	if nHi < 10 || nLo < 10 {
+		t.Skip("not enough contrast samples")
+	}
+	if hi/nHi <= lo/nLo {
+		t.Fatalf("high-affinity mean %.2f not above low-affinity %.2f", hi/nHi, lo/nLo)
+	}
+}
+
+func TestOntologyCoversCatalog(t *testing.T) {
+	w, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Ontology.Len() != w.Data.NumItems() {
+		t.Fatalf("ontology covers %d of %d items", w.Ontology.Len(), w.Data.NumItems())
+	}
+	// Same-genre items must be more ontology-similar than cross-genre.
+	var sameGenre, crossGenre []float64
+	for i := 0; i < 50; i++ {
+		for j := i + 1; j < 50; j++ {
+			s := w.Ontology.ItemSimilarity(i, j)
+			if w.ItemGenre[i] == w.ItemGenre[j] {
+				sameGenre = append(sameGenre, s)
+			} else {
+				crossGenre = append(crossGenre, s)
+			}
+		}
+	}
+	mean := func(xs []float64) float64 {
+		t := 0.0
+		for _, x := range xs {
+			t += x
+		}
+		return t / float64(len(xs))
+	}
+	if mean(sameGenre) <= mean(crossGenre) {
+		t.Fatalf("ontology does not separate genres: %v vs %v", mean(sameGenre), mean(crossGenre))
+	}
+}
+
+func TestTasteAffinityRange(t *testing.T) {
+	w, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundTop := false
+	for u := 0; u < 20; u++ {
+		for i := 0; i < w.Data.NumItems(); i++ {
+			a := w.TasteAffinity(u, i)
+			if a < 0 || a > 1+1e-12 {
+				t.Fatalf("affinity %v out of range", a)
+			}
+			if a > 0.999 {
+				foundTop = true
+			}
+		}
+	}
+	if !foundTop {
+		t.Fatal("no item reaches affinity 1 for any user")
+	}
+}
+
+func TestMovieLensLikeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration generation is slow")
+	}
+	w, err := Generate(MovieLensLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Data.Summarize()
+	// §5.1.2: density ~4.26%, tail fraction ~66%. Accept generous bands.
+	if s.Density < 0.02 || s.Density > 0.10 {
+		t.Fatalf("MovieLens-like density %.4f outside [0.02, 0.10]", s.Density)
+	}
+	if s.TailItemFraction < 0.45 || s.TailItemFraction > 0.85 {
+		t.Fatalf("MovieLens-like tail fraction %.3f outside [0.45, 0.85]", s.TailItemFraction)
+	}
+	if s.MinUserDegree < 10 {
+		t.Fatalf("min user degree %d", s.MinUserDegree)
+	}
+}
+
+func TestDoubanLikeCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration generation is slow")
+	}
+	ml, err := Generate(MovieLensLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Generate(DoubanLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMl, sDb := ml.Data.Summarize(), db.Data.Summarize()
+	if sDb.Density >= sMl.Density {
+		t.Fatalf("Douban-like density %.4f not below MovieLens-like %.4f", sDb.Density, sMl.Density)
+	}
+	if sDb.TailItemFraction < sMl.TailItemFraction-0.05 {
+		t.Fatalf("Douban-like tail %.3f should be at least MovieLens-like %.3f",
+			sDb.TailItemFraction, sMl.TailItemFraction)
+	}
+}
+
+func TestNames(t *testing.T) {
+	w, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.GenreName(3) != "Genre-03" {
+		t.Fatalf("genre name %q", w.GenreName(3))
+	}
+	if w.ItemName(42) != "Item-00042" {
+		t.Fatalf("item name %q", w.ItemName(42))
+	}
+}

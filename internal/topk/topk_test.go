@@ -1,0 +1,162 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelectorBasics(t *testing.T) {
+	s := NewSelector(3)
+	for id, score := range []float64{1, 9, 3, 7, 5} {
+		s.Offer(id, score)
+	}
+	got := s.Take()
+	want := []Item{{ID: 1, Score: 9}, {ID: 3, Score: 7}, {ID: 4, Score: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSelectorFewerThanK(t *testing.T) {
+	s := NewSelector(10)
+	s.Offer(0, 2)
+	s.Offer(1, 1)
+	got := s.Take()
+	if len(got) != 2 || got[0].ID != 0 || got[1].ID != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectorZeroK(t *testing.T) {
+	s := NewSelector(0)
+	s.Offer(0, 5)
+	if s.Len() != 0 || len(s.Take()) != 0 {
+		t.Fatal("k=0 retained items")
+	}
+	s2 := NewSelector(-3)
+	s2.Offer(1, 1)
+	if len(s2.Take()) != 0 {
+		t.Fatal("negative k retained items")
+	}
+}
+
+func TestTieBreaksTowardSmallerID(t *testing.T) {
+	s := NewSelector(2)
+	s.Offer(5, 1)
+	s.Offer(2, 1)
+	s.Offer(9, 1)
+	got := s.Take()
+	if got[0].ID != 2 || got[1].ID != 5 {
+		t.Fatalf("tie break wrong: %v", got)
+	}
+}
+
+func TestSelectConvenience(t *testing.T) {
+	got := Select(2, func(offer func(int, float64)) {
+		offer(0, 1)
+		offer(1, 3)
+		offer(2, 2)
+	})
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestTakeDrains(t *testing.T) {
+	s := NewSelector(2)
+	s.Offer(0, 1)
+	s.Take()
+	if s.Len() != 0 {
+		t.Fatal("Take did not drain")
+	}
+	if len(s.Take()) != 0 {
+		t.Fatal("second Take returned items")
+	}
+}
+
+// referenceTopK is the obviously-correct O(n log n) implementation.
+func referenceTopK(items []Item, k int) []Item {
+	cp := append([]Item(nil), items...)
+	sort.Slice(cp, func(a, b int) bool {
+		if cp[a].Score != cp[b].Score {
+			return cp[a].Score > cp[b].Score
+		}
+		return cp[a].ID < cp[b].ID
+	})
+	if len(cp) > k {
+		cp = cp[:k]
+	}
+	return cp
+}
+
+func TestAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(60)
+		k := rng.Intn(12)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{ID: i, Score: float64(rng.Intn(10))} // force ties
+		}
+		s := NewSelector(k)
+		for _, it := range items {
+			s.Offer(it.ID, it.Score)
+		}
+		got := s.Take()
+		want := referenceTopK(items, k)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %v want %v", trial, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestQuickOrderedOutput(t *testing.T) {
+	f := func(scores []float64, kRaw uint8) bool {
+		k := int(kRaw)%10 + 1
+		s := NewSelector(k)
+		for id, sc := range scores {
+			s.Offer(id, sc)
+		}
+		out := s.Take()
+		for i := 1; i < len(out); i++ {
+			if out[i].Score > out[i-1].Score {
+				return false
+			}
+			if out[i].Score == out[i-1].Score && out[i].ID < out[i-1].ID {
+				return false
+			}
+		}
+		return len(out) <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSelector(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	scores := make([]float64, 100000)
+	for i := range scores {
+		scores[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewSelector(10)
+		for id, sc := range scores {
+			s.Offer(id, sc)
+		}
+		s.Take()
+	}
+}

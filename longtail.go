@@ -1,0 +1,699 @@
+// Package longtail is the public API of this library: a Go reproduction of
+// "Challenging the Long Tail Recommendation" (Yin, Cui, Li, Yao, Chen;
+// PVLDB 5(9), 2012).
+//
+// The paper proposes ranking items for a user by random-walk statistics on
+// the user–item bipartite graph — Hitting Time (HT), Absorbing Time (AT)
+// and two entropy-biased Absorbing Cost variants (AC1, AC2) — so that
+// niche items a user would love outrank the generic popular items that
+// classic recommenders push. This package wires the full suite together:
+//
+//	d, _ := longtail.LoadMovieLensFile("ratings.dat")
+//	sys, _ := longtail.NewSystem(d.Data, longtail.DefaultConfig())
+//	ac2, _ := sys.AC2() // trains the LDA entropy model lazily
+//	recs, _ := ac2.Recommend(user, 10)
+//
+// Everything is implemented from scratch on the standard library: sparse
+// matrices, Markov-chain solvers, LDA (collapsed Gibbs), truncated SVD,
+// personalized PageRank, and the paper's evaluation protocols. See
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured results.
+package longtail
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"longtailrec/internal/assoc"
+	"longtailrec/internal/cf"
+	"longtailrec/internal/core"
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/entropy"
+	"longtailrec/internal/graph"
+	"longtailrec/internal/lda"
+	"longtailrec/internal/markov"
+	"longtailrec/internal/mf"
+	"longtailrec/internal/pagerank"
+	"longtailrec/internal/persist"
+	"longtailrec/internal/svd"
+	"longtailrec/internal/synth"
+)
+
+// Re-exported core types, so callers interact with one package.
+type (
+	// Recommender is the uniform algorithm interface (see internal/core).
+	Recommender = core.Recommender
+	// Scored pairs an item with its ranking score.
+	Scored = core.Scored
+	// Rating is a (user, item, score) observation.
+	Rating = dataset.Rating
+	// Dataset is an indexed rating collection.
+	Dataset = dataset.Dataset
+	// World is a synthetic corpus with ground truth (see internal/synth).
+	World = synth.World
+	// Anchor attributes a recommendation to one of the user's rated items.
+	Anchor = core.Anchor
+)
+
+// ErrColdUser is returned when a query user has no rated items.
+var ErrColdUser = core.ErrColdUser
+
+// Config tunes the full algorithm suite.
+type Config struct {
+	// Walk carries µ (subgraph item budget), τ (truncated iterations) and
+	// the exact-solve switch for HT/AT/AC (Algorithm 1 parameters).
+	Walk core.WalkOptions
+	// UserCost is the C constant of the Absorbing Cost model (Eq. 9).
+	UserCost float64
+	// EntropyFloor keeps step costs strictly positive.
+	EntropyFloor float64
+	// LDA configures both the AC2 entropy model and the LDA baseline.
+	LDA lda.Config
+	// SVDRank is the PureSVD factor count; <= 0 means 50.
+	SVDRank int
+	// MF configures the SGD factorization baselines (BiasedMF, SVD++,
+	// AsySVD); zero-valued fields take mf defaults.
+	MF mf.Options
+	// PageRank configures the DPPR baseline (λ = 0.5 in the paper).
+	PageRank pagerank.Options
+	// KNNNeighbors sizes the kNN baselines; <= 0 means 50.
+	KNNNeighbors int
+	// Seed drives every randomized component.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's defaults: µ = 6000, τ = 15, λ = 0.5,
+// LDA α = 50/K, β = 0.1.
+func DefaultConfig() Config {
+	return Config{
+		Walk:         core.WalkOptions{MaxSubgraphItems: 6000, Iterations: 15},
+		UserCost:     1.0,
+		EntropyFloor: 0.05,
+		LDA:          lda.Config{NumTopics: 20, Iterations: 60},
+		SVDRank:      50,
+		MF:           mf.DefaultOptions(),
+		PageRank:     pagerank.Options{Damping: 0.5},
+		KNNNeighbors: 50,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.SVDRank <= 0 {
+		c.SVDRank = 50
+	}
+	if c.KNNNeighbors <= 0 {
+		c.KNNNeighbors = 50
+	}
+	if c.LDA.NumTopics <= 0 {
+		c.LDA.NumTopics = 20
+	}
+	if c.UserCost <= 0 {
+		c.UserCost = 1.0
+	}
+	if c.EntropyFloor <= 0 {
+		c.EntropyFloor = 0.05
+	}
+	return c
+}
+
+// System bundles a training corpus with lazily constructed recommenders.
+// Heavy models (LDA, SVD) are trained on first use and cached; a System is
+// safe for concurrent use after construction.
+type System struct {
+	data *dataset.Dataset
+	g    *graph.Bipartite
+	cfg  Config
+
+	mu         sync.Mutex
+	ldaModel   *lda.Model
+	ldaErr     error
+	itemKNN    *cf.ItemKNN
+	itemKNNErr error
+	cache      map[string]Recommender
+	errCache   map[string]error
+}
+
+// NewSystem indexes the dataset and prepares the algorithm suite.
+func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
+	if d == nil {
+		return nil, fmt.Errorf("longtail: nil dataset")
+	}
+	return &System{
+		data:     d,
+		g:        d.Graph(),
+		cfg:      cfg.withDefaults(),
+		cache:    make(map[string]Recommender),
+		errCache: make(map[string]error),
+	}, nil
+}
+
+// Data returns the training dataset.
+func (s *System) Data() *dataset.Dataset { return s.data }
+
+// Graph returns the user–item bipartite graph.
+func (s *System) Graph() *graph.Bipartite { return s.g }
+
+// LDAModel returns the trained LDA model shared by AC2 and the LDA
+// baseline, training it on first call.
+func (s *System) LDAModel() (*lda.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ldaModelLocked()
+}
+
+func (s *System) ldaModelLocked() (*lda.Model, error) {
+	if s.ldaModel == nil && s.ldaErr == nil {
+		cfg := s.cfg.LDA
+		if cfg.Seed == 0 {
+			cfg.Seed = s.cfg.Seed + 1
+		}
+		s.ldaModel, s.ldaErr = lda.Train(s.data, cfg)
+	}
+	return s.ldaModel, s.ldaErr
+}
+
+// build memoizes recommender construction under a name.
+func (s *System) build(name string, mk func() (Recommender, error)) (Recommender, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.cache[name]; ok {
+		return r, nil
+	}
+	if err, ok := s.errCache[name]; ok {
+		return nil, err
+	}
+	r, err := mk()
+	if err != nil {
+		s.errCache[name] = err
+		return nil, err
+	}
+	s.cache[name] = r
+	return r, nil
+}
+
+// mustBuild is build for constructors that cannot fail.
+func (s *System) mustBuild(name string, mk func() Recommender) Recommender {
+	r, err := s.build(name, func() (Recommender, error) { return mk(), nil })
+	if err != nil {
+		panic(fmt.Sprintf("longtail: %s: %v", name, err)) // unreachable
+	}
+	return r
+}
+
+// HT returns the Hitting Time recommender (§3.3).
+func (s *System) HT() Recommender {
+	return s.mustBuild("HT", func() Recommender {
+		return core.NewHittingTime(s.g, s.cfg.Walk)
+	})
+}
+
+// AT returns the Absorbing Time recommender (§4.1, Algorithm 1).
+func (s *System) AT() Recommender {
+	return s.mustBuild("AT", func() Recommender {
+		return core.NewAbsorbingTime(s.g, s.cfg.Walk)
+	})
+}
+
+// AC1 returns the item-entropy Absorbing Cost recommender (§4.2.2).
+func (s *System) AC1() (Recommender, error) {
+	return s.build("AC1", func() (Recommender, error) {
+		ent := entropy.AllItemBased(s.data)
+		return core.NewAbsorbingCost(s.g, "AC1", ent, s.costOptions())
+	})
+}
+
+// AC2 returns the topic-entropy Absorbing Cost recommender (§4.2.3). It
+// trains the shared LDA model on first use.
+func (s *System) AC2() (Recommender, error) {
+	return s.build("AC2", func() (Recommender, error) {
+		m, err := s.ldaModelLocked()
+		if err != nil {
+			return nil, fmt.Errorf("longtail: AC2 LDA training: %w", err)
+		}
+		ent := entropy.AllTopicBased(m)
+		return core.NewAbsorbingCost(s.g, "AC2", ent, s.costOptions())
+	})
+}
+
+// AC3 returns the symmetric entropy-cost recommender — this library's
+// extension of §4.2.1: user→item transitions cost the item's rater
+// entropy instead of the constant C, so blockbuster hubs become expensive
+// in both directions. Not part of the paper's evaluated suite.
+func (s *System) AC3() (Recommender, error) {
+	return s.build("AC3", func() (Recommender, error) {
+		ue := entropy.AllItemBased(s.data)
+		ie := entropy.AllItemEntropy(s.data)
+		return core.NewSymmetricAbsorbingCost(s.g, "AC3", ue, ie, s.costOptions())
+	})
+}
+
+func (s *System) costOptions() core.CostOptions {
+	return core.CostOptions{
+		WalkOptions:  s.cfg.Walk,
+		UserCost:     s.cfg.UserCost,
+		EntropyFloor: s.cfg.EntropyFloor,
+	}
+}
+
+// DPPR returns the Discounted Personalized PageRank baseline (Eq. 15).
+func (s *System) DPPR() Recommender {
+	return s.mustBuild("DPPR", func() Recommender {
+		r, err := core.NewFuncRecommender("DPPR", s.g, func(u int) ([]float64, error) {
+			return pagerank.ForUser(s.g, u, s.cfg.PageRank)
+		})
+		if err != nil {
+			panic(err) // static arguments; unreachable
+		}
+		return r
+	})
+}
+
+// PPR returns the undiscounted Personalized PageRank comparator the paper
+// discusses in §5.1.1 — included to demonstrate the popularity bias that
+// motivates DPPR's discount.
+func (s *System) PPR() Recommender {
+	return s.mustBuild("PPR", func() Recommender {
+		r, err := core.NewFuncRecommender("PPR", s.g, func(u int) ([]float64, error) {
+			items, _ := s.g.UserItems(u)
+			restart := make([]int, 0, len(items)+1)
+			for _, i := range items {
+				restart = append(restart, s.g.ItemNode(i))
+			}
+			if len(restart) == 0 {
+				restart = append(restart, s.g.UserNode(u))
+			}
+			ppr, err := pagerank.Personalized(s.g, restart, s.cfg.PageRank)
+			if err != nil {
+				return nil, err
+			}
+			return pagerank.ItemScores(s.g, ppr), nil
+		})
+		if err != nil {
+			panic(err) // static arguments; unreachable
+		}
+		return r
+	})
+}
+
+// Katz returns the truncated Katz-index comparator of §3.2, another
+// proximity with no popularity discount.
+func (s *System) Katz() (Recommender, error) {
+	return s.build("Katz", func() (Recommender, error) {
+		chain, err := markov.NewChain(s.g.Adjacency())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFuncRecommender("Katz", s.g, func(u int) ([]float64, error) {
+			scores, err := chain.KatzScores(s.g.UserNode(u), 0.005, 8)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, s.g.NumItems())
+			for i := range out {
+				out[i] = scores[s.g.ItemNode(i)]
+			}
+			return out, nil
+		})
+	})
+}
+
+// CommuteTime returns the commute-time comparator of §3.2 (Fouss et al.):
+// rank items by smallest H(q|j) + H(j|q). The paper argues it is dominated
+// by the stationary distribution and so recommends popular items — include
+// it to reproduce that argument.
+func (s *System) CommuteTime() (Recommender, error) {
+	return s.build("CommuteTime", func() (Recommender, error) {
+		chain, err := markov.NewChain(s.g.Adjacency())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFuncRecommender("CommuteTime", s.g, func(u int) ([]float64, error) {
+			ct, err := chain.CommuteTimes(s.g.UserNode(u))
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, s.g.NumItems())
+			for i := range out {
+				out[i] = -ct[s.g.ItemNode(i)] // smaller commute time = better
+			}
+			return out, nil
+		})
+	})
+}
+
+// RWR returns the random-walk-with-restart comparator of §3.2 (Tong et
+// al.), another proximity with no popularity discount.
+func (s *System) RWR() (Recommender, error) {
+	return s.build("RWR", func() (Recommender, error) {
+		chain, err := markov.NewChain(s.g.Adjacency())
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFuncRecommender("RWR", s.g, func(u int) ([]float64, error) {
+			scores, err := chain.RWRScores(s.g.UserNode(u), 0.85, 50, 1e-9)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]float64, s.g.NumItems())
+			for i := range out {
+				out[i] = scores[s.g.ItemNode(i)]
+			}
+			return out, nil
+		})
+	})
+}
+
+// PureSVD returns the PureSVD baseline (Cremonesi et al. 2010).
+func (s *System) PureSVD() (Recommender, error) {
+	return s.build("PureSVD", func() (Recommender, error) {
+		rank := s.cfg.SVDRank
+		if maxRank := min(s.data.NumUsers(), s.data.NumItems()); rank > maxRank {
+			rank = maxRank
+		}
+		model, err := svd.NewPureSVD(s.data, svd.Options{Rank: rank, Seed: s.cfg.Seed + 2})
+		if err != nil {
+			return nil, fmt.Errorf("longtail: PureSVD: %w", err)
+		}
+		return core.NewFuncRecommender("PureSVD", s.g, func(u int) ([]float64, error) {
+			return model.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// BiasedMF returns the SGD-trained regularized biased matrix factorization
+// (the Netflix-Prize workhorse the paper's §2 refers to as "regularized
+// Singular Value Decomposition").
+func (s *System) BiasedMF() (Recommender, error) {
+	return s.build("BiasedMF", func() (Recommender, error) {
+		opts := s.mfOptions(3)
+		model, err := mf.TrainBiasedMF(s.data, opts)
+		if err != nil {
+			return nil, fmt.Errorf("longtail: BiasedMF: %w", err)
+		}
+		return core.NewFuncRecommender("BiasedMF", s.g, func(u int) ([]float64, error) {
+			return model.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// SVDPP returns the SVD++ baseline (Koren, KDD 2008) cited by §5.1.1 as
+// one of the strong factor models PureSVD beats on top-N tasks.
+func (s *System) SVDPP() (Recommender, error) {
+	return s.build("SVDPP", func() (Recommender, error) {
+		opts := s.mfOptions(4)
+		model, err := mf.TrainSVDPP(s.data, opts)
+		if err != nil {
+			return nil, fmt.Errorf("longtail: SVDPP: %w", err)
+		}
+		return core.NewFuncRecommender("SVDPP", s.g, func(u int) ([]float64, error) {
+			return model.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// AsySVD returns the Asymmetric-SVD baseline (Koren, KDD 2008), the
+// item-centric factor model cited alongside SVD++ in §5.1.1.
+func (s *System) AsySVD() (Recommender, error) {
+	return s.build("AsySVD", func() (Recommender, error) {
+		opts := s.mfOptions(5)
+		model, err := mf.TrainAsySVD(s.data, opts)
+		if err != nil {
+			return nil, fmt.Errorf("longtail: AsySVD: %w", err)
+		}
+		return core.NewFuncRecommender("AsySVD", s.g, func(u int) ([]float64, error) {
+			return model.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// mfOptions derives per-model MF options, offsetting the seed so each
+// model trains on an independent random stream.
+func (s *System) mfOptions(seedOffset int64) mf.Options {
+	opts := s.cfg.MF
+	if opts.Seed == 0 {
+		opts.Seed = s.cfg.Seed + seedOffset
+	}
+	return opts
+}
+
+// LDA returns the LDA recommender baseline (score = Σ_z θ_uz·φ_zi).
+func (s *System) LDA() (Recommender, error) {
+	return s.build("LDA", func() (Recommender, error) {
+		m, err := s.ldaModelLocked()
+		if err != nil {
+			return nil, fmt.Errorf("longtail: LDA training: %w", err)
+		}
+		return core.NewFuncRecommender("LDA", s.g, func(u int) ([]float64, error) {
+			return m.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// UserKNN returns the user-based kNN baseline (Pearson).
+func (s *System) UserKNN() (Recommender, error) {
+	return s.build("UserKNN", func() (Recommender, error) {
+		knn, err := cf.NewUserKNN(s.data, s.cfg.KNNNeighbors, cf.Pearson)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFuncRecommender("UserKNN", s.g, func(u int) ([]float64, error) {
+			return knn.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// ItemKNN returns the item-based kNN baseline (cosine).
+func (s *System) ItemKNN() (Recommender, error) {
+	return s.build("ItemKNN", func() (Recommender, error) {
+		knn, err := cf.NewItemKNN(s.data, s.cfg.KNNNeighbors)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFuncRecommender("ItemKNN", s.g, func(u int) ([]float64, error) {
+			return knn.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// AssocRules returns the pairwise association-rule comparator the paper's
+// introduction singles out: rules need high support on both sides, so
+// recommendations cover only the head of the catalog.
+func (s *System) AssocRules() (Recommender, error) {
+	return s.build("AssocRules", func() (Recommender, error) {
+		miner, err := assoc.Mine(s.data, assoc.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("longtail: AssocRules: %w", err)
+		}
+		return core.NewFuncRecommender("AssocRules", s.g, func(u int) ([]float64, error) {
+			return miner.ScoreAll(u, nil), nil
+		})
+	})
+}
+
+// MostPopular returns the non-personalized popularity baseline.
+func (s *System) MostPopular() Recommender {
+	return s.mustBuild("MostPopular", func() Recommender {
+		mp := cf.NewMostPopular(s.data)
+		r, err := core.NewFuncRecommender("MostPopular", s.g, func(u int) ([]float64, error) {
+			return mp.ScoreAll(u, nil), nil
+		})
+		if err != nil {
+			panic(err) // unreachable
+		}
+		return r
+	})
+}
+
+// PaperSuite returns the seven algorithms of the paper's evaluation in its
+// plotting order: AC2, AC1, AT, HT, DPPR, PureSVD, LDA.
+func (s *System) PaperSuite() ([]Recommender, error) {
+	ac2, err := s.AC2()
+	if err != nil {
+		return nil, err
+	}
+	ac1, err := s.AC1()
+	if err != nil {
+		return nil, err
+	}
+	psvd, err := s.PureSVD()
+	if err != nil {
+		return nil, err
+	}
+	ldaRec, err := s.LDA()
+	if err != nil {
+		return nil, err
+	}
+	return []Recommender{ac2, ac1, s.AT(), s.HT(), s.DPPR(), psvd, ldaRec}, nil
+}
+
+// Algorithm resolves a recommender by its paper name (HT, AT, AC1, AC2,
+// DPPR, PureSVD, LDA, UserKNN, ItemKNN, MostPopular).
+func (s *System) Algorithm(name string) (Recommender, error) {
+	switch name {
+	case "HT":
+		return s.HT(), nil
+	case "AT":
+		return s.AT(), nil
+	case "AC1":
+		return s.AC1()
+	case "AC2":
+		return s.AC2()
+	case "AC3":
+		return s.AC3()
+	case "DPPR":
+		return s.DPPR(), nil
+	case "PPR":
+		return s.PPR(), nil
+	case "Katz":
+		return s.Katz()
+	case "CommuteTime":
+		return s.CommuteTime()
+	case "RWR":
+		return s.RWR()
+	case "PureSVD":
+		return s.PureSVD()
+	case "BiasedMF":
+		return s.BiasedMF()
+	case "SVDPP":
+		return s.SVDPP()
+	case "AsySVD":
+		return s.AsySVD()
+	case "LDA":
+		return s.LDA()
+	case "UserKNN":
+		return s.UserKNN()
+	case "ItemKNN":
+		return s.ItemKNN()
+	case "AssocRules":
+		return s.AssocRules()
+	case "MostPopular":
+		return s.MostPopular(), nil
+	default:
+		return nil, fmt.Errorf("longtail: unknown algorithm %q (want one of %v)", name, AlgorithmNames())
+	}
+}
+
+// Algorithms lists every name this System's Algorithm method accepts.
+func (s *System) Algorithms() []string { return AlgorithmNames() }
+
+// AlgorithmNames lists every algorithm Algorithm accepts.
+func AlgorithmNames() []string {
+	return []string{"HT", "AT", "AC1", "AC2", "AC3", "DPPR", "PPR", "Katz", "CommuteTime", "RWR", "PureSVD", "BiasedMF", "SVDPP", "AsySVD", "LDA", "UserKNN", "ItemKNN", "AssocRules", "MostPopular"}
+}
+
+// SimilarItem pairs an item with its similarity to a query item.
+type SimilarItem = cf.SimilarItem
+
+// SimilarItems returns up to k items most similar to item by cosine over
+// the rating vectors — the "customers who liked this also liked"
+// item-to-item view. Builds the kNN index lazily on first call.
+func (s *System) SimilarItems(item, k int) ([]SimilarItem, error) {
+	s.mu.Lock()
+	if s.itemKNN == nil && s.itemKNNErr == nil {
+		s.itemKNN, s.itemKNNErr = cf.NewItemKNN(s.data, s.cfg.KNNNeighbors)
+	}
+	knn, err := s.itemKNN, s.itemKNNErr
+	s.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("longtail: SimilarItems: %w", err)
+	}
+	return knn.SimilarItems(item, k)
+}
+
+// Explain decomposes a would-be recommendation of candidate to user u over
+// the user's rated items, as absorption probabilities of the underlying
+// random walk — "83% of walks from this item reach you through the movie
+// you rated 5 stars". A diagnostic companion to the AT/AC recommenders.
+func (s *System) Explain(u, candidate int) ([]Anchor, error) {
+	return core.ExplainAbsorption(s.g, u, candidate, s.cfg.Walk)
+}
+
+// NewDataset validates and indexes ratings (see internal/dataset.New).
+func NewDataset(numUsers, numItems int, ratings []Rating) (*Dataset, error) {
+	return dataset.New(numUsers, numItems, ratings)
+}
+
+// Builder accumulates ratings incrementally (event-stream ingest) and
+// materializes a Dataset; see internal/dataset.Builder.
+type Builder = dataset.Builder
+
+// DupPolicy resolves repeated (user, item) ratings during streaming
+// ingest.
+type DupPolicy = dataset.DupPolicy
+
+// Duplicate policies for NewBuilder.
+const (
+	KeepLast  = dataset.KeepLast
+	KeepFirst = dataset.KeepFirst
+	KeepMax   = dataset.KeepMax
+	Reject    = dataset.Reject
+)
+
+// NewBuilder returns an empty streaming dataset builder.
+func NewBuilder(policy DupPolicy) *Builder { return dataset.NewBuilder(policy) }
+
+// SaveDataset writes the dataset as a versioned, checksummed binary
+// container (see internal/persist).
+func SaveDataset(w io.Writer, d *Dataset) error { return persist.SaveDataset(w, d) }
+
+// LoadDataset reads a dataset container written by SaveDataset.
+func LoadDataset(r io.Reader) (*Dataset, error) { return persist.LoadDataset(r) }
+
+// SaveDatasetFile writes a dataset container to path.
+func SaveDatasetFile(path string, d *Dataset) error {
+	return persist.SaveFile(path, func(w io.Writer) error { return persist.SaveDataset(w, d) })
+}
+
+// LoadDatasetFile reads a dataset container from path.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	var d *Dataset
+	err := persist.LoadFile(path, func(r io.Reader) error {
+		var lerr error
+		d, lerr = persist.LoadDataset(r)
+		return lerr
+	})
+	return d, err
+}
+
+// LoadMovieLens parses MovieLens "UserID::MovieID::Rating::Timestamp" data.
+func LoadMovieLens(r io.Reader) (*dataset.Loaded, error) { return dataset.LoadMovieLens(r) }
+
+// LoadCSV parses "user,item,score" lines.
+func LoadCSV(r io.Reader) (*dataset.Loaded, error) { return dataset.LoadCSV(r) }
+
+// LoadTSV parses tab-separated "user item score" lines.
+func LoadTSV(r io.Reader) (*dataset.Loaded, error) { return dataset.LoadTSV(r) }
+
+// LoadMovieLensFile opens and parses a MovieLens ratings file.
+func LoadMovieLensFile(path string) (*dataset.Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("longtail: %w", err)
+	}
+	defer f.Close()
+	return dataset.LoadMovieLens(f)
+}
+
+// GenerateMovieLensLike builds the synthetic MovieLens-shaped corpus used
+// throughout the benchmarks (see DESIGN.md §4 for the substitution).
+func GenerateMovieLensLike(seed int64) (*World, error) {
+	cfg := synth.MovieLensLike()
+	cfg.Seed = seed
+	return synth.Generate(cfg)
+}
+
+// GenerateDoubanLike builds the synthetic Douban-shaped corpus.
+func GenerateDoubanLike(seed int64) (*World, error) {
+	cfg := synth.DoubanLike()
+	cfg.Seed = seed
+	return synth.Generate(cfg)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,305 @@
+package longtail
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"longtailrec/internal/lda"
+	"longtailrec/internal/synth"
+)
+
+// smallSystem builds a System over a compact synthetic world with fast
+// model settings.
+func smallSystem(t testing.TB, seed int64) (*System, *World) {
+	t.Helper()
+	w, err := synth.Generate(synth.Config{
+		NumUsers:           120,
+		NumItems:           200,
+		NumGenres:          4,
+		MeanRatingsPerUser: 18,
+		MinRatingsPerUser:  5,
+		Seed:               seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.LDA = lda.Config{NumTopics: 4, Alpha: 0.5, Iterations: 25, Seed: seed}
+	cfg.SVDRank = 8
+	cfg.Seed = seed
+	sys, err := NewSystem(w.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, w
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(nil, DefaultConfig()); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+}
+
+func TestAllAlgorithmsProduceRecommendations(t *testing.T) {
+	sys, _ := smallSystem(t, 1)
+	users, err := sys.Data().SampleUsers(rand.New(rand.NewSource(1)), 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range AlgorithmNames() {
+		rec, err := sys.Algorithm(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rec.Name() != name {
+			t.Fatalf("algorithm %q reports name %q", name, rec.Name())
+		}
+		for _, u := range users {
+			recs, err := rec.Recommend(u, 5)
+			if err != nil {
+				t.Fatalf("%s user %d: %v", name, u, err)
+			}
+			if len(recs) == 0 {
+				t.Fatalf("%s produced no recommendations for user %d", name, u)
+			}
+			rated := sys.Data().UserItemSet(u)
+			for _, r := range recs {
+				if _, bad := rated[r.Item]; bad {
+					t.Fatalf("%s recommended rated item %d", name, r.Item)
+				}
+			}
+		}
+	}
+}
+
+func TestUnknownAlgorithm(t *testing.T) {
+	sys, _ := smallSystem(t, 2)
+	if _, err := sys.Algorithm("Nope"); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecommendersAreCached(t *testing.T) {
+	sys, _ := smallSystem(t, 3)
+	a, err := sys.AC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.AC1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("AC1 rebuilt instead of cached")
+	}
+	if sys.HT() != sys.HT() {
+		t.Fatal("HT rebuilt")
+	}
+}
+
+func TestLDAModelShared(t *testing.T) {
+	sys, _ := smallSystem(t, 4)
+	m1, err := sys.LDAModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.AC2(); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := sys.LDAModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("LDA model retrained")
+	}
+}
+
+func TestPaperSuite(t *testing.T) {
+	sys, _ := smallSystem(t, 5)
+	suite, err := sys.PaperSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"AC2", "AC1", "AT", "HT", "DPPR", "PureSVD", "LDA"}
+	if len(suite) != len(want) {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	for k, rec := range suite {
+		if rec.Name() != want[k] {
+			t.Fatalf("suite[%d] = %s, want %s", k, rec.Name(), want[k])
+		}
+	}
+}
+
+func TestWalkAlgorithmsPreferTail(t *testing.T) {
+	// The library's headline property: HT/AT/AC recommend less popular
+	// items than the popularity baseline on a skewed corpus.
+	sys, _ := smallSystem(t, 6)
+	d := sys.Data()
+	pop := d.ItemPopularity()
+	users, err := d.SampleUsers(rand.New(rand.NewSource(2)), 25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanTopPop := func(rec Recommender) float64 {
+		total, count := 0.0, 0
+		for _, u := range users {
+			recs, err := rec.Recommend(u, 10)
+			if err != nil {
+				t.Fatalf("%s: %v", rec.Name(), err)
+			}
+			for _, r := range recs {
+				total += float64(pop[r.Item])
+				count++
+			}
+		}
+		if count == 0 {
+			t.Fatalf("%s served nobody", rec.Name())
+		}
+		return total / float64(count)
+	}
+	popBase := meanTopPop(sys.MostPopular())
+	for _, mk := range []func() (Recommender, error){
+		func() (Recommender, error) { return sys.AT(), nil },
+		func() (Recommender, error) { return sys.HT(), nil },
+		sys.AC1,
+	} {
+		rec, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := meanTopPop(rec); got >= popBase {
+			t.Fatalf("%s mean rec popularity %.2f not below MostPopular %.2f", rec.Name(), got, popBase)
+		}
+	}
+}
+
+func TestLoadHelpers(t *testing.T) {
+	ld, err := LoadCSV(strings.NewReader("a,x,5\nb,x,4\nb,y,3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ld.Data.NumUsers() != 2 || ld.Data.NumItems() != 2 {
+		t.Fatalf("loaded %d/%d", ld.Data.NumUsers(), ld.Data.NumItems())
+	}
+	ml, err := LoadMovieLens(strings.NewReader("1::7::5::0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Data.NumRatings() != 1 {
+		t.Fatal("MovieLens load failed")
+	}
+	tsv, err := LoadTSV(strings.NewReader("1\t7\t5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tsv.Data.NumRatings() != 1 {
+		t.Fatal("TSV load failed")
+	}
+	if _, err := LoadMovieLensFile("/nonexistent/path"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus generation is slow")
+	}
+	ml, err := GenerateMovieLensLike(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := GenerateDoubanLike(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.Data.Density() <= db.Data.Density() {
+		t.Fatalf("MovieLens-like density %v should exceed Douban-like %v",
+			ml.Data.Density(), db.Data.Density())
+	}
+}
+
+func TestNewDatasetHelper(t *testing.T) {
+	d, err := NewDataset(2, 2, []Rating{{User: 0, Item: 0, Score: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumRatings() != 1 {
+		t.Fatal("helper broken")
+	}
+	if _, err := NewDataset(0, 0, nil); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestFacadeBuilderAndPersistence(t *testing.T) {
+	b := NewBuilder(KeepLast)
+	events := []struct {
+		u, i int
+		s    float64
+	}{
+		{0, 0, 5}, {0, 1, 4}, {1, 0, 4}, {1, 2, 5}, {2, 1, 3}, {2, 2, 4},
+		{0, 0, 3}, // re-rating, KeepLast wins
+	}
+	for _, e := range events {
+		if err := b.Add(e.u, e.i, e.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := b.Build(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Score(0, 0); got != 3 {
+		t.Fatalf("KeepLast score %v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "corpus.ltrz")
+	if err := SaveDatasetFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRatings() != d.NumRatings() || got.NumUsers() != d.NumUsers() {
+		t.Fatal("file round trip changed the dataset")
+	}
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.NumRatings() != d.NumRatings() {
+		t.Fatal("writer round trip changed the dataset")
+	}
+	if _, err := LoadDatasetFile(filepath.Join(t.TempDir(), "missing.ltrz")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSystemSimilarItems(t *testing.T) {
+	sys, _ := smallSystem(t, 13)
+	sims, err := sys.SimilarItems(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range sims {
+		if s.Item == 0 || s.Similarity <= 0 {
+			t.Fatalf("bad neighbor %+v", s)
+		}
+	}
+	if _, err := sys.SimilarItems(-1, 5); err == nil {
+		t.Fatal("negative item accepted")
+	}
+	if _, err := sys.SimilarItems(0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
