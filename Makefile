@@ -1,0 +1,25 @@
+# CI entrypoints. `make` = tier-1 verify; `make bench` adds the short
+# allocation-regression benchmark pass documented in PERFORMANCE.md.
+
+GO ?= go
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the concurrency-sensitive surfaces: the pooled
+# walk query engine and the shared-System batch paths. (The full suite
+# under -race also works but takes many minutes; this is the CI-sized cut.)
+race:
+	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch' . ./internal/core/ ./internal/server/
+
+# Short per-query benchmark pass with allocation counts — the regression
+# signal for the zero-allocation query engine (see PERFORMANCE.md).
+bench: build
+	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch' -benchtime=100x -benchmem

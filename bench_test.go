@@ -8,11 +8,14 @@ package longtail_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"longtailrec"
+	"longtailrec/internal/core"
 	"longtailrec/internal/experiments"
+	"longtailrec/internal/graph"
 )
 
 // benchScale keeps every experiment benchmark in the seconds range.
@@ -237,6 +240,68 @@ func BenchmarkQueryMostPopular(b *testing.B) { benchAlgorithmQuery(b, "MostPopul
 func BenchmarkQueryBiasedMF(b *testing.B)    { benchAlgorithmQuery(b, "BiasedMF") }
 func BenchmarkQuerySVDPP(b *testing.B)       { benchAlgorithmQuery(b, "SVDPP") }
 func BenchmarkQueryAsySVD(b *testing.B)      { benchAlgorithmQuery(b, "AsySVD") }
+
+// Hot-path microbenchmarks for the walk query engine (run with -benchmem;
+// allocs/op is the regression signal PERFORMANCE.md tracks).
+
+// BenchmarkSubgraphExtract measures one pooled BFS + local-CSR extraction
+// (Algorithm 1 step 2) through a reused SubgraphExtractor.
+func BenchmarkSubgraphExtract(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	g := env.Split.Train.Graph()
+	ext := graph.NewSubgraphExtractor(g)
+	users := env.Panel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		seeds, _ := g.Neighbors(g.UserNode(u))
+		if _, err := ext.Extract(seeds, 6000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWalkScores measures one full walk query (extract + fused DP
+// sweeps) through the engine's compact scoring path.
+func BenchmarkWalkScores(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	at, ok := env.Sys.AT().(interface {
+		ScoreItemsCompact(u int) ([]core.ItemScore, error)
+	})
+	if !ok {
+		b.Fatal("AT recommender lost its compact scoring path")
+	}
+	users := env.Panel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		if _, err := at.ScoreItemsCompact(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendBatch measures serving the whole panel through
+// Engine.RecommendBatch at GOMAXPROCS workers. Compare -cpu 1,2,4 runs to
+// see the multi-core scaling.
+func BenchmarkRecommendBatch(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	rec, err := env.Sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	br, ok := rec.(longtail.BatchRecommender)
+	if !ok {
+		b.Fatal("AT recommender does not implement BatchRecommender")
+	}
+	users := env.Panel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := br.RecommendBatch(users, 10, runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // BenchmarkSystemConstruction measures graph building and indexing on the
 // MovieLens-shaped corpus (model training excluded: recommenders are lazy).

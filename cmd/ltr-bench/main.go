@@ -9,8 +9,9 @@
 // fig6a/fig6b (Popularity@N on Douban-like/MovieLens-like), table2
 // (diversity), table3 (similarity), table4 (µ sweep), table5 (timing),
 // table6 (simulated user study); plus the extensions gini (sales-diversity
-// aggregates), ranking (MRR/NDCG on the Figure 5 protocol) and beyond
-// (novelty / serendipity / intra-list-similarity / coverage).
+// aggregates), ranking (MRR/NDCG on the Figure 5 protocol), beyond
+// (novelty / serendipity / intra-list-similarity / coverage) and
+// throughput (RecommendBatch scaling across cores).
 package main
 
 import (
@@ -58,7 +59,7 @@ func run(expFlag, scaleFlag string, seed int64) error {
 	}
 	var ids []string
 	if expFlag == "all" {
-		ids = []string{"fig2", "table1", "fig5a", "fig5b", "fig6a", "fig6b", "table2", "table3", "table4", "table5", "table6", "gini", "ranking", "beyond", "strata"}
+		ids = []string{"fig2", "table1", "fig5a", "fig5b", "fig6a", "fig6b", "table2", "table3", "table4", "table5", "table6", "gini", "ranking", "beyond", "strata", "throughput"}
 	} else {
 		for _, id := range strings.Split(expFlag, ",") {
 			if id = strings.TrimSpace(id); id != "" {
@@ -222,6 +223,16 @@ func (r *runner) experiment(id string) (string, error) {
 			return "", err
 		}
 		res, err := experiments.StratifiedExperiment(e)
+		if err != nil {
+			return "", err
+		}
+		return res.Text, nil
+	case "throughput":
+		e, err := r.env("movielens")
+		if err != nil {
+			return "", err
+		}
+		res, err := experiments.ThroughputExperiment(e)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,91 @@
+package longtail
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecommendSharedSystem hammers one shared System from many
+// goroutines mixing single Recommend calls and RecommendBatch across the
+// walk algorithms. Run with `go test -race` (the Makefile's race target)
+// this locks in the thread-safety of the pooled walk query engine and the
+// System's lazy recommender cache.
+func TestConcurrentRecommendSharedSystem(t *testing.T) {
+	sys, _ := smallSystem(t, 11)
+	users, err := sys.Data().SampleUsers(rand.New(rand.NewSource(3)), 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := []string{"HT", "AT", "AC1", "AC3"}
+	// Resolve sequentially once so lazy construction itself is also probed
+	// concurrently below for a second system.
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 2*runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 8; q++ {
+				algo := algos[(w+q)%len(algos)]
+				if q%3 == 0 {
+					if _, err := sys.RecommendBatch(algo, users, 5, 3); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				rec, err := sys.Algorithm(algo)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if _, err := rec.Recommend(users[(w*5+q)%len(users)], 5); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentBatchDeterministic checks that concurrent batch scoring
+// returns exactly what sequential scoring returns, for every walk
+// algorithm, regardless of parallelism.
+func TestConcurrentBatchDeterministic(t *testing.T) {
+	sys, _ := smallSystem(t, 12)
+	users, err := sys.Data().SampleUsers(rand.New(rand.NewSource(4)), 15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"HT", "AT", "AC1", "AC3"} {
+		sequential, err := sys.RecommendBatch(algo, users, 6, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, 0} {
+			parallel, err := sys.RecommendBatch(algo, users, 6, par)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range users {
+				if len(sequential[i]) != len(parallel[i]) {
+					t.Fatalf("%s user %d parallelism %d: %d vs %d items",
+						algo, users[i], par, len(parallel[i]), len(sequential[i]))
+				}
+				for j := range sequential[i] {
+					if sequential[i][j] != parallel[i][j] {
+						t.Fatalf("%s user %d slot %d differs at parallelism %d",
+							algo, users[i], j, par)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module longtailrec
+
+go 1.24.0

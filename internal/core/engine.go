@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"longtailrec/internal/graph"
+	"longtailrec/internal/markov"
+	"longtailrec/internal/topk"
+)
+
+// ItemScore pairs an item index with its walk score — the compact,
+// subgraph-resident result of a query. Only items inside the BFS subgraph
+// appear; everything else is implicitly -Inf.
+type ItemScore struct {
+	Item  int
+	Score float64
+}
+
+// walkSpec describes the query shape of one walk recommender: where the
+// walk is anchored and which entry-cost model (Eq. 9) applies.
+type walkSpec struct {
+	// seedUser anchors seeds/absorbing at the query user's own node (HT);
+	// otherwise the user's rated item nodes S_q are used (AT/AC).
+	seedUser bool
+	// costed switches from unit step costs (hitting/absorbing time) to the
+	// Eq. 9 entry-cost model below.
+	costed bool
+	// userEnter[u] is the cost of entering user u (their entropy, floored).
+	userEnter []float64
+	// itemEnter[i] is the cost of entering item i; nil means the constant
+	// userCost, the paper's C.
+	itemEnter []float64
+	userCost  float64
+}
+
+// Engine is the pooled walk query executor behind HT/AT/AC1/AC2 and the
+// symmetric-cost extension (Algorithm 1's production path). Each query
+// borrows a per-worker scratch — subgraph extractor, chain buffers, compact
+// score slice — from a sync.Pool, so steady-state queries allocate only
+// their result slices and the whole engine is safe for concurrent use.
+type Engine struct {
+	g    *graph.Bipartite
+	opts WalkOptions
+	pool sync.Pool
+}
+
+// NewEngine builds an engine over the graph with the given walk options.
+func NewEngine(g *graph.Bipartite, opts WalkOptions) *Engine {
+	e := &Engine{g: g, opts: opts.withDefaults()}
+	e.pool.New = func() any {
+		return &engineScratch{
+			ext:       graph.NewSubgraphExtractor(g),
+			exclStamp: make([]int, g.NumItems()),
+		}
+	}
+	return e
+}
+
+// Options returns the walk options the engine runs with (defaults applied).
+func (e *Engine) Options() WalkOptions { return e.opts }
+
+// engineScratch is one worker's reusable query state.
+type engineScratch struct {
+	ext     *graph.SubgraphExtractor
+	chain   markov.Chain
+	mkv     markov.ChainScratch
+	absorb  []int       // local ids of absorbing states (exact path)
+	compact []ItemScore // per-query compact result
+
+	// exclStamp[item] == exclEpoch marks an item excluded from TopK
+	// (already rated by the query user).
+	exclStamp []int
+	exclEpoch int
+}
+
+// scoreCompact runs Algorithm 1 for user u inside scr and returns the
+// compact (item, score) slice, which aliases scr and is valid until the
+// scratch's next query. Seeds occupy local ids 0..s-1 of the subgraph, so
+// the absorbing set needs no per-node lookups.
+func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemScore, error) {
+	if err := validateUser(u, e.g.NumUsers()); err != nil {
+		return nil, err
+	}
+	userNode := e.g.UserNode(u)
+	var seeds []int
+	if spec.seedUser {
+		scr.absorb = append(scr.absorb[:0], userNode)
+		seeds = scr.absorb
+	} else {
+		// S_q as node ids is exactly the user node's neighbor list
+		// (aliased parent storage; Extract only reads it).
+		nbrs, _ := e.g.Neighbors(userNode)
+		if len(nbrs) == 0 {
+			return nil, fmt.Errorf("%w: user %d", ErrColdUser, u)
+		}
+		seeds = nbrs
+	}
+	sg, err := scr.ext.Extract(seeds, e.opts.MaxSubgraphItems)
+	if err != nil {
+		return nil, fmt.Errorf("core: subgraph: %w", err)
+	}
+	if err := scr.chain.Reset(sg.Adjacency(), sg.Degrees()); err != nil {
+		return nil, fmt.Errorf("core: chain: %w", err)
+	}
+	n := sg.Len()
+	numAbsorb := len(seeds) // seeds are distinct node ids, kept in order
+	scr.mkv.Resize(n)
+	var enter []float64
+	if spec.costed {
+		enter = scr.mkv.Enter
+		for l := 0; l < n; l++ {
+			orig := sg.OriginalNode(l)
+			switch {
+			case e.g.IsUserNode(orig):
+				enter[l] = spec.userEnter[orig]
+			case spec.itemEnter != nil:
+				enter[l] = spec.itemEnter[e.g.ItemIndex(orig)]
+			default:
+				enter[l] = spec.userCost
+			}
+		}
+	}
+	var times []float64
+	if e.opts.Exact {
+		// Diagnostic path: the linear-system solvers allocate internally,
+		// which is acceptable off the truncated production path.
+		scr.absorb = scr.absorb[:0]
+		for l := 0; l < numAbsorb; l++ {
+			scr.absorb = append(scr.absorb, l)
+		}
+		if !spec.costed {
+			times, err = scr.chain.AbsorbingTimeExact(scr.absorb)
+		} else {
+			step := scr.chain.StepCostsInto(enter, scr.mkv.Nxt)
+			times, err = scr.chain.AbsorbingCostExact(scr.absorb, step)
+		}
+	} else {
+		for l := 0; l < numAbsorb; l++ {
+			scr.mkv.Mask[l] = true
+		}
+		times, err = scr.chain.AbsorbingCostFused(&scr.mkv, enter, e.opts.Iterations)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: absorbing solve: %w", err)
+	}
+	scr.compact = scr.compact[:0]
+	for l, t := range times {
+		orig := sg.OriginalNode(l)
+		if !e.g.IsItemNode(orig) {
+			continue
+		}
+		if math.IsInf(t, 1) {
+			continue // unreachable even inside the subgraph
+		}
+		scr.compact = append(scr.compact, ItemScore{Item: e.g.ItemIndex(orig), Score: -t})
+	}
+	return scr.compact, nil
+}
+
+// scoreItemsCompact is the pooled public-path variant: it copies the
+// compact result out of scratch so the caller owns it.
+func (e *Engine) scoreItemsCompact(u int, spec walkSpec) ([]ItemScore, error) {
+	scr := e.pool.Get().(*engineScratch)
+	defer e.pool.Put(scr)
+	compact, err := e.scoreCompact(scr, u, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ItemScore, len(compact))
+	copy(out, compact)
+	return out, nil
+}
+
+// scoreItemsFull spreads the compact result over the full item universe
+// (-Inf elsewhere), preserving the historical ScoreItems contract.
+func (e *Engine) scoreItemsFull(u int, spec walkSpec) ([]float64, error) {
+	scr := e.pool.Get().(*engineScratch)
+	defer e.pool.Put(scr)
+	compact, err := e.scoreCompact(scr, u, spec)
+	if err != nil {
+		return nil, err
+	}
+	scores := make([]float64, e.g.NumItems())
+	for i := range scores {
+		scores[i] = math.Inf(-1)
+	}
+	for _, is := range compact {
+		scores[is.Item] = is.Score
+	}
+	return scores, nil
+}
+
+// recommendWith ranks the compact result, excluding the user's rated items
+// via the scratch's epoch-stamped exclusion array (no per-query set).
+func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]Scored, error) {
+	compact, err := e.scoreCompact(scr, u, spec)
+	if err != nil {
+		return nil, err
+	}
+	scr.exclEpoch++
+	rated, _ := e.g.Neighbors(e.g.UserNode(u))
+	for _, node := range rated {
+		scr.exclStamp[e.g.ItemIndex(node)] = scr.exclEpoch
+	}
+	sel := topk.NewSelector(k)
+	for _, is := range compact {
+		if scr.exclStamp[is.Item] == scr.exclEpoch || math.IsNaN(is.Score) {
+			continue
+		}
+		sel.Offer(is.Item, is.Score)
+	}
+	items := sel.Take()
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Item: it.ID, Score: it.Score}
+	}
+	return out, nil
+}
+
+// recommend is the single-query pooled entry point.
+func (e *Engine) recommend(u, k int, spec walkSpec) ([]Scored, error) {
+	scr := e.pool.Get().(*engineScratch)
+	defer e.pool.Put(scr)
+	return e.recommendWith(scr, u, k, spec)
+}
+
+// recommendBatch scores many users concurrently. parallelism <= 0 means
+// GOMAXPROCS. Each worker borrows one scratch for its whole share of the
+// batch. Cold users (no rated items) yield a nil entry rather than failing
+// the batch; any other error aborts and is returned.
+func (e *Engine) recommendBatch(users []int, k, parallelism int, spec walkSpec) ([][]Scored, error) {
+	out := make([][]Scored, len(users))
+	if len(users) == 0 {
+		return out, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(users) {
+		parallelism = len(users)
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			scr := e.pool.Get().(*engineScratch)
+			defer e.pool.Put(scr)
+			for {
+				i := int(next.Add(1))
+				if i >= len(users) || failed.Load() {
+					return
+				}
+				recs, err := e.recommendWith(scr, users[i], k, spec)
+				if err != nil {
+					if errors.Is(err, ErrColdUser) {
+						continue // cold user: leave out[i] nil
+					}
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch user %d: %w", users[i], err) })
+					failed.Store(true)
+					return
+				}
+				out[i] = recs
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"longtailrec/internal/graph"
+)
+
+// engineTestGraph builds a random bipartite graph with user 0 cold.
+func engineTestGraph(t testing.TB, numUsers, numItems int, seed int64) *graph.Bipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(numUsers, numItems)
+	for u := 1; u < numUsers; u++ {
+		k := 3 + rng.Intn(8)
+		for ; k > 0; k-- {
+			_ = b.AddRating(u, rng.Intn(numItems), float64(1+rng.Intn(5)))
+		}
+	}
+	return b.Build()
+}
+
+// walkRecommenders builds one of each engine-backed recommender over g.
+func walkRecommenders(t testing.TB, g *graph.Bipartite, opts WalkOptions) []BatchRecommender {
+	t.Helper()
+	ue := make([]float64, g.NumUsers())
+	ie := make([]float64, g.NumItems())
+	rng := rand.New(rand.NewSource(7))
+	for i := range ue {
+		ue[i] = rng.Float64() * 2
+	}
+	for i := range ie {
+		ie[i] = rng.Float64() * 2
+	}
+	ac, err := NewAbsorbingCost(g, "AC1", ue, CostOptions{WalkOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac3, err := NewSymmetricAbsorbingCost(g, "AC3", ue, ie, CostOptions{WalkOptions: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []BatchRecommender{
+		NewHittingTime(g, opts),
+		NewAbsorbingTime(g, opts),
+		ac, ac3,
+	}
+}
+
+// TestCompactScoresMatchFull checks the compact (item, score) view against
+// the full score vector: same items scored, same values, nothing else.
+func TestCompactScoresMatchFull(t *testing.T) {
+	g := engineTestGraph(t, 30, 80, 1)
+	ht := NewHittingTime(g, WalkOptions{MaxSubgraphItems: 25, Iterations: 10})
+	at := NewAbsorbingTime(g, WalkOptions{MaxSubgraphItems: 25, Iterations: 10})
+	for u := 1; u < 10; u++ {
+		for _, rec := range []interface {
+			ScoreItems(int) ([]float64, error)
+			ScoreItemsCompact(int) ([]ItemScore, error)
+		}{ht, at} {
+			full, err := rec.ScoreItems(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compact, err := rec.ScoreItemsCompact(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen := make(map[int]float64, len(compact))
+			for _, is := range compact {
+				seen[is.Item] = is.Score
+			}
+			if len(seen) != len(compact) {
+				t.Fatal("duplicate items in compact result")
+			}
+			for i, s := range full {
+				cs, ok := seen[i]
+				if math.IsInf(s, -1) {
+					if ok {
+						t.Fatalf("user %d item %d: compact scored an out-of-subgraph item", u, i)
+					}
+					continue
+				}
+				if !ok || cs != s {
+					t.Fatalf("user %d item %d: compact %v (present %v), full %v", u, i, cs, ok, s)
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendBatchMatchesSequential checks that batch results are
+// identical to one-at-a-time Recommend calls for every walk recommender.
+func TestRecommendBatchMatchesSequential(t *testing.T) {
+	g := engineTestGraph(t, 40, 100, 2)
+	users := make([]int, 0, 39)
+	for u := 1; u < 40; u++ {
+		users = append(users, u)
+	}
+	for _, rec := range walkRecommenders(t, g, WalkOptions{MaxSubgraphItems: 30, Iterations: 8}) {
+		batch, err := rec.RecommendBatch(users, 5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(users) {
+			t.Fatalf("batch returned %d lists for %d users", len(batch), len(users))
+		}
+		for i, u := range users {
+			want, err := rec.Recommend(u, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch[i]
+			if len(got) != len(want) {
+				t.Fatalf("%T user %d: batch %d items, sequential %d", rec, u, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("%T user %d slot %d: batch %+v, sequential %+v", rec, u, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRecommendBatchColdUser checks cold users yield nil entries without
+// failing the batch, while out-of-range users abort it.
+func TestRecommendBatchColdUser(t *testing.T) {
+	g := engineTestGraph(t, 20, 50, 3)
+	at := NewAbsorbingTime(g, WalkOptions{Iterations: 5})
+	batch, err := at.RecommendBatch([]int{5, 0, 6}, 3, 2) // user 0 is cold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[0] == nil || batch[2] == nil {
+		t.Fatal("warm users got nil lists")
+	}
+	if batch[1] != nil {
+		t.Fatalf("cold user got %v", batch[1])
+	}
+	if _, err := at.RecommendBatch([]int{5, 99}, 3, 2); err == nil {
+		t.Fatal("out-of-range user accepted")
+	}
+}
+
+// TestEngineConcurrentUse hammers one shared engine from many goroutines
+// mixing Recommend and RecommendBatch; run under -race this locks in the
+// pool's thread-safety.
+func TestEngineConcurrentUse(t *testing.T) {
+	g := engineTestGraph(t, 30, 60, 4)
+	recs := walkRecommenders(t, g, WalkOptions{MaxSubgraphItems: 20, Iterations: 6})
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 10; q++ {
+				rec := recs[(w+q)%len(recs)]
+				u := 1 + (w*7+q)%29
+				if q%3 == 0 {
+					if _, err := rec.RecommendBatch([]int{u, 1 + u%29, 1 + (u+3)%29}, 4, 2); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				if _, err := rec.Recommend(u, 4); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestBatchRecommendFallback routes a plain (non-batch) recommender
+// through the generic helper.
+func TestBatchRecommendFallback(t *testing.T) {
+	g := engineTestGraph(t, 10, 20, 5)
+	fr, err := NewFuncRecommender("const", g, func(u int) ([]float64, error) {
+		out := make([]float64, g.NumItems())
+		for i := range out {
+			out[i] = float64(i)
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := Recommender(fr).(BatchRecommender); ok {
+		t.Fatal("FuncRecommender unexpectedly implements BatchRecommender; fallback untested")
+	}
+	lists, err := BatchRecommend(fr, []int{1, 2}, 3, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range lists {
+		if len(l) != 3 {
+			t.Fatalf("list %d has %d items", i, len(l))
+		}
+	}
+	// The engine-backed path dispatches to the concurrent implementation.
+	at := NewAbsorbingTime(g, WalkOptions{Iterations: 4})
+	if _, ok := Recommender(at).(BatchRecommender); !ok {
+		t.Fatal("AbsorbingTime does not implement BatchRecommender")
+	}
+}
+
+// TestEngineColdUserError checks the single-query cold-user contract is
+// unchanged.
+func TestEngineColdUserError(t *testing.T) {
+	g := engineTestGraph(t, 10, 20, 6)
+	at := NewAbsorbingTime(g, WalkOptions{})
+	if _, err := at.Recommend(0, 3); !errors.Is(err, ErrColdUser) {
+		t.Fatalf("err = %v, want ErrColdUser", err)
+	}
+	ht := NewHittingTime(g, WalkOptions{})
+	if recs, err := ht.Recommend(0, 3); err != nil || len(recs) != 0 {
+		t.Fatalf("HT cold user: recs %v err %v, want empty and nil", recs, err)
+	}
+}

@@ -3,10 +3,24 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"longtailrec/internal/graph"
 	"longtailrec/internal/markov"
 )
+
+// explainExtractors pools SubgraphExtractor values for ExplainAbsorption so
+// repeated explain calls do not re-allocate the extractor's two
+// graph-sized stamp/local arrays per call. Entries are bound to one parent
+// graph; a pooled extractor for a different graph is simply discarded.
+var explainExtractors sync.Pool
+
+func borrowExtractor(g *graph.Bipartite) *graph.SubgraphExtractor {
+	if e, _ := explainExtractors.Get().(*graph.SubgraphExtractor); e != nil && e.Graph() == g {
+		return e
+	}
+	return graph.NewSubgraphExtractor(g)
+}
 
 // Anchor attributes a share of a recommendation to one of the user's rated
 // items: the probability that a random walk starting at the candidate item
@@ -39,7 +53,9 @@ func ExplainAbsorption(g *graph.Bipartite, u, candidate int, opts WalkOptions) (
 			return nil, fmt.Errorf("core: candidate %d is already rated by user %d", candidate, u)
 		}
 	}
-	sg, err := graph.ExtractSubgraph(g, absorb, opts.MaxSubgraphItems)
+	ext := borrowExtractor(g)
+	defer explainExtractors.Put(ext)
+	sg, err := ext.Extract(absorb, opts.MaxSubgraphItems)
 	if err != nil {
 		return nil, fmt.Errorf("core: subgraph: %w", err)
 	}
@@ -47,7 +63,7 @@ func ExplainAbsorption(g *graph.Bipartite, u, candidate int, opts WalkOptions) (
 	if !ok {
 		return nil, fmt.Errorf("core: candidate %d outside the user's subgraph (µ=%d)", candidate, opts.MaxSubgraphItems)
 	}
-	chain, err := markov.NewChain(sg.Adjacency())
+	chain, err := markov.NewChainWithDegrees(sg.Adjacency(), sg.Degrees())
 	if err != nil {
 		return nil, fmt.Errorf("core: chain: %w", err)
 	}

@@ -44,6 +44,39 @@ type Recommender interface {
 	Recommend(u, k int) ([]Scored, error)
 }
 
+// BatchRecommender is implemented by recommenders that can score many
+// users concurrently (the walk recommenders, via the pooled Engine).
+type BatchRecommender interface {
+	Recommender
+	// RecommendBatch returns one recommendation list per user, computed
+	// across up to parallelism workers (<= 0 means GOMAXPROCS). Cold users
+	// yield a nil entry rather than failing the batch.
+	RecommendBatch(users []int, k, parallelism int) ([][]Scored, error)
+}
+
+// BatchRecommend serves a multi-user workload through r: concurrently when
+// r implements BatchRecommender, otherwise by a sequential loop (the
+// safe default for adapters whose underlying models make no concurrency
+// promise). Sequential cold users also yield nil entries, matching the
+// concurrent contract.
+func BatchRecommend(r Recommender, users []int, k, parallelism int) ([][]Scored, error) {
+	if br, ok := r.(BatchRecommender); ok {
+		return br.RecommendBatch(users, k, parallelism)
+	}
+	out := make([][]Scored, len(users))
+	for i, u := range users {
+		recs, err := r.Recommend(u, k)
+		if err != nil {
+			if errors.Is(err, ErrColdUser) {
+				continue
+			}
+			return nil, fmt.Errorf("core: batch user %d: %w", u, err)
+		}
+		out[i] = recs
+	}
+	return out, nil
+}
+
 // TopK selects the k highest-scoring items from scores, skipping excluded
 // items and -Inf/NaN entries. Ties break toward the smaller item index so
 // results are deterministic. Selection runs in O(n log k) via a bounded

@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"longtailrec/internal/graph"
-	"longtailrec/internal/markov"
 )
 
 // WalkOptions configure the random-walk recommenders (Algorithm 1).
@@ -31,71 +30,74 @@ func (o WalkOptions) withDefaults() WalkOptions {
 	return o
 }
 
+// walkRecommender is the shared engine-backed implementation behind the
+// four walk recommenders: each one is a walkSpec bound to a pooled Engine.
+type walkRecommender struct {
+	g    *graph.Bipartite
+	eng  *Engine
+	spec walkSpec
+}
+
+func newWalkRecommender(g *graph.Bipartite, opts WalkOptions, spec walkSpec) walkRecommender {
+	return walkRecommender{g: g, eng: NewEngine(g, opts), spec: spec}
+}
+
+// ScoreItems returns the negated walk time/cost per item over the full item
+// universe (-Inf outside the BFS subgraph). The caller owns the slice.
+func (w *walkRecommender) ScoreItems(u int) ([]float64, error) {
+	return w.eng.scoreItemsFull(u, w.spec)
+}
+
+// ScoreItemsCompact returns scores only for the subgraph-resident items —
+// the allocation-light view the engine computes natively. The caller owns
+// the slice.
+func (w *walkRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
+	return w.eng.scoreItemsCompact(u, w.spec)
+}
+
+// Recommend returns the top-k unrated items for u.
+func (w *walkRecommender) Recommend(u, k int) ([]Scored, error) {
+	return w.eng.recommend(u, k, w.spec)
+}
+
+// RecommendBatch scores many users concurrently across parallelism workers
+// (<= 0 means GOMAXPROCS). Cold users yield a nil entry. Implements
+// BatchRecommender.
+func (w *walkRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
+	return w.eng.recommendBatch(users, k, parallelism, w.spec)
+}
+
 // HittingTime is the user-based recommender of §3.3: items are ranked by
 // the smallest expected number of steps H(q|j) a walker starting at item j
 // needs to hit the query user q. Popular items have large stationary mass
 // and therefore large hitting times, so the ranking naturally surfaces the
 // long tail.
 type HittingTime struct {
-	g    *graph.Bipartite
-	opts WalkOptions
+	walkRecommender
 }
 
 // NewHittingTime builds the recommender over a user–item graph.
 func NewHittingTime(g *graph.Bipartite, opts WalkOptions) *HittingTime {
-	return &HittingTime{g: g, opts: opts.withDefaults()}
+	return &HittingTime{newWalkRecommender(g, opts, walkSpec{seedUser: true})}
 }
 
 // Name implements Recommender.
 func (h *HittingTime) Name() string { return "HT" }
 
-// ScoreItems returns -H(q|j) per item (so closer items score higher).
-func (h *HittingTime) ScoreItems(u int) ([]float64, error) {
-	if err := validateUser(u, h.g.NumUsers()); err != nil {
-		return nil, err
-	}
-	seeds := []int{h.g.UserNode(u)}
-	absorb := seeds
-	return walkScores(h.g, seeds, absorb, nil, h.opts)
-}
-
-// Recommend implements Recommender.
-func (h *HittingTime) Recommend(u, k int) ([]Scored, error) {
-	return recommendByScores(h, h.g, u, k)
-}
-
 // AbsorbingTime is the item-based recommender of §4.1 (Algorithm 1): the
 // user's whole rated set S_q becomes absorbing, and candidate items are
 // ranked by the expected steps AT(S_q|i) until absorption.
 type AbsorbingTime struct {
-	g    *graph.Bipartite
-	opts WalkOptions
+	walkRecommender
 }
 
 // NewAbsorbingTime builds the recommender.
 func NewAbsorbingTime(g *graph.Bipartite, opts WalkOptions) *AbsorbingTime {
-	return &AbsorbingTime{g: g, opts: opts.withDefaults()}
+	return &AbsorbingTime{newWalkRecommender(g, opts, walkSpec{})}
 }
 
 // Name implements Recommender.
 func (a *AbsorbingTime) Name() string { return "AT" }
-
-// ScoreItems returns -AT(S_q|i) per item.
-func (a *AbsorbingTime) ScoreItems(u int) ([]float64, error) {
-	if err := validateUser(u, a.g.NumUsers()); err != nil {
-		return nil, err
-	}
-	absorb, err := userItemNodes(a.g, u)
-	if err != nil {
-		return nil, err
-	}
-	return walkScores(a.g, absorb, absorb, nil, a.opts)
-}
-
-// Recommend implements Recommender.
-func (a *AbsorbingTime) Recommend(u, k int) ([]Scored, error) {
-	return recommendByScores(a, a.g, u, k)
-}
 
 // AbsorbingCost is the entropy-biased recommender of §4.2 (Eq. 9): the
 // same absorbing walk as AbsorbingTime, but stepping from an item into a
@@ -103,11 +105,8 @@ func (a *AbsorbingTime) Recommend(u, k int) ([]Scored, error) {
 // costs the constant C. Construct it with item-based entropies for AC1 or
 // topic-based entropies for AC2.
 type AbsorbingCost struct {
-	g           *graph.Bipartite
-	name        string
-	userEntropy []float64 // per user, already floored to be positive
-	userCost    float64   // C
-	opts        WalkOptions
+	walkRecommender
+	name string
 }
 
 // CostOptions extend WalkOptions with the entropy-cost model parameters.
@@ -132,6 +131,22 @@ func (o CostOptions) withDefaults() CostOptions {
 	return o
 }
 
+// flooredEntropies validates an entropy vector and raises it to the floor.
+func flooredEntropies(src []float64, floor float64) ([]float64, error) {
+	out := make([]float64, len(src))
+	for i, e := range src {
+		if e < 0 || math.IsNaN(e) {
+			return nil, fmt.Errorf("core: entropy %v at %d invalid", e, i)
+		}
+		if e < floor {
+			out[i] = floor
+		} else {
+			out[i] = e
+		}
+	}
+	return out, nil
+}
+
 // NewAbsorbingCost builds an entropy-cost recommender. name should be
 // "AC1" (item-based entropies) or "AC2" (topic-based), but any label is
 // accepted. userEntropy must have one entry per user.
@@ -140,49 +155,22 @@ func NewAbsorbingCost(g *graph.Bipartite, name string, userEntropy []float64, op
 		return nil, fmt.Errorf("core: %d entropies for %d users", len(userEntropy), g.NumUsers())
 	}
 	opts = opts.withDefaults()
-	floored := make([]float64, len(userEntropy))
-	for i, e := range userEntropy {
-		if e < 0 || math.IsNaN(e) {
-			return nil, fmt.Errorf("core: user %d entropy %v invalid", i, e)
-		}
-		if e < opts.EntropyFloor {
-			floored[i] = opts.EntropyFloor
-		} else {
-			floored[i] = e
-		}
+	floored, err := flooredEntropies(userEntropy, opts.EntropyFloor)
+	if err != nil {
+		return nil, err
 	}
 	return &AbsorbingCost{
-		g: g, name: name, userEntropy: floored,
-		userCost: opts.UserCost, opts: opts.WalkOptions,
+		walkRecommender: newWalkRecommender(g, opts.WalkOptions, walkSpec{
+			costed:    true,
+			userEnter: floored,
+			userCost:  opts.UserCost,
+		}),
+		name: name,
 	}, nil
 }
 
 // Name implements Recommender.
 func (a *AbsorbingCost) Name() string { return a.name }
-
-// ScoreItems returns -AC(S_q|i) per item.
-func (a *AbsorbingCost) ScoreItems(u int) ([]float64, error) {
-	if err := validateUser(u, a.g.NumUsers()); err != nil {
-		return nil, err
-	}
-	absorb, err := userItemNodes(a.g, u)
-	if err != nil {
-		return nil, err
-	}
-	// Entering user node v costs E(v); entering an item costs C (Eq. 9).
-	enter := func(orig int) float64 {
-		if a.g.IsUserNode(orig) {
-			return a.userEntropy[orig]
-		}
-		return a.userCost
-	}
-	return walkScores(a.g, absorb, absorb, enter, a.opts)
-}
-
-// Recommend implements Recommender.
-func (a *AbsorbingCost) Recommend(u, k int) ([]Scored, error) {
-	return recommendByScores(a, a.g, u, k)
-}
 
 // SymmetricAbsorbingCost extends the Eq. 9 cost model in the direction
 // §4.2.1 leaves open: instead of a constant C for user→item transitions,
@@ -192,11 +180,8 @@ func (a *AbsorbingCost) Recommend(u, k int) ([]Scored, error) {
 // extension beyond the paper's evaluated variants, benchmarked in the
 // ablation suite.
 type SymmetricAbsorbingCost struct {
-	g           *graph.Bipartite
-	name        string
-	userEntropy []float64
-	itemEntropy []float64
-	opts        WalkOptions
+	walkRecommender
+	name string
 }
 
 // NewSymmetricAbsorbingCost builds the symmetric-cost recommender.
@@ -209,56 +194,26 @@ func NewSymmetricAbsorbingCost(g *graph.Bipartite, name string, userEntropy, ite
 		return nil, fmt.Errorf("core: %d item entropies for %d items", len(itemEntropy), g.NumItems())
 	}
 	opts = opts.withDefaults()
-	floor := func(src []float64) ([]float64, error) {
-		out := make([]float64, len(src))
-		for i, e := range src {
-			if e < 0 || math.IsNaN(e) {
-				return nil, fmt.Errorf("core: entropy %v at %d invalid", e, i)
-			}
-			if e < opts.EntropyFloor {
-				out[i] = opts.EntropyFloor
-			} else {
-				out[i] = e
-			}
-		}
-		return out, nil
-	}
-	ue, err := floor(userEntropy)
+	ue, err := flooredEntropies(userEntropy, opts.EntropyFloor)
 	if err != nil {
 		return nil, err
 	}
-	ie, err := floor(itemEntropy)
+	ie, err := flooredEntropies(itemEntropy, opts.EntropyFloor)
 	if err != nil {
 		return nil, err
 	}
-	return &SymmetricAbsorbingCost{g: g, name: name, userEntropy: ue, itemEntropy: ie, opts: opts.WalkOptions}, nil
+	return &SymmetricAbsorbingCost{
+		walkRecommender: newWalkRecommender(g, opts.WalkOptions, walkSpec{
+			costed:    true,
+			userEnter: ue,
+			itemEnter: ie,
+		}),
+		name: name,
+	}, nil
 }
 
 // Name implements Recommender.
 func (a *SymmetricAbsorbingCost) Name() string { return a.name }
-
-// ScoreItems returns the negated symmetric absorbing cost per item.
-func (a *SymmetricAbsorbingCost) ScoreItems(u int) ([]float64, error) {
-	if err := validateUser(u, a.g.NumUsers()); err != nil {
-		return nil, err
-	}
-	absorb, err := userItemNodes(a.g, u)
-	if err != nil {
-		return nil, err
-	}
-	enter := func(orig int) float64 {
-		if a.g.IsUserNode(orig) {
-			return a.userEntropy[orig]
-		}
-		return a.itemEntropy[a.g.ItemIndex(orig)]
-	}
-	return walkScores(a.g, absorb, absorb, enter, a.opts)
-}
-
-// Recommend implements Recommender.
-func (a *SymmetricAbsorbingCost) Recommend(u, k int) ([]Scored, error) {
-	return recommendByScores(a, a.g, u, k)
-}
 
 // userItemNodes maps S_q to graph node ids, failing on cold users.
 func userItemNodes(g *graph.Bipartite, u int) ([]int, error) {
@@ -273,69 +228,8 @@ func userItemNodes(g *graph.Bipartite, u int) ([]int, error) {
 	return nodes, nil
 }
 
-// walkScores runs Algorithm 1: extract a BFS subgraph around the seeds,
-// build the local chain, compute (truncated) absorbing times — or costs
-// when enterCost is non-nil — with the given absorbing nodes, and spread
-// the negated values back onto the full item universe (-Inf elsewhere).
-func walkScores(g *graph.Bipartite, seeds, absorbing []int, enterCost func(origNode int) float64, opts WalkOptions) ([]float64, error) {
-	sg, err := graph.ExtractSubgraph(g, seeds, opts.MaxSubgraphItems)
-	if err != nil {
-		return nil, fmt.Errorf("core: subgraph: %w", err)
-	}
-	chain, err := markov.NewChain(sg.Adjacency())
-	if err != nil {
-		return nil, fmt.Errorf("core: chain: %w", err)
-	}
-	absorbLocal := make([]int, 0, len(absorbing))
-	for _, orig := range absorbing {
-		l, ok := sg.LocalNode(orig)
-		if !ok {
-			// Seeds are always retained, so this is an internal bug.
-			return nil, fmt.Errorf("core: absorbing node %d missing from subgraph", orig)
-		}
-		absorbLocal = append(absorbLocal, l)
-	}
-	var times []float64
-	if enterCost == nil {
-		if opts.Exact {
-			times, err = chain.AbsorbingTimeExact(absorbLocal)
-		} else {
-			times, err = chain.AbsorbingTimeTruncated(absorbLocal, opts.Iterations)
-		}
-	} else {
-		enter := make([]float64, sg.Len())
-		for l := 0; l < sg.Len(); l++ {
-			enter[l] = enterCost(sg.OriginalNode(l))
-		}
-		step := chain.StepCosts(enter)
-		if opts.Exact {
-			times, err = chain.AbsorbingCostExact(absorbLocal, step)
-		} else {
-			times, err = chain.AbsorbingCostTruncated(absorbLocal, step, opts.Iterations)
-		}
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: absorbing solve: %w", err)
-	}
-	scores := make([]float64, g.NumItems())
-	for i := range scores {
-		scores[i] = math.Inf(-1)
-	}
-	for l, t := range times {
-		orig := sg.OriginalNode(l)
-		if !g.IsItemNode(orig) {
-			continue
-		}
-		if math.IsInf(t, 1) {
-			continue // unreachable even inside the subgraph
-		}
-		scores[g.ItemIndex(orig)] = -t
-	}
-	return scores, nil
-}
-
-// recommendByScores implements Recommend on top of ScoreItems for the walk
-// recommenders, excluding the user's rated items.
+// recommendByScores implements Recommend on top of ScoreItems for the
+// score-function adapters, excluding the user's rated items.
 func recommendByScores(r Recommender, g *graph.Bipartite, u, k int) ([]Scored, error) {
 	scores, err := r.ScoreItems(u)
 	if err != nil {

@@ -315,6 +315,37 @@ func TestListsMetrics(t *testing.T) {
 	}
 }
 
+func TestListsParallelMatchesSequential(t *testing.T) {
+	w := testWorld(t, 9)
+	d := w.Data
+	users, err := d.SampleUsers(rand.New(rand.NewSource(6)), 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []core.Recommender{
+		core.NewAbsorbingTime(d.Graph(), core.WalkOptions{Iterations: 6}),
+		popularityRecommender(t, d),
+	}
+	seq, err := Lists(recs, d, users, ListOptions{ListSize: 8, Ontology: w.Ontology})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Lists(recs, d, users, ListOptions{ListSize: 8, Ontology: w.Ontology, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range seq {
+		s, p := seq[k], par[k]
+		if s.MeanPopularity != p.MeanPopularity || s.Diversity != p.Diversity ||
+			s.Similarity != p.Similarity || s.UsersServed != p.UsersServed {
+			t.Fatalf("%s: parallel metrics diverge: %+v vs %+v", s.Name, p, s)
+		}
+		if p.SecondsPerUser < 0 {
+			t.Fatalf("%s: negative batch time", p.Name)
+		}
+	}
+}
+
 func TestListsValidation(t *testing.T) {
 	w := testWorld(t, 7)
 	rec := constantRecommender(t, w.Data)

@@ -16,6 +16,12 @@ type ListOptions struct {
 	ListSize int
 	// Ontology enables the Table 3 similarity measurement when non-nil.
 	Ontology *ontology.Tree
+	// Parallelism > 1 computes each recommender's panel lists through
+	// core.BatchRecommend across that many workers. SecondsPerUser is then
+	// total wall-clock divided by panel size — an amortized throughput
+	// figure rather than the isolated per-query latency the sequential
+	// default measures (keep the default for Table 5 reproductions).
+	Parallelism int
 }
 
 func (o ListOptions) withDefaults() ListOptions {
@@ -76,12 +82,34 @@ func Lists(recs []core.Recommender, train *dataset.Dataset, users []int, opts Li
 		var simTotal float64
 		var simUsers int
 		var elapsed time.Duration
-		for _, u := range users {
+		var batched [][]core.Scored
+		if opts.Parallelism > 1 {
 			start := time.Now()
-			list, err := rec.Recommend(u, opts.ListSize)
-			elapsed += time.Since(start)
+			lists, err := core.BatchRecommend(rec, users, opts.ListSize, opts.Parallelism)
+			elapsed = time.Since(start)
 			if err != nil {
-				return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, err)
+				return nil, fmt.Errorf("eval: %s batch recommending: %w", rec.Name(), err)
+			}
+			batched = lists
+		}
+		for ui, u := range users {
+			var list []core.Scored
+			if batched != nil {
+				list = batched[ui]
+				// BatchRecommend maps cold users to nil entries; surface them
+				// as the same error the sequential path below reports, so the
+				// Parallelism knob never changes which panels are accepted.
+				if list == nil {
+					return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, core.ErrColdUser)
+				}
+			} else {
+				start := time.Now()
+				l, err := rec.Recommend(u, opts.ListSize)
+				elapsed += time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, err)
+				}
+				list = l
 			}
 			if len(list) == 0 {
 				continue

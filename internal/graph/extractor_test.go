@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTestGraph builds a connected-ish random bipartite graph for
+// extractor equivalence tests.
+func randomTestGraph(t *testing.T, numUsers, numItems, edges int, seed int64) *Bipartite {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(numUsers, numItems)
+	for e := 0; e < edges; e++ {
+		u := rng.Intn(numUsers)
+		i := rng.Intn(numItems)
+		if err := b.AddRating(u, i, float64(1+rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spine so most nodes are reachable from user 0.
+	for i := 0; i < numItems; i++ {
+		if err := b.AddRating(i%numUsers, i, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// requireSameSubgraph asserts two subgraphs agree on nodes, adjacency and
+// cached degrees.
+func requireSameSubgraph(t *testing.T, want, got *Subgraph) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("node count %d, want %d", got.Len(), want.Len())
+	}
+	if want.NumItemNodes() != got.NumItemNodes() {
+		t.Fatalf("item count %d, want %d", got.NumItemNodes(), want.NumItemNodes())
+	}
+	for l := 0; l < want.Len(); l++ {
+		if want.OriginalNode(l) != got.OriginalNode(l) {
+			t.Fatalf("node order diverges at local %d: %d vs %d", l, got.OriginalNode(l), want.OriginalNode(l))
+		}
+	}
+	if !want.Adjacency().Equal(got.Adjacency(), 0) {
+		t.Fatal("local adjacency differs")
+	}
+	wd, gd := want.Degrees(), got.Degrees()
+	for l := range wd {
+		if wd[l] != gd[l] {
+			t.Fatalf("degree[%d] = %v, want %v", l, gd[l], wd[l])
+		}
+	}
+}
+
+// TestExtractorReuseMatchesOneShot runs many queries through one reused
+// extractor and checks each against a fresh one-shot extraction — the
+// epoch-stamped scratch must never leak state between queries.
+func TestExtractorReuseMatchesOneShot(t *testing.T) {
+	g := randomTestGraph(t, 40, 120, 500, 1)
+	ext := NewSubgraphExtractor(g)
+	rng := rand.New(rand.NewSource(2))
+	for q := 0; q < 50; q++ {
+		u := rng.Intn(g.NumUsers())
+		seeds, _ := g.Neighbors(g.UserNode(u))
+		if len(seeds) == 0 {
+			seeds = []int{g.UserNode(u)}
+		}
+		maxItems := []int{0, 3, 10, 50}[q%4]
+		got, err := ext.Extract(seeds, maxItems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExtractSubgraph(g, seeds, maxItems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameSubgraph(t, want, got)
+		// The reverse mapping must cover exactly the subgraph's nodes.
+		for l := 0; l < got.Len(); l++ {
+			orig := got.OriginalNode(l)
+			if ll, ok := got.LocalNode(orig); !ok || ll != l {
+				t.Fatalf("LocalNode(%d) = %d,%v, want %d,true", orig, ll, ok, l)
+			}
+		}
+		misses := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if _, ok := got.LocalNode(v); !ok {
+				misses++
+			}
+		}
+		if misses != g.NumNodes()-got.Len() {
+			t.Fatalf("LocalNode claims %d members, subgraph has %d", g.NumNodes()-misses, got.Len())
+		}
+	}
+}
+
+// TestExtractorSeedsOccupyPrefix locks in the contract the query engine
+// relies on: distinct seeds take local ids 0..s-1 in order.
+func TestExtractorSeedsOccupyPrefix(t *testing.T) {
+	g := randomTestGraph(t, 10, 30, 100, 3)
+	seeds, _ := g.Neighbors(g.UserNode(4))
+	ext := NewSubgraphExtractor(g)
+	sg, err := ext.Extract(seeds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, s := range seeds {
+		if sg.OriginalNode(k) != s {
+			t.Fatalf("local %d = node %d, want seed %d", k, sg.OriginalNode(k), s)
+		}
+	}
+}
+
+// TestExtractorDegreesMatchAdjacency verifies the cached degree vector
+// equals the row sums of the local adjacency.
+func TestExtractorDegreesMatchAdjacency(t *testing.T) {
+	g := randomTestGraph(t, 25, 60, 300, 4)
+	sg, err := ExtractSubgraph(g, []int{g.UserNode(0)}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, d := range sg.Degrees() {
+		if rs := sg.Adjacency().RowSum(l); rs != d {
+			t.Fatalf("degree[%d] = %v, adjacency row sum %v", l, d, rs)
+		}
+	}
+}
+
+// TestExtractorRowsSorted checks the CSR invariant after the BFS-order
+// permutation is restored by the per-row sort (including rows long enough
+// to take the sort.Sort path).
+func TestExtractorRowsSorted(t *testing.T) {
+	// A hub user rated by everything forces a long row.
+	b := NewBuilder(3, 60)
+	for i := 0; i < 60; i++ {
+		if err := b.AddRating(0, i, 1+float64(i%5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AddRating(1, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddRating(2, 59, 2); err != nil {
+		t.Fatal(err)
+	}
+	g := b.Build()
+	sg, err := ExtractSubgraph(g, []int{g.ItemNode(30)}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := sg.Adjacency()
+	for l := 0; l < sg.Len(); l++ {
+		cols, _ := adj.Row(l)
+		for k := 1; k < len(cols); k++ {
+			if cols[k-1] >= cols[k] {
+				t.Fatalf("row %d columns not strictly increasing: %v", l, cols)
+			}
+		}
+	}
+}

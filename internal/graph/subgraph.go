@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 
 	"longtailrec/internal/sparse"
 )
@@ -14,67 +15,212 @@ import (
 // Edges between two subgraph nodes are retained with their original
 // weights; edges leaving the subgraph are dropped, so the local random walk
 // is the paper's truncated approximation of the global one.
+//
+// A Subgraph returned by SubgraphExtractor.Extract aliases the extractor's
+// scratch storage and is only valid until the extractor's next Extract
+// call; the standalone ExtractSubgraph wrapper has no such restriction.
 type Subgraph struct {
 	parent  *Bipartite
 	nodes   []int       // local id -> original node id (BFS discovery order)
-	localOf map[int]int // original node id -> local id
 	adj     *sparse.CSR // local symmetric adjacency
+	degrees []float64   // cached weighted degrees of the local adjacency
 	items   int         // number of item nodes contained
+
+	// Reverse mapping: local[v] is the local id of original node v, valid
+	// only when stamp[v] == epoch. Shared with (and stamped by) the
+	// extractor that produced this subgraph.
+	stamp []int
+	local []int
+	epoch int
 }
 
-// ExtractSubgraph grows a subgraph outward from the seed nodes by
-// breadth-first search, following Algorithm 1: expansion stops once the
-// subgraph contains more than maxItems item nodes (seeds are always kept,
-// whatever their type). A non-positive maxItems means "no limit", yielding
-// the whole reachable component.
-func ExtractSubgraph(g *Bipartite, seeds []int, maxItems int) (*Subgraph, error) {
+// SubgraphExtractor performs repeated BFS subgraph extractions against one
+// parent graph while reusing all intermediate storage. The epoch-stamped
+// visited/local arrays replace the per-query map[int]int node remapping, and
+// the local CSR is built directly from the parent adjacency into flat
+// scratch slices — no COO builder, no per-query map, no re-sorted column
+// permutation pass.
+//
+// An extractor is NOT safe for concurrent use; give each worker its own
+// (see core.Engine, which pools them).
+type SubgraphExtractor struct {
+	g     *Bipartite
+	epoch int
+	stamp []int // stamp[v] == epoch ⇔ v is in the current subgraph
+	local []int // local id of original node v when stamped
+
+	nodes   []int // BFS discovery order; doubles as the queue
+	rowPtr  []int
+	colIdx  []int
+	vals    []float64
+	degrees []float64
+	sorter  csrRowSorter
+	sub     Subgraph
+}
+
+// NewSubgraphExtractor creates an extractor bound to g. Scratch arrays grow
+// lazily to the sizes the queries actually need and are then reused.
+func NewSubgraphExtractor(g *Bipartite) *SubgraphExtractor {
+	n := g.NumNodes()
+	return &SubgraphExtractor{
+		g:     g,
+		stamp: make([]int, n),
+		local: make([]int, n),
+	}
+}
+
+// Graph returns the parent graph the extractor is bound to.
+func (e *SubgraphExtractor) Graph() *Bipartite { return e.g }
+
+// Extract grows a subgraph outward from the seed nodes by breadth-first
+// search, following Algorithm 1: expansion stops once the subgraph contains
+// more than maxItems item nodes (seeds are always kept, whatever their
+// type). A non-positive maxItems means "no limit", yielding the whole
+// reachable component.
+//
+// Seed nodes occupy local ids 0..s-1 in seed order (duplicates skipped).
+// The returned Subgraph aliases the extractor's scratch and is invalidated
+// by the next Extract call on the same extractor.
+func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("graph: ExtractSubgraph needs at least one seed")
 	}
+	g := e.g
 	n := g.NumNodes()
-	sg := &Subgraph{
-		parent:  g,
-		localOf: make(map[int]int),
+	e.epoch++
+	e.nodes = e.nodes[:0]
+	items := 0
+	add := func(v int) {
+		e.stamp[v] = e.epoch
+		e.local[v] = len(e.nodes)
+		e.nodes = append(e.nodes, v)
+		if g.IsItemNode(v) {
+			items++
+		}
 	}
-	queue := make([]int, 0, len(seeds))
 	for _, s := range seeds {
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("graph: seed node %d out of range [0,%d)", s, n)
 		}
-		if _, seen := sg.localOf[s]; seen {
+		if e.stamp[s] == e.epoch {
 			continue
 		}
-		sg.add(s)
-		queue = append(queue, s)
+		add(s)
 	}
-	for len(queue) > 0 {
-		if maxItems > 0 && sg.items > maxItems {
+	// BFS with an index-based head: e.nodes is simultaneously the discovery
+	// list and the queue, so there is no O(n²) queue = queue[1:] re-slicing
+	// and no separate queue allocation.
+	for head := 0; head < len(e.nodes); head++ {
+		if maxItems > 0 && items > maxItems {
 			break
 		}
-		v := queue[0]
-		queue = queue[1:]
-		nbrs, _ := g.Neighbors(v)
+		nbrs, _ := g.Neighbors(e.nodes[head])
 		for _, w := range nbrs {
-			if _, seen := sg.localOf[w]; seen {
+			if e.stamp[w] == e.epoch {
 				continue
 			}
-			if maxItems > 0 && sg.items > maxItems && g.IsItemNode(w) {
+			if maxItems > 0 && items > maxItems && g.IsItemNode(w) {
 				continue
 			}
-			sg.add(w)
-			queue = append(queue, w)
+			add(w)
 		}
 	}
-	sg.adj = g.Adjacency().Submatrix(sg.nodes, sg.nodes)
-	return sg, nil
+	e.buildLocalCSR()
+	e.sub = Subgraph{
+		parent:  g,
+		nodes:   e.nodes,
+		adj:     sparse.NewCSRView(len(e.nodes), len(e.nodes), e.rowPtr, e.colIdx, e.vals),
+		degrees: e.degrees,
+		items:   items,
+		stamp:   e.stamp,
+		local:   e.local,
+		epoch:   e.epoch,
+	}
+	return &e.sub, nil
 }
 
-func (sg *Subgraph) add(orig int) {
-	sg.localOf[orig] = len(sg.nodes)
-	sg.nodes = append(sg.nodes, orig)
-	if sg.parent.IsItemNode(orig) {
-		sg.items++
+// buildLocalCSR materializes the node-induced adjacency submatrix straight
+// from the parent CSR: one pass per row filtering to stamped neighbors,
+// followed by an in-place per-row column sort (local ids are assigned in
+// BFS order, so the parent's sorted-by-original-id rows arrive permuted).
+// Degrees (local row sums) are computed in the same pass.
+func (e *SubgraphExtractor) buildLocalCSR() {
+	nl := len(e.nodes)
+	if cap(e.rowPtr) < nl+1 {
+		e.rowPtr = make([]int, 0, 2*(nl+1))
 	}
+	if cap(e.degrees) < nl {
+		e.degrees = make([]float64, 0, 2*nl)
+	}
+	e.rowPtr = e.rowPtr[:0]
+	e.degrees = e.degrees[:0]
+	e.colIdx = e.colIdx[:0]
+	e.vals = e.vals[:0]
+	e.rowPtr = append(e.rowPtr, 0)
+	for _, orig := range e.nodes {
+		cols, vals := e.g.Adjacency().Row(orig)
+		start := len(e.colIdx)
+		sum := 0.0
+		for k, w := range cols {
+			if e.stamp[w] == e.epoch && vals[k] != 0 {
+				e.colIdx = append(e.colIdx, e.local[w])
+				e.vals = append(e.vals, vals[k])
+				sum += vals[k]
+			}
+		}
+		e.sortRow(start)
+		e.rowPtr = append(e.rowPtr, len(e.colIdx))
+		e.degrees = append(e.degrees, sum)
+	}
+}
+
+// sortRow restores the ascending-column CSR invariant for the row segment
+// colIdx[start:], swapping vals along. Small rows use insertion sort;
+// larger ones go through sort.Sort on a pre-allocated sorter so no closure
+// or interface value is allocated per row.
+func (e *SubgraphExtractor) sortRow(start int) {
+	cols := e.colIdx[start:]
+	vals := e.vals[start:]
+	if len(cols) <= 24 {
+		for i := 1; i < len(cols); i++ {
+			c, v := cols[i], vals[i]
+			j := i - 1
+			for j >= 0 && cols[j] > c {
+				cols[j+1], vals[j+1] = cols[j], vals[j]
+				j--
+			}
+			cols[j+1], vals[j+1] = c, v
+		}
+		return
+	}
+	e.sorter.cols, e.sorter.vals = cols, vals
+	sort.Sort(&e.sorter)
+	e.sorter.cols, e.sorter.vals = nil, nil
+}
+
+// csrRowSorter sorts a (column, value) row segment by ascending column.
+type csrRowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (s *csrRowSorter) Len() int           { return len(s.cols) }
+func (s *csrRowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
+func (s *csrRowSorter) Swap(i, j int) {
+	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
+	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+}
+
+// ExtractSubgraph grows a subgraph outward from the seed nodes by
+// breadth-first search (Algorithm 1). It is a thin wrapper over
+// SubgraphExtractor for one-shot callers; the returned Subgraph owns its
+// storage (the throwaway extractor is never reused, so nothing aliases).
+// Note that the Subgraph keeps the extractor's two NumNodes-sized reverse-
+// mapping arrays alive for its lifetime — callers that extract and retain
+// many Subgraphs, or that extract per query, should hold (and pool) a
+// SubgraphExtractor instead.
+func ExtractSubgraph(g *Bipartite, seeds []int, maxItems int) (*Subgraph, error) {
+	return NewSubgraphExtractor(g).Extract(seeds, maxItems)
 }
 
 // Len returns the number of nodes in the subgraph.
@@ -86,13 +232,20 @@ func (sg *Subgraph) NumItemNodes() int { return sg.items }
 // Adjacency returns the local symmetric adjacency matrix.
 func (sg *Subgraph) Adjacency() *sparse.CSR { return sg.adj }
 
+// Degrees returns the weighted degree vector of the local adjacency
+// (aliases internal storage). Cached at extraction time so chain
+// construction does not recompute row sums per query.
+func (sg *Subgraph) Degrees() []float64 { return sg.degrees }
+
 // OriginalNode maps a local id back to the parent graph's node id.
 func (sg *Subgraph) OriginalNode(local int) int { return sg.nodes[local] }
 
 // LocalNode maps a parent node id to the local id, reporting presence.
 func (sg *Subgraph) LocalNode(orig int) (int, bool) {
-	l, ok := sg.localOf[orig]
-	return l, ok
+	if orig < 0 || orig >= len(sg.stamp) || sg.stamp[orig] != sg.epoch {
+		return 0, false
+	}
+	return sg.local[orig], true
 }
 
 // IsItemLocal reports whether local node l is an item in the parent graph.

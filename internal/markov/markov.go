@@ -57,11 +57,38 @@ func NewChain(adj *sparse.CSR) (*Chain, error) {
 	if r != c {
 		return nil, fmt.Errorf("markov: adjacency must be square, got %dx%d", r, c)
 	}
-	ch := &Chain{adj: adj, n: r, degrees: make([]float64, r)}
+	degrees := make([]float64, r)
 	for i := 0; i < r; i++ {
-		ch.degrees[i] = adj.RowSum(i)
+		degrees[i] = adj.RowSum(i)
+	}
+	return NewChainWithDegrees(adj, degrees)
+}
+
+// NewChainWithDegrees builds a Chain reusing a precomputed degree vector
+// (e.g. the one cached on graph.Subgraph), skipping the per-row sum pass.
+// The degree slice is aliased, not copied.
+func NewChainWithDegrees(adj *sparse.CSR, degrees []float64) (*Chain, error) {
+	ch := &Chain{}
+	if err := ch.Reset(adj, degrees); err != nil {
+		return nil, err
 	}
 	return ch, nil
+}
+
+// Reset re-points an existing Chain at a new adjacency with its precomputed
+// degree vector, so per-query hot paths can keep one Chain value in scratch
+// instead of allocating one per query. degrees must hold the row sums of
+// adj; both are aliased.
+func (c *Chain) Reset(adj *sparse.CSR, degrees []float64) error {
+	r, cols := adj.Dims()
+	if r != cols {
+		return fmt.Errorf("markov: adjacency must be square, got %dx%d", r, cols)
+	}
+	if len(degrees) != r {
+		return fmt.Errorf("markov: %d degrees for %d states", len(degrees), r)
+	}
+	c.adj, c.degrees, c.n = adj, degrees, r
+	return nil
 }
 
 // Len returns the number of states.
@@ -395,22 +422,5 @@ func (c *Chain) HittingTimeTruncated(target, tau int) ([]float64, error) {
 // entropy-cost model of Eq. 9, where entering user j costs E(j) and
 // entering an item costs the constant C.
 func (c *Chain) StepCosts(enterCost []float64) []float64 {
-	if len(enterCost) != c.n {
-		panic(fmt.Sprintf("markov: enterCost length %d, want %d", len(enterCost), c.n))
-	}
-	out := make([]float64, c.n)
-	for i := 0; i < c.n; i++ {
-		d := c.degrees[i]
-		if d == 0 {
-			out[i] = 0
-			continue
-		}
-		cols, vals := c.adj.Row(i)
-		acc := 0.0
-		for k, j := range cols {
-			acc += vals[k] * enterCost[j]
-		}
-		out[i] = acc / d
-	}
-	return out
+	return c.StepCostsInto(enterCost, make([]float64, c.n))
 }

@@ -1,0 +1,103 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestRecommendBatch(t *testing.T) {
+	_, ts := testServer(t)
+	var resp RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,3,6&k=3&algo=AT&parallelism=2", http.StatusOK, &resp)
+	if resp.Algorithm != "AT" {
+		t.Fatalf("algorithm %q", resp.Algorithm)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("%d results, want 3", len(resp.Results))
+	}
+	wantUsers := []int{0, 3, 6}
+	for i, entry := range resp.Results {
+		if entry.User != wantUsers[i] {
+			t.Fatalf("result %d is user %d, want %d", i, entry.User, wantUsers[i])
+		}
+		if len(entry.Items) == 0 {
+			t.Fatalf("user %d got no items", entry.User)
+		}
+		if len(entry.Items) > 3 {
+			t.Fatalf("user %d got %d items, want <= 3", entry.User, len(entry.Items))
+		}
+	}
+}
+
+func TestRecommendBatchMatchesSingle(t *testing.T) {
+	_, ts := testServer(t)
+	var batch RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=1,4&k=5&algo=HT", http.StatusOK, &batch)
+	for _, entry := range batch.Results {
+		var single RecommendResponse
+		getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&k=5&algo=HT", ts.URL, entry.User), http.StatusOK, &single)
+		if len(single.Items) != len(entry.Items) {
+			t.Fatalf("user %d: batch %d items, single %d", entry.User, len(entry.Items), len(single.Items))
+		}
+		for j := range single.Items {
+			if single.Items[j] != entry.Items[j] {
+				t.Fatalf("user %d slot %d: batch %+v, single %+v", entry.User, j, entry.Items[j], single.Items[j])
+			}
+		}
+	}
+}
+
+func TestRecommendBatchColdUserEmptyList(t *testing.T) {
+	_, ts := testServer(t)
+	var resp RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,7&algo=AT", http.StatusOK, &resp)
+	if len(resp.Results) != 2 {
+		t.Fatalf("%d results", len(resp.Results))
+	}
+	if len(resp.Results[0].Items) == 0 {
+		t.Fatal("warm user 0 got no items")
+	}
+	if len(resp.Results[1].Items) != 0 {
+		t.Fatalf("cold user 7 got %d items", len(resp.Results[1].Items))
+	}
+}
+
+func TestRecommendBatchErrors(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		query string
+		code  int
+	}{
+		{"", http.StatusBadRequest},                       // missing users
+		{"?users=1,zap", http.StatusBadRequest},           // non-integer user
+		{"?users=99", http.StatusNotFound},                // out of range
+		{"?users=1&k=0", http.StatusBadRequest},           // bad k
+		{"?users=1&k=10000", http.StatusBadRequest},       // k over MaxK
+		{"?users=1&algo=Nope", http.StatusBadRequest},     // unknown algorithm
+		{"?users=1&parallelism=x", http.StatusBadRequest}, // bad parallelism
+	}
+	for _, c := range cases {
+		var e map[string]string
+		getJSON(t, ts.URL+"/v1/recommend/batch"+c.query, c.code, &e)
+		if e["error"] == "" {
+			t.Fatalf("%q: no error message", c.query)
+		}
+	}
+}
+
+func TestRecommendBatchSizeLimit(t *testing.T) {
+	srv, err := New(testSystem(t), Options{MaxBatchUsers: 2, Logger: log.New(io.Discard, "", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("GET", "/v1/recommend/batch?users=0,1,2&algo=AT", nil)
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", rec.Code)
+	}
+}

@@ -4,7 +4,11 @@ package server
 
 import (
 	"net/http"
+	"runtime"
 	"strconv"
+	"strings"
+
+	"longtailrec/internal/core"
 )
 
 // HealthResponse is the /v1/health body.
@@ -100,6 +104,92 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pop := s.src.Data().ItemPopularity()
+	writeJSON(w, http.StatusOK, RecommendResponse{User: user, Algorithm: rec.Name(), Items: s.renderItems(scored, pop)})
+}
+
+// BatchEntry is one user's slice of a batch recommendation response. Cold
+// users (no rated items) are served with an empty list.
+type BatchEntry struct {
+	User  int               `json:"user"`
+	Items []RecommendedItem `json:"items"`
+}
+
+// RecommendBatchResponse is the /v1/recommend/batch body.
+type RecommendBatchResponse struct {
+	Algorithm string       `json:"algorithm"`
+	Results   []BatchEntry `json:"results"`
+}
+
+// handleRecommendBatch serves ?users=1,2,3 in one call, fanning the queries
+// out across cores through the pooled walk query engine (Engine.
+// RecommendBatch) when the algorithm supports concurrent scoring.
+func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
+	rawUsers := r.URL.Query().Get("users")
+	if rawUsers == "" {
+		writeError(w, http.StatusBadRequest, "missing required parameter %q", "users")
+		return
+	}
+	fields := strings.Split(rawUsers, ",")
+	if len(fields) > s.opts.MaxBatchUsers {
+		writeError(w, http.StatusBadRequest, "batch of %d users exceeds limit %d", len(fields), s.opts.MaxBatchUsers)
+		return
+	}
+	numUsers := s.src.Data().NumUsers()
+	users := make([]int, 0, len(fields))
+	for _, f := range fields {
+		u, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "parameter %q: %q is not an integer", "users", f)
+			return
+		}
+		if u < 0 || u >= numUsers {
+			writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", u, numUsers)
+			return
+		}
+		users = append(users, u)
+	}
+	k, err := queryInt(r, "k", 10)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if k <= 0 || k > s.opts.MaxK {
+		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", s.opts.MaxK, k)
+		return
+	}
+	parallelism, err := queryInt(r, "parallelism", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Cap the client-supplied worker count at the core count: beyond it the
+	// CPU-bound engine gains nothing, and each extra worker pins a
+	// graph-sized scratch from the pool.
+	if maxPar := runtime.GOMAXPROCS(0); parallelism > maxPar {
+		parallelism = maxPar
+	}
+	algo := r.URL.Query().Get("algo")
+	if algo == "" {
+		algo = s.opts.DefaultAlgorithm
+	}
+	lists, err := s.src.RecommendBatch(algo, users, k, parallelism)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	pop := s.src.Data().ItemPopularity()
+	results := make([]BatchEntry, len(users))
+	for i, u := range users {
+		results[i] = BatchEntry{User: u, Items: s.renderItems(lists[i], pop)}
+	}
+	writeJSON(w, http.StatusOK, RecommendBatchResponse{Algorithm: algo, Results: results})
+}
+
+// renderItems decorates a scored list with popularity and long-tail
+// membership — the shared response shape of the single and batch
+// recommendation endpoints. pop is the catalog popularity vector, computed
+// once per request by the caller.
+func (s *Server) renderItems(scored []core.Scored, pop []int) []RecommendedItem {
 	items := make([]RecommendedItem, len(scored))
 	for i, sc := range scored {
 		_, tail := s.tail[sc.Item]
@@ -110,7 +200,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 			LongTail:   tail,
 		}
 	}
-	writeJSON(w, http.StatusOK, RecommendResponse{User: user, Algorithm: rec.Name(), Items: items})
+	return items
 }
 
 // ExplainAnchor attributes a share of the recommendation to a rated item.

@@ -6,6 +6,9 @@
 //	/v1/stats                      corpus statistics (§5.1.2 view)
 //	/v1/algorithms                 available algorithm names
 //	/v1/recommend?user=&algo=&k=   top-k recommendations
+//	/v1/recommend/batch?users=&algo=&k=&parallelism=
+//	                               top-k lists for many users, scored
+//	                               concurrently across cores
 //	/v1/explain?user=&item=        absorption-probability explanation
 //	/v1/users/{id}                 user profile: ratings, degree
 //	/v1/items/{id}                 item profile: popularity, tail membership
@@ -40,6 +43,9 @@ type Source interface {
 	Algorithm(name string) (core.Recommender, error)
 	// Algorithms lists the accepted names.
 	Algorithms() []string
+	// RecommendBatch serves many users in one call, concurrently when the
+	// algorithm supports it. Cold users yield a nil entry.
+	RecommendBatch(algo string, users []int, k, parallelism int) ([][]core.Scored, error)
 	// Data returns the training dataset.
 	Data() *dataset.Dataset
 	// Explain attributes a would-be recommendation over the user's rated
@@ -58,6 +64,9 @@ type Options struct {
 	DefaultAlgorithm string
 	// MaxK caps the ?k= parameter; <= 0 means 100.
 	MaxK int
+	// MaxBatchUsers caps the ?users= list of /v1/recommend/batch;
+	// <= 0 means 500.
+	MaxBatchUsers int
 	// TailShare defines the long-tail split reported by /v1/items;
 	// <= 0 means 0.20 (the 80/20 rule).
 	TailShare float64
@@ -77,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxK <= 0 {
 		o.MaxK = 100
+	}
+	if o.MaxBatchUsers <= 0 {
+		o.MaxBatchUsers = 500
 	}
 	if o.TailShare <= 0 {
 		o.TailShare = 0.20
@@ -118,6 +130,7 @@ func New(src Source, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
+	s.mux.HandleFunc("GET /v1/recommend/batch", s.handleRecommendBatch)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/users/{id}", s.handleUser)
 	s.mux.HandleFunc("GET /v1/items/{id}", s.handleItem)

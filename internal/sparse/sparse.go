@@ -129,6 +129,26 @@ func NewCSRFromDense(d [][]float64) *CSR {
 	return coo.ToCSR()
 }
 
+// NewCSRView wraps pre-built CSR storage without copying it. The slices are
+// aliased, not owned: the caller promises they already satisfy the CSR
+// invariants (rowPtr of length rows+1, non-decreasing, strictly increasing
+// column indices within each row) and remain unmodified for the lifetime of
+// the returned matrix. This is the zero-copy entry point for scratch-backed
+// per-query submatrices (subgraph extraction); everything else should go
+// through COO.ToCSR.
+func NewCSRView(rows, cols int, rowPtr, colIdx []int, vals []float64) *CSR {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: NewCSRView(%d, %d) negative dimension", rows, cols))
+	}
+	if len(rowPtr) != rows+1 {
+		panic(fmt.Sprintf("sparse: NewCSRView rowPtr length %d, want %d", len(rowPtr), rows+1))
+	}
+	if len(colIdx) != len(vals) {
+		panic(fmt.Sprintf("sparse: NewCSRView colIdx length %d != vals length %d", len(colIdx), len(vals)))
+	}
+	return &CSR{rows: rows, cols: cols, rowPtr: rowPtr, colIdx: colIdx, vals: vals}
+}
+
 // Dims returns the (rows, cols) shape.
 func (m *CSR) Dims() (int, int) { return m.rows, m.cols }
 

@@ -60,6 +60,10 @@ type (
 // ErrColdUser is returned when a query user has no rated items.
 var ErrColdUser = core.ErrColdUser
 
+// BatchRecommender is implemented by recommenders that score many users
+// concurrently (the walk recommenders, via the pooled query engine).
+type BatchRecommender = core.BatchRecommender
+
 // Config tunes the full algorithm suite.
 type Config struct {
 	// Walk carries µ (subgraph item budget), τ (truncated iterations) and
@@ -577,6 +581,19 @@ func (s *System) Algorithm(name string) (Recommender, error) {
 
 // Algorithms lists every name this System's Algorithm method accepts.
 func (s *System) Algorithms() []string { return AlgorithmNames() }
+
+// RecommendBatch resolves algo and serves the whole user list, spreading
+// the work across up to parallelism goroutines (<= 0 means GOMAXPROCS)
+// when the algorithm supports concurrent scoring, and falling back to a
+// sequential loop otherwise. Cold users yield a nil entry rather than
+// failing the batch.
+func (s *System) RecommendBatch(algo string, users []int, k, parallelism int) ([][]Scored, error) {
+	rec, err := s.Algorithm(algo)
+	if err != nil {
+		return nil, err
+	}
+	return core.BatchRecommend(rec, users, k, parallelism)
+}
 
 // AlgorithmNames lists every algorithm Algorithm accepts.
 func AlgorithmNames() []string {
