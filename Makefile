@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench fuzz
 
 all: build test
 
@@ -14,12 +14,22 @@ test: build
 	$(GO) test ./...
 
 # Race-detector pass over the concurrency-sensitive surfaces: the pooled
-# walk query engine and the shared-System batch paths. (The full suite
-# under -race also works but takes many minutes; this is the CI-sized cut.)
+# walk query engine, the shared-System batch paths, the live delta-overlay
+# graph (concurrent readers + one writer) and the sharded result cache.
+# (The full suite under -race also works but takes many minutes; this is
+# the CI-sized cut.)
 race:
-	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch' . ./internal/core/ ./internal/server/
+	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/
 
 # Short per-query benchmark pass with allocation counts — the regression
-# signal for the zero-allocation query engine (see PERFORMANCE.md).
+# signal for the zero-allocation query engine and the cached serving path
+# (see PERFORMANCE.md).
 bench: build
-	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch' -benchtime=100x -benchmem
+	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached' -benchtime=100x -benchmem
+
+# Native fuzz targets, a short budget each — the long-haul hardening pass
+# for the extractor and the live graph (CI runs the seed corpus via
+# `make test`; this explores further).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSubgraphExtract -fuzztime 30s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzBuilderAddRating -fuzztime 30s ./internal/graph/

@@ -303,6 +303,98 @@ func BenchmarkRecommendBatch(b *testing.B) {
 	}
 }
 
+// Cached serving-path benchmarks: the epoch-invalidated result cache in
+// front of the engine (PR 2). BenchmarkRecommendUncached is the same
+// workload without the cache — the pair quantifies hit-rate vs recompute
+// cost for PERFORMANCE.md.
+
+// cachedBenchSystem builds a second System over the bench split with the
+// result cache enabled (the per-query benchmarks above deliberately run
+// uncached so they keep measuring the engine).
+func cachedBenchSystem(b *testing.B, env *experiments.Env) *longtail.System {
+	b.Helper()
+	cfg := longtail.DefaultConfig()
+	cfg.CacheSize = 8192
+	sys, err := longtail.NewSystem(env.Split.Train, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+// BenchmarkRecommendCached measures a repeat query through the cached
+// engine path: after one cold round over the panel, every iteration is a
+// cache hit (lookup + copy of the top-k slice). Compare ns/op against
+// BenchmarkRecommendUncached / BenchmarkQueryAT.
+func BenchmarkRecommendCached(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	sys := cachedBenchSystem(b, env)
+	rec, err := sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := env.Panel
+	for _, u := range users { // warm: one miss per panel user
+		if _, err := rec.Recommend(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		if _, err := rec.Recommend(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendUncached is the identical workload through a cache-
+// disabled System: every iteration runs the full BFS + fused-sweep engine.
+func BenchmarkRecommendUncached(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	rec, err := env.Sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := env.Panel
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := users[i%len(users)]
+		if _, err := rec.Recommend(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendCachedWithWrites interleaves one live write per 64
+// queries — a 98.4% read mix — to show the cache under epoch churn.
+func BenchmarkRecommendCachedWithWrites(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	sys := cachedBenchSystem(b, env)
+	rec, err := sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := env.Panel
+	d := env.Split.Train
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 63 {
+			u := users[i%len(users)]
+			if _, _, err := sys.ApplyRating(u, i%d.NumItems(), 1+float64(i%5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		u := users[i%len(users)]
+		if _, err := rec.Recommend(u, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSystemConstruction measures graph building and indexing on the
 // MovieLens-shaped corpus (model training excluded: recommenders are lazy).
 func BenchmarkSystemConstruction(b *testing.B) {

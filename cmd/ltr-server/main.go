@@ -3,10 +3,18 @@
 //	ltr-server -addr :8080 -in ratings.tsv -format tsv
 //	ltr-server -in snapshot.ltrz -format ltrz          # persist container
 //	ltr-server -synthetic movielens                    # demo corpus
+//	ltr-server -synthetic movielens -cache-size 16384  # bigger result cache
 //
 // Endpoints: /v1/health, /v1/stats, /v1/algorithms,
-// /v1/recommend?user=&algo=&k=, /v1/explain?user=&item=,
-// /v1/users/{id}, /v1/items/{id}, /v1/items/{id}/similar?k=.
+// /v1/recommend?user=&algo=&k=, POST /v1/ratings (live rating ingest),
+// /v1/explain?user=&item=, /v1/users/{id}, /v1/items/{id},
+// /v1/items/{id}/similar?k=.
+//
+// Serving is live: POST /v1/ratings writes land in the graph's delta
+// overlay immediately and invalidate the recommendation result cache via
+// the graph epoch. -cache-size sizes that cache (0 disables it);
+// -compact-threshold controls how many overlay writes accumulate before
+// they are folded back into the CSR.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -30,22 +38,24 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		in        = flag.String("in", "", "ratings file path (required unless -synthetic)")
-		format    = flag.String("format", "tsv", "input format: tsv, csv, movielens or ltrz")
-		synthetic = flag.String("synthetic", "", "serve a synthetic corpus instead: movielens or douban")
-		algo      = flag.String("algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
-		topics    = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
-		seed      = flag.Int64("seed", 42, "seed for the synthetic corpus")
+		addr             = flag.String("addr", ":8080", "listen address")
+		in               = flag.String("in", "", "ratings file path (required unless -synthetic)")
+		format           = flag.String("format", "tsv", "input format: tsv, csv, movielens or ltrz")
+		synthetic        = flag.String("synthetic", "", "serve a synthetic corpus instead: movielens or douban")
+		algo             = flag.String("algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
+		topics           = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
+		seed             = flag.Int64("seed", 42, "seed for the synthetic corpus")
+		cacheSize        = flag.Int("cache-size", 4096, "recommendation result cache entries (0 disables caching)")
+		compactThreshold = flag.Int("compact-threshold", 1024, "live writes buffered in the graph delta overlay before auto-compaction")
 	)
 	flag.Parse()
-	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed); err != nil {
+	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, in, format, synthetic, algo string, topics int, seed int64) error {
+func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int) error {
 	data, err := loadData(in, format, synthetic, seed)
 	if err != nil {
 		return err
@@ -53,6 +63,8 @@ func run(addr, in, format, synthetic, algo string, topics int, seed int64) error
 	cfg := longtail.DefaultConfig()
 	cfg.LDA.NumTopics = topics
 	cfg.Seed = seed
+	cfg.CacheSize = cacheSize
+	cfg.CompactThreshold = compactThreshold
 	sys, err := longtail.NewSystem(data, cfg)
 	if err != nil {
 		return err
@@ -67,8 +79,8 @@ func run(addr, in, format, synthetic, algo string, topics int, seed int64) error
 		return err
 	}
 	st := data.Summarize()
-	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s)",
-		st.NumUsers, st.NumItems, st.NumRatings, addr, algo)
+	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, cache %d entries, compact every %d writes)",
+		st.NumUsers, st.NumItems, st.NumRatings, addr, algo, cacheSize, compactThreshold)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -4,7 +4,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestConcurrentRecommendSharedSystem hammers one shared System from many
@@ -87,5 +89,97 @@ func TestConcurrentBatchDeterministic(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestConcurrentLiveWriteServing is the PR 2 serving-layer race check:
+// one shared cache-enabled System serves concurrent Recommend and
+// RecommendBatch traffic while a single writer streams live ratings into
+// the graph, compacting and sweeping stale cache entries along the way.
+// Run under `make race`.
+func TestConcurrentLiveWriteServing(t *testing.T) {
+	_, w := smallSystem(t, 13)
+	cfg := DefaultConfig()
+	cfg.CacheSize = 512
+	cfg.CompactThreshold = 32
+	sys, err := NewSystem(w.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := sys.Data().SampleUsers(rand.New(rand.NewSource(5)), 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	stop := make(chan struct{})
+	// One slot per reader so a systemic failure can never block a sender
+	// (and thereby deadlock wg.Wait) on many-core machines.
+	errc := make(chan error, 2*runtime.GOMAXPROCS(0))
+	for g := 0; g < 2*runtime.GOMAXPROCS(0); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; ; q++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				algo := []string{"HT", "AT"}[(g+q)%2]
+				if q%5 == 0 {
+					if _, err := sys.RecommendBatch(algo, users, 5, 2); err != nil {
+						errc <- err
+						return
+					}
+					served.Add(1)
+					continue
+				}
+				rec, err := sys.Algorithm(algo)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if _, err := rec.Recommend(users[(g*3+q)%len(users)], 5); err != nil {
+					errc <- err
+					return
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	// Pace the write stream against actual query progress so readers and
+	// the writer genuinely overlap (on one core a free-running writer
+	// finishes before the first query completes).
+	rng := rand.New(rand.NewSource(6))
+	nu, ni := sys.Data().NumUsers(), sys.Data().NumItems()
+	deadline := time.Now().Add(30 * time.Second)
+	for i := 0; i < 150; i++ {
+		if _, _, err := sys.ApplyRating(rng.Intn(nu), rng.Intn(ni), 1+float64(rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 49 {
+			sys.CompactGraph()
+			sys.EvictStaleCache()
+		}
+		for served.Load() < int64(i/3) && time.Now().Before(deadline) && len(errc) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for served.Load() < 40 && time.Now().Before(deadline) && len(errc) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if sys.Epoch() == 0 {
+		t.Error("writer made no progress")
+	}
+	st := sys.ServingStats()
+	if !st.CacheEnabled || st.Cache.Misses == 0 {
+		t.Errorf("cache never exercised: %+v", st)
 	}
 }

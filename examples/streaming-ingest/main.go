@@ -1,10 +1,16 @@
 // Streaming ingest: build a corpus from an event stream, persist it, and
-// query item-to-item neighbors — the data-pipeline half of a deployment.
+// serve it live — the data-pipeline half of a deployment.
 //
 // A rating stream replays out of order and with re-ratings; the Builder
 // resolves duplicates by policy (KeepLast here, event-stream semantics).
 // The materialized dataset is snapshotted to a binary container, reloaded,
 // and served: top-k for a user plus "people who liked X also liked".
+//
+// The second half drives the LIVE path (see README.md): the serving system
+// keeps a result cache keyed by graph epoch, new ratings stream in through
+// System.ApplyRating (the programmatic twin of POST /v1/ratings), each
+// write bumps the epoch and invalidates cached results, and the delta
+// overlay compacts back into the CSR on a threshold.
 //
 // Run with: go run ./examples/streaming-ingest
 package main
@@ -76,8 +82,9 @@ func run() error {
 	fmt.Printf("snapshot %s: %d users / %d items / %d ratings (%.0f%% of items in the 20%% tail)\n",
 		filepath.Base(snap), stats.NumUsers, stats.NumItems, stats.NumRatings, 100*stats.TailItemFraction)
 
-	// Serve from the reloaded snapshot.
-	sys, err := longtail.NewSystem(reloaded, longtail.DefaultConfig())
+	// Serve from the reloaded snapshot, production-shaped: result cache on
+	// (ServingConfig), delta overlay compacting every 64 live writes.
+	sys, err := longtail.NewSystem(reloaded, longtail.ServingConfig(1024, 64))
 	if err != nil {
 		return err
 	}
@@ -104,5 +111,59 @@ func run() error {
 	for _, s := range sims {
 		fmt.Printf("  item %-5d cosine %.3f (popularity %d)\n", s.Item, s.Similarity, pop[s.Item])
 	}
+
+	// --- The live-update flow ---------------------------------------------
+	// 1. Repeat queries against an unchanged graph hit the epoch-keyed
+	//    result cache: the walk recomputes nothing.
+	at := sys.AT()
+	for q := 0; q < 3; q++ { // one miss, then hits
+		if _, err := at.Recommend(user, 5); err != nil {
+			return err
+		}
+	}
+	st := sys.ServingStats()
+	fmt.Printf("\nlive serving: epoch %d, cache %d hits / %d misses\n",
+		st.Epoch, st.Cache.Hits, st.Cache.Misses)
+
+	// 2. New ratings stream in. Each accepted write bumps the graph epoch,
+	//    so every cached result computed before it stops being served.
+	tail := recs[len(recs)-1].Item
+	added, epoch, err := sys.ApplyRating(user, tail, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("live write: user %d rates item %d (added=%v) -> epoch %d\n", user, tail, added, epoch)
+
+	// 3. The next query recomputes against the live graph: the freshly
+	//    rated item disappears from the user's recommendations.
+	recs2, err := at.Recommend(user, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-5 after the write:\n")
+	for rank, r := range recs2 {
+		fmt.Printf("  %d. item %-5d\n", rank+1, r.Item)
+	}
+	for _, r := range recs2 {
+		if r.Item == tail {
+			return fmt.Errorf("stale serving: freshly rated item %d still recommended", tail)
+		}
+	}
+
+	// 4. A burst of writes crosses the compaction threshold: the delta
+	//    overlay folds back into the CSR (epoch untouched), and stale cache
+	//    entries can be swept eagerly.
+	rng2 := rand.New(rand.NewSource(77))
+	for w := 0; w < 100; w++ {
+		if _, _, err := sys.ApplyRating(rng2.Intn(reloaded.NumUsers()), rng2.Intn(reloaded.NumItems()), 1+float64(rng2.Intn(5))); err != nil {
+			return err
+		}
+	}
+	dropped := sys.EvictStaleCache()
+	st = sys.ServingStats()
+	fmt.Printf("after 100-write burst: epoch %d, %d pending overlay writes, swept %d stale cache entries\n",
+		st.Epoch, st.PendingWrites, dropped)
+	fmt.Printf("cache totals: %d hits / %d misses / %d evictions (capacity %d)\n",
+		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Capacity)
 	return nil
 }

@@ -1,0 +1,275 @@
+// Package cache provides the sharded, epoch-aware result cache behind the
+// live serving layer: a fixed-capacity LRU of compact recommendation
+// results keyed by (user, algorithm, k, graph epoch), with singleflight
+// deduplication so a thundering herd of identical queries computes once.
+//
+// Epoch-based invalidation is implicit: the current graph epoch is part of
+// the key, so after a live write every new lookup misses (the epoch moved)
+// and the stale entries — keyed under old epochs — are never served again.
+// They age out of the LRU naturally, or can be swept eagerly with
+// EvictStale.
+//
+// The cache is value-generic so it carries compact result slices without
+// importing the packages that define them (no dependency cycles with the
+// engine layer). Stored values are shared between the cache and every
+// caller: treat them as immutable.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// numShards spreads keys over independently locked LRUs so concurrent
+// lookups from batch workers do not serialize on one mutex. Must be a
+// power of two.
+const numShards = 16
+
+// Key identifies one cached recommendation result. Epoch is the graph
+// epoch the result was computed at; including it makes every live write
+// an implicit whole-cache invalidation without any locking handshake
+// between writers and the cache.
+type Key struct {
+	User  int
+	Algo  string
+	K     int
+	Epoch uint64
+}
+
+// hash mixes the key fields FNV-1a style into a shard selector.
+func (k Key) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(x uint64) {
+		for s := 0; s < 64; s += 16 {
+			h ^= (x >> s) & 0xffff
+			h *= prime64
+		}
+	}
+	mix(uint64(k.User))
+	mix(uint64(k.K))
+	mix(k.Epoch)
+	for i := 0; i < len(k.Algo); i++ {
+		h ^= uint64(k.Algo[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits      uint64 // lookups served from a stored entry
+	Misses    uint64 // lookups that ran the compute function
+	Shared    uint64 // lookups that piggybacked on an in-flight compute
+	Evictions uint64 // entries dropped (capacity pressure or EvictStale)
+	Size      int    // entries currently stored
+	Capacity  int    // maximum entries
+}
+
+// Cache is a sharded LRU with singleflight deduplication. The zero value
+// is not usable; construct with New. All methods are safe for concurrent
+// use.
+type Cache[V any] struct {
+	shards   [numShards]shard[V]
+	capacity int
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recently used
+	inflight map[Key]*flight[V]
+
+	hits, misses, shared, evictions uint64
+}
+
+type entry[V any] struct {
+	key Key
+	val V
+}
+
+// flight is one in-progress compute that late arrivals wait on.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New builds a cache holding up to capacity entries across all shards.
+// capacity <= 0 means 4096.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	perShard := (capacity + numShards - 1) / numShards
+	c := &Cache[V]{capacity: perShard * numShards}
+	for i := range c.shards {
+		c.shards[i] = shard[V]{
+			capacity: perShard,
+			entries:  make(map[Key]*list.Element),
+			lru:      list.New(),
+			inflight: make(map[Key]*flight[V]),
+		}
+	}
+	return c
+}
+
+// Capacity returns the maximum number of entries.
+func (c *Cache[V]) Capacity() int { return c.capacity }
+
+func (c *Cache[V]) shard(k Key) *shard[V] {
+	return &c.shards[k.hash()&(numShards-1)]
+}
+
+// Get returns the stored value for k, marking it most recently used.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry[V]).val, true
+	}
+	s.misses++
+	var zero V
+	return zero, false
+}
+
+// Put stores v under k (unconditionally, marking it most recently used).
+func (c *Cache[V]) Put(k Key, v V) {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.putLocked(k, v)
+}
+
+func (s *shard[V]) putLocked(k Key, v V) {
+	if el, ok := s.entries[k]; ok {
+		el.Value.(*entry[V]).val = v
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[k] = s.lru.PushFront(&entry[V]{key: k, val: v})
+	for s.lru.Len() > s.capacity {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.entries, oldest.Value.(*entry[V]).key)
+		s.evictions++
+	}
+}
+
+// Do returns the cached value for k, or computes it exactly once: when
+// several goroutines ask for the same absent key concurrently, one runs
+// compute and the rest block until it finishes (singleflight). fromCache
+// reports whether the caller avoided computing — a stored hit or a shared
+// in-flight result. Errors are returned to every waiter and are not
+// cached, so a failed compute is retried by the next lookup.
+func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, err error) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		s.lru.MoveToFront(el)
+		s.hits++
+		v = el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		return v, true, nil
+	}
+	if fl, ok := s.inflight[k]; ok {
+		s.shared++
+		s.mu.Unlock()
+		<-fl.done
+		return fl.val, true, fl.err
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = fl
+	s.misses++
+	s.mu.Unlock()
+
+	// The deferred cleanup runs even when compute panics (the panic keeps
+	// propagating to the caller): the flight must be deregistered and done
+	// closed, or every later lookup of this key would block forever.
+	completed := false
+	defer func() {
+		if !completed {
+			fl.err = fmt.Errorf("cache: compute for %+v panicked", k)
+		}
+		s.mu.Lock()
+		delete(s.inflight, k)
+		if fl.err == nil {
+			s.putLocked(k, fl.val)
+		}
+		s.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.val, fl.err = compute()
+	completed = true
+	return fl.val, false, fl.err
+}
+
+// EvictStale removes every entry whose epoch differs from current — the
+// eager companion to the implicit epoch invalidation — and returns how
+// many were dropped.
+func (c *Cache[V]) EvictStale(current uint64) int {
+	dropped := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*entry[V]); e.key.Epoch != current {
+				s.lru.Remove(el)
+				delete(s.entries, e.key)
+				s.evictions++
+				dropped++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return dropped
+}
+
+// Purge removes every entry without touching the hit/miss counters.
+func (c *Cache[V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[Key]*list.Element)
+		s.lru.Init()
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates the per-shard counters.
+func (c *Cache[V]) Stats() Stats {
+	st := Stats{Capacity: c.capacity}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Shared += s.shared
+		st.Evictions += s.evictions
+		st.Size += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,220 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func key(u int, epoch uint64) Key {
+	return Key{User: u, Algo: "AT", K: 10, Epoch: epoch}
+}
+
+func TestGetPut(t *testing.T) {
+	c := New[string](64)
+	if _, ok := c.Get(key(1, 0)); ok {
+		t.Fatal("empty cache returned a value")
+	}
+	c.Put(key(1, 0), "a")
+	if v, ok := c.Get(key(1, 0)); !ok || v != "a" {
+		t.Fatalf("Get = (%q, %v), want (a, true)", v, ok)
+	}
+	// Same user, different epoch: distinct key.
+	if _, ok := c.Get(key(1, 1)); ok {
+		t.Fatal("epoch is not part of the key")
+	}
+	c.Put(key(1, 0), "b")
+	if v, _ := c.Get(key(1, 0)); v != "b" {
+		t.Fatalf("overwrite: got %q, want b", v)
+	}
+	st := c.Stats()
+	if st.Size != 1 {
+		t.Errorf("Size = %d, want 1", st.Size)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Capacity rounds up to numShards entries minimum (one per shard), so
+	// per-shard LRU behavior is what we pin: overfill one shard by reusing
+	// keys that provably collide (identical key → same shard, so use many
+	// users and rely on aggregate bound instead).
+	c := New[int](numShards) // 1 entry per shard
+	for u := 0; u < 10*numShards; u++ {
+		c.Put(key(u, 0), u)
+	}
+	st := c.Stats()
+	if st.Size > numShards {
+		t.Errorf("Size = %d exceeds capacity %d", st.Size, numShards)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded after overfill")
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New[int](64)
+	var computes atomic.Int64
+	release := make(chan struct{})
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v, _, err := c.Do(key(7, 3), func() (int, error) {
+				computes.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[w] = v
+		}(w)
+	}
+	// Let every goroutine reach the cache before releasing the leader.
+	for c.Stats().Shared+c.Stats().Misses < waiters {
+	}
+	close(release)
+	wg.Wait()
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1 (singleflight)", got)
+	}
+	for w, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d, want 42", w, v)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Shared != waiters-1 {
+		t.Errorf("stats misses=%d shared=%d, want 1 and %d", st.Misses, st.Shared, waiters-1)
+	}
+	// Second call: pure hit.
+	if v, fromCache, _ := c.Do(key(7, 3), func() (int, error) { return 0, errors.New("must not run") }); !fromCache || v != 42 {
+		t.Errorf("warm Do = (%d, %v), want (42, true)", v, fromCache)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	c := New[int](64)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(key(1, 0), func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	// Next call retries the compute.
+	v, fromCache, err := c.Do(key(1, 0), func() (int, error) { return 5, nil })
+	if err != nil || fromCache || v != 5 {
+		t.Fatalf("retry = (%d, %v, %v), want (5, false, nil)", v, fromCache, err)
+	}
+}
+
+// TestDoPanicSafe: a panicking compute must propagate, but must not leave
+// the flight registered (which would deadlock every later lookup of the
+// key) nor hand waiters a zero value as a success.
+func TestDoPanicSafe(t *testing.T) {
+	c := New[int](64)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate")
+			}
+		}()
+		c.Do(key(3, 0), func() (int, error) { panic("boom") })
+	}()
+	if c.Len() != 0 {
+		t.Fatal("panicked compute left a cached entry")
+	}
+	// The key must be computable again, not deadlocked on a dead flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, fromCache, err := c.Do(key(3, 0), func() (int, error) { return 9, nil })
+		if err != nil || fromCache || v != 9 {
+			t.Errorf("post-panic Do = (%d, %v, %v), want (9, false, nil)", v, fromCache, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do deadlocked after a panicked compute")
+	}
+}
+
+func TestEvictStale(t *testing.T) {
+	c := New[int](256)
+	for u := 0; u < 10; u++ {
+		c.Put(key(u, 1), u)
+	}
+	for u := 0; u < 4; u++ {
+		c.Put(key(u, 2), 100+u)
+	}
+	if dropped := c.EvictStale(2); dropped != 10 {
+		t.Fatalf("EvictStale dropped %d, want exactly the 10 stale entries", dropped)
+	}
+	for u := 0; u < 4; u++ {
+		if v, ok := c.Get(key(u, 2)); !ok || v != 100+u {
+			t.Errorf("current-epoch entry %d lost: (%d, %v)", u, v, ok)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestPurgeAndCapacity(t *testing.T) {
+	c := New[int](0)
+	if c.Capacity() != 4096 {
+		t.Errorf("default capacity = %d, want 4096", c.Capacity())
+	}
+	c.Put(key(1, 0), 1)
+	c.Purge()
+	if c.Len() != 0 {
+		t.Error("Purge left entries behind")
+	}
+}
+
+// TestConcurrentCacheMixed hammers all operations from many goroutines;
+// meaningful under -race.
+func TestConcurrentCacheMixed(t *testing.T) {
+	c := New[string](128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; q < 300; q++ {
+				u := (w + q) % 40
+				epoch := uint64(q / 100)
+				switch q % 4 {
+				case 0:
+					c.Put(key(u, epoch), fmt.Sprintf("%d@%d", u, epoch))
+				case 1:
+					if v, ok := c.Get(key(u, epoch)); ok {
+						if want := fmt.Sprintf("%d@%d", u, epoch); v != want {
+							t.Errorf("got %q want %q", v, want)
+							return
+						}
+					}
+				case 2:
+					if _, _, err := c.Do(key(u, epoch), func() (string, error) {
+						return fmt.Sprintf("%d@%d", u, epoch), nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				default:
+					c.EvictStale(epoch)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	_ = c.Stats()
+}

@@ -1,0 +1,148 @@
+// The epoch-invalidated result cache in front of any Recommender — the
+// serving-layer half of the live-update design. The graph carries a
+// monotonically increasing epoch (bumped on every accepted live write);
+// cached results are keyed by (user, algorithm, k, epoch), so a write
+// makes every earlier entry unreachable without any lock handshake
+// between the writer and the cache. Repeat queries for an unchanged graph
+// are served in O(1), and a thundering herd on one user computes once
+// (singleflight).
+
+package core
+
+import (
+	"fmt"
+
+	"longtailrec/internal/cache"
+)
+
+// EpochSource exposes the current graph epoch. *graph.Bipartite satisfies
+// it; tests can substitute a counter.
+type EpochSource interface {
+	Epoch() uint64
+}
+
+// ServingStats is the live-serving state the HTTP layer reports on
+// /v1/stats: where the graph's write stream stands and how effective the
+// result cache is.
+type ServingStats struct {
+	// Epoch is the graph epoch (accepted live writes since construction).
+	Epoch uint64
+	// PendingWrites is how many writes sit in the graph's delta overlay,
+	// not yet compacted into the CSR.
+	PendingWrites int
+	// CacheEnabled reports whether a result cache is configured.
+	CacheEnabled bool
+	// Cache holds the result-cache counters (zero when disabled).
+	Cache cache.Stats
+}
+
+// CachedRecommender wraps a Recommender with an epoch-invalidated result
+// cache. Recommend and RecommendBatch consult the cache; ScoreItems (a
+// full-universe diagnostic vector) always recomputes. Safe for concurrent
+// use when the inner recommender is.
+type CachedRecommender struct {
+	inner  Recommender
+	epochs EpochSource
+	cache  *cache.Cache[[]Scored]
+}
+
+// NewCachedRecommender builds the caching wrapper. The cache may be shared
+// across many wrapped algorithms: keys include the algorithm name.
+func NewCachedRecommender(inner Recommender, epochs EpochSource, c *cache.Cache[[]Scored]) (*CachedRecommender, error) {
+	if inner == nil || epochs == nil || c == nil {
+		return nil, fmt.Errorf("core: NewCachedRecommender needs inner, epochs and cache")
+	}
+	return &CachedRecommender{inner: inner, epochs: epochs, cache: c}, nil
+}
+
+// Name implements Recommender.
+func (r *CachedRecommender) Name() string { return r.inner.Name() }
+
+// Inner returns the wrapped recommender.
+func (r *CachedRecommender) Inner() Recommender { return r.inner }
+
+// ScoreItems delegates to the wrapped recommender uncached.
+func (r *CachedRecommender) ScoreItems(u int) ([]float64, error) {
+	return r.inner.ScoreItems(u)
+}
+
+// ScoreItemsCompact delegates to the wrapped recommender's compact scoring
+// path when it has one (the walk recommenders do).
+func (r *CachedRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
+	if c, ok := r.inner.(interface {
+		ScoreItemsCompact(u int) ([]ItemScore, error)
+	}); ok {
+		return c.ScoreItemsCompact(u)
+	}
+	return nil, fmt.Errorf("core: %s has no compact scoring path", r.inner.Name())
+}
+
+// key builds the cache key for one query at the given epoch.
+func (r *CachedRecommender) key(u, k int, epoch uint64) cache.Key {
+	return cache.Key{User: u, Algo: r.inner.Name(), K: k, Epoch: epoch}
+}
+
+// Recommend implements Recommender. On a hit the cached list is returned
+// (copied, so the caller may mutate it); on a miss the inner recommender
+// runs exactly once per (user, k, epoch) regardless of concurrency.
+// Errors — including ErrColdUser — are never cached.
+func (r *CachedRecommender) Recommend(u, k int) ([]Scored, error) {
+	key := r.key(u, k, r.epochs.Epoch())
+	v, _, err := r.cache.Do(key, func() ([]Scored, error) {
+		return r.inner.Recommend(u, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Scored, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// RecommendBatch implements BatchRecommender: cached users are served
+// directly, the misses go through the inner recommender's batch path in
+// one call, and their results are stored for the next batch. The epoch is
+// read once at batch start so every lookup and store uses one consistent
+// key; note this keys the cache, it does not pin the graph — misses
+// computed while a write lands reflect the newer graph (and are stored
+// under the start epoch, where they age out on the next bump). Cold users
+// yield nil entries and are not cached.
+func (r *CachedRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
+	epoch := r.epochs.Epoch()
+	out := make([][]Scored, len(users))
+	var missIdx []int
+	for i, u := range users {
+		if v, ok := r.cache.Get(r.key(u, k, epoch)); ok {
+			recs := make([]Scored, len(v))
+			copy(recs, v)
+			out[i] = recs
+			continue
+		}
+		missIdx = append(missIdx, i)
+	}
+	if len(missIdx) == 0 {
+		return out, nil
+	}
+	missing := make([]int, len(missIdx))
+	for j, i := range missIdx {
+		missing[j] = users[i]
+	}
+	computed, err := BatchRecommend(r.inner, missing, k, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for j, i := range missIdx {
+		recs := computed[j]
+		if recs == nil {
+			continue // cold user: keep the nil entry, cache nothing
+		}
+		stored := make([]Scored, len(recs))
+		copy(stored, recs)
+		r.cache.Put(r.key(users[i], k, epoch), stored)
+		out[i] = recs
+	}
+	return out, nil
+}
+
+// CacheStats returns the underlying cache counters.
+func (r *CachedRecommender) CacheStats() cache.Stats { return r.cache.Stats() }

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"longtailrec/internal/cache"
+	"longtailrec/internal/graph"
+)
+
+// newCachedAT builds an AT recommender over the Figure 2 graph plus its
+// cached twin sharing the same graph (and therefore the same epoch).
+func newCachedAT(t testing.TB, c *cache.Cache[[]Scored]) (*graph.Bipartite, *AbsorbingTime, *CachedRecommender) {
+	t.Helper()
+	g := figure2Graph(t)
+	at := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
+	cached, err := NewCachedRecommender(at, g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, at, cached
+}
+
+// TestCachedGoldenEquivalence is the golden equivalence check of the
+// serving layer: for every user, the cached path (cold miss AND warm hit)
+// returns results byte-identical to the uncached engine.
+func TestCachedGoldenEquivalence(t *testing.T) {
+	c := cache.New[[]Scored](128)
+	g, at, cached := newCachedAT(t, c)
+	uncachedTwin := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
+	for u := 0; u < g.NumUsers(); u++ {
+		want, err := uncachedTwin.Recommend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		miss, err := cached.Recommend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := cached.Recommend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := at.Recommend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, got := range map[string][]Scored{"miss": miss, "hit": hit, "direct": direct} {
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("user %d %s path diverged:\nwant %+v\ngot  %+v", u, name, want, got)
+			}
+			wb, _ := json.Marshal(want)
+			gb, _ := json.Marshal(got)
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("user %d %s path not byte-identical:\n%s\n%s", u, name, wb, gb)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("expected both misses and hits, got %+v", st)
+	}
+}
+
+// TestCachedEpochInvalidation pins the invalidation contract: a live write
+// bumps the epoch, so exactly the entries computed before it become
+// unreachable (and sweepable), while same-epoch entries keep hitting.
+func TestCachedEpochInvalidation(t *testing.T) {
+	c := cache.New[[]Scored](128)
+	g, _, cached := newCachedAT(t, c)
+
+	// Warm the cache for every user at epoch 0.
+	before := make(map[int][]Scored)
+	for u := 0; u < g.NumUsers(); u++ {
+		recs, err := cached.Recommend(u, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[u] = recs
+	}
+	warm := c.Stats()
+	if warm.Misses != uint64(g.NumUsers()) || c.Len() != g.NumUsers() {
+		t.Fatalf("warmup: %+v len=%d", warm, c.Len())
+	}
+	// Every repeat at the same epoch hits.
+	if _, err := cached.Recommend(1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("same-epoch repeat did not hit: %+v", st)
+	}
+
+	// A write into user 4's neighborhood: item 3 (M4, previously only
+	// rated by user 3) gets a rating from user 4.
+	epochBefore := g.Epoch()
+	if err := g.AddRating(4, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.Epoch() != epochBefore+1 {
+		t.Fatalf("epoch %d -> %d, want +1", epochBefore, g.Epoch())
+	}
+
+	// Next query recomputes (epoch moved => new key => miss) and reflects
+	// the write: item 3 is now rated by user 4 and must be excluded.
+	missesBefore := c.Stats().Misses
+	after, err := cached.Recommend(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Misses; got != missesBefore+1 {
+		t.Fatalf("post-write query was served stale: misses %d -> %d", missesBefore, got)
+	}
+	for _, r := range after {
+		if r.Item == 3 {
+			t.Fatalf("stale result: newly rated item 3 recommended: %+v", after)
+		}
+	}
+	if reflect.DeepEqual(before[4], after) {
+		t.Fatalf("write had no effect on user 4's recommendations")
+	}
+
+	// The sweep drops exactly the stale entries: all NumUsers() epoch-0
+	// entries go, the one epoch-1 entry stays.
+	if dropped := c.EvictStale(g.Epoch()); dropped != g.NumUsers() {
+		t.Fatalf("EvictStale dropped %d, want exactly %d stale entries", dropped, g.NumUsers())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries after sweep, want 1", c.Len())
+	}
+	if _, err := cached.Recommend(4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits < 2 {
+		t.Fatalf("current-epoch entry evicted by sweep: %+v", st)
+	}
+}
+
+// TestCachedBatch checks the batch path: cached users are served without
+// recompute, misses fill the cache, cold users stay nil and uncached.
+func TestCachedBatch(t *testing.T) {
+	c := cache.New[[]Scored](128)
+	_, at, cached := newCachedAT(t, c)
+	users := []int{0, 2, 4}
+	want, err := at.RecommendBatch(users, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cached.RecommendBatch(users, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("cold batch diverged:\nwant %+v\ngot  %+v", want, got)
+	}
+	misses := c.Stats().Misses
+	got2, err := cached.RecommendBatch(users, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got2) {
+		t.Fatalf("warm batch diverged")
+	}
+	if c.Stats().Misses != misses {
+		t.Fatalf("warm batch recomputed: misses %d -> %d", misses, c.Stats().Misses)
+	}
+	// Mutating a returned list must not corrupt the cache.
+	got2[0][0].Item = -99
+	got3, err := cached.RecommendBatch(users, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3[0][0].Item == -99 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+// TestCachedColdUserNotCached: errors (cold user) pass through uncached.
+func TestCachedColdUser(t *testing.T) {
+	c := cache.New[[]Scored](16)
+	g, err := graph.FromRatings(2, 2, []graph.Rating{{User: 0, Item: 0, Weight: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := NewAbsorbingTime(g, WalkOptions{Iterations: 5})
+	cached, err := NewCachedRecommender(at, g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Recommend(1, 3); !errors.Is(err, ErrColdUser) {
+		t.Fatalf("err = %v, want ErrColdUser", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+	// The user receives a first rating: the next query succeeds.
+	if err := g.AddRating(1, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cached.Recommend(1, 3); err != nil {
+		t.Fatalf("post-write query failed: %v", err)
+	}
+}
+
+// TestConcurrentCachedRecommend hammers the cached recommender from many
+// readers while one writer mutates the live graph — the serving-layer race
+// test the Makefile race target runs.
+func TestConcurrentCachedRecommend(t *testing.T) {
+	c := cache.New[[]Scored](256)
+	g, _, cached := newCachedAT(t, c)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for q := 0; ; q++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := (w + q) % g.NumUsers()
+				if _, err := cached.Recommend(u, 4); err != nil {
+					t.Error(err)
+					return
+				}
+				if q%7 == 0 {
+					if _, err := cached.RecommendBatch([]int{0, 2, 4}, 3, 2); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 120; w++ {
+		u, i := w%g.NumUsers(), w%g.NumItems()
+		if _, err := g.UpsertRating(u, i, 1+float64(w%5)); err != nil {
+			t.Fatal(err)
+		}
+		if w%40 == 39 {
+			g.Compact()
+			c.EvictStale(g.Epoch())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

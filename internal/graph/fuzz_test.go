@@ -1,0 +1,349 @@
+// Go native fuzz targets hardening the two data structures PR 2 makes
+// load-bearing: the epoch-stamped subgraph extractor (zero-allocation BFS
+// + direct local CSR) and the delta-overlay live graph. Both are checked
+// against deliberately naive map-based reference implementations — the
+// kind of code the optimized versions replaced.
+//
+// `go test` runs the seed corpus; `go test -fuzz FuzzSubgraphExtract
+// ./internal/graph` explores further.
+
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// byteDriver doles out pseudo-random decisions from fuzz input, wrapping
+// around so every input length yields a full scenario.
+type byteDriver struct {
+	data []byte
+	pos  int
+}
+
+func (d *byteDriver) next() byte {
+	if len(d.data) == 0 {
+		return 0
+	}
+	b := d.data[d.pos%len(d.data)]
+	d.pos++
+	return b
+}
+
+func (d *byteDriver) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (int(d.next())<<8 | int(d.next())) % n
+}
+
+// buildFuzzGraph derives a small graph (and its rating list) from fuzz
+// bytes: universe sizes 1..12 users × 1..16 items, up to 96 distinct
+// edges with weights in (0, 5.12].
+func buildFuzzGraph(d *byteDriver) (*Bipartite, int, int) {
+	nu := 1 + d.intn(12)
+	ni := 1 + d.intn(16)
+	b := NewBuilder(nu, ni)
+	seen := map[[2]int]bool{}
+	for e := 0; e < d.intn(96); e++ {
+		u, i := d.intn(nu), d.intn(ni)
+		if seen[[2]int{u, i}] {
+			continue
+		}
+		seen[[2]int{u, i}] = true
+		w := float64(1+d.intn(512)) / 100
+		if err := b.AddRating(u, i, w); err != nil {
+			panic(err) // inputs constructed in range
+		}
+	}
+	return b.Build(), nu, ni
+}
+
+// refSubgraph is the naive map-based reference of Algorithm 1 step 2: the
+// same BFS policy as SubgraphExtractor.Extract, but with a map node
+// remapping and map-of-maps adjacency.
+type refSubgraph struct {
+	nodes []int
+	local map[int]int
+	adj   map[int]map[int]float64 // local -> local -> weight
+	items int
+}
+
+func extractRef(g *Bipartite, seeds []int, maxItems int) *refSubgraph {
+	r := &refSubgraph{local: map[int]int{}, adj: map[int]map[int]float64{}}
+	add := func(v int) {
+		r.local[v] = len(r.nodes)
+		r.nodes = append(r.nodes, v)
+		if g.IsItemNode(v) {
+			r.items++
+		}
+	}
+	for _, s := range seeds {
+		if _, ok := r.local[s]; ok {
+			continue
+		}
+		add(s)
+	}
+	for head := 0; head < len(r.nodes); head++ {
+		if maxItems > 0 && r.items > maxItems {
+			break
+		}
+		nbrs, _ := g.Neighbors(r.nodes[head])
+		for _, w := range nbrs {
+			if _, ok := r.local[w]; ok {
+				continue
+			}
+			if maxItems > 0 && r.items > maxItems && g.IsItemNode(w) {
+				continue
+			}
+			add(w)
+		}
+	}
+	for _, orig := range r.nodes {
+		lv := r.local[orig]
+		nbrs, ws := g.Neighbors(orig)
+		for k, w := range nbrs {
+			if lw, ok := r.local[w]; ok && ws[k] != 0 {
+				if r.adj[lv] == nil {
+					r.adj[lv] = map[int]float64{}
+				}
+				r.adj[lv][lw] = ws[k]
+			}
+		}
+	}
+	return r
+}
+
+// FuzzSubgraphExtract cross-checks the pooled epoch-stamped extractor
+// against the naive reference on fuzz-derived graphs, seed sets and item
+// budgets — node order, reverse mapping, adjacency and cached degrees.
+func FuzzSubgraphExtract(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{255, 0, 128, 7, 9, 200, 13, 42, 42, 42, 17, 99, 3, 1})
+	f.Add([]byte("the quick brown fox jumps over the lazy long tail"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &byteDriver{data: data}
+		g, nu, ni := buildFuzzGraph(d)
+		ext := NewSubgraphExtractor(g)
+		// Several extractions through ONE extractor: scratch reuse and
+		// epoch stamping must not leak state across queries.
+		for q := 0; q < 3; q++ {
+			numSeeds := 1 + d.intn(4)
+			seeds := make([]int, numSeeds)
+			for k := range seeds {
+				seeds[k] = d.intn(nu + ni)
+			}
+			maxItems := d.intn(ni + 2) // 0 = unlimited
+			sg, err := ext.Extract(seeds, maxItems)
+			if err != nil {
+				t.Fatalf("Extract(%v, %d): %v", seeds, maxItems, err)
+			}
+			ref := extractRef(g, seeds, maxItems)
+
+			if sg.Len() != len(ref.nodes) {
+				t.Fatalf("q%d: %d nodes, ref %d (seeds %v max %d)", q, sg.Len(), len(ref.nodes), seeds, maxItems)
+			}
+			if sg.NumItemNodes() != ref.items {
+				t.Fatalf("q%d: %d item nodes, ref %d", q, sg.NumItemNodes(), ref.items)
+			}
+			for l := 0; l < sg.Len(); l++ {
+				if sg.OriginalNode(l) != ref.nodes[l] {
+					t.Fatalf("q%d: node order diverges at %d: %d vs %d", q, l, sg.OriginalNode(l), ref.nodes[l])
+				}
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				gotL, gotOK := sg.LocalNode(v)
+				refL, refOK := ref.local[v]
+				if gotOK != refOK || (gotOK && gotL != refL) {
+					t.Fatalf("q%d: LocalNode(%d) = (%d,%v), ref (%d,%v)", q, v, gotL, gotOK, refL, refOK)
+				}
+			}
+			for l := 0; l < sg.Len(); l++ {
+				cols, vals := sg.Adjacency().Row(l)
+				if len(cols) != len(ref.adj[l]) {
+					t.Fatalf("q%d: row %d has %d entries, ref %d", q, l, len(cols), len(ref.adj[l]))
+				}
+				sum := 0.0
+				for k, c := range cols {
+					if k > 0 && cols[k-1] >= c {
+						t.Fatalf("q%d: row %d columns not strictly increasing: %v", q, l, cols)
+					}
+					if rv, ok := ref.adj[l][c]; !ok || rv != vals[k] {
+						t.Fatalf("q%d: adj[%d][%d] = %v, ref %v (present %v)", q, l, c, vals[k], rv, ok)
+					}
+					sum += vals[k]
+				}
+				if math.Abs(sg.Degrees()[l]-sum) > 1e-9 {
+					t.Fatalf("q%d: cached degree[%d] = %v, row sum %v", q, l, sg.Degrees()[l], sum)
+				}
+			}
+		}
+	})
+}
+
+// refLiveGraph is the naive reference for the delta-overlay write path: a
+// plain edge map with brute-force recomputation of every derived quantity.
+type refLiveGraph struct {
+	nu, ni int
+	edges  map[[2]int]float64
+}
+
+func (r *refLiveGraph) degree(v int) float64 {
+	// An edge (u, i) touches node u and node nu+i; the ranges are disjoint.
+	d := 0.0
+	for e, w := range r.edges {
+		if e[0] == v || r.nu+e[1] == v {
+			d += w
+		}
+	}
+	return d
+}
+
+func (r *refLiveGraph) totalWeight() float64 {
+	t := 0.0
+	for _, w := range r.edges {
+		t += 2 * w
+	}
+	return t
+}
+
+// FuzzBuilderAddRating drives a fuzz-derived op sequence — batch builder
+// adds, then live AddRating/UpdateRating/UpsertRating with interleaved
+// compactions — and cross-checks the delta-overlay graph against the edge
+// map reference, plus (after a final Compact) against a batch-built graph
+// of the same final edge set.
+func FuzzBuilderAddRating(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 4, 200, 3, 5, 77, 12, 0, 255})
+	f.Add([]byte{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2})
+	f.Add([]byte("delta overlays merge into the CSR on a threshold"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &byteDriver{data: data}
+		nu := 1 + d.intn(8)
+		ni := 1 + d.intn(10)
+		ref := &refLiveGraph{nu: nu, ni: ni, edges: map[[2]int]float64{}}
+
+		// Batch phase: the frozen seed graph.
+		b := NewBuilder(nu, ni)
+		for e := 0; e < d.intn(30); e++ {
+			u, i := d.intn(nu), d.intn(ni)
+			if _, dup := ref.edges[[2]int{u, i}]; dup {
+				continue
+			}
+			w := float64(1+d.intn(500)) / 100
+			if err := b.AddRating(u, i, w); err != nil {
+				t.Fatal(err)
+			}
+			ref.edges[[2]int{u, i}] = w
+		}
+		g := b.Build()
+		if th := d.intn(12); th > 0 {
+			g.SetCompactThreshold(th)
+		}
+
+		// Live phase.
+		wantEpoch := uint64(0)
+		for op := 0; op < d.intn(60); op++ {
+			u, i := d.intn(nu), d.intn(ni)
+			key := [2]int{u, i}
+			w := float64(1+d.intn(500)) / 100
+			_, exists := ref.edges[key]
+			switch d.next() % 4 {
+			case 0:
+				err := g.AddRating(u, i, w)
+				if exists {
+					if err == nil {
+						t.Fatalf("AddRating(%d,%d) on existing edge succeeded", u, i)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.edges[key] = w
+				wantEpoch++
+			case 1:
+				err := g.UpdateRating(u, i, w)
+				if !exists {
+					if err == nil {
+						t.Fatalf("UpdateRating(%d,%d) on missing edge succeeded", u, i)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.edges[key] != w {
+					wantEpoch++
+				}
+				ref.edges[key] = w
+			case 2:
+				added, err := g.UpsertRating(u, i, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if added == exists {
+					t.Fatalf("UpsertRating(%d,%d) added=%v but exists=%v", u, i, added, exists)
+				}
+				if !exists || ref.edges[key] != w {
+					wantEpoch++
+				}
+				ref.edges[key] = w
+			default:
+				g.Compact()
+			}
+			if g.Epoch() != wantEpoch {
+				t.Fatalf("op %d: epoch %d, want %d", op, g.Epoch(), wantEpoch)
+			}
+		}
+
+		// Full structural comparison against the reference.
+		if got, want := g.NumEdges(), len(ref.edges); got != want {
+			t.Fatalf("NumEdges %d, want %d", got, want)
+		}
+		if math.Abs(g.TotalWeight()-ref.totalWeight()) > 1e-9 {
+			t.Fatalf("TotalWeight %v, want %v", g.TotalWeight(), ref.totalWeight())
+		}
+		for key, w := range ref.edges {
+			un, in := key[0], nu+key[1]
+			if got := g.Weight(un, in); got != w {
+				t.Fatalf("Weight(%d,%d) = %v, want %v", un, in, got, w)
+			}
+			if got := g.Weight(in, un); got != w {
+				t.Fatalf("Weight(%d,%d) = %v, want %v (symmetry)", in, un, got, w)
+			}
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if math.Abs(g.Degree(v)-ref.degree(v)) > 1e-9 {
+				t.Fatalf("Degree(%d) = %v, want %v", v, g.Degree(v), ref.degree(v))
+			}
+			cols, ws := g.Neighbors(v)
+			if len(cols) != len(ws) {
+				t.Fatalf("Neighbors(%d) ragged", v)
+			}
+			for k := 1; k < len(cols); k++ {
+				if cols[k-1] >= cols[k] {
+					t.Fatalf("Neighbors(%d) columns not strictly increasing: %v", v, cols)
+				}
+			}
+		}
+
+		// And after compaction: byte-for-byte the batch-built graph.
+		g.Compact()
+		if g.PendingWrites() != 0 {
+			t.Fatalf("PendingWrites %d after Compact", g.PendingWrites())
+		}
+		var ratings []Rating
+		for key, w := range ref.edges {
+			ratings = append(ratings, Rating{User: key[0], Item: key[1], Weight: w})
+		}
+		batch, err := FromRatings(nu, ni, ratings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Adjacency().Equal(batch.Adjacency(), 1e-12) {
+			t.Fatal("compacted live graph differs from batch-built graph")
+		}
+	})
+}

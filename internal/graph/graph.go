@@ -6,10 +6,20 @@
 // node u, item i occupies node NumUsers+i. The adjacency matrix is stored
 // symmetric in CSR form, so random-walk transition probabilities
 // p_ij = a(i,j)/d_i (Eq. 1) fall out of row normalization.
+//
+// A Bipartite is built in bulk (Builder) and then serves reads; on top of
+// the frozen CSR it also accepts live rating writes through a delta
+// overlay (see live.go): AddRating/UpdateRating/UpsertRating mutate a
+// per-node copy-on-write overlay that Compact folds back into the CSR,
+// and every accepted write bumps a monotonically increasing graph epoch
+// that downstream caches key on. Reads are safe concurrently with one
+// writer; rows returned by Neighbors are immutable snapshots.
 package graph
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"longtailrec/internal/sparse"
 )
@@ -20,12 +30,30 @@ type Rating struct {
 	Weight     float64
 }
 
-// Bipartite is an immutable user–item graph.
+// Bipartite is a user–item graph over a fixed user/item universe. The bulk
+// of the adjacency lives in a compacted CSR; live writes accumulate in a
+// sparse per-node overlay until Compact (or the auto-compaction threshold)
+// merges them. All exported methods are safe for concurrent use.
 type Bipartite struct {
 	numUsers, numItems int
-	adj                *sparse.CSR // (NU+NI)×(NU+NI), symmetric
-	degrees            []float64   // weighted degree d_i per node
-	totalWeight        float64     // Σ_ij a(i,j) (each edge counted twice)
+
+	// epoch counts accepted live writes since construction; it is atomic so
+	// cache lookups can read it without taking the graph lock.
+	epoch atomic.Uint64
+
+	mu          sync.RWMutex
+	adj         *sparse.CSR // (NU+NI)×(NU+NI), symmetric, compacted base
+	degrees     []float64   // base weighted degree d_i per node
+	totalWeight float64     // Σ_ij a(i,j) (each edge counted twice), live
+	numEdges    int         // undirected edge count, live
+
+	// overlay maps a node id to its full live row (base row merged with
+	// every pending write touching it). Rows are copy-on-write: a write
+	// always installs a freshly allocated row, so slices previously handed
+	// to readers stay valid forever.
+	overlay          map[int]*liveRow
+	overlayWrites    int // accepted writes since the last compaction
+	compactThreshold int // auto-compact when overlayWrites reaches this; <= 0 disables
 }
 
 // Builder accumulates ratings before freezing them into a Bipartite.
@@ -66,7 +94,7 @@ func (b *Builder) AddRating(u, i int, w float64) error {
 	return nil
 }
 
-// Build freezes the builder into an immutable graph.
+// Build freezes the builder into a graph (epoch 0, empty overlay).
 func (b *Builder) Build() *Bipartite {
 	adj := b.coo.ToCSR()
 	n := b.numUsers + b.numItems
@@ -75,6 +103,7 @@ func (b *Builder) Build() *Bipartite {
 		numItems: b.numItems,
 		adj:      adj,
 		degrees:  make([]float64, n),
+		numEdges: adj.NNZ() / 2,
 	}
 	for v := 0; v < n; v++ {
 		d := adj.RowSum(v)
@@ -104,8 +133,13 @@ func (g *Bipartite) NumItems() int { return g.numItems }
 // NumNodes returns the total node count.
 func (g *Bipartite) NumNodes() int { return g.numUsers + g.numItems }
 
-// NumEdges returns the number of undirected edges.
-func (g *Bipartite) NumEdges() int { return g.adj.NNZ() / 2 }
+// NumEdges returns the number of undirected edges, including pending
+// overlay writes.
+func (g *Bipartite) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.numEdges
+}
 
 // UserNode maps a user index to its node id.
 func (g *Bipartite) UserNode(u int) int {
@@ -139,48 +173,116 @@ func (g *Bipartite) ItemIndex(v int) int {
 	return v - g.numUsers
 }
 
-// Degree returns the weighted degree d_v of node v.
-func (g *Bipartite) Degree(v int) float64 { return g.degrees[v] }
-
-// Degrees returns the weighted degree vector (aliases internal storage).
-func (g *Bipartite) Degrees() []float64 { return g.degrees }
-
-// TotalWeight returns Σ_ij a(i,j) with each undirected edge counted twice,
-// the normalizer of the stationary distribution (Eq. 2).
-func (g *Bipartite) TotalWeight() float64 { return g.totalWeight }
-
-// Adjacency returns the symmetric adjacency matrix (shared; do not modify).
-func (g *Bipartite) Adjacency() *sparse.CSR { return g.adj }
-
-// Neighbors returns the adjacent node ids and edge weights of v. The slices
-// alias internal storage and must not be modified.
-func (g *Bipartite) Neighbors(v int) (nodes []int, weights []float64) {
+// rowLocked returns the live row of node v: the overlay row when v has
+// pending writes, the base CSR row otherwise. Caller holds g.mu (either
+// mode). The returned slices are immutable.
+func (g *Bipartite) rowLocked(v int) (cols []int, weights []float64) {
+	if r, ok := g.overlay[v]; ok {
+		return r.cols, r.weights
+	}
 	return g.adj.Row(v)
 }
 
-// Weight returns the edge weight between nodes v and w (0 if absent).
-func (g *Bipartite) Weight(v, w int) float64 { return g.adj.At(v, w) }
+// degreeLocked returns the live weighted degree of v. Caller holds g.mu.
+func (g *Bipartite) degreeLocked(v int) float64 {
+	if r, ok := g.overlay[v]; ok {
+		return r.degree
+	}
+	return g.degrees[v]
+}
+
+// Degree returns the live weighted degree d_v of node v.
+func (g *Bipartite) Degree(v int) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.degreeLocked(v)
+}
+
+// Degrees returns the live weighted degree vector. When no writes are
+// pending this aliases internal storage (do not modify); with a non-empty
+// overlay it is a freshly allocated merged copy.
+func (g *Bipartite) Degrees() []float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.overlay) == 0 {
+		return g.degrees
+	}
+	out := make([]float64, len(g.degrees))
+	copy(out, g.degrees)
+	for v, r := range g.overlay {
+		out[v] = r.degree
+	}
+	return out
+}
+
+// TotalWeight returns Σ_ij a(i,j) with each undirected edge counted twice,
+// the normalizer of the stationary distribution (Eq. 2). Live.
+func (g *Bipartite) TotalWeight() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.totalWeight
+}
+
+// Adjacency returns the compacted symmetric adjacency matrix (shared; do
+// not modify). It is a snapshot: pending overlay writes are NOT included —
+// call Compact first for a fully merged view, or use Neighbors for live
+// per-node rows.
+func (g *Bipartite) Adjacency() *sparse.CSR {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.adj
+}
+
+// Neighbors returns the adjacent node ids and edge weights of v, including
+// pending overlay writes. The slices are immutable snapshots: they stay
+// valid indefinitely (later writes install fresh rows rather than mutating
+// them) but no longer reflect the graph once v is written to again.
+func (g *Bipartite) Neighbors(v int) (nodes []int, weights []float64) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.rowLocked(v)
+}
+
+// Weight returns the live edge weight between nodes v and w (0 if absent).
+func (g *Bipartite) Weight(v, w int) float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	cols, weights := g.rowLocked(v)
+	if k, ok := searchEdge(cols, w); ok {
+		return weights[k]
+	}
+	return 0
+}
 
 // Stationary returns the stationary distribution π of the random walk
 // (Eq. 2): π_v = d_v / Σ_w d_w. Nodes in different components still get
 // degree-proportional mass, consistent with the formula.
 func (g *Bipartite) Stationary() []float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	pi := make([]float64, g.NumNodes())
 	if g.totalWeight == 0 {
 		return pi
 	}
-	for v, d := range g.degrees {
-		pi[v] = d / g.totalWeight
+	for v := range pi {
+		pi[v] = g.degreeLocked(v) / g.totalWeight
 	}
 	return pi
 }
 
 // ItemPopularity returns, for every item, the number of users who rated it
-// (its rating frequency — the paper's popularity measure in §5.2.2).
+// (its rating frequency — the paper's popularity measure in §5.2.2). Live.
 func (g *Bipartite) ItemPopularity() []int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	pop := make([]int, g.numItems)
 	for i := 0; i < g.numItems; i++ {
-		pop[i] = g.adj.RowNNZ(g.ItemNode(i))
+		v := g.numUsers + i
+		if r, ok := g.overlay[v]; ok {
+			pop[i] = len(r.cols)
+		} else {
+			pop[i] = g.adj.RowNNZ(v)
+		}
 	}
 	return pop
 }

@@ -1,0 +1,211 @@
+// Live rating writes: the delta overlay on top of the compacted CSR.
+//
+// A write (AddRating / UpdateRating / UpsertRating) touches exactly two
+// nodes — the user and the item. For each it installs a freshly allocated
+// merged row in the overlay map (copy-on-write, so row slices handed to
+// concurrent readers stay valid), updates the live degree, and bumps the
+// graph epoch. Compact folds every overlay row back into a new CSR and
+// clears the overlay; it does NOT bump the epoch, because compaction
+// changes the representation, not the graph, and must not invalidate
+// downstream result caches.
+
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"longtailrec/internal/sparse"
+)
+
+// newCompactCSR wraps freshly built CSR storage. Split out so compaction
+// reads as one pipeline.
+func newCompactCSR(n int, rowPtr, colIdx []int, vals []float64) *sparse.CSR {
+	return sparse.NewCSRView(n, n, rowPtr, colIdx, vals)
+}
+
+// liveRow is a node's fully merged adjacency row: base CSR row plus every
+// pending write. cols is sorted ascending; degree is the row's weight sum.
+// Rows are immutable once installed in the overlay.
+type liveRow struct {
+	cols    []int
+	weights []float64
+	degree  float64
+}
+
+// searchEdge finds w in a sorted column list.
+func searchEdge(cols []int, w int) (int, bool) {
+	k := sort.SearchInts(cols, w)
+	return k, k < len(cols) && cols[k] == w
+}
+
+// Epoch returns the number of accepted live writes since construction.
+// Downstream caches key results on it: a bump means any earlier result may
+// be stale. Reading it never takes the graph lock.
+func (g *Bipartite) Epoch() uint64 { return g.epoch.Load() }
+
+// PendingWrites returns how many accepted writes are sitting in the delta
+// overlay, i.e. not yet folded into the CSR by Compact.
+func (g *Bipartite) PendingWrites() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.overlayWrites
+}
+
+// SetCompactThreshold makes the graph fold the overlay into the CSR
+// automatically once n writes have accumulated. n <= 0 disables
+// auto-compaction (explicit Compact only).
+func (g *Bipartite) SetCompactThreshold(n int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.compactThreshold = n
+	if n > 0 && g.overlayWrites >= n {
+		g.compactLocked()
+	}
+}
+
+// writeMode selects the duplicate-handling policy of applyRating.
+type writeMode int
+
+const (
+	modeAdd    writeMode = iota // edge must not exist
+	modeUpdate                  // edge must exist
+	modeUpsert                  // either
+)
+
+// AddRating inserts the undirected edge (user u — item i) with weight w.
+// It fails if the edge already exists (use UpdateRating or UpsertRating
+// for re-rates) or if w is not positive.
+func (g *Bipartite) AddRating(u, i int, w float64) error {
+	_, err := g.applyRating(u, i, w, modeAdd)
+	return err
+}
+
+// UpdateRating replaces the weight of the existing edge (u — i) with w.
+// It fails if the edge is absent.
+func (g *Bipartite) UpdateRating(u, i int, w float64) error {
+	_, err := g.applyRating(u, i, w, modeUpdate)
+	return err
+}
+
+// UpsertRating inserts the edge (u — i) or replaces its weight if present,
+// reporting whether a new edge was created. Re-rating with the identical
+// weight is a no-op: the graph is unchanged, so the epoch does not move.
+func (g *Bipartite) UpsertRating(u, i int, w float64) (added bool, err error) {
+	return g.applyRating(u, i, w, modeUpsert)
+}
+
+// applyRating validates and applies one write under the graph lock.
+func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode) (added bool, err error) {
+	if u < 0 || u >= g.numUsers {
+		return false, fmt.Errorf("graph: user %d out of range [0,%d)", u, g.numUsers)
+	}
+	if i < 0 || i >= g.numItems {
+		return false, fmt.Errorf("graph: item %d out of range [0,%d)", i, g.numItems)
+	}
+	// !(w > 0) also rejects NaN, which would otherwise poison degrees and
+	// totalWeight irreversibly; +Inf is rejected for the same reason.
+	if !(w > 0) || math.IsInf(w, 1) {
+		return false, fmt.Errorf("graph: edge weight %v must be positive and finite", w)
+	}
+	un, in := u, g.numUsers+i
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	cols, weights := g.rowLocked(un)
+	k, exists := searchEdge(cols, in)
+	switch {
+	case exists && mode == modeAdd:
+		return false, fmt.Errorf("graph: rating (user %d, item %d) already exists", u, i)
+	case !exists && mode == modeUpdate:
+		return false, fmt.Errorf("graph: rating (user %d, item %d) does not exist", u, i)
+	}
+	old := 0.0
+	if exists {
+		old = weights[k]
+		if old == w {
+			return false, nil // true no-op: epoch must not move
+		}
+	}
+	g.setEdgeLocked(un, in, w)
+	g.setEdgeLocked(in, un, w)
+	g.totalWeight += 2 * (w - old)
+	if !exists {
+		g.numEdges++
+	}
+	g.overlayWrites++
+	g.epoch.Add(1)
+	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold {
+		g.compactLocked()
+	}
+	return !exists, nil
+}
+
+// setEdgeLocked installs a fresh overlay row for node v with the edge to w
+// set to weight (inserting or replacing). Caller holds g.mu for writing.
+func (g *Bipartite) setEdgeLocked(v, w int, weight float64) {
+	cols, weights := g.rowLocked(v)
+	k, exists := searchEdge(cols, w)
+	row := &liveRow{degree: g.degreeLocked(v)}
+	if exists {
+		row.cols = append(make([]int, 0, len(cols)), cols...)
+		row.weights = append(make([]float64, 0, len(weights)), weights...)
+		row.degree += weight - row.weights[k]
+		row.weights[k] = weight
+	} else {
+		row.cols = make([]int, 0, len(cols)+1)
+		row.cols = append(append(append(row.cols, cols[:k]...), w), cols[k:]...)
+		row.weights = make([]float64, 0, len(weights)+1)
+		row.weights = append(append(append(row.weights, weights[:k]...), weight), weights[k:]...)
+		row.degree += weight
+	}
+	if g.overlay == nil {
+		g.overlay = make(map[int]*liveRow)
+	}
+	g.overlay[v] = row
+}
+
+// Compact folds every pending overlay row into a freshly built CSR and
+// clears the overlay. The graph content is unchanged, so the epoch is NOT
+// bumped and cached results keyed on it stay valid. Readers holding row
+// slices from before the compaction are unaffected (the old storage is
+// never mutated).
+func (g *Bipartite) Compact() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.compactLocked()
+}
+
+func (g *Bipartite) compactLocked() {
+	if len(g.overlay) == 0 {
+		g.overlayWrites = 0
+		return
+	}
+	n := g.numUsers + g.numItems
+	nnz := 0
+	for v := 0; v < n; v++ {
+		if r, ok := g.overlay[v]; ok {
+			nnz += len(r.cols)
+		} else {
+			nnz += g.adj.RowNNZ(v)
+		}
+	}
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, nnz)
+	vals := make([]float64, 0, nnz)
+	degrees := make([]float64, n)
+	for v := 0; v < n; v++ {
+		cols, weights := g.rowLocked(v)
+		colIdx = append(colIdx, cols...)
+		vals = append(vals, weights...)
+		rowPtr[v+1] = len(colIdx)
+		degrees[v] = g.degreeLocked(v)
+	}
+	// NewCSRView aliases the slices we just built; nothing else holds them.
+	g.adj = newCompactCSR(n, rowPtr, colIdx, vals)
+	g.degrees = degrees
+	g.overlay = nil
+	g.overlayWrites = 0
+}

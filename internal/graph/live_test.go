@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// liveFixture builds a small graph: 3 users, 4 items.
+//
+//	u0 — i0(3), i1(2)
+//	u1 — i1(5)
+//	u2 — i2(1)
+//
+// Item 3 starts isolated.
+func liveFixture(t *testing.T) *Bipartite {
+	t.Helper()
+	g, err := FromRatings(3, 4, []Rating{
+		{User: 0, Item: 0, Weight: 3},
+		{User: 0, Item: 1, Weight: 2},
+		{User: 1, Item: 1, Weight: 5},
+		{User: 2, Item: 2, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLiveAddRating(t *testing.T) {
+	g := liveFixture(t)
+	if got := g.Epoch(); got != 0 {
+		t.Fatalf("fresh graph epoch = %d, want 0", got)
+	}
+	if err := g.AddRating(2, 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Epoch(); got != 1 {
+		t.Errorf("epoch after one write = %d, want 1", got)
+	}
+	if got := g.NumEdges(); got != 5 {
+		t.Errorf("NumEdges = %d, want 5", got)
+	}
+	if got := g.Weight(g.UserNode(2), g.ItemNode(3)); got != 4 {
+		t.Errorf("edge weight = %v, want 4", got)
+	}
+	if got := g.Weight(g.ItemNode(3), g.UserNode(2)); got != 4 {
+		t.Errorf("reverse edge weight = %v, want 4 (symmetry)", got)
+	}
+	if got := g.Degree(g.ItemNode(3)); got != 4 {
+		t.Errorf("item 3 degree = %v, want 4", got)
+	}
+	if got := g.Degree(g.UserNode(2)); got != 5 {
+		t.Errorf("user 2 degree = %v, want 1+4", got)
+	}
+	// Duplicate insert must fail and leave the graph untouched.
+	if err := g.AddRating(2, 3, 9); err == nil {
+		t.Error("duplicate AddRating did not fail")
+	}
+	if got := g.Epoch(); got != 1 {
+		t.Errorf("failed write moved epoch to %d", got)
+	}
+}
+
+func TestLiveUpdateRating(t *testing.T) {
+	g := liveFixture(t)
+	if err := g.UpdateRating(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Weight(g.UserNode(1), g.ItemNode(1)); got != 2 {
+		t.Errorf("updated weight = %v, want 2", got)
+	}
+	if got := g.Degree(g.ItemNode(1)); got != 4 {
+		t.Errorf("item 1 degree = %v, want 2+2", got)
+	}
+	if got := g.NumEdges(); got != 4 {
+		t.Errorf("NumEdges changed on update: %d", got)
+	}
+	if err := g.UpdateRating(1, 3, 2); err == nil {
+		t.Error("UpdateRating on a missing edge did not fail")
+	}
+	// Same-weight update is a no-op and must not move the epoch.
+	before := g.Epoch()
+	if err := g.UpdateRating(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Epoch(); got != before {
+		t.Errorf("no-op update moved epoch %d -> %d", before, got)
+	}
+}
+
+func TestLiveUpsertRating(t *testing.T) {
+	g := liveFixture(t)
+	added, err := g.UpsertRating(0, 3, 1.5)
+	if err != nil || !added {
+		t.Fatalf("UpsertRating insert: added=%v err=%v", added, err)
+	}
+	added, err = g.UpsertRating(0, 3, 2.5)
+	if err != nil || added {
+		t.Fatalf("UpsertRating re-rate: added=%v err=%v", added, err)
+	}
+	if got := g.Weight(g.UserNode(0), g.ItemNode(3)); got != 2.5 {
+		t.Errorf("upserted weight = %v, want 2.5", got)
+	}
+	if _, err := g.UpsertRating(0, 99, 1); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	if _, err := g.UpsertRating(0, 1, -1); err == nil {
+		t.Error("non-positive weight accepted")
+	}
+	if _, err := g.UpsertRating(0, 1, math.NaN()); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	if _, err := g.UpsertRating(0, 1, math.Inf(1)); err == nil {
+		t.Error("+Inf weight accepted")
+	}
+	if got := g.Epoch(); got != 2 {
+		t.Errorf("rejected writes moved epoch to %d", got)
+	}
+}
+
+// TestLiveRowSnapshots locks in the copy-on-write contract: a row handed to
+// a reader is never mutated by later writes or compactions.
+func TestLiveRowSnapshots(t *testing.T) {
+	g := liveFixture(t)
+	un := g.UserNode(0)
+	cols0, ws0 := g.Neighbors(un)
+	wantLen, want0 := len(cols0), ws0[0]
+	if err := g.AddRating(0, 3, 9); err != nil {
+		t.Fatal(err)
+	}
+	g.Compact()
+	if err := g.UpdateRating(0, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(cols0) != wantLen || ws0[0] != want0 {
+		t.Errorf("reader snapshot mutated: len %d->%d, w0 %v->%v", wantLen, len(cols0), want0, ws0[0])
+	}
+	if cols1, _ := g.Neighbors(un); len(cols1) != wantLen+1 {
+		t.Errorf("live row length = %d, want %d", len(cols1), wantLen+1)
+	}
+}
+
+// TestLiveCompactEquivalence asserts that a graph mutated live and then
+// compacted is indistinguishable from one batch-built from the same final
+// edge set.
+func TestLiveCompactEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const nu, ni = 12, 20
+	g, err := FromRatings(nu, ni, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := map[[2]int]float64{}
+	for w := 0; w < 300; w++ {
+		u, i := rng.Intn(nu), rng.Intn(ni)
+		weight := 1 + rng.Float64()*4
+		if _, err := g.UpsertRating(u, i, weight); err != nil {
+			t.Fatal(err)
+		}
+		final[[2]int{u, i}] = weight
+		if w%37 == 0 {
+			g.Compact()
+		}
+	}
+	g.Compact()
+	var ratings []Rating
+	for k, w := range final {
+		ratings = append(ratings, Rating{User: k[0], Item: k[1], Weight: w})
+	}
+	ref, err := FromRatings(nu, ni, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != ref.NumEdges() {
+		t.Fatalf("NumEdges %d != %d", g.NumEdges(), ref.NumEdges())
+	}
+	if math.Abs(g.TotalWeight()-ref.TotalWeight()) > 1e-9*ref.TotalWeight() {
+		t.Fatalf("TotalWeight %v != %v", g.TotalWeight(), ref.TotalWeight())
+	}
+	if !g.Adjacency().Equal(ref.Adjacency(), 1e-12) {
+		t.Fatal("compacted adjacency differs from batch-built adjacency")
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if math.Abs(g.Degree(v)-ref.Degree(v)) > 1e-9 {
+			t.Fatalf("degree[%d] = %v, want %v", v, g.Degree(v), ref.Degree(v))
+		}
+	}
+}
+
+func TestLiveCompactThreshold(t *testing.T) {
+	g := liveFixture(t)
+	g.SetCompactThreshold(3)
+	for w := 0; w < 2; w++ {
+		if _, err := g.UpsertRating(w, 3, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.PendingWrites(); got != 2 {
+		t.Fatalf("PendingWrites = %d, want 2", got)
+	}
+	if _, err := g.UpsertRating(2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PendingWrites(); got != 0 {
+		t.Errorf("auto-compaction did not trigger: PendingWrites = %d", got)
+	}
+	if got := g.Adjacency().NNZ(); got != 2*7 {
+		t.Errorf("compacted NNZ = %d, want 14", got)
+	}
+	// Compaction is invisible to the epoch.
+	if got := g.Epoch(); got != 3 {
+		t.Errorf("epoch = %d, want 3", got)
+	}
+}
+
+// TestConcurrentLiveGraph hammers a live graph with concurrent readers
+// (Neighbors/Degree/subgraph extraction) while one writer mutates and
+// compacts it. Run under -race by the Makefile race target.
+func TestConcurrentLiveGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const nu, ni = 30, 60
+	var ratings []Rating
+	for u := 0; u < nu; u++ {
+		for r := 0; r < 5; r++ {
+			ratings = append(ratings, Rating{User: u, Item: (u*7 + r*11) % ni, Weight: 1 + float64(r)})
+		}
+	}
+	seen := map[[2]int]bool{}
+	dedup := ratings[:0]
+	for _, r := range ratings {
+		if k := [2]int{r.User, r.Item}; !seen[k] {
+			seen[k] = true
+			dedup = append(dedup, r)
+		}
+	}
+	g, err := FromRatings(nu, ni, dedup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetCompactThreshold(16)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ext := NewSubgraphExtractor(g)
+			for q := 0; ; q++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := (w*13 + q) % nu
+				nbrs, _ := g.Neighbors(g.UserNode(u))
+				if len(nbrs) == 0 {
+					continue
+				}
+				if _, err := ext.Extract(nbrs, 40); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = g.Degree(g.UserNode(u))
+				_ = g.NumEdges()
+			}
+		}(w)
+	}
+	for w := 0; w < 400; w++ {
+		if _, err := g.UpsertRating(rng.Intn(nu), rng.Intn(ni), 1+rng.Float64()*4); err != nil {
+			t.Fatal(err)
+		}
+		if w%150 == 149 {
+			g.Compact()
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if g.Epoch() == 0 {
+		t.Error("writer made no progress")
+	}
+}

@@ -107,6 +107,14 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 		}
 		add(s)
 	}
+	// One read lock spans the whole extraction (BFS + local CSR build):
+	// the subgraph is an atomic snapshot of the live graph — a concurrent
+	// write cannot tear it into an asymmetric adjacency — and the hot loop
+	// pays a single lock acquisition instead of one per node. Writers
+	// block for the duration of one extraction, which is the documented
+	// cost model (reads dominate).
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	// BFS with an index-based head: e.nodes is simultaneously the discovery
 	// list and the queue, so there is no O(n²) queue = queue[1:] re-slicing
 	// and no separate queue allocation.
@@ -114,7 +122,7 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 		if maxItems > 0 && items > maxItems {
 			break
 		}
-		nbrs, _ := g.Neighbors(e.nodes[head])
+		nbrs, _ := g.rowLocked(e.nodes[head])
 		for _, w := range nbrs {
 			if e.stamp[w] == e.epoch {
 				continue
@@ -140,10 +148,11 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 }
 
 // buildLocalCSR materializes the node-induced adjacency submatrix straight
-// from the parent CSR: one pass per row filtering to stamped neighbors,
-// followed by an in-place per-row column sort (local ids are assigned in
-// BFS order, so the parent's sorted-by-original-id rows arrive permuted).
-// Degrees (local row sums) are computed in the same pass.
+// from the parent's live rows: one pass per row filtering to stamped
+// neighbors, followed by an in-place per-row column sort (local ids are
+// assigned in BFS order, so the parent's sorted-by-original-id rows arrive
+// permuted). Degrees (local row sums) are computed in the same pass.
+// Caller (Extract) holds the parent graph's read lock.
 func (e *SubgraphExtractor) buildLocalCSR() {
 	nl := len(e.nodes)
 	if cap(e.rowPtr) < nl+1 {
@@ -158,7 +167,9 @@ func (e *SubgraphExtractor) buildLocalCSR() {
 	e.vals = e.vals[:0]
 	e.rowPtr = append(e.rowPtr, 0)
 	for _, orig := range e.nodes {
-		cols, vals := e.g.Adjacency().Row(orig)
+		// rowLocked (not Adjacency().Row) so pending live writes in the
+		// delta overlay are part of the extracted subgraph.
+		cols, vals := e.g.rowLocked(orig)
 		start := len(e.colIdx)
 		sum := 0.0
 		for k, w := range cols {

@@ -1,0 +1,104 @@
+// Property test for the fused production kernel: on random chains,
+// AbsorbingCostFused must match the unfused two-pass pipeline
+// (StepCosts followed by AbsorbingCostTruncated) within 1e-9, and the
+// nil-enter (unit cost) mode must match AbsorbingTimeTruncated. Each trial
+// is generated from its own logged seed so failures reproduce exactly.
+
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"longtailrec/internal/sparse"
+)
+
+// randomChainCase builds a random symmetric weighted graph (possibly with
+// isolated states), a random non-empty absorbing set, random entry costs
+// and a random sweep count, all from one seeded source.
+func randomChainCase(rng *rand.Rand) (chain *Chain, absorbing []int, enter []float64, tau int) {
+	n := 2 + rng.Intn(38)
+	coo := sparse.NewCOO(n, n)
+	type edge struct{ a, b int }
+	seen := map[edge]bool{}
+	edges := rng.Intn(3 * n)
+	for e := 0; e < edges; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b || seen[edge{a, b}] {
+			continue
+		}
+		seen[edge{a, b}], seen[edge{b, a}] = true, true
+		w := 0.1 + rng.Float64()*4.9
+		coo.Add(a, b, w)
+		coo.Add(b, a, w)
+	}
+	c, err := NewChain(coo.ToCSR())
+	if err != nil {
+		panic(err)
+	}
+	numAbs := 1 + rng.Intn(n/2+1)
+	perm := rng.Perm(n)
+	absorbing = append(absorbing, perm[:numAbs]...)
+	enter = make([]float64, n)
+	for i := range enter {
+		enter[i] = rng.Float64() * 3
+	}
+	tau = 1 + rng.Intn(25)
+	return c, absorbing, enter, tau
+}
+
+// TestAbsorbingCostFusedMatchesTwoPass is the satellite property test: 200
+// random chains, fused vs unfused within 1e-9, seeds logged on failure.
+func TestAbsorbingCostFusedMatchesTwoPass(t *testing.T) {
+	const trials = 200
+	const tol = 1e-9
+	var scr ChainScratch
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(0xfeed + trial)
+		rng := rand.New(rand.NewSource(seed))
+		chain, absorbing, enter, tau := randomChainCase(rng)
+
+		// Reference: the allocating two-pass pipeline (StepCosts, then the
+		// unfused truncated DP).
+		step := chain.StepCosts(enter)
+		want, err := chain.AbsorbingCostTruncated(absorbing, step, tau)
+		if err != nil {
+			t.Fatalf("seed %#x: reference: %v", seed, err)
+		}
+
+		scr.Resize(chain.Len())
+		for _, s := range absorbing {
+			scr.Mask[s] = true
+		}
+		got, err := chain.AbsorbingCostFused(&scr, enter, tau)
+		if err != nil {
+			t.Fatalf("seed %#x: fused: %v", seed, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > tol {
+				t.Fatalf("seed %#x (n=%d, tau=%d, |S|=%d): state %d fused %v vs two-pass %v (Δ %.3g > %g)",
+					seed, chain.Len(), tau, len(absorbing), i, got[i], want[i], math.Abs(got[i]-want[i]), tol)
+			}
+		}
+
+		// Unit-cost mode (enter == nil) against AbsorbingTimeTruncated.
+		wantTime, err := chain.AbsorbingTimeTruncated(absorbing, tau)
+		if err != nil {
+			t.Fatalf("seed %#x: time reference: %v", seed, err)
+		}
+		scr.Resize(chain.Len())
+		for _, s := range absorbing {
+			scr.Mask[s] = true
+		}
+		gotTime, err := chain.AbsorbingCostFused(&scr, nil, tau)
+		if err != nil {
+			t.Fatalf("seed %#x: fused unit: %v", seed, err)
+		}
+		for i := range wantTime {
+			if math.Abs(gotTime[i]-wantTime[i]) > tol {
+				t.Fatalf("seed %#x: unit-cost state %d fused %v vs reference %v", seed, i, gotTime[i], wantTime[i])
+			}
+		}
+	}
+}

@@ -65,12 +65,20 @@ func Personalized(g *graph.Bipartite, restart []int, opts Options) ([]float64, e
 			if mass == 0 {
 				continue
 			}
-			d := g.Degree(v)
+			// Derive the degree from the same row snapshot instead of a
+			// separate Degree(v) call: the graph is live-writable, and two
+			// lock acquisitions could straddle a write, leaving ws and d
+			// inconsistent (an unnormalized transition row). Degree == row
+			// sum by the symmetric-weight invariant.
+			nbrs, ws := g.Neighbors(v)
+			d := 0.0
+			for _, w := range ws {
+				d += w
+			}
 			if d == 0 {
 				dangling += mass
 				continue
 			}
-			nbrs, ws := g.Neighbors(v)
 			inv := mass / d
 			for k, u := range nbrs {
 				nxt[u] += ws[k] * inv

@@ -3,6 +3,7 @@
 package server
 
 import (
+	"encoding/json"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -20,7 +21,20 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
 }
 
-// StatsResponse is the /v1/stats body — the §5.1.2 corpus description.
+// CacheStatsResponse is the result-cache section of /v1/stats: the counters
+// behind the hit-rate vs recompute-cost tradeoff PERFORMANCE.md documents.
+type CacheStatsResponse struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Shared    uint64  `json:"shared"` // singleflight piggybacks
+	Evictions uint64  `json:"evictions"`
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	HitRate   float64 `json:"hit_rate"` // (hits+shared) / lookups
+}
+
+// StatsResponse is the /v1/stats body — the §5.1.2 corpus description plus
+// the live-serving state (graph epoch, pending writes, cache counters).
 type StatsResponse struct {
 	NumUsers         int     `json:"num_users"`
 	NumItems         int     `json:"num_items"`
@@ -28,17 +42,88 @@ type StatsResponse struct {
 	Density          float64 `json:"density"`
 	MeanScore        float64 `json:"mean_score"`
 	TailItemFraction float64 `json:"tail_item_fraction"`
+
+	Epoch         uint64              `json:"epoch"`
+	PendingWrites int                 `json:"pending_writes"`
+	Cache         *CacheStatsResponse `json:"cache,omitempty"` // nil when caching is disabled
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.src.Data().Summarize()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	serving := s.src.ServingStats()
+	resp := StatsResponse{
 		NumUsers:         st.NumUsers,
 		NumItems:         st.NumItems,
 		NumRatings:       st.NumRatings,
 		Density:          st.Density,
 		MeanScore:        st.MeanScore,
 		TailItemFraction: st.TailItemFraction,
+		Epoch:            serving.Epoch,
+		PendingWrites:    serving.PendingWrites,
+	}
+	if serving.CacheEnabled {
+		cs := serving.Cache
+		rate := 0.0
+		if lookups := cs.Hits + cs.Misses + cs.Shared; lookups > 0 {
+			rate = float64(cs.Hits+cs.Shared) / float64(lookups)
+		}
+		resp.Cache = &CacheStatsResponse{
+			Hits:      cs.Hits,
+			Misses:    cs.Misses,
+			Shared:    cs.Shared,
+			Evictions: cs.Evictions,
+			Size:      cs.Size,
+			Capacity:  cs.Capacity,
+			HitRate:   rate,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RatingRequest is the POST /v1/ratings body: one live rating event.
+type RatingRequest struct {
+	User  int     `json:"user"`
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+}
+
+// RatingResponse acknowledges a live rating write. Added distinguishes a
+// new edge (201) from a re-rate (200); Epoch is the graph epoch after the
+// write — cached results from earlier epochs are no longer served.
+type RatingResponse struct {
+	User  int     `json:"user"`
+	Item  int     `json:"item"`
+	Score float64 `json:"score"`
+	Added bool    `json:"added"`
+	Epoch uint64  `json:"epoch"`
+}
+
+// handleAddRating ingests one rating through the live write path: the edge
+// lands in the graph's delta overlay, the epoch bumps, and every cached
+// recommendation computed before it becomes unreachable.
+func (s *Server) handleAddRating(w http.ResponseWriter, r *http.Request) {
+	var req RatingRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid rating body: %v", err)
+		return
+	}
+	added, epoch, err := s.src.ApplyRating(req.User, req.Item, req.Score)
+	if err != nil {
+		writeError(w, errStatus(err), "%v", err)
+		return
+	}
+	status := http.StatusOK
+	if added {
+		status = http.StatusCreated
+	}
+	writeJSON(w, status, RatingResponse{
+		User:  req.User,
+		Item:  req.Item,
+		Score: req.Score,
+		Added: added,
+		Epoch: epoch,
 	})
 }
 

@@ -1,0 +1,189 @@
+// Tests for the live serving layer: POST /v1/ratings and the epoch/cache
+// counters on /v1/stats.
+
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"longtailrec"
+)
+
+// cachedTestServer builds a server over a System with the result cache on.
+func cachedTestServer(t testing.TB) (*longtail.System, *httptest.Server) {
+	t.Helper()
+	sys := testSystem(t)
+	ratings := sys.Data().Ratings()
+	d, err := longtail.NewDataset(sys.Data().NumUsers(), sys.Data().NumItems(), ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.DefaultConfig()
+	cfg.LDA.NumTopics = 2
+	cfg.LDA.Iterations = 5
+	cfg.SVDRank = 2
+	cfg.CacheSize = 64
+	cachedSys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(cachedSys, Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return cachedSys, ts
+}
+
+func postJSON(t testing.TB, url string, body any, wantStatus int, into any) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d (body %s)", url, resp.StatusCode, wantStatus, data)
+	}
+	if into != nil {
+		if err := json.Unmarshal(data, into); err != nil {
+			t.Fatalf("decode %s: %v (body %s)", url, err, data)
+		}
+	}
+}
+
+func TestRatingsEndpoint(t *testing.T) {
+	sys, ts := cachedTestServer(t)
+
+	// New edge: 201, epoch 1, added.
+	var rr RatingResponse
+	postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 7, Item: 0, Score: 5}, http.StatusCreated, &rr)
+	if !rr.Added || rr.Epoch != 1 {
+		t.Fatalf("insert response %+v", rr)
+	}
+	// Re-rate: 200, epoch 2, not added.
+	postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 7, Item: 0, Score: 3}, http.StatusOK, &rr)
+	if rr.Added || rr.Epoch != 2 {
+		t.Fatalf("re-rate response %+v", rr)
+	}
+	if got := sys.Epoch(); got != 2 {
+		t.Fatalf("system epoch %d, want 2", got)
+	}
+
+	// The previously cold user 7 is now servable via the live graph.
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=7&k=3", http.StatusOK, &rec)
+	if len(rec.Items) == 0 {
+		t.Fatal("no recommendations for freshly rated user")
+	}
+	for _, it := range rec.Items {
+		if it.Item == 0 {
+			t.Fatalf("rated item 0 recommended: %+v", rec.Items)
+		}
+	}
+}
+
+func TestRatingsEndpointErrors(t *testing.T) {
+	_, ts := cachedTestServer(t)
+	post := func(body string, wantStatus int) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/ratings", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST %q = %d, want %d", body, resp.StatusCode, wantStatus)
+		}
+	}
+	post(`{not json`, http.StatusBadRequest)
+	post(`{"user":0,"item":0,"score":5,"bogus":1}`, http.StatusBadRequest)
+	post(`{"user":0,"item":0,"score":-1}`, http.StatusBadRequest)
+	post(`{"user":999,"item":0,"score":4}`, http.StatusNotFound)
+	post(`{"user":0,"item":999,"score":4}`, http.StatusNotFound)
+	// GET on the POST-only route is a 405.
+	resp, err := http.Get(ts.URL + "/v1/ratings")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/ratings = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestStatsCacheCounters drives repeat and post-write queries and checks
+// the /v1/stats serving section tracks them.
+func TestStatsCacheCounters(t *testing.T) {
+	_, ts := cachedTestServer(t)
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Cache == nil {
+		t.Fatal("cache section missing with caching enabled")
+	}
+	if st.Epoch != 0 || st.Cache.Hits+st.Cache.Misses != 0 {
+		t.Fatalf("fresh stats %+v / %+v", st, *st.Cache)
+	}
+
+	var cold, warm RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=3", http.StatusOK, &cold)
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=3", http.StatusOK, &warm)
+	if !reflect.DeepEqual(cold.Items, warm.Items) {
+		t.Fatalf("cached response diverged:\n%+v\n%+v", cold.Items, warm.Items)
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Cache.Misses != 1 || st.Cache.Hits != 1 || st.Cache.Size != 1 {
+		t.Fatalf("after repeat query: %+v", *st.Cache)
+	}
+	if st.Cache.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.Cache.HitRate)
+	}
+
+	// A write bumps the epoch; the next identical query is a miss.
+	postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 6, Item: 0, Score: 4}, http.StatusCreated, nil)
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=3", http.StatusOK, &warm)
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Epoch != 1 {
+		t.Fatalf("epoch %d, want 1", st.Epoch)
+	}
+	if st.Cache.Misses != 2 {
+		t.Fatalf("post-write query served stale: %+v", *st.Cache)
+	}
+	if st.PendingWrites != 1 {
+		t.Fatalf("pending writes %d, want 1", st.PendingWrites)
+	}
+}
+
+// TestStatsCacheDisabled: without a cache the section is omitted but the
+// epoch still reports.
+func TestStatsCacheDisabled(t *testing.T) {
+	_, ts := testServer(t) // DefaultConfig: CacheSize 0
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.Cache != nil {
+		t.Fatalf("cache section present with caching disabled: %+v", *st.Cache)
+	}
+}

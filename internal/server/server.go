@@ -1,19 +1,30 @@
 // Package server exposes a trained recommendation System over HTTP/JSON —
 // the online half of a production deployment (the offline half being
-// internal/persist model artifacts). Endpoints (all GET):
+// internal/persist model artifacts). Endpoints:
 //
-//	/v1/health                     liveness probe
-//	/v1/stats                      corpus statistics (§5.1.2 view)
-//	/v1/algorithms                 available algorithm names
-//	/v1/recommend?user=&algo=&k=   top-k recommendations
-//	/v1/recommend/batch?users=&algo=&k=&parallelism=
-//	                               top-k lists for many users, scored
-//	                               concurrently across cores
-//	/v1/explain?user=&item=        absorption-probability explanation
-//	/v1/users/{id}                 user profile: ratings, degree
-//	/v1/items/{id}                 item profile: popularity, tail membership
-//	/v1/items/{id}/similar?k=      item-to-item cosine neighbors
-//	/v1/metrics                    request counters and mean latency
+//	GET  /v1/health                     liveness probe
+//	GET  /v1/stats                      corpus statistics (§5.1.2 view),
+//	                                    graph epoch and cache counters
+//	GET  /v1/algorithms                 available algorithm names
+//	GET  /v1/recommend?user=&algo=&k=   top-k recommendations
+//	GET  /v1/recommend/batch?users=&algo=&k=&parallelism=
+//	                                    top-k lists for many users, scored
+//	                                    concurrently across cores
+//	POST /v1/ratings                    live rating ingest: body
+//	                                    {"user":u,"item":i,"score":s}
+//	                                    upserts one edge, bumps the graph
+//	                                    epoch and thereby invalidates
+//	                                    cached results
+//	GET  /v1/explain?user=&item=        absorption-probability explanation
+//	GET  /v1/users/{id}                 user profile: ratings, degree
+//	GET  /v1/items/{id}                 item profile: popularity, tail membership
+//	GET  /v1/items/{id}/similar?k=      item-to-item cosine neighbors
+//	GET  /v1/metrics                    request counters and mean latency
+//
+// Live writes land in the serving graph (and are visible to the walk
+// recommenders immediately); the dataset-backed views (/v1/users,
+// /v1/items, corpus counts) describe the corpus the system was built from
+// and refresh on snapshot reload.
 //
 // Errors are JSON {"error": "..."} with conventional status codes; every
 // handler is wrapped in panic recovery so one bad request cannot take the
@@ -53,6 +64,13 @@ type Source interface {
 	Explain(u, candidate int) ([]core.Anchor, error)
 	// SimilarItems returns the item-to-item neighbors of an item.
 	SimilarItems(item, k int) ([]cf.SimilarItem, error)
+	// ApplyRating ingests one live rating write (insert or re-rate) into
+	// the serving graph, reporting whether a new edge was created and the
+	// graph epoch after the write.
+	ApplyRating(user, item int, score float64) (added bool, epoch uint64, err error)
+	// ServingStats reports the live-serving state: graph epoch, pending
+	// delta-overlay writes and result-cache counters.
+	ServingStats() core.ServingStats
 }
 
 // Options configure the server.
@@ -131,6 +149,7 @@ func New(src Source, opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("GET /v1/recommend", s.handleRecommend)
 	s.mux.HandleFunc("GET /v1/recommend/batch", s.handleRecommendBatch)
+	s.mux.HandleFunc("POST /v1/ratings", s.handleAddRating)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("GET /v1/users/{id}", s.handleUser)
 	s.mux.HandleFunc("GET /v1/items/{id}", s.handleItem)
@@ -255,12 +274,14 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-// errStatus maps a recommendation error to an HTTP status.
+// errStatus maps a recommendation or live-write error to an HTTP status.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrColdUser):
 		return http.StatusNotFound
 	case strings.Contains(err.Error(), "unknown algorithm"):
+		return http.StatusBadRequest
+	case strings.Contains(err.Error(), "must be positive"):
 		return http.StatusBadRequest
 	case strings.Contains(err.Error(), "out of range"):
 		return http.StatusNotFound

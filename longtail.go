@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"longtailrec/internal/assoc"
+	"longtailrec/internal/cache"
 	"longtailrec/internal/cf"
 	"longtailrec/internal/core"
 	"longtailrec/internal/dataset"
@@ -86,6 +87,18 @@ type Config struct {
 	KNNNeighbors int
 	// Seed drives every randomized component.
 	Seed int64
+	// CacheSize enables the epoch-invalidated recommendation result cache:
+	// up to this many (user, algorithm, k) results are held across all
+	// algorithms, keyed by graph epoch so live writes invalidate them.
+	// <= 0 disables caching — the right setting for offline evaluation;
+	// serving deployments should size it to their hot user set (the
+	// ltr-server binary defaults to 4096).
+	CacheSize int
+	// CompactThreshold is how many live rating writes may accumulate in
+	// the graph's delta overlay before an automatic compaction folds them
+	// into the CSR. <= 0 means 1024. Compaction never moves the epoch, so
+	// it is invisible to the cache.
+	CompactThreshold int
 }
 
 // DefaultConfig returns the paper's defaults: µ = 6000, τ = 15, λ = 0.5,
@@ -101,6 +114,19 @@ func DefaultConfig() Config {
 		PageRank:     pagerank.Options{Damping: 0.5},
 		KNNNeighbors: 50,
 	}
+}
+
+// ServingConfig returns DefaultConfig tuned for a live serving deployment:
+// the recommendation result cache on at the given capacity (<= 0 means
+// 4096) and delta-overlay auto-compaction every compactThreshold writes.
+func ServingConfig(cacheSize, compactThreshold int) Config {
+	cfg := DefaultConfig()
+	if cacheSize <= 0 {
+		cacheSize = 4096
+	}
+	cfg.CacheSize = cacheSize
+	cfg.CompactThreshold = compactThreshold
+	return cfg
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.EntropyFloor <= 0 {
 		c.EntropyFloor = 0.05
 	}
+	if c.CompactThreshold <= 0 {
+		c.CompactThreshold = 1024
+	}
 	return c
 }
 
@@ -129,6 +158,10 @@ type System struct {
 	data *dataset.Dataset
 	g    *graph.Bipartite
 	cfg  Config
+
+	// recCache is the shared epoch-invalidated result cache wrapped around
+	// every recommender; nil when Config.CacheSize <= 0.
+	recCache *cache.Cache[[]core.Scored]
 
 	mu         sync.Mutex
 	ldaModel   *lda.Model
@@ -144,13 +177,20 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 	if d == nil {
 		return nil, fmt.Errorf("longtail: nil dataset")
 	}
-	return &System{
+	cfg = cfg.withDefaults()
+	g := d.Graph()
+	g.SetCompactThreshold(cfg.CompactThreshold)
+	s := &System{
 		data:     d,
-		g:        d.Graph(),
-		cfg:      cfg.withDefaults(),
+		g:        g,
+		cfg:      cfg,
 		cache:    make(map[string]Recommender),
 		errCache: make(map[string]error),
-	}, nil
+	}
+	if cfg.CacheSize > 0 {
+		s.recCache = cache.New[[]core.Scored](cfg.CacheSize)
+	}
+	return s, nil
 }
 
 // Data returns the training dataset.
@@ -158,6 +198,58 @@ func (s *System) Data() *dataset.Dataset { return s.data }
 
 // Graph returns the user–item bipartite graph.
 func (s *System) Graph() *graph.Bipartite { return s.g }
+
+// Epoch returns the serving graph's epoch: the number of live rating
+// writes accepted since construction. Cached recommendation results are
+// keyed on it.
+func (s *System) Epoch() uint64 { return s.g.Epoch() }
+
+// ApplyRating ingests one live rating write into the serving graph
+// (insert or re-rate), reporting whether a new edge was created and the
+// epoch after the write. The write is immediately visible to the walk
+// recommenders (HT/AT/AC*), and — because the epoch moved — every cached
+// result computed before it stops being served. Dataset-derived baselines
+// (PureSVD, LDA, kNN, …) and the graph-snapshot comparators (Katz,
+// CommuteTime, RWR — whose chains are frozen at lazy construction) keep
+// scoring against their snapshot until rebuilt; the dataset views (Data)
+// are likewise snapshot-scoped.
+func (s *System) ApplyRating(user, item int, score float64) (added bool, epoch uint64, err error) {
+	added, err = s.g.UpsertRating(user, item, score)
+	if err != nil {
+		return false, s.g.Epoch(), fmt.Errorf("longtail: %w", err)
+	}
+	return added, s.g.Epoch(), nil
+}
+
+// CompactGraph folds the serving graph's pending delta-overlay writes into
+// its CSR. Content-neutral: the epoch (and thus the cache) is untouched.
+// Writes also auto-compact every Config.CompactThreshold writes.
+func (s *System) CompactGraph() { s.g.Compact() }
+
+// ServingStats reports the live-serving state: graph epoch, pending
+// overlay writes, and the result-cache counters (zero when caching is
+// disabled).
+func (s *System) ServingStats() core.ServingStats {
+	st := core.ServingStats{
+		Epoch:         s.g.Epoch(),
+		PendingWrites: s.g.PendingWrites(),
+		CacheEnabled:  s.recCache != nil,
+	}
+	if s.recCache != nil {
+		st.Cache = s.recCache.Stats()
+	}
+	return st
+}
+
+// EvictStaleCache eagerly drops cached results from earlier graph epochs
+// (they are already unreachable — this reclaims their memory) and returns
+// how many were removed. No-op without a cache.
+func (s *System) EvictStaleCache() int {
+	if s.recCache == nil {
+		return 0
+	}
+	return s.recCache.EvictStale(s.g.Epoch())
+}
 
 // LDAModel returns the trained LDA model shared by AC2 and the LDA
 // baseline, training it on first call.
@@ -178,7 +270,9 @@ func (s *System) ldaModelLocked() (*lda.Model, error) {
 	return s.ldaModel, s.ldaErr
 }
 
-// build memoizes recommender construction under a name.
+// build memoizes recommender construction under a name. When the result
+// cache is enabled every recommender is wrapped in the epoch-invalidated
+// caching layer, so repeat queries against an unchanged graph are O(1).
 func (s *System) build(name string, mk func() (Recommender, error)) (Recommender, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -192,6 +286,14 @@ func (s *System) build(name string, mk func() (Recommender, error)) (Recommender
 	if err != nil {
 		s.errCache[name] = err
 		return nil, err
+	}
+	if s.recCache != nil {
+		cr, err := core.NewCachedRecommender(r, s.g, s.recCache)
+		if err != nil {
+			s.errCache[name] = err
+			return nil, err
+		}
+		r = cr
 	}
 	s.cache[name] = r
 	return r, nil
@@ -305,6 +407,9 @@ func (s *System) PPR() Recommender {
 // proximity with no popularity discount.
 func (s *System) Katz() (Recommender, error) {
 	return s.build("Katz", func() (Recommender, error) {
+		// Compact first so the chain snapshot includes any pending live
+		// writes; like the factor-model baselines it is frozen afterwards.
+		s.g.Compact()
 		chain, err := markov.NewChain(s.g.Adjacency())
 		if err != nil {
 			return nil, err
@@ -329,6 +434,7 @@ func (s *System) Katz() (Recommender, error) {
 // it to reproduce that argument.
 func (s *System) CommuteTime() (Recommender, error) {
 	return s.build("CommuteTime", func() (Recommender, error) {
+		s.g.Compact() // include pending live writes in the frozen snapshot
 		chain, err := markov.NewChain(s.g.Adjacency())
 		if err != nil {
 			return nil, err
@@ -351,6 +457,7 @@ func (s *System) CommuteTime() (Recommender, error) {
 // al.), another proximity with no popularity discount.
 func (s *System) RWR() (Recommender, error) {
 	return s.build("RWR", func() (Recommender, error) {
+		s.g.Compact() // include pending live writes in the frozen snapshot
 		chain, err := markov.NewChain(s.g.Adjacency())
 		if err != nil {
 			return nil, err
