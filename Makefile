@@ -28,8 +28,9 @@ bench: build
 	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached' -benchtime=100x -benchmem
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass
-# for the extractor and the live graph (CI runs the seed corpus via
-# `make test`; this explores further).
+# for the extractor and the live graph, closed- and open-universe (CI runs
+# the seed corpus via `make test` plus a 10s smoke; this explores further).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSubgraphExtract -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzBuilderAddRating -fuzztime 30s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzUpsertRatingAutoGrow -fuzztime 30s ./internal/graph/

@@ -14,7 +14,12 @@
 // overlay immediately and invalidate the recommendation result cache via
 // the graph epoch. -cache-size sizes that cache (0 disables it);
 // -compact-threshold controls how many overlay writes accumulate before
-// they are folded back into the CSR.
+// they are folded back into the CSR. With -auto-grow (the default) the
+// universe is open: ratings from users and items the corpus has never
+// seen are admitted and grow the serving graph, and brand-new users get
+// the deterministic popularity fallback from /v1/recommend until their
+// first ratings land; -auto-grow=false restores the closed universe
+// (unseen ids 404).
 //
 // The process shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -47,15 +52,16 @@ func main() {
 		seed             = flag.Int64("seed", 42, "seed for the synthetic corpus")
 		cacheSize        = flag.Int("cache-size", 4096, "recommendation result cache entries (0 disables caching)")
 		compactThreshold = flag.Int("compact-threshold", 1024, "live writes buffered in the graph delta overlay before auto-compaction")
+		autoGrow         = flag.Bool("auto-grow", true, "admit ratings from unseen users/items, growing the serving universe live")
 	)
 	flag.Parse()
-	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold); err != nil {
+	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold, *autoGrow); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int) error {
+func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int, autoGrow bool) error {
 	data, err := loadData(in, format, synthetic, seed)
 	if err != nil {
 		return err
@@ -65,6 +71,7 @@ func run(addr, in, format, synthetic, algo string, topics int, seed int64, cache
 	cfg.Seed = seed
 	cfg.CacheSize = cacheSize
 	cfg.CompactThreshold = compactThreshold
+	cfg.AutoGrow = autoGrow
 	sys, err := longtail.NewSystem(data, cfg)
 	if err != nil {
 		return err
@@ -79,8 +86,8 @@ func run(addr, in, format, synthetic, algo string, topics int, seed int64, cache
 		return err
 	}
 	st := data.Summarize()
-	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, cache %d entries, compact every %d writes)",
-		st.NumUsers, st.NumItems, st.NumRatings, addr, algo, cacheSize, compactThreshold)
+	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, cache %d entries, compact every %d writes, auto-grow %v)",
+		st.NumUsers, st.NumItems, st.NumRatings, addr, algo, cacheSize, compactThreshold, autoGrow)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

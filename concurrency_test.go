@@ -1,6 +1,7 @@
 package longtail
 
 import (
+	"errors"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -181,5 +182,104 @@ func TestConcurrentLiveWriteServing(t *testing.T) {
 	st := sys.ServingStats()
 	if !st.CacheEnabled || st.Cache.Misses == 0 {
 		t.Errorf("cache never exercised: %+v", st)
+	}
+}
+
+// TestConcurrentOpenUniverseServing: one writer grows the universe with
+// auto-grow rating writes — brand-new users rating a mix of existing and
+// brand-new items — while readers recommend through the cached walk
+// engines against the moving graph. Run under -race; this locks in the
+// thread-safety of the atomic universe snapshot, the per-query scratch
+// re-sizing, and epoch invalidation across admissions.
+func TestConcurrentOpenUniverseServing(t *testing.T) {
+	_, w := smallSystem(t, 17)
+	cfg := ServingConfig(512, 32)
+	cfg.LDA.NumTopics = 4
+	cfg.LDA.Iterations = 10
+	cfg.SVDRank = 8
+	sys, err := NewSystem(w.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users, err := sys.Data().SampleUsers(rand.New(rand.NewSource(9)), 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var served atomic.Int64
+	stop := make(chan struct{})
+	errc := make(chan error, 2*runtime.GOMAXPROCS(0))
+	for g := 0; g < 2*runtime.GOMAXPROCS(0); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for q := 0; ; q++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				algo := []string{"HT", "AT"}[(g+q)%2]
+				rec, err := sys.Algorithm(algo)
+				if err != nil {
+					errc <- err
+					return
+				}
+				// Mostly established users; sometimes whoever is newest.
+				u := users[(g*3+q)%len(users)]
+				if q%4 == 3 {
+					nu, _ := sys.Universe()
+					u = nu - 1
+				}
+				if _, err := rec.Recommend(u, 5); err != nil && !errors.Is(err, ErrColdUser) {
+					errc <- err
+					return
+				}
+				served.Add(1)
+			}
+		}(g)
+	}
+	// The write stream: each step a never-before-seen user rates one
+	// existing item and one never-before-seen item.
+	rng := rand.New(rand.NewSource(10))
+	baseUsers, baseItems := sys.Data().NumUsers(), sys.Data().NumItems()
+	deadline := time.Now().Add(30 * time.Second)
+	const newcomers = 60
+	for k := 0; k < newcomers; k++ {
+		u, i := baseUsers+k, baseItems+k
+		if _, _, err := sys.ApplyRating(u, rng.Intn(baseItems), 1+float64(rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := sys.ApplyRating(u, i, 1+float64(rng.Intn(5))); err != nil {
+			t.Fatal(err)
+		}
+		if k%20 == 19 {
+			sys.CompactGraph()
+			sys.EvictStaleCache()
+		}
+		for served.Load() < int64(k) && time.Now().Before(deadline) && len(errc) == 0 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	for served.Load() < 30 && time.Now().Before(deadline) && len(errc) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	nu, ni := sys.Universe()
+	if nu != baseUsers+newcomers || ni != baseItems+newcomers {
+		t.Errorf("universe %d/%d, want %d/%d", nu, ni, baseUsers+newcomers, baseItems+newcomers)
+	}
+	// The newest user is immediately servable by the live walk engine.
+	recs, err := sys.AT().Recommend(nu-1, 5)
+	if err != nil {
+		t.Fatalf("recommend for grown user: %v", err)
+	}
+	if len(recs) == 0 {
+		t.Error("no recommendations for grown user with two ratings")
 	}
 }

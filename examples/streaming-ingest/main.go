@@ -165,5 +165,38 @@ func run() error {
 		st.Epoch, st.PendingWrites, dropped)
 	fmt.Printf("cache totals: %d hits / %d misses / %d evictions (capacity %d)\n",
 		st.Cache.Hits, st.Cache.Misses, st.Cache.Evictions, st.Cache.Capacity)
+
+	// 5. The open universe: a never-before-seen user arrives live.
+	//    ServingConfig turns on AutoGrow, so a rating from a user (and for
+	//    an item) outside the snapshot universe is admitted — the graph
+	//    grows instead of rejecting the cold-start write.
+	newUser := reloaded.NumUsers() // first id past the snapshot
+	newItem := reloaded.NumItems()
+	taste, _ := sys.AT().Recommend(user, 3) // borrow an existing taste cluster
+	if _, _, err := sys.ApplyRating(newUser, newItem, 5); err != nil {
+		return err
+	}
+	for _, r := range taste { // the newcomer rates a few established items
+		if _, _, err := sys.ApplyRating(newUser, r.Item, 4); err != nil {
+			return err
+		}
+	}
+	gu, gi := sys.Universe()
+	fmt.Printf("\nopen universe: user %d and item %d admitted live -> universe %dx%d (snapshot %dx%d), epoch %d\n",
+		newUser, newItem, gu, gi, reloaded.NumUsers(), reloaded.NumItems(), sys.Epoch())
+
+	// The newcomer is servable by the walk engine the moment their first
+	// ratings land — no retrain, no reload.
+	newRecs, err := at.Recommend(newUser, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top-5 for the brand-new user %d:\n", newUser)
+	for rank, r := range newRecs {
+		fmt.Printf("  %d. item %-5d\n", rank+1, r.Item)
+	}
+	if len(newRecs) == 0 {
+		return fmt.Errorf("no recommendations for grown user %d", newUser)
+	}
 	return nil
 }

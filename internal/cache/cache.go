@@ -212,23 +212,35 @@ func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, er
 	return fl.val, false, fl.err
 }
 
-// EvictStale removes every entry whose epoch differs from current — the
-// eager companion to the implicit epoch invalidation — and returns how
-// many were dropped.
+// evictScanCap bounds how many entries one EvictStale call examines per
+// shard, so the sweep cannot hold a shard lock for an O(entries) scan
+// while serving lookups wait behind it. 1024 covers the whole shard at
+// the default capacity (4096/16 = 256 per shard) in a single call.
+const evictScanCap = 1024
+
+// EvictStale removes entries whose epoch differs from current — the eager
+// companion to the implicit epoch invalidation — and returns how many
+// were dropped. Each call scans at most evictScanCap entries per shard,
+// from the cold (LRU) end where stale entries accumulate: stale keys are
+// never looked up again, so they only sink while fresh entries are
+// re-touched toward the front. On caches larger than numShards×1024 one
+// call is therefore a bounded partial sweep; periodic callers converge,
+// and anything missed still ages out of the LRU naturally.
 func (c *Cache[V]) EvictStale(current uint64) int {
 	dropped := 0
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		for el := s.lru.Front(); el != nil; {
-			next := el.Next()
+		scanned := 0
+		for el := s.lru.Back(); el != nil && scanned < evictScanCap; scanned++ {
+			prev := el.Prev()
 			if e := el.Value.(*entry[V]); e.key.Epoch != current {
 				s.lru.Remove(el)
 				delete(s.entries, e.key)
 				s.evictions++
 				dropped++
 			}
-			el = next
+			el = prev
 		}
 		s.mu.Unlock()
 	}

@@ -168,6 +168,64 @@ func TestEvictStale(t *testing.T) {
 	}
 }
 
+// TestEvictStaleBoundedWork: one EvictStale call examines at most
+// evictScanCap entries per shard — the guard against a full O(entries)
+// scan holding each shard lock while lookups queue behind it — while
+// repeated calls still converge to a fully swept cache.
+func TestEvictStaleBoundedWork(t *testing.T) {
+	const total = 3 * numShards * evictScanCap
+	c := New[int](total)
+	for u := 0; u < total; u++ {
+		c.Put(key(u, 1), u)
+	}
+	perCallCap := numShards * evictScanCap
+	dropped := c.EvictStale(2)
+	if dropped > perCallCap {
+		t.Fatalf("one call dropped %d entries, cap is %d", dropped, perCallCap)
+	}
+	if dropped == total {
+		t.Fatalf("one call swept all %d entries; the per-call bound is not in effect", total)
+	}
+	swept := dropped
+	for calls := 1; swept < total; calls++ {
+		if calls > 3*numShards {
+			t.Fatalf("EvictStale failed to converge: %d/%d after %d calls", swept, total, calls)
+		}
+		n := c.EvictStale(2)
+		if n > perCallCap {
+			t.Fatalf("call %d dropped %d entries, cap is %d", calls, n, perCallCap)
+		}
+		swept += n
+	}
+	if c.Len() != 0 {
+		t.Fatalf("%d entries left after convergence", c.Len())
+	}
+}
+
+// BenchmarkEvictStale is the latency guard for the bounded sweep: the
+// per-call cost must stay flat as the cache grows, because each call
+// examines at most evictScanCap entries per shard regardless of size.
+func BenchmarkEvictStale(b *testing.B) {
+	const n = 64 << 10
+	c := New[int](n)
+	for u := 0; u < n; u++ {
+		c.Put(key(u, 1), u)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EvictStale(2)
+		if c.Len() == 0 {
+			// Refill off the clock so every iteration measures a sweep over
+			// a populated cache.
+			b.StopTimer()
+			for u := 0; u < n; u++ {
+				c.Put(key(u, 1), u)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
 func TestPurgeAndCapacity(t *testing.T) {
 	c := New[int](0)
 	if c.Capacity() != 4096 {

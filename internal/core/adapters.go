@@ -12,10 +12,22 @@ type ScoreFunc func(u int) ([]float64, error)
 // FuncRecommender adapts any score function (LDA, PureSVD, DPPR, kNN,
 // popularity, association rules, ...) to the Recommender interface, using
 // the graph to exclude already-rated items from Recommend.
+//
+// The wrapped model scores the universe it was trained on, frozen at
+// construction time. The graph, by contrast, is live and may grow: users
+// admitted after construction are reported as ErrColdUser (the model has
+// never seen them — the serving layer degrades to its popularity
+// fallback), while users beyond even the live universe are out of range.
 type FuncRecommender struct {
 	name string
 	g    *graph.Bipartite
 	fn   ScoreFunc
+
+	// snapUsers/snapItems are the model's universe: the graph's BASE
+	// universe, i.e. the corpus it was built from. Construction may happen
+	// lazily after the graph has already grown, so the live counts would
+	// overstate what the model covers.
+	snapUsers, snapItems int
 }
 
 // NewFuncRecommender wraps fn under the given algorithm name.
@@ -26,7 +38,10 @@ func NewFuncRecommender(name string, g *graph.Bipartite, fn ScoreFunc) (*FuncRec
 	if g == nil || fn == nil {
 		return nil, fmt.Errorf("core: nil graph or score function")
 	}
-	return &FuncRecommender{name: name, g: g, fn: fn}, nil
+	return &FuncRecommender{
+		name: name, g: g, fn: fn,
+		snapUsers: g.BaseNumUsers(), snapItems: g.BaseNumItems(),
+	}, nil
 }
 
 // Name implements Recommender.
@@ -37,12 +52,18 @@ func (f *FuncRecommender) ScoreItems(u int) ([]float64, error) {
 	if err := validateUser(u, f.g.NumUsers()); err != nil {
 		return nil, err
 	}
+	if u >= f.snapUsers {
+		return nil, fmt.Errorf("%w: user %d joined after %s's model snapshot", ErrColdUser, u, f.name)
+	}
 	scores, err := f.fn(u)
 	if err != nil {
 		return nil, err
 	}
-	if len(scores) != f.g.NumItems() {
-		return nil, fmt.Errorf("core: %s returned %d scores for %d items", f.name, len(scores), f.g.NumItems())
+	// Graph-backed score functions (DPPR, PPR, ...) may legitimately cover
+	// items admitted after construction; model-backed ones cover exactly
+	// the snapshot. Anything shorter is a contract violation.
+	if len(scores) < f.snapItems {
+		return nil, fmt.Errorf("core: %s returned %d scores for %d items", f.name, len(scores), f.snapItems)
 	}
 	return scores, nil
 }

@@ -36,6 +36,11 @@ type walkSpec struct {
 	// userCost, the paper's C.
 	itemEnter []float64
 	userCost  float64
+	// enterFloor is the entry cost charged for users (and, under the
+	// symmetric model, items) admitted to the graph after the entropy
+	// vectors were computed: a newcomer has no rating history, so their
+	// entropy is zero and floors to the configured minimum.
+	enterFloor float64
 }
 
 // Engine is the pooled walk query executor behind HT/AT/AC1/AC2 and the
@@ -50,13 +55,13 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over the graph with the given walk options.
+// Scratch capacities are not frozen here: every query re-sizes off the
+// graph's live node and item counts, so the engine keeps serving while
+// the universe grows under it.
 func NewEngine(g *graph.Bipartite, opts WalkOptions) *Engine {
 	e := &Engine{g: g, opts: opts.withDefaults()}
 	e.pool.New = func() any {
-		return &engineScratch{
-			ext:       graph.NewSubgraphExtractor(g),
-			exclStamp: make([]int, g.NumItems()),
-		}
+		return &engineScratch{ext: graph.NewSubgraphExtractor(g)}
 	}
 	return e
 }
@@ -117,9 +122,20 @@ func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemS
 			orig := sg.OriginalNode(l)
 			switch {
 			case e.g.IsUserNode(orig):
-				enter[l] = spec.userEnter[orig]
+				// Users (and under AC3, items) past the end of the entropy
+				// vector joined after the model snapshot: they carry the
+				// floor cost until the entropies are recomputed.
+				if idx := e.g.UserIndex(orig); idx < len(spec.userEnter) {
+					enter[l] = spec.userEnter[idx]
+				} else {
+					enter[l] = spec.enterFloor
+				}
 			case spec.itemEnter != nil:
-				enter[l] = spec.itemEnter[e.g.ItemIndex(orig)]
+				if idx := e.g.ItemIndex(orig); idx < len(spec.itemEnter) {
+					enter[l] = spec.itemEnter[idx]
+				} else {
+					enter[l] = spec.enterFloor
+				}
 			default:
 				enter[l] = spec.userCost
 			}
@@ -202,10 +218,23 @@ func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]S
 	if err != nil {
 		return nil, err
 	}
+	// Size the exclusion array off the live item count AFTER scoring: the
+	// compact result was extracted under the graph lock, so every item in
+	// it is covered. Appending (rather than reallocating) preserves the
+	// capacity across queries; the zeroed extension can never equal the
+	// bumped epoch.
+	if n := e.g.NumItems(); n > len(scr.exclStamp) {
+		scr.exclStamp = append(scr.exclStamp, make([]int, n-len(scr.exclStamp))...)
+	}
 	scr.exclEpoch++
 	rated, _ := e.g.Neighbors(e.g.UserNode(u))
 	for _, node := range rated {
-		scr.exclStamp[e.g.ItemIndex(node)] = scr.exclEpoch
+		// A write racing this query can hand the user an item admitted
+		// after the exclusion array was sized; it cannot be in compact
+		// (older snapshot), so skipping the stamp is sound.
+		if idx := e.g.ItemIndex(node); idx < len(scr.exclStamp) {
+			scr.exclStamp[idx] = scr.exclEpoch
+		}
 	}
 	sel := topk.NewSelector(k)
 	for _, is := range compact {

@@ -149,9 +149,11 @@ func flooredEntropies(src []float64, floor float64) ([]float64, error) {
 
 // NewAbsorbingCost builds an entropy-cost recommender. name should be
 // "AC1" (item-based entropies) or "AC2" (topic-based), but any label is
-// accepted. userEntropy must have one entry per user.
+// accepted. userEntropy must cover at least the graph's built user
+// universe (and at most its current one); users admitted live after the
+// vector was computed are charged the entropy floor (no history yet).
 func NewAbsorbingCost(g *graph.Bipartite, name string, userEntropy []float64, opts CostOptions) (*AbsorbingCost, error) {
-	if len(userEntropy) != g.NumUsers() {
+	if len(userEntropy) < g.BaseNumUsers() || len(userEntropy) > g.NumUsers() {
 		return nil, fmt.Errorf("core: %d entropies for %d users", len(userEntropy), g.NumUsers())
 	}
 	opts = opts.withDefaults()
@@ -161,9 +163,10 @@ func NewAbsorbingCost(g *graph.Bipartite, name string, userEntropy []float64, op
 	}
 	return &AbsorbingCost{
 		walkRecommender: newWalkRecommender(g, opts.WalkOptions, walkSpec{
-			costed:    true,
-			userEnter: floored,
-			userCost:  opts.UserCost,
+			costed:     true,
+			userEnter:  floored,
+			userCost:   opts.UserCost,
+			enterFloor: opts.EntropyFloor,
 		}),
 		name: name,
 	}, nil
@@ -185,12 +188,14 @@ type SymmetricAbsorbingCost struct {
 }
 
 // NewSymmetricAbsorbingCost builds the symmetric-cost recommender.
-// Both entropy vectors are floored at opts.EntropyFloor.
+// Both entropy vectors must cover at least the graph's built universe and
+// are floored at opts.EntropyFloor; users and items admitted live past
+// their ends are charged the floor.
 func NewSymmetricAbsorbingCost(g *graph.Bipartite, name string, userEntropy, itemEntropy []float64, opts CostOptions) (*SymmetricAbsorbingCost, error) {
-	if len(userEntropy) != g.NumUsers() {
+	if len(userEntropy) < g.BaseNumUsers() || len(userEntropy) > g.NumUsers() {
 		return nil, fmt.Errorf("core: %d user entropies for %d users", len(userEntropy), g.NumUsers())
 	}
-	if len(itemEntropy) != g.NumItems() {
+	if len(itemEntropy) < g.BaseNumItems() || len(itemEntropy) > g.NumItems() {
 		return nil, fmt.Errorf("core: %d item entropies for %d items", len(itemEntropy), g.NumItems())
 	}
 	opts = opts.withDefaults()
@@ -204,9 +209,10 @@ func NewSymmetricAbsorbingCost(g *graph.Bipartite, name string, userEntropy, ite
 	}
 	return &SymmetricAbsorbingCost{
 		walkRecommender: newWalkRecommender(g, opts.WalkOptions, walkSpec{
-			costed:    true,
-			userEnter: ue,
-			itemEnter: ie,
+			costed:     true,
+			userEnter:  ue,
+			itemEnter:  ie,
+			enterFloor: opts.EntropyFloor,
 		}),
 		name: name,
 	}, nil

@@ -347,3 +347,153 @@ func FuzzBuilderAddRating(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUpsertRatingAutoGrow drives the open-universe write path — upserts
+// whose user/item ids may lie beyond the current universe, interleaved
+// with explicit admissions, compactions and snapshot round-trips — and
+// cross-checks the grown graph against the naive edge-map reference.
+// Node ids of grown nodes are layout-dependent, so every comparison goes
+// through the UserNode/ItemNode mapping rather than index arithmetic.
+func FuzzUpsertRatingAutoGrow(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 3, 250, 1, 0, 99, 14, 14, 200, 5})
+	f.Add([]byte{255, 255, 255, 255, 0, 0, 0, 0, 128, 64, 32, 16})
+	f.Add([]byte("the universe grows one cold-start rating at a time"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &byteDriver{data: data}
+		nu := 1 + d.intn(6)
+		ni := 1 + d.intn(8)
+		ref := &refLiveGraph{nu: nu, ni: ni, edges: map[[2]int]float64{}}
+
+		b := NewBuilder(nu, ni)
+		for e := 0; e < d.intn(20); e++ {
+			u, i := d.intn(nu), d.intn(ni)
+			if _, dup := ref.edges[[2]int{u, i}]; dup {
+				continue
+			}
+			w := float64(1+d.intn(500)) / 100
+			if err := b.AddRating(u, i, w); err != nil {
+				t.Fatal(err)
+			}
+			ref.edges[[2]int{u, i}] = w
+		}
+		g := b.Build()
+		if th := d.intn(10); th > 0 {
+			g.SetCompactThreshold(th)
+		}
+
+		wantEpoch := uint64(0)
+		wantUsers, wantItems := nu, ni
+		for op := 0; op < d.intn(70); op++ {
+			switch d.next() % 8 {
+			case 0:
+				if idx := g.AddUser(); idx != wantUsers {
+					t.Fatalf("AddUser index %d, want %d", idx, wantUsers)
+				}
+				wantUsers++
+				wantEpoch++
+			case 1:
+				if idx := g.AddItem(); idx != wantItems {
+					t.Fatalf("AddItem index %d, want %d", idx, wantItems)
+				}
+				wantItems++
+				wantEpoch++
+			case 2:
+				g.Compact()
+			default:
+				// Ids up to 4 past the current universe edge: grows often,
+				// stays in-universe often too.
+				u := d.intn(wantUsers + 4)
+				i := d.intn(wantItems + 4)
+				w := float64(1+d.intn(500)) / 100
+				key := [2]int{u, i}
+				old, exists := ref.edges[key]
+				added, err := g.UpsertRatingAutoGrow(u, i, w)
+				if err != nil {
+					t.Fatalf("UpsertRatingAutoGrow(%d,%d): %v", u, i, err)
+				}
+				if added == exists {
+					t.Fatalf("UpsertRatingAutoGrow(%d,%d) added=%v but exists=%v", u, i, added, exists)
+				}
+				if u >= wantUsers {
+					wantEpoch += uint64(u - wantUsers + 1)
+					wantUsers = u + 1
+				}
+				if i >= wantItems {
+					wantEpoch += uint64(i - wantItems + 1)
+					wantItems = i + 1
+				}
+				if !exists || old != w {
+					wantEpoch++
+				}
+				ref.edges[key] = w
+			}
+			if g.NumUsers() != wantUsers || g.NumItems() != wantItems {
+				t.Fatalf("op %d: universe %d/%d, want %d/%d", op, g.NumUsers(), g.NumItems(), wantUsers, wantItems)
+			}
+			if g.Epoch() != wantEpoch {
+				t.Fatalf("op %d: epoch %d, want %d", op, g.Epoch(), wantEpoch)
+			}
+		}
+
+		// Full structural comparison through the id mapping.
+		if got, want := g.NumEdges(), len(ref.edges); got != want {
+			t.Fatalf("NumEdges %d, want %d", got, want)
+		}
+		if math.Abs(g.TotalWeight()-ref.totalWeight()) > 1e-9 {
+			t.Fatalf("TotalWeight %v, want %v", g.TotalWeight(), ref.totalWeight())
+		}
+		refUserDeg := make([]float64, wantUsers)
+		refItemDeg := make([]float64, wantItems)
+		refPop := make([]int, wantItems)
+		for key, w := range ref.edges {
+			refUserDeg[key[0]] += w
+			refItemDeg[key[1]] += w
+			refPop[key[1]]++
+			un, in := g.UserNode(key[0]), g.ItemNode(key[1])
+			if got := g.Weight(un, in); got != w {
+				t.Fatalf("Weight(user %d, item %d) = %v, want %v", key[0], key[1], got, w)
+			}
+			if got := g.Weight(in, un); got != w {
+				t.Fatalf("Weight(item %d, user %d) = %v, want %v (symmetry)", key[1], key[0], got, w)
+			}
+		}
+		for u := 0; u < wantUsers; u++ {
+			if got := g.Degree(g.UserNode(u)); math.Abs(got-refUserDeg[u]) > 1e-9 {
+				t.Fatalf("user %d degree %v, want %v", u, got, refUserDeg[u])
+			}
+			if g.UserIndex(g.UserNode(u)) != u {
+				t.Fatalf("user %d mapping not invertible", u)
+			}
+		}
+		pop := g.ItemPopularity()
+		for i := 0; i < wantItems; i++ {
+			if got := g.Degree(g.ItemNode(i)); math.Abs(got-refItemDeg[i]) > 1e-9 {
+				t.Fatalf("item %d degree %v, want %v", i, got, refItemDeg[i])
+			}
+			if pop[i] != refPop[i] {
+				t.Fatalf("item %d popularity %d, want %d", i, pop[i], refPop[i])
+			}
+			if g.ItemIndex(g.ItemNode(i)) != i {
+				t.Fatalf("item %d mapping not invertible", i)
+			}
+		}
+
+		// A snapshot round-trip of the grown graph preserves edges + epoch.
+		g2, err := FromSnapshot(g.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g2.Epoch() != g.Epoch() || g2.NumEdges() != g.NumEdges() ||
+			g2.NumUsers() != wantUsers || g2.NumItems() != wantItems {
+			t.Fatalf("round-trip diverged: epoch %d/%d edges %d/%d universe %d×%d/%d×%d",
+				g2.Epoch(), g.Epoch(), g2.NumEdges(), g.NumEdges(),
+				g2.NumUsers(), g2.NumItems(), wantUsers, wantItems)
+		}
+		for key, w := range ref.edges {
+			if got := g2.Weight(g2.UserNode(key[0]), g2.ItemNode(key[1])); got != w {
+				t.Fatalf("round-trip edge (%d,%d) = %v, want %v", key[0], key[1], got, w)
+			}
+		}
+	})
+}

@@ -2,18 +2,24 @@
 // graph of Section 3.1 of the paper: users and items are nodes, a rating
 // w(u,i) is an undirected edge whose weight is the rating score.
 //
-// Node numbering convention (used throughout the library): user u occupies
-// node u, item i occupies node NumUsers+i. The adjacency matrix is stored
-// symmetric in CSR form, so random-walk transition probabilities
-// p_ij = a(i,j)/d_i (Eq. 1) fall out of row normalization.
+// Node numbering convention (used throughout the library): for the
+// universe the graph was built with, user u occupies node u and item i
+// occupies node NumUsers+i. Users and items admitted live (AddUser,
+// AddItem, UpsertRatingAutoGrow — see universe.go) are appended at the end
+// of the node space in arrival order, so existing node ids never move;
+// UserNode/ItemNode/UserIndex/ItemIndex are the authoritative mapping. The
+// adjacency matrix is stored symmetric in CSR form, so random-walk
+// transition probabilities p_ij = a(i,j)/d_i (Eq. 1) fall out of row
+// normalization.
 //
 // A Bipartite is built in bulk (Builder) and then serves reads; on top of
 // the frozen CSR it also accepts live rating writes through a delta
 // overlay (see live.go): AddRating/UpdateRating/UpsertRating mutate a
 // per-node copy-on-write overlay that Compact folds back into the CSR,
-// and every accepted write bumps a monotonically increasing graph epoch
-// that downstream caches key on. Reads are safe concurrently with one
-// writer; rows returned by Neighbors are immutable snapshots.
+// and every accepted write — including a universe-growing node admission —
+// bumps a monotonically increasing graph epoch that downstream caches key
+// on. Reads are safe concurrently with one writer; rows returned by
+// Neighbors are immutable snapshots.
 package graph
 
 import (
@@ -30,19 +36,27 @@ type Rating struct {
 	Weight     float64
 }
 
-// Bipartite is a user–item graph over a fixed user/item universe. The bulk
-// of the adjacency lives in a compacted CSR; live writes accumulate in a
-// sparse per-node overlay until Compact (or the auto-compaction threshold)
-// merges them. All exported methods are safe for concurrent use.
+// Bipartite is a user–item graph over a growable user/item universe. The
+// bulk of the adjacency lives in a compacted CSR; live writes accumulate
+// in a sparse per-node overlay until Compact (or the auto-compaction
+// threshold) merges them, and nodes admitted live stay overlay-only (an
+// empty row) until the next compaction extends the CSR. All exported
+// methods are safe for concurrent use.
 type Bipartite struct {
-	numUsers, numItems int
+	// uni is the current node-numbering snapshot (see universe.go). It is
+	// an atomic pointer so identity accessors (NumUsers, UserNode,
+	// IsItemNode, ...) never take the graph lock and are safe to call from
+	// code already holding it in either mode. Writers swap in grown
+	// universes under mu.
+	uni atomic.Pointer[universe]
 
-	// epoch counts accepted live writes since construction; it is atomic so
-	// cache lookups can read it without taking the graph lock.
+	// epoch counts accepted live writes (edge writes and node admissions)
+	// since construction; it is atomic so cache lookups can read it without
+	// taking the graph lock.
 	epoch atomic.Uint64
 
 	mu          sync.RWMutex
-	adj         *sparse.CSR // (NU+NI)×(NU+NI), symmetric, compacted base
+	adj         *sparse.CSR // n×n, symmetric, compacted base
 	degrees     []float64   // base weighted degree d_i per node
 	totalWeight float64     // Σ_ij a(i,j) (each edge counted twice), live
 	numEdges    int         // undirected edge count, live
@@ -50,7 +64,9 @@ type Bipartite struct {
 	// overlay maps a node id to its full live row (base row merged with
 	// every pending write touching it). Rows are copy-on-write: a write
 	// always installs a freshly allocated row, so slices previously handed
-	// to readers stay valid forever.
+	// to readers stay valid forever. Invariant: every node beyond the CSR's
+	// row count has an overlay row (installed at admission), so rowLocked
+	// never indexes the CSR out of range.
 	overlay          map[int]*liveRow
 	overlayWrites    int // accepted writes since the last compaction
 	compactThreshold int // auto-compact when overlayWrites reaches this; <= 0 disables
@@ -99,12 +115,11 @@ func (b *Builder) Build() *Bipartite {
 	adj := b.coo.ToCSR()
 	n := b.numUsers + b.numItems
 	g := &Bipartite{
-		numUsers: b.numUsers,
-		numItems: b.numItems,
 		adj:      adj,
 		degrees:  make([]float64, n),
 		numEdges: adj.NNZ() / 2,
 	}
+	g.uni.Store(newBaseUniverse(b.numUsers, b.numItems))
 	for v := 0; v < n; v++ {
 		d := adj.RowSum(v)
 		g.degrees[v] = d
@@ -124,14 +139,22 @@ func FromRatings(numUsers, numItems int, ratings []Rating) (*Bipartite, error) {
 	return b.Build(), nil
 }
 
-// NumUsers returns the number of user nodes.
-func (g *Bipartite) NumUsers() int { return g.numUsers }
+// NumUsers returns the current number of user nodes (live: node
+// admissions grow it).
+func (g *Bipartite) NumUsers() int { return g.uni.Load().numUsers }
 
-// NumItems returns the number of item nodes.
-func (g *Bipartite) NumItems() int { return g.numItems }
+// NumItems returns the current number of item nodes (live).
+func (g *Bipartite) NumItems() int { return g.uni.Load().numItems }
 
-// NumNodes returns the total node count.
-func (g *Bipartite) NumNodes() int { return g.numUsers + g.numItems }
+// NumNodes returns the total node count (live).
+func (g *Bipartite) NumNodes() int { return g.uni.Load().numNodes() }
+
+// BaseNumUsers returns the user-universe size frozen at Build, before any
+// live admissions — the universe that snapshot-trained models cover.
+func (g *Bipartite) BaseNumUsers() int { return g.uni.Load().baseUsers }
+
+// BaseNumItems returns the item-universe size frozen at Build.
+func (g *Bipartite) BaseNumItems() int { return g.uni.Load().baseItems }
 
 // NumEdges returns the number of undirected edges, including pending
 // overlay writes.
@@ -143,34 +166,44 @@ func (g *Bipartite) NumEdges() int {
 
 // UserNode maps a user index to its node id.
 func (g *Bipartite) UserNode(u int) int {
-	if u < 0 || u >= g.numUsers {
+	uni := g.uni.Load()
+	if u < 0 || u >= uni.numUsers {
 		panic(fmt.Sprintf("graph: user %d out of range", u))
 	}
-	return u
+	return uni.userNode(u)
 }
 
 // ItemNode maps an item index to its node id.
 func (g *Bipartite) ItemNode(i int) int {
-	if i < 0 || i >= g.numItems {
+	uni := g.uni.Load()
+	if i < 0 || i >= uni.numItems {
 		panic(fmt.Sprintf("graph: item %d out of range", i))
 	}
-	return g.numUsers + i
+	return uni.itemNode(i)
 }
 
 // IsUserNode reports whether node v is a user.
-func (g *Bipartite) IsUserNode(v int) bool { return v >= 0 && v < g.numUsers }
+func (g *Bipartite) IsUserNode(v int) bool { return g.uni.Load().isUser(v) }
 
 // IsItemNode reports whether node v is an item.
-func (g *Bipartite) IsItemNode(v int) bool {
-	return v >= g.numUsers && v < g.numUsers+g.numItems
+func (g *Bipartite) IsItemNode(v int) bool { return g.uni.Load().isItem(v) }
+
+// UserIndex maps a user node id back to its user index.
+func (g *Bipartite) UserIndex(v int) int {
+	uni := g.uni.Load()
+	if !uni.isUser(v) {
+		panic(fmt.Sprintf("graph: node %d is not a user", v))
+	}
+	return uni.userIndex(v)
 }
 
 // ItemIndex maps an item node id back to its item index.
 func (g *Bipartite) ItemIndex(v int) int {
-	if !g.IsItemNode(v) {
+	uni := g.uni.Load()
+	if !uni.isItem(v) {
 		panic(fmt.Sprintf("graph: node %d is not an item", v))
 	}
-	return v - g.numUsers
+	return uni.itemIndex(v)
 }
 
 // rowLocked returns the live row of node v: the overlay row when v has
@@ -200,14 +233,15 @@ func (g *Bipartite) Degree(v int) float64 {
 
 // Degrees returns the live weighted degree vector. When no writes are
 // pending this aliases internal storage (do not modify); with a non-empty
-// overlay it is a freshly allocated merged copy.
+// overlay it is a freshly allocated merged copy. Nodes admitted since the
+// last compaction are included (they live in the overlay until then).
 func (g *Bipartite) Degrees() []float64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	if len(g.overlay) == 0 {
 		return g.degrees
 	}
-	out := make([]float64, len(g.degrees))
+	out := make([]float64, g.uni.Load().numNodes())
 	copy(out, g.degrees)
 	for v, r := range g.overlay {
 		out[v] = r.degree
@@ -275,9 +309,10 @@ func (g *Bipartite) Stationary() []float64 {
 func (g *Bipartite) ItemPopularity() []int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	pop := make([]int, g.numItems)
-	for i := 0; i < g.numItems; i++ {
-		v := g.numUsers + i
+	uni := g.uni.Load()
+	pop := make([]int, uni.numItems)
+	for i := 0; i < uni.numItems; i++ {
+		v := uni.itemNode(i)
 		if r, ok := g.overlay[v]; ok {
 			pop[i] = len(r.cols)
 		} else {

@@ -40,9 +40,10 @@ func searchEdge(cols []int, w int) (int, bool) {
 	return k, k < len(cols) && cols[k] == w
 }
 
-// Epoch returns the number of accepted live writes since construction.
-// Downstream caches key results on it: a bump means any earlier result may
-// be stale. Reading it never takes the graph lock.
+// Epoch returns the number of accepted live writes — edge writes and node
+// admissions — since construction. Downstream caches key results on it: a
+// bump means any earlier result may be stale. Reading it never takes the
+// graph lock.
 func (g *Bipartite) Epoch() uint64 { return g.epoch.Load() }
 
 // PendingWrites returns how many accepted writes are sitting in the delta
@@ -74,18 +75,69 @@ const (
 	modeUpsert                  // either
 )
 
+// AddUser admits one new user to the universe, returning its index. The
+// node is appended at the end of the node space and starts overlay-only
+// (an empty row) until the next Compact extends the CSR; existing node
+// ids and row snapshots are untouched. The epoch bumps: results computed
+// against the smaller universe may be stale (e.g. top-k sets that should
+// now consider the newcomer's future edges).
+func (g *Bipartite) AddUser() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := g.uni.Load().numUsers
+	g.growLocked(1, 0)
+	g.maybeCompactLocked()
+	return idx
+}
+
+// AddItem admits one new item to the universe, returning its index. Same
+// mechanics as AddUser.
+func (g *Bipartite) AddItem() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	idx := g.uni.Load().numItems
+	g.growLocked(0, 1)
+	g.maybeCompactLocked()
+	return idx
+}
+
+// growLocked appends newUsers user nodes and newItems item nodes to the
+// universe, installing an empty overlay row per node (the invariant that
+// lets rowLocked serve nodes beyond the CSR) and counting each admission
+// as one accepted write. Caller holds g.mu for writing.
+func (g *Bipartite) growLocked(newUsers, newItems int) {
+	next := g.uni.Load().grow(newUsers, newItems)
+	if g.overlay == nil {
+		g.overlay = make(map[int]*liveRow)
+	}
+	for v := next.numNodes() - newUsers - newItems; v < next.numNodes(); v++ {
+		g.overlay[v] = &liveRow{}
+	}
+	g.uni.Store(next)
+	g.overlayWrites += newUsers + newItems
+	g.epoch.Add(uint64(newUsers + newItems))
+}
+
+// maybeCompactLocked folds the overlay when the auto-compaction threshold
+// is reached. Caller holds g.mu for writing.
+func (g *Bipartite) maybeCompactLocked() {
+	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold {
+		g.compactLocked()
+	}
+}
+
 // AddRating inserts the undirected edge (user u — item i) with weight w.
 // It fails if the edge already exists (use UpdateRating or UpsertRating
 // for re-rates) or if w is not positive.
 func (g *Bipartite) AddRating(u, i int, w float64) error {
-	_, err := g.applyRating(u, i, w, modeAdd)
+	_, err := g.applyRating(u, i, w, modeAdd, false)
 	return err
 }
 
 // UpdateRating replaces the weight of the existing edge (u — i) with w.
 // It fails if the edge is absent.
 func (g *Bipartite) UpdateRating(u, i int, w float64) error {
-	_, err := g.applyRating(u, i, w, modeUpdate)
+	_, err := g.applyRating(u, i, w, modeUpdate, false)
 	return err
 }
 
@@ -93,26 +145,64 @@ func (g *Bipartite) UpdateRating(u, i int, w float64) error {
 // reporting whether a new edge was created. Re-rating with the identical
 // weight is a no-op: the graph is unchanged, so the epoch does not move.
 func (g *Bipartite) UpsertRating(u, i int, w float64) (added bool, err error) {
-	return g.applyRating(u, i, w, modeUpsert)
+	return g.applyRating(u, i, w, modeUpsert, false)
+}
+
+// UpsertRatingAutoGrow is UpsertRating for an open universe: a user or
+// item id at or beyond the current universe admits the missing ids (and
+// everything between, so the id spaces stay dense) before the edge write,
+// instead of rejecting the rating. Negative ids, and ids more than 2^10
+// past the current universe edge (absurd rather than merely unseen), are
+// still rejected with an out-of-range error. Each admitted node and the
+// edge write itself bump the epoch.
+func (g *Bipartite) UpsertRatingAutoGrow(u, i int, w float64) (added bool, err error) {
+	return g.applyRating(u, i, w, modeUpsert, true)
 }
 
 // applyRating validates and applies one write under the graph lock.
-func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode) (added bool, err error) {
-	if u < 0 || u >= g.numUsers {
-		return false, fmt.Errorf("graph: user %d out of range [0,%d)", u, g.numUsers)
-	}
-	if i < 0 || i >= g.numItems {
-		return false, fmt.Errorf("graph: item %d out of range [0,%d)", i, g.numItems)
+func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, err error) {
+	// The universe only grows, so a pre-lock validation verdict of "in
+	// range" cannot be invalidated before the lock is taken.
+	uni := g.uni.Load()
+	if autoGrow {
+		if err := checkGrowable("user", u, uni.numUsers); err != nil {
+			return false, err
+		}
+		if err := checkGrowable("item", i, uni.numItems); err != nil {
+			return false, err
+		}
+	} else {
+		if u < 0 || u >= uni.numUsers {
+			return false, fmt.Errorf("graph: user %d out of range [0,%d)", u, uni.numUsers)
+		}
+		if i < 0 || i >= uni.numItems {
+			return false, fmt.Errorf("graph: item %d out of range [0,%d)", i, uni.numItems)
+		}
 	}
 	// !(w > 0) also rejects NaN, which would otherwise poison degrees and
 	// totalWeight irreversibly; +Inf is rejected for the same reason.
 	if !(w > 0) || math.IsInf(w, 1) {
 		return false, fmt.Errorf("graph: edge weight %v must be positive and finite", w)
 	}
-	un, in := u, g.numUsers+i
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
+
+	if autoGrow {
+		uni = g.uni.Load() // re-read: another grow may have won the lock
+		newUsers, newItems := u-uni.numUsers+1, i-uni.numItems+1
+		if newUsers < 0 {
+			newUsers = 0
+		}
+		if newItems < 0 {
+			newItems = 0
+		}
+		if newUsers > 0 || newItems > 0 {
+			g.growLocked(newUsers, newItems)
+		}
+	}
+	uni = g.uni.Load()
+	un, in := uni.userNode(u), uni.itemNode(i)
 
 	cols, weights := g.rowLocked(un)
 	k, exists := searchEdge(cols, in)
@@ -137,9 +227,7 @@ func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode) (added bool
 	}
 	g.overlayWrites++
 	g.epoch.Add(1)
-	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold {
-		g.compactLocked()
-	}
+	g.maybeCompactLocked()
 	return !exists, nil
 }
 
@@ -167,11 +255,12 @@ func (g *Bipartite) setEdgeLocked(v, w int, weight float64) {
 	g.overlay[v] = row
 }
 
-// Compact folds every pending overlay row into a freshly built CSR and
-// clears the overlay. The graph content is unchanged, so the epoch is NOT
-// bumped and cached results keyed on it stay valid. Readers holding row
-// slices from before the compaction are unaffected (the old storage is
-// never mutated).
+// Compact folds every pending overlay row into a freshly built CSR —
+// sized to the current universe, so nodes admitted since the last
+// compaction get real (possibly empty) CSR rows — and clears the overlay.
+// The graph content is unchanged, so the epoch is NOT bumped and cached
+// results keyed on it stay valid. Readers holding row slices from before
+// the compaction are unaffected (the old storage is never mutated).
 func (g *Bipartite) Compact() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -183,7 +272,7 @@ func (g *Bipartite) compactLocked() {
 		g.overlayWrites = 0
 		return
 	}
-	n := g.numUsers + g.numItems
+	n := g.uni.Load().numNodes()
 	nnz := 0
 	for v := 0; v < n; v++ {
 		if r, ok := g.overlay[v]; ok {

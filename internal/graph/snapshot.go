@@ -1,0 +1,65 @@
+// Atomic whole-graph snapshots for persistence.
+//
+// Snapshot reads every live edge — base CSR plus the pending delta overlay
+// — under one read lock, so a serialized graph never silently drops
+// uncompacted writes, and carries the epoch so a reloaded graph resumes
+// the same cache-invalidation counter instead of restarting at zero (which
+// would let results cached against the pre-save graph be served against
+// the post-load one).
+
+package graph
+
+// GraphSnapshot is a point-in-time, self-contained copy of a Bipartite:
+// universe sizes, write epoch, and every undirected edge exactly once
+// (listed from the user side). Node ids are canonicalized — a graph grown
+// live reloads with the standard contiguous numbering — but user indices,
+// item indices, edges and the epoch are preserved exactly.
+//
+// Canonicalization deliberately resets the base/live universe split: the
+// reloaded graph's BaseNumUsers/BaseNumItems equal the snapshot's full
+// (grown) sizes, as if the graph had been built from the grown corpus.
+// Models trained on the pre-growth corpus therefore do not carry over a
+// reloaded graph — their vectors fail the base-universe validation loudly
+// instead of silently mis-indexing; retrain them against the snapshot
+// (the loss-free input it exists to provide) before serving.
+type GraphSnapshot struct {
+	NumUsers, NumItems int
+	Epoch              uint64
+	Ratings            []Rating
+}
+
+// Snapshot captures the live graph, including pending overlay writes and
+// nodes admitted since the last compaction. The copy is atomic: one read
+// lock spans the whole traversal, so a concurrent writer cannot tear it.
+func (g *Bipartite) Snapshot() GraphSnapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	uni := g.uni.Load()
+	snap := GraphSnapshot{
+		NumUsers: uni.numUsers,
+		NumItems: uni.numItems,
+		Epoch:    g.epoch.Load(),
+		Ratings:  make([]Rating, 0, g.numEdges),
+	}
+	for u := 0; u < uni.numUsers; u++ {
+		cols, weights := g.rowLocked(uni.userNode(u))
+		for k, v := range cols {
+			snap.Ratings = append(snap.Ratings, Rating{User: u, Item: uni.itemIndex(v), Weight: weights[k]})
+		}
+	}
+	return snap
+}
+
+// FromSnapshot rebuilds a graph from a snapshot: batch-built over the
+// snapshot universe with the recorded epoch restored. The edge set and
+// every per-index quantity (weights, degrees, popularity) match the
+// snapshotted graph; node ids follow the standard contiguous layout and
+// the snapshot universe becomes the new base (see GraphSnapshot).
+func FromSnapshot(snap GraphSnapshot) (*Bipartite, error) {
+	g, err := FromRatings(snap.NumUsers, snap.NumItems, snap.Ratings)
+	if err != nil {
+		return nil, err
+	}
+	g.epoch.Store(snap.Epoch)
+	return g, nil
+}

@@ -59,14 +59,27 @@ type SubgraphExtractor struct {
 }
 
 // NewSubgraphExtractor creates an extractor bound to g. Scratch arrays grow
-// lazily to the sizes the queries actually need and are then reused.
+// lazily to the sizes the queries actually need and are then reused; the
+// node-indexed stamp/local arrays are re-sized per query off the graph's
+// live node count, so an extractor keeps working while the universe grows.
 func NewSubgraphExtractor(g *Bipartite) *SubgraphExtractor {
-	n := g.NumNodes()
-	return &SubgraphExtractor{
-		g:     g,
-		stamp: make([]int, n),
-		local: make([]int, n),
+	e := &SubgraphExtractor{g: g}
+	e.sizeToGraph(g.NumNodes())
+	return e
+}
+
+// sizeToGraph ensures the node-indexed reverse-mapping arrays cover n
+// nodes. Growth allocates fresh zeroed arrays (with headroom, so a
+// steadily growing universe does not reallocate per query) and restarts
+// the stamp epoch; Subgraphs handed out earlier keep the old arrays and
+// epoch, so their reverse lookups stay consistent.
+func (e *SubgraphExtractor) sizeToGraph(n int) {
+	if n <= len(e.stamp) {
+		return
 	}
+	e.stamp = make([]int, n+n/8)
+	e.local = make([]int, n+n/8)
+	e.epoch = 0
 }
 
 // Graph returns the parent graph the extractor is bound to.
@@ -86,7 +99,17 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 		return nil, fmt.Errorf("graph: ExtractSubgraph needs at least one seed")
 	}
 	g := e.g
+	// One read lock spans the whole extraction (seed validation, BFS and
+	// the local CSR build): the subgraph is an atomic snapshot of the live
+	// graph — a concurrent write cannot tear it into an asymmetric
+	// adjacency, and the node count read below cannot be outgrown while
+	// rows are traversed — and the hot loop pays a single lock acquisition
+	// instead of one per node. Writers block for the duration of one
+	// extraction, which is the documented cost model (reads dominate).
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	n := g.NumNodes()
+	e.sizeToGraph(n)
 	e.epoch++
 	e.nodes = e.nodes[:0]
 	items := 0
@@ -107,14 +130,6 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 		}
 		add(s)
 	}
-	// One read lock spans the whole extraction (BFS + local CSR build):
-	// the subgraph is an atomic snapshot of the live graph — a concurrent
-	// write cannot tear it into an asymmetric adjacency — and the hot loop
-	// pays a single lock acquisition instead of one per node. Writers
-	// block for the duration of one extraction, which is the documented
-	// cost model (reads dominate).
-	g.mu.RLock()
-	defer g.mu.RUnlock()
 	// BFS with an index-based head: e.nodes is simultaneously the discovery
 	// list and the queue, so there is no O(n²) queue = queue[1:] re-slicing
 	// and no separate queue allocation.

@@ -1,0 +1,140 @@
+// The growable node universe behind a Bipartite graph.
+//
+// The node-numbering convention of graph.go ("user u occupies node u, item
+// i occupies node NumUsers+i") holds for the universe the graph was BUILT
+// with. Nodes admitted live (AddUser / AddItem / UpsertRatingAutoGrow)
+// are appended at the END of the node space in arrival order — users and
+// items interleaved — so every existing node id, CSR row snapshot and
+// overlay row stays valid while the universe grows. The mapping between
+// (user index, item index) and node id therefore lives in a universe
+// value; UserNode/ItemNode/UserIndex/ItemIndex/IsUserNode/IsItemNode are
+// the source of truth, never arithmetic on NumUsers.
+//
+// A universe is immutable once published: growth builds a new value
+// (appending to the previous one's slices, serialized under the graph
+// write lock) and swaps it in atomically, so hot-path accessors are a
+// single atomic pointer load — safe to call even while holding the graph
+// lock in either mode, with no lock recursion.
+
+package graph
+
+import "fmt"
+
+// grownNode records the identity of one node appended after construction.
+type grownNode struct {
+	index int  // user or item index
+	user  bool // user node vs item node
+}
+
+// universe is the immutable node-numbering snapshot of a Bipartite.
+type universe struct {
+	baseUsers, baseItems int // frozen at Build: nodes [0,baseUsers) are
+	// users, [baseUsers, baseUsers+baseItems) are items
+	numUsers, numItems int // current logical universe sizes
+
+	userNodes []int       // node id of user u for u >= baseUsers
+	itemNodes []int       // node id of item i for i >= baseItems
+	grown     []grownNode // identity of node v for v >= baseUsers+baseItems
+}
+
+// newBaseUniverse returns the universe of a freshly built graph.
+func newBaseUniverse(numUsers, numItems int) *universe {
+	return &universe{
+		baseUsers: numUsers, baseItems: numItems,
+		numUsers: numUsers, numItems: numItems,
+	}
+}
+
+func (u *universe) numNodes() int { return u.baseUsers + u.baseItems + len(u.grown) }
+
+func (u *universe) userNode(idx int) int {
+	if idx < u.baseUsers {
+		return idx
+	}
+	return u.userNodes[idx-u.baseUsers]
+}
+
+func (u *universe) itemNode(idx int) int {
+	if idx < u.baseItems {
+		return u.baseUsers + idx
+	}
+	return u.itemNodes[idx-u.baseItems]
+}
+
+func (u *universe) isUser(v int) bool {
+	if v < u.baseUsers {
+		return v >= 0
+	}
+	if v < u.baseUsers+u.baseItems {
+		return false
+	}
+	k := v - u.baseUsers - u.baseItems
+	return k < len(u.grown) && u.grown[k].user
+}
+
+func (u *universe) isItem(v int) bool {
+	if v < u.baseUsers {
+		return false
+	}
+	if v < u.baseUsers+u.baseItems {
+		return true
+	}
+	k := v - u.baseUsers - u.baseItems
+	return k < len(u.grown) && !u.grown[k].user
+}
+
+func (u *universe) userIndex(v int) int {
+	if v < u.baseUsers {
+		return v
+	}
+	return u.grown[v-u.baseUsers-u.baseItems].index
+}
+
+func (u *universe) itemIndex(v int) int {
+	if v < u.baseUsers+u.baseItems {
+		return v - u.baseUsers
+	}
+	return u.grown[v-u.baseUsers-u.baseItems].index
+}
+
+// grow derives the successor universe with newUsers users and newItems
+// items appended (users first). Growth is serialized under the graph write
+// lock, so appending to the predecessor's slices is safe: a published
+// universe never observes elements beyond its own lengths.
+func (u *universe) grow(newUsers, newItems int) *universe {
+	next := &universe{
+		baseUsers: u.baseUsers, baseItems: u.baseItems,
+		numUsers: u.numUsers + newUsers, numItems: u.numItems + newItems,
+		userNodes: u.userNodes, itemNodes: u.itemNodes, grown: u.grown,
+	}
+	for k := 0; k < newUsers; k++ {
+		node := next.baseUsers + next.baseItems + len(next.grown)
+		next.userNodes = append(next.userNodes, node)
+		next.grown = append(next.grown, grownNode{index: u.numUsers + k, user: true})
+	}
+	for k := 0; k < newItems; k++ {
+		node := next.baseUsers + next.baseItems + len(next.grown)
+		next.itemNodes = append(next.itemNodes, node)
+		next.grown = append(next.grown, grownNode{index: u.numItems + k, user: false})
+	}
+	return next
+}
+
+// maxGrowStep caps how far a single auto-grow write may extend either side
+// of the universe: an id further than this beyond the current edge is
+// treated as absurd (a corrupt or hostile id, not cold-start traffic) and
+// rejected with an out-of-range error. The cap also bounds the
+// amplification available to a single write — admissions allocate an
+// overlay row each, under the write lock, and bump the epoch — so it is
+// deliberately small; genuinely sparse external id spaces belong behind
+// an id-mapping layer, not a larger cap.
+const maxGrowStep = 1 << 10
+
+// checkGrowable validates an id for the auto-grow write path.
+func checkGrowable(kind string, id, current int) error {
+	if id < 0 || id >= current+maxGrowStep {
+		return fmt.Errorf("graph: %s %d out of range [0,%d) (auto-grow admits at most %d new ids past %d)",
+			kind, id, current, maxGrowStep, current)
+	}
+	return nil
+}

@@ -81,7 +81,12 @@ func Personalized(g *graph.Bipartite, restart []int, opts Options) ([]float64, e
 			}
 			inv := mass / d
 			for k, u := range nbrs {
-				nxt[u] += ws[k] * inv
+				// The graph is live: a row read mid-iteration can point at a
+				// node admitted after n was read. Its mass stays with the
+				// snapshot-sized vector (it will be seen next query).
+				if u < len(nxt) {
+					nxt[u] += ws[k] * inv
+				}
 			}
 		}
 		diff := 0.0
@@ -99,10 +104,13 @@ func Personalized(g *graph.Bipartite, restart []int, opts Options) ([]float64, e
 }
 
 // ItemScores extracts the per-item slice of a node-indexed PPR vector.
+// Items admitted after the vector was computed score 0.
 func ItemScores(g *graph.Bipartite, ppr []float64) []float64 {
 	out := make([]float64, g.NumItems())
 	for i := range out {
-		out[i] = ppr[g.ItemNode(i)]
+		if v := g.ItemNode(i); v < len(ppr) {
+			out[i] = ppr[v]
+		}
 	}
 	return out
 }
@@ -116,12 +124,13 @@ func Discounted(g *graph.Bipartite, restart []int, opts Options) ([]float64, err
 		return nil, err
 	}
 	pop := g.ItemPopularity()
-	out := make([]float64, g.NumItems())
+	out := make([]float64, len(pop))
 	for i := range out {
-		if pop[i] == 0 {
-			continue
+		v := g.ItemNode(i)
+		if pop[i] == 0 || v >= len(ppr) {
+			continue // never rated, or admitted after the PPR solve
 		}
-		out[i] = ppr[g.ItemNode(i)] / float64(pop[i])
+		out[i] = ppr[v] / float64(pop[i])
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"longtailrec/internal/dataset"
+	"longtailrec/internal/graph"
 	"longtailrec/internal/lda"
 	"longtailrec/internal/linalg"
 	"longtailrec/internal/mf"
@@ -55,6 +56,60 @@ func LoadDataset(r io.Reader) (*dataset.Dataset, error) {
 		return nil, fmt.Errorf("persist: decoded dataset invalid: %w", err)
 	}
 	return out, nil
+}
+
+// SaveGraph writes a live-graph container. The graph is serialized through
+// Snapshot(), which merges the compacted CSR with the pending delta
+// overlay under one read lock — a save taken mid-write-stream loses
+// nothing, including users and items admitted live — and records the
+// write epoch so a reloaded graph resumes the same cache-invalidation
+// counter rather than restarting at zero. The reloaded graph treats the
+// saved (grown) universe as its base: models snapshot-trained before the
+// growth must be retrained against it (see graph.GraphSnapshot).
+func SaveGraph(w io.Writer, g *graph.Bipartite) error {
+	if g == nil {
+		return fmt.Errorf("persist: nil graph")
+	}
+	snap := g.Snapshot()
+	var e enc
+	e.i(snap.NumUsers)
+	e.i(snap.NumItems)
+	e.u64(snap.Epoch)
+	e.i(len(snap.Ratings))
+	for _, r := range snap.Ratings {
+		e.i(r.User)
+		e.i(r.Item)
+		e.f64(r.Weight)
+	}
+	return writeContainer(w, KindGraph, e.buf)
+}
+
+// LoadGraph reads a graph container written by SaveGraph. The result is
+// rebuilt through the validating graph builder, so a tampered payload that
+// passes the checksum still cannot produce an inconsistent graph.
+func LoadGraph(r io.Reader) (*graph.Bipartite, error) {
+	payload, err := readContainer(r, KindGraph)
+	if err != nil {
+		return nil, err
+	}
+	d := dec{buf: payload}
+	var snap graph.GraphSnapshot
+	snap.NumUsers = d.i()
+	snap.NumItems = d.i()
+	snap.Epoch = d.u64()
+	n := d.count(24)
+	snap.Ratings = make([]graph.Rating, n)
+	for k := range snap.Ratings {
+		snap.Ratings[k] = graph.Rating{User: d.i(), Item: d.i(), Weight: d.f64()}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	g, err := graph.FromSnapshot(snap)
+	if err != nil {
+		return nil, fmt.Errorf("persist: decoded graph invalid: %w", err)
+	}
+	return g, nil
 }
 
 // SaveLDA writes a trained topic model container.

@@ -37,6 +37,7 @@ const (
 	KindLDA      Kind = 2
 	KindBiasedMF Kind = 3
 	KindPureSVD  Kind = 4
+	KindGraph    Kind = 5
 )
 
 // String names the kind for error messages.
@@ -50,6 +51,8 @@ func (k Kind) String() string {
 		return "biased-mf"
 	case KindPureSVD:
 		return "pure-svd"
+	case KindGraph:
+		return "graph"
 	default:
 		return fmt.Sprintf("kind(%d)", uint16(k))
 	}

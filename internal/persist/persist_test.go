@@ -58,6 +58,74 @@ func TestDatasetRoundTrip(t *testing.T) {
 	}
 }
 
+// TestGraphRoundTrip: write -> save -> load preserves every edge and the
+// epoch, with the writes still pending in the delta overlay at save time
+// (the silent-data-loss case: snapshotting must merge the overlay, not
+// just the compacted CSR) and the universe grown past the built one.
+func TestGraphRoundTrip(t *testing.T) {
+	g := testDataset(t).Graph()
+	// Live phase: re-rate, insert, and auto-grow — all left uncompacted.
+	if err := g.UpdateRating(0, 0, 2.5); err != nil {
+		if _, aerr := g.UpsertRating(0, 0, 2.5); aerr != nil {
+			t.Fatal(err, aerr)
+		}
+	}
+	if _, err := g.UpsertRating(11, 14, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UpsertRatingAutoGrow(13, 17, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.PendingWrites() == 0 {
+		t.Fatal("test needs pending overlay writes at save time")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != g.NumUsers() || got.NumItems() != g.NumItems() {
+		t.Fatalf("universe changed: %d/%d vs %d/%d",
+			got.NumUsers(), got.NumItems(), g.NumUsers(), g.NumItems())
+	}
+	if got.Epoch() != g.Epoch() {
+		t.Fatalf("epoch changed: %d vs %d", got.Epoch(), g.Epoch())
+	}
+	if got.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", got.NumEdges(), g.NumEdges())
+	}
+	if math.Abs(got.TotalWeight()-g.TotalWeight()) > 1e-12 {
+		t.Fatalf("total weight changed: %v vs %v", got.TotalWeight(), g.TotalWeight())
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		items, ws := g.UserItems(u)
+		gotItems, gotWs := got.UserItems(u)
+		if len(items) != len(gotItems) {
+			t.Fatalf("user %d has %d ratings after round-trip, want %d", u, len(gotItems), len(items))
+		}
+		for k := range items {
+			if items[k] != gotItems[k] || ws[k] != gotWs[k] {
+				t.Fatalf("user %d rating %d changed: (%d,%v) vs (%d,%v)",
+					u, k, gotItems[k], gotWs[k], items[k], ws[k])
+			}
+		}
+	}
+}
+
+func TestGraphWrongKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, testDataset(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGraph(&buf); err == nil || !strings.Contains(err.Error(), "holds a dataset") {
+		t.Fatalf("dataset container accepted as graph: %v", err)
+	}
+}
+
 func TestSaveNilInputs(t *testing.T) {
 	var buf bytes.Buffer
 	if err := SaveDataset(&buf, nil); err == nil {
@@ -71,6 +139,9 @@ func TestSaveNilInputs(t *testing.T) {
 	}
 	if err := SavePureSVD(&buf, nil); err == nil {
 		t.Fatal("nil PureSVD accepted")
+	}
+	if err := SaveGraph(&buf, nil); err == nil {
+		t.Fatal("nil graph accepted")
 	}
 }
 

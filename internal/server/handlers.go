@@ -4,6 +4,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -43,6 +44,11 @@ type StatsResponse struct {
 	MeanScore        float64 `json:"mean_score"`
 	TailItemFraction float64 `json:"tail_item_fraction"`
 
+	// LiveNumUsers/LiveNumItems are the serving graph's universe sizes,
+	// which grow past the corpus counts above as unseen users and items
+	// arrive through the auto-grow write path.
+	LiveNumUsers  int                 `json:"live_num_users"`
+	LiveNumItems  int                 `json:"live_num_items"`
 	Epoch         uint64              `json:"epoch"`
 	PendingWrites int                 `json:"pending_writes"`
 	Cache         *CacheStatsResponse `json:"cache,omitempty"` // nil when caching is disabled
@@ -51,6 +57,7 @@ type StatsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.src.Data().Summarize()
 	serving := s.src.ServingStats()
+	liveUsers, liveItems := s.src.Universe()
 	resp := StatsResponse{
 		NumUsers:         st.NumUsers,
 		NumItems:         st.NumItems,
@@ -58,6 +65,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Density:          st.Density,
 		MeanScore:        st.MeanScore,
 		TailItemFraction: st.TailItemFraction,
+		LiveNumUsers:     liveUsers,
+		LiveNumItems:     liveItems,
 		Epoch:            serving.Epoch,
 		PendingWrites:    serving.PendingWrites,
 	}
@@ -148,10 +157,14 @@ type RecommendedItem struct {
 	LongTail   bool    `json:"long_tail"`
 }
 
-// RecommendResponse is the /v1/recommend body.
+// RecommendResponse is the /v1/recommend body. Fallback marks a degraded
+// response: the user has no rating history the algorithm can anchor on,
+// so the items are the deterministic live-popularity list instead of a
+// personalized ranking.
 type RecommendResponse struct {
 	User      int               `json:"user"`
 	Algorithm string            `json:"algorithm"`
+	Fallback  bool              `json:"fallback,omitempty"`
 	Items     []RecommendedItem `json:"items"`
 }
 
@@ -179,17 +192,34 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err), "%v", err)
 		return
 	}
-	if user < 0 || user >= s.src.Data().NumUsers() {
-		writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", user, s.src.Data().NumUsers())
+	// Bounds come from the live universe, not the training snapshot: a
+	// user admitted through the auto-grow write path is servable the
+	// moment the write lands.
+	numUsers, _ := s.src.Universe()
+	if user < 0 || user >= numUsers {
+		writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", user, numUsers)
 		return
 	}
+	fallback := false
 	scored, err := rec.Recommend(user, k)
+	if errors.Is(err, core.ErrColdUser) {
+		// No history to anchor a walk (or a snapshot model that predates
+		// the user): degrade to the deterministic live-popularity list —
+		// minus whatever the user HAS rated — instead of failing
+		// cold-start traffic.
+		scored, err = s.src.PopularItems(user, k), nil
+		fallback = true
+	}
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
 	}
-	pop := s.src.Data().ItemPopularity()
-	writeJSON(w, http.StatusOK, RecommendResponse{User: user, Algorithm: rec.Name(), Items: s.renderItems(scored, pop)})
+	writeJSON(w, http.StatusOK, RecommendResponse{
+		User:      user,
+		Algorithm: rec.Name(),
+		Fallback:  fallback,
+		Items:     s.renderItems(scored, s.src.LiveItemPopularity()),
+	})
 }
 
 // BatchEntry is one user's slice of a batch recommendation response. Cold
@@ -219,7 +249,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch of %d users exceeds limit %d", len(fields), s.opts.MaxBatchUsers)
 		return
 	}
-	numUsers := s.src.Data().NumUsers()
+	numUsers, _ := s.src.Universe()
 	users := make([]int, 0, len(fields))
 	for _, f := range fields {
 		u, err := strconv.Atoi(strings.TrimSpace(f))
@@ -262,7 +292,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err), "%v", err)
 		return
 	}
-	pop := s.src.Data().ItemPopularity()
+	pop := s.src.LiveItemPopularity()
 	results := make([]BatchEntry, len(users))
 	for i, u := range users {
 		results[i] = BatchEntry{User: u, Items: s.renderItems(lists[i], pop)}
@@ -272,17 +302,25 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 
 // renderItems decorates a scored list with popularity and long-tail
 // membership — the shared response shape of the single and batch
-// recommendation endpoints. pop is the catalog popularity vector, computed
-// once per request by the caller.
+// recommendation endpoints. pop is the live catalog popularity vector,
+// computed once per request by the caller. Items past the ends of the
+// startup snapshots (admitted live) are the nichest the catalog has:
+// they render with their live popularity (0 if a write races) and
+// long-tail membership true.
 func (s *Server) renderItems(scored []core.Scored, pop []int) []RecommendedItem {
+	snapItems := s.src.Data().NumItems()
 	items := make([]RecommendedItem, len(scored))
 	for i, sc := range scored {
 		_, tail := s.tail[sc.Item]
+		p := 0
+		if sc.Item < len(pop) {
+			p = pop[sc.Item]
+		}
 		items[i] = RecommendedItem{
 			Item:       sc.Item,
 			Score:      sc.Score,
-			Popularity: pop[sc.Item],
-			LongTail:   tail,
+			Popularity: p,
+			LongTail:   tail || sc.Item >= snapItems,
 		}
 	}
 	return items

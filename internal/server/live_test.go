@@ -6,6 +6,8 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -15,6 +17,7 @@ import (
 	"testing"
 
 	"longtailrec"
+	"longtailrec/internal/core"
 )
 
 // cachedTestServer builds a server over a System with the result cache on.
@@ -131,6 +134,217 @@ func TestRatingsEndpointErrors(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/ratings = %d, want 405", resp.StatusCode)
+	}
+}
+
+// growTestServer builds a server over a System with the universe open
+// (AutoGrow) and the result cache on.
+func growTestServer(t testing.TB) (*longtail.System, *httptest.Server) {
+	t.Helper()
+	base := testSystem(t)
+	d, err := longtail.NewDataset(base.Data().NumUsers(), base.Data().NumItems(), base.Data().Ratings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.ServingConfig(64, 16)
+	cfg.LDA.NumTopics = 2
+	cfg.LDA.Iterations = 5
+	cfg.SVDRank = 2
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return sys, ts
+}
+
+// TestOpenUniverseIngest is the end-to-end cold-start flow: a rating from
+// an unseen user for an unseen item is a 201 (not a 4xx), bumps the
+// epoch, grows the live universe, and — once the newcomer links the new
+// item into an existing taste cluster — a recommendation for an existing
+// user can surface the brand-new item.
+func TestOpenUniverseIngest(t *testing.T) {
+	sys, ts := growTestServer(t)
+
+	// Unseen user 8 AND unseen item 8 (universe is 8×8): admitted, 201.
+	var rr RatingResponse
+	postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 8, Item: 8, Score: 5}, http.StatusCreated, &rr)
+	if !rr.Added {
+		t.Fatalf("auto-grow insert response %+v", rr)
+	}
+	// 1 new user + 1 new item + 1 edge = 3 accepted writes.
+	if rr.Epoch != 3 || sys.Epoch() != 3 {
+		t.Fatalf("epoch %d (response %d), want 3", sys.Epoch(), rr.Epoch)
+	}
+	if nu, ni := sys.Universe(); nu != 9 || ni != 9 {
+		t.Fatalf("live universe %d/%d, want 9/9", nu, ni)
+	}
+
+	// The newcomer also rates item 0, linking item 8 into the cluster of
+	// users 0 and 1.
+	postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 8, Item: 0, Score: 4}, http.StatusCreated, &rr)
+
+	// An existing user's walk can now reach — and surface — the new item.
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=8", http.StatusOK, &rec)
+	if rec.Fallback {
+		t.Fatalf("established user served the fallback: %+v", rec)
+	}
+	found := false
+	for _, it := range rec.Items {
+		if it.Item == 8 {
+			found = true
+			if !it.LongTail {
+				t.Fatalf("brand-new item not marked long-tail: %+v", it)
+			}
+			if it.Popularity != 1 {
+				t.Fatalf("brand-new item popularity %d, want 1", it.Popularity)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("live-admitted item 8 absent from user 0's recommendations: %+v", rec.Items)
+	}
+
+	// The newcomer itself is immediately servable by the live walk.
+	getJSON(t, ts.URL+"/v1/recommend?user=8&k=3", http.StatusOK, &rec)
+	if rec.Fallback || len(rec.Items) == 0 {
+		t.Fatalf("grown user not served personalized recs: %+v", rec)
+	}
+	for _, it := range rec.Items {
+		if it.Item == 8 || it.Item == 0 {
+			t.Fatalf("rated item recommended back to grown user: %+v", rec.Items)
+		}
+	}
+
+	// A brand-new user with NO history gets the popularity fallback, not
+	// an error.
+	sys.Graph().AddUser() // user 9 exists, zero edges
+	getJSON(t, ts.URL+"/v1/recommend?user=9&k=3", http.StatusOK, &rec)
+	if !rec.Fallback || len(rec.Items) == 0 {
+		t.Fatalf("history-less user not served the fallback: %+v", rec)
+	}
+
+	// /v1/stats reports both the corpus snapshot and the live universe.
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if st.NumUsers != 8 || st.NumItems != 8 {
+		t.Fatalf("corpus counts moved: %+v", st)
+	}
+	if st.LiveNumUsers != 10 || st.LiveNumItems != 9 {
+		t.Fatalf("live universe %d/%d, want 10/9", st.LiveNumUsers, st.LiveNumItems)
+	}
+
+	// Batch recommend accepts grown user ids.
+	var br RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,8&k=3", http.StatusOK, &br)
+	if len(br.Results) != 2 || len(br.Results[1].Items) == 0 {
+		t.Fatalf("batch with grown user: %+v", br)
+	}
+}
+
+// TestRatingsErrorTable is the table-driven cut over the write and read
+// error paths: client mistakes must map to 4xx (404 for unknown ids, 400
+// for malformed input), never 500 — with auto-grow deciding whether an
+// unseen id is admitted or unknown.
+func TestRatingsErrorTable(t *testing.T) {
+	post := func(ts *httptest.Server) func(body string, wantStatus int) {
+		return func(body string, wantStatus int) {
+			t.Helper()
+			resp, err := http.Post(ts.URL+"/v1/ratings", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != wantStatus {
+				t.Fatalf("POST %q = %d, want %d", body, resp.StatusCode, wantStatus)
+			}
+		}
+	}
+
+	t.Run("closed universe", func(t *testing.T) {
+		_, ts := cachedTestServer(t) // AutoGrow off
+		p := post(ts)
+		p(`{not json`, http.StatusBadRequest)
+		p(`{"user":0,"item":0,"score":5,"bogus":1}`, http.StatusBadRequest)
+		p(`{"user":0,"item":0,"score":0}`, http.StatusBadRequest)
+		p(`{"user":8,"item":0,"score":4}`, http.StatusNotFound)  // unseen user rejected
+		p(`{"user":0,"item":8,"score":4}`, http.StatusNotFound)  // unseen item rejected
+		p(`{"user":-1,"item":0,"score":4}`, http.StatusNotFound) // negative
+	})
+
+	t.Run("open universe", func(t *testing.T) {
+		_, ts := growTestServer(t) // AutoGrow on
+		p := post(ts)
+		p(`{not json`, http.StatusBadRequest)
+		p(`{"user":0,"item":0,"score":5,"bogus":1}`, http.StatusBadRequest)
+		p(`{"user":0,"item":0,"score":-2}`, http.StatusBadRequest)
+		p(`{"user":-1,"item":0,"score":4}`, http.StatusNotFound)      // negative still 404
+		p(`{"user":0,"item":-7,"score":4}`, http.StatusNotFound)      // negative still 404
+		p(`{"user":9000000,"item":0,"score":4}`, http.StatusNotFound) // absurd jump still 404
+		p(`{"user":0,"item":9000000,"score":4}`, http.StatusNotFound) // absurd jump still 404
+		p(`{"user":10,"item":10,"score":4}`, http.StatusCreated)      // unseen: admitted
+		p(`{"user":10,"item":10,"score":2}`, http.StatusOK)           // re-rate the grown edge
+	})
+
+	t.Run("recommend paths", func(t *testing.T) {
+		_, ts := growTestServer(t)
+		get := func(query string, wantStatus int) {
+			t.Helper()
+			resp, err := http.Get(ts.URL + "/v1/recommend" + query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != wantStatus {
+				t.Fatalf("GET %q = %d, want %d", query, resp.StatusCode, wantStatus)
+			}
+		}
+		get("?user=-1", http.StatusNotFound)            // negative
+		get("?user=99", http.StatusNotFound)            // beyond live universe
+		get("?user=0&algo=Nope", http.StatusBadRequest) // unknown algorithm
+		get("?user=7", http.StatusOK)                   // cold user: fallback, not 404/500
+		// A snapshot baseline asked about a grown user also degrades to the
+		// fallback (the model predates the user) rather than erroring.
+		var rr RatingResponse
+		postJSON(t, ts.URL+"/v1/ratings", RatingRequest{User: 8, Item: 0, Score: 4}, http.StatusCreated, &rr)
+		var rec RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=8&algo=MostPopular&k=3", http.StatusOK, &rec)
+		if !rec.Fallback {
+			t.Fatalf("snapshot baseline for grown user not degraded: %+v", rec)
+		}
+	})
+}
+
+// TestErrStatusMapping pins the error -> HTTP status table directly.
+func TestErrStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("wrap: %w", core.ErrColdUser), http.StatusNotFound},
+		{errors.New("longtail: unknown algorithm \"X\""), http.StatusBadRequest},
+		{errors.New("graph: edge weight -1 must be positive and finite"), http.StatusBadRequest},
+		{errors.New("graph: rating (user 1, item 2) already exists"), http.StatusConflict},
+		{errors.New("graph: rating (user 1, item 2) does not exist"), http.StatusNotFound},
+		{errors.New("graph: user 99 out of range [0,8)"), http.StatusNotFound},
+		{errors.New("graph: user 9000000 out of range [0,8) (auto-grow admits at most 1024 new ids past 8)"), http.StatusNotFound},
+		{errors.New("something unexpected"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := errStatus(c.err); got != c.want {
+			t.Errorf("errStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
 	}
 }
 

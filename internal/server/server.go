@@ -22,9 +22,14 @@
 //	GET  /v1/metrics                    request counters and mean latency
 //
 // Live writes land in the serving graph (and are visible to the walk
-// recommenders immediately); the dataset-backed views (/v1/users,
-// /v1/items, corpus counts) describe the corpus the system was built from
-// and refresh on snapshot reload.
+// recommenders immediately). When the Source is configured for auto-grow,
+// POST /v1/ratings also accepts user and item ids the system has never
+// seen — cold-start traffic grows the universe instead of 404ing; only
+// negative and absurdly distant ids are rejected. GET /v1/recommend for a
+// user with no history degrades to a deterministic popularity fallback
+// (marked "fallback": true) rather than failing. The dataset-backed views
+// (/v1/users, /v1/items, corpus counts) describe the corpus the system
+// was built from and refresh on snapshot reload.
 //
 // Errors are JSON {"error": "..."} with conventional status codes; every
 // handler is wrapped in panic recovery so one bad request cannot take the
@@ -66,11 +71,23 @@ type Source interface {
 	SimilarItems(item, k int) ([]cf.SimilarItem, error)
 	// ApplyRating ingests one live rating write (insert or re-rate) into
 	// the serving graph, reporting whether a new edge was created and the
-	// graph epoch after the write.
+	// graph epoch after the write. Sources configured for auto-grow admit
+	// unseen user/item ids here.
 	ApplyRating(user, item int, score float64) (added bool, epoch uint64, err error)
 	// ServingStats reports the live-serving state: graph epoch, pending
 	// delta-overlay writes and result-cache counters.
 	ServingStats() core.ServingStats
+	// Universe returns the live serving universe (users, items) including
+	// ids admitted through ApplyRating — the bound the recommendation
+	// endpoints validate against, as opposed to the Data() snapshot.
+	Universe() (numUsers, numItems int)
+	// LiveItemPopularity returns each item's live rater count, covering
+	// items admitted after startup.
+	LiveItemPopularity() []int
+	// PopularItems returns the k most-popular items of the live graph the
+	// user has not rated, deterministically ordered — the degraded
+	// response when an algorithm cannot anchor on the user.
+	PopularItems(user, k int) []core.Scored
 }
 
 // Options configure the server.
@@ -274,7 +291,10 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
-// errStatus maps a recommendation or live-write error to an HTTP status.
+// errStatus maps a recommendation or live-write error to an HTTP status:
+// cold users and out-of-range (including auto-grow-rejected) ids are 404,
+// duplicate-edge conflicts are 409, malformed inputs are 400 — none of
+// these client-caused failures may surface as a 500.
 func errStatus(err error) int {
 	switch {
 	case errors.Is(err, core.ErrColdUser):
@@ -283,6 +303,10 @@ func errStatus(err error) int {
 		return http.StatusBadRequest
 	case strings.Contains(err.Error(), "must be positive"):
 		return http.StatusBadRequest
+	case strings.Contains(err.Error(), "already exists"):
+		return http.StatusConflict
+	case strings.Contains(err.Error(), "does not exist"):
+		return http.StatusNotFound
 	case strings.Contains(err.Error(), "out of range"):
 		return http.StatusNotFound
 	default:

@@ -8,6 +8,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -170,7 +171,6 @@ func TestRecommendErrors(t *testing.T) {
 		{"?user=0&k=zz", http.StatusBadRequest},      // bad k
 		{"?user=0&algo=Nope", http.StatusBadRequest}, // unknown algorithm
 		{"?user=99", http.StatusNotFound},            // out of range
-		{"?user=7", http.StatusNotFound},             // cold user
 		{"?user=-3", http.StatusNotFound},            // negative user
 	}
 	for _, c := range cases {
@@ -179,6 +179,34 @@ func TestRecommendErrors(t *testing.T) {
 		if e["error"] == "" {
 			t.Fatalf("%s: no error message", c.query)
 		}
+	}
+}
+
+// TestRecommendColdUserFallback: a user inside the universe but with no
+// rating history is served the deterministic live-popularity list (marked
+// as a fallback) instead of a cold-user error.
+func TestRecommendColdUserFallback(t *testing.T) {
+	_, ts := testServer(t) // user 7 has no ratings
+	var rec RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=7&k=3", http.StatusOK, &rec)
+	if !rec.Fallback {
+		t.Fatalf("cold user response not marked fallback: %+v", rec)
+	}
+	if len(rec.Items) != 3 {
+		t.Fatalf("fallback returned %d items, want 3", len(rec.Items))
+	}
+	for i := 1; i < len(rec.Items); i++ {
+		prev, cur := rec.Items[i-1], rec.Items[i]
+		if cur.Popularity > prev.Popularity ||
+			(cur.Popularity == prev.Popularity && cur.Item < prev.Item) {
+			t.Fatalf("fallback not in deterministic popularity order: %+v", rec.Items)
+		}
+	}
+	// Determinism: repeat query, identical body.
+	var again RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=7&k=3", http.StatusOK, &again)
+	if !reflect.DeepEqual(rec, again) {
+		t.Fatalf("fallback not deterministic:\n%+v\n%+v", rec, again)
 	}
 }
 

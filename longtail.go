@@ -40,6 +40,7 @@ import (
 	"longtailrec/internal/persist"
 	"longtailrec/internal/svd"
 	"longtailrec/internal/synth"
+	"longtailrec/internal/topk"
 )
 
 // Re-exported core types, so callers interact with one package.
@@ -99,6 +100,14 @@ type Config struct {
 	// into the CSR. <= 0 means 1024. Compaction never moves the epoch, so
 	// it is invisible to the cache.
 	CompactThreshold int
+	// AutoGrow opens the universe to live traffic: ApplyRating admits
+	// users and items the system has never seen (appending them to the
+	// serving graph) instead of rejecting the write. The walk recommenders
+	// serve newcomers as soon as they have edges; snapshot-trained
+	// baselines report them cold until retrained. Off by default — the
+	// right setting for offline evaluation against a frozen corpus;
+	// ServingConfig turns it on.
+	AutoGrow bool
 }
 
 // DefaultConfig returns the paper's defaults: µ = 6000, τ = 15, λ = 0.5,
@@ -118,7 +127,8 @@ func DefaultConfig() Config {
 
 // ServingConfig returns DefaultConfig tuned for a live serving deployment:
 // the recommendation result cache on at the given capacity (<= 0 means
-// 4096) and delta-overlay auto-compaction every compactThreshold writes.
+// 4096), delta-overlay auto-compaction every compactThreshold writes, and
+// the universe open to unseen users and items (AutoGrow).
 func ServingConfig(cacheSize, compactThreshold int) Config {
 	cfg := DefaultConfig()
 	if cacheSize <= 0 {
@@ -126,6 +136,7 @@ func ServingConfig(cacheSize, compactThreshold int) Config {
 	}
 	cfg.CacheSize = cacheSize
 	cfg.CompactThreshold = compactThreshold
+	cfg.AutoGrow = true
 	return cfg
 }
 
@@ -206,19 +217,70 @@ func (s *System) Epoch() uint64 { return s.g.Epoch() }
 
 // ApplyRating ingests one live rating write into the serving graph
 // (insert or re-rate), reporting whether a new edge was created and the
-// epoch after the write. The write is immediately visible to the walk
-// recommenders (HT/AT/AC*), and — because the epoch moved — every cached
-// result computed before it stops being served. Dataset-derived baselines
-// (PureSVD, LDA, kNN, …) and the graph-snapshot comparators (Katz,
-// CommuteTime, RWR — whose chains are frozen at lazy construction) keep
-// scoring against their snapshot until rebuilt; the dataset views (Data)
-// are likewise snapshot-scoped.
+// epoch after the write. With Config.AutoGrow the universe is open: a
+// user or item id the system has never seen is admitted (appended to the
+// graph, epoch bumped per admission) instead of rejected — only negative
+// and absurdly distant ids still fail. The write is immediately visible
+// to the walk recommenders (HT/AT/AC*), and — because the epoch moved —
+// every cached result computed before it stops being served.
+// Dataset-derived baselines (PureSVD, LDA, kNN, …) and the graph-snapshot
+// comparators (Katz, CommuteTime, RWR — whose chains are frozen at lazy
+// construction) keep scoring against their snapshot until rebuilt; the
+// dataset views (Data) are likewise snapshot-scoped.
 func (s *System) ApplyRating(user, item int, score float64) (added bool, epoch uint64, err error) {
-	added, err = s.g.UpsertRating(user, item, score)
+	if s.cfg.AutoGrow {
+		added, err = s.g.UpsertRatingAutoGrow(user, item, score)
+	} else {
+		added, err = s.g.UpsertRating(user, item, score)
+	}
 	if err != nil {
 		return false, s.g.Epoch(), fmt.Errorf("longtail: %w", err)
 	}
 	return added, s.g.Epoch(), nil
+}
+
+// Universe returns the live serving universe: the user and item counts of
+// the graph, including any users and items admitted through ApplyRating
+// with AutoGrow on. Data().NumUsers()/NumItems() describe the training
+// snapshot instead.
+func (s *System) Universe() (numUsers, numItems int) {
+	return s.g.NumUsers(), s.g.NumItems()
+}
+
+// LiveItemPopularity returns each item's live rater count — the dataset
+// popularity plus every accepted live write, covering items admitted
+// after construction.
+func (s *System) LiveItemPopularity() []int { return s.g.ItemPopularity() }
+
+// PopularItems returns the k most-rated items of the live graph, most
+// popular first with ties broken toward the smaller item index — the
+// deterministic non-personalized fallback the serving layer degrades to
+// when an algorithm cannot anchor on a user. Items the user has already
+// rated (per the live graph) are excluded, matching every personalized
+// path; pass a user outside the universe (e.g. -1) for the raw list.
+func (s *System) PopularItems(user, k int) []Scored {
+	var rated map[int]struct{}
+	if user >= 0 && user < s.g.NumUsers() {
+		items, _ := s.g.UserItems(user)
+		rated = make(map[int]struct{}, len(items))
+		for _, i := range items {
+			rated[i] = struct{}{}
+		}
+	}
+	pop := s.g.ItemPopularity()
+	sel := topk.NewSelector(k)
+	for i, p := range pop {
+		if _, skip := rated[i]; skip {
+			continue
+		}
+		sel.Offer(i, float64(p))
+	}
+	items := sel.Take()
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Item: it.ID, Score: it.Score}
+	}
+	return out
 }
 
 // CompactGraph folds the serving graph's pending delta-overlay writes into
@@ -243,7 +305,9 @@ func (s *System) ServingStats() core.ServingStats {
 
 // EvictStaleCache eagerly drops cached results from earlier graph epochs
 // (they are already unreachable — this reclaims their memory) and returns
-// how many were removed. No-op without a cache.
+// how many were removed. Each call does a bounded amount of work per
+// cache shard so it cannot stall serving lookups; on very large caches
+// call it periodically to converge. No-op without a cache.
 func (s *System) EvictStaleCache() int {
 	if s.recCache == nil {
 		return 0
@@ -757,6 +821,31 @@ const (
 
 // NewBuilder returns an empty streaming dataset builder.
 func NewBuilder(policy DupPolicy) *Builder { return dataset.NewBuilder(policy) }
+
+// SaveGraph writes the live serving graph — including pending overlay
+// writes and any users/items admitted through the auto-grow path, with
+// the write epoch preserved — as a versioned, checksummed binary
+// container (see internal/persist).
+func SaveGraph(w io.Writer, g *graph.Bipartite) error { return persist.SaveGraph(w, g) }
+
+// LoadGraph reads a graph container written by SaveGraph.
+func LoadGraph(r io.Reader) (*graph.Bipartite, error) { return persist.LoadGraph(r) }
+
+// SaveGraphFile writes a graph container to path.
+func SaveGraphFile(path string, g *graph.Bipartite) error {
+	return persist.SaveFile(path, func(w io.Writer) error { return persist.SaveGraph(w, g) })
+}
+
+// LoadGraphFile reads a graph container from path.
+func LoadGraphFile(path string) (*graph.Bipartite, error) {
+	var g *graph.Bipartite
+	err := persist.LoadFile(path, func(r io.Reader) error {
+		var lerr error
+		g, lerr = persist.LoadGraph(r)
+		return lerr
+	})
+	return g, err
+}
 
 // SaveDataset writes the dataset as a versioned, checksummed binary
 // container (see internal/persist).
