@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz
+.PHONY: all build test race bench fuzz fmt-check
 
 all: build test
 
@@ -12,6 +12,13 @@ build:
 
 test: build
 	$(GO) test ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
 
 # Race-detector pass over the concurrency-sensitive surfaces: the pooled
 # walk query engine, the shared-System batch paths, the live delta-overlay
@@ -22,10 +29,10 @@ race:
 	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/
 
 # Short per-query benchmark pass with allocation counts — the regression
-# signal for the zero-allocation query engine and the cached serving path
-# (see PERFORMANCE.md).
+# signal for the zero-allocation query engine, the Request query surface
+# and the cached serving path (see PERFORMANCE.md).
 bench: build
-	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached' -benchtime=100x -benchmem
+	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest' -benchtime=100x -benchmem
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass
 # for the extractor and the live graph, closed- and open-universe (CI runs

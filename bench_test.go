@@ -407,3 +407,50 @@ func BenchmarkSystemConstruction(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRecommendRequest measures one no-options Request-path query —
+// the primary serving surface. PERFORMANCE.md tracks its allocs/op,
+// which must stay at parity with BenchmarkQueryAT (the legacy wrapper):
+// the Request plumbing may not cost the hot path anything.
+func BenchmarkRecommendRequest(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	rec, err := env.Sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2, ok := rec.(longtail.RecommenderV2)
+	if !ok {
+		b.Fatal("AT does not implement RecommenderV2")
+	}
+	users := env.Panel
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := longtail.Request{User: users[i%len(users)], K: 10}
+		if _, err := v2.RecommendRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecommendRequestOptions measures the option-carrying query
+// (exclusions + long-tail mode): the filters run inside the engine's
+// stamped selection loop and settle into zero steady-state allocation
+// beyond the result, so the option path stays within a few allocs/op of
+// the plain query.
+func BenchmarkRecommendRequestOptions(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	rec, err := env.Sys.Algorithm("AT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	v2 := rec.(longtail.RecommenderV2)
+	users := env.Panel
+	exclude := []int{1, 2, 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := longtail.Request{User: users[i%len(users)], K: 10, ExcludeItems: exclude, LongTailOnly: 0.8}
+		if _, err := v2.RecommendRequest(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

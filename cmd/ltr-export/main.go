@@ -146,10 +146,3 @@ func loadData(in, format, synthetic string, seed int64) (*longtail.Dataset, erro
 	}
 	return loaded.Data, nil
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -93,10 +93,3 @@ func run(in, format string, topics, iters, top int, seed int64, trace int) error
 		model.Perplexity(loaded.Data), loaded.Data.NumItems(), coherence)
 	return nil
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

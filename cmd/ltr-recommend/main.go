@@ -4,14 +4,25 @@
 //	ltr-recommend -in ratings.tsv -format tsv -user 42 -algo AC2 -k 10
 //	ltr-recommend -in ml-1m/ratings.dat -format movielens -user 1 -algo HT
 //
-// Output columns: rank, item id (original), score, item popularity.
+// Per-request serving options mirror the HTTP API:
+//
+//	-exclude i1,i2        exclude these items (beyond the user's rated set)
+//	-candidates i1,i2     restrict the result to this item slate
+//	-long-tail-only 0.2   keep only the least-popular 20% of the catalog
+//	-timeout 500ms        deadline the whole query (cancels mid-walk)
+//	-fallback             serve the popularity list when the user is cold
+//
+// Output columns: rank, item id (original), score, item popularity. A
+// degraded (fallback) response is flagged in the header.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"longtailrec"
 	"longtailrec/internal/dataset"
@@ -19,21 +30,45 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "ratings file path (required)")
-		format = flag.String("format", "tsv", "input format: tsv, csv or movielens")
-		user   = flag.String("user", "", "user id as it appears in the file (required)")
-		algo   = flag.String("algo", "AC2", "algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
-		k      = flag.Int("k", 10, "number of recommendations")
-		topics = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
+		in         = flag.String("in", "", "ratings file path (required)")
+		format     = flag.String("format", "tsv", "input format: tsv, csv or movielens")
+		user       = flag.String("user", "", "user id as it appears in the file (required)")
+		algo       = flag.String("algo", "AC2", "algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
+		k          = flag.Int("k", 10, "number of recommendations")
+		topics     = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
+		exclude    = flag.String("exclude", "", "comma-separated item ids to exclude beyond the user's rated items")
+		candidates = flag.String("candidates", "", "comma-separated item ids to restrict the result to")
+		longTail   = flag.Float64("long-tail-only", 0, "popularity-percentile cutoff in (0,1]: only items at or below it are served (0 disables)")
+		timeout    = flag.Duration("timeout", 0, "query deadline (0 means none); an expired deadline aborts the walk mid-sweep")
+		fallback   = flag.Bool("fallback", false, "serve the deterministic popularity list when the user has no usable history")
 	)
 	flag.Parse()
-	if err := run(*in, *format, *user, *algo, *k, *topics); err != nil {
+	if err := run(*in, *format, *user, *algo, *exclude, *candidates, *k, *topics, *longTail, *timeout, *fallback); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-recommend: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, format, user, algo string, k, topics int) error {
+// parseItems resolves a comma-separated list of original item ids
+// against the loaded corpus.
+func parseItems(raw, flagName string, items *dataset.Interner) ([]int, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	fields := strings.Split(raw, ",")
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		i, ok := items.Lookup(f)
+		if !ok {
+			return nil, fmt.Errorf("-%s: item %q not found in the corpus", flagName, f)
+		}
+		out = append(out, i)
+	}
+	return out, nil
+}
+
+func run(in, format, user, algo, exclude, candidates string, k, topics int, longTail float64, timeout time.Duration, fallback bool) error {
 	if in == "" || user == "" {
 		return fmt.Errorf("-in and -user are required")
 	}
@@ -60,29 +95,50 @@ func run(in, format, user, algo string, k, topics int) error {
 	if !ok {
 		return fmt.Errorf("user %q not found in %s", user, in)
 	}
+	excludeIdx, err := parseItems(exclude, "exclude", loaded.Items)
+	if err != nil {
+		return err
+	}
+	candidateIdx, err := parseItems(candidates, "candidates", loaded.Items)
+	if err != nil {
+		return err
+	}
 	cfg := longtail.DefaultConfig()
 	cfg.LDA.NumTopics = topics
 	sys, err := longtail.NewSystem(loaded.Data, cfg)
 	if err != nil {
 		return err
 	}
-	rec, err := sys.Algorithm(algo)
-	if err != nil {
-		return err
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	recs, err := rec.Recommend(u, k)
+	resp, err := sys.Recommend(ctx, algo, longtail.Request{
+		User:           u,
+		K:              k,
+		ExcludeItems:   excludeIdx,
+		CandidateItems: candidateIdx,
+		LongTailOnly:   longTail,
+		AllowFallback:  fallback,
+	})
 	if err != nil {
 		return err
 	}
 	pop := loaded.Data.ItemPopularity()
-	fmt.Printf("top-%d recommendations for user %s by %s over %d users / %d items / %d ratings:\n",
-		k, user, rec.Name(), loaded.Data.NumUsers(), loaded.Data.NumItems(), loaded.Data.NumRatings())
-	for rank, r := range recs {
+	note := ""
+	if resp.Fallback {
+		note = " [fallback: popularity list]"
+	}
+	fmt.Printf("top-%d recommendations for user %s by %s over %d users / %d items / %d ratings%s:\n",
+		k, user, resp.Algo, loaded.Data.NumUsers(), loaded.Data.NumItems(), loaded.Data.NumRatings(), note)
+	for rank, r := range resp.Items {
 		fmt.Printf("%2d. item %-12s score %12.4f  popularity %d\n",
 			rank+1, loaded.Items.Name(r.Item), r.Score, pop[r.Item])
 	}
-	if len(recs) == 0 {
-		fmt.Println("(no recommendations: user may be disconnected from the catalog)")
+	if len(resp.Items) == 0 {
+		fmt.Println("(no recommendations: user may be disconnected from the catalog, or the filters left nothing)")
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func writeRatings(t *testing.T) string {
@@ -22,10 +23,15 @@ func writeRatings(t *testing.T) string {
 	return path
 }
 
+// runPlain is the option-free legacy invocation shape.
+func runPlain(path, format, user, algo string, k, topics int) error {
+	return run(path, format, user, algo, "", "", k, topics, 0, 0, false)
+}
+
 func TestRunRecommends(t *testing.T) {
 	path := writeRatings(t)
 	for _, algo := range []string{"HT", "AT", "MostPopular"} {
-		if err := run(path, "tsv", "alice", algo, 3, 2); err != nil {
+		if err := runPlain(path, "tsv", "alice", algo, 3, 2); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
@@ -33,19 +39,37 @@ func TestRunRecommends(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	path := writeRatings(t)
-	if err := run("", "tsv", "alice", "AT", 3, 2); err == nil {
+	if err := runPlain("", "tsv", "alice", "AT", 3, 2); err == nil {
 		t.Fatal("missing -in accepted")
 	}
-	if err := run(path, "tsv", "", "AT", 3, 2); err == nil {
+	if err := runPlain(path, "tsv", "", "AT", 3, 2); err == nil {
 		t.Fatal("missing -user accepted")
 	}
-	if err := run(path, "nope", "alice", "AT", 3, 2); err == nil {
+	if err := runPlain(path, "nope", "alice", "AT", 3, 2); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run(path, "tsv", "nobody", "AT", 3, 2); err == nil {
+	if err := runPlain(path, "tsv", "nobody", "AT", 3, 2); err == nil {
 		t.Fatal("unknown user accepted")
 	}
-	if err := run(path, "tsv", "alice", "Nope", 3, 2); err == nil {
+	if err := runPlain(path, "tsv", "alice", "Nope", 3, 2); err == nil {
 		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestRunRequestOptions(t *testing.T) {
+	path := writeRatings(t)
+	// Candidate slate + exclusion + long-tail mode, all resolved by
+	// original item names; a deadline generous enough to finish.
+	if err := run(path, "tsv", "alice", "AT", "heat", "heat,matrix", 3, 2, 0.9, time.Minute, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "tsv", "alice", "AT", "ghost", "", 3, 2, 0, 0, false); err == nil {
+		t.Fatal("unknown -exclude item accepted")
+	}
+	if err := run(path, "tsv", "alice", "AT", "", "ghost", 3, 2, 0, 0, false); err == nil {
+		t.Fatal("unknown -candidates item accepted")
+	}
+	if err := run(path, "tsv", "alice", "AT", "", "", 3, 2, 7, 0, false); err == nil {
+		t.Fatal("out-of-range -long-tail-only accepted")
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"longtailrec"
 	"longtailrec/internal/dataset"
@@ -53,15 +54,16 @@ func main() {
 		cacheSize        = flag.Int("cache-size", 4096, "recommendation result cache entries (0 disables caching)")
 		compactThreshold = flag.Int("compact-threshold", 1024, "live writes buffered in the graph delta overlay before auto-compaction")
 		autoGrow         = flag.Bool("auto-grow", true, "admit ratings from unseen users/items, growing the serving universe live")
+		requestTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for the recommendation endpoints (0 disables); an expired deadline cancels the walk mid-sweep")
 	)
 	flag.Parse()
-	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold, *autoGrow); err != nil {
+	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold, *autoGrow, *requestTimeout); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int, autoGrow bool) error {
+func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int, autoGrow bool, requestTimeout time.Duration) error {
 	data, err := loadData(in, format, synthetic, seed)
 	if err != nil {
 		return err
@@ -81,6 +83,7 @@ func run(addr, in, format, synthetic, algo string, topics int, seed int64, cache
 		Addr:             addr,
 		DefaultAlgorithm: algo,
 		Logger:           logger,
+		RequestTimeout:   requestTimeout,
 	})
 	if err != nil {
 		return err

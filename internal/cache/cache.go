@@ -17,6 +17,7 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 )
@@ -29,12 +30,17 @@ const numShards = 16
 // Key identifies one cached recommendation result. Epoch is the graph
 // epoch the result was computed at; including it makes every live write
 // an implicit whole-cache invalidation without any locking handshake
-// between writers and the cache.
+// between writers and the cache. Opts is the canonical encoding of the
+// request's option set (core.Request.OptionsKey) — "" for the plain
+// (user, k) query — so two requests that differ only in per-request
+// options can never share an entry: Key is compared structurally by the
+// shard maps, and the encoding is exact, not a lossy hash.
 type Key struct {
 	User  int
 	Algo  string
 	K     int
 	Epoch uint64
+	Opts  string
 }
 
 // hash mixes the key fields FNV-1a style into a shard selector.
@@ -55,6 +61,10 @@ func (k Key) hash() uint64 {
 	mix(k.Epoch)
 	for i := 0; i < len(k.Algo); i++ {
 		h ^= uint64(k.Algo[i])
+		h *= prime64
+	}
+	for i := 0; i < len(k.Opts); i++ {
+		h ^= uint64(k.Opts[i])
 		h *= prime64
 	}
 	return h
@@ -171,6 +181,16 @@ func (s *shard[V]) putLocked(k Key, v V) {
 // in-flight result. Errors are returned to every waiter and are not
 // cached, so a failed compute is retried by the next lookup.
 func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, err error) {
+	return c.DoCtx(nil, k, compute)
+}
+
+// DoCtx is Do with a caller context governing the WAIT, not the
+// compute: a piggybacked waiter whose own ctx is cancelled stops
+// waiting and gets its ctx error immediately, instead of blocking until
+// the leader's flight resolves. The leader itself runs compute to
+// completion regardless (compute may observe its own context
+// internally); a nil ctx waits unconditionally.
+func (c *Cache[V]) DoCtx(ctx context.Context, k Key, compute func() (V, error)) (v V, fromCache bool, err error) {
 	s := c.shard(k)
 	s.mu.Lock()
 	if el, ok := s.entries[k]; ok {
@@ -183,7 +203,16 @@ func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, er
 	if fl, ok := s.inflight[k]; ok {
 		s.shared++
 		s.mu.Unlock()
-		<-fl.done
+		if ctx != nil {
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, true, ctx.Err()
+			}
+		} else {
+			<-fl.done
+		}
 		return fl.val, true, fl.err
 	}
 	fl := &flight[V]{done: make(chan struct{})}

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -275,4 +276,48 @@ func TestConcurrentCacheMixed(t *testing.T) {
 	}
 	wg.Wait()
 	_ = c.Stats()
+}
+
+// TestDoCtxWaiterRelease: a piggybacked waiter whose own context dies
+// stops waiting immediately with its context error; the flight itself
+// completes and is cached for later lookups.
+func TestDoCtxWaiterRelease(t *testing.T) {
+	c := New[int](8)
+	k := Key{User: 1, Algo: "A", K: 3}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := c.Do(k, func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if v != 7 || err != nil {
+			t.Errorf("leader got (%d, %v)", v, err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	begin := time.Now()
+	_, shared, err := c.DoCtx(ctx, k, func() (int, error) {
+		t.Error("waiter became a second leader for an in-flight key")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter err = %v, want context.Canceled", err)
+	}
+	if !shared {
+		t.Fatal("waiter did not report piggybacking")
+	}
+	if time.Since(begin) > time.Second {
+		t.Fatal("cancelled waiter blocked on the flight")
+	}
+	close(release)
+	<-leaderDone
+	if v, ok := c.Get(k); !ok || v != 7 {
+		t.Fatalf("flight result not cached: (%d, %v)", v, ok)
+	}
 }

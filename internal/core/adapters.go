@@ -68,7 +68,47 @@ func (f *FuncRecommender) ScoreItems(u int) ([]float64, error) {
 	return scores, nil
 }
 
-// Recommend implements Recommender.
+// Recommend implements Recommender — the legacy surface, a thin wrapper
+// over the Request path so the adapter has exactly one selection loop.
 func (f *FuncRecommender) Recommend(u, k int) ([]Scored, error) {
-	return recommendByScores(f, f.g, u, k)
+	resp, err := f.RecommendRequest(Request{User: u, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// RecommendRequest implements RecommenderV2 for the score-function
+// adapters: the wrapped model scores the full universe (checked against
+// the request context first — these models can take tens of
+// milliseconds), then the option filters are applied during top-k
+// selection so an option-narrowed request still fills its K slots.
+func (f *FuncRecommender) RecommendRequest(req Request) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	if err := req.err(); err != nil {
+		return Response{}, fmt.Errorf("core: %s: %w", f.name, err)
+	}
+	scores, err := f.ScoreItems(req.User)
+	if err != nil {
+		return Response{}, err
+	}
+	if err := req.err(); err != nil {
+		return Response{}, fmt.Errorf("core: %s: %w", f.name, err)
+	}
+	items, _ := f.g.UserItems(req.User)
+	rated := make(map[int]struct{}, len(items))
+	for _, i := range items {
+		rated[i] = struct{}{}
+	}
+	var pop []int
+	if req.LongTailOnly > 0 {
+		pop = f.g.ItemPopularity()
+	}
+	return Response{
+		Items: selectTopKFiltered(scores, req, rated, pop),
+		Epoch: f.g.Epoch(),
+		Algo:  f.name,
+	}, nil
 }

@@ -1,15 +1,20 @@
 // The epoch-invalidated result cache in front of any Recommender — the
 // serving-layer half of the live-update design. The graph carries a
 // monotonically increasing epoch (bumped on every accepted live write);
-// cached results are keyed by (user, algorithm, k, epoch), so a write
-// makes every earlier entry unreachable without any lock handshake
-// between the writer and the cache. Repeat queries for an unchanged graph
-// are served in O(1), and a thundering herd on one user computes once
-// (singleflight).
+// cached results are keyed by (user, algorithm, k, epoch, option set),
+// so a write makes every earlier entry unreachable without any lock
+// handshake between the writer and the cache, and two requests that
+// differ only in per-request options (candidate filters, exclusions,
+// long-tail mode) can never share an entry — the option set is folded
+// into the key as its exact canonical encoding (Request.OptionsKey).
+// Repeat queries for an unchanged graph are served in O(1), and a
+// thundering herd on one user computes once (singleflight).
 
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"longtailrec/internal/cache"
@@ -37,18 +42,18 @@ type ServingStats struct {
 }
 
 // CachedRecommender wraps a Recommender with an epoch-invalidated result
-// cache. Recommend and RecommendBatch consult the cache; ScoreItems (a
+// cache. Recommend and RecommendRequest consult the cache; ScoreItems (a
 // full-universe diagnostic vector) always recomputes. Safe for concurrent
 // use when the inner recommender is.
 type CachedRecommender struct {
 	inner  Recommender
 	epochs EpochSource
-	cache  *cache.Cache[[]Scored]
+	cache  *cache.Cache[Response]
 }
 
 // NewCachedRecommender builds the caching wrapper. The cache may be shared
 // across many wrapped algorithms: keys include the algorithm name.
-func NewCachedRecommender(inner Recommender, epochs EpochSource, c *cache.Cache[[]Scored]) (*CachedRecommender, error) {
+func NewCachedRecommender(inner Recommender, epochs EpochSource, c *cache.Cache[Response]) (*CachedRecommender, error) {
 	if inner == nil || epochs == nil || c == nil {
 		return nil, fmt.Errorf("core: NewCachedRecommender needs inner, epochs and cache")
 	}
@@ -77,45 +82,126 @@ func (r *CachedRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
 	return nil, fmt.Errorf("core: %s has no compact scoring path", r.inner.Name())
 }
 
-// key builds the cache key for one query at the given epoch.
-func (r *CachedRecommender) key(u, k int, epoch uint64) cache.Key {
-	return cache.Key{User: u, Algo: r.inner.Name(), K: k, Epoch: epoch}
+// key builds the cache key for one request at the given epoch, with the
+// option set already canonically encoded. The request's context and
+// fallback policy are deliberately NOT part of the key: neither shapes
+// the personalized result (fallback is applied — and never cached —
+// above this layer).
+func (r *CachedRecommender) key(req Request, epoch uint64, opts string) cache.Key {
+	return cache.Key{
+		User:  req.User,
+		Algo:  r.inner.Name(),
+		K:     req.K,
+		Epoch: epoch,
+		Opts:  opts,
+	}
 }
 
-// Recommend implements Recommender. On a hit the cached list is returned
-// (copied, so the caller may mutate it); on a miss the inner recommender
-// runs exactly once per (user, k, epoch) regardless of concurrency.
-// Errors — including ErrColdUser — are never cached.
+// shareResponse copies a cached Response for one caller (the caller may
+// mutate Items) and stamps the serving metadata for this lookup.
+func shareResponse(v Response, epoch uint64, hit bool) Response {
+	items := make([]Scored, len(v.Items))
+	copy(items, v.Items)
+	v.Items = items
+	v.Epoch = epoch
+	v.CacheHit = hit
+	return v
+}
+
+// RecommendRequest implements RecommenderV2. On a hit the cached
+// Response is returned (Items copied, so the caller may mutate them,
+// CacheHit set); on a miss the inner recommender runs exactly once per
+// (user, k, epoch, option set) regardless of concurrency. Errors —
+// including ErrColdUser and a cancelled request context — are never
+// cached.
+//
+// The singleflight leader computes under its own request context, so a
+// leader that disconnects mid-walk aborts the shared compute. A
+// piggybacked waiter is insulated in both directions: a waiter whose
+// own context is cancelled stops waiting immediately with its own
+// context error (cache.DoCtx), and a live waiter handed a dead
+// leader's context error retries the lookup (becoming the new leader
+// or joining a healthier flight) — one impatient client cannot poison
+// a patient one. The retry is bounded.
+func (r *CachedRecommender) RecommendRequest(req Request) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	key := r.key(req, r.epochs.Epoch(), req.OptionsKey())
+	for attempt := 0; ; attempt++ {
+		// Key the entry at the epoch of the original lookup even across
+		// retries: a concurrent write already invalidates it naturally.
+		v, fromCache, err := r.cache.DoCtx(req.Ctx, key, func() (Response, error) {
+			return RecommendRequest(r.inner, req)
+		})
+		if err != nil {
+			// A context error surfaced by a shared flight belongs to the
+			// flight's leader; if OUR context is live, try again — and
+			// after repeatedly joining doomed flights, compute directly so
+			// a patient caller is never failed by impatient strangers.
+			if fromCache && isContextErr(err) && req.err() == nil {
+				if attempt < 2 {
+					continue
+				}
+				v, cerr := RecommendRequest(r.inner, req)
+				if cerr != nil {
+					return Response{}, cerr
+				}
+				stored := v
+				stored.Items = make([]Scored, len(v.Items))
+				copy(stored.Items, v.Items)
+				r.cache.Put(key, stored)
+				return shareResponse(stored, key.Epoch, false), nil
+			}
+			return Response{}, err
+		}
+		return shareResponse(v, key.Epoch, fromCache), nil
+	}
+}
+
+// isContextErr reports whether err is a context cancellation/deadline.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Recommend implements Recommender — the legacy surface as a thin
+// wrapper over the Request path (same cache keys as before: the
+// no-options request encodes an empty option set).
 func (r *CachedRecommender) Recommend(u, k int) ([]Scored, error) {
-	key := r.key(u, k, r.epochs.Epoch())
-	v, _, err := r.cache.Do(key, func() ([]Scored, error) {
-		return r.inner.Recommend(u, k)
-	})
+	resp, err := r.RecommendRequest(Request{User: u, K: k})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Scored, len(v))
-	copy(out, v)
-	return out, nil
+	return resp.Items, nil
 }
 
-// RecommendBatch implements BatchRecommender: cached users are served
-// directly, the misses go through the inner recommender's batch path in
-// one call, and their results are stored for the next batch. The epoch is
-// read once at batch start so every lookup and store uses one consistent
-// key; note this keys the cache, it does not pin the graph — misses
-// computed while a write lands reflect the newer graph (and are stored
-// under the start epoch, where they age out on the next bump). Cold users
-// yield nil entries and are not cached.
-func (r *CachedRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
+// RecommendRequestBatch implements BatchRecommenderV2: cached requests
+// are served directly, the misses go through the inner recommender's
+// batch path in one call, and their results are stored for the next
+// batch. The epoch is read once at batch start so every lookup and
+// store uses one consistent key; note this keys the cache, it does not
+// pin the graph — misses computed while a write lands reflect the newer
+// graph (and are stored under the start epoch, where they age out on
+// the next bump). Cold users yield zero Responses and are not cached.
+func (r *CachedRecommender) RecommendRequestBatch(reqs []Request, parallelism int) ([]Response, error) {
 	epoch := r.epochs.Epoch()
-	out := make([][]Scored, len(users))
+	out := make([]Response, len(reqs))
+	keys := make([]cache.Key, len(reqs))
 	var missIdx []int
-	for i, u := range users {
-		if v, ok := r.cache.Get(r.key(u, k, epoch)); ok {
-			recs := make([]Scored, len(v))
-			copy(recs, v)
-			out[i] = recs
+	var opts string
+	for i, req := range reqs {
+		// Batches usually fan one option template across users: validate
+		// and canonically encode the option storage once per distinct
+		// template instead of re-scanning it per user.
+		if i == 0 || !SameOptionStorage(req, reqs[i-1]) {
+			if err := req.Validate(); err != nil {
+				return nil, err
+			}
+			opts = req.OptionsKey()
+		}
+		keys[i] = r.key(req, epoch, opts)
+		if v, ok := r.cache.Get(keys[i]); ok {
+			out[i] = shareResponse(v, epoch, true)
 			continue
 		}
 		missIdx = append(missIdx, i)
@@ -123,25 +209,38 @@ func (r *CachedRecommender) RecommendBatch(users []int, k, parallelism int) ([][
 	if len(missIdx) == 0 {
 		return out, nil
 	}
-	missing := make([]int, len(missIdx))
+	missing := make([]Request, len(missIdx))
 	for j, i := range missIdx {
-		missing[j] = users[i]
+		missing[j] = reqs[i]
 	}
-	computed, err := BatchRecommend(r.inner, missing, k, parallelism)
+	computed, err := BatchRecommendRequests(r.inner, missing, parallelism)
 	if err != nil {
 		return nil, err
 	}
 	for j, i := range missIdx {
-		recs := computed[j]
-		if recs == nil {
-			continue // cold user: keep the nil entry, cache nothing
+		resp := computed[j]
+		if resp.Algo == "" {
+			continue // cold user: keep the zero entry, cache nothing
 		}
-		stored := make([]Scored, len(recs))
-		copy(stored, recs)
-		r.cache.Put(r.key(users[i], k, epoch), stored)
-		out[i] = recs
+		stored := resp
+		stored.Items = make([]Scored, len(resp.Items))
+		copy(stored.Items, resp.Items)
+		r.cache.Put(keys[i], stored)
+		resp.Epoch = epoch
+		out[i] = resp
 	}
 	return out, nil
+}
+
+// RecommendBatch implements BatchRecommender — the legacy batch surface
+// as a thin wrapper over RecommendRequestBatch. Cold users yield nil
+// entries, matching the historical contract.
+func (r *CachedRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
+	resps, err := r.RecommendRequestBatch(PlainRequests(users, k), parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return ResponseItems(resps), nil
 }
 
 // CacheStats returns the underlying cache counters.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"reflect"
@@ -14,7 +15,7 @@ import (
 
 // newCachedAT builds an AT recommender over the Figure 2 graph plus its
 // cached twin sharing the same graph (and therefore the same epoch).
-func newCachedAT(t testing.TB, c *cache.Cache[[]Scored]) (*graph.Bipartite, *AbsorbingTime, *CachedRecommender) {
+func newCachedAT(t testing.TB, c *cache.Cache[Response]) (*graph.Bipartite, *AbsorbingTime, *CachedRecommender) {
 	t.Helper()
 	g := figure2Graph(t)
 	at := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
@@ -29,7 +30,7 @@ func newCachedAT(t testing.TB, c *cache.Cache[[]Scored]) (*graph.Bipartite, *Abs
 // serving layer: for every user, the cached path (cold miss AND warm hit)
 // returns results byte-identical to the uncached engine.
 func TestCachedGoldenEquivalence(t *testing.T) {
-	c := cache.New[[]Scored](128)
+	c := cache.New[Response](128)
 	g, at, cached := newCachedAT(t, c)
 	uncachedTwin := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
 	for u := 0; u < g.NumUsers(); u++ {
@@ -70,7 +71,7 @@ func TestCachedGoldenEquivalence(t *testing.T) {
 // bumps the epoch, so exactly the entries computed before it become
 // unreachable (and sweepable), while same-epoch entries keep hitting.
 func TestCachedEpochInvalidation(t *testing.T) {
-	c := cache.New[[]Scored](128)
+	c := cache.New[Response](128)
 	g, _, cached := newCachedAT(t, c)
 
 	// Warm the cache for every user at epoch 0.
@@ -142,7 +143,7 @@ func TestCachedEpochInvalidation(t *testing.T) {
 // TestCachedBatch checks the batch path: cached users are served without
 // recompute, misses fill the cache, cold users stay nil and uncached.
 func TestCachedBatch(t *testing.T) {
-	c := cache.New[[]Scored](128)
+	c := cache.New[Response](128)
 	_, at, cached := newCachedAT(t, c)
 	users := []int{0, 2, 4}
 	want, err := at.RecommendBatch(users, 3, 1)
@@ -180,7 +181,7 @@ func TestCachedBatch(t *testing.T) {
 
 // TestCachedColdUserNotCached: errors (cold user) pass through uncached.
 func TestCachedColdUser(t *testing.T) {
-	c := cache.New[[]Scored](16)
+	c := cache.New[Response](16)
 	g, err := graph.FromRatings(2, 2, []graph.Rating{{User: 0, Item: 0, Weight: 5}})
 	if err != nil {
 		t.Fatal(err)
@@ -209,7 +210,7 @@ func TestCachedColdUser(t *testing.T) {
 // readers while one writer mutates the live graph — the serving-layer race
 // test the Makefile race target runs.
 func TestConcurrentCachedRecommend(t *testing.T) {
-	c := cache.New[[]Scored](256)
+	c := cache.New[Response](256)
 	g, _, cached := newCachedAT(t, c)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -249,4 +250,161 @@ func TestConcurrentCachedRecommend(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestCachedOptionKeyIsolation is the cache-key collision test for the
+// Request surface: requests that differ only in their option set must
+// never share a cached entry — each option set computes once, is served
+// from its own entry afterwards, and returns its own (different) result.
+func TestCachedOptionKeyIsolation(t *testing.T) {
+	c := cache.New[Response](128)
+	_, at, cached := newCachedAT(t, c)
+
+	plain := Request{User: 0, K: 4}
+	filtered := Request{User: 0, K: 4, LongTailOnly: 0.2}
+
+	p1, err := cached.RecommendRequest(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := cached.RecommendRequest(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.CacheHit || f1.CacheHit {
+		t.Fatalf("first lookups hit: %+v %+v", p1, f1)
+	}
+	if reflect.DeepEqual(p1.Items, f1.Items) {
+		t.Fatalf("option sets chosen for this test must produce different results, both got %+v", p1.Items)
+	}
+	// Warm repeats: each option set hits its own entry and returns its
+	// own result — never the other's.
+	p2, err := cached.RecommendRequest(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := cached.RecommendRequest(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.CacheHit || !f2.CacheHit {
+		t.Fatalf("warm repeats missed: %+v %+v", p2, f2)
+	}
+	if !reflect.DeepEqual(p1.Items, p2.Items) || !reflect.DeepEqual(f1.Items, f2.Items) {
+		t.Fatal("cached results diverged from their cold computes")
+	}
+	if reflect.DeepEqual(p2.Items, f2.Items) {
+		t.Fatal("differently-optioned requests shared a cached result")
+	}
+	// Exactly two entries: one per option set.
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	// Both match their uncached twins.
+	wantPlain, err := at.RecommendRequest(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFiltered, err := at.RecommendRequest(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantPlain.Items, p2.Items) || !reflect.DeepEqual(wantFiltered.Items, f2.Items) {
+		t.Fatal("cached option-set results diverged from the uncached engine")
+	}
+	// Canonically equal option encodings DO share: a reordered,
+	// duplicated exclude list is the same option set.
+	e1, err := cached.RecommendRequest(Request{User: 1, K: 4, ExcludeItems: []int{2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := cached.RecommendRequest(Request{User: 1, K: 4, ExcludeItems: []int{0, 2, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.CacheHit || !e2.CacheHit {
+		t.Fatalf("canonical option sharing broken: %+v %+v", e1, e2)
+	}
+}
+
+// TestCachedResponseMetadata pins the Response envelope of the cached
+// path: epoch stamping, cache-hit marking, and caller ownership of the
+// Items slice.
+func TestCachedResponseMetadata(t *testing.T) {
+	c := cache.New[Response](128)
+	g, _, cached := newCachedAT(t, c)
+	miss, err := cached.RecommendRequest(Request{User: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.CacheHit || miss.Epoch != g.Epoch() || miss.Algo != "AT" {
+		t.Fatalf("miss metadata: %+v (graph epoch %d)", miss, g.Epoch())
+	}
+	hit, err := cached.RecommendRequest(Request{User: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.CacheHit || hit.Epoch != g.Epoch() {
+		t.Fatalf("hit metadata: %+v", hit)
+	}
+	// Mutating a returned list must not corrupt the cache.
+	hit.Items[0].Item = -99
+	again, err := cached.RecommendRequest(Request{User: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Items[0].Item == -99 {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+	// A live write moves the epoch: the next lookup misses and restamps.
+	if err := g.AddRating(2, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := cached.RecommendRequest(Request{User: 2, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.CacheHit || fresh.Epoch != g.Epoch() {
+		t.Fatalf("post-write metadata: %+v (graph epoch %d)", fresh, g.Epoch())
+	}
+}
+
+// TestCachedSingleflightLeaderCancellation: a singleflight leader whose
+// request context is cancelled mid-compute must not poison a
+// piggybacked waiter whose own context is live — the waiter retries and
+// gets a real result, never the leader's context error.
+func TestCachedSingleflightLeaderCancellation(t *testing.T) {
+	c := cache.New[Response](64)
+	g := figure2Graph(t)
+	at := NewAbsorbingTime(g, WalkOptions{Iterations: 20000}) // ms-scale solve
+	cached, err := NewCachedRecommender(at, g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 25; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		var leaderErr, waiterErr error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, leaderErr = cached.RecommendRequest(Request{Ctx: ctx, User: 0, K: 3})
+		}()
+		go func() {
+			defer wg.Done()
+			_, waiterErr = cached.RecommendRequest(Request{User: 0, K: 3})
+		}()
+		cancel()
+		wg.Wait()
+		// The cancelled client may get its own context error or (having
+		// piggybacked on the healthy flight) a result; the live client
+		// must always get a result.
+		if leaderErr != nil && !errors.Is(leaderErr, context.Canceled) {
+			t.Fatalf("round %d: cancelled client error = %v", round, leaderErr)
+		}
+		if waiterErr != nil {
+			t.Fatalf("round %d: live client inherited failure: %v", round, waiterErr)
+		}
+		c.Purge() // force a fresh singleflight next round
+	}
 }

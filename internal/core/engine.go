@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -78,18 +79,38 @@ type engineScratch struct {
 	compact []ItemScore // per-query compact result
 
 	// exclStamp[item] == exclEpoch marks an item excluded from TopK
-	// (already rated by the query user).
+	// (already rated by the query user, or in Request.ExcludeItems).
 	exclStamp []int
 	exclEpoch int
+
+	// candStamp[item] == candEpoch marks an item admitted by
+	// Request.CandidateItems. Touched only by option-carrying requests.
+	candStamp []int
+	candEpoch int
+
+	// popBuf / popSorted are the live popularity vector and its sorted
+	// copy for the Request.LongTailOnly percentile cutoff. Touched only
+	// by option-carrying requests.
+	popBuf, popSorted []int
 }
 
 // scoreCompact runs Algorithm 1 for user u inside scr and returns the
 // compact (item, score) slice, which aliases scr and is valid until the
 // scratch's next query. Seeds occupy local ids 0..s-1 of the subgraph, so
 // the absorbing set needs no per-node lookups.
-func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemScore, error) {
+//
+// ctx, when non-nil, is checked at the subgraph-extraction boundaries
+// and between the τ sweeps, so a cancelled or deadlined query aborts
+// mid-walk; every return path leaves scr reusable, so the pooled
+// scratch is never leaked. A nil ctx costs nothing.
+func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, spec walkSpec) ([]ItemScore, error) {
 	if err := validateUser(u, e.g.NumUsers()); err != nil {
 		return nil, err
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: query aborted before extraction: %w", err)
+		}
 	}
 	userNode := e.g.UserNode(u)
 	var seeds []int
@@ -108,6 +129,11 @@ func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemS
 	sg, err := scr.ext.Extract(seeds, e.opts.MaxSubgraphItems)
 	if err != nil {
 		return nil, fmt.Errorf("core: subgraph: %w", err)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: query aborted after extraction: %w", err)
+		}
 	}
 	if err := scr.chain.Reset(sg.Adjacency(), sg.Degrees()); err != nil {
 		return nil, fmt.Errorf("core: chain: %w", err)
@@ -159,7 +185,7 @@ func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemS
 		for l := 0; l < numAbsorb; l++ {
 			scr.mkv.Mask[l] = true
 		}
-		times, err = scr.chain.AbsorbingCostFused(&scr.mkv, enter, e.opts.Iterations)
+		times, err = scr.chain.AbsorbingCostFusedCtx(ctx, &scr.mkv, enter, e.opts.Iterations)
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: absorbing solve: %w", err)
@@ -183,7 +209,7 @@ func (e *Engine) scoreCompact(scr *engineScratch, u int, spec walkSpec) ([]ItemS
 func (e *Engine) scoreItemsCompact(u int, spec walkSpec) ([]ItemScore, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	compact, err := e.scoreCompact(scr, u, spec)
+	compact, err := e.scoreCompact(nil, scr, u, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +223,7 @@ func (e *Engine) scoreItemsCompact(u int, spec walkSpec) ([]ItemScore, error) {
 func (e *Engine) scoreItemsFull(u int, spec walkSpec) ([]float64, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	compact, err := e.scoreCompact(scr, u, spec)
+	compact, err := e.scoreCompact(nil, scr, u, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -211,12 +237,22 @@ func (e *Engine) scoreItemsFull(u int, spec walkSpec) ([]float64, error) {
 	return scores, nil
 }
 
-// recommendWith ranks the compact result, excluding the user's rated items
-// via the scratch's epoch-stamped exclusion array (no per-query set).
-func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]Scored, error) {
-	compact, err := e.scoreCompact(scr, u, spec)
+// recommendRequest serves one Request inside scr — the native
+// RecommenderV2 implementation behind every walk recommender. The
+// option-free request takes exactly the legacy path: epoch-stamped
+// exclusion of rated items, compact top-k, no per-query allocation
+// beyond the result. Options add their own stamped structures
+// (ExcludeItems folds into the exclusion stamps, CandidateItems into a
+// second stamp array, LongTailOnly into a pooled popularity sort), so
+// even the option-carrying paths settle into zero steady-state
+// allocation.
+func (e *Engine) recommendRequest(scr *engineScratch, req Request, spec walkSpec, algo string) (Response, error) {
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	compact, err := e.scoreCompact(req.Ctx, scr, req.User, spec)
 	if err != nil {
-		return nil, err
+		return Response{}, err
 	}
 	// Size the exclusion array off the live item count AFTER scoring: the
 	// compact result was extracted under the graph lock, so every item in
@@ -227,7 +263,7 @@ func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]S
 		scr.exclStamp = append(scr.exclStamp, make([]int, n-len(scr.exclStamp))...)
 	}
 	scr.exclEpoch++
-	rated, _ := e.g.Neighbors(e.g.UserNode(u))
+	rated, _ := e.g.Neighbors(e.g.UserNode(req.User))
 	for _, node := range rated {
 		// A write racing this query can hand the user an item admitted
 		// after the exclusion array was sized; it cannot be in compact
@@ -236,9 +272,37 @@ func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]S
 			scr.exclStamp[idx] = scr.exclEpoch
 		}
 	}
-	sel := topk.NewSelector(k)
+	for _, idx := range req.ExcludeItems {
+		if idx < len(scr.exclStamp) {
+			scr.exclStamp[idx] = scr.exclEpoch
+		}
+	}
+	hasCand := req.CandidateItems != nil
+	if hasCand {
+		if n := e.g.NumItems(); n > len(scr.candStamp) {
+			scr.candStamp = append(scr.candStamp, make([]int, n-len(scr.candStamp))...)
+		}
+		scr.candEpoch++
+		for _, idx := range req.CandidateItems {
+			if idx < len(scr.candStamp) {
+				scr.candStamp[idx] = scr.candEpoch
+			}
+		}
+	}
+	cutoff := 0
+	if req.LongTailOnly > 0 {
+		scr.popBuf = e.g.ItemPopularityInto(scr.popBuf)
+		cutoff, scr.popSorted = longTailCutoff(scr.popBuf, req.LongTailOnly, scr.popSorted)
+	}
+	sel := topk.NewSelector(req.K)
 	for _, is := range compact {
 		if scr.exclStamp[is.Item] == scr.exclEpoch || math.IsNaN(is.Score) {
+			continue
+		}
+		if hasCand && (is.Item >= len(scr.candStamp) || scr.candStamp[is.Item] != scr.candEpoch) {
+			continue
+		}
+		if req.LongTailOnly > 0 && is.Item < len(scr.popBuf) && scr.popBuf[is.Item] > cutoff {
 			continue
 		}
 		sel.Offer(is.Item, is.Score)
@@ -248,30 +312,42 @@ func (e *Engine) recommendWith(scr *engineScratch, u, k int, spec walkSpec) ([]S
 	for i, it := range items {
 		out[i] = Scored{Item: it.ID, Score: it.Score}
 	}
-	return out, nil
+	return Response{Items: out, Epoch: e.g.Epoch(), Algo: algo}, nil
 }
 
-// recommend is the single-query pooled entry point.
+// recommend is the single-query pooled entry point — the legacy
+// Recommend(u, k) surface as a thin wrapper over recommendRequest.
 func (e *Engine) recommend(u, k int, spec walkSpec) ([]Scored, error) {
+	resp, err := e.recommendRequestPooled(Request{User: u, K: k}, spec, "")
+	if err != nil {
+		return nil, err
+	}
+	return resp.Items, nil
+}
+
+// recommendRequestPooled borrows a scratch for one recommendRequest.
+func (e *Engine) recommendRequestPooled(req Request, spec walkSpec, algo string) (Response, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	return e.recommendWith(scr, u, k, spec)
+	return e.recommendRequest(scr, req, spec, algo)
 }
 
-// recommendBatch scores many users concurrently. parallelism <= 0 means
-// GOMAXPROCS. Each worker borrows one scratch for its whole share of the
-// batch. Cold users (no rated items) yield a nil entry rather than failing
-// the batch; any other error aborts and is returned.
-func (e *Engine) recommendBatch(users []int, k, parallelism int, spec walkSpec) ([][]Scored, error) {
-	out := make([][]Scored, len(users))
-	if len(users) == 0 {
+// recommendRequestBatch serves many Requests concurrently. parallelism
+// <= 0 means GOMAXPROCS. Each worker borrows one scratch for its whole
+// share of the batch, and each request's own context is honored. Cold
+// users (no rated items) yield a zero Response rather than failing the
+// batch; any other error — including a cancelled per-request context —
+// aborts and is returned.
+func (e *Engine) recommendRequestBatch(reqs []Request, parallelism int, spec walkSpec, algo string) ([]Response, error) {
+	out := make([]Response, len(reqs))
+	if len(reqs) == 0 {
 		return out, nil
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > len(users) {
-		parallelism = len(users)
+	if parallelism > len(reqs) {
+		parallelism = len(reqs)
 	}
 	var (
 		next     atomic.Int64
@@ -289,19 +365,19 @@ func (e *Engine) recommendBatch(users []int, k, parallelism int, spec walkSpec) 
 			defer e.pool.Put(scr)
 			for {
 				i := int(next.Add(1))
-				if i >= len(users) || failed.Load() {
+				if i >= len(reqs) || failed.Load() {
 					return
 				}
-				recs, err := e.recommendWith(scr, users[i], k, spec)
+				resp, err := e.recommendRequest(scr, reqs[i], spec, algo)
 				if err != nil {
 					if errors.Is(err, ErrColdUser) {
-						continue // cold user: leave out[i] nil
+						continue // cold user: leave out[i] zero
 					}
-					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch user %d: %w", users[i], err) })
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch user %d: %w", reqs[i].User, err) })
 					failed.Store(true)
 					return
 				}
-				out[i] = recs
+				out[i] = resp
 			}
 		}()
 	}

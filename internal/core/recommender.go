@@ -23,6 +23,11 @@ import (
 // the walk (S_q = ∅).
 var ErrColdUser = errors.New("core: user has no rated items")
 
+// ErrUserOutOfRange marks a query for a user index outside the live
+// universe — a sentinel so the HTTP layer's 404 mapping does not hinge
+// on the message wording.
+var ErrUserOutOfRange = errors.New("user out of range")
+
 // Scored pairs an item with its ranking score (higher is better).
 type Scored struct {
 	Item  int
@@ -54,27 +59,23 @@ type BatchRecommender interface {
 	RecommendBatch(users []int, k, parallelism int) ([][]Scored, error)
 }
 
-// BatchRecommend serves a multi-user workload through r: concurrently when
-// r implements BatchRecommender, otherwise by a sequential loop (the
-// safe default for adapters whose underlying models make no concurrency
-// promise). Sequential cold users also yield nil entries, matching the
-// concurrent contract.
+// BatchRecommend serves a multi-user workload through r — the legacy
+// batch surface, a thin wrapper over BatchRecommendRequests (which
+// dispatches to r's concurrent batch path when it has one and loops
+// sequentially otherwise). Cold users yield nil entries. Prefer a
+// BatchRecommender implementation if r has one: the Request path only
+// falls back to it for option-free requests.
 func BatchRecommend(r Recommender, users []int, k, parallelism int) ([][]Scored, error) {
-	if br, ok := r.(BatchRecommender); ok {
-		return br.RecommendBatch(users, k, parallelism)
-	}
-	out := make([][]Scored, len(users))
-	for i, u := range users {
-		recs, err := r.Recommend(u, k)
-		if err != nil {
-			if errors.Is(err, ErrColdUser) {
-				continue
-			}
-			return nil, fmt.Errorf("core: batch user %d: %w", u, err)
+	if _, ok := r.(RecommenderV2); !ok {
+		if br, ok := r.(BatchRecommender); ok {
+			return br.RecommendBatch(users, k, parallelism)
 		}
-		out[i] = recs
 	}
-	return out, nil
+	resps, err := BatchRecommendRequests(r, PlainRequests(users, k), parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return ResponseItems(resps), nil
 }
 
 // TopK selects the k highest-scoring items from scores, skipping excluded
@@ -135,7 +136,7 @@ func RankOf(scores []float64, target int, candidates []int) int {
 // validateUser bounds-checks a user index against a universe size.
 func validateUser(u, numUsers int) error {
 	if u < 0 || u >= numUsers {
-		return fmt.Errorf("core: user %d out of range [0,%d)", u, numUsers)
+		return fmt.Errorf("core: %w: user %d not in [0,%d)", ErrUserOutOfRange, u, numUsers)
 	}
 	return nil
 }

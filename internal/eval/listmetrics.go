@@ -17,11 +17,20 @@ type ListOptions struct {
 	// Ontology enables the Table 3 similarity measurement when non-nil.
 	Ontology *ontology.Tree
 	// Parallelism > 1 computes each recommender's panel lists through
-	// core.BatchRecommend across that many workers. SecondsPerUser is then
-	// total wall-clock divided by panel size — an amortized throughput
-	// figure rather than the isolated per-query latency the sequential
-	// default measures (keep the default for Table 5 reproductions).
+	// core.BatchRecommendRequests across that many workers.
+	// SecondsPerUser is then total wall-clock divided by panel size — an
+	// amortized throughput figure rather than the isolated per-query
+	// latency the sequential default measures (keep the default for
+	// Table 5 reproductions).
 	Parallelism int
+	// Query is the request template every panel query derives from: the
+	// evaluation is expressed as core.Requests with this frozen option
+	// set (Ctx bounds the whole run; ExcludeItems / CandidateItems /
+	// LongTailOnly scope every list identically). User and K are
+	// overwritten per query from the panel and ListSize; AllowFallback
+	// is ignored — a user no algorithm can serve fails the run, as the
+	// protocols require.
+	Query core.Request
 }
 
 func (o ListOptions) withDefaults() ListOptions {
@@ -82,34 +91,48 @@ func Lists(recs []core.Recommender, train *dataset.Dataset, users []int, opts Li
 		var simTotal float64
 		var simUsers int
 		var elapsed time.Duration
-		var batched [][]core.Scored
+		// Every panel query is the same frozen request template, only the
+		// user varies: the evaluation measures one option set end to end.
+		mkReq := func(u int) core.Request {
+			req := opts.Query
+			req.User = u
+			req.K = opts.ListSize
+			req.AllowFallback = false
+			return req
+		}
+		var batched []core.Response
 		if opts.Parallelism > 1 {
+			reqs := make([]core.Request, len(users))
+			for i, u := range users {
+				reqs[i] = mkReq(u)
+			}
 			start := time.Now()
-			lists, err := core.BatchRecommend(rec, users, opts.ListSize, opts.Parallelism)
+			resps, err := core.BatchRecommendRequests(rec, reqs, opts.Parallelism)
 			elapsed = time.Since(start)
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s batch recommending: %w", rec.Name(), err)
 			}
-			batched = lists
+			batched = resps
 		}
 		for ui, u := range users {
 			var list []core.Scored
 			if batched != nil {
-				list = batched[ui]
-				// BatchRecommend maps cold users to nil entries; surface them
-				// as the same error the sequential path below reports, so the
-				// Parallelism knob never changes which panels are accepted.
-				if list == nil {
+				// The batch path maps cold users to zero Responses; surface
+				// them as the same error the sequential path below reports,
+				// so the Parallelism knob never changes which panels are
+				// accepted.
+				if batched[ui].Algo == "" {
 					return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, core.ErrColdUser)
 				}
+				list = batched[ui].Items
 			} else {
 				start := time.Now()
-				l, err := rec.Recommend(u, opts.ListSize)
+				resp, err := core.RecommendRequest(rec, mkReq(u))
 				elapsed += time.Since(start)
 				if err != nil {
 					return nil, fmt.Errorf("eval: %s recommending for user %d: %w", rec.Name(), u, err)
 				}
-				list = l
+				list = resp.Items
 			}
 			if len(list) == 0 {
 				continue

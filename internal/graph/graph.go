@@ -307,10 +307,24 @@ func (g *Bipartite) Stationary() []float64 {
 // ItemPopularity returns, for every item, the number of users who rated it
 // (its rating frequency — the paper's popularity measure in §5.2.2). Live.
 func (g *Bipartite) ItemPopularity() []int {
+	return g.ItemPopularityInto(nil)
+}
+
+// ItemPopularityInto is ItemPopularity writing into caller-provided
+// storage when it has the capacity — the allocation-free variant the
+// query engine's long-tail filter uses with pooled scratch. The filled
+// slice (re-sliced to the live item count, or freshly allocated with
+// growth headroom when buf is too small) is returned.
+func (g *Bipartite) ItemPopularityInto(buf []int) []int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	uni := g.uni.Load()
-	pop := make([]int, uni.numItems)
+	var pop []int
+	if cap(buf) >= uni.numItems {
+		pop = buf[:uni.numItems]
+	} else {
+		pop = make([]int, uni.numItems, uni.numItems+uni.numItems/8)
+	}
 	for i := 0; i < uni.numItems; i++ {
 		v := uni.itemNode(i)
 		if r, ok := g.overlay[v]; ok {

@@ -6,7 +6,10 @@
 
 package markov
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // ChainScratch holds the reusable buffers of the truncated-sweep solvers.
 // One scratch serves any number of sequential queries against chains of any
@@ -64,6 +67,16 @@ func (s *ChainScratch) Resize(n int) {
 // scratch is reused. scr must have been Resize'd to c.Len(), with Mask set
 // by the caller after the Resize.
 func (c *Chain) AbsorbingCostFused(scr *ChainScratch, enter []float64, tau int) ([]float64, error) {
+	return c.AbsorbingCostFusedCtx(nil, scr, enter, tau)
+}
+
+// AbsorbingCostFusedCtx is AbsorbingCostFused with cooperative
+// cancellation: ctx is checked before each of the τ sweeps, so a
+// cancelled or deadlined query aborts mid-walk instead of finishing all
+// sweeps. A nil ctx skips the checks entirely — the option-free hot path
+// pays nothing. The context error is returned unwrapped, so
+// errors.Is(err, context.Canceled) holds for callers.
+func (c *Chain) AbsorbingCostFusedCtx(ctx context.Context, scr *ChainScratch, enter []float64, tau int) ([]float64, error) {
 	if len(scr.Mask) != c.n || len(scr.Cur) != c.n || len(scr.Nxt) != c.n {
 		return nil, fmt.Errorf("markov: scratch sized for %d states, chain has %d", len(scr.Mask), c.n)
 	}
@@ -85,6 +98,14 @@ func (c *Chain) AbsorbingCostFused(scr *ChainScratch, enter []float64, tau int) 
 	}
 	cur, nxt, mask := scr.Cur, scr.Nxt, scr.Mask
 	for t := 0; t < tau; t++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				// Keep the scratch consistent (the swap below has not run
+				// for this sweep) so the pooled buffers stay reusable.
+				scr.Cur, scr.Nxt = cur, nxt
+				return nil, err
+			}
+		}
 		for i := 0; i < c.n; i++ {
 			if mask[i] {
 				nxt[i] = 0

@@ -3,8 +3,8 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
-	"errors"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -157,15 +157,60 @@ type RecommendedItem struct {
 	LongTail   bool    `json:"long_tail"`
 }
 
-// RecommendResponse is the /v1/recommend body. Fallback marks a degraded
-// response: the user has no rating history the algorithm can anchor on,
-// so the items are the deterministic live-popularity list instead of a
-// personalized ranking.
+// RecommendResponse is the /v1/recommend body — the full Response
+// envelope. Fallback marks a degraded response: the user has no rating
+// history the algorithm can anchor on, so the items are the
+// deterministic live-popularity list instead of a personalized ranking.
+// Epoch is the graph epoch the result was computed (or cached) at, and
+// CacheHit reports whether the serving cache answered.
 type RecommendResponse struct {
 	User      int               `json:"user"`
 	Algorithm string            `json:"algorithm"`
 	Fallback  bool              `json:"fallback,omitempty"`
+	Epoch     uint64            `json:"epoch"`
+	CacheHit  bool              `json:"cache_hit"`
 	Items     []RecommendedItem `json:"items"`
+}
+
+// parseRequestOptions reads the shared per-request option parameters —
+// exclude, candidates, long_tail_only, fallback — into a core.Request
+// (User/K/Ctx left for the caller). A non-nil error is a client error.
+func parseRequestOptions(r *http.Request, fallbackDefault bool) (core.Request, error) {
+	var req core.Request
+	exclude, err := queryIntList(r, "exclude")
+	if err != nil {
+		return req, err
+	}
+	candidates, err := queryIntList(r, "candidates")
+	if err != nil {
+		return req, err
+	}
+	longTail, err := queryFloat(r, "long_tail_only", 0)
+	if err != nil {
+		return req, err
+	}
+	// Range (and NaN) validation of long_tail_only is core's:
+	// Request.validate rejects it as ErrInvalidOptions, which errStatus
+	// maps to 400 — one definition of the accepted range.
+	allowFallback, err := queryBool(r, "fallback", fallbackDefault)
+	if err != nil {
+		return req, err
+	}
+	req.ExcludeItems = exclude
+	req.CandidateItems = candidates
+	req.LongTailOnly = longTail
+	req.AllowFallback = allowFallback
+	return req, nil
+}
+
+// queryCtx derives the context every recommendation query runs under:
+// the client's request context (so a dropped connection cancels the
+// walk), bounded by Options.RequestTimeout when configured.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
@@ -183,50 +228,43 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", s.opts.MaxK, k)
 		return
 	}
+	// Fallback defaults on: cold-start traffic gets the deterministic
+	// live-popularity list (minus whatever the user HAS rated) instead
+	// of a failure; ?fallback=false restores the hard 404.
+	req, err := parseRequestOptions(r, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.User, req.K = user, k
 	algo := r.URL.Query().Get("algo")
 	if algo == "" {
 		algo = s.opts.DefaultAlgorithm
 	}
-	rec, err := s.src.Algorithm(algo)
-	if err != nil {
-		writeError(w, errStatus(err), "%v", err)
-		return
-	}
-	// Bounds come from the live universe, not the training snapshot: a
-	// user admitted through the auto-grow write path is servable the
-	// moment the write lands.
-	numUsers, _ := s.src.Universe()
-	if user < 0 || user >= numUsers {
-		writeError(w, http.StatusNotFound, "user %d out of range [0,%d)", user, numUsers)
-		return
-	}
-	fallback := false
-	scored, err := rec.Recommend(user, k)
-	if errors.Is(err, core.ErrColdUser) {
-		// No history to anchor a walk (or a snapshot model that predates
-		// the user): degrade to the deterministic live-popularity list —
-		// minus whatever the user HAS rated — instead of failing
-		// cold-start traffic.
-		scored, err = s.src.PopularItems(user, k), nil
-		fallback = true
-	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	resp, err := s.src.Recommend(ctx, algo, req)
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, RecommendResponse{
 		User:      user,
-		Algorithm: rec.Name(),
-		Fallback:  fallback,
-		Items:     s.renderItems(scored, s.src.LiveItemPopularity()),
+		Algorithm: resp.Algo,
+		Fallback:  resp.Fallback,
+		Epoch:     resp.Epoch,
+		CacheHit:  resp.CacheHit,
+		Items:     s.renderItems(resp.Items, s.src.LiveItemPopularity()),
 	})
 }
 
 // BatchEntry is one user's slice of a batch recommendation response. Cold
-// users (no rated items) are served with an empty list.
+// users (no rated items) are served with an empty list, or the
+// popularity fallback (marked) when ?fallback=true.
 type BatchEntry struct {
-	User  int               `json:"user"`
-	Items []RecommendedItem `json:"items"`
+	User     int               `json:"user"`
+	Fallback bool              `json:"fallback,omitempty"`
+	Items    []RecommendedItem `json:"items"`
 }
 
 // RecommendBatchResponse is the /v1/recommend/batch body.
@@ -283,11 +321,27 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	if maxPar := runtime.GOMAXPROCS(0); parallelism > maxPar {
 		parallelism = maxPar
 	}
+	// The same option params as /v1/recommend apply to every user of the
+	// batch. Fallback defaults off here, preserving the historical
+	// batch contract (cold users get empty lists).
+	template, err := parseRequestOptions(r, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	algo := r.URL.Query().Get("algo")
 	if algo == "" {
 		algo = s.opts.DefaultAlgorithm
 	}
-	lists, err := s.src.RecommendBatch(algo, users, k, parallelism)
+	reqs := make([]core.Request, len(users))
+	for i, u := range users {
+		req := template
+		req.User, req.K = u, k
+		reqs[i] = req
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	resps, err := s.src.RecommendRequests(ctx, algo, reqs, parallelism)
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
@@ -295,7 +349,7 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 	pop := s.src.LiveItemPopularity()
 	results := make([]BatchEntry, len(users))
 	for i, u := range users {
-		results[i] = BatchEntry{User: u, Items: s.renderItems(lists[i], pop)}
+		results[i] = BatchEntry{User: u, Fallback: resps[i].Fallback, Items: s.renderItems(resps[i].Items, pop)}
 	}
 	writeJSON(w, http.StatusOK, RecommendBatchResponse{Algorithm: algo, Results: results})
 }

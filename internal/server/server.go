@@ -6,10 +6,24 @@
 //	GET  /v1/stats                      corpus statistics (§5.1.2 view),
 //	                                    graph epoch and cache counters
 //	GET  /v1/algorithms                 available algorithm names
-//	GET  /v1/recommend?user=&algo=&k=   top-k recommendations
+//	GET  /v1/recommend?user=&algo=&k=   top-k recommendations; per-request
+//	                                    options: &exclude=i1,i2 (extra
+//	                                    exclusions), &candidates=i1,i2
+//	                                    (restrict to a slate),
+//	                                    &long_tail_only=P (popularity-
+//	                                    percentile cutoff in (0,1]),
+//	                                    &fallback=false (hard 404 for cold
+//	                                    users). The response envelope
+//	                                    reports fallback, epoch, cache_hit.
 //	GET  /v1/recommend/batch?users=&algo=&k=&parallelism=
 //	                                    top-k lists for many users, scored
-//	                                    concurrently across cores
+//	                                    concurrently across cores; accepts
+//	                                    the same option params
+//
+// Both recommendation endpoints propagate the client's request context
+// into the walk engine — a dropped connection or Options.RequestTimeout
+// cancels an in-flight walk between τ sweeps (499/504).
+//
 //	POST /v1/ratings                    live rating ingest: body
 //	                                    {"user":u,"item":i,"score":s}
 //	                                    upserts one edge, bumps the graph
@@ -59,9 +73,14 @@ type Source interface {
 	Algorithm(name string) (core.Recommender, error)
 	// Algorithms lists the accepted names.
 	Algorithms() []string
-	// RecommendBatch serves many users in one call, concurrently when the
-	// algorithm supports it. Cold users yield a nil entry.
-	RecommendBatch(algo string, users []int, k, parallelism int) ([][]core.Scored, error)
+	// Recommend serves one context-aware Request through the named
+	// algorithm: per-request options honored, cold users degraded to the
+	// popularity fallback when the request allows it.
+	Recommend(ctx context.Context, algo string, req core.Request) (core.Response, error)
+	// RecommendRequests serves many Requests in one call, concurrently
+	// when the algorithm supports it, honoring each request's context.
+	// Cold users yield a zero Response (or a fallback one when allowed).
+	RecommendRequests(ctx context.Context, algo string, reqs []core.Request, parallelism int) ([]core.Response, error)
 	// Data returns the training dataset.
 	Data() *dataset.Dataset
 	// Explain attributes a would-be recommendation over the user's rated
@@ -110,6 +129,12 @@ type Options struct {
 	Logger *log.Logger
 	// ShutdownTimeout bounds graceful Shutdown; <= 0 means 5s.
 	ShutdownTimeout time.Duration
+	// RequestTimeout, when > 0, deadlines every recommendation query: the
+	// handler derives a context.WithTimeout from the request context, so
+	// a slow walk is cancelled mid-sweep instead of holding the
+	// connection. <= 0 means no server-side deadline (the client's own
+	// cancellation still propagates).
+	RequestTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -291,13 +316,78 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// queryFloat parses a float query parameter, def used when absent.
+func queryFloat(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %q is not a number", name, raw)
+	}
+	return v, nil
+}
+
+// queryBool parses a boolean query parameter, def used when absent.
+func queryBool(r *http.Request, name string, def bool) (bool, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("parameter %q: %q is not a boolean", name, raw)
+	}
+	return v, nil
+}
+
+// queryIntList parses a comma-separated integer list parameter. Absent
+// means nil; an explicitly empty value ("candidates=") means an empty
+// non-nil list, so clients can express an empty candidate slate.
+func queryIntList(r *http.Request, name string) ([]int, error) {
+	if !r.URL.Query().Has(name) {
+		return nil, nil
+	}
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return []int{}, nil
+	}
+	fields := strings.Split(raw, ",")
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %q is not an integer", name, f)
+		}
+		// Domain validation (e.g. no negative ids) is core's:
+		// Request.Validate rejects it as ErrInvalidOptions → 400.
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // errStatus maps a recommendation or live-write error to an HTTP status:
 // cold users and out-of-range (including auto-grow-rejected) ids are 404,
 // duplicate-edge conflicts are 409, malformed inputs are 400 — none of
 // these client-caused failures may surface as a 500.
 func errStatus(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		// The server-side RequestTimeout (or the client's own deadline)
+		// expired mid-query.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// 499 is the de-facto "client closed request" status (nginx);
+		// the client is usually gone, but the log should not say 500.
+		return 499
+	case errors.Is(err, core.ErrInvalidOptions):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrOptionsUnsupported):
+		return http.StatusBadRequest
 	case errors.Is(err, core.ErrColdUser):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrUserOutOfRange):
 		return http.StatusNotFound
 	case strings.Contains(err.Error(), "unknown algorithm"):
 		return http.StatusBadRequest

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"longtailrec"
 	"longtailrec/internal/core"
@@ -393,7 +394,9 @@ func TestMethodNotAllowed(t *testing.T) {
 // panicSource explodes on Algorithm, to exercise the recovery middleware.
 type panicSource struct{ Source }
 
-func (panicSource) Algorithm(string) (core.Recommender, error) { panic("kaboom") }
+func (panicSource) Recommend(context.Context, string, core.Request) (core.Response, error) {
+	panic("kaboom")
+}
 
 func TestPanicRecovery(t *testing.T) {
 	sys := testSystem(t)
@@ -459,3 +462,259 @@ func TestGracefulShutdown(t *testing.T) {
 
 // Interface conformance: *longtail.System must satisfy Source.
 var _ Source = (*longtail.System)(nil)
+
+// TestRecommendOptionParams is the table-driven sweep over the
+// per-request option parameters of GET /v1/recommend: the happy paths
+// shape the result, the malformed ones are client errors (400), and the
+// response carries the full envelope (epoch, cache_hit).
+func TestRecommendOptionParams(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Establish the unfiltered ranking for user 0 (rated 0,1,2).
+	var base RecommendResponse
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=8&algo=AT", http.StatusOK, &base)
+	if len(base.Items) < 2 {
+		t.Fatalf("base ranking too small for the test: %+v", base.Items)
+	}
+	first := base.Items[0].Item
+	second := base.Items[1].Item
+
+	t.Run("exclude", func(t *testing.T) {
+		var rec RecommendResponse
+		getJSON(t, fmt.Sprintf("%s/v1/recommend?user=0&k=8&algo=AT&exclude=%d", ts.URL, first), http.StatusOK, &rec)
+		for _, it := range rec.Items {
+			if it.Item == first {
+				t.Fatalf("excluded item %d served: %+v", first, rec.Items)
+			}
+		}
+		if len(rec.Items) != len(base.Items)-1 {
+			t.Fatalf("exclusion removed %d items, want exactly 1", len(base.Items)-len(rec.Items))
+		}
+	})
+
+	t.Run("candidates", func(t *testing.T) {
+		var rec RecommendResponse
+		getJSON(t, fmt.Sprintf("%s/v1/recommend?user=0&k=8&algo=AT&candidates=%d,%d", ts.URL, first, second), http.StatusOK, &rec)
+		if len(rec.Items) != 2 {
+			t.Fatalf("slate of 2 served %d items: %+v", len(rec.Items), rec.Items)
+		}
+		for _, it := range rec.Items {
+			if it.Item != first && it.Item != second {
+				t.Fatalf("off-slate item %d served", it.Item)
+			}
+		}
+	})
+
+	t.Run("long_tail_only", func(t *testing.T) {
+		var rec RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=0&k=8&algo=AT&long_tail_only=0.5", http.StatusOK, &rec)
+		// The corpus has 8 items; the 0.5-percentile cutoff must exclude
+		// the most-popular ones. Every served item's popularity must be
+		// at or below every excluded base item's popularity.
+		served := map[int]bool{}
+		maxServed := 0
+		for _, it := range rec.Items {
+			served[it.Item] = true
+			if it.Popularity > maxServed {
+				maxServed = it.Popularity
+			}
+		}
+		for _, it := range base.Items {
+			if !served[it.Item] && it.Popularity < maxServed {
+				t.Fatalf("long_tail_only kept popularity %d but dropped %d: %+v vs %+v", maxServed, it.Popularity, rec.Items, base.Items)
+			}
+		}
+	})
+
+	t.Run("envelope", func(t *testing.T) {
+		var rec RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=0&k=3&algo=AT", http.StatusOK, &rec)
+		if rec.CacheHit {
+			t.Fatal("cache_hit true on an uncached system")
+		}
+		// Epoch is 0 on a fresh graph; a live write must move it.
+		body := strings.NewReader(`{"user":0,"item":3,"score":4}`)
+		resp, err := http.Post(ts.URL+"/v1/ratings", "application/json", body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		var after RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=0&k=3&algo=AT", http.StatusOK, &after)
+		if after.Epoch != rec.Epoch+1 {
+			t.Fatalf("epoch %d -> %d, want +1", rec.Epoch, after.Epoch)
+		}
+	})
+
+	t.Run("bad-params", func(t *testing.T) {
+		cases := []string{
+			"?user=0&exclude=abc",
+			"?user=0&exclude=1,x",
+			"?user=0&exclude=-4",
+			"?user=0&candidates=zz",
+			"?user=0&candidates=-1",
+			"?user=0&long_tail_only=abc",
+			"?user=0&long_tail_only=1.5",
+			"?user=0&long_tail_only=-0.1",
+			"?user=0&long_tail_only=NaN",
+			"?user=0&fallback=maybe",
+		}
+		for _, q := range cases {
+			var e map[string]string
+			getJSON(t, ts.URL+"/v1/recommend"+q, http.StatusBadRequest, &e)
+			if e["error"] == "" {
+				t.Fatalf("%s: no error message", q)
+			}
+		}
+	})
+
+	t.Run("fallback-false-cold-user", func(t *testing.T) {
+		// User 7 is cold: the default degrades to the popularity list,
+		// ?fallback=false restores the hard 404.
+		var e map[string]string
+		getJSON(t, ts.URL+"/v1/recommend?user=7&k=3&fallback=false", http.StatusNotFound, &e)
+		var rec RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=7&k=3&fallback=true", http.StatusOK, &rec)
+		if !rec.Fallback {
+			t.Fatalf("fallback response not marked: %+v", rec)
+		}
+	})
+
+	t.Run("fallback-honors-options", func(t *testing.T) {
+		var rec RecommendResponse
+		getJSON(t, ts.URL+"/v1/recommend?user=7&k=8&exclude=0", http.StatusOK, &rec)
+		if !rec.Fallback {
+			t.Fatalf("expected fallback for cold user: %+v", rec)
+		}
+		for _, it := range rec.Items {
+			if it.Item == 0 {
+				t.Fatalf("fallback served excluded item 0: %+v", rec.Items)
+			}
+		}
+	})
+}
+
+// TestRecommendBatchOptions: the batch endpoint accepts the same option
+// params and propagates them to every user.
+func TestRecommendBatchOptions(t *testing.T) {
+	_, ts := testServer(t)
+	var batch RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,1&k=8&algo=AT&exclude=3", http.StatusOK, &batch)
+	for _, entry := range batch.Results {
+		for _, it := range entry.Items {
+			if it.Item == 3 {
+				t.Fatalf("user %d served excluded item 3", entry.User)
+			}
+		}
+	}
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,1&long_tail_only=9", http.StatusBadRequest, &e)
+
+	// fallback=true fills cold user 7's entry from the popularity list.
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,7&k=3&algo=AT&fallback=true", http.StatusOK, &batch)
+	if len(batch.Results) != 2 || !batch.Results[1].Fallback || len(batch.Results[1].Items) == 0 {
+		t.Fatalf("cold batch entry not degraded: %+v", batch.Results)
+	}
+	// Default (no fallback): cold users get empty lists, unmarked.
+	var plain RecommendBatchResponse
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,7&k=3&algo=AT", http.StatusOK, &plain)
+	if plain.Results[1].Fallback || len(plain.Results[1].Items) != 0 {
+		t.Fatalf("cold batch entry changed contract: %+v", plain.Results)
+	}
+}
+
+// slowSystem builds a System whose walk solves run for minutes unless
+// the request context cancels them mid-sweep.
+func slowSystem(t testing.TB) *longtail.System {
+	t.Helper()
+	ratings := []longtail.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 4},
+		{User: 1, Item: 0, Score: 4}, {User: 1, Item: 2, Score: 5},
+		{User: 2, Item: 1, Score: 5}, {User: 2, Item: 2, Score: 4},
+	}
+	d, err := longtail.NewDataset(3, 3, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.DefaultConfig()
+	cfg.Walk.Iterations = 500_000_000
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestRecommendClientTimeoutCancelsWalk is the acceptance test for
+// context propagation: a client-side timeout on
+// GET /v1/recommend?user=U&k=K&long_tail_only=P cancels the in-flight
+// walk — the handler returns within a bound that is orders of magnitude
+// below the uncancelled solve time, and the server stays serviceable.
+func TestRecommendClientTimeoutCancelsWalk(t *testing.T) {
+	srv, err := New(slowSystem(t), Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err = client.Get(ts.URL + "/v1/recommend?user=0&k=2&long_tail_only=0.9")
+	if err == nil {
+		t.Fatal("expected the client timeout to fire")
+	}
+	// The handler must observe the cancellation promptly: wait for the
+	// request to be recorded in the metrics (it only lands there when
+	// the handler returns) well before the uncancelled solve could end.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var m MetricsResponse
+		getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &m)
+		done := false
+		for route, e := range m.Endpoints {
+			if strings.Contains(route, "/v1/recommend") && !strings.Contains(route, "batch") && e.Requests > 0 {
+				done = true
+			}
+		}
+		if done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled walk still running after 10s — context not propagated into the engine")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("handler held the walk for %v after client abandoned", elapsed)
+	}
+}
+
+// TestRecommendServerRequestTimeout: Options.RequestTimeout deadlines
+// the query server-side and surfaces 504 to a patient client.
+func TestRecommendServerRequestTimeout(t *testing.T) {
+	srv, err := New(slowSystem(t), Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+		RequestTimeout:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	start := time.Now()
+	var e map[string]string
+	getJSON(t, ts.URL+"/v1/recommend?user=0&k=2", http.StatusGatewayTimeout, &e)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if e["error"] == "" {
+		t.Fatal("no error message")
+	}
+	// Batch honors the deadline too.
+	getJSON(t, ts.URL+"/v1/recommend/batch?users=0,1&k=2", http.StatusGatewayTimeout, &e)
+}

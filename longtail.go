@@ -21,6 +21,8 @@
 package longtail
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -57,6 +59,17 @@ type (
 	World = synth.World
 	// Anchor attributes a recommendation to one of the user's rated items.
 	Anchor = core.Anchor
+	// Request is one context-aware recommendation query: user, list size,
+	// cancellation context and the per-request serving options
+	// (exclusions, candidate slate, long-tail-only mode, fallback
+	// policy). See internal/core.Request.
+	Request = core.Request
+	// Response is the result of one Request plus its serving metadata
+	// (fallback, graph epoch, cache hit, resolved algorithm).
+	Response = core.Response
+	// RecommenderV2 is the context-aware query surface every recommender
+	// in the suite implements.
+	RecommenderV2 = core.RecommenderV2
 )
 
 // ErrColdUser is returned when a query user has no rated items.
@@ -172,7 +185,7 @@ type System struct {
 
 	// recCache is the shared epoch-invalidated result cache wrapped around
 	// every recommender; nil when Config.CacheSize <= 0.
-	recCache *cache.Cache[[]core.Scored]
+	recCache *cache.Cache[core.Response]
 
 	mu         sync.Mutex
 	ldaModel   *lda.Model
@@ -199,7 +212,7 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 		errCache: make(map[string]error),
 	}
 	if cfg.CacheSize > 0 {
-		s.recCache = cache.New[[]core.Scored](cfg.CacheSize)
+		s.recCache = cache.New[core.Response](cfg.CacheSize)
 	}
 	return s, nil
 }
@@ -259,6 +272,13 @@ func (s *System) LiveItemPopularity() []int { return s.g.ItemPopularity() }
 // rated (per the live graph) are excluded, matching every personalized
 // path; pass a user outside the universe (e.g. -1) for the raw list.
 func (s *System) PopularItems(user, k int) []Scored {
+	return s.popularItemsFrom(s.g.ItemPopularity(), user, k)
+}
+
+// popularItemsFrom is PopularItems over an already-fetched live
+// popularity vector, so callers that need the vector anyway (the
+// option-filtered fallback) pay for one catalog scan, not two.
+func (s *System) popularItemsFrom(pop []int, user, k int) []Scored {
 	var rated map[int]struct{}
 	if user >= 0 && user < s.g.NumUsers() {
 		items, _ := s.g.UserItems(user)
@@ -267,7 +287,6 @@ func (s *System) PopularItems(user, k int) []Scored {
 			rated[i] = struct{}{}
 		}
 	}
-	pop := s.g.ItemPopularity()
 	sel := topk.NewSelector(k)
 	for i, p := range pop {
 		if _, skip := rated[i]; skip {
@@ -703,72 +722,184 @@ func (s *System) PaperSuite() ([]Recommender, error) {
 	return []Recommender{ac2, ac1, s.AT(), s.HT(), s.DPPR(), psvd, ldaRec}, nil
 }
 
+// algorithmRegistry is the single ordered source of truth for the
+// algorithm suite: Algorithm resolution and AlgorithmNames are both
+// derived from it, so a new algorithm is added in exactly one place and
+// the two can never drift (a parity test in longtail_test.go holds the
+// invariant).
+var algorithmRegistry = []struct {
+	name  string
+	build func(*System) (Recommender, error)
+}{
+	{"HT", func(s *System) (Recommender, error) { return s.HT(), nil }},
+	{"AT", func(s *System) (Recommender, error) { return s.AT(), nil }},
+	{"AC1", (*System).AC1},
+	{"AC2", (*System).AC2},
+	{"AC3", (*System).AC3},
+	{"DPPR", func(s *System) (Recommender, error) { return s.DPPR(), nil }},
+	{"PPR", func(s *System) (Recommender, error) { return s.PPR(), nil }},
+	{"Katz", (*System).Katz},
+	{"CommuteTime", (*System).CommuteTime},
+	{"RWR", (*System).RWR},
+	{"PureSVD", (*System).PureSVD},
+	{"BiasedMF", (*System).BiasedMF},
+	{"SVDPP", (*System).SVDPP},
+	{"AsySVD", (*System).AsySVD},
+	{"LDA", (*System).LDA},
+	{"UserKNN", (*System).UserKNN},
+	{"ItemKNN", (*System).ItemKNN},
+	{"AssocRules", (*System).AssocRules},
+	{"MostPopular", func(s *System) (Recommender, error) { return s.MostPopular(), nil }},
+}
+
 // Algorithm resolves a recommender by its paper name (HT, AT, AC1, AC2,
-// DPPR, PureSVD, LDA, UserKNN, ItemKNN, MostPopular).
+// DPPR, PureSVD, LDA, UserKNN, ItemKNN, MostPopular, ...): every name
+// in AlgorithmNames resolves here and nothing else does.
 func (s *System) Algorithm(name string) (Recommender, error) {
-	switch name {
-	case "HT":
-		return s.HT(), nil
-	case "AT":
-		return s.AT(), nil
-	case "AC1":
-		return s.AC1()
-	case "AC2":
-		return s.AC2()
-	case "AC3":
-		return s.AC3()
-	case "DPPR":
-		return s.DPPR(), nil
-	case "PPR":
-		return s.PPR(), nil
-	case "Katz":
-		return s.Katz()
-	case "CommuteTime":
-		return s.CommuteTime()
-	case "RWR":
-		return s.RWR()
-	case "PureSVD":
-		return s.PureSVD()
-	case "BiasedMF":
-		return s.BiasedMF()
-	case "SVDPP":
-		return s.SVDPP()
-	case "AsySVD":
-		return s.AsySVD()
-	case "LDA":
-		return s.LDA()
-	case "UserKNN":
-		return s.UserKNN()
-	case "ItemKNN":
-		return s.ItemKNN()
-	case "AssocRules":
-		return s.AssocRules()
-	case "MostPopular":
-		return s.MostPopular(), nil
-	default:
-		return nil, fmt.Errorf("longtail: unknown algorithm %q (want one of %v)", name, AlgorithmNames())
+	for _, entry := range algorithmRegistry {
+		if entry.name == name {
+			return entry.build(s)
+		}
 	}
+	return nil, fmt.Errorf("longtail: unknown algorithm %q (want one of %v)", name, AlgorithmNames())
 }
 
 // Algorithms lists every name this System's Algorithm method accepts.
 func (s *System) Algorithms() []string { return AlgorithmNames() }
 
-// RecommendBatch resolves algo and serves the whole user list, spreading
-// the work across up to parallelism goroutines (<= 0 means GOMAXPROCS)
-// when the algorithm supports concurrent scoring, and falling back to a
-// sequential loop otherwise. Cold users yield a nil entry rather than
-// failing the batch.
-func (s *System) RecommendBatch(algo string, users []int, k, parallelism int) ([][]Scored, error) {
+// Recommend serves one context-aware recommendation Request through the
+// named algorithm — the primary query surface. ctx bounds the whole
+// query (the walk engine checks it at the subgraph-extraction
+// boundaries and between τ sweeps, so a cancelled or deadlined request
+// aborts mid-walk); when req.Ctx is also set, req.Ctx wins. The
+// per-request options — ExcludeItems, CandidateItems, LongTailOnly —
+// are honored natively by every recommender in the suite, and with
+// req.AllowFallback a user the algorithm cannot anchor on (no rating
+// history, or a snapshot model that predates them) degrades to the
+// deterministic live-popularity list, filtered through the same
+// options, instead of failing.
+func (s *System) Recommend(ctx context.Context, algo string, req Request) (Response, error) {
+	// Reject malformed options before resolving the algorithm: lazy
+	// constructors (LDA training for AC2, SGD for the MF baselines) must
+	// not be triggered by a request that cannot be served anyway.
+	if err := req.Validate(); err != nil {
+		return Response{}, err
+	}
+	rec, err := s.Algorithm(algo)
+	if err != nil {
+		return Response{}, err
+	}
+	if req.Ctx == nil {
+		req.Ctx = ctx
+	}
+	resp, err := core.RecommendRequest(rec, req)
+	if err != nil {
+		if errors.Is(err, core.ErrColdUser) && req.AllowFallback {
+			return s.fallbackResponse(req, rec.Name()), nil
+		}
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+// RecommendRequests serves a batch of Requests through the named
+// algorithm, spreading the work across up to parallelism goroutines
+// (<= 0 means GOMAXPROCS) when the algorithm supports concurrent
+// scoring. ctx fills any request whose own Ctx is nil, and each
+// request's context is honored by the workers individually. Cold users
+// degrade to the popularity fallback when their request allows it and
+// yield a zero Response otherwise.
+func (s *System) RecommendRequests(ctx context.Context, algo string, reqs []Request, parallelism int) ([]Response, error) {
+	// Reject malformed option sets before the (possibly lazy-training)
+	// algorithm resolves; one validation per distinct option storage —
+	// the usual batch fans one template across every user.
+	for i := range reqs {
+		if i == 0 || !core.SameOptionStorage(reqs[i], reqs[i-1]) {
+			if err := reqs[i].Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	rec, err := s.Algorithm(algo)
 	if err != nil {
 		return nil, err
 	}
-	return core.BatchRecommend(rec, users, k, parallelism)
+	filled := make([]Request, len(reqs))
+	for i, req := range reqs {
+		if req.Ctx == nil {
+			req.Ctx = ctx
+		}
+		filled[i] = req
+	}
+	out, err := core.BatchRecommendRequests(rec, filled, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		// A zero Response (no Algo) marks a user the algorithm could not
+		// anchor on; serve the fallback when that request allows it.
+		if out[i].Algo == "" && filled[i].AllowFallback {
+			out[i] = s.fallbackResponse(filled[i], rec.Name())
+		}
+	}
+	return out, nil
 }
 
-// AlgorithmNames lists every algorithm Algorithm accepts.
+// fallbackResponse builds the degraded Response for a cold user: the
+// deterministic live-popularity list minus the user's rated items,
+// passed through the request's own option filters (so a long-tail-only
+// or candidate-scoped request stays long-tail-only or candidate-scoped
+// even when degraded).
+func (s *System) fallbackResponse(req Request, algo string) Response {
+	k := req.K
+	if k < 0 {
+		k = 0
+	}
+	var items []Scored
+	if req.HasOptions() {
+		// Pull the full popularity ranking so post-filtering can still
+		// fill all k slots, sharing one catalog scan between the ranking
+		// and the long-tail filter. Off the hot path: fallbacks are rare
+		// and the catalog ranking is one bounded-heap pass.
+		pop := s.LiveItemPopularity()
+		full := s.popularItemsFrom(pop, req.User, len(pop))
+		items = core.FilterScored(full, req, pop)
+		if len(items) > k {
+			items = items[:k]
+		}
+	} else {
+		items = s.PopularItems(req.User, k)
+	}
+	return Response{
+		Items:    items,
+		Fallback: true,
+		Epoch:    s.Epoch(),
+		Algo:     algo,
+	}
+}
+
+// RecommendBatch resolves algo and serves the whole user list, spreading
+// the work across up to parallelism goroutines (<= 0 means GOMAXPROCS)
+// when the algorithm supports concurrent scoring, and falling back to a
+// sequential loop otherwise. Cold users yield a nil entry rather than
+// failing the batch. The legacy batch surface: a thin wrapper over
+// RecommendRequests with no context and no options.
+func (s *System) RecommendBatch(algo string, users []int, k, parallelism int) ([][]Scored, error) {
+	resps, err := s.RecommendRequests(context.Background(), algo, core.PlainRequests(users, k), parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return core.ResponseItems(resps), nil
+}
+
+// AlgorithmNames lists every algorithm Algorithm accepts, in registry
+// order.
 func AlgorithmNames() []string {
-	return []string{"HT", "AT", "AC1", "AC2", "AC3", "DPPR", "PPR", "Katz", "CommuteTime", "RWR", "PureSVD", "BiasedMF", "SVDPP", "AsySVD", "LDA", "UserKNN", "ItemKNN", "AssocRules", "MostPopular"}
+	names := make([]string, len(algorithmRegistry))
+	for i, entry := range algorithmRegistry {
+		names[i] = entry.name
+	}
+	return names
 }
 
 // SimilarItem pairs an item with its similarity to a query item.
@@ -902,11 +1033,4 @@ func GenerateDoubanLike(seed int64) (*World, error) {
 	cfg := synth.DoubanLike()
 	cfg.Seed = seed
 	return synth.Generate(cfg)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -2,8 +2,11 @@ package longtail
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -301,5 +304,157 @@ func TestSystemSimilarItems(t *testing.T) {
 	}
 	if _, err := sys.SimilarItems(0, 0); err == nil {
 		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestAlgorithmRegistryParity holds the registry invariant: every name
+// AlgorithmNames lists resolves through Algorithm to a recommender that
+// reports that very name, the list has no duplicates, and nothing
+// outside the list resolves. Resolution and listing are derived from
+// one table, so this test guards against the table itself rotting
+// (e.g. a registered builder returning a misnamed recommender).
+func TestAlgorithmRegistryParity(t *testing.T) {
+	sys, _ := smallSystem(t, 21)
+	names := AlgorithmNames()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			t.Fatalf("duplicate registry entry %q", name)
+		}
+		seen[name] = true
+		rec, err := sys.Algorithm(name)
+		if err != nil {
+			t.Fatalf("listed algorithm %q does not resolve: %v", name, err)
+		}
+		if rec.Name() != name {
+			t.Fatalf("algorithm %q resolves to recommender named %q", name, rec.Name())
+		}
+		// Every algorithm in the suite speaks the context-aware surface.
+		if _, ok := rec.(RecommenderV2); !ok {
+			t.Fatalf("algorithm %q does not implement RecommenderV2", name)
+		}
+	}
+	if !reflect.DeepEqual(sys.Algorithms(), names) {
+		t.Fatal("System.Algorithms diverged from AlgorithmNames")
+	}
+	for _, bogus := range []string{"", "ht", "AC", "AT ", "PureSVD2"} {
+		if _, err := sys.Algorithm(bogus); err == nil {
+			t.Fatalf("unlisted name %q resolved", bogus)
+		}
+	}
+}
+
+// TestSystemRecommendRequest exercises the System-level Request surface:
+// metadata envelope, per-request options, fallback policy, context.
+func TestSystemRecommendRequest(t *testing.T) {
+	sys, _ := smallSystem(t, 22)
+	resp, err := sys.Recommend(context.Background(), "AT", Request{User: 0, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Algo != "AT" || resp.Fallback || len(resp.Items) == 0 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	legacy, err := sys.AT().Recommend(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, resp.Items) {
+		t.Fatalf("Request path diverged from legacy Recommend:\n%+v\n%+v", legacy, resp.Items)
+	}
+
+	// Options: excluding the whole result forces an empty list.
+	excl := make([]int, len(resp.Items))
+	for i, it := range resp.Items {
+		excl[i] = it.Item
+	}
+	narrowed, err := sys.Recommend(context.Background(), "AT", Request{User: 0, K: len(excl), ExcludeItems: excl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range narrowed.Items {
+		for _, ex := range excl {
+			if it.Item == ex {
+				t.Fatalf("excluded item %d served", ex)
+			}
+		}
+	}
+
+	// Cancelled context aborts.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Recommend(ctx, "AT", Request{User: 0, K: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// req.Ctx wins over the argument ctx.
+	if _, err := sys.Recommend(context.Background(), "AT", Request{Ctx: ctx, User: 0, K: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("req.Ctx not honored: %v", err)
+	}
+
+	// Unknown algorithm surfaces the registry error.
+	if _, err := sys.Recommend(context.Background(), "Nope", Request{User: 0, K: 5}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestSystemRecommendFallback: a grown (history-less) user degrades to
+// the popularity list when the request allows it, with the option
+// filters still applied.
+func TestSystemRecommendFallback(t *testing.T) {
+	sys, _ := smallSystem(t, 23)
+	cfg := sys.cfg
+	if cfg.AutoGrow {
+		t.Fatal("test assumes closed universe default")
+	}
+	// Admit a brand-new user with no ratings via the graph directly.
+	newUser := sys.Graph().AddUser()
+
+	if _, err := sys.Recommend(context.Background(), "AT", Request{User: newUser, K: 4}); !errors.Is(err, ErrColdUser) {
+		t.Fatalf("err = %v, want ErrColdUser without fallback", err)
+	}
+	resp, err := sys.Recommend(context.Background(), "AT", Request{User: newUser, K: 4, AllowFallback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Fallback || len(resp.Items) != 4 {
+		t.Fatalf("fallback resp = %+v", resp)
+	}
+	// The fallback honors the option filters: exclude its top pick.
+	top := resp.Items[0].Item
+	filtered, err := sys.Recommend(context.Background(), "AT", Request{
+		User: newUser, K: 4, AllowFallback: true, ExcludeItems: []int{top},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !filtered.Fallback {
+		t.Fatalf("filtered fallback resp = %+v", filtered)
+	}
+	for _, it := range filtered.Items {
+		if it.Item == top {
+			t.Fatalf("fallback served excluded item %d", top)
+		}
+	}
+
+	// Batch: fallback-allowed requests fill, plain cold entries stay zero.
+	resps, err := sys.RecommendRequests(context.Background(), "AT", []Request{
+		{User: 0, K: 3},
+		{User: newUser, K: 3, AllowFallback: true},
+		{User: newUser, K: 3},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Algo != "AT" || len(resps[0].Items) == 0 {
+		t.Fatalf("warm batch entry %+v", resps[0])
+	}
+	if !resps[1].Fallback || len(resps[1].Items) != 3 {
+		t.Fatalf("fallback batch entry %+v", resps[1])
+	}
+	if resps[2].Algo != "" || resps[2].Items != nil {
+		t.Fatalf("cold batch entry %+v", resps[2])
 	}
 }
