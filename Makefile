@@ -22,17 +22,20 @@ fmt-check:
 
 # Race-detector pass over the concurrency-sensitive surfaces: the pooled
 # walk query engine, the shared-System batch paths, the live delta-overlay
-# graph (concurrent readers + one writer) and the sharded result cache.
+# graph (concurrent readers + one writer), the sharded result cache and
+# the user-partitioned serving fleet (cross-shard write isolation —
+# TestConcurrentShardedWriteIsolation in the root package).
 # (The full suite under -race also works but takes many minutes; this is
 # the CI-sized cut.)
 race:
-	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/
+	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/
 
 # Short per-query benchmark pass with allocation counts — the regression
-# signal for the zero-allocation query engine, the Request query surface
-# and the cached serving path (see PERFORMANCE.md).
+# signal for the zero-allocation query engine, the Request query surface,
+# the cached serving path and the sharded-fleet invalidation blast radius
+# (see PERFORMANCE.md).
 bench: build
-	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest' -benchtime=100x -benchmem
+	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest|Sharded' -benchtime=100x -benchmem
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass
 # for the extractor and the live graph, closed- and open-universe (CI runs

@@ -395,6 +395,64 @@ func BenchmarkRecommendCachedWithWrites(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedWriteInvalidation measures the cache hit rate of a
+// mixed read/write workload (1 write per 8 reads) as the serving fleet
+// shards: with one replica every write's epoch bump kills the whole
+// cache, while with N shards only the written user's shard recomputes —
+// the other N−1 keep serving warm entries. The per-run "hit-rate" metric
+// is the headline number PERFORMANCE.md's "Sharded invalidation blast
+// radius" section tracks; ns/op follows it (a hit is ~5 orders of
+// magnitude cheaper than a walk).
+func BenchmarkShardedWriteInvalidation(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := longtail.DefaultConfig()
+			cfg.CacheSize = 8192
+			cfg.ShardCount = shards
+			sys, err := longtail.NewSystem(env.Split.Train, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec, err := sys.Algorithm("AT")
+			if err != nil {
+				b.Fatal(err)
+			}
+			users := env.Panel
+			for _, u := range users { // warm: one miss per panel user
+				if _, err := rec.Recommend(u, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			numItems := env.Split.Train.NumItems()
+			// Snapshot the counters after warm-up: the reported hit rate
+			// must cover only the timed mixed workload, not the one
+			// guaranteed miss per panel user the warm loop just paid.
+			warm := sys.ServingStats().Cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%8 == 7 { // 12.5% writes, routed to the writer's shard
+					u := users[i%len(users)]
+					if _, _, err := sys.ApplyRating(u, i%numItems, 1+float64(i%5)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				u := users[(i*7+1)%len(users)]
+				if _, err := rec.Recommend(u, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := sys.ServingStats().Cache
+			hits := (st.Hits + st.Shared) - (warm.Hits + warm.Shared)
+			if lookups := (st.Hits + st.Misses + st.Shared) - (warm.Hits + warm.Misses + warm.Shared); lookups > 0 {
+				b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+			}
+		})
+	}
+}
+
 // BenchmarkSystemConstruction measures graph building and indexing on the
 // MovieLens-shaped corpus (model training excluded: recommenders are lazy).
 func BenchmarkSystemConstruction(b *testing.B) {

@@ -14,12 +14,17 @@
 // overlay immediately and invalidate the recommendation result cache via
 // the graph epoch. -cache-size sizes that cache (0 disables it);
 // -compact-threshold controls how many overlay writes accumulate before
-// they are folded back into the CSR. With -auto-grow (the default) the
-// universe is open: ratings from users and items the corpus has never
-// seen are admitted and grow the serving graph, and brand-new users get
-// the deterministic popularity fallback from /v1/recommend until their
-// first ratings land; -auto-grow=false restores the closed universe
-// (unseen ids 404).
+// they are folded back into the CSR. With -shards N > 1 serving is
+// partitioned across N user-sharded replicas, each with its own graph,
+// cache and epoch, so a write invalidates only its own shard's cached
+// results (the default, 1, is the single-replica stack); -evict-interval
+// runs a background janitor that periodically reclaims the memory of
+// cache entries stranded by epoch bumps. With -auto-grow (the default)
+// the universe is open: ratings from users and items the corpus has
+// never seen are admitted and grow the serving graph, and brand-new
+// users get the deterministic popularity fallback from /v1/recommend
+// until their first ratings land; -auto-grow=false restores the closed
+// universe (unseen ids 404).
 //
 // The process shuts down gracefully on SIGINT/SIGTERM.
 package main
@@ -33,6 +38,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -42,55 +48,98 @@ import (
 	"longtailrec/internal/server"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	addr, in, format, synthetic, algo string
+	topics                            int
+	seed                              int64
+	cacheSize, compactThreshold       int
+	shards                            int
+	autoGrow                          bool
+	requestTimeout                    time.Duration
+	evictInterval                     time.Duration
+}
+
 func main() {
-	var (
-		addr             = flag.String("addr", ":8080", "listen address")
-		in               = flag.String("in", "", "ratings file path (required unless -synthetic)")
-		format           = flag.String("format", "tsv", "input format: tsv, csv, movielens or ltrz")
-		synthetic        = flag.String("synthetic", "", "serve a synthetic corpus instead: movielens or douban")
-		algo             = flag.String("algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
-		topics           = flag.Int("topics", 20, "LDA topics (AC2/LDA)")
-		seed             = flag.Int64("seed", 42, "seed for the synthetic corpus")
-		cacheSize        = flag.Int("cache-size", 4096, "recommendation result cache entries (0 disables caching)")
-		compactThreshold = flag.Int("compact-threshold", 1024, "live writes buffered in the graph delta overlay before auto-compaction")
-		autoGrow         = flag.Bool("auto-grow", true, "admit ratings from unseen users/items, growing the serving universe live")
-		requestTimeout   = flag.Duration("request-timeout", 0, "per-request deadline for the recommendation endpoints (0 disables); an expired deadline cancels the walk mid-sweep")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.in, "in", "", "ratings file path (required unless -synthetic)")
+	flag.StringVar(&o.format, "format", "tsv", "input format: tsv, csv, movielens or ltrz")
+	flag.StringVar(&o.synthetic, "synthetic", "", "serve a synthetic corpus instead: movielens or douban")
+	flag.StringVar(&o.algo, "algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
+	flag.IntVar(&o.topics, "topics", 20, "LDA topics (AC2/LDA)")
+	flag.Int64Var(&o.seed, "seed", 42, "seed for the synthetic corpus")
+	flag.IntVar(&o.cacheSize, "cache-size", 4096, "recommendation result cache entries across all shards (0 disables caching)")
+	flag.IntVar(&o.compactThreshold, "compact-threshold", 1024, "live writes buffered in a graph delta overlay before auto-compaction")
+	flag.IntVar(&o.shards, "shards", 1, "user-partitioned serving replicas, each with its own graph, cache and epoch (1 = single-replica serving)")
+	flag.BoolVar(&o.autoGrow, "auto-grow", true, "admit ratings from unseen users/items, growing the serving universe live")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", 0, "per-request deadline for the recommendation endpoints (0 disables); an expired deadline cancels the walk mid-sweep")
+	flag.DurationVar(&o.evictInterval, "evict-interval", time.Minute, "how often the background janitor sweeps stale (epoch-invalidated) cache entries (0 disables the janitor)")
 	flag.Parse()
-	if err := run(*addr, *in, *format, *synthetic, *algo, *topics, *seed, *cacheSize, *compactThreshold, *autoGrow, *requestTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, in, format, synthetic, algo string, topics int, seed int64, cacheSize, compactThreshold int, autoGrow bool, requestTimeout time.Duration) error {
-	data, err := loadData(in, format, synthetic, seed)
+func run(o options) error {
+	data, err := loadData(o.in, o.format, o.synthetic, o.seed)
 	if err != nil {
 		return err
 	}
 	cfg := longtail.DefaultConfig()
-	cfg.LDA.NumTopics = topics
-	cfg.Seed = seed
-	cfg.CacheSize = cacheSize
-	cfg.CompactThreshold = compactThreshold
-	cfg.AutoGrow = autoGrow
+	cfg.LDA.NumTopics = o.topics
+	cfg.Seed = o.seed
+	cfg.CacheSize = o.cacheSize
+	cfg.CompactThreshold = o.compactThreshold
+	cfg.AutoGrow = o.autoGrow
+	cfg.ShardCount = o.shards
 	sys, err := longtail.NewSystem(data, cfg)
 	if err != nil {
 		return err
 	}
 	logger := log.New(os.Stderr, "ltr-server ", log.LstdFlags)
 	srv, err := server.New(sys, server.Options{
-		Addr:             addr,
-		DefaultAlgorithm: algo,
+		Addr:             o.addr,
+		DefaultAlgorithm: o.algo,
 		Logger:           logger,
-		RequestTimeout:   requestTimeout,
+		RequestTimeout:   o.requestTimeout,
 	})
 	if err != nil {
 		return err
 	}
 	st := data.Summarize()
-	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, cache %d entries, compact every %d writes, auto-grow %v)",
-		st.NumUsers, st.NumItems, st.NumRatings, addr, algo, cacheSize, compactThreshold, autoGrow)
+	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, %d shards, cache %d entries, compact every %d writes, auto-grow %v)",
+		st.NumUsers, st.NumItems, st.NumRatings, o.addr, o.algo, sys.ShardCount(), o.cacheSize, o.compactThreshold, o.autoGrow)
+
+	// Background cache janitor: epoch bumps make stale entries
+	// unreachable but not free — the ticker reclaims their memory so a
+	// write-heavy stream cannot pin dead results until LRU pressure gets
+	// to them. Stopped cleanly (goroutine joined) on shutdown.
+	if o.evictInterval > 0 && o.cacheSize > 0 {
+		janitorStop := make(chan struct{})
+		var janitorWG sync.WaitGroup
+		janitorWG.Add(1)
+		go func() {
+			defer janitorWG.Done()
+			ticker := time.NewTicker(o.evictInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if n := sys.EvictStaleCache(); n > 0 {
+						logger.Printf("cache janitor: evicted %d stale entries", n)
+					}
+				case <-janitorStop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(janitorStop)
+			janitorWG.Wait()
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -27,17 +27,44 @@ type EpochSource interface {
 }
 
 // ServingStats is the live-serving state the HTTP layer reports on
-// /v1/stats: where the graph's write stream stands and how effective the
-// result cache is.
+// /v1/stats: where the write stream stands and how effective the result
+// caching is, fleet-wide plus a per-shard breakdown.
 type ServingStats struct {
-	// Epoch is the graph epoch (accepted live writes since construction).
+	// Epoch is the fleet-wide epoch: total accepted live writes since
+	// construction, summed across shards (with one shard, the graph
+	// epoch exactly as before).
 	Epoch uint64
-	// PendingWrites is how many writes sit in the graph's delta overlay,
-	// not yet compacted into the CSR.
+	// PendingWrites is how many writes sit in the shards' delta
+	// overlays, not yet compacted into their CSRs.
 	PendingWrites int
-	// CacheEnabled reports whether a result cache is configured.
+	// CacheEnabled reports whether result caches are configured.
 	CacheEnabled bool
-	// Cache holds the result-cache counters (zero when disabled).
+	// Cache holds the result-cache counters summed across shards (zero
+	// when disabled).
+	Cache cache.Stats
+	// Shards is the per-shard breakdown, indexed by shard — always
+	// populated (length 1 for the single-replica stack). Each shard's
+	// epoch and cache counters move independently: a write invalidates
+	// only its own shard's cached results.
+	Shards []ShardStats
+}
+
+// ShardStats is one serving replica's slice of ServingStats: its own
+// epoch, pending writes, live universe and cache counters.
+type ShardStats struct {
+	// Shard is the replica's index (the value shard.Assign routes to).
+	Shard int
+	// Epoch is this shard's graph epoch (accepted writes routed here).
+	Epoch uint64
+	// PendingWrites is this shard's uncompacted delta-overlay writes.
+	PendingWrites int
+	// NumUsers/NumItems are this shard's live universe sizes; shards
+	// diverge as auto-grow admissions land on the written shard only.
+	NumUsers, NumItems int
+	// CacheEnabled reports whether this shard has a result cache.
+	CacheEnabled bool
+	// Cache holds this shard's result-cache counters (zero when
+	// disabled).
 	Cache cache.Stats
 }
 

@@ -122,11 +122,11 @@ func TestUpsertRatingAutoGrow(t *testing.T) {
 func TestUpsertRatingAutoGrowRejects(t *testing.T) {
 	g := growthSeedGraph(t)
 	cases := []struct{ u, i int }{
-		{-1, 0},              // negative user
-		{0, -2},              // negative item
-		{3 + maxGrowStep, 0}, // absurd user jump
-		{0, 4 + maxGrowStep}, // absurd item jump
-		{1 << 40, 1 << 40},   // astronomically absurd
+		{-1, 0},                     // negative user
+		{0, -2},                     // negative item
+		{3 + MaxDenseAdmissions, 0}, // absurd user jump
+		{0, 4 + MaxDenseAdmissions}, // absurd item jump
+		{1 << 40, 1 << 40},          // astronomically absurd
 	}
 	for _, c := range cases {
 		_, err := g.UpsertRatingAutoGrow(c.u, c.i, 3)

@@ -151,10 +151,10 @@ func (g *Bipartite) UpsertRating(u, i int, w float64) (added bool, err error) {
 // UpsertRatingAutoGrow is UpsertRating for an open universe: a user or
 // item id at or beyond the current universe admits the missing ids (and
 // everything between, so the id spaces stay dense) before the edge write,
-// instead of rejecting the rating. Negative ids, and ids more than 2^10
-// past the current universe edge (absurd rather than merely unseen), are
-// still rejected with an out-of-range error. Each admitted node and the
-// edge write itself bump the epoch.
+// instead of rejecting the rating. Negative ids, and ids more than
+// MaxDenseAdmissions past the current universe edge (absurd rather than
+// merely unseen), are still rejected with an out-of-range error. Each
+// admitted node and the edge write itself bump the epoch.
 func (g *Bipartite) UpsertRatingAutoGrow(u, i int, w float64) (added bool, err error) {
 	return g.applyRating(u, i, w, modeUpsert, true)
 }

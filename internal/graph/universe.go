@@ -120,21 +120,24 @@ func (u *universe) grow(newUsers, newItems int) *universe {
 	return next
 }
 
-// maxGrowStep caps how far a single auto-grow write may extend either side
-// of the universe: an id further than this beyond the current edge is
-// treated as absurd (a corrupt or hostile id, not cold-start traffic) and
-// rejected with an out-of-range error. The cap also bounds the
-// amplification available to a single write — admissions allocate an
+// MaxDenseAdmissions caps how far a single auto-grow write may extend
+// either side of the universe: an id further than this beyond the current
+// edge is treated as absurd (a corrupt or hostile id, not cold-start
+// traffic) and rejected with an out-of-range error. The cap also bounds
+// the amplification available to a single write — admissions allocate an
 // overlay row each, under the write lock, and bump the epoch — so it is
 // deliberately small; genuinely sparse external id spaces belong behind
-// an id-mapping layer, not a larger cap.
-const maxGrowStep = 1 << 10
+// an id-mapping layer, not a larger cap. Exported as the single source of
+// truth: longtail re-exports it and the serving layer's 404 error text
+// embeds it, so documentation and error messages cannot drift from the
+// enforced value.
+const MaxDenseAdmissions = 1 << 10
 
 // checkGrowable validates an id for the auto-grow write path.
 func checkGrowable(kind string, id, current int) error {
-	if id < 0 || id >= current+maxGrowStep {
+	if id < 0 || id >= current+MaxDenseAdmissions {
 		return fmt.Errorf("graph: %s %d out of range [0,%d) (auto-grow admits at most %d new ids past %d)",
-			kind, id, current, maxGrowStep, current)
+			kind, id, current, MaxDenseAdmissions, current)
 	}
 	return nil
 }

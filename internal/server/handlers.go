@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 
+	"longtailrec/internal/cache"
 	"longtailrec/internal/core"
 )
 
@@ -34,8 +35,22 @@ type CacheStatsResponse struct {
 	HitRate   float64 `json:"hit_rate"` // (hits+shared) / lookups
 }
 
+// ShardStatsResponse is one serving shard's slice of /v1/stats: its own
+// epoch, pending writes, live universe and cache counters. Each shard's
+// epoch moves independently — a live write invalidates only its own
+// shard's cached results.
+type ShardStatsResponse struct {
+	Shard         int                 `json:"shard"`
+	Epoch         uint64              `json:"epoch"`
+	PendingWrites int                 `json:"pending_writes"`
+	LiveNumUsers  int                 `json:"live_num_users"`
+	LiveNumItems  int                 `json:"live_num_items"`
+	Cache         *CacheStatsResponse `json:"cache,omitempty"` // nil when caching is disabled
+}
+
 // StatsResponse is the /v1/stats body — the §5.1.2 corpus description plus
-// the live-serving state (graph epoch, pending writes, cache counters).
+// the live-serving state: fleet-wide epoch, pending writes and cache
+// counters, and the per-shard breakdown.
 type StatsResponse struct {
 	NumUsers         int     `json:"num_users"`
 	NumItems         int     `json:"num_items"`
@@ -44,14 +59,34 @@ type StatsResponse struct {
 	MeanScore        float64 `json:"mean_score"`
 	TailItemFraction float64 `json:"tail_item_fraction"`
 
-	// LiveNumUsers/LiveNumItems are the serving graph's universe sizes,
-	// which grow past the corpus counts above as unseen users and items
-	// arrive through the auto-grow write path.
+	// LiveNumUsers/LiveNumItems are the fleet-wide serving universe
+	// sizes, which grow past the corpus counts above as unseen users and
+	// items arrive through the auto-grow write path.
 	LiveNumUsers  int                 `json:"live_num_users"`
 	LiveNumItems  int                 `json:"live_num_items"`
-	Epoch         uint64              `json:"epoch"`
+	Epoch         uint64              `json:"epoch"` // total accepted writes across shards
 	PendingWrites int                 `json:"pending_writes"`
-	Cache         *CacheStatsResponse `json:"cache,omitempty"` // nil when caching is disabled
+	Cache         *CacheStatsResponse `json:"cache,omitempty"` // summed across shards; nil when disabled
+	// Shards is the per-shard breakdown, indexed by shard id — always
+	// present, length 1 on a single-replica deployment.
+	Shards []ShardStatsResponse `json:"shards"`
+}
+
+// cacheStatsResponse renders cache counters with their derived hit rate.
+func cacheStatsResponse(cs cache.Stats) *CacheStatsResponse {
+	rate := 0.0
+	if lookups := cs.Hits + cs.Misses + cs.Shared; lookups > 0 {
+		rate = float64(cs.Hits+cs.Shared) / float64(lookups)
+	}
+	return &CacheStatsResponse{
+		Hits:      cs.Hits,
+		Misses:    cs.Misses,
+		Shared:    cs.Shared,
+		Evictions: cs.Evictions,
+		Size:      cs.Size,
+		Capacity:  cs.Capacity,
+		HitRate:   rate,
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -69,22 +104,23 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		LiveNumItems:     liveItems,
 		Epoch:            serving.Epoch,
 		PendingWrites:    serving.PendingWrites,
+		Shards:           make([]ShardStatsResponse, 0, len(serving.Shards)),
 	}
 	if serving.CacheEnabled {
-		cs := serving.Cache
-		rate := 0.0
-		if lookups := cs.Hits + cs.Misses + cs.Shared; lookups > 0 {
-			rate = float64(cs.Hits+cs.Shared) / float64(lookups)
+		resp.Cache = cacheStatsResponse(serving.Cache)
+	}
+	for _, sh := range serving.Shards {
+		shardResp := ShardStatsResponse{
+			Shard:         sh.Shard,
+			Epoch:         sh.Epoch,
+			PendingWrites: sh.PendingWrites,
+			LiveNumUsers:  sh.NumUsers,
+			LiveNumItems:  sh.NumItems,
 		}
-		resp.Cache = &CacheStatsResponse{
-			Hits:      cs.Hits,
-			Misses:    cs.Misses,
-			Shared:    cs.Shared,
-			Evictions: cs.Evictions,
-			Size:      cs.Size,
-			Capacity:  cs.Capacity,
-			HitRate:   rate,
+		if sh.CacheEnabled {
+			shardResp.Cache = cacheStatsResponse(sh.Cache)
 		}
+		resp.Shards = append(resp.Shards, shardResp)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -254,7 +290,9 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		Fallback:  resp.Fallback,
 		Epoch:     resp.Epoch,
 		CacheHit:  resp.CacheHit,
-		Items:     s.renderItems(resp.Items, s.src.LiveItemPopularity()),
+		// Decorate with the serving shard's own popularity view: one
+		// catalog scan, consistent with the graph that ranked the items.
+		Items: s.renderItems(resp.Items, s.src.LiveItemPopularityFor(user)),
 	})
 }
 
@@ -346,6 +384,9 @@ func (s *Server) handleRecommendBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStatus(err), "%v", err)
 		return
 	}
+	// The batch spans shards, so decorate from the fleet-wide merged
+	// popularity: its per-shard scans amortize over the whole user list,
+	// unlike the single-request path which uses the serving shard's view.
 	pop := s.src.LiveItemPopularity()
 	results := make([]BatchEntry, len(users))
 	for i, u := range users {

@@ -4,7 +4,11 @@
 //
 //	GET  /v1/health                     liveness probe
 //	GET  /v1/stats                      corpus statistics (§5.1.2 view),
-//	                                    graph epoch and cache counters
+//	                                    fleet-wide epoch and cache counters
+//	                                    plus a per-shard "shards" breakdown
+//	                                    (epoch, cache, live universe per
+//	                                    serving replica; length 1 when
+//	                                    unsharded)
 //	GET  /v1/algorithms                 available algorithm names
 //	GET  /v1/recommend?user=&algo=&k=   top-k recommendations; per-request
 //	                                    options: &exclude=i1,i2 (extra
@@ -36,14 +40,20 @@
 //	GET  /v1/metrics                    request counters and mean latency
 //
 // Live writes land in the serving graph (and are visible to the walk
-// recommenders immediately). When the Source is configured for auto-grow,
+// recommenders immediately). When the Source shards its serving across
+// user-partitioned replicas (longtail.Config.ShardCount), both the
+// recommendation and ratings handlers route transparently — the Source
+// owns the user→shard assignment — and a write invalidates only its own
+// shard's cached results. When the Source is configured for auto-grow,
 // POST /v1/ratings also accepts user and item ids the system has never
 // seen — cold-start traffic grows the universe instead of 404ing; only
-// negative and absurdly distant ids are rejected. GET /v1/recommend for a
-// user with no history degrades to a deterministic popularity fallback
-// (marked "fallback": true) rather than failing. The dataset-backed views
-// (/v1/users, /v1/items, corpus counts) describe the corpus the system
-// was built from and refresh on snapshot reload.
+// negative ids, and ids more than graph.MaxDenseAdmissions past the
+// universe edge, are rejected (404, with the cap embedded in the error
+// text). GET /v1/recommend for a user with no history degrades to a
+// deterministic popularity fallback (marked "fallback": true) rather
+// than failing. The dataset-backed views (/v1/users, /v1/items, corpus
+// counts) describe the corpus the system was built from and refresh on
+// snapshot reload.
 //
 // Errors are JSON {"error": "..."} with conventional status codes; every
 // handler is wrapped in panic recovery so one bad request cannot take the
@@ -101,8 +111,14 @@ type Source interface {
 	// endpoints validate against, as opposed to the Data() snapshot.
 	Universe() (numUsers, numItems int)
 	// LiveItemPopularity returns each item's live rater count, covering
-	// items admitted after startup.
+	// items admitted after startup — the fleet-wide view (one catalog
+	// scan per shard when serving is sharded).
 	LiveItemPopularity() []int
+	// LiveItemPopularityFor returns the live rater counts as seen by the
+	// given user's serving shard: the view consistent with that user's
+	// recommendations, at one catalog scan regardless of shard count —
+	// what the single-request render path uses.
+	LiveItemPopularityFor(user int) []int
 	// PopularItems returns the k most-popular items of the live graph the
 	// user has not rated, deterministically ordered — the degraded
 	// response when an algorithm cannot anchor on the user.

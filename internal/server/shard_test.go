@@ -1,0 +1,191 @@
+// Sharded-serving handler tests: the /v1/stats per-shard breakdown, the
+// transparent routing of the ratings/recommend handlers, and the
+// dense-admission cap surfacing in the 404 error text.
+
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"longtailrec"
+	"longtailrec/internal/graph"
+)
+
+// shardedSystem is testSystem's corpus behind a sharded, cached,
+// auto-growing serving configuration.
+func shardedSystem(t testing.TB, shards int) *longtail.System {
+	t.Helper()
+	ratings := []longtail.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 4}, {User: 0, Item: 2, Score: 5},
+		{User: 1, Item: 0, Score: 4}, {User: 1, Item: 2, Score: 5}, {User: 1, Item: 3, Score: 3},
+		{User: 2, Item: 1, Score: 5}, {User: 2, Item: 3, Score: 4},
+		{User: 3, Item: 4, Score: 5}, {User: 3, Item: 5, Score: 4}, {User: 3, Item: 6, Score: 5},
+		{User: 4, Item: 4, Score: 4}, {User: 4, Item: 6, Score: 5}, {User: 4, Item: 7, Score: 3},
+		{User: 5, Item: 5, Score: 5}, {User: 5, Item: 7, Score: 4},
+		{User: 6, Item: 3, Score: 3}, {User: 6, Item: 4, Score: 3}, // bridge
+	}
+	d, err := longtail.NewDataset(8, 8, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.ServingConfig(256, 0)
+	cfg.LDA.NumTopics = 2
+	cfg.LDA.Iterations = 5
+	cfg.SVDRank = 2
+	cfg.ShardCount = shards
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func shardedServer(t testing.TB, shards int) (*longtail.System, *httptest.Server) {
+	t.Helper()
+	sys := shardedSystem(t, shards)
+	srv, err := New(sys, Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return sys, ts
+}
+
+// TestStatsShardsShape asserts the /v1/stats shards array at both ends
+// of the deployment spectrum: length 1 when unsharded, length 4 with a
+// per-shard epoch/cache/universe entry each when sharded.
+func TestStatsShardsShape(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, ts := shardedServer(t, shards)
+			var st StatsResponse
+			getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+			if len(st.Shards) != shards {
+				t.Fatalf("stats reported %d shards, want %d", len(st.Shards), shards)
+			}
+			var capTotal int
+			for i, sh := range st.Shards {
+				if sh.Shard != i {
+					t.Fatalf("shard entry %d has id %d", i, sh.Shard)
+				}
+				if sh.Epoch != 0 || sh.PendingWrites != 0 {
+					t.Fatalf("fresh shard %d reports epoch %d / pending %d", i, sh.Epoch, sh.PendingWrites)
+				}
+				if sh.LiveNumUsers != 8 || sh.LiveNumItems != 8 {
+					t.Fatalf("shard %d universe = (%d, %d), want (8, 8)", i, sh.LiveNumUsers, sh.LiveNumItems)
+				}
+				if sh.Cache == nil {
+					t.Fatalf("shard %d missing cache counters with caching enabled", i)
+				}
+				capTotal += sh.Cache.Capacity
+			}
+			if st.Cache == nil {
+				t.Fatal("aggregate cache counters missing")
+			}
+			if capTotal != st.Cache.Capacity {
+				t.Fatalf("per-shard capacities sum to %d, aggregate says %d", capTotal, st.Cache.Capacity)
+			}
+			if st.Epoch != 0 {
+				t.Fatalf("fresh fleet epoch = %d", st.Epoch)
+			}
+		})
+	}
+}
+
+// TestShardedWriteLeavesOtherShardsWarm drives the acceptance scenario
+// end to end over HTTP: POST /v1/ratings on one shard, then verify via
+// the response envelopes and /v1/stats that only that shard's epoch
+// moved and the other shards' cached recommendations survived.
+func TestShardedWriteLeavesOtherShardsWarm(t *testing.T) {
+	sys, ts := shardedServer(t, 4)
+	users := []int{0, 1, 2, 3, 4, 5, 6}
+
+	// Warm every user's cache entry, then confirm the hits.
+	for round := 0; round < 2; round++ {
+		for _, u := range users {
+			var rec RecommendResponse
+			getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&k=3", ts.URL, u), http.StatusOK, &rec)
+			if round == 1 && !rec.CacheHit {
+				t.Fatalf("user %d not served from cache after warm round", u)
+			}
+		}
+	}
+
+	writer := 1
+	writtenShard := sys.ShardFor(writer)
+	resp, err := http.Post(ts.URL+"/v1/ratings", "application/json",
+		bytes.NewBufferString(`{"user":1,"item":6,"score":4.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /v1/ratings = %d, want 201", resp.StatusCode)
+	}
+
+	var st StatsResponse
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+	if len(st.Shards) != 4 {
+		t.Fatalf("stats reported %d shards", len(st.Shards))
+	}
+	for i, sh := range st.Shards {
+		want := uint64(0)
+		if i == writtenShard {
+			want = 1
+		}
+		if sh.Epoch != want {
+			t.Fatalf("shard %d epoch = %d, want %d", i, sh.Epoch, want)
+		}
+	}
+	if st.Epoch != 1 {
+		t.Fatalf("fleet epoch = %d, want 1", st.Epoch)
+	}
+
+	// Other shards' entries stay live; the written shard recomputes.
+	for _, u := range users {
+		var rec RecommendResponse
+		getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&k=3", ts.URL, u), http.StatusOK, &rec)
+		if sys.ShardFor(u) == writtenShard {
+			if rec.CacheHit {
+				t.Fatalf("user %d on the written shard served a stale cached result", u)
+			}
+		} else if !rec.CacheHit {
+			t.Fatalf("user %d on an unwritten shard lost its cached entry", u)
+		}
+	}
+}
+
+// TestRatingsCapIn404Message pins the dense-admission cap surfacing in
+// the live-write 404 body: the error text a client sees quotes
+// graph.MaxDenseAdmissions itself, so documentation, error message and
+// enforced limit cannot drift apart.
+func TestRatingsCapIn404Message(t *testing.T) {
+	_, ts := shardedServer(t, 2)
+	numUsers := 8
+	absurd := numUsers + graph.MaxDenseAdmissions // first rejected id
+	body := fmt.Sprintf(`{"user":%d,"item":0,"score":3}`, absurd)
+	resp, err := http.Post(ts.URL+"/v1/ratings", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absurd id write = %d, want 404 (body %s)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), strconv.Itoa(graph.MaxDenseAdmissions)) {
+		t.Fatalf("404 body %q does not quote the admission cap %d", raw, graph.MaxDenseAdmissions)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"longtailrec/internal/mf"
 	"longtailrec/internal/pagerank"
 	"longtailrec/internal/persist"
+	"longtailrec/internal/shard"
 	"longtailrec/internal/svd"
 	"longtailrec/internal/synth"
 	"longtailrec/internal/topk"
@@ -74,6 +75,14 @@ type (
 
 // ErrColdUser is returned when a query user has no rated items.
 var ErrColdUser = core.ErrColdUser
+
+// MaxDenseAdmissions is the dense-admission cap of the auto-grow write
+// path: one write may admit at most this many new user or item ids past
+// the current universe edge (graph.MaxDenseAdmissions — the single
+// source of truth, shared with the serving layer's out-of-range error
+// text). Genuinely sparse external id spaces belong behind an id-mapping
+// layer, not a larger cap.
+const MaxDenseAdmissions = graph.MaxDenseAdmissions
 
 // BatchRecommender is implemented by recommenders that score many users
 // concurrently (the walk recommenders, via the pooled query engine).
@@ -121,6 +130,18 @@ type Config struct {
 	// right setting for offline evaluation against a frozen corpus;
 	// ServingConfig turns it on.
 	AutoGrow bool
+	// ShardCount partitions serving across this many user-partitioned
+	// replicas: each shard holds its own graph replica, result cache and
+	// epoch, requests route to shard.Assign(user, ShardCount), and a live
+	// write bumps only its own shard's epoch — so its cache-invalidation
+	// blast radius is one shard, not the fleet. CacheSize is the total
+	// budget, split evenly across shards. <= 1 means 1, the single-replica
+	// stack (byte-identical to the unsharded behavior). Memory scales with
+	// the shard count (each replica carries a full graph copy); cross-shard
+	// consistency is eventual (a write is visible to its own user's shard
+	// immediately, to other shards' walks never — replicas only converge
+	// when rebuilt from a shared snapshot).
+	ShardCount int
 }
 
 // DefaultConfig returns the paper's defaults: µ = 6000, τ = 15, λ = 0.5,
@@ -141,7 +162,10 @@ func DefaultConfig() Config {
 // ServingConfig returns DefaultConfig tuned for a live serving deployment:
 // the recommendation result cache on at the given capacity (<= 0 means
 // 4096), delta-overlay auto-compaction every compactThreshold writes, and
-// the universe open to unseen users and items (AutoGrow).
+// the universe open to unseen users and items (AutoGrow). ShardCount
+// defaults to 1 — the single-replica stack; deployments with a heavy
+// mixed read/write stream raise it to confine each write's cache
+// invalidation to its own shard (ltr-server's -shards flag).
 func ServingConfig(cacheSize, compactThreshold int) Config {
 	cfg := DefaultConfig()
 	if cacheSize <= 0 {
@@ -150,6 +174,7 @@ func ServingConfig(cacheSize, compactThreshold int) Config {
 	cfg.CacheSize = cacheSize
 	cfg.CompactThreshold = compactThreshold
 	cfg.AutoGrow = true
+	cfg.ShardCount = 1
 	return cfg
 }
 
@@ -172,20 +197,34 @@ func (c Config) withDefaults() Config {
 	if c.CompactThreshold <= 0 {
 		c.CompactThreshold = 1024
 	}
+	if c.ShardCount <= 1 {
+		c.ShardCount = 1
+	}
 	return c
 }
 
 // System bundles a training corpus with lazily constructed recommenders.
 // Heavy models (LDA, SVD) are trained on first use and cached; a System is
 // safe for concurrent use after construction.
+//
+// Serving runs on a fleet of Config.ShardCount user-partitioned replicas
+// (internal/shard): each shard holds its own graph replica, result cache
+// and epoch; reads and writes for a user route to shard.Assign(user, N),
+// so a live write invalidates only its own shard's cached results. With
+// ShardCount 1 (the default) the fleet is exactly the old single-replica
+// stack. Shared dataset-derived models (LDA, SVD, entropies, kNN) are
+// trained once and reused by every shard's recommender.
 type System struct {
 	data *dataset.Dataset
-	g    *graph.Bipartite
 	cfg  Config
 
-	// recCache is the shared epoch-invalidated result cache wrapped around
-	// every recommender; nil when Config.CacheSize <= 0.
-	recCache *cache.Cache[core.Response]
+	// fleet owns the serving replicas: per-shard graph, result cache and
+	// epoch. Always non-nil with at least one replica.
+	fleet *shard.Fleet
+	// basePop is the item popularity of the corpus every replica was
+	// built from — the baseline the fleet's merged live popularity sums
+	// per-shard write deltas over.
+	basePop []int
 
 	mu         sync.Mutex
 	ldaModel   *lda.Model
@@ -196,92 +235,138 @@ type System struct {
 	errCache   map[string]error
 }
 
-// NewSystem indexes the dataset and prepares the algorithm suite.
+// NewSystem indexes the dataset and prepares the algorithm suite,
+// building Config.ShardCount serving replicas of the corpus graph.
 func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 	if d == nil {
 		return nil, fmt.Errorf("longtail: nil dataset")
 	}
 	cfg = cfg.withDefaults()
-	g := d.Graph()
-	g.SetCompactThreshold(cfg.CompactThreshold)
-	s := &System{
+	perShardCache := 0
+	if cfg.CacheSize > 0 {
+		// The configured capacity is the fleet-wide budget, split evenly.
+		perShardCache = (cfg.CacheSize + cfg.ShardCount - 1) / cfg.ShardCount
+	}
+	replicas := make([]*shard.Replica, cfg.ShardCount)
+	for i := range replicas {
+		g := d.Graph()
+		g.SetCompactThreshold(cfg.CompactThreshold)
+		rep := &shard.Replica{Graph: g}
+		if perShardCache > 0 {
+			rep.Cache = cache.New[core.Response](perShardCache)
+		}
+		replicas[i] = rep
+	}
+	fleet, err := shard.NewFleet(replicas)
+	if err != nil {
+		return nil, fmt.Errorf("longtail: %w", err)
+	}
+	return &System{
 		data:     d,
-		g:        g,
 		cfg:      cfg,
+		fleet:    fleet,
+		basePop:  replicas[0].Graph.ItemPopularity(),
 		cache:    make(map[string]Recommender),
 		errCache: make(map[string]error),
-	}
-	if cfg.CacheSize > 0 {
-		s.recCache = cache.New[core.Response](cfg.CacheSize)
-	}
-	return s, nil
+	}, nil
 }
 
 // Data returns the training dataset.
 func (s *System) Data() *dataset.Dataset { return s.data }
 
-// Graph returns the user–item bipartite graph.
-func (s *System) Graph() *graph.Bipartite { return s.g }
+// Graph returns the primary (shard 0) user–item bipartite graph — with
+// ShardCount 1, the serving graph exactly as before. On a sharded system
+// prefer the System-level surfaces (ApplyRating, Universe, ...), which
+// route by user; writing this graph directly bypasses shard routing, and
+// persisting it alone drops the live writes routed to the other shards —
+// save every ShardGraph(i) instead (see SaveGraph).
+func (s *System) Graph() *graph.Bipartite { return s.fleet.Replica(0).Graph }
 
-// Epoch returns the serving graph's epoch: the number of live rating
-// writes accepted since construction. Cached recommendation results are
-// keyed on it.
-func (s *System) Epoch() uint64 { return s.g.Epoch() }
+// ShardGraph returns shard i's serving graph (i in [0, ShardCount())).
+// A sharded deployment that snapshots its live state must persist every
+// shard's graph — each holds only the live writes routed to it.
+func (s *System) ShardGraph(i int) *graph.Bipartite { return s.fleet.Replica(i).Graph }
 
-// ApplyRating ingests one live rating write into the serving graph
-// (insert or re-rate), reporting whether a new edge was created and the
-// epoch after the write. With Config.AutoGrow the universe is open: a
-// user or item id the system has never seen is admitted (appended to the
-// graph, epoch bumped per admission) instead of rejected — only negative
-// and absurdly distant ids still fail. The write is immediately visible
-// to the walk recommenders (HT/AT/AC*), and — because the epoch moved —
-// every cached result computed before it stops being served.
-// Dataset-derived baselines (PureSVD, LDA, kNN, …) and the graph-snapshot
-// comparators (Katz, CommuteTime, RWR — whose chains are frozen at lazy
-// construction) keep scoring against their snapshot until rebuilt; the
-// dataset views (Data) are likewise snapshot-scoped.
+// ShardCount returns the number of serving replicas.
+func (s *System) ShardCount() int { return s.fleet.NumShards() }
+
+// ShardFor returns the shard index serving the given user — the
+// consistent assignment every read and write for that user routes to.
+func (s *System) ShardFor(user int) int { return s.fleet.ShardFor(user) }
+
+// Epoch returns the fleet-wide serving epoch: the number of live rating
+// writes accepted since construction, summed across shards. Cached
+// recommendation results are keyed on their own shard's epoch.
+func (s *System) Epoch() uint64 { return s.fleet.Epoch() }
+
+// ApplyRating ingests one live rating write (insert or re-rate) into the
+// writing user's serving shard, reporting whether a new edge was created
+// and THAT SHARD's epoch after the write — only the written shard's
+// cached results are invalidated; the other shards' caches stay warm.
+// With Config.AutoGrow the universe is open: a user or item id the
+// system has never seen is admitted (appended to the shard's graph,
+// epoch bumped per admission) instead of rejected — only negative ids
+// and ids more than MaxDenseAdmissions past the universe edge still
+// fail. The write is immediately visible to the walk recommenders
+// (HT/AT/AC*) serving that user's shard. Dataset-derived baselines
+// (PureSVD, LDA, kNN, …) and the graph-snapshot comparators (Katz,
+// CommuteTime, RWR — whose chains are frozen at lazy construction) keep
+// scoring against their snapshot until rebuilt; the dataset views (Data)
+// are likewise snapshot-scoped.
 func (s *System) ApplyRating(user, item int, score float64) (added bool, epoch uint64, err error) {
-	if s.cfg.AutoGrow {
-		added, err = s.g.UpsertRatingAutoGrow(user, item, score)
-	} else {
-		added, err = s.g.UpsertRating(user, item, score)
-	}
+	added, epoch, _, err = s.fleet.ApplyRating(user, item, score, s.cfg.AutoGrow)
 	if err != nil {
-		return false, s.g.Epoch(), fmt.Errorf("longtail: %w", err)
+		return false, epoch, fmt.Errorf("longtail: %w", err)
 	}
-	return added, s.g.Epoch(), nil
+	return added, epoch, nil
 }
 
-// Universe returns the live serving universe: the user and item counts of
-// the graph, including any users and items admitted through ApplyRating
-// with AutoGrow on. Data().NumUsers()/NumItems() describe the training
-// snapshot instead.
+// Universe returns the live serving universe: the fleet-wide user and
+// item counts, including any users and items admitted through
+// ApplyRating with AutoGrow on (admissions land on the writing user's
+// shard; the fleet universe is the per-side maximum, i.e. the union).
+// Data().NumUsers()/NumItems() describe the training snapshot instead.
 func (s *System) Universe() (numUsers, numItems int) {
-	return s.g.NumUsers(), s.g.NumItems()
+	return s.fleet.Universe()
 }
 
 // LiveItemPopularity returns each item's live rater count — the dataset
-// popularity plus every accepted live write, covering items admitted
-// after construction.
-func (s *System) LiveItemPopularity() []int { return s.g.ItemPopularity() }
-
-// PopularItems returns the k most-rated items of the live graph, most
-// popular first with ties broken toward the smaller item index — the
-// deterministic non-personalized fallback the serving layer degrades to
-// when an algorithm cannot anchor on a user. Items the user has already
-// rated (per the live graph) are excluded, matching every personalized
-// path; pass a user outside the universe (e.g. -1) for the raw list.
-func (s *System) PopularItems(user, k int) []Scored {
-	return s.popularItemsFrom(s.g.ItemPopularity(), user, k)
+// popularity plus every accepted live write across all shards, covering
+// items admitted after construction. The fleet-wide view costs one
+// catalog scan per shard; latency-sensitive per-user callers should use
+// LiveItemPopularityFor instead.
+func (s *System) LiveItemPopularity() []int {
+	return s.fleet.MergedItemPopularity(s.basePop)
 }
 
-// popularItemsFrom is PopularItems over an already-fetched live
-// popularity vector, so callers that need the vector anyway (the
-// option-filtered fallback) pay for one catalog scan, not two.
-func (s *System) popularItemsFrom(pop []int, user, k int) []Scored {
+// LiveItemPopularityFor returns the live rater counts as seen by the
+// given user's serving shard — the view consistent with that user's
+// recommendations, at the cost of a single catalog scan regardless of
+// the shard count (with one shard it is exactly LiveItemPopularity).
+func (s *System) LiveItemPopularityFor(user int) []int {
+	return s.fleet.GraphFor(user).ItemPopularity()
+}
+
+// PopularItems returns the k most-rated items of the user's serving
+// shard, most popular first with ties broken toward the smaller item
+// index — the deterministic non-personalized fallback the serving layer
+// degrades to when an algorithm cannot anchor on a user. Items the user
+// has already rated (per that shard's live graph) are excluded, matching
+// every personalized path; pass a user outside the universe (e.g. -1)
+// for the raw list.
+func (s *System) PopularItems(user, k int) []Scored {
+	g := s.fleet.GraphFor(user)
+	return popularItemsFrom(g, g.ItemPopularity(), user, k)
+}
+
+// popularItemsFrom is the popularity ranking over an already-fetched
+// live popularity vector of one shard's graph, so callers that need the
+// vector anyway (the option-filtered fallback) pay for one catalog scan,
+// not two.
+func popularItemsFrom(g *graph.Bipartite, pop []int, user, k int) []Scored {
 	var rated map[int]struct{}
-	if user >= 0 && user < s.g.NumUsers() {
-		items, _ := s.g.UserItems(user)
+	if user >= 0 && user < g.NumUsers() {
+		items, _ := g.UserItems(user)
 		rated = make(map[int]struct{}, len(items))
 		for _, i := range items {
 			rated[i] = struct{}{}
@@ -302,37 +387,43 @@ func (s *System) popularItemsFrom(pop []int, user, k int) []Scored {
 	return out
 }
 
-// CompactGraph folds the serving graph's pending delta-overlay writes into
-// its CSR. Content-neutral: the epoch (and thus the cache) is untouched.
+// CompactGraph folds every shard's pending delta-overlay writes into its
+// CSR. Content-neutral: no epoch (and thus no cache entry) is touched.
 // Writes also auto-compact every Config.CompactThreshold writes.
-func (s *System) CompactGraph() { s.g.Compact() }
+func (s *System) CompactGraph() { s.fleet.Compact() }
 
-// ServingStats reports the live-serving state: graph epoch, pending
-// overlay writes, and the result-cache counters (zero when caching is
-// disabled).
+// ServingStats reports the live-serving state: the fleet-wide epoch
+// (total accepted writes), pending overlay writes and result-cache
+// counters summed across shards, plus the per-shard breakdown in
+// Shards — each shard's own epoch, universe and cache counters (length
+// 1 on the single-replica stack).
 func (s *System) ServingStats() core.ServingStats {
+	shards := s.fleet.ShardStats()
 	st := core.ServingStats{
-		Epoch:         s.g.Epoch(),
-		PendingWrites: s.g.PendingWrites(),
-		CacheEnabled:  s.recCache != nil,
+		CacheEnabled: s.cfg.CacheSize > 0,
+		Shards:       shards,
 	}
-	if s.recCache != nil {
-		st.Cache = s.recCache.Stats()
+	for _, sh := range shards {
+		st.Epoch += sh.Epoch
+		st.PendingWrites += sh.PendingWrites
+		st.Cache.Hits += sh.Cache.Hits
+		st.Cache.Misses += sh.Cache.Misses
+		st.Cache.Shared += sh.Cache.Shared
+		st.Cache.Evictions += sh.Cache.Evictions
+		st.Cache.Size += sh.Cache.Size
+		st.Cache.Capacity += sh.Cache.Capacity
 	}
 	return st
 }
 
-// EvictStaleCache eagerly drops cached results from earlier graph epochs
-// (they are already unreachable — this reclaims their memory) and returns
-// how many were removed. Each call does a bounded amount of work per
+// EvictStaleCache eagerly drops cached results from earlier epochs (they
+// are already unreachable — this reclaims their memory), sweeping each
+// shard's cache against that shard's own epoch, and returns how many
+// entries were removed. Each call does a bounded amount of work per
 // cache shard so it cannot stall serving lookups; on very large caches
-// call it periodically to converge. No-op without a cache.
-func (s *System) EvictStaleCache() int {
-	if s.recCache == nil {
-		return 0
-	}
-	return s.recCache.EvictStale(s.g.Epoch())
-}
+// call it periodically to converge (ltr-server's -evict-interval janitor
+// does exactly that). No-op without caches.
+func (s *System) EvictStaleCache() int { return s.fleet.EvictStale() }
 
 // LDAModel returns the trained LDA model shared by AC2 and the LDA
 // baseline, training it on first call.
@@ -353,10 +444,21 @@ func (s *System) ldaModelLocked() (*lda.Model, error) {
 	return s.ldaModel, s.ldaErr
 }
 
-// build memoizes recommender construction under a name. When the result
-// cache is enabled every recommender is wrapped in the epoch-invalidated
-// caching layer, so repeat queries against an unchanged graph are O(1).
-func (s *System) build(name string, mk func() (Recommender, error)) (Recommender, error) {
+// replicaFactory builds one shard's recommender over that shard's graph.
+// Shared dataset-derived state (trained models, entropy vectors) is
+// computed once by the prep stage of build and captured by the factory,
+// so only the graph-bound wiring runs per shard.
+type replicaFactory func(g *graph.Bipartite) (Recommender, error)
+
+// build memoizes recommender construction under a name. prep runs once
+// (under the System lock — it may train shared models) and returns the
+// per-shard factory; the factory then runs once per serving replica over
+// that replica's graph. When result caching is enabled every per-shard
+// recommender is wrapped in that shard's epoch-invalidated caching
+// layer, so repeat queries against an unchanged shard are O(1); with
+// more than one shard the per-shard recommenders are fronted by a
+// shard.Router that routes by user id.
+func (s *System) build(name string, prep func() (replicaFactory, error)) (Recommender, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.cache[name]; ok {
@@ -365,26 +467,58 @@ func (s *System) build(name string, mk func() (Recommender, error)) (Recommender
 	if err, ok := s.errCache[name]; ok {
 		return nil, err
 	}
-	r, err := mk()
+	r, err := s.buildLocked(name, prep)
 	if err != nil {
 		s.errCache[name] = err
 		return nil, err
-	}
-	if s.recCache != nil {
-		cr, err := core.NewCachedRecommender(r, s.g, s.recCache)
-		if err != nil {
-			s.errCache[name] = err
-			return nil, err
-		}
-		r = cr
 	}
 	s.cache[name] = r
 	return r, nil
 }
 
-// mustBuild is build for constructors that cannot fail.
-func (s *System) mustBuild(name string, mk func() Recommender) Recommender {
-	r, err := s.build(name, func() (Recommender, error) { return mk(), nil })
+func (s *System) buildLocked(name string, prep func() (replicaFactory, error)) (Recommender, error) {
+	mk, err := prep()
+	if err != nil {
+		return nil, err
+	}
+	n := s.fleet.NumShards()
+	perShard := make([]core.RecommenderV2, n)
+	for i := 0; i < n; i++ {
+		rep := s.fleet.Replica(i)
+		rec, err := mk(rep.Graph)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Cache != nil {
+			cr, err := core.NewCachedRecommender(rec, rep.Graph, rep.Cache)
+			if err != nil {
+				return nil, err
+			}
+			rec = cr
+		}
+		v2, ok := rec.(core.RecommenderV2)
+		if !ok {
+			return nil, fmt.Errorf("longtail: %s does not implement the Request query surface", name)
+		}
+		perShard[i] = v2
+	}
+	if n == 1 {
+		// Single replica: serve the recommender directly — the exact
+		// unsharded stack, no routing layer on the hot path.
+		return perShard[0], nil
+	}
+	router, err := shard.NewRouter(name, perShard)
+	if err != nil {
+		return nil, err
+	}
+	return router, nil
+}
+
+// mustBuild is build for per-shard constructors that cannot fail.
+func (s *System) mustBuild(name string, mk func(g *graph.Bipartite) Recommender) Recommender {
+	r, err := s.build(name, func() (replicaFactory, error) {
+		return func(g *graph.Bipartite) (Recommender, error) { return mk(g), nil }, nil
+	})
 	if err != nil {
 		panic(fmt.Sprintf("longtail: %s: %v", name, err)) // unreachable
 	}
@@ -393,36 +527,40 @@ func (s *System) mustBuild(name string, mk func() Recommender) Recommender {
 
 // HT returns the Hitting Time recommender (§3.3).
 func (s *System) HT() Recommender {
-	return s.mustBuild("HT", func() Recommender {
-		return core.NewHittingTime(s.g, s.cfg.Walk)
+	return s.mustBuild("HT", func(g *graph.Bipartite) Recommender {
+		return core.NewHittingTime(g, s.cfg.Walk)
 	})
 }
 
 // AT returns the Absorbing Time recommender (§4.1, Algorithm 1).
 func (s *System) AT() Recommender {
-	return s.mustBuild("AT", func() Recommender {
-		return core.NewAbsorbingTime(s.g, s.cfg.Walk)
+	return s.mustBuild("AT", func(g *graph.Bipartite) Recommender {
+		return core.NewAbsorbingTime(g, s.cfg.Walk)
 	})
 }
 
 // AC1 returns the item-entropy Absorbing Cost recommender (§4.2.2).
 func (s *System) AC1() (Recommender, error) {
-	return s.build("AC1", func() (Recommender, error) {
-		ent := entropy.AllItemBased(s.data)
-		return core.NewAbsorbingCost(s.g, "AC1", ent, s.costOptions())
+	return s.build("AC1", func() (replicaFactory, error) {
+		ent := entropy.AllItemBased(s.data) // shared: dataset-derived
+		return func(g *graph.Bipartite) (Recommender, error) {
+			return core.NewAbsorbingCost(g, "AC1", ent, s.costOptions())
+		}, nil
 	})
 }
 
 // AC2 returns the topic-entropy Absorbing Cost recommender (§4.2.3). It
 // trains the shared LDA model on first use.
 func (s *System) AC2() (Recommender, error) {
-	return s.build("AC2", func() (Recommender, error) {
+	return s.build("AC2", func() (replicaFactory, error) {
 		m, err := s.ldaModelLocked()
 		if err != nil {
 			return nil, fmt.Errorf("longtail: AC2 LDA training: %w", err)
 		}
-		ent := entropy.AllTopicBased(m)
-		return core.NewAbsorbingCost(s.g, "AC2", ent, s.costOptions())
+		ent := entropy.AllTopicBased(m) // shared: one LDA model for the fleet
+		return func(g *graph.Bipartite) (Recommender, error) {
+			return core.NewAbsorbingCost(g, "AC2", ent, s.costOptions())
+		}, nil
 	})
 }
 
@@ -431,10 +569,12 @@ func (s *System) AC2() (Recommender, error) {
 // entropy instead of the constant C, so blockbuster hubs become expensive
 // in both directions. Not part of the paper's evaluated suite.
 func (s *System) AC3() (Recommender, error) {
-	return s.build("AC3", func() (Recommender, error) {
+	return s.build("AC3", func() (replicaFactory, error) {
 		ue := entropy.AllItemBased(s.data)
 		ie := entropy.AllItemEntropy(s.data)
-		return core.NewSymmetricAbsorbingCost(s.g, "AC3", ue, ie, s.costOptions())
+		return func(g *graph.Bipartite) (Recommender, error) {
+			return core.NewSymmetricAbsorbingCost(g, "AC3", ue, ie, s.costOptions())
+		}, nil
 	})
 }
 
@@ -448,9 +588,9 @@ func (s *System) costOptions() core.CostOptions {
 
 // DPPR returns the Discounted Personalized PageRank baseline (Eq. 15).
 func (s *System) DPPR() Recommender {
-	return s.mustBuild("DPPR", func() Recommender {
-		r, err := core.NewFuncRecommender("DPPR", s.g, func(u int) ([]float64, error) {
-			return pagerank.ForUser(s.g, u, s.cfg.PageRank)
+	return s.mustBuild("DPPR", func(g *graph.Bipartite) Recommender {
+		r, err := core.NewFuncRecommender("DPPR", g, func(u int) ([]float64, error) {
+			return pagerank.ForUser(g, u, s.cfg.PageRank)
 		})
 		if err != nil {
 			panic(err) // static arguments; unreachable
@@ -463,21 +603,21 @@ func (s *System) DPPR() Recommender {
 // discusses in §5.1.1 — included to demonstrate the popularity bias that
 // motivates DPPR's discount.
 func (s *System) PPR() Recommender {
-	return s.mustBuild("PPR", func() Recommender {
-		r, err := core.NewFuncRecommender("PPR", s.g, func(u int) ([]float64, error) {
-			items, _ := s.g.UserItems(u)
+	return s.mustBuild("PPR", func(g *graph.Bipartite) Recommender {
+		r, err := core.NewFuncRecommender("PPR", g, func(u int) ([]float64, error) {
+			items, _ := g.UserItems(u)
 			restart := make([]int, 0, len(items)+1)
 			for _, i := range items {
-				restart = append(restart, s.g.ItemNode(i))
+				restart = append(restart, g.ItemNode(i))
 			}
 			if len(restart) == 0 {
-				restart = append(restart, s.g.UserNode(u))
+				restart = append(restart, g.UserNode(u))
 			}
-			ppr, err := pagerank.Personalized(s.g, restart, s.cfg.PageRank)
+			ppr, err := pagerank.Personalized(g, restart, s.cfg.PageRank)
 			if err != nil {
 				return nil, err
 			}
-			return pagerank.ItemScores(s.g, ppr), nil
+			return pagerank.ItemScores(g, ppr), nil
 		})
 		if err != nil {
 			panic(err) // static arguments; unreachable
@@ -489,25 +629,28 @@ func (s *System) PPR() Recommender {
 // Katz returns the truncated Katz-index comparator of §3.2, another
 // proximity with no popularity discount.
 func (s *System) Katz() (Recommender, error) {
-	return s.build("Katz", func() (Recommender, error) {
-		// Compact first so the chain snapshot includes any pending live
-		// writes; like the factor-model baselines it is frozen afterwards.
-		s.g.Compact()
-		chain, err := markov.NewChain(s.g.Adjacency())
-		if err != nil {
-			return nil, err
-		}
-		return core.NewFuncRecommender("Katz", s.g, func(u int) ([]float64, error) {
-			scores, err := chain.KatzScores(s.g.UserNode(u), 0.005, 8)
+	return s.build("Katz", func() (replicaFactory, error) {
+		return func(g *graph.Bipartite) (Recommender, error) {
+			// Compact first so each shard's chain snapshot includes its
+			// pending live writes; like the factor-model baselines it is
+			// frozen afterwards.
+			g.Compact()
+			chain, err := markov.NewChain(g.Adjacency())
 			if err != nil {
 				return nil, err
 			}
-			out := make([]float64, s.g.NumItems())
-			for i := range out {
-				out[i] = scores[s.g.ItemNode(i)]
-			}
-			return out, nil
-		})
+			return core.NewFuncRecommender("Katz", g, func(u int) ([]float64, error) {
+				scores, err := chain.KatzScores(g.UserNode(u), 0.005, 8)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]float64, g.NumItems())
+				for i := range out {
+					out[i] = scores[g.ItemNode(i)]
+				}
+				return out, nil
+			})
+		}, nil
 	})
 }
 
@@ -516,52 +659,65 @@ func (s *System) Katz() (Recommender, error) {
 // by the stationary distribution and so recommends popular items — include
 // it to reproduce that argument.
 func (s *System) CommuteTime() (Recommender, error) {
-	return s.build("CommuteTime", func() (Recommender, error) {
-		s.g.Compact() // include pending live writes in the frozen snapshot
-		chain, err := markov.NewChain(s.g.Adjacency())
-		if err != nil {
-			return nil, err
-		}
-		return core.NewFuncRecommender("CommuteTime", s.g, func(u int) ([]float64, error) {
-			ct, err := chain.CommuteTimes(s.g.UserNode(u))
+	return s.build("CommuteTime", func() (replicaFactory, error) {
+		return func(g *graph.Bipartite) (Recommender, error) {
+			g.Compact() // include pending live writes in the frozen snapshot
+			chain, err := markov.NewChain(g.Adjacency())
 			if err != nil {
 				return nil, err
 			}
-			out := make([]float64, s.g.NumItems())
-			for i := range out {
-				out[i] = -ct[s.g.ItemNode(i)] // smaller commute time = better
-			}
-			return out, nil
-		})
+			return core.NewFuncRecommender("CommuteTime", g, func(u int) ([]float64, error) {
+				ct, err := chain.CommuteTimes(g.UserNode(u))
+				if err != nil {
+					return nil, err
+				}
+				out := make([]float64, g.NumItems())
+				for i := range out {
+					out[i] = -ct[g.ItemNode(i)] // smaller commute time = better
+				}
+				return out, nil
+			})
+		}, nil
 	})
 }
 
 // RWR returns the random-walk-with-restart comparator of §3.2 (Tong et
 // al.), another proximity with no popularity discount.
 func (s *System) RWR() (Recommender, error) {
-	return s.build("RWR", func() (Recommender, error) {
-		s.g.Compact() // include pending live writes in the frozen snapshot
-		chain, err := markov.NewChain(s.g.Adjacency())
-		if err != nil {
-			return nil, err
-		}
-		return core.NewFuncRecommender("RWR", s.g, func(u int) ([]float64, error) {
-			scores, err := chain.RWRScores(s.g.UserNode(u), 0.85, 50, 1e-9)
+	return s.build("RWR", func() (replicaFactory, error) {
+		return func(g *graph.Bipartite) (Recommender, error) {
+			g.Compact() // include pending live writes in the frozen snapshot
+			chain, err := markov.NewChain(g.Adjacency())
 			if err != nil {
 				return nil, err
 			}
-			out := make([]float64, s.g.NumItems())
-			for i := range out {
-				out[i] = scores[s.g.ItemNode(i)]
-			}
-			return out, nil
-		})
+			return core.NewFuncRecommender("RWR", g, func(u int) ([]float64, error) {
+				scores, err := chain.RWRScores(g.UserNode(u), 0.85, 50, 1e-9)
+				if err != nil {
+					return nil, err
+				}
+				out := make([]float64, g.NumItems())
+				for i := range out {
+					out[i] = scores[g.ItemNode(i)]
+				}
+				return out, nil
+			})
+		}, nil
 	})
+}
+
+// funcBaseline builds the per-shard factory every score-function
+// baseline shares: one dataset-trained scoring model (computed once by
+// the caller) adapted over each shard's graph for rated-item exclusion.
+func funcBaseline(name string, fn core.ScoreFunc) replicaFactory {
+	return func(g *graph.Bipartite) (Recommender, error) {
+		return core.NewFuncRecommender(name, g, fn)
+	}
 }
 
 // PureSVD returns the PureSVD baseline (Cremonesi et al. 2010).
 func (s *System) PureSVD() (Recommender, error) {
-	return s.build("PureSVD", func() (Recommender, error) {
+	return s.build("PureSVD", func() (replicaFactory, error) {
 		rank := s.cfg.SVDRank
 		if maxRank := min(s.data.NumUsers(), s.data.NumItems()); rank > maxRank {
 			rank = maxRank
@@ -570,9 +726,9 @@ func (s *System) PureSVD() (Recommender, error) {
 		if err != nil {
 			return nil, fmt.Errorf("longtail: PureSVD: %w", err)
 		}
-		return core.NewFuncRecommender("PureSVD", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("PureSVD", func(u int) ([]float64, error) {
 			return model.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
@@ -580,45 +736,45 @@ func (s *System) PureSVD() (Recommender, error) {
 // (the Netflix-Prize workhorse the paper's §2 refers to as "regularized
 // Singular Value Decomposition").
 func (s *System) BiasedMF() (Recommender, error) {
-	return s.build("BiasedMF", func() (Recommender, error) {
+	return s.build("BiasedMF", func() (replicaFactory, error) {
 		opts := s.mfOptions(3)
 		model, err := mf.TrainBiasedMF(s.data, opts)
 		if err != nil {
 			return nil, fmt.Errorf("longtail: BiasedMF: %w", err)
 		}
-		return core.NewFuncRecommender("BiasedMF", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("BiasedMF", func(u int) ([]float64, error) {
 			return model.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
 // SVDPP returns the SVD++ baseline (Koren, KDD 2008) cited by §5.1.1 as
 // one of the strong factor models PureSVD beats on top-N tasks.
 func (s *System) SVDPP() (Recommender, error) {
-	return s.build("SVDPP", func() (Recommender, error) {
+	return s.build("SVDPP", func() (replicaFactory, error) {
 		opts := s.mfOptions(4)
 		model, err := mf.TrainSVDPP(s.data, opts)
 		if err != nil {
 			return nil, fmt.Errorf("longtail: SVDPP: %w", err)
 		}
-		return core.NewFuncRecommender("SVDPP", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("SVDPP", func(u int) ([]float64, error) {
 			return model.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
 // AsySVD returns the Asymmetric-SVD baseline (Koren, KDD 2008), the
 // item-centric factor model cited alongside SVD++ in §5.1.1.
 func (s *System) AsySVD() (Recommender, error) {
-	return s.build("AsySVD", func() (Recommender, error) {
+	return s.build("AsySVD", func() (replicaFactory, error) {
 		opts := s.mfOptions(5)
 		model, err := mf.TrainAsySVD(s.data, opts)
 		if err != nil {
 			return nil, fmt.Errorf("longtail: AsySVD: %w", err)
 		}
-		return core.NewFuncRecommender("AsySVD", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("AsySVD", func(u int) ([]float64, error) {
 			return model.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
@@ -634,40 +790,40 @@ func (s *System) mfOptions(seedOffset int64) mf.Options {
 
 // LDA returns the LDA recommender baseline (score = Σ_z θ_uz·φ_zi).
 func (s *System) LDA() (Recommender, error) {
-	return s.build("LDA", func() (Recommender, error) {
+	return s.build("LDA", func() (replicaFactory, error) {
 		m, err := s.ldaModelLocked()
 		if err != nil {
 			return nil, fmt.Errorf("longtail: LDA training: %w", err)
 		}
-		return core.NewFuncRecommender("LDA", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("LDA", func(u int) ([]float64, error) {
 			return m.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
 // UserKNN returns the user-based kNN baseline (Pearson).
 func (s *System) UserKNN() (Recommender, error) {
-	return s.build("UserKNN", func() (Recommender, error) {
+	return s.build("UserKNN", func() (replicaFactory, error) {
 		knn, err := cf.NewUserKNN(s.data, s.cfg.KNNNeighbors, cf.Pearson)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewFuncRecommender("UserKNN", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("UserKNN", func(u int) ([]float64, error) {
 			return knn.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
 // ItemKNN returns the item-based kNN baseline (cosine).
 func (s *System) ItemKNN() (Recommender, error) {
-	return s.build("ItemKNN", func() (Recommender, error) {
+	return s.build("ItemKNN", func() (replicaFactory, error) {
 		knn, err := cf.NewItemKNN(s.data, s.cfg.KNNNeighbors)
 		if err != nil {
 			return nil, err
 		}
-		return core.NewFuncRecommender("ItemKNN", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("ItemKNN", func(u int) ([]float64, error) {
 			return knn.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
@@ -675,22 +831,22 @@ func (s *System) ItemKNN() (Recommender, error) {
 // introduction singles out: rules need high support on both sides, so
 // recommendations cover only the head of the catalog.
 func (s *System) AssocRules() (Recommender, error) {
-	return s.build("AssocRules", func() (Recommender, error) {
+	return s.build("AssocRules", func() (replicaFactory, error) {
 		miner, err := assoc.Mine(s.data, assoc.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("longtail: AssocRules: %w", err)
 		}
-		return core.NewFuncRecommender("AssocRules", s.g, func(u int) ([]float64, error) {
+		return funcBaseline("AssocRules", func(u int) ([]float64, error) {
 			return miner.ScoreAll(u, nil), nil
-		})
+		}), nil
 	})
 }
 
 // MostPopular returns the non-personalized popularity baseline.
 func (s *System) MostPopular() Recommender {
-	return s.mustBuild("MostPopular", func() Recommender {
+	return s.mustBuild("MostPopular", func(g *graph.Bipartite) Recommender {
 		mp := cf.NewMostPopular(s.data)
-		r, err := core.NewFuncRecommender("MostPopular", s.g, func(u int) ([]float64, error) {
+		r, err := core.NewFuncRecommender("MostPopular", g, func(u int) ([]float64, error) {
 			return mp.ScoreAll(u, nil), nil
 		})
 		if err != nil {
@@ -792,6 +948,15 @@ func (s *System) Recommend(ctx context.Context, algo string, req Request) (Respo
 	if req.Ctx == nil {
 		req.Ctx = ctx
 	}
+	if s.phantomUser(req.User) {
+		// In the fleet universe but absent from the home shard: a cold
+		// user by construction (no ratings anywhere) — same outcome the
+		// unsharded stack gives a dense-filled, rating-less user.
+		if req.AllowFallback {
+			return s.fallbackResponse(req, rec.Name()), nil
+		}
+		return Response{}, fmt.Errorf("longtail: user %d: %w", req.User, core.ErrColdUser)
+	}
 	resp, err := core.RecommendRequest(rec, req)
 	if err != nil {
 		if errors.Is(err, core.ErrColdUser) && req.AllowFallback {
@@ -800,6 +965,25 @@ func (s *System) Recommend(ctx context.Context, algo string, req Request) (Respo
 		return Response{}, err
 	}
 	return resp, nil
+}
+
+// phantomUser reports whether user id u is inside the fleet universe but
+// beyond its own home shard's graph. Auto-grow admissions keep each id
+// space dense per shard, so a far-ahead write dense-fills the ids
+// between only on the WRITING user's shard; an id in that gap routes to
+// a home shard that has never seen it. Such a user has no ratings
+// anywhere in the fleet, so the serving layer treats it exactly like the
+// unsharded stack treats a dense-filled, rating-less user: cold. Always
+// false with one shard.
+func (s *System) phantomUser(u int) bool {
+	if u < 0 || s.fleet.NumShards() == 1 {
+		return false
+	}
+	if u < s.fleet.GraphFor(u).NumUsers() {
+		return false
+	}
+	numUsers, _ := s.fleet.Universe()
+	return u < numUsers
 }
 
 // RecommendRequests serves a batch of Requests through the named
@@ -825,15 +1009,49 @@ func (s *System) RecommendRequests(ctx context.Context, algo string, reqs []Requ
 		return nil, err
 	}
 	filled := make([]Request, len(reqs))
+	var phantoms []int // input positions of users absent from their home shard
 	for i, req := range reqs {
 		if req.Ctx == nil {
 			req.Ctx = ctx
 		}
 		filled[i] = req
+		if s.phantomUser(req.User) {
+			phantoms = append(phantoms, i)
+		}
 	}
-	out, err := core.BatchRecommendRequests(rec, filled, parallelism)
+	// Phantom users (dense-filled on another shard, see phantomUser) must
+	// not reach the engines: their home shard would reject them as out of
+	// range and abort the whole batch, where the unsharded stack serves
+	// them as cold. Keep them out of the computed subset; they stay zero
+	// Responses and take the fallback below like any cold user.
+	serve := filled
+	if len(phantoms) > 0 {
+		serve = make([]Request, 0, len(filled)-len(phantoms))
+		next := 0
+		for i, req := range filled {
+			if next < len(phantoms) && phantoms[next] == i {
+				next++
+				continue
+			}
+			serve = append(serve, req)
+		}
+	}
+	computed, err := core.BatchRecommendRequests(rec, serve, parallelism)
 	if err != nil {
 		return nil, err
+	}
+	out := computed
+	if len(phantoms) > 0 {
+		out = make([]Response, len(filled))
+		next, j := 0, 0
+		for i := range filled {
+			if next < len(phantoms) && phantoms[next] == i {
+				next++
+				continue // phantom: zero Response
+			}
+			out[i] = computed[j]
+			j++
+		}
 	}
 	for i := range out {
 		// A zero Response (no Algo) marks a user the algorithm could not
@@ -846,34 +1064,36 @@ func (s *System) RecommendRequests(ctx context.Context, algo string, reqs []Requ
 }
 
 // fallbackResponse builds the degraded Response for a cold user: the
-// deterministic live-popularity list minus the user's rated items,
-// passed through the request's own option filters (so a long-tail-only
-// or candidate-scoped request stays long-tail-only or candidate-scoped
-// even when degraded).
+// deterministic live-popularity list of the user's serving shard minus
+// the user's rated items, passed through the request's own option
+// filters (so a long-tail-only or candidate-scoped request stays
+// long-tail-only or candidate-scoped even when degraded). The Epoch is
+// the serving shard's, matching every personalized response.
 func (s *System) fallbackResponse(req Request, algo string) Response {
 	k := req.K
 	if k < 0 {
 		k = 0
 	}
+	g := s.fleet.GraphFor(req.User)
 	var items []Scored
 	if req.HasOptions() {
 		// Pull the full popularity ranking so post-filtering can still
 		// fill all k slots, sharing one catalog scan between the ranking
 		// and the long-tail filter. Off the hot path: fallbacks are rare
 		// and the catalog ranking is one bounded-heap pass.
-		pop := s.LiveItemPopularity()
-		full := s.popularItemsFrom(pop, req.User, len(pop))
+		pop := g.ItemPopularity()
+		full := popularItemsFrom(g, pop, req.User, len(pop))
 		items = core.FilterScored(full, req, pop)
 		if len(items) > k {
 			items = items[:k]
 		}
 	} else {
-		items = s.PopularItems(req.User, k)
+		items = popularItemsFrom(g, g.ItemPopularity(), req.User, k)
 	}
 	return Response{
 		Items:    items,
 		Fallback: true,
-		Epoch:    s.Epoch(),
+		Epoch:    g.Epoch(),
 		Algo:     algo,
 	}
 }
@@ -924,9 +1144,11 @@ func (s *System) SimilarItems(item, k int) ([]SimilarItem, error) {
 // Explain decomposes a would-be recommendation of candidate to user u over
 // the user's rated items, as absorption probabilities of the underlying
 // random walk — "83% of walks from this item reach you through the movie
-// you rated 5 stars". A diagnostic companion to the AT/AC recommenders.
+// you rated 5 stars". A diagnostic companion to the AT/AC recommenders;
+// it runs on the user's serving shard, the same graph their
+// recommendations walk.
 func (s *System) Explain(u, candidate int) ([]Anchor, error) {
-	return core.ExplainAbsorption(s.g, u, candidate, s.cfg.Walk)
+	return core.ExplainAbsorption(s.fleet.GraphFor(u), u, candidate, s.cfg.Walk)
 }
 
 // NewDataset validates and indexes ratings (see internal/dataset.New).
@@ -953,10 +1175,13 @@ const (
 // NewBuilder returns an empty streaming dataset builder.
 func NewBuilder(policy DupPolicy) *Builder { return dataset.NewBuilder(policy) }
 
-// SaveGraph writes the live serving graph — including pending overlay
+// SaveGraph writes one live serving graph — including pending overlay
 // writes and any users/items admitted through the auto-grow path, with
 // the write epoch preserved — as a versioned, checksummed binary
-// container (see internal/persist).
+// container (see internal/persist). On a sharded System each shard's
+// graph holds only the live writes routed to it: snapshot the whole
+// fleet by saving System.ShardGraph(i) for every shard, not just
+// System.Graph() (shard 0).
 func SaveGraph(w io.Writer, g *graph.Bipartite) error { return persist.SaveGraph(w, g) }
 
 // LoadGraph reads a graph container written by SaveGraph.
