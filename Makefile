@@ -22,25 +22,30 @@ fmt-check:
 
 # Race-detector pass over the concurrency-sensitive surfaces: the pooled
 # walk query engine, the shared-System batch paths, the live delta-overlay
-# graph (concurrent readers + one writer), the sharded result cache and
-# the user-partitioned serving fleet (cross-shard write isolation —
-# TestConcurrentShardedWriteIsolation in the root package).
+# graph (concurrent readers + one writer), the sharded result cache, the
+# user-partitioned serving fleet (cross-shard write isolation —
+# TestConcurrentShardedWriteIsolation in the root package) and the WAL
+# group-commit ingester plus kill-and-restart recovery (TestFleet* in the
+# root and shard packages).
 # (The full suite under -race also works but takes many minutes; this is
 # the CI-sized cut.)
 race:
-	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/
+	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet|TestIngester' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/ ./internal/wal/
 
 # Short per-query benchmark pass with allocation counts — the regression
 # signal for the zero-allocation query engine, the Request query surface,
-# the cached serving path and the sharded-fleet invalidation blast radius
-# (see PERFORMANCE.md).
+# the cached serving path, the sharded-fleet invalidation blast radius and
+# the WAL group-commit throughput (see PERFORMANCE.md).
 bench: build
 	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest|Sharded' -benchtime=100x -benchmem
+	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem ./internal/wal/
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass
-# for the extractor and the live graph, closed- and open-universe (CI runs
-# the seed corpus via `make test` plus a 10s smoke; this explores further).
+# for the extractor, the live graph (closed- and open-universe) and the WAL
+# record decoder against torn and corrupted log tails (CI runs the seed
+# corpus via `make test` plus a 10s smoke; this explores further).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSubgraphExtract -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzBuilderAddRating -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzUpsertRatingAutoGrow -fuzztime 30s ./internal/graph/
+	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 30s ./internal/wal/

@@ -26,7 +26,18 @@
 // until their first ratings land; -auto-grow=false restores the closed
 // universe (unseen ids 404).
 //
-// The process shuts down gracefully on SIGINT/SIGTERM.
+// With -wal-dir set, live writes are durable: each accepted rating is
+// group-committed to an append-only, checksummed, fsync'd write-ahead
+// log before it is acknowledged, a background loop periodically writes
+// an atomic checkpoint and truncates the log (-checkpoint-interval),
+// and startup recovers checkpoint + log tail — a crash or restart loses
+// no acknowledged write. -wal-sync-interval widens the group-commit
+// window (more writes per fsync, more latency per write); -wal-max-batch
+// caps it.
+//
+// The process shuts down gracefully on SIGINT/SIGTERM; with -wal-dir the
+// shutdown flushes the pending commit batch and writes a final
+// checkpoint.
 package main
 
 import (
@@ -58,6 +69,10 @@ type options struct {
 	autoGrow                          bool
 	requestTimeout                    time.Duration
 	evictInterval                     time.Duration
+	walDir                            string
+	walSyncInterval                   time.Duration
+	walMaxBatch                       int
+	checkpointInterval                time.Duration
 }
 
 func main() {
@@ -75,6 +90,10 @@ func main() {
 	flag.BoolVar(&o.autoGrow, "auto-grow", true, "admit ratings from unseen users/items, growing the serving universe live")
 	flag.DurationVar(&o.requestTimeout, "request-timeout", 0, "per-request deadline for the recommendation endpoints (0 disables); an expired deadline cancels the walk mid-sweep")
 	flag.DurationVar(&o.evictInterval, "evict-interval", time.Minute, "how often the background janitor sweeps stale (epoch-invalidated) cache entries (0 disables the janitor)")
+	flag.StringVar(&o.walDir, "wal-dir", "", "directory for the write-ahead log and checkpoint; enables durable live writes with crash recovery on startup (empty = in-memory serving)")
+	flag.DurationVar(&o.walSyncInterval, "wal-sync-interval", 0, "group-commit window: how long the first writer of a batch waits for company before its fsync (0 = commit immediately, batching only under concurrency)")
+	flag.IntVar(&o.walMaxBatch, "wal-max-batch", 64, "max live writes per group-commit batch (one fsync per batch)")
+	flag.DurationVar(&o.checkpointInterval, "checkpoint-interval", 5*time.Minute, "how often to converge shard replicas, write an atomic checkpoint and truncate the WAL behind it (0 disables; needs -wal-dir)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "ltr-server: %v\n", err)
@@ -94,10 +113,21 @@ func run(o options) error {
 	cfg.CompactThreshold = o.compactThreshold
 	cfg.AutoGrow = o.autoGrow
 	cfg.ShardCount = o.shards
+	cfg.WALDir = o.walDir
+	cfg.WALMaxBatch = o.walMaxBatch
+	cfg.WALMaxDelay = o.walSyncInterval
 	sys, err := longtail.NewSystem(data, cfg)
 	if err != nil {
 		return err
 	}
+	// Close flushes the pending group-commit batch and writes the final
+	// checkpoint — a graceful shutdown loses no acknowledged write and
+	// restarts from the checkpoint alone. No-op without -wal-dir.
+	defer func() {
+		if cerr := sys.Close(); cerr != nil {
+			log.Printf("ltr-server: close: %v", cerr)
+		}
+	}()
 	logger := log.New(os.Stderr, "ltr-server ", log.LstdFlags)
 	srv, err := server.New(sys, server.Options{
 		Addr:             o.addr,
@@ -109,8 +139,12 @@ func run(o options) error {
 		return err
 	}
 	st := data.Summarize()
-	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, %d shards, cache %d entries, compact every %d writes, auto-grow %v)",
-		st.NumUsers, st.NumItems, st.NumRatings, o.addr, o.algo, sys.ShardCount(), o.cacheSize, o.compactThreshold, o.autoGrow)
+	durability := "off"
+	if o.walDir != "" {
+		durability = o.walDir
+	}
+	logger.Printf("serving %d users / %d items / %d ratings on %s (default algorithm %s, %d shards, cache %d entries, compact every %d writes, auto-grow %v, wal %s)",
+		st.NumUsers, st.NumItems, st.NumRatings, o.addr, o.algo, sys.ShardCount(), o.cacheSize, o.compactThreshold, o.autoGrow, durability)
 
 	// Background cache janitor: epoch bumps make stale entries
 	// unreachable but not free — the ticker reclaims their memory so a
@@ -138,6 +172,37 @@ func run(o options) error {
 		defer func() {
 			close(janitorStop)
 			janitorWG.Wait()
+		}()
+	}
+
+	// Background snapshot refresher: periodically converges the shard
+	// replicas (replaying the WAL tail into the shards that did not
+	// originally receive each write), writes an atomic checkpoint and
+	// truncates the log behind it — bounding both replay time after a
+	// crash and the cross-shard consistency gap. Joined before sys.Close
+	// runs so the final checkpoint never races a periodic one.
+	if o.walDir != "" && o.checkpointInterval > 0 {
+		refreshStop := make(chan struct{})
+		var refreshWG sync.WaitGroup
+		refreshWG.Add(1)
+		go func() {
+			defer refreshWG.Done()
+			ticker := time.NewTicker(o.checkpointInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if err := sys.SnapshotRefresh(); err != nil {
+						logger.Printf("snapshot refresh: %v", err)
+					}
+				case <-refreshStop:
+					return
+				}
+			}
+		}()
+		defer func() {
+			close(refreshStop)
+			refreshWG.Wait()
 		}()
 	}
 

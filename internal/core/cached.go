@@ -47,6 +47,27 @@ type ServingStats struct {
 	// epoch and cache counters move independently: a write invalidates
 	// only its own shard's cached results.
 	Shards []ShardStats
+	// Durability reports where the write-ahead log stands (zero value
+	// when the stack runs without one).
+	Durability DurabilityStats
+}
+
+// DurabilityStats is the write-ahead-log slice of ServingStats: whether
+// writes are durable, how far durability has advanced, and how much is
+// in flight.
+type DurabilityStats struct {
+	// Enabled reports whether a write-ahead log backs live writes.
+	Enabled bool
+	// DurableSeq is the global sequence number of the next record to be
+	// logged; every accepted write below it is fsync'd (in the log or
+	// folded into the last checkpoint).
+	DurableSeq uint64
+	// PendingBatch is how many submitted writes await their group-commit
+	// batch — acknowledged to no one yet.
+	PendingBatch int
+	// LastCheckpointEpoch is the fleet-wide epoch at the moment the most
+	// recent checkpoint was written (zero before the first one).
+	LastCheckpointEpoch uint64
 }
 
 // ShardStats is one serving replica's slice of ServingStats: its own

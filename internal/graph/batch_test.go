@@ -1,0 +1,177 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestUpsertRatingsBatchSingleEpochBump(t *testing.T) {
+	g := liveFixture(t)
+	before := g.Epoch()
+
+	results := g.UpsertRatingsBatch([]WriteOp{
+		{User: 0, Item: 2, Score: 4, AutoGrow: false},  // new edge
+		{User: 0, Item: 1, Score: 9, AutoGrow: false},  // re-rate
+		{User: 0, Item: 1, Score: 9, AutoGrow: false},  // no-op (same score)
+		{User: 3, Item: 4, Score: 1, AutoGrow: true},   // admits u3, i4 + edge
+		{User: 9, Item: 0, Score: 2, AutoGrow: false},  // out of range → fails
+		{User: 1, Item: 0, Score: -1, AutoGrow: false}, // bad weight → fails
+	})
+	if len(results) != 6 {
+		t.Fatalf("got %d results, want 6", len(results))
+	}
+	wantAdded := []bool{true, false, false, true, false, false}
+	wantErr := []bool{false, false, false, false, true, true}
+	for k := range results {
+		if results[k].Added != wantAdded[k] {
+			t.Errorf("op %d: Added = %v, want %v", k, results[k].Added, wantAdded[k])
+		}
+		if (results[k].Err != nil) != wantErr[k] {
+			t.Errorf("op %d: Err = %v, want error=%v", k, results[k].Err, wantErr[k])
+		}
+	}
+	// Accepted writes: edge(0,2) + re-rate(0,1) + [admit u3 + admit i4 +
+	// edge(3,4)] = 5. No-op and failures earn nothing.
+	if got := g.Epoch() - before; got != 5 {
+		t.Errorf("epoch delta = %d, want 5 (one bump covering all accepted writes)", got)
+	}
+	if g.NumUsers() != 4 || g.NumItems() != 5 {
+		t.Errorf("universe = (%d,%d), want (4,5)", g.NumUsers(), g.NumItems())
+	}
+	if w := g.Weight(g.UserNode(0), g.ItemNode(1)); w != 9 {
+		t.Errorf("re-rated weight = %v, want 9", w)
+	}
+	if w := g.Weight(g.UserNode(3), g.ItemNode(4)); w != 1 {
+		t.Errorf("grown edge weight = %v, want 1", w)
+	}
+}
+
+// TestUpsertRatingsBatchIntraBatchGrowth checks the inside-the-lock
+// validation: a later op of the same batch may target ids that only an
+// earlier op of the batch admitted.
+func TestUpsertRatingsBatchIntraBatchGrowth(t *testing.T) {
+	g := liveFixture(t)
+	results := g.UpsertRatingsBatch([]WriteOp{
+		{User: 3, Item: 0, Score: 2, AutoGrow: true},  // admits u3
+		{User: 3, Item: 1, Score: 1, AutoGrow: false}, // u3 now in range
+	})
+	for k, r := range results {
+		if r.Err != nil {
+			t.Fatalf("op %d failed: %v", k, r.Err)
+		}
+	}
+	if g.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d, want 4", g.NumUsers())
+	}
+}
+
+func TestUpsertRatingsBatchEmpty(t *testing.T) {
+	g := liveFixture(t)
+	before := g.Epoch()
+	if got := g.UpsertRatingsBatch(nil); len(got) != 0 {
+		t.Fatalf("nil batch returned %d results", len(got))
+	}
+	if g.Epoch() != before {
+		t.Errorf("empty batch moved the epoch")
+	}
+}
+
+func TestCheckWriteMatchesApply(t *testing.T) {
+	g := liveFixture(t)
+	cases := []struct {
+		name     string
+		u, i     int
+		w        float64
+		autoGrow bool
+		wantErr  string
+	}{
+		{"in-range", 0, 0, 1, false, ""},
+		{"user-oob", 7, 0, 1, false, "out of range"},
+		{"item-oob", 0, 9, 1, false, "out of range"},
+		{"grow-ok", 3, 4, 1, true, ""},
+		{"zero-weight", 0, 0, 0, false, "positive"},
+		{"nan-weight", 0, 0, math.NaN(), false, "positive"},
+	}
+	for _, tc := range cases {
+		err := g.CheckWrite(tc.u, tc.i, tc.w, tc.autoGrow)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// CheckWrite must not mutate: same graph, same epoch, same universe.
+	if g.Epoch() != 0 || g.NumUsers() != 3 || g.NumItems() != 4 {
+		t.Errorf("CheckWrite mutated the graph: epoch=%d universe=(%d,%d)",
+			g.Epoch(), g.NumUsers(), g.NumItems())
+	}
+}
+
+func TestFromSnapshotWithBase(t *testing.T) {
+	g := liveFixture(t)
+	// Grow live: one user, one item, edges touching them, plus a re-rate
+	// of a base edge.
+	if _, err := g.UpsertRatingAutoGrow(3, 4, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UpsertRating(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+
+	r, err := FromSnapshotWithBase(snap, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BaseNumUsers() != 3 || r.BaseNumItems() != 4 {
+		t.Fatalf("restored base = (%d,%d), want (3,4)",
+			r.BaseNumUsers(), r.BaseNumItems())
+	}
+	if r.NumUsers() != g.NumUsers() || r.NumItems() != g.NumItems() {
+		t.Fatalf("restored universe = (%d,%d), want (%d,%d)",
+			r.NumUsers(), r.NumItems(), g.NumUsers(), g.NumItems())
+	}
+	if r.Epoch() != g.Epoch() {
+		t.Errorf("restored epoch = %d, want %d", r.Epoch(), g.Epoch())
+	}
+	if r.NumEdges() != g.NumEdges() {
+		t.Errorf("restored edges = %d, want %d", r.NumEdges(), g.NumEdges())
+	}
+	for u := 0; u < g.NumUsers(); u++ {
+		for i := 0; i < g.NumItems(); i++ {
+			want := g.Weight(g.UserNode(u), g.ItemNode(i))
+			got := r.Weight(r.UserNode(u), r.ItemNode(i))
+			if want != got {
+				t.Errorf("edge (%d,%d): weight %v, want %v", u, i, got, want)
+			}
+		}
+	}
+
+	// Contrast: plain FromSnapshot swallows growth into the base.
+	p, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaseNumUsers() != 4 || p.BaseNumItems() != 5 {
+		t.Fatalf("FromSnapshot base = (%d,%d), want grown (4,5)",
+			p.BaseNumUsers(), p.BaseNumItems())
+	}
+}
+
+func TestFromSnapshotWithBaseRejectsBadBase(t *testing.T) {
+	snap := liveFixture(t).Snapshot()
+	if _, err := FromSnapshotWithBase(snap, 4, 4); err == nil {
+		t.Error("base users beyond snapshot universe accepted")
+	}
+	if _, err := FromSnapshotWithBase(snap, -1, 4); err == nil {
+		t.Error("negative base users accepted")
+	}
+	if _, err := FromSnapshotWithBase(snap, 3, 5); err == nil {
+		t.Error("base items beyond snapshot universe accepted")
+	}
+}

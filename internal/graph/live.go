@@ -85,7 +85,7 @@ func (g *Bipartite) AddUser() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	idx := g.uni.Load().numUsers
-	g.growLocked(1, 0)
+	g.epoch.Add(g.growLocked(1, 0))
 	g.maybeCompactLocked()
 	return idx
 }
@@ -96,7 +96,7 @@ func (g *Bipartite) AddItem() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	idx := g.uni.Load().numItems
-	g.growLocked(0, 1)
+	g.epoch.Add(g.growLocked(0, 1))
 	g.maybeCompactLocked()
 	return idx
 }
@@ -104,8 +104,11 @@ func (g *Bipartite) AddItem() int {
 // growLocked appends newUsers user nodes and newItems item nodes to the
 // universe, installing an empty overlay row per node (the invariant that
 // lets rowLocked serve nodes beyond the CSR) and counting each admission
-// as one accepted write. Caller holds g.mu for writing.
-func (g *Bipartite) growLocked(newUsers, newItems int) {
+// as one accepted write. It returns the epoch delta (one per admission)
+// WITHOUT bumping the epoch — the caller decides whether each write
+// bumps individually (the single-write path) or the whole batch bumps
+// once (the group-commit path). Caller holds g.mu for writing.
+func (g *Bipartite) growLocked(newUsers, newItems int) uint64 {
 	next := g.uni.Load().grow(newUsers, newItems)
 	if g.overlay == nil {
 		g.overlay = make(map[int]*liveRow)
@@ -115,7 +118,7 @@ func (g *Bipartite) growLocked(newUsers, newItems int) {
 	}
 	g.uni.Store(next)
 	g.overlayWrites += newUsers + newItems
-	g.epoch.Add(uint64(newUsers + newItems))
+	return uint64(newUsers + newItems)
 }
 
 // maybeCompactLocked folds the overlay when the auto-compaction threshold
@@ -159,37 +162,62 @@ func (g *Bipartite) UpsertRatingAutoGrow(u, i int, w float64) (added bool, err e
 	return g.applyRating(u, i, w, modeUpsert, true)
 }
 
-// applyRating validates and applies one write under the graph lock.
-func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, err error) {
-	// The universe only grows, so a pre-lock validation verdict of "in
-	// range" cannot be invalidated before the lock is taken.
+// CheckWrite validates one rating write against the current universe
+// without applying it: the same verdict applyRating's own pre-lock
+// validation would reach. The universe only grows, so a pass here cannot
+// be invalidated by concurrent writes — which is what lets the durable
+// write path reject garbage BEFORE logging it, so invalid operations
+// never occupy write-ahead-log space or replay time.
+func (g *Bipartite) CheckWrite(u, i int, w float64, autoGrow bool) error {
 	uni := g.uni.Load()
 	if autoGrow {
 		if err := checkGrowable("user", u, uni.numUsers); err != nil {
-			return false, err
+			return err
 		}
 		if err := checkGrowable("item", i, uni.numItems); err != nil {
-			return false, err
+			return err
 		}
 	} else {
 		if u < 0 || u >= uni.numUsers {
-			return false, fmt.Errorf("graph: user %d out of range [0,%d)", u, uni.numUsers)
+			return fmt.Errorf("graph: user %d out of range [0,%d)", u, uni.numUsers)
 		}
 		if i < 0 || i >= uni.numItems {
-			return false, fmt.Errorf("graph: item %d out of range [0,%d)", i, uni.numItems)
+			return fmt.Errorf("graph: item %d out of range [0,%d)", i, uni.numItems)
 		}
 	}
 	// !(w > 0) also rejects NaN, which would otherwise poison degrees and
 	// totalWeight irreversibly; +Inf is rejected for the same reason.
 	if !(w > 0) || math.IsInf(w, 1) {
-		return false, fmt.Errorf("graph: edge weight %v must be positive and finite", w)
+		return fmt.Errorf("graph: edge weight %v must be positive and finite", w)
 	}
+	return nil
+}
 
+// applyRating validates and applies one write under the graph lock.
+func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, err error) {
+	// The universe only grows, so a pre-lock validation verdict of "in
+	// range" cannot be invalidated before the lock is taken.
+	if err := g.CheckWrite(u, i, w, autoGrow); err != nil {
+		return false, err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	added, delta, err := g.applyRatingLocked(u, i, w, mode, autoGrow)
+	g.epoch.Add(delta)
+	g.maybeCompactLocked()
+	return added, err
+}
 
+// applyRatingLocked applies one pre-validated write, returning the epoch
+// delta it earned (admissions plus the edge write; zero for no-ops and
+// failures) WITHOUT bumping the epoch: the single-write path bumps per
+// write, the batch path accumulates and bumps once — so a batch of
+// concurrent writers invalidates downstream caches with one epoch
+// transition instead of one per write. Caller holds g.mu for writing and
+// owns auto-compaction.
+func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, delta uint64, err error) {
 	if autoGrow {
-		uni = g.uni.Load() // re-read: another grow may have won the lock
+		uni := g.uni.Load() // re-read: another grow may have won the lock
 		newUsers, newItems := u-uni.numUsers+1, i-uni.numItems+1
 		if newUsers < 0 {
 			newUsers = 0
@@ -198,25 +226,25 @@ func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bo
 			newItems = 0
 		}
 		if newUsers > 0 || newItems > 0 {
-			g.growLocked(newUsers, newItems)
+			delta += g.growLocked(newUsers, newItems)
 		}
 	}
-	uni = g.uni.Load()
+	uni := g.uni.Load()
 	un, in := uni.userNode(u), uni.itemNode(i)
 
 	cols, weights := g.rowLocked(un)
 	k, exists := searchEdge(cols, in)
 	switch {
 	case exists && mode == modeAdd:
-		return false, fmt.Errorf("graph: rating (user %d, item %d) already exists", u, i)
+		return false, delta, fmt.Errorf("graph: rating (user %d, item %d) already exists", u, i)
 	case !exists && mode == modeUpdate:
-		return false, fmt.Errorf("graph: rating (user %d, item %d) does not exist", u, i)
+		return false, delta, fmt.Errorf("graph: rating (user %d, item %d) does not exist", u, i)
 	}
 	old := 0.0
 	if exists {
 		old = weights[k]
 		if old == w {
-			return false, nil // true no-op: epoch must not move
+			return false, delta, nil // true no-op: no epoch for the edge
 		}
 	}
 	g.setEdgeLocked(un, in, w)
@@ -226,9 +254,57 @@ func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bo
 		g.numEdges++
 	}
 	g.overlayWrites++
-	g.epoch.Add(1)
+	return !exists, delta + 1, nil
+}
+
+// WriteOp is one rating write of a batch: an upsert, admitting unseen
+// ids first when AutoGrow is set.
+type WriteOp struct {
+	User, Item int
+	Score      float64
+	AutoGrow   bool
+}
+
+// WriteResult is one WriteOp's outcome.
+type WriteResult struct {
+	// Added reports whether a new edge was created (false for re-rates,
+	// no-ops and failures).
+	Added bool
+	// Err is the per-op verdict; other ops in the batch are unaffected.
+	Err error
+}
+
+// UpsertRatingsBatch applies a batch of upserts under ONE lock
+// acquisition with ONE epoch bump covering every accepted write — the
+// group-commit write path. The epoch still advances by exactly the
+// number of accepted writes (admissions + edge writes), preserving the
+// "epoch = total accepted writes" meaning; what batching changes is the
+// number of distinct epoch transitions downstream caches observe: one
+// per batch instead of one per write. Results align with ops by index;
+// a failed op does not disturb its neighbors. Auto-compaction runs once,
+// after the whole batch.
+func (g *Bipartite) UpsertRatingsBatch(ops []WriteOp) []WriteResult {
+	results := make([]WriteResult, len(ops))
+	if len(ops) == 0 {
+		return results
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var delta uint64
+	for k, op := range ops {
+		// Validate inside the lock: earlier ops of this very batch may
+		// have grown the universe the later ops depend on.
+		if err := g.CheckWrite(op.User, op.Item, op.Score, op.AutoGrow); err != nil {
+			results[k] = WriteResult{Err: err}
+			continue
+		}
+		added, d, err := g.applyRatingLocked(op.User, op.Item, op.Score, modeUpsert, op.AutoGrow)
+		results[k] = WriteResult{Added: added, Err: err}
+		delta += d
+	}
+	g.epoch.Add(delta)
 	g.maybeCompactLocked()
-	return !exists, nil
+	return results
 }
 
 // setEdgeLocked installs a fresh overlay row for node v with the edge to w

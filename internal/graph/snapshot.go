@@ -9,6 +9,8 @@
 
 package graph
 
+import "fmt"
+
 // GraphSnapshot is a point-in-time, self-contained copy of a Bipartite:
 // universe sizes, write epoch, and every undirected edge exactly once
 // (listed from the user side). Node ids are canonicalized — a graph grown
@@ -60,6 +62,54 @@ func FromSnapshot(snap GraphSnapshot) (*Bipartite, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.epoch.Store(snap.Epoch)
+	return g, nil
+}
+
+// FromSnapshotWithBase rebuilds a graph from a snapshot while preserving
+// the original base/live universe split: the first baseUsers users and
+// baseItems items form the compiled base universe, everything beyond is
+// re-admitted as live growth. This is the checkpoint-restore path — a
+// server that trained entropy models against the dataset universe and
+// then admitted users live must come back with the SAME BaseNumUsers and
+// BaseNumItems, or the trained vectors would fail base-universe
+// validation (or worse, silently mis-index) against a base that
+// swallowed the growth. Edge set, universe sizes and epoch match the
+// snapshot exactly, as with FromSnapshot.
+func FromSnapshotWithBase(snap GraphSnapshot, baseUsers, baseItems int) (*Bipartite, error) {
+	if baseUsers < 0 || baseUsers > snap.NumUsers {
+		return nil, fmt.Errorf("graph: base users %d outside snapshot universe [0,%d]", baseUsers, snap.NumUsers)
+	}
+	if baseItems < 0 || baseItems > snap.NumItems {
+		return nil, fmt.Errorf("graph: base items %d outside snapshot universe [0,%d]", baseItems, snap.NumItems)
+	}
+	base := make([]Rating, 0, len(snap.Ratings))
+	grown := make([]Rating, 0)
+	for _, r := range snap.Ratings {
+		if r.User < baseUsers && r.Item < baseItems {
+			base = append(base, r)
+		} else {
+			grown = append(grown, r)
+		}
+	}
+	g, err := FromRatings(baseUsers, baseItems, base)
+	if err != nil {
+		return nil, err
+	}
+	for u := baseUsers; u < snap.NumUsers; u++ {
+		g.AddUser()
+	}
+	for i := baseItems; i < snap.NumItems; i++ {
+		g.AddItem()
+	}
+	for _, r := range grown {
+		if _, err := g.UpsertRating(r.User, r.Item, r.Weight); err != nil {
+			return nil, fmt.Errorf("graph: restoring grown edge (%d,%d): %w", r.User, r.Item, err)
+		}
+	}
+	// Replayed admissions and edge writes moved the epoch; the snapshot's
+	// recorded epoch is the authoritative resume point.
+	g.Compact()
 	g.epoch.Store(snap.Epoch)
 	return g, nil
 }

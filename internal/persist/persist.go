@@ -25,6 +25,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 )
 
 // Kind identifies the payload type of a container.
@@ -33,11 +34,12 @@ type Kind uint16
 // Payload kinds. The numeric values are part of the on-disk format:
 // never reorder or reuse them.
 const (
-	KindDataset  Kind = 1
-	KindLDA      Kind = 2
-	KindBiasedMF Kind = 3
-	KindPureSVD  Kind = 4
-	KindGraph    Kind = 5
+	KindDataset    Kind = 1
+	KindLDA        Kind = 2
+	KindBiasedMF   Kind = 3
+	KindPureSVD    Kind = 4
+	KindGraph      Kind = 5
+	KindCheckpoint Kind = 6
 )
 
 // String names the kind for error messages.
@@ -53,6 +55,8 @@ func (k Kind) String() string {
 		return "pure-svd"
 	case KindGraph:
 		return "graph"
+	case KindCheckpoint:
+		return "fleet-checkpoint"
 	default:
 		return fmt.Sprintf("kind(%d)", uint16(k))
 	}
@@ -217,20 +221,53 @@ func (d *dec) finish() error {
 	return nil
 }
 
-// SaveFile writes a container to path via save, creating or truncating it.
+// SaveFile writes a container to path via save, atomically: the bytes go
+// to a temporary file in the target directory, are fsynced, and the temp
+// file is renamed over path (then the directory entry is synced). A crash
+// at any point leaves either the complete old file or the complete new
+// one — never a truncated container — which is what lets the checkpoint
+// path treat an existing file as always-loadable.
 func SaveFile(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: %w", err)
 	}
-	if err := save(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("persist: close %s: %w", path, err)
+	if err := save(f); err != nil {
+		return fail(err)
 	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("persist: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: %w", err)
+	}
+	syncDir(dir)
 	return nil
+}
+
+// syncDir makes a rename in dir durable. Best-effort: some filesystems
+// reject directory fsync, and the rename itself already guarantees
+// old-or-new atomicity — only the window until the next journal flush is
+// at stake.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // LoadFile opens path and decodes it via load.

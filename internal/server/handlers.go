@@ -70,6 +70,18 @@ type StatsResponse struct {
 	// Shards is the per-shard breakdown, indexed by shard id — always
 	// present, length 1 on a single-replica deployment.
 	Shards []ShardStatsResponse `json:"shards"`
+
+	// Durability: where the write-ahead log stands. WALEnabled is false
+	// (and the other three zero) when the server runs without -wal-dir.
+	// DurableSeq is the next WAL sequence to assign — every accepted
+	// write below it is fsync'd. PendingBatch is how many writes sit in
+	// the in-flight group-commit batch, acknowledged to no one yet.
+	// LastCheckpointEpoch is the fleet epoch the most recent checkpoint
+	// captured (zero before the first).
+	WALEnabled          bool   `json:"wal_enabled"`
+	DurableSeq          uint64 `json:"durable_seq"`
+	PendingBatch        int    `json:"pending_batch"`
+	LastCheckpointEpoch uint64 `json:"last_checkpoint_epoch"`
 }
 
 // cacheStatsResponse renders cache counters with their derived hit rate.
@@ -105,6 +117,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Epoch:            serving.Epoch,
 		PendingWrites:    serving.PendingWrites,
 		Shards:           make([]ShardStatsResponse, 0, len(serving.Shards)),
+
+		WALEnabled:          serving.Durability.Enabled,
+		DurableSeq:          serving.Durability.DurableSeq,
+		PendingBatch:        serving.Durability.PendingBatch,
+		LastCheckpointEpoch: serving.Durability.LastCheckpointEpoch,
 	}
 	if serving.CacheEnabled {
 		resp.Cache = cacheStatsResponse(serving.Cache)

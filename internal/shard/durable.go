@@ -1,0 +1,263 @@
+// Durable writes for the fleet: write-ahead logging, group commit, and
+// the snapshot-refresh cycle.
+//
+// With durability enabled, ApplyRating validates the write against its
+// home replica, then submits one WAL record to a group-commit ingester.
+// The ingester batches concurrent writers into ONE log append + fsync,
+// ONE overlay application per written shard and ONE epoch bump per shard
+// per batch, and acknowledges each writer only after its batch is
+// durable — so an acked write survives a crash by construction, and an
+// fsync failure fails the ack without applying anything (the client
+// retries).
+//
+// Validation runs BEFORE logging, so invalid operations never occupy log
+// space or replay time; the universe only grows, so a verdict reached
+// before the submit cannot be invalidated by the time the batch applies.
+//
+// The snapshot-refresh cycle (SnapshotRefresh) closes the cross-shard
+// eventual-consistency gap and bounds the log: under an ingester barrier
+// it replays the log's tail into every NON-home replica (converging the
+// fleet; one epoch bump per foreign replica per refresh, so cache
+// invalidation stays amortized), compacts, writes an atomic checkpoint
+// naming the covered sequence, and truncates the log behind it. Recovery
+// is the mirror image: restore the checkpoint, replay records above its
+// sequence, reopen for appends.
+
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"longtailrec/internal/core"
+	"longtailrec/internal/graph"
+	"longtailrec/internal/persist"
+	"longtailrec/internal/wal"
+)
+
+// writeOutcome is what one durable write hands back to its waiting
+// writer: the apply verdict plus the written shard's post-batch epoch.
+type writeOutcome struct {
+	added bool
+	epoch uint64
+	err   error
+}
+
+// EnableDurability arms the write-ahead-log path: every later
+// ApplyRating group-commits through log. Call once, before serving
+// writes; the fleet takes ownership of neither the log's file path nor
+// its directory, but CloseDurability closes the log.
+func (f *Fleet) EnableDurability(log *wal.Log, opts wal.BatchOptions) error {
+	if log == nil {
+		return fmt.Errorf("shard: durability needs a log")
+	}
+	if f.ing != nil {
+		return fmt.Errorf("shard: durability already enabled")
+	}
+	ing, err := wal.NewIngester(log, f.applyRecords, opts)
+	if err != nil {
+		return err
+	}
+	f.wlog = log
+	f.ing = ing
+	return nil
+}
+
+// applyDurable is ApplyRating's write path when durability is on.
+func (f *Fleet) applyDurable(g *graph.Bipartite, user, item int, score float64, shardIdx int, autoGrow bool) (bool, uint64, int, error) {
+	// Reject before logging: garbage must not reach the log.
+	if err := g.CheckWrite(user, item, score, autoGrow); err != nil {
+		return false, g.Epoch(), shardIdx, err
+	}
+	op := wal.OpUpsert
+	if autoGrow {
+		op = wal.OpUpsertAutoGrow
+	}
+	out, err := f.ing.Submit(wal.Record{Op: op, User: user, Item: item, Score: score})
+	if err != nil {
+		// Not durable, not applied: the caller may retry.
+		return false, g.Epoch(), shardIdx, err
+	}
+	return out.added, out.epoch, shardIdx, out.err
+}
+
+// applyRecords is the ingester's apply hook: it applies one durable
+// batch, routing each record to its home shard and applying each shard's
+// share as ONE UpsertRatingsBatch — one lock acquisition and one epoch
+// bump per written shard per batch, however many writers the batch
+// carries. Outcomes align with records by index.
+func (f *Fleet) applyRecords(recs []wal.Record) []writeOutcome {
+	out := make([]writeOutcome, len(recs))
+	perShard := make(map[int][]int) // shard -> record indices, in order
+	for k, rec := range recs {
+		s := Assign(rec.User, len(f.replicas))
+		perShard[s] = append(perShard[s], k)
+	}
+	for s, idxs := range perShard {
+		ops := make([]graph.WriteOp, len(idxs))
+		for j, k := range idxs {
+			ops[j] = graph.WriteOp{
+				User:     recs[k].User,
+				Item:     recs[k].Item,
+				Score:    recs[k].Score,
+				AutoGrow: recs[k].Op == wal.OpUpsertAutoGrow,
+			}
+		}
+		g := f.replicas[s].Graph
+		results := g.UpsertRatingsBatch(ops)
+		epoch := g.Epoch()
+		for j, k := range idxs {
+			out[k] = writeOutcome{added: results[j].Added, epoch: epoch, err: results[j].Err}
+		}
+	}
+	return out
+}
+
+// ApplyRecord replays one WAL record into its home replica directly,
+// without logging — the recovery path, where the record is by definition
+// already durable. Idempotent over a checkpoint that includes it: an
+// upsert that re-writes the same score is a no-op and moves no epoch.
+func (f *Fleet) ApplyRecord(rec wal.Record) error {
+	g := f.replicas[Assign(rec.User, len(f.replicas))].Graph
+	var err error
+	switch rec.Op {
+	case wal.OpUpsertAutoGrow:
+		_, err = g.UpsertRatingAutoGrow(rec.User, rec.Item, rec.Score)
+	case wal.OpUpsert:
+		_, err = g.UpsertRating(rec.User, rec.Item, rec.Score)
+	default:
+		err = fmt.Errorf("shard: unknown WAL op %d", rec.Op)
+	}
+	return err
+}
+
+// SnapshotRefresh runs one convergence-and-checkpoint cycle, writing the
+// checkpoint container to path (atomically — a crash leaves the old
+// checkpoint intact). With the ingester live the cycle runs under its
+// barrier, serialized against every group commit; after CloseDurability
+// has quiesced the stack it runs directly (the final checkpoint of a
+// graceful shutdown). The log is truncated only after the checkpoint is
+// durably on disk; a crash between the two leaves a log whose replay
+// over the new checkpoint is sequence-gated and idempotent.
+func (f *Fleet) SnapshotRefresh(path string) error {
+	if f.wlog == nil {
+		return fmt.Errorf("shard: durability not enabled")
+	}
+	var err error
+	if berr := f.ing.Barrier(func() { err = f.refresh(path) }); berr != nil {
+		if !errors.Is(berr, wal.ErrClosed) {
+			return berr
+		}
+		// Ingester closed: no appends can race; run directly.
+		return f.refresh(path)
+	}
+	return err
+}
+
+// refresh is the cycle body. Caller guarantees no concurrent applies.
+func (f *Fleet) refresh(path string) error {
+	// 1. Converge: replay the log tail into every non-home replica. Home
+	// replicas already hold these writes (they were applied at commit
+	// time), so they are skipped — replaying into them would be a no-op
+	// anyway, upserts being idempotent.
+	var tail []wal.Record
+	if err := f.wlog.Replay(0, func(_ uint64, rec wal.Record) error {
+		tail = append(tail, rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(f.replicas) > 1 && len(tail) > 0 {
+		for s, r := range f.replicas {
+			var ops []graph.WriteOp
+			for _, rec := range tail {
+				if Assign(rec.User, len(f.replicas)) == s {
+					continue
+				}
+				ops = append(ops, graph.WriteOp{
+					User:     rec.User,
+					Item:     rec.Item,
+					Score:    rec.Score,
+					AutoGrow: rec.Op == wal.OpUpsertAutoGrow,
+				})
+			}
+			for _, res := range r.Graph.UpsertRatingsBatch(ops) {
+				if res.Err != nil {
+					return fmt.Errorf("shard: convergence replay into shard %d: %w", s, res.Err)
+				}
+			}
+		}
+	}
+
+	// 2. Compact every replica: the checkpoint serializes folded CSRs and
+	// the serving stack restarts with no pending overlay.
+	for _, r := range f.replicas {
+		r.Graph.Compact()
+	}
+
+	// 3. Checkpoint, atomically. Seq is read under the barrier, so it
+	// names exactly the records the images include.
+	seq := f.wlog.Seq()
+	cp := &persist.FleetCheckpoint{Seq: seq, Shards: make([]persist.ShardCheckpoint, len(f.replicas))}
+	for i, r := range f.replicas {
+		cp.Shards[i] = persist.ShardCheckpoint{
+			BaseUsers: r.Graph.BaseNumUsers(),
+			BaseItems: r.Graph.BaseNumItems(),
+			Snapshot:  r.Graph.Snapshot(),
+		}
+	}
+	if err := persist.SaveFile(path, func(w io.Writer) error {
+		return persist.SaveFleetCheckpoint(w, cp)
+	}); err != nil {
+		return err
+	}
+
+	// 4. Truncate the log behind the checkpoint.
+	if err := f.wlog.ResetTo(seq); err != nil {
+		return err
+	}
+	f.lastCkptEpoch.Store(f.Epoch())
+	return nil
+}
+
+// SetLastCheckpointEpoch records the fleet epoch a restored checkpoint
+// represents — recovery wiring, so /v1/stats does not report zero until
+// the first post-restart refresh.
+func (f *Fleet) SetLastCheckpointEpoch(epoch uint64) { f.lastCkptEpoch.Store(epoch) }
+
+// DurabilityStats reports where the write-ahead log stands.
+func (f *Fleet) DurabilityStats() core.DurabilityStats {
+	if f.wlog == nil {
+		return core.DurabilityStats{}
+	}
+	st := core.DurabilityStats{
+		Enabled:             true,
+		DurableSeq:          f.wlog.Seq(),
+		LastCheckpointEpoch: f.lastCkptEpoch.Load(),
+	}
+	if f.ing != nil {
+		st.PendingBatch = f.ing.Pending()
+	}
+	return st
+}
+
+// FlushDurability commits whatever batch is queued and stops accepting
+// durable writes (later ApplyRating calls fail with wal.ErrClosed). The
+// log stays open so a final SnapshotRefresh can still checkpoint and
+// truncate. Idempotent; a no-op when durability was never enabled.
+func (f *Fleet) FlushDurability() {
+	if f.ing != nil {
+		f.ing.Close()
+	}
+}
+
+// CloseDurability flushes and closes the log. Idempotent; a no-op when
+// durability was never enabled.
+func (f *Fleet) CloseDurability() error {
+	if f.ing == nil {
+		return nil
+	}
+	f.ing.Close()
+	return f.wlog.Close()
+}

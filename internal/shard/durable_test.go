@@ -1,0 +1,227 @@
+package shard
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"longtailrec/internal/persist"
+	"longtailrec/internal/wal"
+)
+
+// durableFleet arms a test fleet with a WAL in a temp dir, returning the
+// fleet, the log path and the checkpoint path.
+func durableFleet(t *testing.T, n int, opts wal.BatchOptions) (*Fleet, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "wal.log")
+	ckptPath := filepath.Join(dir, "checkpoint.ltr")
+	f := testFleet(t, n, false)
+	l, err := wal.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.EnableDurability(l, opts); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.CloseDurability() })
+	return f, logPath, ckptPath
+}
+
+func TestFleetDurableApplyRating(t *testing.T) {
+	f, logPath, _ := durableFleet(t, 2, wal.BatchOptions{})
+
+	added, epoch, shardIdx, err := f.ApplyRating(0, 3, 4.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Error("new edge not reported as added")
+	}
+	if shardIdx != Assign(0, 2) {
+		t.Errorf("written shard %d, want %d", shardIdx, Assign(0, 2))
+	}
+	if epoch != 1 {
+		t.Errorf("written shard epoch = %d, want 1", epoch)
+	}
+
+	// Auto-grow admission through the durable path.
+	if _, _, _, err := f.ApplyRating(6, 5, 2, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Invalid writes are rejected BEFORE logging: the log must hold
+	// exactly the two accepted records.
+	if _, _, _, err := f.ApplyRating(99, 0, 1, false); err == nil {
+		t.Error("out-of-range write accepted")
+	}
+	if _, _, _, err := f.ApplyRating(0, 0, -1, false); err == nil {
+		t.Error("negative-weight write accepted")
+	}
+	f.CloseDurability()
+	l, err := wal.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.Seq() - l.BaseSeq(); got != 2 {
+		t.Errorf("log holds %d records, want 2 (rejected writes must not be logged)", got)
+	}
+}
+
+func TestFleetDurableConcurrentWritersConverseEpochs(t *testing.T) {
+	f, _, _ := durableFleet(t, 2, wal.BatchOptions{MaxBatch: 16})
+	const writers = 24
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user, item := w%4, (w+1)%4
+			_, _, _, err := f.ApplyRating(user, item, float64(w+1), false)
+			errs[w] = err
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	st := f.DurabilityStats()
+	if !st.Enabled {
+		t.Fatal("durability not reported enabled")
+	}
+	if st.DurableSeq != writers {
+		t.Errorf("durable seq = %d, want %d (every acked write logged)", st.DurableSeq, writers)
+	}
+	if st.PendingBatch != 0 {
+		t.Errorf("pending batch = %d after quiesce, want 0", st.PendingBatch)
+	}
+}
+
+func TestFleetSnapshotRefreshConvergesShards(t *testing.T) {
+	f, _, ckptPath := durableFleet(t, 2, wal.BatchOptions{})
+	// User 0 lives on shard 0, user 1 on shard 1: each write lands on one
+	// replica only, so before the refresh the replicas disagree.
+	if _, _, _, err := f.ApplyRating(0, 3, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := f.ApplyRating(1, 0, 8, false); err != nil {
+		t.Fatal(err)
+	}
+	g0, g1 := f.Replica(0).Graph, f.Replica(1).Graph
+	if w := g1.Weight(g1.UserNode(0), g1.ItemNode(3)); w == 9 {
+		t.Fatal("foreign shard saw the write before any refresh")
+	}
+
+	if err := f.SnapshotRefresh(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Converged: every replica holds both writes.
+	if w := g1.Weight(g1.UserNode(0), g1.ItemNode(3)); w != 9 {
+		t.Errorf("shard 1 weight(0,3) = %v after refresh, want 9", w)
+	}
+	if w := g0.Weight(g0.UserNode(1), g0.ItemNode(0)); w != 8 {
+		t.Errorf("shard 0 weight(1,0) = %v after refresh, want 8", w)
+	}
+
+	// The log is truncated behind the checkpoint; the checkpoint names
+	// the covered sequence.
+	st := f.DurabilityStats()
+	if st.LastCheckpointEpoch != f.Epoch() {
+		t.Errorf("last checkpoint epoch = %d, want fleet epoch %d", st.LastCheckpointEpoch, f.Epoch())
+	}
+	var cp *persist.FleetCheckpoint
+	if err := persist.LoadFile(ckptPath, func(r io.Reader) error {
+		var err error
+		cp, err = persist.LoadFleetCheckpoint(r)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Seq != 2 {
+		t.Errorf("checkpoint seq = %d, want 2", cp.Seq)
+	}
+	if len(cp.Shards) != 2 {
+		t.Errorf("checkpoint shards = %d, want 2", len(cp.Shards))
+	}
+}
+
+func TestFleetSnapshotRefreshAfterFlush(t *testing.T) {
+	f, _, ckptPath := durableFleet(t, 2, wal.BatchOptions{})
+	if _, _, _, err := f.ApplyRating(0, 3, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	f.FlushDurability()
+	// Writes now fail closed...
+	if _, _, _, err := f.ApplyRating(1, 0, 8, false); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("write after flush: err = %v, want ErrClosed", err)
+	}
+	// ...but the final checkpoint still works (graceful shutdown).
+	if err := f.SnapshotRefresh(ckptPath); err != nil {
+		t.Fatal(err)
+	}
+	g1 := f.Replica(1).Graph
+	if w := g1.Weight(g1.UserNode(0), g1.ItemNode(3)); w != 9 {
+		t.Errorf("final refresh did not converge: weight = %v, want 9", w)
+	}
+}
+
+func TestFleetSnapshotRefreshRequiresDurability(t *testing.T) {
+	f := testFleet(t, 2, false)
+	err := f.SnapshotRefresh(filepath.Join(t.TempDir(), "ckpt"))
+	if err == nil || !strings.Contains(err.Error(), "not enabled") {
+		t.Fatalf("refresh without durability: err = %v", err)
+	}
+	if st := f.DurabilityStats(); st.Enabled {
+		t.Error("durability reported enabled on a plain fleet")
+	}
+	// Close paths are no-ops without durability.
+	f.FlushDurability()
+	if err := f.CloseDurability(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFleetRecoveryViaApplyRecord(t *testing.T) {
+	f, logPath, _ := durableFleet(t, 2, wal.BatchOptions{})
+	if _, _, _, err := f.ApplyRating(0, 3, 9, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := f.ApplyRating(5, 4, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	wantEpoch := f.Epoch()
+	f.CloseDurability()
+
+	// A fresh fleet replays the log and matches the original exactly.
+	f2 := testFleet(t, 2, false)
+	l, err := wal.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Replay(0, func(_ uint64, rec wal.Record) error {
+		return f2.ApplyRecord(rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if f2.Epoch() != wantEpoch {
+		t.Errorf("recovered epoch = %d, want %d", f2.Epoch(), wantEpoch)
+	}
+	gHome := f2.GraphFor(0)
+	if w := gHome.Weight(gHome.UserNode(0), gHome.ItemNode(3)); w != 9 {
+		t.Errorf("recovered weight(0,3) = %v, want 9", w)
+	}
+	gGrow := f2.GraphFor(5)
+	if gGrow.NumUsers() != 6 || gGrow.NumItems() != 5 {
+		t.Errorf("recovered grown universe = (%d,%d), want (6,5)",
+			gGrow.NumUsers(), gGrow.NumItems())
+	}
+}

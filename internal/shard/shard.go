@@ -30,10 +30,12 @@ package shard
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"longtailrec/internal/cache"
 	"longtailrec/internal/core"
 	"longtailrec/internal/graph"
+	"longtailrec/internal/wal"
 )
 
 // Assign maps a user id to its shard: the one consistent user→shard
@@ -65,9 +67,15 @@ type Replica struct {
 
 // Fleet owns N replicas and routes the write/stat surfaces across them.
 // All methods are safe for concurrent use (each replica's graph and cache
-// are; the replica slice itself is immutable after NewFleet).
+// are; the replica slice itself is immutable after NewFleet, and the
+// durability fields are set once by EnableDurability before serving).
 type Fleet struct {
 	replicas []*Replica
+
+	// Durability (nil/zero when disabled — the default): see durable.go.
+	wlog          *wal.Log
+	ing           *wal.Ingester[writeOutcome]
+	lastCkptEpoch atomic.Uint64
 }
 
 // NewFleet builds a fleet over the given replicas (at least one, each
@@ -104,9 +112,18 @@ func (f *Fleet) GraphFor(user int) *graph.Bipartite {
 // It reports whether a new edge was created, the WRITTEN SHARD's epoch
 // after the write, and which shard that was. Only that shard's epoch
 // moves, so only that shard's cached results are invalidated.
+//
+// With durability enabled (EnableDurability), the write is validated
+// first, then group-committed: it rides a write-ahead-log batch and is
+// acknowledged only after that batch is fsync'd and applied. A non-nil
+// error from the durable path means the write took NO effect — invalid
+// input, or a durability failure (retryable).
 func (f *Fleet) ApplyRating(user, item int, score float64, autoGrow bool) (added bool, epoch uint64, shardIdx int, err error) {
 	shardIdx = f.ShardFor(user)
 	g := f.replicas[shardIdx].Graph
+	if f.ing != nil {
+		return f.applyDurable(g, user, item, score, shardIdx, autoGrow)
+	}
 	if autoGrow {
 		added, err = g.UpsertRatingAutoGrow(user, item, score)
 	} else {

@@ -1,0 +1,44 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// BenchmarkWALAppend measures the group-commit economics: one fsync per
+// batch, so acks/sec scales with the batch size until the disk write
+// itself dominates. The acks/sec metric is the number the MaxDelay
+// trade-off in PERFORMANCE.md is tuned against.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, batch := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			l, err := Open(filepath.Join(b.TempDir(), "wal.log"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			recs := testBenchRecords(batch)
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start)
+			if elapsed > 0 {
+				b.ReportMetric(float64(batch)*float64(b.N)/elapsed.Seconds(), "acks/s")
+			}
+		})
+	}
+}
+
+func testBenchRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Op: OpUpsert, User: i, Item: i + 1, Score: 2.5}
+	}
+	return recs
+}

@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchOptions tune the group-commit window.
+type BatchOptions struct {
+	// MaxBatch caps how many writers one commit may carry. <= 0 means 64.
+	MaxBatch int
+	// MaxDelay is how long the first writer of a batch may wait for
+	// company before the batch commits anyway — the write-latency vs
+	// fsync-amortization trade-off. <= 0 means no timed wait: a batch
+	// commits immediately with whatever writers queued while the
+	// previous commit was in flight (pure piggybacking, the
+	// lowest-latency setting; fsyncs amortize only under concurrency).
+	MaxDelay time.Duration
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxDelay < 0 {
+		o.MaxDelay = 0
+	}
+	return o
+}
+
+// Ingester is the group-commit front of a Log: concurrent writers submit
+// one record each and block; a single flusher goroutine collects them
+// into batches, makes each batch durable with ONE log append + fsync,
+// applies it through the caller's apply function (one overlay
+// application and epoch bump per batch, in the serving stack), and only
+// then releases the writers — so an acknowledged write is durable by
+// construction, and an fsync failure fails every ack in the batch (the
+// writes are NOT applied; the writers retry).
+//
+// R is the per-record apply outcome handed back to each writer.
+type Ingester[R any] struct {
+	log   *Log
+	apply func([]Record) []R
+	opts  BatchOptions
+
+	submitCh chan ingReq[R]
+	done     chan struct{} // closed by Close: no new submissions
+	drained  chan struct{} // closed when the flusher has exited
+	pending  atomic.Int64  // submitted, not yet acknowledged
+
+	closeOnce sync.Once
+}
+
+type ingReq[R any] struct {
+	rec     Record
+	resp    chan ingResp[R]
+	barrier func() // when set: run alone, between batches
+}
+
+type ingResp[R any] struct {
+	result R
+	err    error
+}
+
+// NewIngester starts the flusher. apply is called once per durable batch
+// with the records in submission order and must return one result per
+// record, aligned by index; it runs on the flusher goroutine, serialized
+// with every other apply and Barrier call.
+func NewIngester[R any](log *Log, apply func([]Record) []R, opts BatchOptions) (*Ingester[R], error) {
+	if log == nil {
+		return nil, fmt.Errorf("wal: ingester needs a log")
+	}
+	if apply == nil {
+		return nil, fmt.Errorf("wal: ingester needs an apply function")
+	}
+	q := &Ingester[R]{
+		log:      log,
+		apply:    apply,
+		opts:     opts.withDefaults(),
+		submitCh: make(chan ingReq[R]),
+		done:     make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	go q.run()
+	return q, nil
+}
+
+// Submit hands one record to the current group-commit batch and blocks
+// until that batch is durable and applied. The error is the durability
+// verdict: a non-nil error (fsync failure, closed ingester) means the
+// write was neither persisted nor applied and can be retried; with a nil
+// error the returned R carries the apply outcome.
+func (q *Ingester[R]) Submit(rec Record) (R, error) {
+	var zero R
+	resp := make(chan ingResp[R], 1)
+	select {
+	case q.submitCh <- ingReq[R]{rec: rec, resp: resp}:
+	case <-q.done:
+		return zero, ErrClosed
+	}
+	q.pending.Add(1)
+	r := <-resp
+	q.pending.Add(-1)
+	return r.result, r.err
+}
+
+// Barrier runs fn on the flusher goroutine, between batches: no apply is
+// in flight while fn runs, which is what the snapshot-refresh cycle
+// needs to read a batch-consistent fleet and truncate the log. Blocks
+// until fn returns; ErrClosed after Close (the caller then owns the
+// quiesced stack and can run fn directly).
+func (q *Ingester[R]) Barrier(fn func()) error {
+	if fn == nil {
+		return nil
+	}
+	resp := make(chan ingResp[R], 1)
+	select {
+	case q.submitCh <- ingReq[R]{barrier: fn, resp: resp}:
+	case <-q.done:
+		return ErrClosed
+	}
+	<-resp
+	return nil
+}
+
+// Pending returns how many submitted writes await their batch commit —
+// the "pending_batch" durability gauge.
+func (q *Ingester[R]) Pending() int { return int(q.pending.Load()) }
+
+// Close stops accepting submissions, commits whatever is queued (the
+// graceful-shutdown flush), waits for the flusher to exit and returns.
+// Racing submitters that lost to Close get ErrClosed. Idempotent.
+func (q *Ingester[R]) Close() {
+	q.closeOnce.Do(func() { close(q.done) })
+	<-q.drained
+}
+
+// run is the flusher: it forms batches from the submission stream and
+// commits each one. One goroutine, so applies and barriers never overlap.
+func (q *Ingester[R]) run() {
+	defer close(q.drained)
+	for {
+		// Wait for the first writer of the next batch.
+		var first ingReq[R]
+		select {
+		case first = <-q.submitCh:
+		case <-q.done:
+			q.drainAndExit(nil)
+			return
+		}
+		if first.barrier != nil {
+			first.barrier()
+			first.resp <- ingResp[R]{}
+			continue
+		}
+		batch := []ingReq[R]{first}
+		var barrier *ingReq[R]
+		if q.opts.MaxDelay > 0 {
+			timer := time.NewTimer(q.opts.MaxDelay)
+		fill:
+			for len(batch) < q.opts.MaxBatch {
+				select {
+				case req := <-q.submitCh:
+					if req.barrier != nil {
+						barrier = &req
+						break fill
+					}
+					batch = append(batch, req)
+				case <-timer.C:
+					break fill
+				case <-q.done:
+					timer.Stop()
+					q.drainAndExit(batch)
+					return
+				}
+			}
+			timer.Stop()
+		} else {
+			// No timed window: piggyback whatever is already queued.
+		greedy:
+			for len(batch) < q.opts.MaxBatch {
+				select {
+				case req := <-q.submitCh:
+					if req.barrier != nil {
+						barrier = &req
+						break greedy
+					}
+					batch = append(batch, req)
+				default:
+					break greedy
+				}
+			}
+		}
+		q.commit(batch)
+		if barrier != nil {
+			barrier.barrier()
+			barrier.resp <- ingResp[R]{}
+		}
+	}
+}
+
+// drainAndExit handles Close: it collects every submission that won the
+// race against done, commits the final batch, and returns.
+func (q *Ingester[R]) drainAndExit(batch []ingReq[R]) {
+	for {
+		select {
+		case req := <-q.submitCh:
+			if req.barrier != nil {
+				req.barrier()
+				req.resp <- ingResp[R]{}
+				continue
+			}
+			batch = append(batch, req)
+		default:
+			q.commit(batch)
+			return
+		}
+	}
+}
+
+// commit makes one batch durable and applies it. On a durability error
+// every writer in the batch is failed and nothing is applied.
+func (q *Ingester[R]) commit(batch []ingReq[R]) {
+	if len(batch) == 0 {
+		return
+	}
+	recs := make([]Record, len(batch))
+	for i, req := range batch {
+		recs[i] = req.rec
+	}
+	if err := q.log.Append(recs); err != nil {
+		err = fmt.Errorf("wal: batch not durable (retryable): %w", err)
+		for _, req := range batch {
+			req.resp <- ingResp[R]{err: err}
+		}
+		return
+	}
+	results := q.apply(recs)
+	for i, req := range batch {
+		req.resp <- ingResp[R]{result: results[i]}
+	}
+}

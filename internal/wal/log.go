@@ -1,0 +1,315 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	logVersion = 1
+	// headerLen is the fixed file header: magic(4) + version(2) +
+	// reserved(2) + base seq(8) + header crc(4).
+	headerLen = 20
+)
+
+var logMagic = [4]byte{'L', 'T', 'R', 'W'}
+
+// Log is an append-only, fsync'd record log. Records carry global
+// sequence numbers that survive truncation: the file header stores the
+// sequence of its first record, so a checkpoint can name the exact
+// prefix it covers and recovery can skip records already folded in.
+//
+// All methods are safe for concurrent use; the intended topology is one
+// appender (the group-commit ingester) plus Seq reads from the stats
+// path and occasional Replay/ResetTo calls from the snapshot-refresh
+// loop (which the ingester's barrier serializes against appends).
+type Log struct {
+	path string
+
+	mu   sync.Mutex
+	f    *os.File
+	base uint64 // global seq of the first record in the file
+	seq  uint64 // global seq of the next record to append
+	size int64  // durable byte size of the valid prefix
+	// failed is set when an append error leaves the file in a state the
+	// log cannot restore (truncate-back failed too): every later append
+	// fails fast rather than risking interleaved garbage.
+	failed error
+}
+
+// Open opens (or creates) the log at path and recovers its durable
+// prefix: records are scanned front to back, and the first torn or
+// corrupt record — the expected remnant of a crash mid-append — ends the
+// scan. The file is truncated back to the durable prefix so the next
+// append extends clean data.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{path: path, f: f}
+	if err := l.recover(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// encodeHeader frames the file header for the given base sequence.
+func encodeHeader(base uint64) [headerLen]byte {
+	var h [headerLen]byte
+	copy(h[0:4], logMagic[:])
+	binary.LittleEndian.PutUint16(h[4:6], logVersion)
+	binary.LittleEndian.PutUint64(h[8:16], base)
+	binary.LittleEndian.PutUint32(h[16:20], crc32.ChecksumIEEE(h[0:16]))
+	return h
+}
+
+// decodeHeader validates a file header and returns its base sequence.
+func decodeHeader(h []byte) (uint64, error) {
+	if len(h) < headerLen {
+		return 0, fmt.Errorf("wal: %d-byte header fragment", len(h))
+	}
+	if [4]byte(h[0:4]) != logMagic {
+		return 0, fmt.Errorf("wal: bad magic %q (not a write-ahead log)", h[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(h[4:6]); v != logVersion {
+		return 0, fmt.Errorf("wal: unsupported log version %d (this build reads %d)", v, logVersion)
+	}
+	if got, want := crc32.ChecksumIEEE(h[0:16]), binary.LittleEndian.Uint32(h[16:20]); got != want {
+		return 0, fmt.Errorf("wal: header checksum mismatch (%08x vs recorded %08x)", got, want)
+	}
+	return binary.LittleEndian.Uint64(h[8:16]), nil
+}
+
+// recover scans the file, establishes base/seq/size and truncates any
+// torn tail. A zero-length file gets a fresh header (base 0).
+func (l *Log) recover() error {
+	data, err := io.ReadAll(l.f)
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", l.path, err)
+	}
+	if len(data) == 0 {
+		h := encodeHeader(0)
+		if _, err := l.f.Write(h[:]); err != nil {
+			return fmt.Errorf("wal: write header: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync header: %w", err)
+		}
+		l.size = headerLen
+		return nil
+	}
+	base, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	l.base, l.seq = base, base
+	off := headerLen
+	for off < len(data) {
+		_, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			// Torn tail (crash mid-append) — or any later garbage, which
+			// is indistinguishable once framing is lost. The durable
+			// prefix ends here.
+			break
+		}
+		off += n
+		l.seq++
+	}
+	l.size = int64(off)
+	if int64(len(data)) > l.size {
+		if err := l.f.Truncate(l.size); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(l.size, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return nil
+}
+
+// BaseSeq returns the global sequence of the first record in the file —
+// everything below it has been folded into a checkpoint and truncated.
+func (l *Log) BaseSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// Seq returns the global sequence of the next record to append; records
+// [BaseSeq, Seq) are durable in this file.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Append encodes recs, writes them and fsyncs — one write plus one sync
+// for the whole batch, the cost the group-commit ingester amortizes
+// across every writer in it. On error nothing is acknowledged: the log
+// truncates back to its last durable prefix so a partial write cannot
+// linger as a phantom tail, and the caller's writers should retry. If
+// even the truncate fails the log is marked failed and every later
+// append errors fast.
+func (l *Log) Append(recs []Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if l.f == nil {
+		return ErrClosed
+	}
+	buf := make([]byte, 0, len(recs)*(recFrameLen+recPayloadLen))
+	for _, rec := range recs {
+		buf = AppendRecord(buf, rec)
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return l.appendFailedLocked(fmt.Errorf("wal: append: %w", err))
+	}
+	if err := l.f.Sync(); err != nil {
+		return l.appendFailedLocked(fmt.Errorf("wal: fsync: %w", err))
+	}
+	l.size += int64(len(buf))
+	l.seq += uint64(len(recs))
+	return nil
+}
+
+// appendFailedLocked restores the durable prefix after a failed append.
+// The batch is not acknowledged either way; what matters is that the
+// file does not keep half a batch that a later successful append would
+// bury mid-stream.
+func (l *Log) appendFailedLocked(err error) error {
+	if terr := l.f.Truncate(l.size); terr != nil {
+		l.failed = fmt.Errorf("wal: log unusable after failed append (%v) and failed truncate-back: %w", err, terr)
+		return l.failed
+	}
+	if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+		l.failed = fmt.Errorf("wal: log unusable after failed append (%v) and failed seek: %w", err, serr)
+		return l.failed
+	}
+	return err
+}
+
+// Replay streams every durable record with sequence >= minSeq to fn, in
+// append order with its global sequence. It reads the file through a
+// fresh handle, so it is safe alongside the appender; records appended
+// after the Replay call begins may or may not be seen. A torn tail ends
+// the stream cleanly; fn returning an error aborts the replay with that
+// error.
+func (l *Log) Replay(minSeq uint64, fn func(seq uint64, rec Record) error) error {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	base, err := decodeHeader(data)
+	if err != nil {
+		return err
+	}
+	off, seq := headerLen, base
+	for off < len(data) {
+		rec, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			return nil // torn tail: durable prefix ends here
+		}
+		if seq >= minSeq {
+			if err := fn(seq, rec); err != nil {
+				return err
+			}
+		}
+		off += n
+		seq++
+	}
+	return nil
+}
+
+// ResetTo truncates the log after a checkpoint: the file is atomically
+// replaced (temp file + rename, both fsync'd) by an empty log whose base
+// sequence is base — normally the Seq() the checkpoint covered. A crash
+// at any point leaves either the old complete log (replay over the new
+// checkpoint is idempotent and seq-gated) or the new empty one. Callers
+// must serialize ResetTo against Append (the ingester barrier does).
+func (l *Log) ResetTo(base uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if base < l.base {
+		return fmt.Errorf("wal: reset to seq %d below base %d", base, l.base)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(l.path), filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	h := encodeHeader(base)
+	if _, err := tmp.Write(h[:]); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	syncDir(filepath.Dir(l.path))
+	f, err := os.OpenFile(l.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopen after reset: %w", err)
+	}
+	if _, err := f.Seek(headerLen, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: reopen after reset: %w", err)
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.base, l.seq, l.size, l.failed = base, base, headerLen, nil
+	return nil
+}
+
+// Close releases the file handle. Appended records are already durable
+// (every Append fsyncs), so Close adds no durability of its own.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// syncDir fsyncs a directory so a just-renamed file inside it survives a
+// crash. Best-effort: some platforms/filesystems reject directory syncs,
+// and the rename itself is still atomic there.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}
+
+// ErrClosed is returned for submissions to a closed ingester (and
+// appends to a closed log).
+var ErrClosed = errors.New("wal: closed")

@@ -1,0 +1,119 @@
+// Package wal is the durability layer of the live write path: an
+// append-only, checksummed, fsync'd log of rating operations plus a
+// group-commit ingester that amortizes the fsync (and the downstream
+// overlay application and epoch bump) across every writer that arrived
+// while the previous batch was committing.
+//
+// The contract the serving stack builds on: a write is acknowledged only
+// after the batch containing it is durable on disk. Crash recovery
+// replays the log over the last checkpoint and recovers exactly the
+// durable prefix — a torn or truncated final record is detected by its
+// per-record CRC and cleanly discarded, never mistaken for data.
+//
+// On-disk layout: a 16-byte file header (magic, format version, the
+// global sequence number of the first record) followed by records, each
+// framed as
+//
+//	length  uint32  payload byte count
+//	crc32   uint32  IEEE checksum of payload
+//	payload [length]byte
+//
+// so any prefix of the file that parses is exactly a prefix of the
+// accepted write stream. All integers are little-endian.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Op identifies what a logged record does when replayed.
+type Op uint8
+
+// Record operations. The numeric values are part of the on-disk format:
+// never reorder or reuse them.
+const (
+	// OpUpsert writes one rating edge inside the existing universe.
+	OpUpsert Op = 1
+	// OpUpsertAutoGrow writes one rating edge, admitting the user/item
+	// ids first if the graph has never seen them.
+	OpUpsertAutoGrow Op = 2
+)
+
+// Record is one logged rating operation — the unit of durability.
+type Record struct {
+	Op    Op
+	User  int
+	Item  int
+	Score float64
+}
+
+const (
+	// recFrameLen is the per-record frame: length + crc.
+	recFrameLen = 8
+	// recPayloadLen is the fixed payload of a version-1 record:
+	// op(1) + user(8) + item(8) + score(8).
+	recPayloadLen = 25
+	// maxRecordLen bounds the length field before any allocation, so a
+	// corrupted (or hostile) header cannot make the decoder balloon.
+	maxRecordLen = 1 << 10
+)
+
+// ErrTornRecord marks a record that is incomplete or fails its checksum —
+// the expected state of a log's final record after a crash mid-append.
+// Recovery treats it as the end of the durable prefix, not as corruption
+// of the log as a whole.
+var ErrTornRecord = errors.New("wal: torn record")
+
+// AppendRecord encodes one record (frame + payload) onto buf.
+func AppendRecord(buf []byte, rec Record) []byte {
+	var payload [recPayloadLen]byte
+	payload[0] = byte(rec.Op)
+	binary.LittleEndian.PutUint64(payload[1:9], uint64(int64(rec.User)))
+	binary.LittleEndian.PutUint64(payload[9:17], uint64(int64(rec.Item)))
+	binary.LittleEndian.PutUint64(payload[17:25], math.Float64bits(rec.Score))
+	var frame [recFrameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], recPayloadLen)
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload[:]))
+	buf = append(buf, frame[:]...)
+	return append(buf, payload[:]...)
+}
+
+// DecodeRecord decodes the first record of b, returning it and the number
+// of bytes it occupied. A record that is truncated, oversized, fails its
+// CRC, or decodes to an unknown operation returns ErrTornRecord (wrapped
+// with the reason): with length-prefixed framing a flipped byte anywhere
+// makes the rest of the stream unparseable, so every decode failure marks
+// the end of the durable prefix.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recFrameLen {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte frame fragment", ErrTornRecord, len(b))
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	if length > maxRecordLen {
+		return Record{}, 0, fmt.Errorf("%w: implausible record length %d", ErrTornRecord, length)
+	}
+	if uint32(len(b)-recFrameLen) < length {
+		return Record{}, 0, fmt.Errorf("%w: %d payload bytes of %d", ErrTornRecord, len(b)-recFrameLen, length)
+	}
+	payload := b[recFrameLen : recFrameLen+int(length)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: checksum mismatch (payload %08x, recorded %08x)", ErrTornRecord, got, want)
+	}
+	if length != recPayloadLen {
+		return Record{}, 0, fmt.Errorf("%w: unknown record size %d", ErrTornRecord, length)
+	}
+	rec := Record{
+		Op:    Op(payload[0]),
+		User:  int(int64(binary.LittleEndian.Uint64(payload[1:9]))),
+		Item:  int(int64(binary.LittleEndian.Uint64(payload[9:17]))),
+		Score: math.Float64frombits(binary.LittleEndian.Uint64(payload[17:25])),
+	}
+	if rec.Op != OpUpsert && rec.Op != OpUpsertAutoGrow {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrTornRecord, rec.Op)
+	}
+	return rec, recFrameLen + int(length), nil
+}

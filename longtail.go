@@ -26,7 +26,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 
 	"longtailrec/internal/assoc"
 	"longtailrec/internal/cache"
@@ -44,6 +46,7 @@ import (
 	"longtailrec/internal/svd"
 	"longtailrec/internal/synth"
 	"longtailrec/internal/topk"
+	"longtailrec/internal/wal"
 )
 
 // Re-exported core types, so callers interact with one package.
@@ -139,9 +142,28 @@ type Config struct {
 	// stack (byte-identical to the unsharded behavior). Memory scales with
 	// the shard count (each replica carries a full graph copy); cross-shard
 	// consistency is eventual (a write is visible to its own user's shard
-	// immediately, to other shards' walks never — replicas only converge
-	// when rebuilt from a shared snapshot).
+	// immediately, to other shards' walks only at the next snapshot
+	// refresh — see SnapshotRefresh).
 	ShardCount int
+	// WALDir enables durable live writes: ApplyRating group-commits
+	// through an append-only, checksummed, fsync'd write-ahead log in
+	// this directory (wal.log) and is acknowledged only after its batch
+	// is durable. NewSystem recovers state from the directory first —
+	// checkpoint.ltr if present, then the log's tail — so a restarted
+	// system resumes with every acknowledged write intact. Empty (the
+	// default) serves from memory only, exactly as before.
+	WALDir string
+	// WALMaxBatch caps how many concurrent writers one group-commit
+	// batch (one fsync, one apply, one epoch bump per written shard) may
+	// carry. <= 0 means 64. Only meaningful with WALDir set.
+	WALMaxBatch int
+	// WALMaxDelay is how long the first writer of a batch may wait for
+	// company before the batch commits anyway — trading single-write
+	// latency for fsync amortization under light concurrency. <= 0 means
+	// no timed wait (pure piggybacking: a batch forms from whatever
+	// queued while the previous commit was in flight). Only meaningful
+	// with WALDir set.
+	WALMaxDelay time.Duration
 }
 
 // DefaultConfig returns the paper's defaults: µ = 6000, τ = 15, λ = 0.5,
@@ -226,6 +248,12 @@ type System struct {
 	// per-shard write deltas over.
 	basePop []int
 
+	// ckptPath is where SnapshotRefresh writes the fleet checkpoint
+	// (empty when durability is off).
+	ckptPath  string
+	closeOnce sync.Once
+	closeErr  error
+
 	mu         sync.Mutex
 	ldaModel   *lda.Model
 	ldaErr     error
@@ -234,6 +262,12 @@ type System struct {
 	cache      map[string]Recommender
 	errCache   map[string]error
 }
+
+// WAL artifact names inside Config.WALDir.
+const (
+	walFileName        = "wal.log"
+	checkpointFileName = "checkpoint.ltr"
+)
 
 // NewSystem indexes the dataset and prepares the algorithm suite,
 // building Config.ShardCount serving replicas of the corpus graph.
@@ -257,18 +291,147 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 		}
 		replicas[i] = rep
 	}
+	if cfg.WALDir != "" {
+		// Restore precedes fleet construction: a checkpoint replaces the
+		// dataset-built replica graphs wholesale, and no recommender
+		// exists yet (they are built lazily), so the swap cannot race a
+		// reader.
+		if err := restoreCheckpoint(cfg, replicas); err != nil {
+			return nil, err
+		}
+	}
 	fleet, err := shard.NewFleet(replicas)
 	if err != nil {
 		return nil, fmt.Errorf("longtail: %w", err)
 	}
-	return &System{
+	s := &System{
 		data:     d,
 		cfg:      cfg,
 		fleet:    fleet,
 		basePop:  replicas[0].Graph.ItemPopularity(),
 		cache:    make(map[string]Recommender),
 		errCache: make(map[string]error),
-	}, nil
+	}
+	if cfg.WALDir != "" {
+		if err := s.enableDurability(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// restoreCheckpoint replaces the replicas' dataset-built graphs with the
+// images of Config.WALDir's checkpoint, when one exists. Each replica is
+// rebuilt with its original base/live universe split preserved, so
+// models trained against the dataset universe still validate after users
+// and items were admitted live.
+func restoreCheckpoint(cfg Config, replicas []*shard.Replica) error {
+	path := filepath.Join(cfg.WALDir, checkpointFileName)
+	if _, err := os.Stat(path); err != nil {
+		if os.IsNotExist(err) {
+			return nil // first boot: nothing to restore
+		}
+		return fmt.Errorf("longtail: checkpoint: %w", err)
+	}
+	var cp *persist.FleetCheckpoint
+	if err := persist.LoadFile(path, func(r io.Reader) error {
+		var lerr error
+		cp, lerr = persist.LoadFleetCheckpoint(r)
+		return lerr
+	}); err != nil {
+		return fmt.Errorf("longtail: checkpoint: %w", err)
+	}
+	if len(cp.Shards) != len(replicas) {
+		return fmt.Errorf("longtail: checkpoint holds %d shards, config wants %d — restart with the checkpointed shard count (resharding needs a rebuild from the dataset)",
+			len(cp.Shards), len(replicas))
+	}
+	for i, sc := range cp.Shards {
+		g, err := graph.FromSnapshotWithBase(sc.Snapshot, sc.BaseUsers, sc.BaseItems)
+		if err != nil {
+			return fmt.Errorf("longtail: checkpoint shard %d: %w", i, err)
+		}
+		g.SetCompactThreshold(cfg.CompactThreshold)
+		replicas[i].Graph = g
+	}
+	return nil
+}
+
+// enableDurability opens the write-ahead log, replays its tail over the
+// (possibly checkpoint-restored) fleet, and arms the group-commit write
+// path. Called once from NewSystem.
+func (s *System) enableDurability() error {
+	if err := os.MkdirAll(s.cfg.WALDir, 0o755); err != nil {
+		return fmt.Errorf("longtail: wal dir: %w", err)
+	}
+	s.ckptPath = filepath.Join(s.cfg.WALDir, checkpointFileName)
+	log, err := wal.Open(filepath.Join(s.cfg.WALDir, walFileName))
+	if err != nil {
+		return fmt.Errorf("longtail: %w", err)
+	}
+	// The restored images cover every record below the log's base
+	// sequence; the epoch they carry is the last checkpoint's.
+	s.fleet.SetLastCheckpointEpoch(s.fleet.Epoch())
+	// Replay the tail: every durable record the last checkpoint does not
+	// cover, applied to its home shard exactly as live traffic would be.
+	// A torn final record (crash mid-append) was already truncated away
+	// by Open; a crash between checkpoint and log truncation leaves
+	// records below the checkpoint's coverage, which the sequence gate
+	// skips.
+	if err := log.Replay(log.BaseSeq(), func(_ uint64, rec wal.Record) error {
+		return s.fleet.ApplyRecord(rec)
+	}); err != nil {
+		log.Close()
+		return fmt.Errorf("longtail: wal replay: %w", err)
+	}
+	if err := s.fleet.EnableDurability(log, wal.BatchOptions{
+		MaxBatch: s.cfg.WALMaxBatch,
+		MaxDelay: s.cfg.WALMaxDelay,
+	}); err != nil {
+		log.Close()
+		return fmt.Errorf("longtail: %w", err)
+	}
+	return nil
+}
+
+// SnapshotRefresh runs one durability maintenance cycle: it converges
+// every shard replica (replaying the write-ahead log's tail into the
+// shards that did not originally receive each write — closing the
+// cross-shard eventual-consistency gap), compacts the fleet, writes an
+// atomic checkpoint to Config.WALDir and truncates the log behind it.
+// Serialized against the group-commit stream, so acknowledged writes are
+// never lost or double-applied; concurrent reads keep being served (a
+// converged shard's epoch moves once per refresh, invalidating its
+// cached results in one step). Errors if the System has no WALDir.
+// ltr-server runs this on a timer (-checkpoint-interval).
+func (s *System) SnapshotRefresh() error {
+	if s.ckptPath == "" {
+		return fmt.Errorf("longtail: no WAL directory configured")
+	}
+	if err := s.fleet.SnapshotRefresh(s.ckptPath); err != nil {
+		return fmt.Errorf("longtail: %w", err)
+	}
+	return nil
+}
+
+// Close shuts the durable write path down gracefully: it commits the
+// pending group-commit batch (writers racing Close get a retryable
+// error), writes a final checkpoint covering everything, and closes the
+// log. Idempotent; a no-op for systems without a WAL directory. Serving
+// reads remain available throughout and after.
+func (s *System) Close() error {
+	s.closeOnce.Do(func() {
+		if s.ckptPath == "" {
+			return
+		}
+		s.fleet.FlushDurability()
+		if err := s.fleet.SnapshotRefresh(s.ckptPath); err != nil {
+			s.closeErr = fmt.Errorf("longtail: final checkpoint: %w", err)
+		}
+		if err := s.fleet.CloseDurability(); err != nil && s.closeErr == nil {
+			s.closeErr = fmt.Errorf("longtail: %w", err)
+		}
+	})
+	return s.closeErr
 }
 
 // Data returns the training dataset.
@@ -413,6 +576,7 @@ func (s *System) ServingStats() core.ServingStats {
 		st.Cache.Size += sh.Cache.Size
 		st.Cache.Capacity += sh.Cache.Capacity
 	}
+	st.Durability = s.fleet.DurabilityStats()
 	return st
 }
 
