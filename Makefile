@@ -34,10 +34,12 @@ race:
 
 # Short per-query benchmark pass with allocation counts — the regression
 # signal for the zero-allocation query engine, the Request query surface,
-# the cached serving path, the sharded-fleet invalidation blast radius and
-# the WAL group-commit throughput (see PERFORMANCE.md).
+# the cached serving path, the sharded-fleet invalidation blast radius,
+# the shared-base fleet memory footprint (FleetGraphMemory reports
+# bytes/shard; it must NOT scale with the shard count) and the WAL
+# group-commit throughput (see PERFORMANCE.md).
 bench: build
-	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest|Sharded' -benchtime=100x -benchmem
+	$(GO) test -run '^$$' -bench 'Query|SubgraphExtract|WalkScores|RecommendBatch|RecommendCached|RecommendUncached|RecommendRequest|Sharded|FleetGraphMemory' -benchtime=100x -benchmem
 	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem ./internal/wal/
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass

@@ -453,6 +453,41 @@ func BenchmarkShardedWriteInvalidation(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetGraphMemory measures the steady-state graph heap of a
+// freshly built fleet per shard count. The "bytes/shard" metric is the
+// memory-regression gate: with the shared-base design the graph heap must
+// stay ~flat as shards grow (one immutable base + N thin overlay views),
+// so bytes/shard should fall ~linearly with the shard count — a fleet
+// whose total grows with N means replicas are carrying full graph copies
+// again. Caching is disabled so the measurement isolates graph storage.
+func BenchmarkFleetGraphMemory(b *testing.B) {
+	env := benchEnv(b, "movielens")
+	train := env.Split.Train
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := longtail.DefaultConfig()
+			cfg.CacheSize = 0
+			cfg.ShardCount = shards
+			var ms runtime.MemStats
+			for i := 0; i < b.N; i++ {
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				before := ms.HeapAlloc
+				sys, err := longtail.NewSystem(train, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runtime.GC()
+				runtime.ReadMemStats(&ms)
+				heap := float64(ms.HeapAlloc - before)
+				runtime.KeepAlive(sys)
+				b.ReportMetric(heap, "fleet-bytes")
+				b.ReportMetric(heap/float64(shards), "bytes/shard")
+			}
+		})
+	}
+}
+
 // BenchmarkSystemConstruction measures graph building and indexing on the
 // MovieLens-shaped corpus (model training excluded: recommenders are lazy).
 func BenchmarkSystemConstruction(b *testing.B) {

@@ -11,9 +11,14 @@ package longtail
 import (
 	"context"
 	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"longtailrec/internal/graph"
 	"longtailrec/internal/lda"
+	"longtailrec/internal/persist"
 )
 
 // durableSystem builds a WAL-backed sharded System over the shared shard
@@ -192,6 +197,68 @@ func TestFleetDurableConvergenceAndShutdown(t *testing.T) {
 	// silently.
 	if _, _, err := sys.ApplyRating(user, item, 2); err == nil {
 		t.Fatal("write accepted after Close")
+	}
+}
+
+// TestFleetRestartFromLegacyCheckpoint pins upgrade compatibility: a
+// server whose WAL directory holds a pre-shared-base checkpoint (legacy
+// Kind 6: one full snapshot per shard) must restart from it — converted
+// into one shared base plus per-shard epochs — and write its NEXT
+// checkpoint in the shared format.
+func TestFleetRestartFromLegacyCheckpoint(t *testing.T) {
+	w := shardTestWorld(t)
+	dir := t.TempDir()
+
+	// Fabricate the legacy image the old code would have left behind: two
+	// converged (content-identical) shard snapshots with distinct epochs.
+	g := w.Data.Graph()
+	if _, err := g.UpsertRating(0, 3, 4.25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.UpsertRating(1, 5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	legacy := &persist.FleetCheckpoint{
+		Seq: 2,
+		Shards: []persist.ShardCheckpoint{
+			{BaseUsers: g.BaseNumUsers(), BaseItems: g.BaseNumItems(), Snapshot: g.Snapshot()},
+			{BaseUsers: g.BaseNumUsers(), BaseItems: g.BaseNumItems(), Snapshot: g.Snapshot()},
+		},
+	}
+	legacy.Shards[1].Snapshot.Epoch = 3
+	ckptPath := filepath.Join(dir, "checkpoint.ltr")
+	if err := persist.SaveFile(ckptPath, func(wr io.Writer) error {
+		return persist.SaveFleetCheckpoint(wr, legacy)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := durableSystem(t, w, 2, dir)
+	defer sys.Close()
+	if got, want := sys.Epoch(), legacy.Shards[0].Snapshot.Epoch+3; got != want {
+		t.Fatalf("restored fleet epoch = %d, want %d (sum of legacy per-shard epochs)", got, want)
+	}
+	g0, g1 := sys.ShardGraph(0), sys.ShardGraph(1)
+	if !g0.SharesBaseWith(g1) {
+		t.Fatal("legacy restore built independent replicas, want shared-base views")
+	}
+	for i, sg := range []*graph.Bipartite{g0, g1} {
+		if got := sg.Weight(sg.UserNode(0), sg.ItemNode(3)); got != 4.25 {
+			t.Fatalf("shard %d restored weight = %v, want 4.25", i, got)
+		}
+	}
+
+	// The next refresh must upgrade the on-disk format.
+	if err := sys.SnapshotRefresh(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(ckptPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := persist.LoadSharedFleetCheckpoint(f); err != nil {
+		t.Fatalf("post-upgrade checkpoint is not shared-format: %v", err)
 	}
 }
 

@@ -36,40 +36,43 @@ type Rating struct {
 	Weight     float64
 }
 
-// Bipartite is a user–item graph over a growable user/item universe. The
-// bulk of the adjacency lives in a compacted CSR; live writes accumulate
-// in a sparse per-node overlay until Compact (or the auto-compaction
-// threshold) merges them, and nodes admitted live stay overlay-only (an
-// empty row) until the next compaction extends the CSR. All exported
-// methods are safe for concurrent use.
+// Bipartite is a user–item graph over a growable user/item universe —
+// precisely, one VIEW over a shared immutable base (see shared.go). The
+// bulk of the adjacency lives in the shared compacted CSR; live writes
+// accumulate in this view's sparse per-node overlay until Compact (or the
+// auto-compaction threshold) folds them, and nodes admitted live stay
+// overlay-only (an empty row on the admitting view) until the next fold
+// extends the CSR. A standalone graph is a shared state with exactly one
+// view, so the single-graph behavior is unchanged; ShareViews splits one
+// graph into N views for sharded serving. All exported methods are safe
+// for concurrent use.
 type Bipartite struct {
-	// uni is the current node-numbering snapshot (see universe.go). It is
-	// an atomic pointer so identity accessors (NumUsers, UserNode,
+	// shared holds the storage common to every view: the immutable base
+	// snapshot (CSR + degrees + aggregates) and the node universe, both
+	// behind atomic pointers so identity accessors (NumUsers, UserNode,
 	// IsItemNode, ...) never take the graph lock and are safe to call from
-	// code already holding it in either mode. Writers swap in grown
-	// universes under mu.
-	uni atomic.Pointer[universe]
+	// code already holding it in either mode. Set at construction, never
+	// reassigned.
+	shared *sharedState
 
-	// epoch counts accepted live writes (edge writes and node admissions)
-	// since construction; it is atomic so cache lookups can read it without
-	// taking the graph lock.
+	// epoch counts THIS VIEW's accepted live writes (edge writes and node
+	// admissions) since construction; it is atomic so cache lookups can
+	// read it without taking the graph lock. A group fold moves no epoch.
 	epoch atomic.Uint64
 
-	mu          sync.RWMutex
-	adj         *sparse.CSR // n×n, symmetric, compacted base
-	degrees     []float64   // base weighted degree d_i per node
-	totalWeight float64     // Σ_ij a(i,j) (each edge counted twice), live
-	numEdges    int         // undirected edge count, live
+	mu sync.RWMutex
 
 	// overlay maps a node id to its full live row (base row merged with
-	// every pending write touching it). Rows are copy-on-write: a write
-	// always installs a freshly allocated row, so slices previously handed
-	// to readers stay valid forever. Invariant: every node beyond the CSR's
-	// row count has an overlay row (installed at admission), so rowLocked
-	// never indexes the CSR out of range.
+	// every pending write this view accepted touching it). Rows are
+	// copy-on-write: a write always installs a freshly allocated row, so
+	// slices previously handed to readers stay valid forever. A node beyond
+	// the shared CSR's row count without an overlay row reads as an empty
+	// row (it was admitted through a sibling view and has no edges here).
 	overlay          map[int]*liveRow
-	overlayWrites    int // accepted writes since the last compaction
-	compactThreshold int // auto-compact when overlayWrites reaches this; <= 0 disables
+	overlayWrites    int     // accepted writes since the last fold
+	weightDelta      float64 // this view's totalWeight drift vs the base
+	edgeDelta        int     // this view's numEdges drift vs the base
+	compactThreshold int     // auto-fold when overlayWrites reaches this; <= 0 disables (single view only)
 }
 
 // Builder accumulates ratings before freezing them into a Bipartite.
@@ -110,21 +113,25 @@ func (b *Builder) AddRating(u, i int, w float64) error {
 	return nil
 }
 
-// Build freezes the builder into a graph (epoch 0, empty overlay).
+// Build freezes the builder into a graph (epoch 0, empty overlay): a
+// single view over its own freshly built base snapshot.
 func (b *Builder) Build() *Bipartite {
 	adj := b.coo.ToCSR()
 	n := b.numUsers + b.numItems
-	g := &Bipartite{
+	base := &baseSnapshot{
 		adj:      adj,
 		degrees:  make([]float64, n),
 		numEdges: adj.NNZ() / 2,
 	}
-	g.uni.Store(newBaseUniverse(b.numUsers, b.numItems))
 	for v := 0; v < n; v++ {
 		d := adj.RowSum(v)
-		g.degrees[v] = d
-		g.totalWeight += d
+		base.degrees[v] = d
+		base.totalWeight += d
 	}
+	g := &Bipartite{shared: &sharedState{}}
+	g.shared.uni.Store(newBaseUniverse(b.numUsers, b.numItems))
+	g.shared.base.Store(base)
+	g.shared.views = []*Bipartite{g}
 	return g
 }
 
@@ -141,32 +148,32 @@ func FromRatings(numUsers, numItems int, ratings []Rating) (*Bipartite, error) {
 
 // NumUsers returns the current number of user nodes (live: node
 // admissions grow it).
-func (g *Bipartite) NumUsers() int { return g.uni.Load().numUsers }
+func (g *Bipartite) NumUsers() int { return g.shared.uni.Load().numUsers }
 
 // NumItems returns the current number of item nodes (live).
-func (g *Bipartite) NumItems() int { return g.uni.Load().numItems }
+func (g *Bipartite) NumItems() int { return g.shared.uni.Load().numItems }
 
 // NumNodes returns the total node count (live).
-func (g *Bipartite) NumNodes() int { return g.uni.Load().numNodes() }
+func (g *Bipartite) NumNodes() int { return g.shared.uni.Load().numNodes() }
 
 // BaseNumUsers returns the user-universe size frozen at Build, before any
 // live admissions — the universe that snapshot-trained models cover.
-func (g *Bipartite) BaseNumUsers() int { return g.uni.Load().baseUsers }
+func (g *Bipartite) BaseNumUsers() int { return g.shared.uni.Load().baseUsers }
 
 // BaseNumItems returns the item-universe size frozen at Build.
-func (g *Bipartite) BaseNumItems() int { return g.uni.Load().baseItems }
+func (g *Bipartite) BaseNumItems() int { return g.shared.uni.Load().baseItems }
 
 // NumEdges returns the number of undirected edges, including pending
 // overlay writes.
 func (g *Bipartite) NumEdges() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.numEdges
+	return g.shared.base.Load().numEdges + g.edgeDelta
 }
 
 // UserNode maps a user index to its node id.
 func (g *Bipartite) UserNode(u int) int {
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	if u < 0 || u >= uni.numUsers {
 		panic(fmt.Sprintf("graph: user %d out of range", u))
 	}
@@ -175,7 +182,7 @@ func (g *Bipartite) UserNode(u int) int {
 
 // ItemNode maps an item index to its node id.
 func (g *Bipartite) ItemNode(i int) int {
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	if i < 0 || i >= uni.numItems {
 		panic(fmt.Sprintf("graph: item %d out of range", i))
 	}
@@ -183,14 +190,14 @@ func (g *Bipartite) ItemNode(i int) int {
 }
 
 // IsUserNode reports whether node v is a user.
-func (g *Bipartite) IsUserNode(v int) bool { return g.uni.Load().isUser(v) }
+func (g *Bipartite) IsUserNode(v int) bool { return g.shared.uni.Load().isUser(v) }
 
 // IsItemNode reports whether node v is an item.
-func (g *Bipartite) IsItemNode(v int) bool { return g.uni.Load().isItem(v) }
+func (g *Bipartite) IsItemNode(v int) bool { return g.shared.uni.Load().isItem(v) }
 
 // UserIndex maps a user node id back to its user index.
 func (g *Bipartite) UserIndex(v int) int {
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	if !uni.isUser(v) {
 		panic(fmt.Sprintf("graph: node %d is not a user", v))
 	}
@@ -199,7 +206,7 @@ func (g *Bipartite) UserIndex(v int) int {
 
 // ItemIndex maps an item node id back to its item index.
 func (g *Bipartite) ItemIndex(v int) int {
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	if !uni.isItem(v) {
 		panic(fmt.Sprintf("graph: node %d is not an item", v))
 	}
@@ -207,13 +214,18 @@ func (g *Bipartite) ItemIndex(v int) int {
 }
 
 // rowLocked returns the live row of node v: the overlay row when v has
-// pending writes, the base CSR row otherwise. Caller holds g.mu (either
-// mode). The returned slices are immutable.
+// pending writes, the base CSR row otherwise; a node beyond the base (a
+// sibling view's admission this view has no writes for) reads as an empty
+// row. Caller holds g.mu (either mode), which pins the base (a group fold
+// needs every view's write lock). The returned slices are immutable.
 func (g *Bipartite) rowLocked(v int) (cols []int, weights []float64) {
 	if r, ok := g.overlay[v]; ok {
 		return r.cols, r.weights
 	}
-	return g.adj.Row(v)
+	if base := g.shared.base.Load(); v < len(base.degrees) {
+		return base.adj.Row(v)
+	}
+	return nil, nil
 }
 
 // degreeLocked returns the live weighted degree of v. Caller holds g.mu.
@@ -221,7 +233,10 @@ func (g *Bipartite) degreeLocked(v int) float64 {
 	if r, ok := g.overlay[v]; ok {
 		return r.degree
 	}
-	return g.degrees[v]
+	if base := g.shared.base.Load(); v < len(base.degrees) {
+		return base.degrees[v]
+	}
+	return 0
 }
 
 // Degree returns the live weighted degree d_v of node v.
@@ -238,11 +253,13 @@ func (g *Bipartite) Degree(v int) float64 {
 func (g *Bipartite) Degrees() []float64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	if len(g.overlay) == 0 {
-		return g.degrees
+	base := g.shared.base.Load()
+	n := g.shared.uni.Load().numNodes()
+	if len(g.overlay) == 0 && n == len(base.degrees) {
+		return base.degrees
 	}
-	out := make([]float64, g.uni.Load().numNodes())
-	copy(out, g.degrees)
+	out := make([]float64, n)
+	copy(out, base.degrees)
 	for v, r := range g.overlay {
 		out[v] = r.degree
 	}
@@ -254,7 +271,7 @@ func (g *Bipartite) Degrees() []float64 {
 func (g *Bipartite) TotalWeight() float64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.totalWeight
+	return g.shared.base.Load().totalWeight + g.weightDelta
 }
 
 // Adjacency returns the compacted symmetric adjacency matrix (shared; do
@@ -264,7 +281,7 @@ func (g *Bipartite) TotalWeight() float64 {
 func (g *Bipartite) Adjacency() *sparse.CSR {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return g.adj
+	return g.shared.base.Load().adj
 }
 
 // Neighbors returns the adjacent node ids and edge weights of v, including
@@ -295,11 +312,12 @@ func (g *Bipartite) Stationary() []float64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	pi := make([]float64, g.NumNodes())
-	if g.totalWeight == 0 {
+	total := g.shared.base.Load().totalWeight + g.weightDelta
+	if total == 0 {
 		return pi
 	}
 	for v := range pi {
-		pi[v] = g.degreeLocked(v) / g.totalWeight
+		pi[v] = g.degreeLocked(v) / total
 	}
 	return pi
 }
@@ -318,7 +336,8 @@ func (g *Bipartite) ItemPopularity() []int {
 func (g *Bipartite) ItemPopularityInto(buf []int) []int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
+	base := g.shared.base.Load()
 	var pop []int
 	if cap(buf) >= uni.numItems {
 		pop = buf[:uni.numItems]
@@ -327,10 +346,13 @@ func (g *Bipartite) ItemPopularityInto(buf []int) []int {
 	}
 	for i := 0; i < uni.numItems; i++ {
 		v := uni.itemNode(i)
-		if r, ok := g.overlay[v]; ok {
+		switch r, ok := g.overlay[v]; {
+		case ok:
 			pop[i] = len(r.cols)
-		} else {
-			pop[i] = g.adj.RowNNZ(v)
+		case v < len(base.degrees):
+			pop[i] = base.adj.RowNNZ(v)
+		default:
+			pop[i] = 0
 		}
 	}
 	return pop

@@ -56,13 +56,17 @@ func (g *Bipartite) PendingWrites() int {
 
 // SetCompactThreshold makes the graph fold the overlay into the CSR
 // automatically once n writes have accumulated. n <= 0 disables
-// auto-compaction (explicit Compact only).
+// auto-compaction (explicit Compact only). Inline auto-folding applies to
+// standalone (single-view) graphs only: a shared-base view cannot fold
+// from inside its own write path (a fold needs every sibling's lock, and
+// folding would silently publish sibling overlays early) — the fleet
+// layer drives shared folds instead (shard.Fleet.SetCompactThreshold).
 func (g *Bipartite) SetCompactThreshold(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.compactThreshold = n
-	if n > 0 && g.overlayWrites >= n {
-		g.compactLocked()
+	if n > 0 && g.overlayWrites >= n && len(g.shared.views) == 1 {
+		g.shared.foldLocked()
 	}
 }
 
@@ -84,8 +88,11 @@ const (
 func (g *Bipartite) AddUser() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	idx := g.uni.Load().numUsers
-	g.epoch.Add(g.growLocked(1, 0))
+	g.shared.growMu.Lock()
+	idx := g.shared.uni.Load().numUsers
+	delta := g.growUnderLocks(1, 0)
+	g.shared.growMu.Unlock()
+	g.epoch.Add(delta)
 	g.maybeCompactLocked()
 	return idx
 }
@@ -95,37 +102,46 @@ func (g *Bipartite) AddUser() int {
 func (g *Bipartite) AddItem() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	idx := g.uni.Load().numItems
-	g.epoch.Add(g.growLocked(0, 1))
+	g.shared.growMu.Lock()
+	idx := g.shared.uni.Load().numItems
+	delta := g.growUnderLocks(0, 1)
+	g.shared.growMu.Unlock()
+	g.epoch.Add(delta)
 	g.maybeCompactLocked()
 	return idx
 }
 
-// growLocked appends newUsers user nodes and newItems item nodes to the
-// universe, installing an empty overlay row per node (the invariant that
-// lets rowLocked serve nodes beyond the CSR) and counting each admission
-// as one accepted write. It returns the epoch delta (one per admission)
-// WITHOUT bumping the epoch — the caller decides whether each write
-// bumps individually (the single-write path) or the whole batch bumps
-// once (the group-commit path). Caller holds g.mu for writing.
-func (g *Bipartite) growLocked(newUsers, newItems int) uint64 {
-	next := g.uni.Load().grow(newUsers, newItems)
+// growUnderLocks appends newUsers user nodes and newItems item nodes to
+// the SHARED universe, installing an empty overlay row per node on THIS
+// view (the invariant that lets rowLocked serve nodes beyond the base
+// CSR; sibling views serve the same nodes through the beyond-base guard)
+// and counting each admission as one accepted write on this view. It
+// returns the epoch delta (one per admission) WITHOUT bumping the epoch —
+// the caller decides whether each write bumps individually (the
+// single-write path) or the whole batch bumps once (the group-commit
+// path). Caller holds g.mu for writing AND shared.growMu (a view's own
+// write lock cannot serialize the universe read-modify-swap against
+// sibling views).
+func (g *Bipartite) growUnderLocks(newUsers, newItems int) uint64 {
+	next := g.shared.uni.Load().grow(newUsers, newItems)
 	if g.overlay == nil {
 		g.overlay = make(map[int]*liveRow)
 	}
 	for v := next.numNodes() - newUsers - newItems; v < next.numNodes(); v++ {
 		g.overlay[v] = &liveRow{}
 	}
-	g.uni.Store(next)
+	g.shared.uni.Store(next)
 	g.overlayWrites += newUsers + newItems
 	return uint64(newUsers + newItems)
 }
 
 // maybeCompactLocked folds the overlay when the auto-compaction threshold
-// is reached. Caller holds g.mu for writing.
+// is reached. Single-view graphs only (see SetCompactThreshold); a shared
+// view's threshold is ignored here and the fleet folds instead. Caller
+// holds g.mu for writing.
 func (g *Bipartite) maybeCompactLocked() {
-	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold {
-		g.compactLocked()
+	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold && len(g.shared.views) == 1 {
+		g.shared.foldLocked()
 	}
 }
 
@@ -169,7 +185,7 @@ func (g *Bipartite) UpsertRatingAutoGrow(u, i int, w float64) (added bool, err e
 // write path reject garbage BEFORE logging it, so invalid operations
 // never occupy write-ahead-log space or replay time.
 func (g *Bipartite) CheckWrite(u, i int, w float64, autoGrow bool) error {
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	if autoGrow {
 		if err := checkGrowable("user", u, uni.numUsers); err != nil {
 			return err
@@ -217,7 +233,12 @@ func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bo
 // owns auto-compaction.
 func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, delta uint64, err error) {
 	if autoGrow {
-		uni := g.uni.Load() // re-read: another grow may have won the lock
+		g.shared.growMu.Lock()
+		// Re-read under growMu: another write on this view — or an
+		// admission through a sibling view — may have grown the universe
+		// since validation, and the deficit must be computed against the
+		// universe this grow will actually extend.
+		uni := g.shared.uni.Load()
 		newUsers, newItems := u-uni.numUsers+1, i-uni.numItems+1
 		if newUsers < 0 {
 			newUsers = 0
@@ -226,10 +247,11 @@ func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoG
 			newItems = 0
 		}
 		if newUsers > 0 || newItems > 0 {
-			delta += g.growLocked(newUsers, newItems)
+			delta += g.growUnderLocks(newUsers, newItems)
 		}
+		g.shared.growMu.Unlock()
 	}
-	uni := g.uni.Load()
+	uni := g.shared.uni.Load()
 	un, in := uni.userNode(u), uni.itemNode(i)
 
 	cols, weights := g.rowLocked(un)
@@ -249,9 +271,9 @@ func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoG
 	}
 	g.setEdgeLocked(un, in, w)
 	g.setEdgeLocked(in, un, w)
-	g.totalWeight += 2 * (w - old)
+	g.weightDelta += 2 * (w - old)
 	if !exists {
-		g.numEdges++
+		g.edgeDelta++
 	}
 	g.overlayWrites++
 	return !exists, delta + 1, nil
@@ -333,44 +355,23 @@ func (g *Bipartite) setEdgeLocked(v, w int, weight float64) {
 
 // Compact folds every pending overlay row into a freshly built CSR —
 // sized to the current universe, so nodes admitted since the last
-// compaction get real (possibly empty) CSR rows — and clears the overlay.
-// The graph content is unchanged, so the epoch is NOT bumped and cached
-// results keyed on it stay valid. Readers holding row slices from before
-// the compaction are unaffected (the old storage is never mutated).
+// compaction get real (possibly empty) CSR rows — and publishes it as the
+// new base, clearing the overlay. On a shared-base view this is a GROUP
+// FOLD: it takes every sibling's write lock and folds every view's
+// overlay into the one new base (see shared.go). The graph content is
+// unchanged — fleet-wide, folding only moves pending writes from overlays
+// into the base — so no epoch is bumped and cached results keyed on
+// epochs stay valid. Readers holding row slices from before the
+// compaction are unaffected (the old storage is never mutated).
 func (g *Bipartite) Compact() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.compactLocked()
-}
-
-func (g *Bipartite) compactLocked() {
-	if len(g.overlay) == 0 {
-		g.overlayWrites = 0
+	s := g.shared
+	if len(s.views) == 1 {
+		g.mu.Lock()
+		s.foldLocked()
+		g.mu.Unlock()
 		return
 	}
-	n := g.uni.Load().numNodes()
-	nnz := 0
-	for v := 0; v < n; v++ {
-		if r, ok := g.overlay[v]; ok {
-			nnz += len(r.cols)
-		} else {
-			nnz += g.adj.RowNNZ(v)
-		}
-	}
-	rowPtr := make([]int, n+1)
-	colIdx := make([]int, 0, nnz)
-	vals := make([]float64, 0, nnz)
-	degrees := make([]float64, n)
-	for v := 0; v < n; v++ {
-		cols, weights := g.rowLocked(v)
-		colIdx = append(colIdx, cols...)
-		vals = append(vals, weights...)
-		rowPtr[v+1] = len(colIdx)
-		degrees[v] = g.degreeLocked(v)
-	}
-	// NewCSRView aliases the slices we just built; nothing else holds them.
-	g.adj = newCompactCSR(n, rowPtr, colIdx, vals)
-	g.degrees = degrees
-	g.overlay = nil
-	g.overlayWrites = 0
+	s.lockAll()
+	s.foldLocked()
+	s.unlockAll()
 }

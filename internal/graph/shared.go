@@ -1,0 +1,316 @@
+// Shared-base views: many Bipartite values over ONE immutable base.
+//
+// A sharded serving fleet used to give every replica a full copy of the
+// graph, so memory, checkpoint size and popularity merges all scaled with
+// the shard count. But the compacted CSR is immutable between
+// compactions — the same property the universe already exploits
+// (universe.go publishes an immutable snapshot behind an atomic pointer).
+// This file applies that pattern to the adjacency itself: every Bipartite
+// is a VIEW over a sharedState holding the base snapshot (CSR, degrees,
+// total weight, edge count) and the node universe, both behind atomic
+// pointers. A standalone graph is simply a shared state with one view, so
+// the single-replica stack runs exactly the code it always did.
+//
+// Each view owns only its delta: the copy-on-write overlay, its write
+// epoch, and scalar drift counters (weightDelta/edgeDelta) relative to
+// the base. Compaction becomes a GROUP FOLD: it takes every view's write
+// lock (in construction order — the one global lock order), merges all
+// overlays into one freshly built CSR, publishes it as the new base and
+// clears every overlay. Folding is content-neutral fleet-wide, so it
+// bumps NO epoch: a view whose overlay was empty keeps serving its cached
+// results (same rows, same answers), and a view whose foreign siblings'
+// writes just became visible to it observes the documented cross-shard
+// eventual consistency, not an invalidation event.
+//
+// Correctness of the merge rests on edge ownership: the edge (u, i)
+// changes only through user u's home view (writes route by user), so two
+// views' overlay rows for the same ITEM node differ from the base in
+// disjoint user columns, and folding their diffs cannot conflict. User
+// rows are only ever written by one view.
+
+package graph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"longtailrec/internal/sparse"
+)
+
+// baseSnapshot is the immutable compacted core every view reads: the
+// symmetric CSR plus the per-node degree vector and the graph-wide
+// aggregates at fold time. Published behind sharedState.base; never
+// mutated after publication.
+type baseSnapshot struct {
+	adj         *sparse.CSR
+	degrees     []float64 // weighted degree per node; len == CSR row count
+	totalWeight float64   // Σ_ij a(i,j), each edge counted twice
+	numEdges    int       // undirected edge count
+}
+
+// sharedState is the storage one or more Bipartite views share.
+type sharedState struct {
+	// uni is the node universe — fleet-wide: an admission through any
+	// view grows it for every view (ids stay dense and consistent across
+	// shards; the admitting view alone pays the epoch bump).
+	uni atomic.Pointer[universe]
+	// base is the current immutable snapshot. Swapped only while every
+	// view's write lock is held, so a reader holding any view's read lock
+	// sees one consistent (base, overlay) pair.
+	base atomic.Pointer[baseSnapshot]
+	// growMu serializes universe growth across views (each view's write
+	// lock alone cannot: two views would race the read-modify-swap).
+	// Lock order: view mu first, growMu second, never the reverse.
+	growMu sync.Mutex
+	// views lists every view in lock-acquisition order. Set at
+	// construction (Build, ShareViews) before any concurrent use and
+	// immutable afterwards.
+	views []*Bipartite
+}
+
+// lockAll takes every view's write lock in construction order.
+func (s *sharedState) lockAll() {
+	for _, v := range s.views {
+		v.mu.Lock()
+	}
+}
+
+// unlockAll releases what lockAll took.
+func (s *sharedState) unlockAll() {
+	for i := len(s.views) - 1; i >= 0; i-- {
+		s.views[i].mu.Unlock()
+	}
+}
+
+// ShareViews splits g into n views over one shared base: view 0 is g
+// itself, views 1..n-1 are fresh overlay-only views (epoch 0, empty
+// overlay, no auto-compaction threshold). Any pending overlay writes are
+// folded first so every view starts from the same published base.
+// Construction-time only: call before the views serve concurrent traffic,
+// and route every write for a given user through one fixed view (edge
+// ownership is what makes group folds conflict-free). With n == 1 the
+// graph is returned unchanged — a standalone graph already is its own
+// single view.
+func ShareViews(g *Bipartite, n int) []*Bipartite {
+	if n <= 1 {
+		return []*Bipartite{g}
+	}
+	g.Compact()
+	views := make([]*Bipartite, n)
+	views[0] = g
+	for i := 1; i < n; i++ {
+		views[i] = &Bipartite{shared: g.shared}
+	}
+	g.shared.views = views
+	return views
+}
+
+// NumViews returns how many views share this graph's base (1 for a
+// standalone graph).
+func (g *Bipartite) NumViews() int { return len(g.shared.views) }
+
+// SharesBaseWith reports whether g and o are views over the same shared
+// base (the fleet-detection predicate: a fleet of such views can share
+// one checkpoint base and one popularity scan).
+func (g *Bipartite) SharesBaseWith(o *Bipartite) bool {
+	return o != nil && g.shared == o.shared
+}
+
+// RestoreEpoch overwrites the view's write epoch — checkpoint-restore
+// wiring, so a rebuilt view resumes its recorded cache-invalidation
+// counter instead of the replay-inflated one. Not for live use.
+func (g *Bipartite) RestoreEpoch(epoch uint64) { g.epoch.Store(epoch) }
+
+// OverlayDelta returns this view's pending writes as user-side ratings:
+// every (user, item, weight) where the view's live row differs from the
+// shared base (insertions and re-rates; the write model has no deletes).
+// Admission-only nodes contribute nothing. Sorted by (user, item) so a
+// serialized delta is deterministic.
+func (g *Bipartite) OverlayDelta() []Rating {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	base := g.shared.base.Load()
+	uni := g.shared.uni.Load()
+	var out []Rating
+	for v, r := range g.overlay {
+		if !uni.isUser(v) {
+			continue
+		}
+		u := uni.userIndex(v)
+		var bcols []int
+		var bws []float64
+		if v < len(base.degrees) {
+			bcols, bws = base.adj.Row(v)
+		}
+		bi := 0
+		for k, c := range r.cols {
+			for bi < len(bcols) && bcols[bi] < c {
+				bi++
+			}
+			if bi < len(bcols) && bcols[bi] == c && bws[bi] == r.weights[k] {
+				continue
+			}
+			out = append(out, Rating{User: u, Item: uni.itemIndex(c), Weight: r.weights[k]})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].User != out[b].User {
+			return out[a].User < out[b].User
+		}
+		return out[a].Item < out[b].Item
+	})
+	return out
+}
+
+// FleetItemPopularity returns the exact union rater count per item across
+// every view sharing this base: the base count once, plus each view's
+// overlay delta. Taking every view's read lock (in lock order) pins one
+// consistent (base, overlays, universe) triple, so the result cannot mix
+// a pre-fold base with post-fold overlays — and writes on other views are
+// each counted exactly once, because an item row's overlay delta on a
+// view covers only that view's own users.
+func (g *Bipartite) FleetItemPopularity() []int {
+	s := g.shared
+	for _, v := range s.views {
+		v.mu.RLock()
+	}
+	defer func() {
+		for i := len(s.views) - 1; i >= 0; i-- {
+			s.views[i].mu.RUnlock()
+		}
+	}()
+	base := s.base.Load()
+	uni := s.uni.Load()
+	pop := make([]int, uni.numItems)
+	for i := 0; i < uni.numItems; i++ {
+		v := uni.itemNode(i)
+		baseNNZ := 0
+		if v < len(base.degrees) {
+			baseNNZ = base.adj.RowNNZ(v)
+		}
+		pop[i] = baseNNZ
+		for _, view := range s.views {
+			if r, ok := view.overlay[v]; ok {
+				pop[i] += len(r.cols) - baseNNZ
+			}
+		}
+	}
+	return pop
+}
+
+// foldLocked merges every view's overlay into a freshly built CSR,
+// publishes it as the new shared base and clears all overlays and drift
+// counters. Caller holds EVERY view's write lock. Content-neutral
+// fleet-wide: no epoch moves (see the file comment). With all overlays
+// empty it only resets the pending-write counters — the base (and thus
+// Adjacency identity) is untouched.
+func (s *sharedState) foldLocked() {
+	views := s.views
+	pending := false
+	for _, v := range views {
+		if len(v.overlay) > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
+		for _, v := range views {
+			v.overlayWrites = 0
+		}
+		return
+	}
+	base := s.base.Load()
+	n := s.uni.Load().numNodes()
+	baseN := len(base.degrees)
+	totalWeight := base.totalWeight
+	numEdges := base.numEdges
+	for _, v := range views {
+		totalWeight += v.weightDelta
+		numEdges += v.edgeDelta
+	}
+	rowPtr := make([]int, n+1)
+	colIdx := make([]int, 0, 2*numEdges)
+	vals := make([]float64, 0, 2*numEdges)
+	degrees := make([]float64, n)
+	hits := make([]*liveRow, 0, len(views))
+	for v := 0; v < n; v++ {
+		hits = hits[:0]
+		for _, view := range views {
+			if r, ok := view.overlay[v]; ok {
+				hits = append(hits, r)
+			}
+		}
+		var cols []int
+		var ws []float64
+		var deg float64
+		switch {
+		case len(hits) == 0:
+			if v < baseN {
+				cols, ws = base.adj.Row(v)
+				deg = base.degrees[v]
+			}
+		case len(hits) == 1:
+			// Only one view touched v — its overlay row IS the merged row
+			// (overlay rows are full rows, base included).
+			cols, ws, deg = hits[0].cols, hits[0].weights, hits[0].degree
+		default:
+			cols, ws, deg = mergeOverlayRows(base, v, baseN, hits)
+		}
+		colIdx = append(colIdx, cols...)
+		vals = append(vals, ws...)
+		rowPtr[v+1] = len(colIdx)
+		degrees[v] = deg
+	}
+	s.base.Store(&baseSnapshot{
+		adj:         newCompactCSR(n, rowPtr, colIdx, vals),
+		degrees:     degrees,
+		totalWeight: totalWeight,
+		numEdges:    numEdges,
+	})
+	for _, v := range views {
+		v.overlay = nil
+		v.overlayWrites = 0
+		v.weightDelta = 0
+		v.edgeDelta = 0
+	}
+}
+
+// mergeOverlayRows merges several views' overlay rows for node v (an item
+// node raters from different shards wrote concurrently): start from the
+// base row, apply each view's diff against the base. Edge ownership makes
+// the diffs disjoint, so application order is irrelevant.
+func mergeOverlayRows(base *baseSnapshot, v, baseN int, hits []*liveRow) (cols []int, ws []float64, deg float64) {
+	var bcols []int
+	var bws []float64
+	if v < baseN {
+		bcols, bws = base.adj.Row(v)
+	}
+	merged := make(map[int]float64, len(bcols)+2*len(hits))
+	for k, c := range bcols {
+		merged[c] = bws[k]
+	}
+	for _, r := range hits {
+		bi := 0
+		for k, c := range r.cols {
+			for bi < len(bcols) && bcols[bi] < c {
+				bi++
+			}
+			if bi < len(bcols) && bcols[bi] == c && bws[bi] == r.weights[k] {
+				continue // unchanged base edge: not part of this view's diff
+			}
+			merged[c] = r.weights[k]
+		}
+	}
+	cols = make([]int, 0, len(merged))
+	for c := range merged {
+		cols = append(cols, c)
+	}
+	sort.Ints(cols)
+	ws = make([]float64, len(cols))
+	for k, c := range cols {
+		ws[k] = merged[c]
+		deg += merged[c]
+	}
+	return cols, ws, deg
+}

@@ -1,0 +1,250 @@
+// Shared-base view unit tests: construction, group folds, per-view
+// deltas, and the fleet-exact popularity merge.
+
+package graph
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func sharedTestGraph(t *testing.T) *Bipartite {
+	t.Helper()
+	g, err := FromRatings(4, 5, []Rating{
+		{User: 0, Item: 0, Weight: 3},
+		{User: 0, Item: 2, Weight: 1},
+		{User: 1, Item: 1, Weight: 5},
+		{User: 2, Item: 2, Weight: 2},
+		{User: 3, Item: 4, Weight: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestShareViewsConstruction(t *testing.T) {
+	g := sharedTestGraph(t)
+	if got := g.NumViews(); got != 1 {
+		t.Fatalf("standalone NumViews() = %d, want 1", got)
+	}
+	views := ShareViews(g, 3)
+	if len(views) != 3 || views[0] != g {
+		t.Fatalf("ShareViews returned %d views (views[0]==g: %v), want 3 with g first", len(views), views[0] == g)
+	}
+	adj := g.Adjacency()
+	for i, v := range views {
+		if v.NumViews() != 3 {
+			t.Fatalf("view %d NumViews() = %d, want 3", i, v.NumViews())
+		}
+		if !v.SharesBaseWith(g) {
+			t.Fatalf("view %d does not share g's base", i)
+		}
+		if v.Adjacency() != adj {
+			t.Fatalf("view %d serves a different base CSR", i)
+		}
+		if v.NumUsers() != 4 || v.NumItems() != 5 {
+			t.Fatalf("view %d universe = (%d,%d), want (4,5)", i, v.NumUsers(), v.NumItems())
+		}
+	}
+	// n <= 1 is the identity.
+	solo := sharedTestGraph(t)
+	if vs := ShareViews(solo, 1); len(vs) != 1 || vs[0] != solo {
+		t.Fatal("ShareViews(g, 1) must return g unchanged")
+	}
+	if sharedTestGraph(t).SharesBaseWith(g) {
+		t.Fatal("independent graphs report a shared base")
+	}
+}
+
+// TestSharedGroupFoldEquivalence pins fold correctness: writes routed by
+// user across 3 views, folded in one group Compact, must yield exactly
+// the graph a standalone replica reaches with the same stream — including
+// concurrent overlay rows for one item rated from different views.
+func TestSharedGroupFoldEquivalence(t *testing.T) {
+	g := sharedTestGraph(t)
+	views := ShareViews(g, 3)
+	ref := sharedTestGraph(t)
+
+	writes := []Rating{
+		{User: 0, Item: 1, Weight: 2},   // view 0: new edge
+		{User: 1, Item: 1, Weight: 1},   // view 1: re-rate, same item node as above
+		{User: 2, Item: 1, Weight: 3.5}, // view 2: third view on the same item
+		{User: 0, Item: 0, Weight: 4},   // view 0: re-rate
+		{User: 2, Item: 3, Weight: 2},   // view 2: new edge
+	}
+	for _, w := range writes {
+		if _, err := views[w.User%3].UpsertRating(w.User, w.Item, w.Weight); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.UpsertRating(w.User, w.Item, w.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pre-fold: each view sees the base plus ITS OWN overlay only.
+	if got := views[1].Weight(views[1].UserNode(0), views[1].ItemNode(1)); got != 0 {
+		t.Fatalf("view 1 sees view 0's unfolded write: weight = %v, want 0", got)
+	}
+
+	views[1].Compact() // any view folds the whole group
+	ref.Compact()
+	if !g.Adjacency().Equal(ref.Adjacency(), 1e-12) {
+		t.Fatal("group fold diverged from the standalone replica")
+	}
+	if got, want := g.TotalWeight(), ref.TotalWeight(); got != want {
+		t.Fatalf("TotalWeight = %v, want %v", got, want)
+	}
+	if got, want := g.NumEdges(), ref.NumEdges(); got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	for i, v := range views {
+		if v.PendingWrites() != 0 {
+			t.Fatalf("view %d still pending after fold", i)
+		}
+		if v.Adjacency() != g.Adjacency() {
+			t.Fatalf("view %d not republished onto the new base", i)
+		}
+	}
+	// Epochs: per-view counts of OWN accepted writes, untouched by folds.
+	for i, want := range []uint64{2, 1, 2} {
+		if got := views[i].Epoch(); got != want {
+			t.Fatalf("view %d epoch = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestSharedOverlayDelta(t *testing.T) {
+	g := sharedTestGraph(t)
+	views := ShareViews(g, 2)
+	if _, err := views[1].UpsertRating(1, 3, 2.5); err != nil { // addition
+		t.Fatal(err)
+	}
+	if _, err := views[1].UpsertRating(1, 1, 4); err != nil { // re-rate
+		t.Fatal(err)
+	}
+	if _, err := views[1].UpsertRating(3, 4, 4); err != nil { // identical no-op
+		t.Fatal(err)
+	}
+	if d := views[0].OverlayDelta(); len(d) != 0 {
+		t.Fatalf("untouched view has deltas: %+v", d)
+	}
+	want := []Rating{{User: 1, Item: 1, Weight: 4}, {User: 1, Item: 3, Weight: 2.5}}
+	if got := views[1].OverlayDelta(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("OverlayDelta = %+v, want %+v", got, want)
+	}
+	views[0].Compact()
+	if d := views[1].OverlayDelta(); len(d) != 0 {
+		t.Fatalf("deltas survived the fold: %+v", d)
+	}
+}
+
+// TestSharedFleetItemPopularity pins the exact merge: base counted once
+// plus per-view deltas, under cross-view writes to the same item and an
+// auto-grown item visible fleet-wide.
+func TestSharedFleetItemPopularity(t *testing.T) {
+	g := sharedTestGraph(t)
+	views := ShareViews(g, 2)
+	ref := sharedTestGraph(t)
+	writes := []Rating{
+		{User: 0, Item: 1, Weight: 2}, // view 0
+		{User: 1, Item: 1, Weight: 3}, // view 1: re-rate (no count change)
+		{User: 3, Item: 1, Weight: 1}, // view 1: same item, new rater
+		{User: 2, Item: 5, Weight: 2}, // view 0: auto-grow admits item 5
+	}
+	for _, w := range writes {
+		if _, err := views[w.User%2].UpsertRatingAutoGrow(w.User, w.Item, w.Weight); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ref.UpsertRatingAutoGrow(w.User, w.Item, w.Weight); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := ref.ItemPopularity()
+	if got := views[1].FleetItemPopularity(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-fold FleetItemPopularity = %v, want %v", got, want)
+	}
+	views[0].Compact()
+	if got := views[0].FleetItemPopularity(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-fold FleetItemPopularity = %v, want %v", got, want)
+	}
+}
+
+// TestConcurrentSharedViews races per-view writers (one goroutine per
+// view, disjoint users), cross-view admissions, group folds and readers
+// on every view. Run under -race via make race.
+func TestConcurrentSharedViews(t *testing.T) {
+	g, err := FromRatings(6, 8, []Rating{
+		{User: 0, Item: 0, Weight: 1},
+		{User: 1, Item: 1, Weight: 2},
+		{User: 2, Item: 2, Weight: 3},
+		{User: 3, Item: 3, Weight: 4},
+		{User: 4, Item: 4, Weight: 5},
+		{User: 5, Item: 5, Weight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := ShareViews(g, 3)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				u := s + 3*(i%2) // users s, s+3: this view only
+				item := (s*5 + i) % 8
+				if i%10 == 9 {
+					item = 8 + i/10 // admissions race across views
+				}
+				if _, err := views[s].UpsertRatingAutoGrow(u, item, 1+float64(i%4)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			views[i%3].Compact()
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 120; i++ {
+				v := views[(r+i)%3]
+				_ = v.Degrees()
+				_ = v.TotalWeight()
+				if pop := v.FleetItemPopularity(); len(pop) < 8 {
+					errc <- errShrunk
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	// Quiesced invariant: fold once more, then every view agrees on the
+	// merged content and the popularity merge equals a plain item scan.
+	views[0].Compact()
+	want := views[0].ItemPopularity()
+	for i, v := range views {
+		if got := v.FleetItemPopularity(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("view %d merged popularity %v, want %v", i, got, want)
+		}
+	}
+}
+
+var errShrunk = &shrinkError{}
+
+type shrinkError struct{}
+
+func (*shrinkError) Error() string { return "popularity vector shrank below the base universe" }

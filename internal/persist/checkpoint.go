@@ -74,6 +74,11 @@ func LoadFleetCheckpoint(r io.Reader) (*FleetCheckpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	return decodeFleetCheckpoint(payload)
+}
+
+// decodeFleetCheckpoint decodes a verified KindCheckpoint payload.
+func decodeFleetCheckpoint(payload []byte) (*FleetCheckpoint, error) {
 	d := dec{buf: payload}
 	cp := &FleetCheckpoint{Seq: d.u64()}
 	nShards := d.count(40)

@@ -40,6 +40,11 @@ const (
 	KindPureSVD    Kind = 4
 	KindGraph      Kind = 5
 	KindCheckpoint Kind = 6
+	// KindSharedCheckpoint is a fleet checkpoint that stores the shared
+	// base snapshot ONCE plus one small overlay per shard, instead of N
+	// full graph copies (KindCheckpoint). Written by shared-base fleets;
+	// both kinds load through LoadAnyFleetCheckpoint.
+	KindSharedCheckpoint Kind = 7
 )
 
 // String names the kind for error messages.
@@ -57,6 +62,8 @@ func (k Kind) String() string {
 		return "graph"
 	case KindCheckpoint:
 		return "fleet-checkpoint"
+	case KindSharedCheckpoint:
+		return "shared-fleet-checkpoint"
 	default:
 		return fmt.Sprintf("kind(%d)", uint16(k))
 	}
@@ -98,41 +105,54 @@ func writeContainer(w io.Writer, kind Kind, payload []byte) error {
 	return nil
 }
 
-// readContainer reads and verifies a container, returning the payload.
+// readContainer reads and verifies a container of one specific kind,
+// returning the payload.
 func readContainer(r io.Reader, want Kind) ([]byte, error) {
+	k, payload, err := readContainerAny(r)
+	if err != nil {
+		return nil, err
+	}
+	if k != want {
+		return nil, fmt.Errorf("persist: container holds a %v, want a %v", k, want)
+	}
+	return payload, nil
+}
+
+// readContainerAny reads and verifies a container, returning its kind and
+// payload — the multi-format entry point (e.g. a fleet checkpoint may be
+// legacy per-shard or shared-base; the caller dispatches on the kind).
+func readContainerAny(r io.Reader) (Kind, []byte, error) {
 	var m [4]byte
 	if _, err := io.ReadFull(r, m[:]); err != nil {
-		return nil, fmt.Errorf("persist: read magic: %w", err)
+		return 0, nil, fmt.Errorf("persist: read magic: %w", err)
 	}
 	if m != magic {
-		return nil, fmt.Errorf("persist: bad magic %q (not a longtail container)", m[:])
+		return 0, nil, fmt.Errorf("persist: bad magic %q (not a longtail container)", m[:])
 	}
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("persist: read header: %w", err)
+		return 0, nil, fmt.Errorf("persist: read header: %w", err)
 	}
 	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != formatVersion {
-		return nil, fmt.Errorf("persist: unsupported format version %d (this build reads %d)", v, formatVersion)
+		return 0, nil, fmt.Errorf("persist: unsupported format version %d (this build reads %d)", v, formatVersion)
 	}
-	if k := Kind(binary.LittleEndian.Uint16(hdr[2:4])); k != want {
-		return nil, fmt.Errorf("persist: container holds a %v, want a %v", k, want)
-	}
+	kind := Kind(binary.LittleEndian.Uint16(hdr[2:4]))
 	n := binary.LittleEndian.Uint64(hdr[4:12])
 	if n > maxPayload {
-		return nil, fmt.Errorf("persist: payload length %d exceeds limit %d (corrupt header?)", n, maxPayload)
+		return 0, nil, fmt.Errorf("persist: payload length %d exceeds limit %d (corrupt header?)", n, maxPayload)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("persist: read payload: %w", err)
+		return 0, nil, fmt.Errorf("persist: read payload: %w", err)
 	}
 	var sum [4]byte
 	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return nil, fmt.Errorf("persist: read checksum: %w", err)
+		return 0, nil, fmt.Errorf("persist: read checksum: %w", err)
 	}
 	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(sum[:]); got != want {
-		return nil, fmt.Errorf("persist: checksum mismatch (payload %08x, recorded %08x): file is corrupted", got, want)
+		return 0, nil, fmt.Errorf("persist: checksum mismatch (payload %08x, recorded %08x): file is corrupted", got, want)
 	}
-	return payload, nil
+	return kind, payload, nil
 }
 
 // enc is an append-only little-endian payload encoder.

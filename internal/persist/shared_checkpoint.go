@@ -1,0 +1,220 @@
+// Shared-base fleet checkpoint codec (KindSharedCheckpoint).
+//
+// A legacy fleet checkpoint (KindCheckpoint) stores N full graph
+// snapshots — one per shard replica — so its size scales with the shard
+// count even though the replicas converge to identical content at every
+// refresh. A shared-base fleet has exactly one base graph plus one small
+// write overlay per shard, and its checkpoint mirrors that: the base
+// snapshot ONCE, then per shard only its epoch and pending overlay deltas
+// (normally empty, since the refresh cycle folds overlays into the base
+// right before checkpointing).
+//
+// Recovery compatibility runs one way: LoadAnyFleetCheckpoint reads both
+// kinds, converting a legacy image on the fly (shard 0 becomes the base;
+// every other shard's divergence from it becomes that shard's delta), so
+// a server upgraded across the format change restarts from its old
+// checkpoint. New checkpoints are always written in the shared format by
+// shared-base fleets; single-shard and independent-replica fleets keep
+// writing KindCheckpoint.
+
+package persist
+
+import (
+	"fmt"
+	"io"
+
+	"longtailrec/internal/graph"
+)
+
+// ShardOverlay is one shard's durable delta on top of the shared base:
+// its write epoch and the user-side ratings not yet folded into the base.
+type ShardOverlay struct {
+	Epoch  uint64
+	Deltas []graph.Rating
+}
+
+// SharedFleetCheckpoint is a shared-base fleet's durable image.
+type SharedFleetCheckpoint struct {
+	// Seq is the WAL sequence the image covers, exclusive: every record
+	// with sequence < Seq is folded in. Replay after restore starts at Seq.
+	Seq uint64
+	// BaseUsers and BaseItems record the fleet's compiled base universe —
+	// the split FromSnapshotWithBase restores so that models trained
+	// against the dataset universe still validate after a restart. One
+	// pair for the whole fleet: shared-base views share one universe.
+	BaseUsers, BaseItems int
+	// Base is the shared base graph, serialized once regardless of the
+	// shard count.
+	Base graph.GraphSnapshot
+	// Shards holds one overlay per shard, in shard order.
+	Shards []ShardOverlay
+}
+
+// SaveSharedFleetCheckpoint writes a shared-fleet-checkpoint container.
+func SaveSharedFleetCheckpoint(w io.Writer, cp *SharedFleetCheckpoint) error {
+	if cp == nil {
+		return fmt.Errorf("persist: nil checkpoint")
+	}
+	if len(cp.Shards) == 0 {
+		return fmt.Errorf("persist: checkpoint has no shards")
+	}
+	var e enc
+	e.u64(cp.Seq)
+	e.i(cp.BaseUsers)
+	e.i(cp.BaseItems)
+	e.i(cp.Base.NumUsers)
+	e.i(cp.Base.NumItems)
+	e.u64(cp.Base.Epoch)
+	e.i(len(cp.Base.Ratings))
+	for _, r := range cp.Base.Ratings {
+		e.i(r.User)
+		e.i(r.Item)
+		e.f64(r.Weight)
+	}
+	e.i(len(cp.Shards))
+	for _, s := range cp.Shards {
+		e.u64(s.Epoch)
+		e.i(len(s.Deltas))
+		for _, r := range s.Deltas {
+			e.i(r.User)
+			e.i(r.Item)
+			e.f64(r.Weight)
+		}
+	}
+	return writeContainer(w, KindSharedCheckpoint, e.buf)
+}
+
+// LoadSharedFleetCheckpoint reads a shared-fleet-checkpoint container.
+// Rejects legacy KindCheckpoint files — use LoadAnyFleetCheckpoint for
+// format-agnostic recovery.
+func LoadSharedFleetCheckpoint(r io.Reader) (*SharedFleetCheckpoint, error) {
+	payload, err := readContainer(r, KindSharedCheckpoint)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSharedFleetCheckpoint(payload)
+}
+
+// decodeSharedFleetCheckpoint decodes a verified KindSharedCheckpoint
+// payload. Shapes are plausibility-checked here; full graph validation
+// happens when the caller rebuilds the base through
+// graph.FromSnapshotWithBase and upserts the deltas.
+func decodeSharedFleetCheckpoint(payload []byte) (*SharedFleetCheckpoint, error) {
+	d := dec{buf: payload}
+	cp := &SharedFleetCheckpoint{Seq: d.u64()}
+	cp.BaseUsers = d.i()
+	cp.BaseItems = d.i()
+	cp.Base.NumUsers = d.i()
+	cp.Base.NumItems = d.i()
+	cp.Base.Epoch = d.u64()
+	n := d.count(24)
+	cp.Base.Ratings = make([]graph.Rating, n)
+	for j := range cp.Base.Ratings {
+		cp.Base.Ratings[j] = graph.Rating{User: d.i(), Item: d.i(), Weight: d.f64()}
+	}
+	nShards := d.count(16)
+	if d.err == nil && nShards == 0 {
+		return nil, fmt.Errorf("persist: checkpoint has no shards")
+	}
+	cp.Shards = make([]ShardOverlay, nShards)
+	for k := range cp.Shards {
+		s := &cp.Shards[k]
+		s.Epoch = d.u64()
+		if m := d.count(24); m > 0 {
+			s.Deltas = make([]graph.Rating, m)
+			for j := range s.Deltas {
+				s.Deltas[j] = graph.Rating{User: d.i(), Item: d.i(), Weight: d.f64()}
+			}
+		}
+	}
+	if d.err == nil {
+		if cp.BaseUsers < 0 || cp.BaseUsers > cp.Base.NumUsers ||
+			cp.BaseItems < 0 || cp.BaseItems > cp.Base.NumItems {
+			return nil, fmt.Errorf("persist: base universe (%d,%d) outside snapshot universe (%d,%d)",
+				cp.BaseUsers, cp.BaseItems, cp.Base.NumUsers, cp.Base.NumItems)
+		}
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// LoadAnyFleetCheckpoint reads a fleet checkpoint in EITHER format,
+// returning the shared-base representation: a KindSharedCheckpoint loads
+// natively; a legacy KindCheckpoint (N full snapshots) is converted —
+// shard 0's snapshot becomes the base, and each shard's divergence from
+// shard 0 becomes its overlay delta. Legacy checkpoints are written after
+// fleet convergence, so the shards are normally content-identical and the
+// converted deltas empty; a legacy shard that is MISSING an edge shard 0
+// has cannot be expressed as a delta (the write model has no deletes) and
+// fails loudly rather than restoring a wrong graph.
+func LoadAnyFleetCheckpoint(r io.Reader) (*SharedFleetCheckpoint, error) {
+	kind, payload, err := readContainerAny(r)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case KindSharedCheckpoint:
+		return decodeSharedFleetCheckpoint(payload)
+	case KindCheckpoint:
+		legacy, err := decodeFleetCheckpoint(payload)
+		if err != nil {
+			return nil, err
+		}
+		return convertLegacyCheckpoint(legacy)
+	default:
+		return nil, fmt.Errorf("persist: container holds a %v, want a %v or legacy %v",
+			kind, KindSharedCheckpoint, KindCheckpoint)
+	}
+}
+
+type edgeKey struct{ u, i int }
+
+// convertLegacyCheckpoint lifts an N-full-snapshot checkpoint into the
+// shared-base representation.
+func convertLegacyCheckpoint(legacy *FleetCheckpoint) (*SharedFleetCheckpoint, error) {
+	base := legacy.Shards[0]
+	cp := &SharedFleetCheckpoint{
+		Seq:       legacy.Seq,
+		BaseUsers: base.BaseUsers,
+		BaseItems: base.BaseItems,
+		Base:      base.Snapshot,
+		Shards:    make([]ShardOverlay, len(legacy.Shards)),
+	}
+	// The shared universe must cover every shard's: replicas converge at
+	// refresh, but a crash can catch admissions mid-propagation.
+	for _, s := range legacy.Shards {
+		if s.Snapshot.NumUsers > cp.Base.NumUsers {
+			cp.Base.NumUsers = s.Snapshot.NumUsers
+		}
+		if s.Snapshot.NumItems > cp.Base.NumItems {
+			cp.Base.NumItems = s.Snapshot.NumItems
+		}
+	}
+	baseEdges := make(map[edgeKey]float64, len(base.Snapshot.Ratings))
+	for _, r := range base.Snapshot.Ratings {
+		baseEdges[edgeKey{r.User, r.Item}] = r.Weight
+	}
+	for k, s := range legacy.Shards {
+		cp.Shards[k].Epoch = s.Snapshot.Epoch
+		if k == 0 {
+			continue // shard 0 IS the base: no delta by construction
+		}
+		seen := 0
+		for _, r := range s.Snapshot.Ratings {
+			if w, ok := baseEdges[edgeKey{r.User, r.Item}]; ok {
+				seen++
+				if w == r.Weight {
+					continue
+				}
+			}
+			cp.Shards[k].Deltas = append(cp.Shards[k].Deltas, r)
+		}
+		if seen < len(baseEdges) {
+			return nil, fmt.Errorf("persist: legacy checkpoint shard %d is missing %d edges shard 0 has; "+
+				"a deletion cannot be expressed as a shared-base delta", k, len(baseEdges)-seen)
+		}
+	}
+	return cp, nil
+}

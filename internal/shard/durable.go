@@ -111,6 +111,7 @@ func (f *Fleet) applyRecords(recs []wal.Record) []writeOutcome {
 			out[k] = writeOutcome{added: results[j].Added, epoch: epoch, err: results[j].Err}
 		}
 	}
+	f.maybeCompact()
 	return out
 }
 
@@ -157,6 +158,9 @@ func (f *Fleet) SnapshotRefresh(path string) error {
 
 // refresh is the cycle body. Caller guarantees no concurrent applies.
 func (f *Fleet) refresh(path string) error {
+	if f.sharedBase {
+		return f.refreshShared(path)
+	}
 	// 1. Converge: replay the log tail into every non-home replica. Home
 	// replicas already hold these writes (they were applied at commit
 	// time), so they are skipped — replaying into them would be a no-op
@@ -209,6 +213,50 @@ func (f *Fleet) refresh(path string) error {
 	}
 	if err := persist.SaveFile(path, func(w io.Writer) error {
 		return persist.SaveFleetCheckpoint(w, cp)
+	}); err != nil {
+		return err
+	}
+
+	// 4. Truncate the log behind the checkpoint.
+	if err := f.wlog.ResetTo(seq); err != nil {
+		return err
+	}
+	f.lastCkptEpoch.Store(f.Epoch())
+	return nil
+}
+
+// refreshShared is the cycle body for a shared-base fleet. Convergence
+// and compaction are ONE move here: the group fold publishes every view's
+// overlay into the shared base, making all writes visible fleet-wide —
+// no log-tail replay into foreign replicas, and no foreign epoch bumps
+// (folding is content-neutral, so foreign caches stay warm; the legacy
+// path paid one bump per foreign replica per refresh). The checkpoint
+// then stores the base once plus per-shard {epoch, overlay delta}; the
+// deltas are empty right after the fold, so checkpoint size no longer
+// scales with the shard count. Caller guarantees no concurrent applies.
+func (f *Fleet) refreshShared(path string) error {
+	g0 := f.replicas[0].Graph
+	// 1+2. Converge and compact: one fleet-wide fold.
+	g0.Compact()
+
+	// 3. Checkpoint, atomically. Seq is read under the barrier, so it
+	// names exactly the records the image includes.
+	seq := f.wlog.Seq()
+	cp := &persist.SharedFleetCheckpoint{
+		Seq:       seq,
+		BaseUsers: g0.BaseNumUsers(),
+		BaseItems: g0.BaseNumItems(),
+		Base:      g0.Snapshot(),
+		Shards:    make([]persist.ShardOverlay, len(f.replicas)),
+	}
+	for i, r := range f.replicas {
+		cp.Shards[i] = persist.ShardOverlay{
+			Epoch:  r.Graph.Epoch(),
+			Deltas: r.Graph.OverlayDelta(),
+		}
+	}
+	if err := persist.SaveFile(path, func(w io.Writer) error {
+		return persist.SaveSharedFleetCheckpoint(w, cp)
 	}); err != nil {
 		return err
 	}

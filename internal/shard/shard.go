@@ -71,6 +71,18 @@ type Replica struct {
 // durability fields are set once by EnableDurability before serving).
 type Fleet struct {
 	replicas []*Replica
+	// sharedBase marks a fleet whose replicas are views over ONE shared
+	// base snapshot (graph.ShareViews) instead of independent full graph
+	// copies. It redirects compaction (one group fold instead of N),
+	// popularity merging (base once + per-view deltas) and checkpointing
+	// (base once + N overlays). Detected at construction.
+	sharedBase bool
+	// compactThreshold, when positive, makes the fleet fold pending
+	// overlay writes once their fleet-wide total reaches it. Fleet-driven
+	// because a shared-base view cannot fold from inside its own write
+	// path (see graph.SetCompactThreshold); works for independent-replica
+	// fleets too.
+	compactThreshold atomic.Int64
 
 	// Durability (nil/zero when disabled — the default): see durable.go.
 	wlog          *wal.Log
@@ -79,7 +91,11 @@ type Fleet struct {
 }
 
 // NewFleet builds a fleet over the given replicas (at least one, each
-// with a non-nil graph).
+// with a non-nil graph). Replicas may be independent full graphs (the
+// legacy layout) or views over one shared base built by graph.ShareViews;
+// mixing, or sharing a base across a different number of views than
+// there are replicas, is rejected — a partial share would silently break
+// the one-fold-covers-everyone invariants.
 func NewFleet(replicas []*Replica) (*Fleet, error) {
 	if len(replicas) == 0 {
 		return nil, fmt.Errorf("shard: fleet needs at least one replica")
@@ -89,7 +105,44 @@ func NewFleet(replicas []*Replica) (*Fleet, error) {
 			return nil, fmt.Errorf("shard: replica %d has no graph", i)
 		}
 	}
-	return &Fleet{replicas: replicas}, nil
+	shared := 0
+	for _, r := range replicas[1:] {
+		if replicas[0].Graph.SharesBaseWith(r.Graph) {
+			shared++
+		}
+	}
+	f := &Fleet{replicas: replicas}
+	if len(replicas) > 1 && shared > 0 {
+		if shared != len(replicas)-1 {
+			return nil, fmt.Errorf("shard: %d of %d replicas share a base with replica 0; all or none must", shared+1, len(replicas))
+		}
+		if v := replicas[0].Graph.NumViews(); v != len(replicas) {
+			return nil, fmt.Errorf("shard: %d replicas over a base shared by %d views", len(replicas), v)
+		}
+		f.sharedBase = true
+	}
+	return f, nil
+}
+
+// SharedBase reports whether the fleet's replicas are views over one
+// shared base snapshot.
+func (f *Fleet) SharedBase() bool { return f.sharedBase }
+
+// SetCompactThreshold makes the fleet fold pending overlay writes into
+// the base once the fleet-wide pending total reaches n (n <= 0 disables).
+// Checked after every applied write batch.
+func (f *Fleet) SetCompactThreshold(n int) {
+	f.compactThreshold.Store(int64(n))
+	f.maybeCompact()
+}
+
+// maybeCompact folds when the fleet-wide pending-write total has reached
+// the threshold. Concurrent callers may both see the trigger; the second
+// fold is then an empty-overlay no-op.
+func (f *Fleet) maybeCompact() {
+	if t := f.compactThreshold.Load(); t > 0 && int64(f.PendingWrites()) >= t {
+		f.Compact()
+	}
 }
 
 // NumShards returns the replica count.
@@ -129,7 +182,9 @@ func (f *Fleet) ApplyRating(user, item int, score float64, autoGrow bool) (added
 	} else {
 		added, err = g.UpsertRating(user, item, score)
 	}
-	return added, g.Epoch(), shardIdx, err
+	epoch = g.Epoch()
+	f.maybeCompact()
+	return added, epoch, shardIdx, err
 }
 
 // Epoch returns the fleet-wide epoch: the sum of every shard's epoch,
@@ -170,8 +225,14 @@ func (f *Fleet) Universe() (numUsers, numItems int) {
 }
 
 // Compact folds every replica's pending overlay writes into its CSR.
-// Content-neutral per shard: no epoch moves.
+// Content-neutral per shard: no epoch moves. On a shared-base fleet one
+// group fold covers every view; calling each view's Compact would repeat
+// the same (idempotent) fold N times.
 func (f *Fleet) Compact() {
+	if f.sharedBase {
+		f.replicas[0].Graph.Compact()
+		return
+	}
 	for _, r := range f.replicas {
 		r.Graph.Compact()
 	}
@@ -212,18 +273,30 @@ func (f *Fleet) ShardStats() []core.ShardStats {
 }
 
 // MergedItemPopularity returns the fleet-wide live rater count per item.
-// base is the popularity vector of the corpus every replica was built
-// from; each replica's count differs from it only by that replica's own
-// accepted writes, and every write lands on exactly one replica, so
-// summing the per-replica deltas over the base reconstructs the exact
-// union count (items admitted live have base 0). With one replica this
-// is just its live popularity. The output is sized from the scans
-// themselves, not a prior Universe() snapshot — an auto-grow admission
-// racing this call may extend a replica's vector between any two reads,
-// and a stale pre-sized slice would be indexed out of range.
+//
+// On a shared-base fleet the merge is computed at the graph layer as the
+// shared base counted ONCE plus every view's overlay delta
+// (graph.FleetItemPopularity) — per-replica full scans would count each
+// base rating N times, since the views are no longer independent copies.
+// The base argument is not needed there: the fold keeps the shared
+// snapshot exact.
+//
+// For independent replicas, base is the popularity vector of the corpus
+// every replica was built from; each replica's count differs from it only
+// by that replica's own accepted writes, and every write lands on exactly
+// one replica, so summing the per-replica deltas over the base
+// reconstructs the exact union count (items admitted live have base 0).
+// With one replica this is just its live popularity. The output is sized
+// from the scans themselves, not a prior Universe() snapshot — an
+// auto-grow admission racing this call may extend a replica's vector
+// between any two reads, and a stale pre-sized slice would be indexed out
+// of range.
 func (f *Fleet) MergedItemPopularity(base []int) []int {
 	if len(f.replicas) == 1 {
 		return f.replicas[0].Graph.ItemPopularity()
+	}
+	if f.sharedBase {
+		return f.replicas[0].Graph.FleetItemPopularity()
 	}
 	pops := make([][]int, len(f.replicas))
 	numItems := len(base)

@@ -139,11 +139,13 @@ type Config struct {
 	// write bumps only its own shard's epoch — so its cache-invalidation
 	// blast radius is one shard, not the fleet. CacheSize is the total
 	// budget, split evenly across shards. <= 1 means 1, the single-replica
-	// stack (byte-identical to the unsharded behavior). Memory scales with
-	// the shard count (each replica carries a full graph copy); cross-shard
+	// stack (byte-identical to the unsharded behavior). All replicas are
+	// views over ONE shared immutable base graph (each owns only its write
+	// overlay, epoch and cache — graph.ShareViews), so the shard count is
+	// a cache/invalidation knob, not a memory multiplier; cross-shard
 	// consistency is eventual (a write is visible to its own user's shard
-	// immediately, to other shards' walks only at the next snapshot
-	// refresh — see SnapshotRefresh).
+	// immediately, to other shards' walks only at the next compaction or
+	// snapshot refresh — see SnapshotRefresh).
 	ShardCount int
 	// WALDir enables durable live writes: ApplyRating group-commits
 	// through an append-only, checksummed, fsync'd write-ahead log in
@@ -270,7 +272,7 @@ const (
 )
 
 // NewSystem indexes the dataset and prepares the algorithm suite,
-// building Config.ShardCount serving replicas of the corpus graph.
+// building Config.ShardCount serving views over ONE shared corpus graph.
 func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 	if d == nil {
 		return nil, fmt.Errorf("longtail: nil dataset")
@@ -281,28 +283,30 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 		// The configured capacity is the fleet-wide budget, split evenly.
 		perShardCache = (cfg.CacheSize + cfg.ShardCount - 1) / cfg.ShardCount
 	}
+	// Restore precedes fleet construction: a checkpoint replaces the
+	// dataset-built graph wholesale, and no recommender exists yet (they
+	// are built lazily), so the swap cannot race a reader.
+	views, err := buildGraphViews(d, cfg)
+	if err != nil {
+		return nil, err
+	}
 	replicas := make([]*shard.Replica, cfg.ShardCount)
 	for i := range replicas {
-		g := d.Graph()
-		g.SetCompactThreshold(cfg.CompactThreshold)
-		rep := &shard.Replica{Graph: g}
+		rep := &shard.Replica{Graph: views[i]}
 		if perShardCache > 0 {
 			rep.Cache = cache.New[core.Response](perShardCache)
 		}
 		replicas[i] = rep
 	}
-	if cfg.WALDir != "" {
-		// Restore precedes fleet construction: a checkpoint replaces the
-		// dataset-built replica graphs wholesale, and no recommender
-		// exists yet (they are built lazily), so the swap cannot race a
-		// reader.
-		if err := restoreCheckpoint(cfg, replicas); err != nil {
-			return nil, err
-		}
-	}
 	fleet, err := shard.NewFleet(replicas)
 	if err != nil {
 		return nil, fmt.Errorf("longtail: %w", err)
+	}
+	if cfg.ShardCount > 1 {
+		// Shared-base views cannot auto-fold from inside their own write
+		// path; the fleet watches the pending total and drives the group
+		// fold. (The single-view graph folds inline, set above.)
+		fleet.SetCompactThreshold(cfg.CompactThreshold)
 	}
 	s := &System{
 		data:     d,
@@ -320,39 +324,89 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 	return s, nil
 }
 
-// restoreCheckpoint replaces the replicas' dataset-built graphs with the
-// images of Config.WALDir's checkpoint, when one exists. Each replica is
-// rebuilt with its original base/live universe split preserved, so
-// models trained against the dataset universe still validate after users
-// and items were admitted live.
-func restoreCheckpoint(cfg Config, replicas []*shard.Replica) error {
+// buildGraphViews constructs the fleet's ShardCount graph views — from
+// Config.WALDir's checkpoint when one exists, else fresh from the
+// dataset. One base graph is built either way; with ShardCount > 1 it is
+// split into shared-base views (graph.ShareViews), so fleet memory does
+// not scale with the shard count.
+func buildGraphViews(d *dataset.Dataset, cfg Config) ([]*graph.Bipartite, error) {
+	if cfg.WALDir != "" {
+		views, ok, err := restoreCheckpointViews(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return views, nil
+		}
+	}
+	g := d.Graph()
+	if cfg.ShardCount <= 1 {
+		g.SetCompactThreshold(cfg.CompactThreshold)
+		return []*graph.Bipartite{g}, nil
+	}
+	return graph.ShareViews(g, cfg.ShardCount), nil
+}
+
+// restoreCheckpointViews rebuilds the fleet's graph views from the
+// checkpoint in Config.WALDir, reporting ok=false on first boot (no
+// checkpoint yet). Both checkpoint formats load: a shared-base image
+// (KindSharedCheckpoint) natively, a legacy per-shard image
+// (KindCheckpoint) by conversion — so a server upgraded across the
+// format change restarts from its old checkpoint. The base graph is
+// rebuilt once with its original base/live universe split preserved (so
+// models trained against the dataset universe still validate after live
+// admissions), then split into views, each replaying its own overlay
+// delta and resuming its recorded epoch.
+func restoreCheckpointViews(cfg Config) ([]*graph.Bipartite, bool, error) {
 	path := filepath.Join(cfg.WALDir, checkpointFileName)
 	if _, err := os.Stat(path); err != nil {
 		if os.IsNotExist(err) {
-			return nil // first boot: nothing to restore
+			return nil, false, nil // first boot: nothing to restore
 		}
-		return fmt.Errorf("longtail: checkpoint: %w", err)
+		return nil, false, fmt.Errorf("longtail: checkpoint: %w", err)
 	}
-	var cp *persist.FleetCheckpoint
+	var cp *persist.SharedFleetCheckpoint
 	if err := persist.LoadFile(path, func(r io.Reader) error {
 		var lerr error
-		cp, lerr = persist.LoadFleetCheckpoint(r)
+		cp, lerr = persist.LoadAnyFleetCheckpoint(r)
 		return lerr
 	}); err != nil {
-		return fmt.Errorf("longtail: checkpoint: %w", err)
+		return nil, false, fmt.Errorf("longtail: checkpoint: %w", err)
 	}
-	if len(cp.Shards) != len(replicas) {
-		return fmt.Errorf("longtail: checkpoint holds %d shards, config wants %d — restart with the checkpointed shard count (resharding needs a rebuild from the dataset)",
-			len(cp.Shards), len(replicas))
+	if len(cp.Shards) != cfg.ShardCount {
+		return nil, false, fmt.Errorf("longtail: checkpoint holds %d shards, config wants %d — restart with the checkpointed shard count (resharding needs a rebuild from the dataset)",
+			len(cp.Shards), cfg.ShardCount)
 	}
-	for i, sc := range cp.Shards {
-		g, err := graph.FromSnapshotWithBase(sc.Snapshot, sc.BaseUsers, sc.BaseItems)
-		if err != nil {
-			return fmt.Errorf("longtail: checkpoint shard %d: %w", i, err)
+	g, err := graph.FromSnapshotWithBase(cp.Base, cp.BaseUsers, cp.BaseItems)
+	if err != nil {
+		return nil, false, fmt.Errorf("longtail: checkpoint base: %w", err)
+	}
+	if cfg.ShardCount <= 1 {
+		if err := replayOverlay(g, cp.Shards[0], 0); err != nil {
+			return nil, false, err
 		}
 		g.SetCompactThreshold(cfg.CompactThreshold)
-		replicas[i].Graph = g
+		return []*graph.Bipartite{g}, true, nil
 	}
+	views := graph.ShareViews(g, cfg.ShardCount)
+	for i, ov := range cp.Shards {
+		if err := replayOverlay(views[i], ov, i); err != nil {
+			return nil, false, err
+		}
+	}
+	return views, true, nil
+}
+
+// replayOverlay re-applies one shard's checkpointed overlay delta to its
+// view and resumes the recorded epoch (authoritative: the replay itself
+// moves the counter, as live writes would).
+func replayOverlay(g *graph.Bipartite, ov persist.ShardOverlay, shardIdx int) error {
+	for _, r := range ov.Deltas {
+		if _, err := g.UpsertRating(r.User, r.Item, r.Weight); err != nil {
+			return fmt.Errorf("longtail: checkpoint shard %d delta (%d,%d): %w", shardIdx, r.User, r.Item, err)
+		}
+	}
+	g.RestoreEpoch(ov.Epoch)
 	return nil
 }
 

@@ -1,0 +1,365 @@
+// Shared-base sharding tests: with every shard replica a view over ONE
+// immutable base snapshot, the fleet must (1) merge item popularity
+// exactly — base counted once plus per-shard overlay deltas, never N
+// times — even while auto-grow admissions race the merge, (2) keep the
+// epoch invariant across fleet-wide compaction: folding the overlays
+// into a new base republishes it fleet-wide without moving any epoch or
+// evicting any warm cache entry, and (3) survive base swaps racing live
+// readers and writers without torn reads.
+//
+// The TestFleet*/TestConcurrent* names put these under the race-gated
+// suite in CI (see Makefile's race target).
+
+package longtail
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"longtailrec/internal/lda"
+)
+
+// TestFleetSharedBaseStructure pins the memory claim structurally: every
+// shard's view reports the fleet's view count, and between writes all
+// views serve the SAME base CSR (pointer-identical Adjacency), so the
+// graph heap cannot scale with the shard count.
+func TestFleetSharedBaseStructure(t *testing.T) {
+	w := shardTestWorld(t)
+	sys := shardTestSystem(t, w, 4, 0)
+	adj0 := sys.ShardGraph(0).Adjacency()
+	for i := 0; i < sys.ShardCount(); i++ {
+		g := sys.ShardGraph(i)
+		if got := g.NumViews(); got != 4 {
+			t.Fatalf("shard %d NumViews() = %d, want 4", i, got)
+		}
+		if g.Adjacency() != adj0 {
+			t.Fatalf("shard %d serves its own base CSR copy; fleet base is not shared", i)
+		}
+	}
+	// A single-shard system is a standalone graph: one view, no sharing.
+	sys1 := shardTestSystem(t, w, 1, 0)
+	if got := sys1.ShardGraph(0).NumViews(); got != 1 {
+		t.Fatalf("unsharded NumViews() = %d, want 1", got)
+	}
+}
+
+// TestFleetMergedPopularityExactness pins the double-count fix on
+// Fleet.MergedItemPopularity: with a shared base, per-replica full scans
+// would count every base rating N times. The merged vector must equal a
+// single-graph control that received the identical write stream —
+// exactly, per item — including while concurrent writers admit new items
+// via auto-grow on several shards at once.
+func TestFleetMergedPopularityExactness(t *testing.T) {
+	w := shardTestWorld(t)
+	cfg := DefaultConfig()
+	cfg.LDA = lda.Config{NumTopics: 2, Iterations: 5}
+	cfg.Seed = 7
+	cfg.ShardCount = 4
+	cfg.AutoGrow = true
+	sys, err := NewSystem(w.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numUsers, numItems := w.Data.NumUsers(), w.Data.NumItems()
+
+	// Sanity before any write: merged == the corpus popularity.
+	base := w.Data.Graph().ItemPopularity()
+	if got := sys.LiveItemPopularity(); len(got) != len(base) {
+		t.Fatalf("pre-write merged popularity has %d items, want %d", len(got), len(base))
+	} else {
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("pre-write merged popularity[%d] = %d, want %d (base counted more than once?)", i, got[i], base[i])
+			}
+		}
+	}
+
+	// One writer per shard: users u, u+4, ... all route to shard u, so
+	// every (user, item) pair is written by exactly one goroutine and the
+	// final edge set is deterministic. Writes mix in-universe upserts,
+	// re-rates, and auto-grow item admissions racing the merge readers.
+	type writeOp struct {
+		user, item int
+		score      float64
+	}
+	perShard := make([][]writeOp, 4)
+	for s := 0; s < 4; s++ {
+		for i := 0; i < 30; i++ {
+			op := writeOp{
+				user:  s + 4*(i%5),
+				item:  (s*13 + i*3) % numItems,
+				score: 1 + float64((s+i)%5),
+			}
+			if i%6 == 5 { // admit a shard-distinct brand-new item
+				op.item = numItems + s*8 + i/6
+			}
+			perShard[s] = append(perShard[s], op)
+		}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(ops []writeOp) {
+			defer wg.Done()
+			for _, op := range ops {
+				if _, _, err := sys.ApplyRating(op.user, op.item, op.score); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(perShard[s])
+	}
+	wg.Add(1)
+	go func() { // the merge racing the admissions it must stay exact under
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if pop := sys.LiveItemPopularity(); len(pop) < numItems {
+				errc <- fmt.Errorf("merged popularity shrank to %d items", len(pop))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Single-graph control: the same stream applied serially.
+	control := w.Data.Graph()
+	for s := 0; s < 4; s++ {
+		for _, op := range perShard[s] {
+			if _, err := control.UpsertRatingAutoGrow(op.user, op.item, op.score); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := control.ItemPopularity()
+	check := func(stage string) {
+		t.Helper()
+		got := sys.LiveItemPopularity()
+		if len(got) != len(want) {
+			t.Fatalf("%s: merged popularity has %d items, control %d", stage, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: merged popularity[%d] = %d, control %d", stage, i, got[i], want[i])
+			}
+		}
+	}
+	check("overlays pending") // merge over live overlays
+	sys.CompactGraph()
+	check("after fold") // merge over the republished base
+	if numUsers == 0 {
+		t.Fatal("empty corpus")
+	}
+}
+
+// TestFleetEpochInvariantAcrossCompaction pins the epoch contract over a
+// base republish: Fleet.Epoch() stays "sum of per-shard epochs = total
+// accepted writes", compaction moves NO epoch, and shards whose overlays
+// were empty keep serving their warm cached results — a fold must not
+// spuriously invalidate them.
+func TestFleetEpochInvariantAcrossCompaction(t *testing.T) {
+	w := shardTestWorld(t)
+	sys := shardTestSystem(t, w, 4, 1024)
+	ctx := context.Background()
+	numUsers := w.Data.NumUsers()
+
+	warm := func() {
+		for u := 0; u < numUsers; u++ {
+			if _, err := sys.Recommend(ctx, "AT", Request{User: u, K: 5}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm()
+	warm() // second round: every entry now a hit
+
+	// A burst of writes confined to shard 1 (users 1, 5, 9 — off-grid
+	// scores so no upsert is an identical-weight no-op).
+	writer, writes := 1, 6
+	writtenShard := sys.ShardFor(writer)
+	for i := 0; i < writes; i++ {
+		if _, _, err := sys.ApplyRating(writer+4*(i%3), i, 4.25+float64(i)/8); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := sys.ServingStats()
+	if got := before.Shards[writtenShard].Epoch; got != uint64(writes) {
+		t.Fatalf("written shard epoch = %d, want %d", got, writes)
+	}
+	if before.Epoch != uint64(writes) {
+		t.Fatalf("fleet epoch = %d, want %d (sum of per-shard epochs)", before.Epoch, writes)
+	}
+
+	// The base republish under test.
+	sys.CompactGraph()
+
+	after := sys.ServingStats()
+	for i := range after.Shards {
+		if after.Shards[i].Epoch != before.Shards[i].Epoch {
+			t.Fatalf("shard %d epoch moved across compaction: %d -> %d", i, before.Shards[i].Epoch, after.Shards[i].Epoch)
+		}
+		if after.Shards[i].PendingWrites != 0 {
+			t.Fatalf("shard %d still has %d pending writes after the fold", i, after.Shards[i].PendingWrites)
+		}
+	}
+	if after.Epoch != before.Epoch {
+		t.Fatalf("fleet epoch moved across compaction: %d -> %d", before.Epoch, after.Epoch)
+	}
+
+	// Warm entries on the unwritten shards survive the republish; only
+	// the written shard recomputes (its entries were already stale from
+	// the writes themselves, not from the fold).
+	hitsBefore := sys.ServingStats().Cache.Hits
+	warmHits := 0
+	for u := 0; u < numUsers; u++ {
+		resp, err := sys.Recommend(ctx, "AT", Request{User: u, K: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sys.ShardFor(u) != writtenShard {
+			if !resp.CacheHit {
+				t.Fatalf("user %d on an unwritten shard lost its cached entry to the fold", u)
+			}
+			warmHits++
+		}
+	}
+	if got := sys.ServingStats().Cache.Hits - hitsBefore; got != uint64(warmHits) {
+		t.Fatalf("cache hit counter moved by %d, want %d", got, warmHits)
+	}
+	if warmHits == 0 {
+		t.Fatal("test corpus left no users on unwritten shards")
+	}
+
+	// A fold with every overlay empty must not even swap the base: the
+	// published CSR stays pointer-identical (no allocation, no churn).
+	adj := sys.ShardGraph(0).Adjacency()
+	sys.CompactGraph()
+	if sys.ShardGraph(0).Adjacency() != adj {
+		t.Fatal("empty-overlay fold rebuilt the base CSR")
+	}
+}
+
+// TestConcurrentFleetBaseSwapRaces races writers confined to one shard
+// and a compaction/refresh loop (both swap the shared base out from
+// under the fleet) against readers on every shard. Run under -race via
+// make race: no torn reads, no errors — and once quiesced, the fleet's
+// responses are byte-identical to a control fleet that applied the same
+// stream without ever racing.
+func TestConcurrentFleetBaseSwapRaces(t *testing.T) {
+	w := shardTestWorld(t)
+	cfg := DefaultConfig()
+	cfg.LDA = lda.Config{NumTopics: 2, Iterations: 5}
+	cfg.Seed = 7
+	cfg.ShardCount = 4
+	cfg.CacheSize = 0 // compare raw computation, not cache placement
+	cfg.WALDir = t.TempDir()
+	sys, err := NewSystem(w.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	ctx := context.Background()
+	numUsers, numItems := w.Data.NumUsers(), w.Data.NumItems()
+
+	writer := 1 // users 1, 5, 9: all shard 1
+	type writeOp struct {
+		user, item int
+		score      float64
+	}
+	var script []writeOp
+	for i := 0; i < 60; i++ {
+		script = append(script, writeOp{
+			user:  writer + 4*(i%3),
+			item:  (i * 7) % numItems,
+			score: 1 + float64(i%9)/2,
+		})
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	wg.Add(1)
+	go func() { // the write stream
+		defer wg.Done()
+		for _, op := range script {
+			if _, _, err := sys.ApplyRating(op.user, op.item, op.score); err != nil {
+				errc <- fmt.Errorf("write (%d,%d): %w", op.user, op.item, err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // the base-swap loop: group folds and checkpoint refreshes
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if i%2 == 0 {
+				sys.CompactGraph()
+			} else if err := sys.SnapshotRefresh(); err != nil {
+				errc <- fmt.Errorf("refresh: %w", err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() { // readers on every shard, across every swap
+			defer wg.Done()
+			for pass := 0; pass < 3; pass++ {
+				for u := 0; u < numUsers; u++ {
+					resp, err := sys.Recommend(ctx, "AT", Request{User: u, K: 5})
+					if err != nil {
+						errc <- fmt.Errorf("read user %d: %w", u, err)
+						return
+					}
+					if len(resp.Items) == 0 {
+						errc <- fmt.Errorf("user %d: empty response mid-swap", u)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesce and compare against a never-raced control with the SAME
+	// shard count (Response.Epoch is per-shard) and the same stream.
+	sys.CompactGraph()
+	ctlCfg := cfg
+	ctlCfg.WALDir = ""
+	control, err := NewSystem(w.Data, ctlCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range script {
+		if _, _, err := control.ApplyRating(op.user, op.item, op.score); err != nil {
+			t.Fatal(err)
+		}
+	}
+	control.CompactGraph()
+	for u := 0; u < numUsers; u++ {
+		got, gerr := sys.Recommend(ctx, "AT", Request{User: u, K: 5})
+		want, werr := control.Recommend(ctx, "AT", Request{User: u, K: 5})
+		if (gerr == nil) != (werr == nil) {
+			t.Fatalf("user %d: error divergence: %v vs %v", u, gerr, werr)
+		}
+		if gerr != nil {
+			continue
+		}
+		gb, _ := json.Marshal(got)
+		wb, _ := json.Marshal(want)
+		if string(gb) != string(wb) {
+			t.Fatalf("user %d: raced fleet diverged from quiesced control:\n raced:   %s\n control: %s", u, gb, wb)
+		}
+	}
+}
