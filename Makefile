@@ -1,9 +1,10 @@
 # CI entrypoints. `make` = tier-1 verify; `make bench` adds the short
-# allocation-regression benchmark pass documented in PERFORMANCE.md.
+# allocation-regression benchmark pass documented in PERFORMANCE.md;
+# `make lint` machine-checks the invariants listed in INVARIANTS.md.
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt-check
+.PHONY: all build test race bench fuzz fmt-check lint
 
 all: build test
 
@@ -12,6 +13,13 @@ build:
 
 test: build
 	$(GO) test ./...
+
+# Static invariant gate: stock go vet, then the repo's own ltr-vet
+# analyzer suite (lock ordering, pool hygiene, atomic-field discipline,
+# context flow, allocation-free hot paths — see INVARIANTS.md).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ltr-vet ./...
 
 # Formatting gate: fails listing any file gofmt would rewrite.
 fmt-check:
@@ -29,8 +37,12 @@ fmt-check:
 # root and shard packages).
 # (The full suite under -race also works but takes many minutes; this is
 # the CI-sized cut.)
+# The second line self-checks the ltr-vet analyzer suite under -race
+# (-short skips the whole-repo re-analysis; the testdata suites are the
+# point here).
 race:
 	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet|TestIngester' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/ ./internal/wal/
+	$(GO) test -race -short ./internal/analysis/...
 
 # Short per-query benchmark pass with allocation counts — the regression
 # signal for the zero-allocation query engine, the Request query surface,

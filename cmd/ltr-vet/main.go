@@ -1,0 +1,48 @@
+// Command ltr-vet runs the repo's custom go/analysis suite — the
+// machine-checked concurrency, pooling, and hot-path invariants — over
+// the given package patterns (default: the whole module).
+//
+//	go run ./cmd/ltr-vet ./...
+//
+// Exit status is 0 when every invariant holds, 1 when any analyzer
+// reports a finding, 2 on a loading or internal error.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	ltranalysis "longtailrec/internal/analysis"
+	"longtailrec/internal/analysis/driver"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := driver.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := prog.Analyze(ltranalysis.All())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ltr-vet: %d invariant violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ltr-vet:", err)
+	os.Exit(2)
+}

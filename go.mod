@@ -1,3 +1,7 @@
 module longtailrec
 
 go 1.24.0
+
+require golang.org/x/tools v0.28.0
+
+replace golang.org/x/tools => ./third_party/golang.org/x/tools

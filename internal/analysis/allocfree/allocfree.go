@@ -1,0 +1,297 @@
+// Package allocfree is the static complement of the 25 allocs/op bench
+// gate: a function annotated //ltr:allocfree claims its steady-state body
+// performs no heap allocation, and this analyzer rejects the constructs
+// that would break the claim:
+//
+//   - make / new calls
+//   - slice and map composite literals, and address-taken composite
+//     literals (&T{...})
+//   - append that is not the amortized self-append idiom (x = append(x,
+//     ...)) or a refill of preallocated backing (append(x[:0], ...))
+//   - function literals (closures capture locals onto the heap)
+//   - go statements
+//   - fmt / log / errors calls outside a return statement or panic
+//     argument (cold failure paths may allocate; the steady path may not)
+//   - string concatenation and string<->slice conversions
+//   - interface conversions of non-pointer concrete values (boxing) in
+//     call arguments and explicit conversions
+//
+// The check is per-function and syntactic: it does not chase callees (the
+// benchmark gate owns the composition), it keeps the annotated leaf
+// kernels honest.
+package allocfree
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"longtailrec/internal/analysis/directives"
+)
+
+// Analyzer is the allocfree checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "allocfree",
+	Doc:      "check that //ltr:allocfree functions contain no heap-escaping constructs (make, escaping literals, growing append, closures, fmt on the hot path, boxing)",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := directives.NewSuppressor(pass, "allocfree")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil || !directives.FuncMarked(fn, directives.VerbAllocFree) {
+			return
+		}
+		checkBody(pass, rep, fn)
+	})
+	return nil, nil
+}
+
+type checker struct {
+	pass *analysis.Pass
+	rep  *directives.Suppressor
+	fn   *ast.FuncDecl
+	// coldOK holds fmt/log/errors calls sanctioned by their position
+	// (inside a return statement or panic argument).
+	coldOK map[*ast.CallExpr]bool
+	// handledAppends are append calls already checked together with their
+	// assignment's left-hand side, so the bare-call walk skips them.
+	handledAppends map[*ast.CallExpr]bool
+}
+
+func checkBody(pass *analysis.Pass, rep *directives.Suppressor, fn *ast.FuncDecl) {
+	c := &checker{
+		pass: pass, rep: rep, fn: fn,
+		coldOK:         map[*ast.CallExpr]bool{},
+		handledAppends: map[*ast.CallExpr]bool{},
+	}
+	// Mark the cold-path sanctioned calls first: any fmt/log/errors call
+	// nested in a return statement or in a panic(...) argument.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			c.markCold(n)
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "panic") {
+				// The panic call itself is cold too: boxing its argument
+				// happens only on the failing path.
+				c.coldOK[n] = true
+				c.markCold(n)
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, c.visit)
+}
+
+func (c *checker) markCold(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && c.isColdAllocPkgCall(call) {
+			c.coldOK[call] = true
+		}
+		return true
+	})
+}
+
+func (c *checker) errorf(n ast.Node, format string, args ...interface{}) {
+	c.rep.Reportf(n.Pos(), "//ltr:allocfree function %s "+format, append([]interface{}{c.fn.Name.Name}, args...)...)
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		c.errorf(n, "contains a function literal: closures capture locals onto the heap")
+		return false // inner constructs are covered by the closure diagnostic
+	case *ast.GoStmt:
+		c.errorf(n, "starts a goroutine: go statements allocate")
+	case *ast.CompositeLit:
+		t := c.pass.TypesInfo.TypeOf(n)
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			c.errorf(n, "builds a %s literal, which allocates backing storage", types.TypeString(t, types.RelativeTo(c.pass.Pkg)))
+		}
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok {
+			c.errorf(n, "takes the address of a composite literal (&%s{...}), which heap-allocates", types.TypeString(c.pass.TypesInfo.TypeOf(lit), types.RelativeTo(c.pass.Pkg)))
+		}
+	case *ast.BinaryExpr:
+		if n.Op.String() == "+" && isString(c.pass.TypesInfo.TypeOf(n)) {
+			c.errorf(n, "concatenates strings, which allocates")
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "append") {
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				c.checkAppend(call, lhs)
+				c.handledAppends[call] = true
+			}
+		}
+	case *ast.CallExpr:
+		c.checkCall(n)
+	}
+	return true
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	switch {
+	case isBuiltin(c.pass, call.Fun, "make"):
+		c.errorf(call, "calls make, which allocates")
+		return
+	case isBuiltin(c.pass, call.Fun, "new"):
+		c.errorf(call, "calls new, which allocates")
+		return
+	case isBuiltin(c.pass, call.Fun, "append"):
+		// Bare append expression whose result is not self-assigned: the
+		// assignment case is handled (and possibly allowed) in visit; an
+		// append reaching here is a grow-into-new-variable append.
+		if !c.handledAppends[call] {
+			c.checkAppend(call, nil)
+		}
+		return
+	}
+	if c.pass.TypesInfo.Types[call.Fun].IsType() {
+		c.checkConversion(call)
+		return
+	}
+	if c.isColdAllocPkgCall(call) && !c.coldOK[call] {
+		c.errorf(call, "calls %s on the steady path: fmt/log/errors allocate; only return statements and panic arguments may", types.ExprString(call.Fun))
+	}
+	c.checkBoxing(call)
+}
+
+// checkAppend allows the two amortized idioms: self-append (x = append(x,
+// ...)) and refill of preallocated backing (append(x[:0], ...) /
+// append(x[:n], ...)).
+func (c *checker) checkAppend(call *ast.CallExpr, lhs ast.Expr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if _, ok := call.Args[0].(*ast.SliceExpr); ok {
+		return // append(x[:0], ...): refilling preallocated backing
+	}
+	if lhs != nil && types.ExprString(lhs) == types.ExprString(call.Args[0]) {
+		return // x = append(x, ...): amortized growth of persistent scratch
+	}
+	c.errorf(call, "appends into fresh storage (%s): only self-append (x = append(x, ...)) or preallocated refill (append(x[:0], ...)) are allocation-free", types.ExprString(call.Args[0]))
+}
+
+// checkConversion flags conversions that allocate: string <-> byte/rune
+// slices, and boxing a non-pointer concrete value into an interface.
+func (c *checker) checkConversion(call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	to := c.pass.TypesInfo.TypeOf(call.Fun)
+	from := c.pass.TypesInfo.TypeOf(call.Args[0])
+	switch {
+	case isString(to) && !isString(from), !isString(to) && isSlice(to) && isString(from):
+		c.errorf(call, "converts between string and slice, which copies and allocates")
+	case types.IsInterface(to) && !types.IsInterface(from) && !isPointerLike(from):
+		c.errorf(call, "boxes a %s into an interface, which heap-allocates the value", types.TypeString(from, types.RelativeTo(c.pass.Pkg)))
+	}
+}
+
+// checkBoxing flags call arguments whose concrete non-pointer values land
+// in interface parameters (fmt-style boxing without fmt). Sanctioned
+// cold-path calls (fmt/log/errors inside returns and panic arguments) may
+// box freely: the cold path is allowed to allocate wholesale.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	if c.coldOK[call] {
+		return
+	}
+	sigT := c.pass.TypesInfo.TypeOf(call.Fun)
+	if sigT == nil {
+		return
+	}
+	sig, ok := sigT.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		at := c.pass.TypesInfo.TypeOf(arg)
+		if at == nil {
+			continue
+		}
+		if types.IsInterface(pt) && !types.IsInterface(at) && !isPointerLike(at) && !isUntypedNil(c.pass, arg) {
+			c.errorf(arg, "passes a %s to an interface parameter, which may box it onto the heap", types.TypeString(at, types.RelativeTo(c.pass.Pkg)))
+		}
+	}
+}
+
+// isColdAllocPkgCall reports whether call targets the fmt, log or errors
+// packages — the sanctioned-on-cold-paths allocators.
+func (c *checker) isColdAllocPkgCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := c.pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "fmt", "log", "errors":
+		return true
+	}
+	return false
+}
+
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltinObj := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltinObj
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// isPointerLike reports types whose interface boxing does not allocate a
+// copy of the pointed-to value: pointers, maps, channels, funcs, unsafe
+// pointers. (Slices and strings still copy headers onto the heap.)
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+func isUntypedNil(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.IsNil()
+}

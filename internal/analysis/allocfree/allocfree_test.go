@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/allocfree"
+	"longtailrec/internal/analysis/atest"
+)
+
+func TestAllocFree(t *testing.T) {
+	atest.Run(t, atest.TestData(t), allocfree.Analyzer, "a")
+}

@@ -1,0 +1,144 @@
+// Package a exercises the allocfree analyzer: the heap-escaping
+// constructs it rejects inside //ltr:allocfree functions and the
+// amortized idioms it allows.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct{ x, y int }
+
+//ltr:allocfree
+func BadMake(n int) {
+	s := make([]int, n) // want `calls make`
+	_ = s
+}
+
+//ltr:allocfree
+func BadNew() {
+	p := new(point) // want `calls new`
+	_ = p
+}
+
+//ltr:allocfree
+func BadSliceLit() {
+	s := []int{1, 2, 3} // want `builds a \[\]int literal`
+	_ = s
+}
+
+//ltr:allocfree
+func BadMapLit() {
+	m := map[string]int{} // want `builds a map\[string\]int literal`
+	_ = m
+}
+
+//ltr:allocfree
+func BadPtrLit() *point {
+	return &point{1, 2} // want `takes the address of a composite literal`
+}
+
+// OKValueLit is clean: a value composite literal stays on the stack.
+//
+//ltr:allocfree
+func OKValueLit() point {
+	return point{1, 2}
+}
+
+//ltr:allocfree
+func BadClosure(n int) func() int {
+	return func() int { return n } // want `contains a function literal`
+}
+
+//ltr:allocfree
+func BadGo() {
+	go helper() // want `starts a goroutine`
+}
+
+//ltr:allocfree
+func BadConcat(a, b string) string {
+	return a + b // want `concatenates strings`
+}
+
+//ltr:allocfree
+func BadAppend(dst, src []int) []int {
+	out := append(dst, src...) // want `appends into fresh storage \(dst\)`
+	return out
+}
+
+// OKAppend is clean: self-append and preallocated refill are the two
+// amortized idioms.
+//
+//ltr:allocfree
+func OKAppend(buf []int, v int) []int {
+	buf = append(buf, v)
+	buf = append(buf[:0], v)
+	return buf
+}
+
+//ltr:allocfree
+func BadFmt(err error) {
+	fmt.Println(err) // want `calls fmt\.Println on the steady path`
+}
+
+//ltr:allocfree
+func BadErrors(msg string) {
+	err := errors.New(msg) // want `calls errors\.New on the steady path`
+	_ = err
+}
+
+// OKColdReturn is clean: error construction inside a return statement is
+// the cold path.
+//
+//ltr:allocfree
+func OKColdReturn(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative: %d", n)
+	}
+	return nil
+}
+
+// OKPanic is clean: panic arguments are cold.
+//
+//ltr:allocfree
+func OKPanic(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n))
+	}
+}
+
+//ltr:allocfree
+func BadBox(n int) {
+	sink(n) // want `passes a int to an interface parameter`
+}
+
+// OKBoxPointer is clean: interfaces hold pointers directly, no copy.
+//
+//ltr:allocfree
+func OKBoxPointer(p *point) {
+	sink(p)
+}
+
+//ltr:allocfree
+func BadConv(b []byte) string {
+	return string(b) // want `converts between string and slice`
+}
+
+// OKIgnored shows suppression with a mandatory reason.
+//
+//ltr:allocfree
+func OKIgnored(n int) int {
+	//ltr:ignore allocfree non-escaping closure, inlined by the compiler
+	f := func() int { return n }
+	return f()
+}
+
+// FreeAlloc is clean: unannotated functions may allocate freely.
+func FreeAlloc(n int) []int {
+	return make([]int, n)
+}
+
+func helper() {}
+
+func sink(v interface{}) { _ = v }

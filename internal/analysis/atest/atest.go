@@ -1,0 +1,285 @@
+// Package atest is a minimal analysistest replacement: it loads packages
+// from an analyzer's testdata/src tree, runs the analyzer (with its
+// Requires and fact flow) through the shared driver runner, and checks
+// the reported diagnostics against `// want "regexp"` comments in the
+// test sources.
+//
+// The stock golang.org/x/tools/go/analysis/analysistest is not part of
+// the toolchain's vendored x/tools subset, so this harness re-implements
+// the slice of it the suite needs: stdlib imports are type-checked from
+// GOROOT source (offline), sibling testdata packages resolve recursively
+// (so cross-package fact tests work), and want expectations match
+// diagnostics line by line.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"longtailrec/internal/analysis/driver"
+)
+
+// TestData returns the caller's testdata directory (go test runs with the
+// package directory as working directory).
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("atest: getwd: %v", err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// One fileset and one source importer per test binary: the importer
+// type-checks stdlib packages from GOROOT source and caches them, so only
+// the first Run in a binary pays that cost.
+var (
+	loadMu      sync.Mutex
+	sharedFset  = token.NewFileSet()
+	stdImporter types.Importer
+)
+
+// Run loads each package path from testdata/src/<path>, runs the analyzer
+// over the loaded program, and checks diagnostics in the named packages
+// against their // want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	if stdImporter == nil {
+		stdImporter = importer.ForCompiler(sharedFset, "source", nil)
+	}
+
+	imp := &testImporter{
+		srcRoot: filepath.Join(testdata, "src"),
+		pkgs:    map[string]*driver.Package{},
+	}
+	roots := map[string]bool{}
+	for _, path := range paths {
+		if _, err := imp.Import(path); err != nil {
+			t.Fatalf("atest: loading %s: %v", path, err)
+		}
+		roots[path] = true
+	}
+
+	prog := driver.NewProgram(sharedFset, imp.order)
+	diags, err := prog.Analyze([]*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("atest: running %s: %v", a.Name, err)
+	}
+
+	// Only the named packages' files carry expectations; diagnostics the
+	// analyzer reports in helper dependency packages are out of scope.
+	checkFiles := map[string]bool{}
+	for _, p := range imp.order {
+		if !roots[p.Path] {
+			continue
+		}
+		for _, f := range p.Files {
+			checkFiles[sharedFset.Position(f.Pos()).Filename] = true
+		}
+	}
+
+	wants := collectWants(t, imp.order, roots)
+	matched := map[*want]bool{}
+	for _, d := range diags {
+		if !checkFiles[d.Pos.Filename] {
+			continue
+		}
+		var ok bool
+		for _, w := range wants[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			if !matched[w] && w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", posString(d.Pos), d.Message)
+		}
+	}
+	var all []*want
+	for _, ws := range wants {
+		all = append(all, ws...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].file != all[j].file {
+			return all[i].file < all[j].file
+		}
+		return all[i].line < all[j].line
+	})
+	for _, w := range all {
+		if !matched[w] {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(p.Filename), p.Line, p.Column)
+}
+
+// testImporter resolves import paths against testdata/src first (loading
+// those packages from source, recursively) and falls back to the GOROOT
+// source importer for everything else.
+type testImporter struct {
+	srcRoot string
+	pkgs    map[string]*driver.Package
+	order   []*driver.Package // dependency order: deps before importers
+}
+
+func (imp *testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := imp.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	dir := filepath.Join(imp.srcRoot, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return imp.loadDir(path, dir)
+	}
+	return stdImporter.Import(path)
+}
+
+func (imp *testImporter) loadDir(path, dir string) (*types.Package, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &driver.Package{Path: path, Files: files, Types: tpkg, Info: info}
+	imp.pkgs[path] = p
+	imp.order = append(imp.order, p) // deps were appended during Check's imports
+	return tpkg, nil
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants extracts `// want "re" `+"`re`"+` ...` expectations from
+// the named packages' comments, keyed by the comment's line.
+func collectWants(t *testing.T, pkgs []*driver.Package, roots map[string]bool) map[lineKey][]*want {
+	t.Helper()
+	wants := map[lineKey][]*want{}
+	for _, p := range pkgs {
+		if !roots[p.Path] {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := sharedFset.Position(c.Pos())
+					for _, pat := range parseWant(t, pos, c.Text) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", posString(pos), pat, err)
+						}
+						k := lineKey{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], &want{pos.Filename, pos.Line, re})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant returns the quoted patterns of a `// want` (or `/* want */`)
+// comment, empty for other comments. Patterns are Go string literals:
+// "..." or backquoted. The block form exists so an expectation can sit on
+// the same line as a flagged line comment (comments cannot nest).
+func parseWant(t *testing.T, pos token.Position, text string) []string {
+	t.Helper()
+	if strings.HasPrefix(text, "/*") {
+		text = strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/")
+	} else {
+		text = strings.TrimPrefix(text, "//")
+	}
+	body, ok := strings.CutPrefix(strings.TrimSpace(text), "want ")
+	if !ok {
+		return nil
+	}
+	var pats []string
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := 1
+			for end < len(rest) {
+				if rest[end] == '\\' {
+					end += 2
+					continue
+				}
+				if rest[end] == '"' {
+					break
+				}
+				end++
+			}
+			if end >= len(rest) {
+				t.Fatalf("%s: unterminated want pattern", posString(pos))
+			}
+			lit = rest[:end+1]
+			rest = rest[end+1:]
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern", posString(pos))
+			}
+			lit = rest[:end+2]
+			rest = rest[end+2:]
+		default:
+			t.Fatalf("%s: want patterns must be quoted strings, got %q", posString(pos), rest)
+		}
+		pat, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want literal %s: %v", posString(pos), lit, err)
+		}
+		pats = append(pats, pat)
+		rest = strings.TrimSpace(rest)
+	}
+	return pats
+}

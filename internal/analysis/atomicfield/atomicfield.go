@@ -1,0 +1,214 @@
+// Package atomicfield enforces the epoch/shared-pointer discipline: a
+// struct field that is accessed through sync/atomic anywhere must be
+// accessed atomically everywhere (mixing atomic.LoadUint64(&s.f) with a
+// plain read of s.f is a data race the race detector only sees on the
+// racy interleaving), and a value of one of the typed atomic types
+// (atomic.Uint64, atomic.Pointer[T], ...) must never be copied — a copy
+// forks the counter and silently decouples readers from writers.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"longtailrec/internal/analysis/directives"
+)
+
+// IsAtomicField is the exported fact: the field is accessed via
+// sync/atomic in its defining package, so every package must access it
+// atomically.
+type IsAtomicField struct{}
+
+func (*IsAtomicField) AFact()         {}
+func (*IsAtomicField) String() string { return "atomicField" }
+
+// Analyzer is the atomicfield checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "atomicfield",
+	Doc:       "check that fields accessed via sync/atomic are accessed atomically everywhere, and that typed atomic values (atomic.Uint64, atomic.Pointer, ...) are never copied",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*IsAtomicField)(nil)},
+	Run:       run,
+}
+
+// rawAtomicFuncs are the sync/atomic functions whose &-argument marks a
+// field as atomically accessed.
+func isRawAtomicFunc(obj types.Object) bool {
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, p := range []string{"Load", "Store", "Add", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(obj.Name(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := directives.NewSuppressor(pass, "atomicfield")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: collect the objects (fields and package-level vars) that are
+	// accessed through raw sync/atomic calls, and remember the exact
+	// &-argument expressions so pass 2 does not flag them.
+	atomicObjs := map[types.Object]bool{}
+	sanctioned := map[ast.Expr]bool{}
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		var callee types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			callee = pass.TypesInfo.Uses[fun.Sel]
+		case *ast.Ident:
+			callee = pass.TypesInfo.Uses[fun]
+		}
+		if !isRawAtomicFunc(callee) || len(call.Args) == 0 {
+			return
+		}
+		un, ok := call.Args[0].(*ast.UnaryExpr)
+		if !ok {
+			return
+		}
+		obj := addressedObject(pass, un.X)
+		if obj == nil {
+			return
+		}
+		if obj.Pkg() == pass.Pkg {
+			atomicObjs[obj] = true
+			if _, isField := fieldOwner(obj); isField || obj.Parent() == pass.Pkg.Scope() {
+				pass.ExportObjectFact(obj, &IsAtomicField{})
+			}
+		}
+		sanctioned[un.X] = true
+	})
+
+	// Pass 2: flag every other use of those objects, plus uses of imported
+	// objects carrying the fact from their defining package.
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil), (*ast.Ident)(nil)}, func(n ast.Node) {
+		var obj types.Object
+		var expr ast.Expr
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if s, ok := pass.TypesInfo.Selections[n]; ok && s.Kind() == types.FieldVal {
+				obj, expr = s.Obj(), n
+			}
+		case *ast.Ident:
+			if o := pass.TypesInfo.Uses[n]; o != nil {
+				if v, ok := o.(*types.Var); ok && !v.IsField() && v.Parent() == pass.Pkg.Scope() {
+					obj, expr = o, n
+				}
+			}
+		}
+		if obj == nil || sanctioned[expr] {
+			return
+		}
+		marked := atomicObjs[obj]
+		if !marked && obj.Pkg() != pass.Pkg {
+			marked = pass.ImportObjectFact(obj, &IsAtomicField{})
+		}
+		if marked {
+			rep.Reportf(expr.Pos(), "non-atomic access to %s: the field is accessed via sync/atomic elsewhere, so every access must go through sync/atomic", obj.Name())
+		}
+	})
+
+	// Pass 3: typed atomic values must not be copied. Any expression whose
+	// type is a sync/atomic named type appearing in a value context
+	// (assignment source, call argument, return result, composite-literal
+	// element) is a copy — method calls select through a pointer and &x
+	// has pointer type, so neither trips this.
+	ins.Preorder([]ast.Node{
+		(*ast.AssignStmt)(nil), (*ast.ValueSpec)(nil), (*ast.CallExpr)(nil),
+		(*ast.ReturnStmt)(nil), (*ast.CompositeLit)(nil),
+	}, func(n ast.Node) {
+		flag := func(e ast.Expr, what string) {
+			if t := atomicValueType(pass, e); t != "" {
+				rep.Reportf(e.Pos(), "%s copies %s value %s: typed atomic values must be accessed through their methods and never copied", what, t, types.ExprString(e))
+			}
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				flag(rhs, "assignment")
+			}
+		case *ast.ValueSpec:
+			for _, v := range n.Values {
+				flag(v, "declaration")
+			}
+		case *ast.CallExpr:
+			if pass.TypesInfo.Types[n.Fun].IsType() {
+				return // conversion, not a call (conversions of atomics do not typecheck anyway)
+			}
+			for _, a := range n.Args {
+				flag(a, "call argument")
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				flag(r, "return statement")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				flag(el, "composite literal")
+			}
+		}
+	})
+	return nil, nil
+}
+
+// addressedObject resolves the &-operand of a raw atomic call to the field
+// or variable object it addresses.
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return pass.TypesInfo.Uses[e.Sel]
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[e]
+	case *ast.IndexExpr:
+		return addressedObject(pass, e.X)
+	}
+	return nil
+}
+
+// fieldOwner reports whether obj is a struct field.
+func fieldOwner(obj types.Object) (*types.Var, bool) {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, false
+	}
+	return v, true
+}
+
+// atomicValueType returns the display name of e's type when it is one of
+// the sync/atomic typed values (non-pointer), else "".
+func atomicValueType(pass *analysis.Pass, e ast.Expr) string {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		// Instantiated generics (atomic.Pointer[T]) are *types.Named too;
+		// aliases and pointers are not copies.
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value":
+		return "atomic." + obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/atest"
+	"longtailrec/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	atest.Run(t, atest.TestData(t), atomicfield.Analyzer, "a")
+}

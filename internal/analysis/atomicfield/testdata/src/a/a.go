@@ -1,0 +1,66 @@
+// Package a exercises the atomicfield analyzer: mixed atomic/plain access
+// to fields and globals, typed-atomic copies, cross-package facts.
+package a
+
+import (
+	"sync/atomic"
+
+	"b"
+)
+
+type Counter struct {
+	n uint64
+	m uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *Counter) BadRead() uint64 {
+	return c.n // want `non-atomic access to n`
+}
+
+func (c *Counter) GoodRead() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// PlainOK is clean: m is never touched by sync/atomic.
+func (c *Counter) PlainOK() uint64 {
+	return c.m
+}
+
+type Typed struct {
+	epoch atomic.Uint64
+}
+
+func Copy(t *Typed) {
+	e := t.epoch // want `assignment copies atomic\.Uint64 value t\.epoch`
+	_ = e.Load()
+}
+
+// MethodOK is clean: method calls select through the pointer.
+func MethodOK(t *Typed) uint64 {
+	return t.epoch.Load()
+}
+
+var global int64
+
+func BumpGlobal() {
+	atomic.AddInt64(&global, 1)
+}
+
+func BadGlobal() int64 {
+	return global // want `non-atomic access to global`
+}
+
+// CrossPackage proves the fact exported by package b reaches importers.
+func CrossPackage(s *b.Shared) uint64 {
+	return s.Epoch // want `non-atomic access to Epoch`
+}
+
+// IgnoredRead shows suppression with a mandatory reason.
+func IgnoredRead(c *Counter) uint64 {
+	//ltr:ignore atomicfield init-time read before any goroutine starts
+	return c.n
+}

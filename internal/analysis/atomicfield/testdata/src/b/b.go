@@ -1,0 +1,13 @@
+// Package b marks an exported field atomic so package a can test that the
+// IsAtomicField fact crosses the package boundary.
+package b
+
+import "sync/atomic"
+
+type Shared struct {
+	Epoch uint64
+}
+
+func (s *Shared) Bump() {
+	atomic.AddUint64(&s.Epoch, 1)
+}

@@ -1,0 +1,100 @@
+// Package ctxflow enforces context propagation on the Request query path:
+// a function that receives a context.Context must thread it through, never
+// mint a fresh root with context.Background() or context.TODO(). A fresh
+// root silently detaches the work from the caller's deadline and
+// cancellation — exactly the bug class the Request ctx plumbing (engine
+// extraction boundaries, per-τ-sweep checks, per-request batch contexts)
+// exists to prevent.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"longtailrec/internal/analysis/directives"
+)
+
+// Analyzer is the ctxflow checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "ctxflow",
+	Doc:      "check that functions receiving a context.Context never call context.Background or context.TODO; propagate the caller's context",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := directives.NewSuppressor(pass, "ctxflow")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var ftype *ast.FuncType
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			ftype, body = n.Type, n.Body
+		case *ast.FuncLit:
+			ftype, body = n.Type, n.Body
+		}
+		if body == nil || !hasContextParam(pass, ftype) {
+			return
+		}
+		ast.Inspect(body, func(m ast.Node) bool {
+			if _, ok := m.(*ast.FuncLit); ok {
+				return false // nested literals get their own visit (and verdict)
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := freshRootCall(pass, call); name != "" {
+				rep.Reportf(call.Pos(), "function receives a context.Context but calls context.%s(): propagate the caller's context so deadlines and cancellation reach this work", name)
+			}
+			return true
+		})
+	})
+	return nil, nil
+}
+
+// hasContextParam reports whether the function type declares a parameter
+// of type context.Context.
+func hasContextParam(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype == nil || ftype.Params == nil {
+		return false
+	}
+	for _, f := range ftype.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(f.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// freshRootCall returns "Background" or "TODO" when call mints a fresh
+// root context, else "".
+func freshRootCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return ""
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name()
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/atest"
+	"longtailrec/internal/analysis/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, atest.TestData(t), ctxflow.Analyzer, "a")
+}

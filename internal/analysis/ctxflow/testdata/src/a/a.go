@@ -1,0 +1,48 @@
+// Package a exercises the ctxflow analyzer: fresh context roots inside
+// functions that already receive a context.
+package a
+
+import "context"
+
+func Bad(ctx context.Context) error {
+	return work(context.Background()) // want `calls context\.Background\(\)`
+}
+
+func BadTODO(ctx context.Context) {
+	_ = work(context.TODO()) // want `calls context\.TODO\(\)`
+}
+
+// Good is clean: the caller's context flows through.
+func Good(ctx context.Context) error {
+	return work(ctx)
+}
+
+// Root is clean: no context parameter, so minting a root is this
+// function's own legitimate decision.
+func Root() error {
+	return work(context.Background())
+}
+
+// NestedOK is clean: the literal has no context parameter of its own, so
+// the fresh root belongs to it, not to the enclosing function.
+func NestedOK(ctx context.Context) {
+	go func() {
+		_ = work(context.Background())
+	}()
+	_ = ctx
+}
+
+func NestedBad(ctx context.Context) {
+	f := func(inner context.Context) {
+		_ = work(context.Background()) // want `calls context\.Background\(\)`
+	}
+	f(ctx)
+}
+
+// Ignored shows suppression with a mandatory reason.
+func Ignored(ctx context.Context) {
+	//ltr:ignore ctxflow audit trail must survive request cancellation
+	_ = work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

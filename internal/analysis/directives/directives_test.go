@@ -1,0 +1,12 @@
+package directives_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/atest"
+	"longtailrec/internal/analysis/directives"
+)
+
+func TestDirectives(t *testing.T) {
+	atest.Run(t, atest.TestData(t), directives.Analyzer, "a")
+}

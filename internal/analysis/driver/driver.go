@@ -1,0 +1,374 @@
+// Package driver loads Go packages and runs go/analysis analyzers over
+// them — the minimal multichecker core behind cmd/ltr-vet.
+//
+// The stock drivers (multichecker, analysistest) sit on go/packages; this
+// driver instead shells out to `go list -deps -export -json` and
+// type-checks every package of the current module from source in one
+// shared type world, importing everything outside the module (stdlib,
+// vendored golang.org/x/tools) from compiler export data. One shared
+// world means types.Object identities hold across module packages, so
+// analyzer facts flow between packages as plain in-memory values — no
+// fact serialization, no per-package child processes.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Diagnostic is one analyzer finding, position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Package is one source-loaded package of the program.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded set of packages sharing one FileSet and one type
+// world, in dependency order.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	facts *FactStore
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path, Dir string }
+	Imports    []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (a directory inside the target module),
+// type-checks every module package from source and prepares export-data
+// imports for the rest.
+func Load(dir string, patterns ...string) (*Program, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.String())
+	}
+
+	var listed []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %v", err)
+		}
+		listed = append(listed, &p)
+	}
+
+	// The module under analysis is the module of the last listed package:
+	// `go list -deps` emits dependencies first, so the roots (always in
+	// the target module) come last.
+	var modPath string
+	for _, p := range listed {
+		if p.Module != nil {
+			modPath = p.Module.Path
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("driver: no module found among listed packages")
+	}
+
+	fset := token.NewFileSet()
+	exports := map[string]string{} // import path -> export data file
+	sourcePkgs := map[string]*listedPackage{}
+	var order []string // module packages in dependency (go list post-) order
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Module != nil && p.Module.Path == modPath {
+			sourcePkgs[p.ImportPath] = p
+			order = append(order, p.ImportPath)
+			continue
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+
+	prog := &Program{Fset: fset, facts: NewFactStore()}
+	checked := map[string]*types.Package{}
+	imp := &progImporter{
+		checked: checked,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+
+	for _, path := range order {
+		lp := sourcePkgs[path]
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("driver: parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp, Sizes: sizes()}
+		tpkg, err := conf.Check(path, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: typecheck %s: %v", path, err)
+		}
+		checked[path] = tpkg
+		prog.Pkgs = append(prog.Pkgs, &Package{Path: path, Files: files, Types: tpkg, Info: info})
+	}
+	return prog, nil
+}
+
+// progImporter resolves module-internal imports to the shared source-
+// checked packages and everything else through gc export data.
+type progImporter struct {
+	checked map[string]*types.Package
+	gc      types.Importer
+}
+
+func (i *progImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok {
+		return p, nil
+	}
+	return i.gc.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		FileVersions: map[*ast.File]string{},
+	}
+}
+
+func sizes() types.Sizes {
+	if s := types.SizesFor("gc", runtime.GOARCH); s != nil {
+		return s
+	}
+	return types.SizesFor("gc", "amd64")
+}
+
+// Analyze runs the analyzers (and, transitively, their Requires) over
+// every package of the program in dependency order and returns the
+// position-sorted diagnostics.
+func (p *Program) Analyze(analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	type key struct {
+		a   *analysis.Analyzer
+		pkg *Package
+	}
+	results := map[key]interface{}{}
+
+	var runOne func(a *analysis.Analyzer, pkg *Package) (interface{}, error)
+	runOne = func(a *analysis.Analyzer, pkg *Package) (interface{}, error) {
+		k := key{a, pkg}
+		if r, ok := results[k]; ok {
+			return r, nil
+		}
+		deps := map[*analysis.Analyzer]interface{}{}
+		for _, req := range a.Requires {
+			r, err := runOne(req, pkg)
+			if err != nil {
+				return nil, err
+			}
+			deps[req] = r
+		}
+		pass := p.newPass(a, pkg, deps, func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Pos:      p.Fset.Position(d.Pos),
+				Analyzer: a.Name,
+				Message:  d.Message,
+			})
+		})
+		res, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+		}
+		if a.ResultType != nil && res != nil && reflect.TypeOf(res) != a.ResultType {
+			return nil, fmt.Errorf("analyzer %s returned %T, want %v", a.Name, res, a.ResultType)
+		}
+		results[k] = res
+		return res, nil
+	}
+
+	for _, pkg := range p.Pkgs {
+		for _, a := range analyzers {
+			if _, err := runOne(a, pkg); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// newPass assembles an analysis.Pass over one package for one analyzer.
+func (p *Program) newPass(a *analysis.Analyzer, pkg *Package, deps map[*analysis.Analyzer]interface{}, report func(analysis.Diagnostic)) *analysis.Pass {
+	return &analysis.Pass{
+		Analyzer:          a,
+		Fset:              p.Fset,
+		Files:             pkg.Files,
+		Pkg:               pkg.Types,
+		TypesInfo:         pkg.Info,
+		TypesSizes:        sizes(),
+		ResultOf:          deps,
+		Report:            report,
+		ReadFile:          os.ReadFile,
+		ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return p.facts.ImportObject(a, obj, fact) },
+		ExportObjectFact:  func(obj types.Object, fact analysis.Fact) { p.facts.ExportObject(a, obj, fact) },
+		ImportPackageFact: func(tp *types.Package, fact analysis.Fact) bool { return p.facts.ImportPackage(a, tp, fact) },
+		ExportPackageFact: func(fact analysis.Fact) { p.facts.ExportPackage(a, pkg.Types, fact) },
+		AllObjectFacts:    func() []analysis.ObjectFact { return p.facts.AllObjects(a) },
+		AllPackageFacts:   func() []analysis.PackageFact { return p.facts.AllPackages(a) },
+	}
+}
+
+// FactStore holds analyzer facts keyed by (analyzer, object/package, fact
+// type). Object identity works across packages because the whole module
+// shares one type world.
+type FactStore struct {
+	obj map[objFactKey]analysis.Fact
+	pkg map[pkgFactKey]analysis.Fact
+}
+
+type objFactKey struct {
+	a   *analysis.Analyzer
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	a   *analysis.Analyzer
+	pkg *types.Package
+	t   reflect.Type
+}
+
+// NewFactStore returns an empty fact store.
+func NewFactStore() *FactStore {
+	return &FactStore{obj: map[objFactKey]analysis.Fact{}, pkg: map[pkgFactKey]analysis.Fact{}}
+}
+
+// ExportObject records a fact about obj.
+func (s *FactStore) ExportObject(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) {
+	s.obj[objFactKey{a, obj, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportObject copies a previously exported fact about obj into fact.
+func (s *FactStore) ImportObject(a *analysis.Analyzer, obj types.Object, fact analysis.Fact) bool {
+	got, ok := s.obj[objFactKey{a, obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// ExportPackage records a fact about pkg.
+func (s *FactStore) ExportPackage(a *analysis.Analyzer, pkg *types.Package, fact analysis.Fact) {
+	s.pkg[pkgFactKey{a, pkg, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportPackage copies a previously exported fact about pkg into fact.
+func (s *FactStore) ImportPackage(a *analysis.Analyzer, pkg *types.Package, fact analysis.Fact) bool {
+	got, ok := s.pkg[pkgFactKey{a, pkg, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(got).Elem())
+	return true
+}
+
+// AllObjects lists the analyzer's object facts.
+func (s *FactStore) AllObjects(a *analysis.Analyzer) []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, f := range s.obj {
+		if k.a == a {
+			out = append(out, analysis.ObjectFact{Object: k.obj, Fact: f})
+		}
+	}
+	return out
+}
+
+// AllPackages lists the analyzer's package facts.
+func (s *FactStore) AllPackages(a *analysis.Analyzer) []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for k, f := range s.pkg {
+		if k.a == a {
+			out = append(out, analysis.PackageFact{Package: k.pkg, Fact: f})
+		}
+	}
+	return out
+}
+
+// NewProgram assembles a Program from pre-loaded packages (dependency
+// order) — the entry point for the analysistest-style harness, which
+// parses and type-checks testdata packages itself.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{Fset: fset, Pkgs: pkgs, facts: NewFactStore()}
+}

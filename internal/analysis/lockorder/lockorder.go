@@ -1,0 +1,195 @@
+// Package lockorder enforces the shared-view lock protocol introduced by
+// the shared-base sharding refactor (internal/graph/shared.go):
+//
+//   - The group fold runs only with EVERY view's write lock held, taken in
+//     construction order. Functions marked //ltr:groupfold may therefore
+//     only be called from audited //ltr:lockentry (or other groupfold)
+//     functions.
+//   - Taking a //ltr:viewmu lock inside a loop, or taking the viewmu of
+//     two distinct values in one function, is multi-view locking — only
+//     lockentry functions may do it, and a loop that locks views must
+//     iterate ascending (construction order); a descending lock loop is an
+//     error even in a lockentry function.
+//   - A //ltr:guardmu mutex (the universe-growth serializer) may only be
+//     locked by lockentry functions.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+
+	"longtailrec/internal/analysis/directives"
+)
+
+// Analyzer is the lockorder checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "lockorder",
+	Doc:      "check the shared-view lock protocol: group folds and multi-view locking only in //ltr:lockentry functions, view-lock loops ascending",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	viewMu := directives.MarkedFieldObjects(pass, directives.VerbViewMu)
+	guardMu := directives.MarkedFieldObjects(pass, directives.VerbGuardMu)
+	lockEntry := directives.MarkedFuncObjects(pass, directives.VerbLockEntry)
+	groupFold := directives.MarkedFuncObjects(pass, directives.VerbGroupFold)
+	if len(viewMu) == 0 && len(guardMu) == 0 && len(groupFold) == 0 {
+		return nil, nil // package declares no lock protocol
+	}
+	rep := directives.NewSuppressor(pass, "lockorder")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fn := n.(*ast.FuncDecl)
+		if fn.Body == nil {
+			return
+		}
+		fnObj := pass.TypesInfo.Defs[fn.Name]
+		entry := fnObj != nil && (lockEntry[fnObj] || groupFold[fnObj])
+		checkFunc(pass, rep, fn, entry, viewMu, guardMu, lockEntry, groupFold)
+	})
+	return nil, nil
+}
+
+// checkFunc walks one function body tracking the enclosing-loop stack.
+func checkFunc(pass *analysis.Pass, rep *directives.Suppressor, fn *ast.FuncDecl, entry bool,
+	viewMu, guardMu, lockEntry, groupFold map[types.Object]bool) {
+
+	// lockedBases collects the distinct mutex-owner expressions whose
+	// viewmu this function locks; a second distinct base outside a
+	// lockentry function is hand-rolled multi-view locking.
+	lockedBases := map[string]token.Pos{}
+	var loops []ast.Node // enclosing for/range statements, innermost last
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n)
+			ast.Inspect(loopBody(n), walk)
+			loops = loops[:len(loops)-1]
+			return false
+		case *ast.CallExpr:
+			checkCall(pass, rep, fn, n, entry, loops, lockedBases, viewMu, guardMu, groupFold)
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch n := n.(type) {
+	case *ast.ForStmt:
+		return n.Body
+	case *ast.RangeStmt:
+		return n.Body
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, rep *directives.Suppressor, fn *ast.FuncDecl, call *ast.CallExpr,
+	entry bool, loops []ast.Node, lockedBases map[string]token.Pos,
+	viewMu, guardMu, groupFold map[types.Object]bool) {
+
+	// Group-fold reachability: only audited entry points may call a fold.
+	if callee := typeutil.Callee(pass.TypesInfo, call); callee != nil && groupFold[callee] {
+		if !entry {
+			rep.Reportf(call.Pos(), "call to group fold %s outside an //ltr:lockentry function: a fold requires every view's write lock, taken in construction order", callee.Name())
+		}
+	}
+
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	if method != "Lock" && method != "RLock" && method != "Unlock" && method != "RUnlock" {
+		return
+	}
+	muField := fieldObject(pass, sel.X)
+	if muField == nil {
+		return
+	}
+	switch {
+	case viewMu[muField]:
+		if !lockMethods[method] {
+			return // unlock order is the reverse; only acquisitions can deadlock
+		}
+		base := baseExprString(sel.X)
+		if len(loops) > 0 {
+			if descendingLoop(loops[len(loops)-1]) {
+				rep.Reportf(call.Pos(), "view lock %s taken in a descending loop: the group fold must take view locks in ascending construction order", method)
+			}
+			if !entry {
+				rep.Reportf(call.Pos(), "view lock %s taken in a loop outside an //ltr:lockentry function: multi-view locking must go through the audited group-fold entry points", method)
+			}
+		}
+		if prev, dup := firstOtherBase(lockedBases, base); dup && !entry {
+			rep.Reportf(call.Pos(), "second view lock (%s.%s after %s) outside an //ltr:lockentry function: locking two views must go through the audited group-fold entry points", base, method, prev)
+		}
+		if _, seen := lockedBases[base]; !seen {
+			lockedBases[base] = call.Pos()
+		}
+	case guardMu[muField]:
+		if !entry {
+			rep.Reportf(call.Pos(), "guard mutex %s.%s outside an //ltr:lockentry function: universe growth is serialized only through audited entry points", baseExprString(sel.X), method)
+		}
+	}
+}
+
+// fieldObject resolves an expression like g.mu (or s.views[i].mu) to the
+// struct-field object of the mutex, or nil.
+func fieldObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	se, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[se]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// baseExprString canonicalizes the owner of a mutex selector (the X of
+// X.mu) for distinct-base detection.
+func baseExprString(e ast.Expr) string {
+	if se, ok := e.(*ast.SelectorExpr); ok {
+		return types.ExprString(se.X)
+	}
+	return types.ExprString(e)
+}
+
+// firstOtherBase reports a previously locked base different from base.
+func firstOtherBase(locked map[string]token.Pos, base string) (string, bool) {
+	for b := range locked {
+		if b != base {
+			return b, true
+		}
+	}
+	return "", false
+}
+
+// descendingLoop reports whether a for statement steps its induction
+// variable downwards (i--, i -= 1).
+func descendingLoop(n ast.Node) bool {
+	f, ok := n.(*ast.ForStmt)
+	if !ok || f.Post == nil {
+		return false
+	}
+	switch post := f.Post.(type) {
+	case *ast.IncDecStmt:
+		return post.Tok == token.DEC
+	case *ast.AssignStmt:
+		return post.Tok == token.SUB_ASSIGN
+	}
+	return false
+}

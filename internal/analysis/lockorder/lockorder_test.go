@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/atest"
+	"longtailrec/internal/analysis/lockorder"
+)
+
+func TestLockOrder(t *testing.T) {
+	atest.Run(t, atest.TestData(t), lockorder.Analyzer, "a")
+}

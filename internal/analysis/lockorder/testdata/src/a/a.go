@@ -1,0 +1,75 @@
+// Package a exercises the lockorder analyzer: group-fold reachability,
+// view-lock loops, multi-view locking, descending loops, guard mutexes.
+package a
+
+import "sync"
+
+type View struct {
+	mu sync.RWMutex //ltr:viewmu
+	n  int
+}
+
+type State struct {
+	growMu sync.Mutex //ltr:guardmu
+	views  []*View
+}
+
+//ltr:groupfold
+func (s *State) fold() {}
+
+// lockAll is the audited entry point: looping over view locks and calling
+// the fold is legal here.
+//
+//ltr:lockentry
+func (s *State) lockAll() {
+	for _, v := range s.views {
+		v.mu.Lock()
+	}
+	s.fold()
+}
+
+// Read is clean: a single view lock, no loop, no second view.
+func (v *View) Read() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.n
+}
+
+func (s *State) badFold() {
+	s.fold() // want `call to group fold fold outside an //ltr:lockentry function`
+}
+
+func (s *State) badLoop() {
+	for _, v := range s.views {
+		v.mu.RLock() // want `view lock RLock taken in a loop outside an //ltr:lockentry function`
+		v.mu.RUnlock()
+	}
+}
+
+func badPair(a, b *View) {
+	a.mu.Lock()
+	b.mu.Lock() // want `second view lock \(b\.Lock after a\) outside an //ltr:lockentry function`
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Even an audited entry point must take view locks in ascending
+// construction order.
+//
+//ltr:lockentry
+func (s *State) badDescending() {
+	for i := len(s.views) - 1; i >= 0; i-- {
+		s.views[i].mu.Lock() // want `view lock Lock taken in a descending loop`
+	}
+}
+
+func (s *State) badGuard() {
+	s.growMu.Lock()   // want `guard mutex s\.Lock outside an //ltr:lockentry function`
+	s.growMu.Unlock() // want `guard mutex s\.Unlock outside an //ltr:lockentry function`
+}
+
+// okIgnored shows same-line suppression with a mandatory reason.
+func (s *State) okIgnored() {
+	s.growMu.Lock()   //ltr:ignore lockorder suppression smoke test, audited by hand
+	s.growMu.Unlock() //ltr:ignore lockorder suppression smoke test, audited by hand
+}

@@ -1,0 +1,238 @@
+// Package poolreturn checks that every sync.Pool.Get is paired with a Put
+// that dominates all exits of the function: either a deferred Put on the
+// same pool, or a Put call (or an ownership-transferring return of the
+// pooled value) on every control-flow path from the Get to the function's
+// exit — including early error returns and ctx-cancellation early-outs,
+// the paths that historically leak pooled engine scratch.
+package poolreturn
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"longtailrec/internal/analysis/directives"
+)
+
+// Analyzer is the poolreturn checker.
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolreturn",
+	Doc:      "check that every sync.Pool.Get has a Put (deferred, on all return paths, or ownership-transferring return) on the same pool",
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := directives.NewSuppressor(pass, "poolreturn")
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		var body *ast.BlockStmt
+		var g *cfg.CFG
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			body = n.Body
+			g = cfgs.FuncDecl(n)
+		case *ast.FuncLit:
+			body = n.Body
+			g = cfgs.FuncLit(n)
+		}
+		if body == nil || g == nil {
+			return
+		}
+		checkFunc(pass, rep, body, g)
+	})
+	return nil, nil
+}
+
+// poolOf returns the pool identity behind a call expression X.Get() /
+// X.Put(v): the types.Object of the field or variable holding the
+// sync.Pool, or nil if the call is not a pool method.
+func poolOf(pass *analysis.Pass, call *ast.CallExpr, method string) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "sync" || named.Obj().Name() != "Pool" {
+		return nil
+	}
+	switch x := sel.X.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[x]; ok {
+			return s.Obj()
+		}
+		return pass.TypesInfo.Uses[x.Sel]
+	}
+	return nil
+}
+
+// checkFunc verifies every Get directly inside body (nested function
+// literals are visited as their own functions).
+func checkFunc(pass *analysis.Pass, rep *directives.Suppressor, body *ast.BlockStmt, g *cfg.CFG) {
+	type getSite struct {
+		call *ast.CallExpr
+		pool types.Object
+		v    types.Object // variable the result is bound to, if any
+	}
+	var gets []getSite
+	deferred := map[types.Object]bool{} // pools with a deferred Put in this body
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed separately
+		case *ast.DeferStmt:
+			if p := poolOf(pass, n.Call, "Put"); p != nil {
+				deferred[p] = true
+			}
+		case *ast.AssignStmt:
+			// v := pool.Get().(*T)  |  v := pool.Get()
+			for i, rhs := range n.Rhs {
+				call := getCall(rhs)
+				if call == nil {
+					continue
+				}
+				p := poolOf(pass, call, "Get")
+				if p == nil {
+					continue
+				}
+				var v types.Object
+				// v := pool.Get().(*T) and the comma-ok form both bind the
+				// pooled value to the first (aligned) left-hand side.
+				if i < len(n.Lhs) && (len(n.Lhs) == len(n.Rhs) || len(n.Rhs) == 1) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if o := pass.TypesInfo.Defs[id]; o != nil {
+							v = o
+						} else {
+							v = pass.TypesInfo.Uses[id]
+						}
+					}
+				}
+				gets = append(gets, getSite{call: call, pool: p, v: v})
+			}
+		case *ast.ExprStmt:
+			if call := getCall(n.X); call != nil {
+				if p := poolOf(pass, call, "Get"); p != nil {
+					rep.Reportf(call.Pos(), "result of %s.Get() is discarded: the pooled value can never be Put back", types.ExprString(call.Fun.(*ast.SelectorExpr).X))
+					gets = append(gets, getSite{}) // consumed; skip path analysis
+				}
+			}
+		}
+		return true
+	})
+
+	for _, site := range gets {
+		if site.call == nil || deferred[site.pool] {
+			continue
+		}
+		if !putOnAllPaths(pass, g, site.call, site.pool, site.v) {
+			rep.Reportf(site.call.Pos(), "%s.Get() is not Put back on every path to the function's exit: defer the Put or return it on each path (including error and cancellation early-outs)", types.ExprString(site.call.Fun.(*ast.SelectorExpr).X))
+		}
+	}
+}
+
+// getCall unwraps `pool.Get()` possibly inside a type assertion.
+func getCall(e ast.Expr) *ast.CallExpr {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return call
+}
+
+// putOnAllPaths walks the CFG from the block containing the Get call and
+// reports whether every path to an exit passes a Put on the same pool or a
+// return statement carrying the pooled variable (ownership transfer).
+func putOnAllPaths(pass *analysis.Pass, g *cfg.CFG, get *ast.CallExpr, pool, v types.Object) bool {
+	clears := func(n ast.Node, from token.Pos) bool {
+		ok := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.CallExpr:
+				if m.Pos() > from && poolOf(pass, m, "Put") == pool {
+					ok = true
+				}
+			case *ast.ReturnStmt:
+				if m.Pos() > from && v != nil && returnsVar(pass, m, v) {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		return ok
+	}
+
+	var start *cfg.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if containsPos(n, get.Pos()) {
+				start = b
+			}
+		}
+	}
+	if start == nil {
+		return false // conservatively flag: the Get is in unreachable code
+	}
+
+	seen := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block, from token.Pos) bool
+	walk = func(b *cfg.Block, from token.Pos) bool {
+		if seen[b] {
+			return true // a cycle: termination is some other block's job
+		}
+		seen[b] = true
+		for _, n := range b.Nodes {
+			if clears(n, from) {
+				return true
+			}
+		}
+		if len(b.Succs) == 0 {
+			return false // reached an exit without a Put
+		}
+		for _, s := range b.Succs {
+			if !walk(s, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	return walk(start, get.Pos())
+}
+
+func containsPos(n ast.Node, p token.Pos) bool {
+	return n.Pos() <= p && p < n.End()
+}
+
+func returnsVar(pass *analysis.Pass, r *ast.ReturnStmt, v types.Object) bool {
+	found := false
+	for _, res := range r.Results {
+		ast.Inspect(res, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}

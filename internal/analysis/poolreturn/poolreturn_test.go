@@ -1,0 +1,12 @@
+package poolreturn_test
+
+import (
+	"testing"
+
+	"longtailrec/internal/analysis/atest"
+	"longtailrec/internal/analysis/poolreturn"
+)
+
+func TestPoolReturn(t *testing.T) {
+	atest.Run(t, atest.TestData(t), poolreturn.Analyzer, "a")
+}

@@ -1,0 +1,72 @@
+// Package a exercises the poolreturn analyzer: deferred Puts, Puts on
+// every path, ownership-transferring returns, leaks on early-outs.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+var pool sync.Pool
+
+type T struct{ buf []byte }
+
+// Deferred is clean: the deferred Put covers every exit.
+func Deferred() {
+	v := pool.Get().(*T)
+	defer pool.Put(v)
+	_ = v.buf
+}
+
+// AllPaths is clean: each return path Puts first.
+func AllPaths(err error) error {
+	v := pool.Get().(*T)
+	if err != nil {
+		pool.Put(v)
+		return err
+	}
+	pool.Put(v)
+	return nil
+}
+
+// Transfer is clean: returning the pooled value transfers ownership to
+// the caller.
+func Transfer() *T {
+	v := pool.Get().(*T)
+	return v
+}
+
+// CommaOK is clean: the comma-ok assertion still binds the value and the
+// deferred Put covers it.
+func CommaOK() {
+	v, _ := pool.Get().(*T)
+	defer pool.Put(v)
+	_ = v
+}
+
+func LeakOnCancel(ctx context.Context) error {
+	v := pool.Get().(*T) // want `pool\.Get\(\) is not Put back on every path`
+	if ctx.Err() != nil {
+		return ctx.Err() // the early-out skips the Put below
+	}
+	pool.Put(v)
+	return nil
+}
+
+func Discarded() {
+	pool.Get() // want `result of pool\.Get\(\) is discarded`
+}
+
+type Engine struct{ pool sync.Pool }
+
+func (e *Engine) NeverPut() {
+	s := e.pool.Get().(*T) // want `e\.pool\.Get\(\) is not Put back on every path`
+	_ = s
+}
+
+// Ignored shows above-the-line suppression with a mandatory reason.
+func Ignored() {
+	//ltr:ignore poolreturn ownership intentionally dropped in this test
+	v := pool.Get().(*T)
+	_ = v
+}

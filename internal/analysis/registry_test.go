@@ -1,0 +1,59 @@
+package analysis_test
+
+import (
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+
+	goanalysis "golang.org/x/tools/go/analysis"
+
+	ltranalysis "longtailrec/internal/analysis"
+	"longtailrec/internal/analysis/directives"
+	"longtailrec/internal/analysis/driver"
+)
+
+// TestRegistryMatchesDirectiveNames pins the registry to the name set
+// //ltr:ignore accepts: adding an analyzer without teaching the directive
+// language about it (or vice versa) fails here.
+func TestRegistryMatchesDirectiveNames(t *testing.T) {
+	var names []string
+	for _, a := range ltranalysis.All() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	if want := directives.SortedNames(); !reflect.DeepEqual(names, want) {
+		t.Fatalf("registry names %v do not match directives.AnalyzerNames %v", names, want)
+	}
+}
+
+func TestSuiteValidates(t *testing.T) {
+	if err := goanalysis.Validate(ltranalysis.All()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepoInvariantsClean is the regression gate: the full suite must run
+// clean over the module itself. Every accepted finding carries an
+// explained //ltr:ignore; a new diagnostic here is either a real
+// invariant violation or a missing audit note.
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := driver.Load(wd, "longtailrec/...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := prog.Analyze(ltranalysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -103,6 +103,8 @@ type engineScratch struct {
 // and between the τ sweeps, so a cancelled or deadlined query aborts
 // mid-walk; every return path leaves scr reusable, so the pooled
 // scratch is never leaked. A nil ctx costs nothing.
+//
+//ltr:allocfree
 func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, spec walkSpec) ([]ItemScore, error) {
 	if err := validateUser(u, e.g.NumUsers()); err != nil {
 		return nil, err

@@ -60,7 +60,11 @@ type Bipartite struct {
 	// read it without taking the graph lock. A group fold moves no epoch.
 	epoch atomic.Uint64
 
-	mu sync.RWMutex
+	// mu is this view's lock: RLock for reads of overlay/deltas, Lock for
+	// writes. Participates in the fleet-wide lock protocol — the group
+	// fold takes EVERY view's mu in construction order (ltr-vet enforces
+	// the protocol; see internal/analysis/lockorder).
+	mu sync.RWMutex //ltr:viewmu
 
 	// overlay maps a node id to its full live row (base row merged with
 	// every pending write this view accepted touching it). Rows are

@@ -61,6 +61,8 @@ func (g *Bipartite) PendingWrites() int {
 // from inside its own write path (a fold needs every sibling's lock, and
 // folding would silently publish sibling overlays early) — the fleet
 // layer drives shared folds instead (shard.Fleet.SetCompactThreshold).
+//
+//ltr:lockentry
 func (g *Bipartite) SetCompactThreshold(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -85,6 +87,8 @@ const (
 // ids and row snapshots are untouched. The epoch bumps: results computed
 // against the smaller universe may be stale (e.g. top-k sets that should
 // now consider the newcomer's future edges).
+//
+//ltr:lockentry
 func (g *Bipartite) AddUser() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -99,6 +103,8 @@ func (g *Bipartite) AddUser() int {
 
 // AddItem admits one new item to the universe, returning its index. Same
 // mechanics as AddUser.
+//
+//ltr:lockentry
 func (g *Bipartite) AddItem() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -139,6 +145,8 @@ func (g *Bipartite) growUnderLocks(newUsers, newItems int) uint64 {
 // is reached. Single-view graphs only (see SetCompactThreshold); a shared
 // view's threshold is ignored here and the fleet folds instead. Caller
 // holds g.mu for writing.
+//
+//ltr:lockentry
 func (g *Bipartite) maybeCompactLocked() {
 	if g.compactThreshold > 0 && g.overlayWrites >= g.compactThreshold && len(g.shared.views) == 1 {
 		g.shared.foldLocked()
@@ -231,6 +239,8 @@ func (g *Bipartite) applyRating(u, i int, w float64, mode writeMode, autoGrow bo
 // concurrent writers invalidates downstream caches with one epoch
 // transition instead of one per write. Caller holds g.mu for writing and
 // owns auto-compaction.
+//
+//ltr:lockentry
 func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoGrow bool) (added bool, delta uint64, err error) {
 	if autoGrow {
 		g.shared.growMu.Lock()
@@ -363,6 +373,8 @@ func (g *Bipartite) setEdgeLocked(v, w int, weight float64) {
 // into the base — so no epoch is bumped and cached results keyed on
 // epochs stay valid. Readers holding row slices from before the
 // compaction are unaffected (the old storage is never mutated).
+//
+//ltr:lockentry
 func (g *Bipartite) Compact() {
 	s := g.shared
 	if len(s.views) == 1 {

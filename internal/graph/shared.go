@@ -62,7 +62,7 @@ type sharedState struct {
 	// growMu serializes universe growth across views (each view's write
 	// lock alone cannot: two views would race the read-modify-swap).
 	// Lock order: view mu first, growMu second, never the reverse.
-	growMu sync.Mutex
+	growMu sync.Mutex //ltr:guardmu
 	// views lists every view in lock-acquisition order. Set at
 	// construction (Build, ShareViews) before any concurrent use and
 	// immutable afterwards.
@@ -70,6 +70,8 @@ type sharedState struct {
 }
 
 // lockAll takes every view's write lock in construction order.
+//
+//ltr:lockentry
 func (s *sharedState) lockAll() {
 	for _, v := range s.views {
 		v.mu.Lock()
@@ -170,6 +172,8 @@ func (g *Bipartite) OverlayDelta() []Rating {
 // a pre-fold base with post-fold overlays — and writes on other views are
 // each counted exactly once, because an item row's overlay delta on a
 // view covers only that view's own users.
+//
+//ltr:lockentry
 func (g *Bipartite) FleetItemPopularity() []int {
 	s := g.shared
 	for _, v := range s.views {
@@ -205,6 +209,8 @@ func (g *Bipartite) FleetItemPopularity() []int {
 // fleet-wide: no epoch moves (see the file comment). With all overlays
 // empty it only resets the pending-write counters — the base (and thus
 // Adjacency identity) is untouched.
+//
+//ltr:groupfold
 func (s *sharedState) foldLocked() {
 	views := s.views
 	pending := false

@@ -4,6 +4,7 @@
 package graph
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -241,6 +242,92 @@ func TestConcurrentSharedViews(t *testing.T) {
 			t.Fatalf("view %d merged popularity %v, want %v", i, got, want)
 		}
 	}
+}
+
+// TestConcurrentExtractDuringFold races per-view subgraph extractions
+// (Extract spans seed validation, BFS and the CSR build under ONE view
+// read lock) against group folds (which take EVERY view's write lock in
+// construction order) and per-view writers. This is the exact
+// interleaving the lockorder analyzer (internal/analysis/lockorder)
+// proves deadlock-free statically: folds are the only multi-lock takers,
+// and they acquire in the one global order. Run under -race via make
+// race.
+func TestConcurrentExtractDuringFold(t *testing.T) {
+	g, err := FromRatings(4, 6, []Rating{
+		{User: 0, Item: 0, Weight: 1},
+		{User: 1, Item: 1, Weight: 2},
+		{User: 2, Item: 2, Weight: 3},
+		{User: 3, Item: 3, Weight: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	views := ShareViews(g, 2)
+	var wg sync.WaitGroup
+	errc := make(chan error, 6)
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				u := s + 2*(i%2) // users s, s+2: this view only
+				if _, err := views[s].UpsertRatingAutoGrow(u, (s*3+i)%6, 1+float64(i%3)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			views[i%2].Compact()
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v := views[r]
+			ex := NewSubgraphExtractor(v)
+			for i := 0; i < 120; i++ {
+				sg, err := ex.Extract([]int{v.UserNode(r)}, 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				// The snapshot must be internally consistent: a symmetric
+				// adjacency never pairs a node with a degree from another
+				// epoch, so every local row sum matches the cached degree.
+				for l := 0; l < sg.Len(); l++ {
+					_, ws := sg.Adjacency().Row(l)
+					sum := 0.0
+					for _, w := range ws {
+						sum += w
+					}
+					if d := sg.Degrees()[l]; d != sum {
+						errc <- &tearError{node: l, deg: d, sum: sum}
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+type tearError struct {
+	node     int
+	deg, sum float64
+}
+
+func (e *tearError) Error() string {
+	return fmt.Sprintf("torn subgraph snapshot: local node %d cached degree %g, row sum %g", e.node, e.deg, e.sum)
 }
 
 var errShrunk = &shrinkError{}

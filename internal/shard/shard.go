@@ -46,6 +46,8 @@ import (
 // layer keeps them so), so a plain modulus balances the fleet; negative
 // ids (sentinels like the "raw popularity" -1) wrap into range rather
 // than panicking.
+//
+//ltr:allocfree
 func Assign(user, numShards int) int {
 	if numShards <= 1 {
 		return 0
