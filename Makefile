@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz fmt-check lint
+.PHONY: all build test race bench fuzz fmt-check lint lab-smoke
 
 all: build test
 
@@ -41,8 +41,17 @@ fmt-check:
 # (-short skips the whole-repo re-analysis; the testdata suites are the
 # point here).
 race:
-	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet|TestIngester' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/ ./internal/wal/
+	$(GO) test -race -run 'TestConcurrent|TestEngineConcurrentUse|TestRecommendBatch|TestCached|TestRouter|TestFleet|TestIngester' . ./internal/core/ ./internal/server/ ./internal/graph/ ./internal/cache/ ./internal/shard/ ./internal/wal/ ./internal/lab/
 	$(GO) test -race -short ./internal/analysis/...
+
+# Experiment-harness smoke: run the tiny grid (every scenario once at
+# small sizes), validate the freshly emitted report against the schema,
+# and re-validate the committed BENCH_9.json baseline — so neither the
+# harness, the schema nor the checked-in trajectory point can bit-rot.
+lab-smoke: build
+	$(GO) run ./cmd/ltr-lab -grid grids/smoke.json -out /tmp/ltr-lab-smoke.json -csv /tmp/ltr-lab-smoke.csv -quiet
+	$(GO) run ./cmd/ltr-lab -check /tmp/ltr-lab-smoke.json
+	$(GO) run ./cmd/ltr-lab -check BENCH_9.json
 
 # Short per-query benchmark pass with allocation counts — the regression
 # signal for the zero-allocation query engine, the Request query surface,

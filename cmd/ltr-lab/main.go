@@ -1,0 +1,112 @@
+// Command ltr-lab runs the declarative experiment harness: a grid spec
+// (grids/*.json) names scenarios crossed over axes, every cell drives the
+// real serving stack with deterministic seeds, and the run emits a
+// machine-readable BENCH_<n>.json trajectory point plus a flat CSV and a
+// human summary table.
+//
+//	ltr-lab -grid grids/baseline.json            # record a baseline
+//	ltr-lab -grid grids/smoke.json -out /tmp/s.json -csv /tmp/s.csv
+//	ltr-lab -check BENCH_9.json                  # validate a report
+//	ltr-lab -list                                # show scenarios
+//
+// Exit status is 1 when any cell's assertions fail (the report is still
+// written — a red cell is data), on harness errors, or when -check finds
+// an invalid report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"longtailrec/internal/lab"
+)
+
+func main() {
+	var (
+		gridFlag  = flag.String("grid", "", "grid spec file to run (e.g. grids/smoke.json)")
+		outFlag   = flag.String("out", "", "report output path (default BENCH_<bench_id>.json)")
+		csvFlag   = flag.String("csv", "", "CSV output path (default: report path with .csv)")
+		checkFlag = flag.String("check", "", "validate an existing report file and exit")
+		listFlag  = flag.Bool("list", false, "list registered scenarios and exit")
+		quietFlag = flag.Bool("quiet", false, "suppress per-cell progress lines")
+	)
+	flag.Parse()
+	if err := run(*gridFlag, *outFlag, *csvFlag, *checkFlag, *listFlag, *quietFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "ltr-lab: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(grid, out, csvPath, check string, list, quiet bool) error {
+	if list {
+		for _, name := range lab.Scenarios() {
+			fmt.Printf("%-28s %s\n", name, lab.ScenarioDoc(name))
+		}
+		return nil
+	}
+	if check != "" {
+		r, err := lab.ValidateFile(check)
+		if err != nil {
+			return err
+		}
+		if fails := r.FailedCells(); len(fails) > 0 {
+			return fmt.Errorf("%s: valid schema but %d cell(s) carry failing assertions", check, len(fails))
+		}
+		fmt.Printf("%s: valid (%s, bench_id %d, %d cells, all assertions pass)\n", check, r.Name, r.BenchID, len(r.Cells))
+		return nil
+	}
+	if grid == "" {
+		return fmt.Errorf("one of -grid, -check or -list is required")
+	}
+
+	spec, err := lab.LoadSpec(grid)
+	if err != nil {
+		return err
+	}
+	var progress io.Writer = os.Stderr
+	if quiet {
+		progress = io.Discard
+	}
+	report, err := lab.Run(spec, progress)
+	if err != nil {
+		return err
+	}
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%d.json", report.BenchID)
+	}
+	if csvPath == "" {
+		csvPath = strings.TrimSuffix(out, ".json") + ".csv"
+	}
+	if err := lab.WriteJSON(report, out); err != nil {
+		return err
+	}
+	if err := lab.WriteCSV(report, csvPath); err != nil {
+		return err
+	}
+	fmt.Print(lab.Summary(report))
+	fmt.Printf("wrote %s and %s\n", out, csvPath)
+	if fails := report.FailedCells(); len(fails) > 0 {
+		var lines []string
+		for _, c := range fails {
+			for _, a := range c.Failed() {
+				lines = append(lines, fmt.Sprintf("  %s [%s]: %s — %s", c.Experiment, axes(c.Axes), a.Name, a.Detail))
+			}
+		}
+		return fmt.Errorf("%d cell(s) failed assertions:\n%s", len(fails), strings.Join(lines, "\n"))
+	}
+	return nil
+}
+
+func axes(m map[string]any) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+	}
+	return strings.Join(parts, " ")
+}

@@ -22,6 +22,7 @@ import (
 	"longtailrec/internal/eval"
 	"longtailrec/internal/lda"
 	"longtailrec/internal/synth"
+	"longtailrec/internal/worlds"
 )
 
 // Scale sets the protocol sizes. The paper's values are TestRatings=4000,
@@ -57,20 +58,14 @@ type Env struct {
 	Panel []int
 }
 
-// NewEnv generates the corpus for kind ("movielens" or "douban"), holds
-// out the long-tail test ratings, and builds the System on the training
-// half. Deterministic given seed.
+// NewEnv generates the corpus for kind (a worlds.Kinds name: "movielens"
+// or "douban"), holds out the long-tail test ratings, and builds the
+// System on the training half. Deterministic given seed.
 func NewEnv(kind string, scale Scale, seed int64) (*Env, error) {
-	var cfg synth.Config
-	switch kind {
-	case "movielens":
-		cfg = synth.MovieLensLike()
-	case "douban":
-		cfg = synth.DoubanLike()
-	default:
-		return nil, fmt.Errorf("experiments: unknown dataset kind %q", kind)
+	cfg, err := worlds.Config(kind, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	cfg.Seed = seed
 	world, err := synth.Generate(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,179 @@
+package lab
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the report as stable, indented JSON.
+func WriteJSON(r *Report, path string) error {
+	if err := Validate(r); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("lab: encode report: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// WriteCSV writes the flat companion table: one row per (cell, metric),
+// axes rendered as a stable "k=v k=v" string, repeats joined with "|".
+// The spreadsheet-side view of the same numbers as the JSON.
+func WriteCSV(r *Report, path string) error {
+	var b strings.Builder
+	b.WriteString("experiment,scenario,axes,metric,mean,min,max,repeats\n")
+	for _, c := range r.Cells {
+		label := axesLabel(c.Axes)
+		for _, name := range c.MetricOrder {
+			m, ok := c.Metrics[name]
+			if !ok {
+				continue
+			}
+			reps := make([]string, len(m.Repeats))
+			for i, v := range m.Repeats {
+				reps[i] = formatFloat(v)
+			}
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s,%s,%s\n",
+				csvField(c.Experiment), csvField(c.Scenario), csvField(label), csvField(name),
+				formatFloat(m.Mean), formatFloat(m.Min), formatFloat(m.Max), strings.Join(reps, "|"))
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Validate checks a report's structural invariants — the schema the
+// committed BENCH_*.json baselines promise to later readers. make
+// lab-smoke runs this over both the freshly emitted report and the
+// committed baseline, so a drifting writer or a hand-edited baseline
+// fails CI.
+func Validate(r *Report) error {
+	if r == nil {
+		return fmt.Errorf("lab: validate: nil report")
+	}
+	if r.Schema != SchemaID {
+		return fmt.Errorf("lab: validate: schema %q, want %q", r.Schema, SchemaID)
+	}
+	if r.Name == "" {
+		return fmt.Errorf("lab: validate: empty name")
+	}
+	if r.BenchID < 0 {
+		return fmt.Errorf("lab: validate: bench_id %d < 0", r.BenchID)
+	}
+	if r.CreatedUnix <= 0 {
+		return fmt.Errorf("lab: validate: created_unix %d not positive", r.CreatedUnix)
+	}
+	if r.GoVersion == "" || r.GOOS == "" || r.GOARCH == "" {
+		return fmt.Errorf("lab: validate: incomplete environment provenance")
+	}
+	if r.GOMAXPROCS < 1 {
+		return fmt.Errorf("lab: validate: gomaxprocs %d < 1", r.GOMAXPROCS)
+	}
+	if r.Repeats < 1 {
+		return fmt.Errorf("lab: validate: repeats %d < 1", r.Repeats)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("lab: validate: no cells")
+	}
+	for i := range r.Cells {
+		if err := validateCell(&r.Cells[i]); err != nil {
+			return fmt.Errorf("lab: validate: cell %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateCell(c *CellResult) error {
+	if c.Experiment == "" || c.Scenario == "" {
+		return fmt.Errorf("empty experiment or scenario")
+	}
+	if c.Repeats < 1 {
+		return fmt.Errorf("repeats %d < 1", c.Repeats)
+	}
+	if c.Seconds < 0 {
+		return fmt.Errorf("negative wall seconds")
+	}
+	if len(c.Metrics) == 0 {
+		return fmt.Errorf("no metrics")
+	}
+	if len(c.MetricOrder) != len(c.Metrics) {
+		return fmt.Errorf("metric_order lists %d names for %d metrics", len(c.MetricOrder), len(c.Metrics))
+	}
+	ordered := map[string]bool{}
+	for _, name := range c.MetricOrder {
+		if _, ok := c.Metrics[name]; !ok {
+			return fmt.Errorf("metric_order names %q which is not in metrics", name)
+		}
+		if ordered[name] {
+			return fmt.Errorf("metric_order repeats %q", name)
+		}
+		ordered[name] = true
+	}
+	names := make([]string, 0, len(c.Metrics))
+	for name := range c.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := c.Metrics[name]
+		for _, v := range append([]float64{m.Mean, m.Min, m.Max}, m.Repeats...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("metric %q holds a non-finite value", name)
+			}
+		}
+		if len(m.Repeats) == 0 {
+			return fmt.Errorf("metric %q has no per-repeat values", name)
+		}
+		if len(m.Repeats) > c.Repeats {
+			return fmt.Errorf("metric %q records %d repeats for a %d-repeat cell", name, len(m.Repeats), c.Repeats)
+		}
+		const eps = 1e-9
+		if m.Min > m.Mean+eps || m.Mean > m.Max+eps {
+			return fmt.Errorf("metric %q violates min <= mean <= max (%g, %g, %g)", name, m.Min, m.Mean, m.Max)
+		}
+	}
+	for _, a := range c.Assertions {
+		if a.Name == "" {
+			return fmt.Errorf("assertion with empty name")
+		}
+	}
+	return nil
+}
+
+// ValidateFile parses and validates a report file — the `ltr-lab -check`
+// path. Unknown fields are rejected so schema drift is loud.
+func ValidateFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("lab: %s: %w", path, err)
+	}
+	if err := Validate(&r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}

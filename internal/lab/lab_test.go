@@ -1,0 +1,298 @@
+package lab
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCell executes one scenario over an ad-hoc cell and fails the test on
+// harness errors or failing assertions.
+func runCell(t *testing.T, scenario string, params map[string]any) *Recorder {
+	t.Helper()
+	rec := mustRunCell(t, scenario, params)
+	for _, a := range rec.asserts {
+		if !a.Pass {
+			t.Errorf("%s: assertion %s failed: %s", scenario, a.Name, a.Detail)
+		}
+	}
+	return rec
+}
+
+func mustRunCell(t *testing.T, scenario string, params map[string]any) *Recorder {
+	t.Helper()
+	sc, ok := scenarioRegistry[scenario]
+	if !ok {
+		t.Fatalf("scenario %s not registered", scenario)
+	}
+	c := &Cell{
+		Experiment: scenario,
+		Scenario:   scenario,
+		Axes:       map[string]any{},
+		Seed:       42,
+		params:     params,
+		used:       map[string]bool{},
+	}
+	rec := NewRecorder()
+	if err := sc.Run(c, 0, rec); err != nil {
+		t.Fatalf("%s: %v", scenario, err)
+	}
+	rec.finalize()
+	if bad := c.unused(); len(bad) > 0 {
+		t.Fatalf("%s: test cell passed unknown params: %v", scenario, bad)
+	}
+	return rec
+}
+
+func TestRecommendRequestScenario(t *testing.T) {
+	rec := runCell(t, "recommend_request", map[string]any{
+		"ops": 24.0, "warmup_ops": 4.0, "panel_users": 6.0, "k": 5.0,
+	})
+	if rec.metrics["ops"] != 24 {
+		t.Fatalf("ops metric %v, want 24", rec.metrics["ops"])
+	}
+	for _, m := range []string{"p50_ns", "p99_ns", "mean_ns"} {
+		if rec.metrics[m] <= 0 {
+			t.Errorf("metric %s not recorded", m)
+		}
+	}
+}
+
+func TestShardedWriteInvalidationScenario(t *testing.T) {
+	rec := runCell(t, "sharded_write_invalidation", map[string]any{
+		"shards": 2.0, "ops": 72.0, "reads_per_write": 8.0, "panel_users": 6.0,
+	})
+	if rec.metrics["writes"] <= 0 {
+		t.Fatal("no writes recorded")
+	}
+	hr, ok := rec.metrics["hit_rate"]
+	if !ok || hr < 0 || hr > 1 {
+		t.Fatalf("hit_rate %v out of range", hr)
+	}
+}
+
+func TestWALAppendScenario(t *testing.T) {
+	rec := runCell(t, "wal_append", map[string]any{
+		"writers": 4.0, "ops": 96.0, "users": 200.0, "items": 60.0, "per_user": 3.0,
+	})
+	if rec.metrics["acks_per_sec"] <= 0 {
+		t.Fatal("no durable throughput recorded")
+	}
+}
+
+func TestFleetGraphMemoryScenario(t *testing.T) {
+	rec := runCell(t, "fleet_graph_memory", map[string]any{"shards": 4.0})
+	ratio := rec.metrics["ratio_vs_single"]
+	if ratio <= 0 || ratio >= 1.5 {
+		t.Fatalf("shared-base ratio %v outside (0, 1.5)", ratio)
+	}
+}
+
+func TestColdStartStormScenario(t *testing.T) {
+	rec := runCell(t, "coldstart_storm", map[string]any{
+		"new_users": 48.0, "per_user": 2.0, "writers": 4.0,
+	})
+	if rec.metrics["grown_users"] != 48 {
+		t.Fatalf("grown_users %v, want 48", rec.metrics["grown_users"])
+	}
+}
+
+// TestConcurrentFlashCrowd is the harness's race-cut test: 8 readers
+// hammer an 8-user hot set through the cache + singleflight path, and the
+// scenario's own assertions (coalesced herd, hit-rate floor, identical
+// responses) must all pass under -race.
+func TestConcurrentFlashCrowd(t *testing.T) {
+	rec := runCell(t, "flash_crowd", map[string]any{
+		"hot_users": 8.0, "readers": 8.0, "ops": 512.0,
+	})
+	if hr := rec.metrics["hit_rate"]; hr < 0.9 {
+		t.Fatalf("flash crowd hit rate %v under 0.9", hr)
+	}
+}
+
+func TestWriteFloodScenario(t *testing.T) {
+	rec := runCell(t, "write_flood", map[string]any{
+		"shards": 4.0, "ops": 150.0, "writes_per_read": 4.0, "panel_users": 6.0,
+	})
+	if rec.metrics["shards_touched"] != 4 {
+		t.Fatalf("flood touched %v shards, want 4", rec.metrics["shards_touched"])
+	}
+}
+
+func TestZipfSoakScenario(t *testing.T) {
+	rec := runCell(t, "zipf_soak", map[string]any{
+		"users": 600.0, "items": 150.0, "per_user": 4.0, "workers": 4.0, "ops": 240.0,
+		"write_ratio": 0.2,
+	})
+	if rec.metrics["writes"] <= 0 {
+		t.Fatal("soak recorded no writes")
+	}
+}
+
+const gridJSON = `{
+	"name": "test-grid",
+	"bench_id": 99,
+	"repeats": 2,
+	"experiments": [
+		{"scenario": "recommend_request", "params": {"ops": 16, "warmup_ops": 2, "panel_users": 4, "k": 5}},
+		{"scenario": "write_flood", "axes": {"shards": [1, 2]}, "params": {"ops": 60, "panel_users": 4}}
+	]
+}`
+
+func TestRunGridEndToEnd(t *testing.T) {
+	spec, err := ParseSpec([]byte(gridJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 3 {
+		t.Fatalf("%d cells, want 3 (1 + 2-shard axis)", len(rep.Cells))
+	}
+	if fails := rep.FailedCells(); len(fails) > 0 {
+		t.Fatalf("failed cells: %+v", fails)
+	}
+	if err := Validate(rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Cells {
+		if len(c.Metrics["ops"].Repeats) != 2 {
+			t.Fatalf("cell %s/%s: ops has %d repeat values, want 2", c.Experiment, axesLabel(c.Axes), len(c.Metrics["ops"].Repeats))
+		}
+	}
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_99.json")
+	csvPath := filepath.Join(dir, "BENCH_99.csv")
+	if err := WriteJSON(rep, jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ValidateFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.BenchID != 99 || len(back.Cells) != 3 {
+		t.Fatalf("round-trip lost data: bench_id=%d cells=%d", back.BenchID, len(back.Cells))
+	}
+	if err := WriteCSV(rep, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	if lines[0] != "experiment,scenario,axes,metric,mean,min,max,repeats" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if !strings.Contains(string(csv), "write_flood,write_flood,shards=2,") {
+		t.Fatal("csv is missing the shards=2 write_flood rows")
+	}
+
+	sum := Summary(rep)
+	for _, want := range []string{"test-grid", "recommend_request", "shards=2", "pass"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestRunDeterministicMetrics pins the fixed-seed reproducibility claim
+// at the report level: two runs of the same spec agree exactly on every
+// count metric (latency and wall-clock metrics legitimately vary).
+func TestRunDeterministicMetrics(t *testing.T) {
+	run := func() *Report {
+		spec, err := ParseSpec([]byte(gridJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Run(spec, io.Discard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	deterministic := map[string]bool{"ops": true, "writes": true, "hit_rate": true, "shards_touched": true}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		for name := range deterministic {
+			ma, oka := ca.Metrics[name]
+			mb, okb := cb.Metrics[name]
+			if oka != okb {
+				t.Fatalf("cell %d metric %s present in one run only", i, name)
+			}
+			if oka && ma.Mean != mb.Mean {
+				t.Errorf("cell %d (%s): metric %s differs across identical runs: %v vs %v",
+					i, ca.Experiment, name, ma.Mean, mb.Mean)
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownParam(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"name":"t","bench_id":1,"experiments":[
+		{"scenario":"recommend_request","params":{"ops":8,"warmup_ops":1,"panel_users":4,"bogus_knob":3}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(spec, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "bogus_knob") {
+		t.Fatalf("unread knob not reported, err=%v", err)
+	}
+}
+
+func validReport() *Report {
+	return &Report{
+		Schema: SchemaID, Name: "t", BenchID: 1, CreatedUnix: 1700000000,
+		GoVersion: "go1.24", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 4,
+		Seed: 42, Repeats: 1,
+		Cells: []CellResult{{
+			Experiment: "e", Scenario: "recommend_request", Axes: map[string]any{},
+			Repeats: 1, Seconds: 0.5,
+			Metrics:     map[string]Metric{"ops": {Mean: 8, Min: 8, Max: 8, Repeats: []float64{8}}},
+			MetricOrder: []string{"ops"},
+			Assertions:  []Assertion{{Name: "no_errors", Pass: true}},
+		}},
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	if err := Validate(validReport()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := map[string]func(*Report){
+		"wrong schema":       func(r *Report) { r.Schema = "nope/v2" },
+		"no cells":           func(r *Report) { r.Cells = nil },
+		"nan metric":         func(r *Report) { r.Cells[0].Metrics["ops"] = Metric{Mean: math.NaN(), Repeats: []float64{1}} },
+		"min above mean":     func(r *Report) { r.Cells[0].Metrics["ops"] = Metric{Mean: 1, Min: 2, Max: 3, Repeats: []float64{1}} },
+		"empty repeats":      func(r *Report) { r.Cells[0].Metrics["ops"] = Metric{Mean: 1, Min: 1, Max: 1} },
+		"order mismatch":     func(r *Report) { r.Cells[0].MetricOrder = []string{"ops", "ghost"} },
+		"unnamed assertion":  func(r *Report) { r.Cells[0].Assertions = []Assertion{{Pass: true}} },
+		"zero cell repeats":  func(r *Report) { r.Cells[0].Repeats = 0 },
+		"missing provenance": func(r *Report) { r.GoVersion = "" },
+	}
+	for name, corrupt := range cases {
+		r := validReport()
+		corrupt(r)
+		if err := Validate(r); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateFileRejectsUnknownFields(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "r.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"longtailrec/bench/v1","surprise":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(p); err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package lab
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CellResult is one grid point's aggregated outcome.
+type CellResult struct {
+	// Experiment is the owning experiment's id.
+	Experiment string `json:"experiment"`
+	// Scenario is the registered scenario that ran.
+	Scenario string `json:"scenario"`
+	// Axes is the cell's axis assignment (empty object for axis-free
+	// experiments).
+	Axes map[string]any `json:"axes"`
+	// Repeats is how many times the cell ran.
+	Repeats int `json:"repeats"`
+	// Seconds is total wall time across the cell's repeats, setup and
+	// warmup included — the grid-budget number, not a metric.
+	Seconds float64 `json:"seconds"`
+	// Metrics maps metric name → cross-repeat aggregate.
+	Metrics map[string]Metric `json:"metrics"`
+	// MetricOrder preserves the scenario's emission order for rendering.
+	MetricOrder []string `json:"metric_order"`
+	// Assertions are the scenario's pass/fail checks (failed in any
+	// repeat = failed).
+	Assertions []Assertion `json:"assertions"`
+}
+
+// Failed lists the cell's failing assertions.
+func (c *CellResult) Failed() []Assertion {
+	var out []Assertion
+	for _, a := range c.Assertions {
+		if !a.Pass {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Report is the machine-readable outcome of one grid run — the
+// BENCH_<n>.json trajectory point.
+type Report struct {
+	// Schema identifies the report format for later readers.
+	Schema string `json:"schema"`
+	// Name and BenchID come from the spec.
+	Name    string `json:"name"`
+	BenchID int    `json:"bench_id"`
+	// CreatedUnix stamps the run (seconds since epoch).
+	CreatedUnix int64 `json:"created_unix"`
+	// Environment provenance: numbers are only comparable against the
+	// same universe.
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Seed and Repeats echo the spec for reproduction.
+	Seed    int64 `json:"seed"`
+	Repeats int   `json:"repeats"`
+	// Cells are the grid points in run order.
+	Cells []CellResult `json:"cells"`
+}
+
+// SchemaID is the report format identifier every valid report carries.
+const SchemaID = "longtailrec/bench/v1"
+
+// FailedCells lists cells with at least one failing assertion.
+func (r *Report) FailedCells() []CellResult {
+	var out []CellResult
+	for _, c := range r.Cells {
+		if len(c.Failed()) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Run executes every cell of the spec's grid and assembles the report.
+// Progress lines go to w (io.Discard silences them). Run fails fast on
+// harness errors — bad parameters, setup failures, unread spec knobs —
+// but workload-level failures land as failing assertions in the report,
+// so one bad cell never hides another's numbers.
+func Run(spec *Spec, w io.Writer) (*Report, error) {
+	if w == nil {
+		w = io.Discard
+	}
+	rep := &Report{
+		Schema:      SchemaID,
+		Name:        spec.Name,
+		BenchID:     spec.BenchID,
+		CreatedUnix: time.Now().Unix(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Seed:        spec.Seed,
+		Repeats:     spec.Repeats,
+	}
+	for i := range spec.Experiments {
+		e := &spec.Experiments[i]
+		sc := scenarioRegistry[e.Scenario] // validated at parse time
+		repeats := spec.repeats(e)
+		cells := expand(spec, e)
+		fmt.Fprintf(w, "# %s (%s): %d cell(s) × %d repeat(s)\n", e.ID, e.Scenario, len(cells), repeats)
+		for _, c := range cells {
+			t0 := time.Now()
+			recs := make([]*Recorder, 0, repeats)
+			for r := 0; r < repeats; r++ {
+				rec := NewRecorder()
+				if err := sc.Run(c, r, rec); err != nil {
+					return nil, fmt.Errorf("lab: %s [%s] repeat %d: %w", e.ID, c.label(), r, err)
+				}
+				rec.finalize()
+				if r == 0 {
+					if bad := c.unused(); len(bad) > 0 {
+						return nil, fmt.Errorf("lab: %s [%s]: parameters not understood by scenario %s: %s",
+							e.ID, c.label(), e.Scenario, strings.Join(bad, ", "))
+					}
+				}
+				recs = append(recs, rec)
+			}
+			metrics, order, asserts := aggregate(recs)
+			res := CellResult{
+				Experiment:  e.ID,
+				Scenario:    e.Scenario,
+				Axes:        c.Axes,
+				Repeats:     repeats,
+				Seconds:     time.Since(t0).Seconds(),
+				Metrics:     metrics,
+				MetricOrder: order,
+				Assertions:  asserts,
+			}
+			status := "ok"
+			if f := res.Failed(); len(f) > 0 {
+				names := make([]string, len(f))
+				for i, a := range f {
+					names[i] = a.Name
+				}
+				status = "FAIL " + strings.Join(names, ",")
+			}
+			fmt.Fprintf(w, "  %-28s %6.2fs  %s\n", c.label(), res.Seconds, status)
+			rep.Cells = append(rep.Cells, res)
+		}
+	}
+	return rep, nil
+}
+
+// Summary renders the human table: one row per cell with the headline
+// metrics and the assertion verdict.
+func Summary(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (bench_id %d, seed %d, %s %s/%s, GOMAXPROCS %d)\n",
+		r.Name, r.BenchID, r.Seed, r.GoVersion, r.GOOS, r.GOARCH, r.GOMAXPROCS)
+	const rowFmt = "%-28s %-24s %12s %12s %12s %10s %s\n"
+	fmt.Fprintf(&b, rowFmt, "experiment", "cell", "p50", "p99", "ops/s", "hit-rate", "asserts")
+	for _, c := range r.Cells {
+		label := axesLabel(c.Axes)
+		verdict := "pass"
+		if f := c.Failed(); len(f) > 0 {
+			names := make([]string, len(f))
+			for i, a := range f {
+				names[i] = a.Name
+			}
+			verdict = "FAIL:" + strings.Join(names, ",")
+		} else if len(c.Assertions) == 0 {
+			verdict = "-"
+		}
+		fmt.Fprintf(&b, rowFmt, c.Experiment, label,
+			nsCell(c.Metrics, "p50_ns"), nsCell(c.Metrics, "p99_ns"),
+			rateCell(c.Metrics, "ops_per_sec"), ratioCell(c.Metrics, "hit_rate"), verdict)
+	}
+	return b.String()
+}
+
+func axesLabel(axes map[string]any) string {
+	if len(axes) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(axes))
+	for k := range axes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, axes[k]))
+	}
+	return strings.Join(parts, " ")
+}
+
+func nsCell(m map[string]Metric, name string) string {
+	v, ok := m[name]
+	if !ok {
+		return "-"
+	}
+	return time.Duration(v.Mean).Round(time.Microsecond).String()
+}
+
+func rateCell(m map[string]Metric, name string) string {
+	v, ok := m[name]
+	if !ok {
+		return "-"
+	}
+	switch {
+	case v.Mean >= 1e6:
+		return fmt.Sprintf("%.2fM", v.Mean/1e6)
+	case v.Mean >= 1e3:
+		return fmt.Sprintf("%.1fk", v.Mean/1e3)
+	default:
+		return fmt.Sprintf("%.1f", v.Mean)
+	}
+}
+
+func ratioCell(m map[string]Metric, name string) string {
+	v, ok := m[name]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", v.Mean)
+}

@@ -1,0 +1,775 @@
+package lab
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"longtailrec"
+	"longtailrec/internal/cache"
+	"longtailrec/internal/dataset"
+	"longtailrec/internal/lab/workload"
+	"longtailrec/internal/synth"
+	"longtailrec/internal/worlds"
+)
+
+// Scenario is one registered experiment kind: a function that builds the
+// system under test from a Cell's parameters, runs warmup, drives one
+// measured repeat, and records metrics plus pass/fail assertions. Run
+// returns an error only for harness failures (bad parameters, setup
+// errors); workload-level failures are recorded as failing assertions so
+// the grid completes and the report shows every red cell at once.
+type Scenario struct {
+	Name string
+	Doc  string
+	Run  func(c *Cell, rep int, rec *Recorder) error
+}
+
+var scenarioRegistry = map[string]*Scenario{}
+
+func register(s *Scenario) {
+	if _, dup := scenarioRegistry[s.Name]; dup {
+		panic("lab: duplicate scenario " + s.Name)
+	}
+	scenarioRegistry[s.Name] = s
+}
+
+// Scenarios lists the registered scenario names, sorted.
+func Scenarios() []string {
+	names := make([]string, 0, len(scenarioRegistry))
+	for n := range scenarioRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ScenarioDoc returns a scenario's one-line description ("" if unknown).
+func ScenarioDoc(name string) string {
+	if s, ok := scenarioRegistry[name]; ok {
+		return s.Doc
+	}
+	return ""
+}
+
+func init() {
+	register(&Scenario{Name: "recommend_request", Doc: "single-query Request-path latency over a panel of warm users (BenchmarkRecommendRequest equivalent)", Run: runRecommendRequest})
+	register(&Scenario{Name: "sharded_write_invalidation", Doc: "mixed 1-write-per-N-reads cache hit rate across the shards axis (BenchmarkShardedWriteInvalidation equivalent)", Run: runShardedWriteInvalidation})
+	register(&Scenario{Name: "wal_append", Doc: "group-commit WAL write throughput at the writers axis (BenchmarkWALAppend equivalent, through System.ApplyRating)", Run: runWALAppend})
+	register(&Scenario{Name: "fleet_graph_memory", Doc: "fleet construction heap vs a single replica across the shards axis (BenchmarkFleetGraphMemory equivalent)", Run: runFleetGraphMemory})
+	register(&Scenario{Name: "coldstart_storm", Doc: "hostile: brand-new users flooding in through the auto-grow write path, then immediately servable", Run: runColdStartStorm})
+	register(&Scenario{Name: "flash_crowd", Doc: "hostile: concurrent readers hammering a tiny hot user set — singleflight and cache hit-rate under a thundering herd", Run: runFlashCrowd})
+	register(&Scenario{Name: "write_flood", Doc: "hostile: adversarial write sweep spraying every shard's epoch while reads must keep serving", Run: runWriteFlood})
+	register(&Scenario{Name: "zipf_soak", Doc: "hostile: zipf-distributed mixed read/write soak over a bootstrap corpus (users axis scales to millions)", Run: runZipfSoak})
+}
+
+// ---------------------------------------------------------------------------
+// Shared world construction. Worlds and bootstrap corpora are cached
+// across cells and repeats (keyed by their full parameterization), so a
+// grid pays corpus generation once — like bench_test.go's benchEnvs.
+
+var (
+	worldMu    sync.Mutex
+	worldCache = map[string]*synth.World{}
+	bootCache  = map[string]*dataset.Dataset{}
+)
+
+func labWorld(kind string, seed int64) (*synth.World, error) {
+	key := fmt.Sprintf("%s/%d", kind, seed)
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if w, ok := worldCache[key]; ok {
+		return w, nil
+	}
+	w, err := worlds.Generate(kind, seed)
+	if err != nil {
+		return nil, err
+	}
+	worldCache[key] = w
+	return w, nil
+}
+
+// bootstrapData builds (and caches) the zipf-skewed bootstrap corpus for
+// the large-scale scenarios.
+func bootstrapData(users, items, perUser int, s float64, seed int64) (*dataset.Dataset, error) {
+	key := fmt.Sprintf("%d/%d/%d/%g/%d", users, items, perUser, s, seed)
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if d, ok := bootCache[key]; ok {
+		return d, nil
+	}
+	ratings, err := workload.SeedRatings(users, items, perUser, s, seed)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dataset.New(users, items, ratings)
+	if err != nil {
+		return nil, err
+	}
+	bootCache[key] = d
+	return d, nil
+}
+
+// panel samples n query users with at least minDeg ratings,
+// deterministically from the cell seed.
+func panel(d *dataset.Dataset, seed int64, n, minDeg int) ([]int, error) {
+	rng := rand.New(rand.NewSource(seed + 17))
+	return d.SampleUsers(rng, n, minDeg)
+}
+
+// servingSystem builds the system under test from the cell's common
+// knobs: cache (entries, default per scenario), shards, autogrow.
+func servingSystem(c *Cell, d *dataset.Dataset, cacheDef int, autoGrow bool) (*longtail.System, error) {
+	cfg := longtail.DefaultConfig()
+	cfg.CacheSize = c.Int("cache", cacheDef)
+	cfg.ShardCount = c.Int("shards", 1)
+	cfg.AutoGrow = autoGrow
+	return longtail.NewSystem(d, cfg)
+}
+
+// hitRate reads the cache hit rate of the counter delta b−a: hits and
+// singleflight-shared lookups over all lookups.
+func hitRate(a, b cache.Stats) (float64, bool) {
+	lookups := (b.Hits + b.Misses + b.Shared) - (a.Hits + a.Misses + a.Shared)
+	if lookups == 0 {
+		return 0, false
+	}
+	hits := (b.Hits + b.Shared) - (a.Hits + a.Shared)
+	return float64(hits) / float64(lookups), true
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark-equivalent scenarios: the committed PERFORMANCE.md numbers as
+// grid cells.
+
+// runRecommendRequest measures single-query Request-path latency — the
+// primary serving surface. Axes/params: dataset, algo, k, ops,
+// warmup_ops, cache (default off: measures the engine), shards.
+func runRecommendRequest(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	algo := c.Str("algo", "AT")
+	k := c.Int("k", 10)
+	ops := c.Int("ops", 256)
+	warmup := c.Int("warmup_ops", 16)
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, w.Data, 0, false)
+	if err != nil {
+		return err
+	}
+	users, err := panel(w.Data, c.Seed, c.Int("panel_users", 30), 3)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for i := 0; i < warmup; i++ {
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: users[i%len(users)], K: k}); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+	errs, short := 0, 0
+	rec.StartTimer()
+	for i := 0; i < ops; i++ {
+		u := users[(i+rep)%len(users)]
+		t0 := time.Now()
+		resp, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: k})
+		rec.Observe(time.Since(t0))
+		if err != nil {
+			errs++
+			continue
+		}
+		if len(resp.Items) == 0 {
+			short++
+		}
+	}
+	rec.StopTimer()
+	rec.Assertf("no_errors", errs == 0, "%d of %d queries failed", errs, ops)
+	rec.Assertf("lists_nonempty", short == 0, "%d of %d queries returned empty lists", short, ops)
+	return nil
+}
+
+// runShardedWriteInvalidation is the mixed-workload blast-radius
+// measurement: 1 write per reads_per_write reads, hit rate reported over
+// the timed phase only. Axes/params: dataset, shards, cache, algo, ops,
+// reads_per_write.
+func runShardedWriteInvalidation(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	algo := c.Str("algo", "AT")
+	ops := c.Int("ops", 400)
+	rpw := c.Int("reads_per_write", 8)
+	if rpw < 1 {
+		return fmt.Errorf("reads_per_write must be >= 1")
+	}
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, w.Data, 8192, false)
+	if err != nil {
+		return err
+	}
+	users, err := panel(w.Data, c.Seed, c.Int("panel_users", 30), 3)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, u := range users { // warm: one guaranteed miss per panel user
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10}); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warm := sys.ServingStats().Cache
+	epoch0 := sys.Epoch()
+	numItems := w.Data.NumItems()
+	writes, errs := 0, 0
+	rec.StartTimer()
+	for i := 0; i < ops; i++ {
+		if i%(rpw+1) == rpw {
+			u := users[i%len(users)]
+			if _, _, err := sys.ApplyRating(u, i%numItems, 1+float64(i%5)); err != nil {
+				errs++
+			} else {
+				writes++
+			}
+			continue
+		}
+		u := users[(i*7+1)%len(users)]
+		t0 := time.Now()
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10}); err != nil {
+			errs++
+		}
+		rec.Observe(time.Since(t0))
+	}
+	rec.StopTimer()
+	rec.SetMetric("writes", float64(writes))
+	if hr, ok := hitRate(warm, sys.ServingStats().Cache); ok {
+		rec.SetMetric("hit_rate", hr)
+	}
+	rec.Assertf("no_errors", errs == 0, "%d operations failed", errs)
+	moved := sys.Epoch() - epoch0
+	// Re-rating an edge with its current score is a no-op that bumps no
+	// epoch, so the bound is one-sided: every epoch tick needs a write.
+	rec.Assertf("epoch_tracks_writes", writes == 0 || (moved > 0 && moved <= uint64(writes)),
+		"fleet epoch moved %d for %d accepted writes", moved, writes)
+	return nil
+}
+
+// runWALAppend measures durable write throughput: writers concurrent
+// goroutines ApplyRating through the group-commit WAL, acks_per_sec is
+// the headline. Axes/params: writers, ops, users, items, per_user,
+// shards.
+func runWALAppend(c *Cell, rep int, rec *Recorder) error {
+	writers := c.Int("writers", 16)
+	ops := c.Int("ops", 2048)
+	if writers < 1 {
+		return fmt.Errorf("writers must be >= 1")
+	}
+	d, err := bootstrapData(c.Int("users", 2000), c.Int("items", 400), c.Int("per_user", 4), 1.2, c.Seed)
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "ltr-lab-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := longtail.DefaultConfig()
+	cfg.CacheSize = 0
+	cfg.ShardCount = c.Int("shards", 1)
+	cfg.WALDir = dir
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		return err
+	}
+	if !sys.ServingStats().Durability.Enabled {
+		rec.Assert("wal_enabled", false, "durability not enabled despite WALDir")
+		return nil
+	}
+	perWorker := ops / writers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	total := perWorker * writers
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	lats := make([][]time.Duration, writers)
+	rec.StartTimer()
+	for wk := 0; wk < writers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			gen := workload.NewWriteFlood(d.NumUsers(), d.NumItems(), c.RepSeed(rep)+int64(wk)*1000)
+			local := make([]time.Duration, 0, perWorker)
+			fails := 0
+			var op workload.Op
+			for i := 0; i < perWorker; i++ {
+				gen.Next(&op)
+				t0 := time.Now()
+				if _, _, err := sys.ApplyRating(op.User, op.Item, op.Score); err != nil {
+					fails++
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats[wk] = local
+			errs += fails
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	rec.StopTimer()
+	for _, l := range lats {
+		rec.ObserveAll(l)
+	}
+	secs := rec.elapsed.Seconds()
+	if secs > 0 {
+		rec.SetMetric("acks_per_sec", float64(total-errs)/secs)
+	}
+	rec.Assertf("no_errors", errs == 0, "%d durable writes failed", errs)
+	rec.Assertf("epoch_tracks_writes", sys.Epoch() > 0 && sys.Epoch() <= uint64(total-errs),
+		"fleet epoch %d after %d acknowledged writes (same-score re-rates are epoch no-ops)", sys.Epoch(), total-errs)
+	closeErr := sys.Close()
+	rec.Assertf("clean_shutdown", closeErr == nil, "Close: %v", closeErr)
+	return nil
+}
+
+// runFleetGraphMemory measures shared-base fleet memory: construction
+// heap at the cell's shard count against a single-replica build of the
+// same corpus. Axes/params: dataset, shards.
+func runFleetGraphMemory(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	shards := c.Int("shards", 16)
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	single, err := measureFleetHeap(w.Data, 1)
+	if err != nil {
+		return err
+	}
+	fleet, err := measureFleetHeap(w.Data, shards)
+	if err != nil {
+		return err
+	}
+	rec.SetMetric("fleet_bytes", fleet)
+	rec.SetMetric("bytes_per_shard", fleet/float64(shards))
+	rec.SetMetric("single_replica_bytes", single)
+	ratio := 0.0
+	if single > 0 {
+		ratio = fleet / single
+	}
+	rec.SetMetric("ratio_vs_single", ratio)
+	rec.Assertf("shared_base_flat", shards == 1 || (ratio > 0 && ratio < 1.5),
+		"%d-shard fleet heap is %.3f× the single replica — replicas are carrying graph copies again", shards, ratio)
+	return nil
+}
+
+// measureFleetHeap builds one fleet (no caches) and reports the
+// construction heap delta, GC-quiesced on both sides. A surrounding test
+// process can leave floating garbage that a mid-measurement collection
+// frees, driving the delta to zero or negative — those attempts are
+// discarded and the build remeasured (the first GC of a retry starts
+// from a quiesced heap, so retries converge fast).
+func measureFleetHeap(d *dataset.Dataset, shards int) (float64, error) {
+	cfg := longtail.DefaultConfig()
+	cfg.CacheSize = 0
+	cfg.ShardCount = shards
+	var ms runtime.MemStats
+	for attempt := 0; attempt < 4; attempt++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		before := ms.HeapAlloc
+		sys, err := longtail.NewSystem(d, cfg)
+		if err != nil {
+			return 0, err
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		heap := float64(int64(ms.HeapAlloc) - int64(before))
+		runtime.KeepAlive(sys)
+		if heap > 0 {
+			return heap, nil
+		}
+	}
+	return 0, fmt.Errorf("lab: fleet heap measurement never stabilized at shards=%d", shards)
+}
+
+// ---------------------------------------------------------------------------
+// Hostile workload scenarios (internal/lab/workload generators).
+
+// runColdStartStorm floods the auto-grow write path with brand-new
+// users — writers concurrent goroutines consuming one dense-ascending
+// arrival stream — then checks the universe grew exactly, and newcomers
+// are immediately servable. Axes/params: dataset, new_users, per_user,
+// writers, cache, shards.
+func runColdStartStorm(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	newUsers := c.Int("new_users", 1000)
+	perUser := c.Int("per_user", 3)
+	writers := c.Int("writers", 4)
+	if newUsers < 1 || perUser < 1 || writers < 1 {
+		return fmt.Errorf("new_users, per_user and writers must be >= 1")
+	}
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, w.Data, 4096, true)
+	if err != nil {
+		return err
+	}
+	baseUsers, numItems := w.Data.NumUsers(), w.Data.NumItems()
+	totalOps := newUsers * perUser
+	// One generator feeds a small channel; in-flight ops stay ≤
+	// writers+buffer, so user ids never jump the universe edge by more
+	// than graph.MaxDenseAdmissions no matter how workers interleave.
+	gen := workload.NewColdStart(baseUsers, numItems, perUser, c.RepSeed(rep))
+	feed := make(chan workload.Op, 32)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+	lats := make([][]time.Duration, writers)
+	rec.StartTimer()
+	go func() {
+		var op workload.Op
+		for i := 0; i < totalOps; i++ {
+			gen.Next(&op)
+			feed <- op
+		}
+		close(feed)
+	}()
+	for wk := 0; wk < writers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			var local []time.Duration
+			fails := 0
+			for op := range feed {
+				t0 := time.Now()
+				if _, _, err := sys.ApplyRating(op.User, op.Item, op.Score); err != nil {
+					fails++
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats[wk] = local
+			errs += fails
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	rec.StopTimer()
+	for _, l := range lats {
+		rec.ObserveAll(l)
+	}
+	if secs := rec.elapsed.Seconds(); secs > 0 {
+		rec.SetMetric("users_per_sec", float64(newUsers)/secs)
+	}
+	liveUsers, _ := sys.Universe()
+	rec.SetMetric("grown_users", float64(liveUsers-baseUsers))
+	rec.Assertf("no_rejected_writes", errs == 0, "%d storm writes rejected", errs)
+	rec.Assertf("universe_grew_exactly", liveUsers == baseUsers+newUsers,
+		"live universe holds %d users, want %d (base %d + %d new)", liveUsers, baseUsers+newUsers, baseUsers, newUsers)
+	// Newcomers must be first-class citizens immediately: walk queries
+	// anchor on their fresh ratings without fallback.
+	ctx := context.Background()
+	unservable := 0
+	for i := 0; i < 32 && i < newUsers; i++ {
+		u := baseUsers + (i*(newUsers/32+1))%newUsers
+		resp, err := sys.Recommend(ctx, c.Str("algo", "AT"), longtail.Request{User: u, K: 10})
+		if err != nil || len(resp.Items) == 0 {
+			unservable++
+		}
+	}
+	rec.Assertf("newcomers_servable", unservable == 0, "%d of 32 sampled new users not servable", unservable)
+	return nil
+}
+
+// runFlashCrowd pounds a tiny hot user set with concurrent readers over
+// a cached fleet: the thundering herd must coalesce (misses bounded by
+// the hot-set size), the hit rate must clear its floor, and every reader
+// must see identical results for the same user. Axes/params: dataset,
+// hot_users, readers, ops, cache, shards, algo, hit_rate_min.
+func runFlashCrowd(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	hotUsers := c.Int("hot_users", 16)
+	readers := c.Int("readers", 8)
+	ops := c.Int("ops", 2048)
+	algo := c.Str("algo", "AT")
+	minHit := c.Float("hit_rate_min", 0.9)
+	if hotUsers < 1 || readers < 1 || ops < 1 {
+		return fmt.Errorf("hot_users, readers and ops must be >= 1")
+	}
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, w.Data, 4096, false)
+	if err != nil {
+		return err
+	}
+	pool, err := panel(w.Data, c.Seed, hotUsers, 3)
+	if err != nil {
+		return err
+	}
+	perWorker := ops / readers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	first := map[int][]longtail.Scored{}
+	errs, mismatches := 0, 0
+	lats := make([][]time.Duration, readers)
+	rec.StartTimer()
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			gen := workload.NewFlashCrowd(pool, c.RepSeed(rep)+int64(rd)*1000)
+			local := make([]time.Duration, 0, perWorker)
+			fails, diffs := 0, 0
+			var op workload.Op
+			for i := 0; i < perWorker; i++ {
+				gen.Next(&op)
+				t0 := time.Now()
+				resp, err := sys.Recommend(ctx, algo, longtail.Request{User: op.User, K: 10})
+				local = append(local, time.Since(t0))
+				if err != nil {
+					fails++
+					continue
+				}
+				mu.Lock()
+				if prev, ok := first[op.User]; !ok {
+					first[op.User] = resp.Items
+				} else if !sameScored(prev, resp.Items) {
+					diffs++
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			lats[rd] = local
+			errs += fails
+			mismatches += diffs
+			mu.Unlock()
+		}(rd)
+	}
+	wg.Wait()
+	rec.StopTimer()
+	for _, l := range lats {
+		rec.ObserveAll(l)
+	}
+	st := sys.ServingStats().Cache
+	if hr, ok := hitRate(cache.Stats{}, st); ok {
+		rec.SetMetric("hit_rate", hr)
+		rec.Assertf("hit_rate_floor", hr >= minHit, "hit rate %.3f under the %.3f floor", hr, minHit)
+	} else {
+		rec.Assert("hit_rate_floor", false, "no cache lookups recorded")
+	}
+	rec.SetMetric("cache_misses", float64(st.Misses))
+	rec.Assertf("herd_coalesced", st.Misses <= uint64(hotUsers),
+		"%d cache misses for a %d-user hot set — singleflight failed to coalesce the herd", st.Misses, hotUsers)
+	rec.Assertf("no_errors", errs == 0, "%d reads failed", errs)
+	rec.Assertf("consistent_responses", mismatches == 0,
+		"%d reads saw a different list than the first read of the same user on an unchanged graph", mismatches)
+	return nil
+}
+
+func sameScored(a, b []longtail.Scored) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Item != b[i].Item || a[i].Score != b[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// runWriteFlood drives the adversarial invalidation sweep: write-heavy
+// traffic walking the whole user space (every write a different user, so
+// every shard's epoch keeps bumping) with reads interleaved — the cache's
+// worst case. The fleet must stay correct and available; the recorded
+// hit_rate documents the blast radius the shards axis buys back.
+// Axes/params: dataset, shards, cache, ops, writes_per_read, algo.
+func runWriteFlood(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "movielens")
+	ops := c.Int("ops", 500)
+	wpr := c.Int("writes_per_read", 4)
+	algo := c.Str("algo", "AT")
+	if ops < 1 || wpr < 1 {
+		return fmt.Errorf("ops and writes_per_read must be >= 1")
+	}
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, w.Data, 8192, false)
+	if err != nil {
+		return err
+	}
+	users, err := panel(w.Data, c.Seed, c.Int("panel_users", 30), 3)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, u := range users { // warm the cache the flood will then attack
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10}); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warm := sys.ServingStats().Cache
+	epoch0 := sys.Epoch()
+	gen := workload.NewWriteFlood(w.Data.NumUsers(), w.Data.NumItems(), c.RepSeed(rep))
+	var op workload.Op
+	writes, writeErrs, readErrs, emptyReads := 0, 0, 0, 0
+	rec.StartTimer()
+	for i := 0; i < ops; i++ {
+		if i%(wpr+1) != wpr {
+			gen.Next(&op)
+			if _, _, err := sys.ApplyRating(op.User, op.Item, op.Score); err != nil {
+				writeErrs++
+			} else {
+				writes++
+			}
+			continue
+		}
+		u := users[(i*7+1)%len(users)]
+		t0 := time.Now()
+		resp, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10})
+		rec.Observe(time.Since(t0))
+		if err != nil {
+			readErrs++
+		} else if len(resp.Items) == 0 {
+			emptyReads++
+		}
+	}
+	rec.StopTimer()
+	rec.SetMetric("writes", float64(writes))
+	if secs := rec.elapsed.Seconds(); secs > 0 {
+		rec.SetMetric("writes_per_sec", float64(writes)/secs)
+	}
+	if hr, ok := hitRate(warm, sys.ServingStats().Cache); ok {
+		rec.SetMetric("hit_rate", hr)
+	}
+	st := sys.ServingStats()
+	touched := 0
+	for _, sh := range st.Shards {
+		if sh.Epoch > 0 {
+			touched++
+		}
+	}
+	rec.SetMetric("shards_touched", float64(touched))
+	rec.Assertf("no_write_errors", writeErrs == 0, "%d flood writes rejected", writeErrs)
+	rec.Assertf("reads_survive", readErrs == 0 && emptyReads == 0,
+		"%d read errors, %d empty lists under the flood", readErrs, emptyReads)
+	moved := sys.Epoch() - epoch0
+	rec.Assertf("epoch_tracks_writes", writes == 0 || (moved > 0 && moved <= uint64(writes)),
+		"fleet epoch moved %d for %d accepted writes", moved, writes)
+	rec.Assertf("flood_sprays_all_shards", writes < 4*len(st.Shards) || touched == len(st.Shards),
+		"only %d of %d shards saw a write — the sweep is not adversarial", touched, len(st.Shards))
+	return nil
+}
+
+// runZipfSoak is the steady-state soak: a bootstrap corpus at the users
+// axis (scales to millions), workers concurrent goroutines driving a
+// zipf-distributed read/write mix. Axes/params: users, items, per_user,
+// zipf_s, write_ratio, workers, ops, cache, shards, algo.
+func runZipfSoak(c *Cell, rep int, rec *Recorder) error {
+	users := c.Int("users", 10000)
+	items := c.Int("items", 2000)
+	perUser := c.Int("per_user", 6)
+	zs := c.Float("zipf_s", 1.1)
+	writeRatio := c.Float("write_ratio", 0.1)
+	workers := c.Int("workers", 8)
+	ops := c.Int("ops", 800)
+	algo := c.Str("algo", "AT")
+	if workers < 1 || ops < 1 {
+		return fmt.Errorf("workers and ops must be >= 1")
+	}
+	d, err := bootstrapData(users, items, perUser, 1.15, c.Seed)
+	if err != nil {
+		return err
+	}
+	sys, err := servingSystem(c, d, 8192, false)
+	if err != nil {
+		return err
+	}
+	warm0 := sys.ServingStats().Cache
+	epoch0 := sys.Epoch()
+	perWorker := ops / workers
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var writes, readErrs, writeErrs int
+	lats := make([][]time.Duration, workers)
+	rec.StartTimer()
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			gen, genErr := workload.NewZipfMixed(users, items, writeRatio, zs, c.RepSeed(rep)+int64(wk)*1000)
+			if genErr != nil {
+				mu.Lock()
+				readErrs++ // surfaces through the assertion with the real count
+				mu.Unlock()
+				return
+			}
+			var local []time.Duration
+			wr, rerr, werr := 0, 0, 0
+			var op workload.Op
+			for i := 0; i < perWorker; i++ {
+				gen.Next(&op)
+				if op.Kind == workload.Write {
+					if _, _, err := sys.ApplyRating(op.User, op.Item, op.Score); err != nil {
+						werr++
+					} else {
+						wr++
+					}
+					continue
+				}
+				t0 := time.Now()
+				if _, err := sys.Recommend(ctx, algo, longtail.Request{User: op.User, K: 10}); err != nil {
+					rerr++
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats[wk] = local
+			writes += wr
+			readErrs += rerr
+			writeErrs += werr
+			mu.Unlock()
+		}(wk)
+	}
+	wg.Wait()
+	rec.StopTimer()
+	for _, l := range lats {
+		rec.ObserveAll(l)
+	}
+	rec.AddOps(writes)
+	rec.SetMetric("writes", float64(writes))
+	if hr, ok := hitRate(warm0, sys.ServingStats().Cache); ok {
+		rec.SetMetric("hit_rate", hr)
+	}
+	rec.SetMetric("soak_users", float64(users))
+	rec.Assertf("no_read_errors", readErrs == 0, "%d soak reads failed", readErrs)
+	rec.Assertf("no_write_errors", writeErrs == 0, "%d soak writes failed", writeErrs)
+	soakMoved := sys.Epoch() - epoch0
+	rec.Assertf("epoch_tracks_writes", writes == 0 || (soakMoved > 0 && soakMoved <= uint64(writes)),
+		"fleet epoch moved %d for %d accepted writes", soakMoved, writes)
+	return nil
+}

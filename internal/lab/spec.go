@@ -1,0 +1,297 @@
+// Package lab is the reproducible experiment harness: a declarative grid
+// runner that drives the real serving stack (longtail.System) through
+// registered scenarios — the committed benchmark equivalents and the
+// hostile workloads of internal/lab/workload — and emits one
+// machine-readable BENCH_<n>.json (plus a CSV and a human summary) per
+// run, so every performance claim in PERFORMANCE.md has a trajectory
+// point a later PR can re-run and compare against.
+//
+// A grid spec (grids/*.json) names experiments; each experiment is one
+// scenario crossed over its axes (shards × cache size × algorithm × …),
+// every resulting cell runs `repeats` times with deterministically
+// derived seeds and a scenario-owned warmup phase, and per-cell stats
+// report the mean/min/max across repeats of every metric, with p50/p99
+// latency quantiles computed within each repeat. Scenarios also carry
+// pass/fail assertions, so a grid run doubles as a robustness suite: a
+// failed assertion fails the run (and `make lab-smoke`), not just a
+// number in a file.
+package lab
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Spec is one parsed grid file.
+type Spec struct {
+	// Name labels the run ("baseline", "smoke", ...).
+	Name string `json:"name"`
+	// BenchID numbers the emitted trajectory point: the default output
+	// file is BENCH_<BenchID>.json.
+	BenchID int `json:"bench_id"`
+	// Repeats is how many times each cell runs (default 1). Every repeat
+	// r derives its seed as Seed + 7919*r, so reruns reproduce exactly.
+	Repeats int `json:"repeats,omitempty"`
+	// Seed is the base seed for worlds and workload streams (default 42).
+	Seed int64 `json:"seed,omitempty"`
+	// Experiments are the grid's rows.
+	Experiments []ExperimentSpec `json:"experiments"`
+}
+
+// ExperimentSpec is one scenario crossed over its axes.
+type ExperimentSpec struct {
+	// ID labels the experiment in the report; defaults to Scenario. Two
+	// experiments may share a scenario under different ids/params.
+	ID string `json:"id,omitempty"`
+	// Scenario names a registered scenario (see Scenarios()).
+	Scenario string `json:"scenario"`
+	// Axes maps an axis name to the values to sweep; the experiment
+	// expands to the cartesian product of all axes (axis names sorted,
+	// values in spec order). Empty means one cell.
+	Axes map[string][]any `json:"axes,omitempty"`
+	// Params are fixed parameters shared by every cell; an axis value
+	// with the same name wins.
+	Params map[string]any `json:"params,omitempty"`
+	// Repeats overrides Spec.Repeats for this experiment (0 = inherit) —
+	// the knob that lets one expensive soak cell run once while the rest
+	// of the grid repeats.
+	Repeats int `json:"repeats,omitempty"`
+}
+
+// LoadSpec reads and validates a grid file.
+func LoadSpec(path string) (*Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lab: %w", err)
+	}
+	return ParseSpec(raw)
+}
+
+// ParseSpec decodes and validates grid JSON. Unknown fields are errors:
+// a typo'd knob silently ignored would record a baseline under the wrong
+// conditions.
+func ParseSpec(raw []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("lab: spec: %w", err)
+	}
+	if s.Repeats == 0 {
+		s.Repeats = 1
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("lab: spec: name is required")
+	}
+	if s.BenchID < 0 {
+		return fmt.Errorf("lab: spec: bench_id %d must be >= 0", s.BenchID)
+	}
+	if s.Repeats < 1 {
+		return fmt.Errorf("lab: spec: repeats %d must be >= 1", s.Repeats)
+	}
+	if len(s.Experiments) == 0 {
+		return fmt.Errorf("lab: spec: no experiments")
+	}
+	seen := map[string]bool{}
+	for i := range s.Experiments {
+		e := &s.Experiments[i]
+		if e.Scenario == "" {
+			return fmt.Errorf("lab: spec: experiment %d: scenario is required", i)
+		}
+		if _, ok := scenarioRegistry[e.Scenario]; !ok {
+			return fmt.Errorf("lab: spec: experiment %d: unknown scenario %q (choices: %s)",
+				i, e.Scenario, strings.Join(Scenarios(), ", "))
+		}
+		if e.ID == "" {
+			e.ID = e.Scenario
+		}
+		if seen[e.ID] {
+			return fmt.Errorf("lab: spec: duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Repeats < 0 {
+			return fmt.Errorf("lab: spec: experiment %q: repeats %d must be >= 0", e.ID, e.Repeats)
+		}
+		for axis, vals := range e.Axes {
+			if len(vals) == 0 {
+				return fmt.Errorf("lab: spec: experiment %q: axis %q has no values", e.ID, axis)
+			}
+		}
+	}
+	return nil
+}
+
+// repeats resolves the effective repeat count for an experiment.
+func (s *Spec) repeats(e *ExperimentSpec) int {
+	if e.Repeats > 0 {
+		return e.Repeats
+	}
+	return s.Repeats
+}
+
+// Cell is one point of an experiment's grid: the scenario plus the
+// merged (params ∪ axis-assignment) parameter map. Scenarios read their
+// knobs through the typed accessors, which also record which parameters
+// the scenario actually consumed (unused spec keys are reported as
+// errors — a misspelled knob must not silently run defaults).
+type Cell struct {
+	Experiment string
+	Scenario   string
+	// Axes is this cell's axis assignment, for the report.
+	Axes map[string]any
+	// Seed is the spec's base seed; worlds are built from it directly so
+	// every repeat measures the same corpus.
+	Seed int64
+
+	params map[string]any
+	used   map[string]bool
+}
+
+// RepSeed derives the deterministic seed of one repeat's workload
+// streams. Distinct from the world seed so repeats draw independent
+// traffic over the identical corpus.
+func (c *Cell) RepSeed(rep int) int64 { return c.Seed + 7919*int64(rep+1) }
+
+// expand builds the experiment's cells: the cartesian product of its
+// axes (axis names sorted for a stable cell order, values in spec
+// order), each merged over the experiment params.
+func expand(spec *Spec, e *ExperimentSpec) []*Cell {
+	axes := make([]string, 0, len(e.Axes))
+	for a := range e.Axes {
+		axes = append(axes, a)
+	}
+	sort.Strings(axes)
+	cells := []*Cell{}
+	assign := make([]any, len(axes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(axes) {
+			c := &Cell{
+				Experiment: e.ID,
+				Scenario:   e.Scenario,
+				Axes:       map[string]any{},
+				Seed:       spec.Seed,
+				params:     map[string]any{},
+				used:       map[string]bool{},
+			}
+			for k, v := range e.Params {
+				c.params[k] = v
+			}
+			for j, a := range axes {
+				c.Axes[a] = assign[j]
+				c.params[a] = assign[j]
+			}
+			cells = append(cells, c)
+			return
+		}
+		for _, v := range e.Axes[axes[i]] {
+			assign[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return cells
+}
+
+// unused lists parameter keys no accessor ever read — typos, or knobs
+// the scenario does not understand.
+func (c *Cell) unused() []string {
+	var out []string
+	for k := range c.params {
+		if !c.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Int reads an integer parameter (JSON numbers arrive as float64).
+func (c *Cell) Int(name string, def int) int {
+	v, ok := c.params[name]
+	if !ok {
+		return def
+	}
+	c.used[name] = true
+	switch n := v.(type) {
+	case float64:
+		return int(n)
+	case int:
+		return n
+	}
+	return def
+}
+
+// Float reads a float parameter.
+func (c *Cell) Float(name string, def float64) float64 {
+	v, ok := c.params[name]
+	if !ok {
+		return def
+	}
+	c.used[name] = true
+	if n, ok := v.(float64); ok && !math.IsNaN(n) {
+		return n
+	}
+	if n, ok := v.(int); ok {
+		return float64(n)
+	}
+	return def
+}
+
+// Str reads a string parameter.
+func (c *Cell) Str(name string, def string) string {
+	v, ok := c.params[name]
+	if !ok {
+		return def
+	}
+	c.used[name] = true
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return def
+}
+
+// Bool reads a boolean parameter.
+func (c *Cell) Bool(name string, def bool) bool {
+	v, ok := c.params[name]
+	if !ok {
+		return def
+	}
+	c.used[name] = true
+	if b, ok := v.(bool); ok {
+		return b
+	}
+	return def
+}
+
+// label renders the cell's axis assignment ("shards=4 algo=AT") for
+// progress lines and the summary table.
+func (c *Cell) label() string {
+	if len(c.Axes) == 0 {
+		return "-"
+	}
+	keys := make([]string, 0, len(c.Axes))
+	for k := range c.Axes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%v", k, c.Axes[k]))
+	}
+	return strings.Join(parts, " ")
+}

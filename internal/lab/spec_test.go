@@ -1,0 +1,132 @@
+package lab
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"t","bench_id":3,"experiments":[{"scenario":"recommend_request"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Repeats != 1 || s.Seed != 42 {
+		t.Fatalf("defaults not applied: repeats=%d seed=%d", s.Repeats, s.Seed)
+	}
+	if s.Experiments[0].ID != "recommend_request" {
+		t.Fatalf("experiment id not defaulted to scenario, got %q", s.Experiments[0].ID)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":        `{"name":"t","bench_id":1,"experimnts":[]}`,
+		"unknown scenario":     `{"name":"t","bench_id":1,"experiments":[{"scenario":"nope"}]}`,
+		"missing name":         `{"bench_id":1,"experiments":[{"scenario":"recommend_request"}]}`,
+		"no experiments":       `{"name":"t","bench_id":1,"experiments":[]}`,
+		"duplicate ids":        `{"name":"t","bench_id":1,"experiments":[{"scenario":"recommend_request"},{"scenario":"recommend_request"}]}`,
+		"empty axis":           `{"name":"t","bench_id":1,"experiments":[{"scenario":"recommend_request","axes":{"shards":[]}}]}`,
+		"unknown cell knob":    `{"name":"t","bench_id":1,"experiments":[{"scenario":"recommend_request","axs":{"shards":[1]}}]}`,
+		"negative exp repeats": `{"name":"t","bench_id":1,"experiments":[{"scenario":"recommend_request","repeats":-1}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ParseSpec([]byte(raw)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestExpandCartesian(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"t","bench_id":1,"experiments":[
+		{"scenario":"recommend_request","axes":{"shards":[1,4],"algo":["AT","AC2"]},"params":{"ops":8}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := expand(s, &s.Experiments[0])
+	if len(cells) != 4 {
+		t.Fatalf("expanded to %d cells, want 4", len(cells))
+	}
+	// Axis names sort ("algo" < "shards"), values keep spec order: the
+	// outer loop is algo, the inner shards.
+	wantLabels := []string{"algo=AT shards=1", "algo=AT shards=4", "algo=AC2 shards=1", "algo=AC2 shards=4"}
+	for i, c := range cells {
+		if c.label() != wantLabels[i] {
+			t.Errorf("cell %d label %q, want %q", i, c.label(), wantLabels[i])
+		}
+		if got := c.Int("ops", 0); got != 8 {
+			t.Errorf("cell %d: params did not merge, ops=%d", i, got)
+		}
+	}
+}
+
+func TestCellAccessorsAndUnused(t *testing.T) {
+	c := &Cell{
+		params: map[string]any{"shards": float64(4), "algo": "AC2", "warm": true, "ratio": 0.5, "typo_knob": 1.0},
+		used:   map[string]bool{},
+		Seed:   42,
+	}
+	if got := c.Int("shards", 1); got != 4 {
+		t.Fatalf("Int = %d", got)
+	}
+	if got := c.Str("algo", "AT"); got != "AC2" {
+		t.Fatalf("Str = %q", got)
+	}
+	if !c.Bool("warm", false) {
+		t.Fatal("Bool lost the value")
+	}
+	if got := c.Float("ratio", 0); got != 0.5 {
+		t.Fatalf("Float = %v", got)
+	}
+	if got := c.Int("missing", 7); got != 7 {
+		t.Fatalf("missing default = %d", got)
+	}
+	unused := c.unused()
+	if len(unused) != 1 || unused[0] != "typo_knob" {
+		t.Fatalf("unused = %v, want [typo_knob]", unused)
+	}
+}
+
+func TestRepSeedDistinctAndStable(t *testing.T) {
+	c := &Cell{Seed: 42}
+	if c.RepSeed(0) == c.RepSeed(1) {
+		t.Fatal("repeat seeds collide")
+	}
+	if c.RepSeed(0) == c.Seed {
+		t.Fatal("repeat 0 reuses the world seed")
+	}
+	again := &Cell{Seed: 42}
+	if c.RepSeed(3) != again.RepSeed(3) {
+		t.Fatal("repeat seeds not stable")
+	}
+}
+
+func TestExperimentRepeatOverride(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"t","bench_id":1,"repeats":3,"experiments":[
+		{"scenario":"recommend_request"},
+		{"id":"soak","scenario":"zipf_soak","repeats":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.repeats(&s.Experiments[0]); got != 3 {
+		t.Fatalf("inherit: %d", got)
+	}
+	if got := s.repeats(&s.Experiments[1]); got != 1 {
+		t.Fatalf("override: %d", got)
+	}
+}
+
+func TestScenariosListed(t *testing.T) {
+	names := Scenarios()
+	want := []string{
+		"coldstart_storm", "flash_crowd", "fleet_graph_memory", "recommend_request",
+		"sharded_write_invalidation", "wal_append", "write_flood", "zipf_soak",
+	}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("Scenarios() = %v, want %v", names, want)
+	}
+	for _, n := range names {
+		if ScenarioDoc(n) == "" {
+			t.Errorf("scenario %s has no doc line", n)
+		}
+	}
+}

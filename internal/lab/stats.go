@@ -1,0 +1,198 @@
+package lab
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Recorder collects one repeat's measurements: per-op latencies (from
+// which the within-run quantiles derive), named scalar metrics, and
+// pass/fail assertions.
+type Recorder struct {
+	lat     []time.Duration
+	metrics map[string]float64
+	order   []string // metric insertion order, for stable rendering
+	asserts []Assertion
+	ops     int
+
+	t0      time.Time
+	elapsed time.Duration
+}
+
+// StartTimer marks the beginning of the measured phase — scenarios call
+// it after setup and warmup, so throughput metrics never charge world
+// generation or model training to the workload.
+func (r *Recorder) StartTimer() { r.t0 = time.Now() }
+
+// StopTimer closes the measured phase (accumulates, so a scenario may
+// time disjoint segments).
+func (r *Recorder) StopTimer() {
+	if !r.t0.IsZero() {
+		r.elapsed += time.Since(r.t0)
+		r.t0 = time.Time{}
+	}
+}
+
+// NewRecorder builds an empty recorder for one repeat.
+func NewRecorder() *Recorder {
+	return &Recorder{metrics: map[string]float64{}}
+}
+
+// Observe records one operation's latency.
+func (r *Recorder) Observe(d time.Duration) {
+	r.lat = append(r.lat, d)
+	r.ops++
+}
+
+// ObserveAll merges a worker's local latency slice — concurrent
+// scenarios keep per-goroutine slices and merge after joining, so the
+// measured loop never contends on the recorder.
+func (r *Recorder) ObserveAll(ds []time.Duration) {
+	r.lat = append(r.lat, ds...)
+	r.ops += len(ds)
+}
+
+// AddOps counts operations that contribute to throughput but carry no
+// individual latency sample (e.g. group-committed writes acknowledged in
+// batches).
+func (r *Recorder) AddOps(n int) { r.ops += n }
+
+// SetMetric records a named scalar for this repeat (overwrites).
+func (r *Recorder) SetMetric(name string, v float64) {
+	if _, ok := r.metrics[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.metrics[name] = v
+}
+
+// Assert records one named pass/fail check with a human detail line.
+func (r *Recorder) Assert(name string, pass bool, detail string) {
+	r.asserts = append(r.asserts, Assertion{Name: name, Pass: pass, Detail: detail})
+}
+
+// Assertf is Assert with a formatted detail.
+func (r *Recorder) Assertf(name string, pass bool, format string, args ...any) {
+	r.Assert(name, pass, fmt.Sprintf(format, args...))
+}
+
+// finalize derives the standard metrics from the observations: ops,
+// wall_seconds, ops_per_sec, and — when per-op latencies were recorded —
+// mean_ns, p50_ns, p99_ns and max_ns.
+func (r *Recorder) finalize() {
+	r.StopTimer()
+	r.SetMetric("ops", float64(r.ops))
+	secs := r.elapsed.Seconds()
+	r.SetMetric("wall_seconds", secs)
+	if secs > 0 && r.ops > 0 {
+		r.SetMetric("ops_per_sec", float64(r.ops)/secs)
+	}
+	if len(r.lat) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(r.lat))
+	copy(sorted, r.lat)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	r.SetMetric("mean_ns", float64(sum.Nanoseconds())/float64(len(sorted)))
+	r.SetMetric("p50_ns", float64(quantile(sorted, 0.50).Nanoseconds()))
+	r.SetMetric("p99_ns", float64(quantile(sorted, 0.99).Nanoseconds()))
+	r.SetMetric("max_ns", float64(sorted[len(sorted)-1].Nanoseconds()))
+}
+
+// quantile reads the q-quantile (nearest-rank on the sorted sample).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted)-1) + 0.5)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Metric is one named measurement aggregated across a cell's repeats.
+type Metric struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// Repeats holds the per-repeat values in repeat order — the raw
+	// series, so a later reader can recompute any aggregate.
+	Repeats []float64 `json:"repeats"`
+}
+
+// Assertion is one named pass/fail robustness check.
+type Assertion struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// aggregate folds the repeats' recorders into the cell's metric map and
+// assertion list. A metric missing from some repeat aggregates over the
+// repeats that recorded it; an assertion fails if it failed in any
+// repeat (first failing detail wins).
+func aggregate(recs []*Recorder) (map[string]Metric, []string, []Assertion) {
+	metrics := map[string]Metric{}
+	var order []string
+	seen := map[string]bool{}
+	for _, r := range recs {
+		for _, name := range r.order {
+			if !seen[name] {
+				seen[name] = true
+				order = append(order, name)
+			}
+		}
+	}
+	for _, name := range order {
+		var vals []float64
+		for _, r := range recs {
+			if v, ok := r.metrics[name]; ok {
+				vals = append(vals, v)
+			}
+		}
+		m := Metric{Min: vals[0], Max: vals[0], Repeats: vals}
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+			if v < m.Min {
+				m.Min = v
+			}
+			if v > m.Max {
+				m.Max = v
+			}
+		}
+		m.Mean = sum / float64(len(vals))
+		metrics[name] = m
+	}
+	// Assertions: union by name in first-seen order, all repeats must pass.
+	var anames []string
+	byName := map[string]*Assertion{}
+	for _, r := range recs {
+		for _, a := range r.asserts {
+			cur, ok := byName[a.Name]
+			if !ok {
+				cp := a
+				byName[a.Name] = &cp
+				anames = append(anames, a.Name)
+				continue
+			}
+			if cur.Pass && !a.Pass {
+				cur.Pass = false
+				cur.Detail = a.Detail
+			}
+		}
+	}
+	asserts := make([]Assertion, 0, len(anames))
+	for _, n := range anames {
+		asserts = append(asserts, *byName[n])
+	}
+	return metrics, order, asserts
+}

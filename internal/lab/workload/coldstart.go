@@ -1,0 +1,59 @@
+package workload
+
+import "math/rand"
+
+// ColdStart emits a cold-start storm: brand-new users arriving one after
+// another, each writing RatingsPerUser ratings to existing catalog items
+// before the next user appears. User ids ascend densely from StartUser —
+// consecutive ops never jump the user space by more than one — so the
+// stream always satisfies the auto-grow admission cap
+// (graph.MaxDenseAdmissions) no matter where the system's universe edge
+// stands, and a fleet sees the arrivals spread across every shard
+// (shard.Assign hashes the id). Items are drawn zipf-distributed, so
+// newcomers look like real newcomers: mostly head items with a tail.
+type ColdStart struct {
+	user      int // current arriving user
+	remaining int // ratings this user has yet to write
+	perUser   int
+	r         *rand.Rand
+	zipf      *rand.Zipf
+}
+
+// NewColdStart builds the storm: users startUser, startUser+1, ... each
+// writing perUser ratings into the [0, catalogItems) catalog. perUser
+// and catalogItems must be positive.
+func NewColdStart(startUser, catalogItems, perUser int, seed int64) *ColdStart {
+	if perUser < 1 {
+		panic("workload: ColdStart needs perUser >= 1")
+	}
+	r := rng(seed)
+	return &ColdStart{
+		user:    startUser - 1,
+		perUser: perUser,
+		r:       r,
+		zipf:    zipfFor(r, 1.3, catalogItems),
+	}
+}
+
+// Name implements Generator.
+func (c *ColdStart) Name() string { return "coldstart" }
+
+// Next implements Generator: always a Write, for the storm's current
+// newcomer.
+//
+//ltr:allocfree
+func (c *ColdStart) Next(op *Op) {
+	if c.remaining <= 0 {
+		c.user++
+		c.remaining = c.perUser
+	}
+	c.remaining--
+	op.Kind = Write
+	op.User = c.user
+	op.Item = int(c.zipf.Uint64())
+	op.Score = score(c.r)
+}
+
+// UsersEmitted reports how many distinct new users the stream has
+// started so far.
+func (c *ColdStart) UsersEmitted(startUser int) int { return c.user - startUser + 1 }

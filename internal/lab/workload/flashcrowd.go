@@ -1,0 +1,38 @@
+package workload
+
+import "math/rand"
+
+// FlashCrowd emits the read side of a flash crowd: every op is a
+// recommendation query for one of a tiny hot user set, drawn uniformly.
+// Against a cached serving stack the stream is the singleflight /
+// hit-rate stress: the first touch of each hot user is the only walk the
+// fleet should ever pay — concurrent first touches must coalesce, and
+// every later read must be a cache hit until a write moves the epoch.
+type FlashCrowd struct {
+	hot []int
+	r   *rand.Rand
+}
+
+// NewFlashCrowd builds the crowd over the given hot user set (copied;
+// must be non-empty).
+func NewFlashCrowd(hotUsers []int, seed int64) *FlashCrowd {
+	if len(hotUsers) == 0 {
+		panic("workload: FlashCrowd needs a non-empty hot set")
+	}
+	hot := make([]int, len(hotUsers))
+	copy(hot, hotUsers)
+	return &FlashCrowd{hot: hot, r: rng(seed)}
+}
+
+// Name implements Generator.
+func (f *FlashCrowd) Name() string { return "flashcrowd" }
+
+// Next implements Generator: always a Read on a hot user.
+//
+//ltr:allocfree
+func (f *FlashCrowd) Next(op *Op) {
+	op.Kind = Read
+	op.User = f.hot[f.r.Intn(len(f.hot))]
+	op.Item = 0
+	op.Score = 0
+}

@@ -1,0 +1,111 @@
+// Package workload generates the hostile op streams the lab harness
+// (internal/lab) drives through the real serving stack: cold-start storms
+// of brand-new users, flash-crowd reads concentrated on a tiny hot set,
+// adversarial write floods engineered to maximize cache-invalidation
+// blast radius, and zipf-distributed mixed read/write soak traffic.
+//
+// Every generator is deterministic given its seed — two generators
+// constructed with equal parameters emit byte-identical op streams — so
+// any recorded BENCH_*.json number can be reproduced exactly, and the
+// same streams double as fixtures for the robustness tests. Next fills a
+// caller-owned Op in place; the generator hot loops are annotated
+// //ltr:allocfree and covered by the ltr-vet static gate, so a soak run
+// measures the serving stack, not the harness's garbage.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"longtailrec/internal/dataset"
+)
+
+// Kind says what a workload op does to the system under test.
+type Kind uint8
+
+const (
+	// Read is one recommendation query for Op.User.
+	Read Kind = iota
+	// Write is one live rating write (Op.User, Op.Item, Op.Score).
+	Write
+)
+
+// Op is one operation of a workload stream. The zero value is a Read for
+// user 0; generators overwrite every field on each Next call.
+type Op struct {
+	Kind  Kind
+	User  int
+	Item  int
+	Score float64
+}
+
+// Generator is a deterministic, unbounded op stream. Next overwrites op
+// in place and never allocates in steady state. Generators are NOT safe
+// for concurrent use: concurrent drivers give each worker its own
+// generator (seeded per worker), which also keeps the per-worker streams
+// reproducible regardless of scheduling.
+type Generator interface {
+	// Name identifies the generator family in reports and test output.
+	Name() string
+	// Next fills op with the stream's next operation.
+	Next(op *Op)
+}
+
+// rng returns the seeded source behind every generator. math/rand's
+// algorithm is frozen by the Go 1 compatibility promise, so streams are
+// stable across runs, platforms and toolchain updates.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// zipfFor builds the rank sampler shared by the generators: ranks in
+// [0, n) drawn with P(k) ∝ (v+k)^-s. s must be > 1 (the math/rand
+// sampler's domain); v = 1 puts the mode at rank 0.
+func zipfFor(r *rand.Rand, s float64, n int) *rand.Zipf {
+	if n < 1 {
+		panic("workload: zipf over empty domain")
+	}
+	if s <= 1 {
+		panic(fmt.Sprintf("workload: zipf exponent must be > 1, got %v", s))
+	}
+	return rand.NewZipf(r, s, 1, uint64(n-1))
+}
+
+// score maps a seeded draw onto the 1–5 star scale.
+func score(r *rand.Rand) float64 {
+	return 1 + float64(r.Intn(5))
+}
+
+// SeedRatings deterministically builds the bootstrap corpus for
+// large-scale soak scenarios: numUsers users each rating perUser items
+// drawn zipf-distributed (exponent s) over a numItems catalog, so the
+// corpus has the long-tail popularity skew the serving stack is built
+// for, at million-user scale, without the (much slower) latent-genre
+// machinery of internal/synth. Duplicate (user, item) draws keep the
+// last score, matching live upsert semantics.
+func SeedRatings(numUsers, numItems, perUser int, s float64, seed int64) ([]dataset.Rating, error) {
+	if numUsers < 1 || numItems < 1 || perUser < 1 {
+		return nil, fmt.Errorf("workload: SeedRatings needs positive sizes, got users=%d items=%d perUser=%d", numUsers, numItems, perUser)
+	}
+	r := rng(seed)
+	zipf := zipfFor(r, s, numItems)
+	ratings := make([]dataset.Rating, 0, numUsers*perUser)
+	seen := make(map[int]int, perUser) // item → index into this user's slice
+	for u := 0; u < numUsers; u++ {
+		base := len(ratings)
+		for k := 0; k < perUser; k++ {
+			item := int(zipf.Uint64())
+			sc := score(r)
+			if at, dup := seen[item]; dup {
+				ratings[at].Score = sc
+				continue
+			}
+			seen[item] = len(ratings)
+			ratings = append(ratings, dataset.Rating{User: u, Item: item, Score: sc})
+		}
+		for k := base; k < len(ratings); k++ {
+			delete(seen, ratings[k].Item)
+		}
+	}
+	return ratings, nil
+}

@@ -1,0 +1,77 @@
+package workload
+
+import "math/rand"
+
+// WriteFlood emits an adversarial pure-write stream engineered to
+// maximize the cache-invalidation blast radius: consecutive writes walk
+// the user space with a fixed stride coprime to its size, so every write
+// lands on a different user — and, under a sharded fleet, the epoch of
+// every shard keeps moving (shard.Assign hashes the id, so a user-space
+// sweep sprays all shards) — while items concentrate zipf-style on the
+// head of the catalog, exactly the items cached read results depend on.
+// With one replica this stream kills the whole cache every op; the
+// sharded stack's job is to keep the damage at 1/N per write.
+type WriteFlood struct {
+	numUsers int
+	user     int
+	stride   int
+	r        *rand.Rand
+	zipf     *rand.Zipf
+}
+
+// floodStride picks a stride coprime to n so the user sweep visits every
+// user before repeating. 7919 (the 1000th prime) unless n divides it.
+func floodStride(n int) int {
+	s := 7919 % n
+	if s == 0 {
+		s = 1
+	}
+	for gcd(s, n) != 1 {
+		s++
+		if s >= n {
+			s = 1
+		}
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// NewWriteFlood builds the flood over an existing [0, numUsers) ×
+// [0, numItems) universe (both must be positive; the flood never grows
+// the universe — admission storms are ColdStart's job).
+func NewWriteFlood(numUsers, numItems int, seed int64) *WriteFlood {
+	if numUsers < 1 || numItems < 1 {
+		panic("workload: WriteFlood needs a non-empty universe")
+	}
+	r := rng(seed)
+	return &WriteFlood{
+		numUsers: numUsers,
+		user:     r.Intn(numUsers),
+		stride:   floodStride(numUsers),
+		r:        r,
+		zipf:     zipfFor(r, 1.2, numItems),
+	}
+}
+
+// Name implements Generator.
+func (w *WriteFlood) Name() string { return "writeflood" }
+
+// Next implements Generator: always a Write, on the sweep's next user.
+//
+//ltr:allocfree
+func (w *WriteFlood) Next(op *Op) {
+	op.Kind = Write
+	op.User = w.user
+	op.Item = int(w.zipf.Uint64())
+	op.Score = score(w.r)
+	w.user += w.stride
+	if w.user >= w.numUsers {
+		w.user -= w.numUsers
+	}
+}

@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ZipfMixed emits the soak mix: a Bernoulli(WriteRatio) coin decides
+// write vs read, read users and write targets are both zipf-distributed
+// (hot users ask again and again, hot items get re-rated), and the long
+// tail of both distributions trickles through — the realistic
+// million-user steady state where caches must earn their hit rate with
+// writes continuously chipping at them.
+type ZipfMixed struct {
+	writeRatio float64
+	r          *rand.Rand
+	users      *rand.Zipf
+	items      *rand.Zipf
+}
+
+// NewZipfMixed builds the soak stream over a [0, numUsers) ×
+// [0, numItems) universe. writeRatio is the probability an op is a
+// write (in [0, 1]); s is the zipf exponent shared by the user and item
+// draws (> 1; 1.1 is a realistic web skew).
+func NewZipfMixed(numUsers, numItems int, writeRatio, s float64, seed int64) (*ZipfMixed, error) {
+	if numUsers < 1 || numItems < 1 {
+		return nil, fmt.Errorf("workload: ZipfMixed needs a non-empty universe, got %d users, %d items", numUsers, numItems)
+	}
+	if writeRatio < 0 || writeRatio > 1 {
+		return nil, fmt.Errorf("workload: ZipfMixed write ratio %v outside [0, 1]", writeRatio)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("workload: ZipfMixed zipf exponent must be > 1, got %v", s)
+	}
+	r := rng(seed)
+	return &ZipfMixed{
+		writeRatio: writeRatio,
+		r:          r,
+		users:      zipfFor(r, s, numUsers),
+		items:      zipfFor(r, s, numItems),
+	}, nil
+}
+
+// Name implements Generator.
+func (z *ZipfMixed) Name() string { return "zipfmixed" }
+
+// Next implements Generator.
+//
+//ltr:allocfree
+func (z *ZipfMixed) Next(op *Op) {
+	if z.r.Float64() < z.writeRatio {
+		op.Kind = Write
+		op.User = int(z.users.Uint64())
+		op.Item = int(z.items.Uint64())
+		op.Score = score(z.r)
+		return
+	}
+	op.Kind = Read
+	op.User = int(z.users.Uint64())
+	op.Item = 0
+	op.Score = 0
+}

@@ -1,0 +1,67 @@
+package worlds
+
+import (
+	"reflect"
+	"testing"
+
+	"longtailrec/internal/synth"
+)
+
+func TestKindsResolve(t *testing.T) {
+	kinds := Kinds()
+	if len(kinds) < 2 {
+		t.Fatalf("expected at least movielens and douban, got %v", kinds)
+	}
+	for _, k := range kinds {
+		cfg, err := Config(k, 7)
+		if err != nil {
+			t.Fatalf("Config(%q): %v", k, err)
+		}
+		if cfg.Seed != 7 {
+			t.Fatalf("Config(%q) seed = %d, want 7", k, cfg.Seed)
+		}
+		if cfg.NumUsers <= 0 || cfg.NumItems <= 0 {
+			t.Fatalf("Config(%q) has empty universe: %+v", k, cfg)
+		}
+	}
+}
+
+func TestConfigMatchesSynthCalibrations(t *testing.T) {
+	// The registry must keep pointing at the synth calibrations, not
+	// carry its own copies.
+	ml := synth.MovieLensLike()
+	ml.Seed = 42
+	got, err := Config("movielens", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ml) {
+		t.Fatalf("movielens config drifted:\n got %+v\nwant %+v", got, ml)
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Config("netflix", 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+	if _, err := Generate("netflix", 1); err == nil {
+		t.Fatal("expected error for unknown kind")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("movielens", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("movielens", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data.NumRatings() != b.Data.NumRatings() {
+		t.Fatalf("rating counts differ: %d vs %d", a.Data.NumRatings(), b.Data.NumRatings())
+	}
+	if !reflect.DeepEqual(a.Data.Ratings(), b.Data.Ratings()) {
+		t.Fatal("same (kind, seed) produced different ratings")
+	}
+}
