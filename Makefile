@@ -46,12 +46,12 @@ race:
 
 # Experiment-harness smoke: run the tiny grid (every scenario once at
 # small sizes), validate the freshly emitted report against the schema,
-# and re-validate the committed BENCH_9.json baseline — so neither the
+# and re-validate the committed BENCH_10.json baseline — so neither the
 # harness, the schema nor the checked-in trajectory point can bit-rot.
 lab-smoke: build
 	$(GO) run ./cmd/ltr-lab -grid grids/smoke.json -out /tmp/ltr-lab-smoke.json -csv /tmp/ltr-lab-smoke.csv -quiet
 	$(GO) run ./cmd/ltr-lab -check /tmp/ltr-lab-smoke.json
-	$(GO) run ./cmd/ltr-lab -check BENCH_9.json
+	$(GO) run ./cmd/ltr-lab -check BENCH_10.json
 
 # Short per-query benchmark pass with allocation counts — the regression
 # signal for the zero-allocation query engine, the Request query surface,
@@ -64,11 +64,13 @@ bench: build
 	$(GO) test -run '^$$' -bench 'BenchmarkWALAppend' -benchmem ./internal/wal/
 
 # Native fuzz targets, a short budget each — the long-haul hardening pass
-# for the extractor, the live graph (closed- and open-universe) and the WAL
-# record decoder against torn and corrupted log tails (CI runs the seed
-# corpus via `make test` plus a 10s smoke; this explores further).
+# for the extractor, the live graph (closed- and open-universe), the WAL
+# record decoder against torn and corrupted log tails, and the fingerprint
+# cache's serve-stale-never soundness property (CI runs the seed corpus
+# via `make test` plus a 10s smoke; this explores further).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSubgraphExtract -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzBuilderAddRating -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzUpsertRatingAutoGrow -fuzztime 30s ./internal/graph/
 	$(GO) test -run '^$$' -fuzz FuzzWALDecode -fuzztime 30s ./internal/wal/
+	$(GO) test -run '^$$' -fuzz FuzzFingerprintSoundness -fuzztime 30s ./internal/core/

@@ -451,6 +451,58 @@ func BenchmarkShardedWriteInvalidation(b *testing.B) {
 			}
 		})
 	}
+	// The clustered cell is the fingerprint-precision headline: on the
+	// community-structured corpus with writes confined to the writer's own
+	// cluster, a single-shard fleet — where every write bumps the only
+	// epoch — still retains the other clusters' entries, because subgraph
+	// fingerprints prove non-overlap. The movielens cells above stay
+	// byte-identical for cross-PR comparability; there the graph is one
+	// connected component and sharding is the only blast-radius lever.
+	b.Run("clustered/shards=1", func(b *testing.B) {
+		env := benchEnv(b, "clustered")
+		cfg := longtail.DefaultConfig()
+		cfg.CacheSize = 8192
+		cfg.ShardCount = 1
+		sys, err := longtail.NewSystem(env.Split.Train, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rec, err := sys.Algorithm("AT")
+		if err != nil {
+			b.Fatal(err)
+		}
+		users := env.Panel
+		for _, u := range users {
+			if _, err := rec.Recommend(u, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		uPer := env.World.Config.UsersPerCluster()
+		iPer := env.World.Config.ItemsPerCluster()
+		warm := sys.ServingStats().Cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%8 == 7 {
+				u := users[i%len(users)]
+				item := (u/uPer)*iPer + i%iPer // writer's own cluster
+				if _, _, err := sys.ApplyRating(u, item, 1+float64(i%5)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			u := users[(i*7+1)%len(users)]
+			if _, err := rec.Recommend(u, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		st := sys.ServingStats().Cache
+		hits := (st.Hits + st.Shared) - (warm.Hits + warm.Shared)
+		if lookups := (st.Hits + st.Misses + st.Shared) - (warm.Hits + warm.Misses + warm.Shared); lookups > 0 {
+			b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
+		}
+		b.ReportMetric(float64(st.FingerprintHits-warm.FingerprintHits), "fp-hits")
+	})
 }
 
 // BenchmarkFleetGraphMemory measures the steady-state graph heap of a

@@ -80,7 +80,7 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&o.in, "in", "", "ratings file path (required unless -synthetic)")
 	flag.StringVar(&o.format, "format", "tsv", "input format: tsv, csv, movielens or ltrz")
-	flag.StringVar(&o.synthetic, "synthetic", "", "serve a synthetic corpus instead: movielens or douban")
+	flag.StringVar(&o.synthetic, "synthetic", "", "serve a synthetic corpus instead: "+strings.Join(longtail.WorldKinds(), ", "))
 	flag.StringVar(&o.algo, "algo", "AC2", "default algorithm: "+strings.Join(longtail.AlgorithmNames(), ", "))
 	flag.IntVar(&o.topics, "topics", 20, "LDA topics (AC2/LDA)")
 	flag.Int64Var(&o.seed, "seed", 42, "seed for the synthetic corpus")
@@ -221,16 +221,7 @@ func run(o options) error {
 
 func loadData(in, format, synthetic string, seed int64) (*longtail.Dataset, error) {
 	if synthetic != "" {
-		var w *longtail.World
-		var err error
-		switch synthetic {
-		case "movielens":
-			w, err = longtail.GenerateMovieLensLike(seed)
-		case "douban":
-			w, err = longtail.GenerateDoubanLike(seed)
-		default:
-			return nil, fmt.Errorf("unknown synthetic corpus %q (want movielens or douban)", synthetic)
-		}
+		w, err := longtail.GenerateWorld(synthetic, seed)
 		if err != nil {
 			return nil, err
 		}

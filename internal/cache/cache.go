@@ -1,13 +1,17 @@
-// Package cache provides the sharded, epoch-aware result cache behind the
+// Package cache provides the sharded, revalidating result cache behind the
 // live serving layer: a fixed-capacity LRU of compact recommendation
-// results keyed by (user, algorithm, k, graph epoch), with singleflight
+// results keyed by (user, algorithm, k, options), with singleflight
 // deduplication so a thundering herd of identical queries computes once.
 //
-// Epoch-based invalidation is implicit: the current graph epoch is part of
-// the key, so after a live write every new lookup misses (the epoch moved)
-// and the stale entries — keyed under old epochs — are never served again.
-// They age out of the LRU naturally, or can be swept eagerly with
-// EvictStale.
+// Invalidation is precision-tracked rather than keyed: the graph epoch is
+// NOT part of the key. Instead every lookup revalidates the stored entry
+// through a caller-supplied validate function — typically "is the graph
+// epoch unchanged, or can the entry's subgraph fingerprint prove no
+// relevant write happened" (see graph.CheckFingerprint). A stale verdict
+// drops the entry and the lookup proceeds as a miss; singleflight waiters
+// revalidate shared results too, so a flight that resolved after a
+// relevant write is never served stale. EvictStale's role is taken by
+// Revalidate, a bounded sweep applying the same verdicts.
 //
 // The cache is value-generic so it carries compact result slices without
 // importing the packages that define them (no dependency cycles with the
@@ -27,20 +31,19 @@ import (
 // power of two.
 const numShards = 16
 
-// Key identifies one cached recommendation result. Epoch is the graph
-// epoch the result was computed at; including it makes every live write
-// an implicit whole-cache invalidation without any locking handshake
-// between writers and the cache. Opts is the canonical encoding of the
-// request's option set (core.Request.OptionsKey) — "" for the plain
-// (user, k) query — so two requests that differ only in per-request
-// options can never share an entry: Key is compared structurally by the
-// shard maps, and the encoding is exact, not a lossy hash.
+// Key identifies one cached recommendation result. Freshness is NOT part
+// of the key — entries are revalidated on every lookup (see Verdict) —
+// so a result's identity survives graph writes that cannot affect it.
+// Opts is the canonical encoding of the request's option set
+// (core.Request.OptionsKey) — "" for the plain (user, k) query — so two
+// requests that differ only in per-request options can never share an
+// entry: Key is compared structurally by the shard maps, and the encoding
+// is exact, not a lossy hash.
 type Key struct {
-	User  int
-	Algo  string
-	K     int
-	Epoch uint64
-	Opts  string
+	User int
+	Algo string
+	K    int
+	Opts string
 }
 
 // hash mixes the key fields FNV-1a style into a shard selector.
@@ -58,7 +61,6 @@ func (k Key) hash() uint64 {
 	}
 	mix(uint64(k.User))
 	mix(uint64(k.K))
-	mix(k.Epoch)
 	for i := 0; i < len(k.Algo); i++ {
 		h ^= uint64(k.Algo[i])
 		h *= prime64
@@ -70,19 +72,53 @@ func (k Key) hash() uint64 {
 	return h
 }
 
+// Verdict is a validate function's ruling on one stored entry.
+type Verdict int
+
+const (
+	// VerdictFresh: the entry is current (typically: the graph epoch has
+	// not moved since it was built). Served as a plain hit.
+	VerdictFresh Verdict = iota
+	// VerdictFreshValidated: the epoch moved but the entry's fingerprint
+	// PROVED no write touched its dependency set — a hit the old
+	// epoch-keyed design would have missed. Served as a hit and counted
+	// in Stats.FingerprintHits.
+	VerdictFreshValidated
+	// VerdictStale: the entry cannot be proven current (epoch moved and no
+	// fingerprint evidence either way). Dropped; the lookup misses.
+	VerdictStale
+	// VerdictStaleFingerprint: the journal scan found a write plausibly
+	// inside the entry's subgraph. Dropped; counted in
+	// Stats.FingerprintRejects.
+	VerdictStaleFingerprint
+	// VerdictStaleOverflow: too many writes since the entry was built for
+	// the journal to prove anything — soundly degraded to stale. Dropped;
+	// counted in FingerprintRejects and JournalOverflows.
+	VerdictStaleOverflow
+)
+
+// fresh reports whether the verdict allows serving the entry.
+func (v Verdict) fresh() bool { return v == VerdictFresh || v == VerdictFreshValidated }
+
 // Stats is a point-in-time snapshot of cache effectiveness counters.
 type Stats struct {
 	Hits      uint64 // lookups served from a stored entry
 	Misses    uint64 // lookups that ran the compute function
 	Shared    uint64 // lookups that piggybacked on an in-flight compute
-	Evictions uint64 // entries dropped (capacity pressure or EvictStale)
-	Size      int    // entries currently stored
-	Capacity  int    // maximum entries
+	Evictions uint64 // entries dropped (capacity pressure, stale verdicts, Revalidate)
+
+	// Precision-invalidation counters (see Verdict).
+	FingerprintHits    uint64 // hits proven fresh by fingerprint despite epoch movement
+	FingerprintRejects uint64 // entries dropped on fingerprint/overflow evidence
+	JournalOverflows   uint64 // rejects caused by journal overflow specifically
+
+	Size     int // entries currently stored
+	Capacity int // maximum entries
 }
 
-// Cache is a sharded LRU with singleflight deduplication. The zero value
-// is not usable; construct with New. All methods are safe for concurrent
-// use.
+// Cache is a sharded LRU with revalidating lookups and singleflight
+// deduplication. The zero value is not usable; construct with New. All
+// methods are safe for concurrent use.
 type Cache[V any] struct {
 	shards   [numShards]shard[V]
 	capacity int
@@ -96,6 +132,7 @@ type shard[V any] struct {
 	inflight map[Key]*flight[V]
 
 	hits, misses, shared, evictions uint64
+	fpHits, fpRejects, jOverflows   uint64
 }
 
 type entry[V any] struct {
@@ -136,15 +173,62 @@ func (c *Cache[V]) shard(k Key) *shard[V] {
 	return &c.shards[k.hash()&(numShards-1)]
 }
 
-// Get returns the stored value for k, marking it most recently used.
+// verdictOf runs validate against a stored value; a nil validate accepts
+// everything (an unvalidated cache behaves like a plain LRU).
+func verdictOf[V any](validate func(*V) Verdict, v *V) Verdict {
+	if validate == nil {
+		return VerdictFresh
+	}
+	return validate(v)
+}
+
+// serveLocked books a fresh verdict as a hit. Caller holds s.mu.
+func (s *shard[V]) serveLocked(el *list.Element, vd Verdict) {
+	s.lru.MoveToFront(el)
+	s.hits++
+	if vd == VerdictFreshValidated {
+		s.fpHits++
+	}
+}
+
+// dropLocked removes a stale entry and books its verdict. Caller holds
+// s.mu.
+func (s *shard[V]) dropLocked(el *list.Element, vd Verdict) {
+	e := el.Value.(*entry[V])
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.evictions++
+	switch vd {
+	case VerdictStaleFingerprint:
+		s.fpRejects++
+	case VerdictStaleOverflow:
+		s.fpRejects++
+		s.jOverflows++
+	}
+}
+
+// Get returns the stored value for k without revalidation, marking it most
+// recently used. Callers that can judge freshness should use GetValidated.
 func (c *Cache[V]) Get(k Key) (V, bool) {
+	return c.GetValidated(k, nil)
+}
+
+// GetValidated returns the stored value for k if validate rules it fresh,
+// marking it most recently used; a stale entry is dropped and the lookup
+// reports a miss. validate runs under the shard lock — it must be cheap
+// and must not call back into the cache.
+func (c *Cache[V]) GetValidated(k Key, validate func(*V) Verdict) (V, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[k]; ok {
-		s.lru.MoveToFront(el)
-		s.hits++
-		return el.Value.(*entry[V]).val, true
+		e := el.Value.(*entry[V])
+		if vd := verdictOf(validate, &e.val); vd.fresh() {
+			s.serveLocked(el, vd)
+			return e.val, true
+		} else {
+			s.dropLocked(el, vd)
+		}
 	}
 	s.misses++
 	var zero V
@@ -174,14 +258,15 @@ func (s *shard[V]) putLocked(k Key, v V) {
 	}
 }
 
-// Do returns the cached value for k, or computes it exactly once: when
-// several goroutines ask for the same absent key concurrently, one runs
-// compute and the rest block until it finishes (singleflight). fromCache
-// reports whether the caller avoided computing — a stored hit or a shared
-// in-flight result. Errors are returned to every waiter and are not
-// cached, so a failed compute is retried by the next lookup.
-func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, err error) {
-	return c.DoCtx(nil, k, compute)
+// Do returns the cached value for k (when validate rules it fresh), or
+// computes it exactly once: when several goroutines ask for the same
+// absent key concurrently, one runs compute and the rest block until it
+// finishes (singleflight). fromCache reports whether the caller avoided
+// computing — a stored hit or a shared in-flight result. Errors are
+// returned to every waiter and are not cached, so a failed compute is
+// retried by the next lookup.
+func (c *Cache[V]) Do(k Key, validate func(*V) Verdict, compute func() (V, error)) (v V, fromCache bool, err error) {
+	return c.DoCtx(nil, k, validate, compute)
 }
 
 // DoCtx is Do with a caller context governing the WAIT, not the
@@ -190,72 +275,95 @@ func (c *Cache[V]) Do(k Key, compute func() (V, error)) (v V, fromCache bool, er
 // the leader's flight resolves. The leader itself runs compute to
 // completion regardless (compute may observe its own context
 // internally); a nil ctx waits unconditionally.
-func (c *Cache[V]) DoCtx(ctx context.Context, k Key, compute func() (V, error)) (v V, fromCache bool, err error) {
+//
+// Shared flight results are revalidated before being served: a waiter that
+// joined a compute started before a relevant write retries the lookup
+// (the leader stored the now-stale entry; the retry's validation drops it
+// and starts a fresh flight) instead of returning a result the validate
+// function would reject. Waiters therefore never observe staleness the
+// stored-entry path would have caught.
+func (c *Cache[V]) DoCtx(ctx context.Context, k Key, validate func(*V) Verdict, compute func() (V, error)) (v V, fromCache bool, err error) {
 	s := c.shard(k)
-	s.mu.Lock()
-	if el, ok := s.entries[k]; ok {
-		s.lru.MoveToFront(el)
-		s.hits++
-		v = el.Value.(*entry[V]).val
-		s.mu.Unlock()
-		return v, true, nil
-	}
-	if fl, ok := s.inflight[k]; ok {
-		s.shared++
-		s.mu.Unlock()
-		if ctx != nil {
-			select {
-			case <-fl.done:
-			case <-ctx.Done():
-				var zero V
-				return zero, true, ctx.Err()
-			}
-		} else {
-			<-fl.done
-		}
-		return fl.val, true, fl.err
-	}
-	fl := &flight[V]{done: make(chan struct{})}
-	s.inflight[k] = fl
-	s.misses++
-	s.mu.Unlock()
-
-	// The deferred cleanup runs even when compute panics (the panic keeps
-	// propagating to the caller): the flight must be deregistered and done
-	// closed, or every later lookup of this key would block forever.
-	completed := false
-	defer func() {
-		if !completed {
-			fl.err = fmt.Errorf("cache: compute for %+v panicked", k)
-		}
+	for {
 		s.mu.Lock()
-		delete(s.inflight, k)
-		if fl.err == nil {
-			s.putLocked(k, fl.val)
+		if el, ok := s.entries[k]; ok {
+			e := el.Value.(*entry[V])
+			if vd := verdictOf(validate, &e.val); vd.fresh() {
+				s.serveLocked(el, vd)
+				v = e.val
+				s.mu.Unlock()
+				return v, true, nil
+			} else {
+				s.dropLocked(el, vd)
+			}
 		}
+		if fl, ok := s.inflight[k]; ok {
+			s.shared++
+			s.mu.Unlock()
+			if ctx != nil {
+				select {
+				case <-fl.done:
+				case <-ctx.Done():
+					var zero V
+					return zero, true, ctx.Err()
+				}
+			} else {
+				<-fl.done
+			}
+			if fl.err != nil {
+				return fl.val, true, fl.err
+			}
+			if verdictOf(validate, &fl.val).fresh() {
+				return fl.val, true, nil
+			}
+			// The flight resolved stale (a relevant write landed while it
+			// ran). Retry: the next iteration drops the leader's stored
+			// entry and computes fresh.
+			continue
+		}
+		fl := &flight[V]{done: make(chan struct{})}
+		s.inflight[k] = fl
+		s.misses++
 		s.mu.Unlock()
-		close(fl.done)
-	}()
-	fl.val, fl.err = compute()
-	completed = true
-	return fl.val, false, fl.err
+
+		// The deferred cleanup runs even when compute panics (the panic keeps
+		// propagating to the caller): the flight must be deregistered and done
+		// closed, or every later lookup of this key would block forever.
+		completed := false
+		defer func() {
+			if !completed {
+				fl.err = fmt.Errorf("cache: compute for %+v panicked", k)
+			}
+			s.mu.Lock()
+			delete(s.inflight, k)
+			if fl.err == nil {
+				s.putLocked(k, fl.val)
+			}
+			s.mu.Unlock()
+			close(fl.done)
+		}()
+		fl.val, fl.err = compute()
+		completed = true
+		return fl.val, false, fl.err
+	}
 }
 
-// evictScanCap bounds how many entries one EvictStale call examines per
+// evictScanCap bounds how many entries one Revalidate call examines per
 // shard, so the sweep cannot hold a shard lock for an O(entries) scan
 // while serving lookups wait behind it. 1024 covers the whole shard at
 // the default capacity (4096/16 = 256 per shard) in a single call.
 const evictScanCap = 1024
 
-// EvictStale removes entries whose epoch differs from current — the eager
-// companion to the implicit epoch invalidation — and returns how many
-// were dropped. Each call scans at most evictScanCap entries per shard,
-// from the cold (LRU) end where stale entries accumulate: stale keys are
-// never looked up again, so they only sink while fresh entries are
-// re-touched toward the front. On caches larger than numShards×1024 one
-// call is therefore a bounded partial sweep; periodic callers converge,
-// and anything missed still ages out of the LRU naturally.
-func (c *Cache[V]) EvictStale(current uint64) int {
+// Revalidate sweeps stored entries through validate, dropping every entry
+// ruled stale, and returns how many were dropped — the eager companion to
+// the per-lookup revalidation. Each call scans at most evictScanCap
+// entries per shard, from the cold (LRU) end where stale entries
+// accumulate: stale keys fail their next lookup anyway, so they only sink
+// while fresh entries are re-touched toward the front. On caches larger
+// than numShards×1024 one call is therefore a bounded partial sweep;
+// periodic callers converge, and anything missed is caught at lookup time
+// or ages out of the LRU naturally.
+func (c *Cache[V]) Revalidate(validate func(*V) Verdict) int {
 	dropped := 0
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -263,10 +371,9 @@ func (c *Cache[V]) EvictStale(current uint64) int {
 		scanned := 0
 		for el := s.lru.Back(); el != nil && scanned < evictScanCap; scanned++ {
 			prev := el.Prev()
-			if e := el.Value.(*entry[V]); e.key.Epoch != current {
-				s.lru.Remove(el)
-				delete(s.entries, e.key)
-				s.evictions++
+			e := el.Value.(*entry[V])
+			if vd := verdictOf(validate, &e.val); !vd.fresh() {
+				s.dropLocked(el, vd)
 				dropped++
 			}
 			el = prev
@@ -309,6 +416,9 @@ func (c *Cache[V]) Stats() Stats {
 		st.Misses += s.misses
 		st.Shared += s.shared
 		st.Evictions += s.evictions
+		st.FingerprintHits += s.fpHits
+		st.FingerprintRejects += s.fpRejects
+		st.JournalOverflows += s.jOverflows
 		st.Size += s.lru.Len()
 		s.mu.Unlock()
 	}

@@ -3,37 +3,93 @@ package cache
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
-func key(u int, epoch uint64) Key {
-	return Key{User: u, Algo: "AT", K: 10, Epoch: epoch}
+func key(u int) Key {
+	return Key{User: u, Algo: "AT", K: 10}
+}
+
+// epochVal pairs a value with the epoch it was computed at — the test
+// double for how the serving layer validates entries now that freshness
+// is a verdict, not part of the key.
+type epochVal struct {
+	epoch uint64
+	v     int
+}
+
+// atEpoch is the plain epoch-exact validator: fresh iff the entry was
+// built at the current epoch.
+func atEpoch(cur uint64) func(*epochVal) Verdict {
+	return func(e *epochVal) Verdict {
+		if e.epoch == cur {
+			return VerdictFresh
+		}
+		return VerdictStale
+	}
 }
 
 func TestGetPut(t *testing.T) {
 	c := New[string](64)
-	if _, ok := c.Get(key(1, 0)); ok {
+	if _, ok := c.Get(key(1)); ok {
 		t.Fatal("empty cache returned a value")
 	}
-	c.Put(key(1, 0), "a")
-	if v, ok := c.Get(key(1, 0)); !ok || v != "a" {
+	c.Put(key(1), "a")
+	if v, ok := c.Get(key(1)); !ok || v != "a" {
 		t.Fatalf("Get = (%q, %v), want (a, true)", v, ok)
 	}
-	// Same user, different epoch: distinct key.
-	if _, ok := c.Get(key(1, 1)); ok {
-		t.Fatal("epoch is not part of the key")
-	}
-	c.Put(key(1, 0), "b")
-	if v, _ := c.Get(key(1, 0)); v != "b" {
+	c.Put(key(1), "b")
+	if v, _ := c.Get(key(1)); v != "b" {
 		t.Fatalf("overwrite: got %q, want b", v)
 	}
 	st := c.Stats()
 	if st.Size != 1 {
 		t.Errorf("Size = %d, want 1", st.Size)
+	}
+}
+
+// TestGetValidatedVerdicts pins the verdict bookkeeping: a stale verdict
+// drops the entry and books a miss, VerdictFreshValidated counts a
+// fingerprint hit, and the two stale-with-evidence verdicts feed the
+// reject/overflow counters.
+func TestGetValidatedVerdicts(t *testing.T) {
+	c := New[int](64)
+	pass := func(vd Verdict) func(*int) Verdict {
+		return func(*int) Verdict { return vd }
+	}
+
+	c.Put(key(1), 1)
+	if v, ok := c.GetValidated(key(1), pass(VerdictFreshValidated)); !ok || v != 1 {
+		t.Fatalf("validated hit = (%d, %v), want (1, true)", v, ok)
+	}
+	if st := c.Stats(); st.FingerprintHits != 1 || st.Hits != 1 {
+		t.Errorf("after validated hit: fpHits=%d hits=%d, want 1 and 1", st.FingerprintHits, st.Hits)
+	}
+
+	if _, ok := c.GetValidated(key(1), pass(VerdictStale)); ok {
+		t.Fatal("stale entry served")
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("stale entry survived its verdict")
+	}
+
+	c.Put(key(2), 2)
+	if _, ok := c.GetValidated(key(2), pass(VerdictStaleFingerprint)); ok {
+		t.Fatal("fingerprint-rejected entry served")
+	}
+	c.Put(key(3), 3)
+	if _, ok := c.GetValidated(key(3), pass(VerdictStaleOverflow)); ok {
+		t.Fatal("overflow-rejected entry served")
+	}
+	st := c.Stats()
+	if st.FingerprintRejects != 2 {
+		t.Errorf("FingerprintRejects = %d, want 2", st.FingerprintRejects)
+	}
+	if st.JournalOverflows != 1 {
+		t.Errorf("JournalOverflows = %d, want 1", st.JournalOverflows)
 	}
 }
 
@@ -44,7 +100,7 @@ func TestLRUEviction(t *testing.T) {
 	// users and rely on aggregate bound instead).
 	c := New[int](numShards) // 1 entry per shard
 	for u := 0; u < 10*numShards; u++ {
-		c.Put(key(u, 0), u)
+		c.Put(key(u), u)
 	}
 	st := c.Stats()
 	if st.Size > numShards {
@@ -66,7 +122,7 @@ func TestDoSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			v, _, err := c.Do(key(7, 3), func() (int, error) {
+			v, _, err := c.Do(key(7), nil, func() (int, error) {
 				computes.Add(1)
 				<-release
 				return 42, nil
@@ -95,22 +151,83 @@ func TestDoSingleflight(t *testing.T) {
 		t.Errorf("stats misses=%d shared=%d, want 1 and %d", st.Misses, st.Shared, waiters-1)
 	}
 	// Second call: pure hit.
-	if v, fromCache, _ := c.Do(key(7, 3), func() (int, error) { return 0, errors.New("must not run") }); !fromCache || v != 42 {
+	if v, fromCache, _ := c.Do(key(7), nil, func() (int, error) { return 0, errors.New("must not run") }); !fromCache || v != 42 {
 		t.Errorf("warm Do = (%d, %v), want (42, true)", v, fromCache)
+	}
+}
+
+// TestDoWaiterRevalidates pins the singleflight soundness rule: a waiter
+// that piggybacked on a flight whose result went stale while it ran (a
+// relevant write landed mid-compute) must NOT serve the shared value — it
+// retries the lookup, drops the leader's stored entry, and computes
+// fresh.
+func TestDoWaiterRevalidates(t *testing.T) {
+	c := New[epochVal](64)
+	var cur atomic.Uint64
+	cur.Store(1)
+	validate := func(e *epochVal) Verdict {
+		if e.epoch == cur.Load() {
+			return VerdictFresh
+		}
+		return VerdictStale
+	}
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, _, err := c.Do(key(1), validate, func() (epochVal, error) {
+			close(started)
+			<-release
+			return epochVal{epoch: 1, v: 10}, nil
+		})
+		if err != nil || v.v != 10 {
+			t.Errorf("leader got (%+v, %v)", v, err)
+		}
+	}()
+	<-started
+	waiterDone := make(chan struct{})
+	recomputed := make(chan struct{})
+	go func() {
+		defer close(waiterDone)
+		v, fromCache, err := c.Do(key(1), validate, func() (epochVal, error) {
+			close(recomputed)
+			return epochVal{epoch: 2, v: 20}, nil
+		})
+		if err != nil || fromCache || v.v != 20 {
+			t.Errorf("waiter got (%+v, %v, %v), want fresh 20", v, fromCache, err)
+		}
+	}()
+	// Wait for the waiter to join the flight, then move the epoch so the
+	// flight's result resolves stale, then let the leader finish.
+	for c.Stats().Shared == 0 {
+	}
+	cur.Store(2)
+	close(release)
+	select {
+	case <-recomputed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter served the stale shared value instead of recomputing")
+	}
+	<-leaderDone
+	<-waiterDone
+	if v, ok := c.Get(key(1)); !ok || v.v != 20 {
+		t.Fatalf("final entry = (%+v, %v), want the recomputed value", v, ok)
 	}
 }
 
 func TestDoErrorNotCached(t *testing.T) {
 	c := New[int](64)
 	boom := errors.New("boom")
-	if _, _, err := c.Do(key(1, 0), func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(key(1), nil, func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	if c.Len() != 0 {
 		t.Fatal("error result was cached")
 	}
 	// Next call retries the compute.
-	v, fromCache, err := c.Do(key(1, 0), func() (int, error) { return 5, nil })
+	v, fromCache, err := c.Do(key(1), nil, func() (int, error) { return 5, nil })
 	if err != nil || fromCache || v != 5 {
 		t.Fatalf("retry = (%d, %v, %v), want (5, false, nil)", v, fromCache, err)
 	}
@@ -127,7 +244,7 @@ func TestDoPanicSafe(t *testing.T) {
 				t.Fatal("panic did not propagate")
 			}
 		}()
-		c.Do(key(3, 0), func() (int, error) { panic("boom") })
+		c.Do(key(3), nil, func() (int, error) { panic("boom") })
 	}()
 	if c.Len() != 0 {
 		t.Fatal("panicked compute left a cached entry")
@@ -136,7 +253,7 @@ func TestDoPanicSafe(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		v, fromCache, err := c.Do(key(3, 0), func() (int, error) { return 9, nil })
+		v, fromCache, err := c.Do(key(3), nil, func() (int, error) { return 9, nil })
 		if err != nil || fromCache || v != 9 {
 			t.Errorf("post-panic Do = (%d, %v, %v), want (9, false, nil)", v, fromCache, err)
 		}
@@ -148,20 +265,21 @@ func TestDoPanicSafe(t *testing.T) {
 	}
 }
 
-func TestEvictStale(t *testing.T) {
-	c := New[int](256)
+func TestRevalidate(t *testing.T) {
+	c := New[epochVal](256)
 	for u := 0; u < 10; u++ {
-		c.Put(key(u, 1), u)
+		c.Put(key(u), epochVal{epoch: 1, v: u})
+	}
+	// Users 0..3 recomputed at epoch 2; 4..9 still carry epoch 1.
+	for u := 0; u < 4; u++ {
+		c.Put(key(u), epochVal{epoch: 2, v: 100 + u})
+	}
+	if dropped := c.Revalidate(atEpoch(2)); dropped != 6 {
+		t.Fatalf("Revalidate dropped %d, want exactly the 6 stale entries", dropped)
 	}
 	for u := 0; u < 4; u++ {
-		c.Put(key(u, 2), 100+u)
-	}
-	if dropped := c.EvictStale(2); dropped != 10 {
-		t.Fatalf("EvictStale dropped %d, want exactly the 10 stale entries", dropped)
-	}
-	for u := 0; u < 4; u++ {
-		if v, ok := c.Get(key(u, 2)); !ok || v != 100+u {
-			t.Errorf("current-epoch entry %d lost: (%d, %v)", u, v, ok)
+		if v, ok := c.Get(key(u)); !ok || v.v != 100+u {
+			t.Errorf("current-epoch entry %d lost: (%+v, %v)", u, v, ok)
 		}
 	}
 	if c.Len() != 4 {
@@ -169,18 +287,18 @@ func TestEvictStale(t *testing.T) {
 	}
 }
 
-// TestEvictStaleBoundedWork: one EvictStale call examines at most
+// TestRevalidateBoundedWork: one Revalidate call examines at most
 // evictScanCap entries per shard — the guard against a full O(entries)
 // scan holding each shard lock while lookups queue behind it — while
 // repeated calls still converge to a fully swept cache.
-func TestEvictStaleBoundedWork(t *testing.T) {
+func TestRevalidateBoundedWork(t *testing.T) {
 	const total = 3 * numShards * evictScanCap
-	c := New[int](total)
+	c := New[epochVal](total)
 	for u := 0; u < total; u++ {
-		c.Put(key(u, 1), u)
+		c.Put(key(u), epochVal{epoch: 1, v: u})
 	}
 	perCallCap := numShards * evictScanCap
-	dropped := c.EvictStale(2)
+	dropped := c.Revalidate(atEpoch(2))
 	if dropped > perCallCap {
 		t.Fatalf("one call dropped %d entries, cap is %d", dropped, perCallCap)
 	}
@@ -190,9 +308,9 @@ func TestEvictStaleBoundedWork(t *testing.T) {
 	swept := dropped
 	for calls := 1; swept < total; calls++ {
 		if calls > 3*numShards {
-			t.Fatalf("EvictStale failed to converge: %d/%d after %d calls", swept, total, calls)
+			t.Fatalf("Revalidate failed to converge: %d/%d after %d calls", swept, total, calls)
 		}
-		n := c.EvictStale(2)
+		n := c.Revalidate(atEpoch(2))
 		if n > perCallCap {
 			t.Fatalf("call %d dropped %d entries, cap is %d", calls, n, perCallCap)
 		}
@@ -203,24 +321,24 @@ func TestEvictStaleBoundedWork(t *testing.T) {
 	}
 }
 
-// BenchmarkEvictStale is the latency guard for the bounded sweep: the
+// BenchmarkRevalidate is the latency guard for the bounded sweep: the
 // per-call cost must stay flat as the cache grows, because each call
 // examines at most evictScanCap entries per shard regardless of size.
-func BenchmarkEvictStale(b *testing.B) {
+func BenchmarkRevalidate(b *testing.B) {
 	const n = 64 << 10
-	c := New[int](n)
+	c := New[epochVal](n)
 	for u := 0; u < n; u++ {
-		c.Put(key(u, 1), u)
+		c.Put(key(u), epochVal{epoch: 1, v: u})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.EvictStale(2)
+		c.Revalidate(atEpoch(2))
 		if c.Len() == 0 {
 			// Refill off the clock so every iteration measures a sweep over
 			// a populated cache.
 			b.StopTimer()
 			for u := 0; u < n; u++ {
-				c.Put(key(u, 1), u)
+				c.Put(key(u), epochVal{epoch: 1, v: u})
 			}
 			b.StartTimer()
 		}
@@ -232,7 +350,7 @@ func TestPurgeAndCapacity(t *testing.T) {
 	if c.Capacity() != 4096 {
 		t.Errorf("default capacity = %d, want 4096", c.Capacity())
 	}
-	c.Put(key(1, 0), 1)
+	c.Put(key(1), 1)
 	c.Purge()
 	if c.Len() != 0 {
 		t.Error("Purge left entries behind")
@@ -242,7 +360,15 @@ func TestPurgeAndCapacity(t *testing.T) {
 // TestConcurrentCacheMixed hammers all operations from many goroutines;
 // meaningful under -race.
 func TestConcurrentCacheMixed(t *testing.T) {
-	c := New[string](128)
+	c := New[epochVal](128)
+	var cur atomic.Uint64
+	cur.Store(1)
+	validate := func(e *epochVal) Verdict {
+		if e.epoch >= cur.Load() {
+			return VerdictFresh
+		}
+		return VerdictStale
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -250,26 +376,26 @@ func TestConcurrentCacheMixed(t *testing.T) {
 			defer wg.Done()
 			for q := 0; q < 300; q++ {
 				u := (w + q) % 40
-				epoch := uint64(q / 100)
 				switch q % 4 {
 				case 0:
-					c.Put(key(u, epoch), fmt.Sprintf("%d@%d", u, epoch))
+					c.Put(key(u), epochVal{epoch: cur.Load(), v: u})
 				case 1:
-					if v, ok := c.Get(key(u, epoch)); ok {
-						if want := fmt.Sprintf("%d@%d", u, epoch); v != want {
-							t.Errorf("got %q want %q", v, want)
-							return
-						}
+					if v, ok := c.GetValidated(key(u), validate); ok && v.v != u {
+						t.Errorf("got %d want %d", v.v, u)
+						return
 					}
 				case 2:
-					if _, _, err := c.Do(key(u, epoch), func() (string, error) {
-						return fmt.Sprintf("%d@%d", u, epoch), nil
+					if _, _, err := c.Do(key(u), validate, func() (epochVal, error) {
+						return epochVal{epoch: cur.Load(), v: u}, nil
 					}); err != nil {
 						t.Error(err)
 						return
 					}
 				default:
-					c.EvictStale(epoch)
+					if q%100 == 99 {
+						cur.Add(1)
+					}
+					c.Revalidate(validate)
 				}
 			}
 		}(w)
@@ -289,7 +415,7 @@ func TestDoCtxWaiterRelease(t *testing.T) {
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		v, _, err := c.Do(k, func() (int, error) {
+		v, _, err := c.Do(k, nil, func() (int, error) {
 			close(started)
 			<-release
 			return 7, nil
@@ -302,7 +428,7 @@ func TestDoCtxWaiterRelease(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	begin := time.Now()
-	_, shared, err := c.DoCtx(ctx, k, func() (int, error) {
+	_, shared, err := c.DoCtx(ctx, k, nil, func() (int, error) {
 		t.Error("waiter became a second leader for an in-flight key")
 		return 0, nil
 	})

@@ -1,9 +1,16 @@
-// The epoch-invalidated result cache in front of any Recommender — the
-// serving-layer half of the live-update design. The graph carries a
-// monotonically increasing epoch (bumped on every accepted live write);
-// cached results are keyed by (user, algorithm, k, epoch, option set),
-// so a write makes every earlier entry unreachable without any lock
-// handshake between the writer and the cache, and two requests that
+// The revalidating result cache in front of any Recommender — the
+// serving-layer half of the live-update design. Cached results are keyed
+// by (user, algorithm, k, option set) and carry their dependency
+// fingerprint: the graph epoch they were built at plus (for walk
+// recommenders) a write-generation watermark and a bloom filter of the
+// extracted subgraph's node ids. A lookup whose epoch moved is not
+// automatically a miss anymore: the entry revalidates by scanning the
+// graph's write journal for touches inside its bloom
+// (graph.CheckFingerprint), so a write to user A leaves user B's entry
+// alive unless B's subgraph plausibly contains a touched node. Entries
+// without a usable fingerprint (non-walk recommenders, long-tail-only
+// requests whose cutoff depends on the global popularity vector) fall
+// back to exact epoch matching — the old behavior. Two requests that
 // differ only in per-request options (candidate filters, exclusions,
 // long-tail mode) can never share an entry — the option set is folded
 // into the key as its exact canonical encoding (Request.OptionsKey).
@@ -18,12 +25,62 @@ import (
 	"fmt"
 
 	"longtailrec/internal/cache"
+	"longtailrec/internal/graph"
 )
 
 // EpochSource exposes the current graph epoch. *graph.Bipartite satisfies
 // it; tests can substitute a counter.
 type EpochSource interface {
 	Epoch() uint64
+}
+
+// FingerprintSource extends EpochSource with journal-backed fingerprint
+// revalidation. *graph.Bipartite satisfies it; sources that don't are
+// validated epoch-exactly.
+type FingerprintSource interface {
+	EpochSource
+	CheckFingerprint(*graph.Fingerprint) graph.FingerprintStatus
+}
+
+// CacheEntry is one stored recommendation result plus the freshness
+// evidence needed to revalidate it: the epoch read BEFORE its compute
+// started (so an entry computed while a write landed can only be served
+// epoch-exactly while that pre-compute epoch still stands — exactly the
+// guarantee the old epoch-in-the-key design gave) and the walk's
+// dependency fingerprint (invalid when the producing path can't
+// fingerprint, e.g. non-walk recommenders or long-tail-only requests).
+type CacheEntry struct {
+	Resp       Response
+	FP         graph.Fingerprint
+	BuildEpoch uint64
+}
+
+// EntryValidator builds the cache validate function for entries served
+// against src: epoch unchanged → fresh; otherwise the entry's
+// fingerprint is checked against the source's write journal when both
+// sides support it, and anything unprovable is stale. Used by
+// CachedRecommender on every lookup and by the fleet's revalidation
+// sweep (shard.Fleet.EvictStale) — validation is graph-level, not
+// algorithm-level, so one validator serves every algorithm sharing a
+// graph view.
+func EntryValidator(src EpochSource) func(*CacheEntry) cache.Verdict {
+	fps, _ := src.(FingerprintSource)
+	return func(e *CacheEntry) cache.Verdict {
+		if e.BuildEpoch == src.Epoch() {
+			return cache.VerdictFresh
+		}
+		if fps == nil || !e.FP.Valid() {
+			return cache.VerdictStale
+		}
+		switch fps.CheckFingerprint(&e.FP) {
+		case graph.FingerprintFresh:
+			return cache.VerdictFreshValidated
+		case graph.FingerprintOverflow:
+			return cache.VerdictStaleOverflow
+		default:
+			return cache.VerdictStaleFingerprint
+		}
+	}
 }
 
 // ServingStats is the live-serving state the HTTP layer reports on
@@ -89,23 +146,50 @@ type ShardStats struct {
 	Cache cache.Stats
 }
 
-// CachedRecommender wraps a Recommender with an epoch-invalidated result
-// cache. Recommend and RecommendRequest consult the cache; ScoreItems (a
-// full-universe diagnostic vector) always recomputes. Safe for concurrent
-// use when the inner recommender is.
+// fingerprintRecommender is the fingerprint production path the walk
+// recommenders implement: RecommendRequest also reporting the query's
+// dependency fingerprint.
+type fingerprintRecommender interface {
+	RecommendRequestFP(req Request) (Response, graph.Fingerprint, error)
+}
+
+// fingerprintBatchRecommender is the batch counterpart.
+type fingerprintBatchRecommender interface {
+	RecommendRequestBatchFP(reqs []Request, parallelism int) ([]Response, []graph.Fingerprint, error)
+}
+
+// CachedRecommender wraps a Recommender with a revalidating result cache
+// (see the package comment above and EntryValidator). Recommend and
+// RecommendRequest consult the cache; ScoreItems (a full-universe
+// diagnostic vector) always recomputes. Safe for concurrent use when the
+// inner recommender is.
 type CachedRecommender struct {
 	inner  Recommender
 	epochs EpochSource
-	cache  *cache.Cache[Response]
+	cache  *cache.Cache[CacheEntry]
+	// validate is the entry validator bound to epochs, built once at
+	// construction (one closure for the recommender's lifetime — none per
+	// lookup).
+	validate func(*CacheEntry) cache.Verdict
+	// fpInner / fpBatchInner are inner's fingerprint production paths when
+	// it has them (the walk recommenders do); nil means entries store no
+	// fingerprint and revalidate epoch-exactly.
+	fpInner      fingerprintRecommender
+	fpBatchInner fingerprintBatchRecommender
 }
 
 // NewCachedRecommender builds the caching wrapper. The cache may be shared
-// across many wrapped algorithms: keys include the algorithm name.
-func NewCachedRecommender(inner Recommender, epochs EpochSource, c *cache.Cache[Response]) (*CachedRecommender, error) {
+// across many wrapped algorithms: keys include the algorithm name, and
+// revalidation is graph-level, so algorithms sharing a graph view share
+// the validator's verdicts.
+func NewCachedRecommender(inner Recommender, epochs EpochSource, c *cache.Cache[CacheEntry]) (*CachedRecommender, error) {
 	if inner == nil || epochs == nil || c == nil {
 		return nil, fmt.Errorf("core: NewCachedRecommender needs inner, epochs and cache")
 	}
-	return &CachedRecommender{inner: inner, epochs: epochs, cache: c}, nil
+	r := &CachedRecommender{inner: inner, epochs: epochs, cache: c, validate: EntryValidator(epochs)}
+	r.fpInner, _ = inner.(fingerprintRecommender)
+	r.fpBatchInner, _ = inner.(fingerprintBatchRecommender)
+	return r, nil
 }
 
 // Name implements Recommender.
@@ -130,19 +214,42 @@ func (r *CachedRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
 	return nil, fmt.Errorf("core: %s has no compact scoring path", r.inner.Name())
 }
 
-// key builds the cache key for one request at the given epoch, with the
-// option set already canonically encoded. The request's context and
-// fallback policy are deliberately NOT part of the key: neither shapes
-// the personalized result (fallback is applied — and never cached —
-// above this layer).
-func (r *CachedRecommender) key(req Request, epoch uint64, opts string) cache.Key {
+// key builds the cache key for one request, with the option set already
+// canonically encoded. Freshness is NOT part of the key (entries
+// revalidate on lookup); the request's context and fallback policy are
+// deliberately absent too: neither shapes the personalized result
+// (fallback is applied — and never cached — above this layer).
+func (r *CachedRecommender) key(req Request, opts string) cache.Key {
 	return cache.Key{
-		User:  req.User,
-		Algo:  r.inner.Name(),
-		K:     req.K,
-		Epoch: epoch,
-		Opts:  opts,
+		User: req.User,
+		Algo: r.inner.Name(),
+		K:    req.K,
+		Opts: opts,
 	}
+}
+
+// computeEntry runs one cache-miss compute, producing the storable entry:
+// the epoch is read BEFORE the compute starts (see CacheEntry), and the
+// fingerprint path is used when inner has one and the request's result
+// depends only on its subgraph — a long-tail-only cutoff reads the
+// GLOBAL popularity vector, which any write anywhere can shift, so those
+// entries stay epoch-exact.
+func (r *CachedRecommender) computeEntry(req Request) (CacheEntry, error) {
+	ent := CacheEntry{BuildEpoch: r.epochs.Epoch()}
+	if r.fpInner != nil && req.LongTailOnly == 0 {
+		resp, fp, err := r.fpInner.RecommendRequestFP(req)
+		if err != nil {
+			return CacheEntry{}, err
+		}
+		ent.Resp, ent.FP = resp, fp
+		return ent, nil
+	}
+	resp, err := RecommendRequest(r.inner, req)
+	if err != nil {
+		return CacheEntry{}, err
+	}
+	ent.Resp = resp
+	return ent, nil
 }
 
 // shareResponse copies a cached Response for one caller (the caller may
@@ -158,10 +265,11 @@ func shareResponse(v Response, epoch uint64, hit bool) Response {
 
 // RecommendRequest implements RecommenderV2. On a hit the cached
 // Response is returned (Items copied, so the caller may mutate them,
-// CacheHit set); on a miss the inner recommender runs exactly once per
-// (user, k, epoch, option set) regardless of concurrency. Errors —
-// including ErrColdUser and a cancelled request context — are never
-// cached.
+// CacheHit set); a hit is a stored entry the validator rules fresh —
+// epoch unchanged, or proven untouched by its subgraph fingerprint. On a
+// miss the inner recommender runs exactly once per (user, k, option set)
+// regardless of concurrency. Errors — including ErrColdUser and a
+// cancelled request context — are never cached.
 //
 // The singleflight leader computes under its own request context, so a
 // leader that disconnects mid-walk aborts the shared compute. A
@@ -175,12 +283,13 @@ func (r *CachedRecommender) RecommendRequest(req Request) (Response, error) {
 	if err := req.Validate(); err != nil {
 		return Response{}, err
 	}
-	key := r.key(req, r.epochs.Epoch(), req.OptionsKey())
+	key := r.key(req, req.OptionsKey())
+	// Serve under the epoch of the original lookup even across retries —
+	// the same stamp the old epoch-keyed design put on hits and misses.
+	epoch := r.epochs.Epoch()
 	for attempt := 0; ; attempt++ {
-		// Key the entry at the epoch of the original lookup even across
-		// retries: a concurrent write already invalidates it naturally.
-		v, fromCache, err := r.cache.DoCtx(req.Ctx, key, func() (Response, error) {
-			return RecommendRequest(r.inner, req)
+		v, fromCache, err := r.cache.DoCtx(req.Ctx, key, r.validate, func() (CacheEntry, error) {
+			return r.computeEntry(req)
 		})
 		if err != nil {
 			// A context error surfaced by a shared flight belongs to the
@@ -191,19 +300,16 @@ func (r *CachedRecommender) RecommendRequest(req Request) (Response, error) {
 				if attempt < 2 {
 					continue
 				}
-				v, cerr := RecommendRequest(r.inner, req)
+				ent, cerr := r.computeEntry(req)
 				if cerr != nil {
 					return Response{}, cerr
 				}
-				stored := v
-				stored.Items = make([]Scored, len(v.Items))
-				copy(stored.Items, v.Items)
-				r.cache.Put(key, stored)
-				return shareResponse(stored, key.Epoch, false), nil
+				r.cache.Put(key, ent)
+				return shareResponse(ent.Resp, epoch, false), nil
 			}
 			return Response{}, err
 		}
-		return shareResponse(v, key.Epoch, fromCache), nil
+		return shareResponse(v.Resp, epoch, fromCache), nil
 	}
 }
 
@@ -224,13 +330,14 @@ func (r *CachedRecommender) Recommend(u, k int) ([]Scored, error) {
 }
 
 // RecommendRequestBatch implements BatchRecommenderV2: cached requests
-// are served directly, the misses go through the inner recommender's
-// batch path in one call, and their results are stored for the next
-// batch. The epoch is read once at batch start so every lookup and
-// store uses one consistent key; note this keys the cache, it does not
-// pin the graph — misses computed while a write lands reflect the newer
-// graph (and are stored under the start epoch, where they age out on
-// the next bump). Cold users yield zero Responses and are not cached.
+// are served directly (after revalidation), the misses go through the
+// inner recommender's batch path in one call, and their results —
+// fingerprinted when the inner batch path can — are stored for the next
+// batch. The epoch is read once at batch start so every served Response
+// carries one consistent stamp; BuildEpoch for stored misses is read
+// per-store just before the batch compute ran, preserving the
+// entry-only-served-while-provably-fresh contract. Cold users yield zero
+// Responses and are not cached.
 func (r *CachedRecommender) RecommendRequestBatch(reqs []Request, parallelism int) ([]Response, error) {
 	epoch := r.epochs.Epoch()
 	out := make([]Response, len(reqs))
@@ -247,9 +354,9 @@ func (r *CachedRecommender) RecommendRequestBatch(reqs []Request, parallelism in
 			}
 			opts = req.OptionsKey()
 		}
-		keys[i] = r.key(req, epoch, opts)
-		if v, ok := r.cache.Get(keys[i]); ok {
-			out[i] = shareResponse(v, epoch, true)
+		keys[i] = r.key(req, opts)
+		if v, ok := r.cache.GetValidated(keys[i], r.validate); ok {
+			out[i] = shareResponse(v.Resp, epoch, true)
 			continue
 		}
 		missIdx = append(missIdx, i)
@@ -261,7 +368,16 @@ func (r *CachedRecommender) RecommendRequestBatch(reqs []Request, parallelism in
 	for j, i := range missIdx {
 		missing[j] = reqs[i]
 	}
-	computed, err := BatchRecommendRequests(r.inner, missing, parallelism)
+	// BuildEpoch for the whole miss set: read before the computes start.
+	buildEpoch := r.epochs.Epoch()
+	var computed []Response
+	var fps []graph.Fingerprint
+	var err error
+	if r.fpBatchInner != nil {
+		computed, fps, err = r.fpBatchInner.RecommendRequestBatchFP(missing, parallelism)
+	} else {
+		computed, err = BatchRecommendRequests(r.inner, missing, parallelism)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -273,7 +389,13 @@ func (r *CachedRecommender) RecommendRequestBatch(reqs []Request, parallelism in
 		stored := resp
 		stored.Items = make([]Scored, len(resp.Items))
 		copy(stored.Items, resp.Items)
-		r.cache.Put(keys[i], stored)
+		ent := CacheEntry{Resp: stored, BuildEpoch: buildEpoch}
+		// The long-tail cutoff depends on the global popularity vector, so
+		// those entries revalidate epoch-exactly (see computeEntry).
+		if fps != nil && reqs[i].LongTailOnly == 0 {
+			ent.FP = fps[j]
+		}
+		r.cache.Put(keys[i], ent)
 		resp.Epoch = epoch
 		out[i] = resp
 	}

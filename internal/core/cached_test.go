@@ -15,7 +15,7 @@ import (
 
 // newCachedAT builds an AT recommender over the Figure 2 graph plus its
 // cached twin sharing the same graph (and therefore the same epoch).
-func newCachedAT(t testing.TB, c *cache.Cache[Response]) (*graph.Bipartite, *AbsorbingTime, *CachedRecommender) {
+func newCachedAT(t testing.TB, c *cache.Cache[CacheEntry]) (*graph.Bipartite, *AbsorbingTime, *CachedRecommender) {
 	t.Helper()
 	g := figure2Graph(t)
 	at := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
@@ -30,7 +30,7 @@ func newCachedAT(t testing.TB, c *cache.Cache[Response]) (*graph.Bipartite, *Abs
 // serving layer: for every user, the cached path (cold miss AND warm hit)
 // returns results byte-identical to the uncached engine.
 func TestCachedGoldenEquivalence(t *testing.T) {
-	c := cache.New[Response](128)
+	c := cache.New[CacheEntry](128)
 	g, at, cached := newCachedAT(t, c)
 	uncachedTwin := NewAbsorbingTime(g, WalkOptions{Iterations: 15})
 	for u := 0; u < g.NumUsers(); u++ {
@@ -71,7 +71,7 @@ func TestCachedGoldenEquivalence(t *testing.T) {
 // bumps the epoch, so exactly the entries computed before it become
 // unreachable (and sweepable), while same-epoch entries keep hitting.
 func TestCachedEpochInvalidation(t *testing.T) {
-	c := cache.New[Response](128)
+	c := cache.New[CacheEntry](128)
 	g, _, cached := newCachedAT(t, c)
 
 	// Warm the cache for every user at epoch 0.
@@ -105,8 +105,9 @@ func TestCachedEpochInvalidation(t *testing.T) {
 		t.Fatalf("epoch %d -> %d, want +1", epochBefore, g.Epoch())
 	}
 
-	// Next query recomputes (epoch moved => new key => miss) and reflects
-	// the write: item 3 is now rated by user 4 and must be excluded.
+	// Next query recomputes (the write touched user 4's node, so the
+	// entry's fingerprint rules it stale) and reflects the write: item 3
+	// is now rated by user 4 and must be excluded.
 	missesBefore := c.Stats().Misses
 	after, err := cached.Recommend(4, 4)
 	if err != nil {
@@ -124,10 +125,14 @@ func TestCachedEpochInvalidation(t *testing.T) {
 		t.Fatalf("write had no effect on user 4's recommendations")
 	}
 
-	// The sweep drops exactly the stale entries: all NumUsers() epoch-0
-	// entries go, the one epoch-1 entry stays.
-	if dropped := c.EvictStale(g.Epoch()); dropped != g.NumUsers() {
-		t.Fatalf("EvictStale dropped %d, want exactly %d stale entries", dropped, g.NumUsers())
+	// The sweep drops exactly the stale entries. The Figure 2 graph is one
+	// small connected component, so every user's subgraph (and bloom)
+	// covers the written nodes: the epoch-0 entries all rule stale. User
+	// 4's recompute overwrote its old entry in place (freshness is no
+	// longer part of the key), so exactly NumUsers()-1 stale entries
+	// remain to drop.
+	if dropped := c.Revalidate(EntryValidator(g)); dropped != g.NumUsers()-1 {
+		t.Fatalf("Revalidate dropped %d, want exactly %d stale entries", dropped, g.NumUsers()-1)
 	}
 	if c.Len() != 1 {
 		t.Fatalf("cache holds %d entries after sweep, want 1", c.Len())
@@ -143,7 +148,7 @@ func TestCachedEpochInvalidation(t *testing.T) {
 // TestCachedBatch checks the batch path: cached users are served without
 // recompute, misses fill the cache, cold users stay nil and uncached.
 func TestCachedBatch(t *testing.T) {
-	c := cache.New[Response](128)
+	c := cache.New[CacheEntry](128)
 	_, at, cached := newCachedAT(t, c)
 	users := []int{0, 2, 4}
 	want, err := at.RecommendBatch(users, 3, 1)
@@ -181,7 +186,7 @@ func TestCachedBatch(t *testing.T) {
 
 // TestCachedColdUserNotCached: errors (cold user) pass through uncached.
 func TestCachedColdUser(t *testing.T) {
-	c := cache.New[Response](16)
+	c := cache.New[CacheEntry](16)
 	g, err := graph.FromRatings(2, 2, []graph.Rating{{User: 0, Item: 0, Weight: 5}})
 	if err != nil {
 		t.Fatal(err)
@@ -210,7 +215,7 @@ func TestCachedColdUser(t *testing.T) {
 // readers while one writer mutates the live graph — the serving-layer race
 // test the Makefile race target runs.
 func TestConcurrentCachedRecommend(t *testing.T) {
-	c := cache.New[Response](256)
+	c := cache.New[CacheEntry](256)
 	g, _, cached := newCachedAT(t, c)
 	var wg sync.WaitGroup
 	stop := make(chan struct{})
@@ -245,7 +250,7 @@ func TestConcurrentCachedRecommend(t *testing.T) {
 		}
 		if w%40 == 39 {
 			g.Compact()
-			c.EvictStale(g.Epoch())
+			c.Revalidate(EntryValidator(g))
 		}
 	}
 	close(stop)
@@ -257,7 +262,7 @@ func TestConcurrentCachedRecommend(t *testing.T) {
 // never share a cached entry — each option set computes once, is served
 // from its own entry afterwards, and returns its own (different) result.
 func TestCachedOptionKeyIsolation(t *testing.T) {
-	c := cache.New[Response](128)
+	c := cache.New[CacheEntry](128)
 	_, at, cached := newCachedAT(t, c)
 
 	plain := Request{User: 0, K: 4}
@@ -331,7 +336,7 @@ func TestCachedOptionKeyIsolation(t *testing.T) {
 // path: epoch stamping, cache-hit marking, and caller ownership of the
 // Items slice.
 func TestCachedResponseMetadata(t *testing.T) {
-	c := cache.New[Response](128)
+	c := cache.New[CacheEntry](128)
 	g, _, cached := newCachedAT(t, c)
 	miss, err := cached.RecommendRequest(Request{User: 2, K: 3})
 	if err != nil {
@@ -374,7 +379,7 @@ func TestCachedResponseMetadata(t *testing.T) {
 // piggybacked waiter whose own context is live — the waiter retries and
 // gets a real result, never the leader's context error.
 func TestCachedSingleflightLeaderCancellation(t *testing.T) {
-	c := cache.New[Response](64)
+	c := cache.New[CacheEntry](64)
 	g := figure2Graph(t)
 	at := NewAbsorbingTime(g, WalkOptions{Iterations: 20000}) // ms-scale solve
 	cached, err := NewCachedRecommender(at, g, c)

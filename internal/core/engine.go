@@ -104,8 +104,15 @@ type engineScratch struct {
 // mid-walk; every return path leaves scr reusable, so the pooled
 // scratch is never leaked. A nil ctx costs nothing.
 //
+// fp, when non-nil, is filled with the query's dependency fingerprint:
+// the graph's write-generation watermark at extraction plus a bloom of
+// every subgraph node AND the query user's node (the user's own row
+// shapes the seed set and the rated-item exclusion, so a write there
+// must invalidate even when the user fell outside the truncated
+// subgraph). A nil fp costs nothing — the uncached hot path passes nil.
+//
 //ltr:allocfree
-func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, spec walkSpec) ([]ItemScore, error) {
+func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, spec walkSpec, fp *graph.Fingerprint) ([]ItemScore, error) {
 	if err := validateUser(u, e.g.NumUsers()); err != nil {
 		return nil, err
 	}
@@ -131,6 +138,13 @@ func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, sp
 	sg, err := scr.ext.Extract(seeds, e.opts.MaxSubgraphItems)
 	if err != nil {
 		return nil, fmt.Errorf("core: subgraph: %w", err)
+	}
+	if fp != nil {
+		fp.Reset(sg.WriteGen())
+		fp.AddNode(userNode)
+		for l, nl := 0, sg.Len(); l < nl; l++ {
+			fp.AddNode(sg.OriginalNode(l))
+		}
 	}
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
@@ -211,7 +225,7 @@ func (e *Engine) scoreCompact(ctx context.Context, scr *engineScratch, u int, sp
 func (e *Engine) scoreItemsCompact(u int, spec walkSpec) ([]ItemScore, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	compact, err := e.scoreCompact(nil, scr, u, spec)
+	compact, err := e.scoreCompact(nil, scr, u, spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +239,7 @@ func (e *Engine) scoreItemsCompact(u int, spec walkSpec) ([]ItemScore, error) {
 func (e *Engine) scoreItemsFull(u int, spec walkSpec) ([]float64, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	compact, err := e.scoreCompact(nil, scr, u, spec)
+	compact, err := e.scoreCompact(nil, scr, u, spec, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -248,11 +262,11 @@ func (e *Engine) scoreItemsFull(u int, spec walkSpec) ([]float64, error) {
 // second stamp array, LongTailOnly into a pooled popularity sort), so
 // even the option-carrying paths settle into zero steady-state
 // allocation.
-func (e *Engine) recommendRequest(scr *engineScratch, req Request, spec walkSpec, algo string) (Response, error) {
+func (e *Engine) recommendRequest(scr *engineScratch, req Request, spec walkSpec, algo string, fp *graph.Fingerprint) (Response, error) {
 	if err := req.Validate(); err != nil {
 		return Response{}, err
 	}
-	compact, err := e.scoreCompact(req.Ctx, scr, req.User, spec)
+	compact, err := e.scoreCompact(req.Ctx, scr, req.User, spec, fp)
 	if err != nil {
 		return Response{}, err
 	}
@@ -320,7 +334,7 @@ func (e *Engine) recommendRequest(scr *engineScratch, req Request, spec walkSpec
 // recommend is the single-query pooled entry point — the legacy
 // Recommend(u, k) surface as a thin wrapper over recommendRequest.
 func (e *Engine) recommend(u, k int, spec walkSpec) ([]Scored, error) {
-	resp, err := e.recommendRequestPooled(Request{User: u, K: k}, spec, "")
+	resp, err := e.recommendRequestPooled(Request{User: u, K: k}, spec, "", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -328,10 +342,10 @@ func (e *Engine) recommend(u, k int, spec walkSpec) ([]Scored, error) {
 }
 
 // recommendRequestPooled borrows a scratch for one recommendRequest.
-func (e *Engine) recommendRequestPooled(req Request, spec walkSpec, algo string) (Response, error) {
+func (e *Engine) recommendRequestPooled(req Request, spec walkSpec, algo string, fp *graph.Fingerprint) (Response, error) {
 	scr := e.pool.Get().(*engineScratch)
 	defer e.pool.Put(scr)
-	return e.recommendRequest(scr, req, spec, algo)
+	return e.recommendRequest(scr, req, spec, algo, fp)
 }
 
 // recommendRequestBatch serves many Requests concurrently. parallelism
@@ -339,8 +353,10 @@ func (e *Engine) recommendRequestPooled(req Request, spec walkSpec, algo string)
 // share of the batch, and each request's own context is honored. Cold
 // users (no rated items) yield a zero Response rather than failing the
 // batch; any other error — including a cancelled per-request context —
-// aborts and is returned.
-func (e *Engine) recommendRequestBatch(reqs []Request, parallelism int, spec walkSpec, algo string) ([]Response, error) {
+// aborts and is returned. fps, when non-nil, must align with reqs: each
+// request's dependency fingerprint is written to fps[i] (cold users
+// leave an invalid zero fingerprint).
+func (e *Engine) recommendRequestBatch(reqs []Request, parallelism int, spec walkSpec, algo string, fps []graph.Fingerprint) ([]Response, error) {
 	out := make([]Response, len(reqs))
 	if len(reqs) == 0 {
 		return out, nil
@@ -370,7 +386,11 @@ func (e *Engine) recommendRequestBatch(reqs []Request, parallelism int, spec wal
 				if i >= len(reqs) || failed.Load() {
 					return
 				}
-				resp, err := e.recommendRequest(scr, reqs[i], spec, algo)
+				var fp *graph.Fingerprint
+				if fps != nil {
+					fp = &fps[i]
+				}
+				resp, err := e.recommendRequest(scr, reqs[i], spec, algo, fp)
 				if err != nil {
 					if errors.Is(err, ErrColdUser) {
 						continue // cold user: leave out[i] zero

@@ -67,7 +67,18 @@ func (w *walkRecommender) ScoreItemsCompact(u int) ([]ItemScore, error) {
 // candidate/exclude/long-tail options are applied inside the engine's
 // stamped selection loop.
 func (w *walkRecommender) RecommendRequest(req Request) (Response, error) {
-	return w.eng.recommendRequestPooled(req, w.spec, w.algo)
+	return w.eng.recommendRequestPooled(req, w.spec, w.algo, nil)
+}
+
+// RecommendRequestFP is RecommendRequest also reporting the query's
+// dependency fingerprint (write-generation watermark + bloom of the
+// subgraph's node ids) — what a caching layer stores to revalidate the
+// result precisely instead of by whole-graph epoch. Implements the
+// fingerprint production path CachedRecommender type-asserts for.
+func (w *walkRecommender) RecommendRequestFP(req Request) (Response, graph.Fingerprint, error) {
+	var fp graph.Fingerprint
+	resp, err := w.eng.recommendRequestPooled(req, w.spec, w.algo, &fp)
+	return resp, fp, err
 }
 
 // RecommendRequestBatch serves many Requests concurrently across
@@ -75,7 +86,16 @@ func (w *walkRecommender) RecommendRequest(req Request) (Response, error) {
 // own context. Cold users yield a zero Response. Implements
 // BatchRecommenderV2.
 func (w *walkRecommender) RecommendRequestBatch(reqs []Request, parallelism int) ([]Response, error) {
-	return w.eng.recommendRequestBatch(reqs, parallelism, w.spec, w.algo)
+	return w.eng.recommendRequestBatch(reqs, parallelism, w.spec, w.algo, nil)
+}
+
+// RecommendRequestBatchFP is RecommendRequestBatch also reporting each
+// request's dependency fingerprint (aligned with the responses; cold
+// users get an invalid zero fingerprint).
+func (w *walkRecommender) RecommendRequestBatchFP(reqs []Request, parallelism int) ([]Response, []graph.Fingerprint, error) {
+	fps := make([]graph.Fingerprint, len(reqs))
+	resps, err := w.eng.recommendRequestBatch(reqs, parallelism, w.spec, w.algo, fps)
+	return resps, fps, err
 }
 
 // Recommend returns the top-k unrated items for u — the legacy surface,
@@ -88,7 +108,7 @@ func (w *walkRecommender) Recommend(u, k int) ([]Scored, error) {
 // (<= 0 means GOMAXPROCS). Cold users yield a nil entry. Implements
 // BatchRecommender; a thin wrapper over RecommendRequestBatch.
 func (w *walkRecommender) RecommendBatch(users []int, k, parallelism int) ([][]Scored, error) {
-	resps, err := w.eng.recommendRequestBatch(PlainRequests(users, k), parallelism, w.spec, w.algo)
+	resps, err := w.eng.recommendRequestBatch(PlainRequests(users, k), parallelism, w.spec, w.algo, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,16 @@ type Bipartite struct {
 	weightDelta      float64 // this view's totalWeight drift vs the base
 	edgeDelta        int     // this view's numEdges drift vs the base
 	compactThreshold int     // auto-fold when overlayWrites reaches this; <= 0 disables (single view only)
+
+	// journal is the bounded ring of recently-touched node ids behind
+	// fine-grained cache invalidation (see journal.go). Appended to under
+	// mu alongside the overlay; read lock-free by CheckFingerprint. A fold
+	// records nothing — folding changes representation, not content.
+	journal writeJournal
+	// nodeGens maps a node id to the write generation of its most recent
+	// accepted write on this view. Guarded by mu; allocated lazily like the
+	// overlay.
+	nodeGens map[int]uint64
 }
 
 // Builder accumulates ratings before freezing them into a Bipartite.

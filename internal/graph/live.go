@@ -135,6 +135,7 @@ func (g *Bipartite) growUnderLocks(newUsers, newItems int) uint64 {
 	}
 	for v := next.numNodes() - newUsers - newItems; v < next.numNodes(); v++ {
 		g.overlay[v] = &liveRow{}
+		g.touchNodeLocked(v)
 	}
 	g.shared.uni.Store(next)
 	g.overlayWrites += newUsers + newItems
@@ -281,6 +282,8 @@ func (g *Bipartite) applyRatingLocked(u, i int, w float64, mode writeMode, autoG
 	}
 	g.setEdgeLocked(un, in, w)
 	g.setEdgeLocked(in, un, w)
+	g.touchNodeLocked(un)
+	g.touchNodeLocked(in)
 	g.weightDelta += 2 * (w - old)
 	if !exists {
 		g.edgeDelta++

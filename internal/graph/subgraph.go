@@ -32,6 +32,12 @@ type Subgraph struct {
 	stamp []int
 	local []int
 	epoch int
+
+	// writeGen is the parent view's write-generation watermark at
+	// extraction time (captured under the extraction read lock, so it
+	// covers exactly the graph state the subgraph snapshotted) — the
+	// watermark half of a cache fingerprint.
+	writeGen uint64
 }
 
 // SubgraphExtractor performs repeated BFS subgraph extractions against one
@@ -153,14 +159,15 @@ func (e *SubgraphExtractor) Extract(seeds []int, maxItems int) (*Subgraph, error
 	}
 	e.buildLocalCSR()
 	e.sub = Subgraph{
-		parent:  g,
-		nodes:   e.nodes,
-		adj:     sparse.NewCSRView(len(e.nodes), len(e.nodes), e.rowPtr, e.colIdx, e.vals),
-		degrees: e.degrees,
-		items:   items,
-		stamp:   e.stamp,
-		local:   e.local,
-		epoch:   e.epoch,
+		parent:   g,
+		nodes:    e.nodes,
+		adj:      sparse.NewCSRView(len(e.nodes), len(e.nodes), e.rowPtr, e.colIdx, e.vals),
+		degrees:  e.degrees,
+		items:    items,
+		stamp:    e.stamp,
+		local:    e.local,
+		epoch:    e.epoch,
+		writeGen: g.journal.head.Load(),
 	}
 	return &e.sub, nil
 }
@@ -260,6 +267,10 @@ func ExtractSubgraph(g *Bipartite, seeds []int, maxItems int) (*Subgraph, error)
 
 // Len returns the number of nodes in the subgraph.
 func (sg *Subgraph) Len() int { return len(sg.nodes) }
+
+// WriteGen returns the parent view's write-generation watermark the
+// subgraph was extracted at (see Bipartite.WriteGen / CheckFingerprint).
+func (sg *Subgraph) WriteGen() uint64 { return sg.writeGen }
 
 // NumItemNodes returns how many item nodes the subgraph contains.
 func (sg *Subgraph) NumItemNodes() int { return sg.items }

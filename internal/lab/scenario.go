@@ -60,6 +60,7 @@ func ScenarioDoc(name string) string {
 func init() {
 	register(&Scenario{Name: "recommend_request", Doc: "single-query Request-path latency over a panel of warm users (BenchmarkRecommendRequest equivalent)", Run: runRecommendRequest})
 	register(&Scenario{Name: "sharded_write_invalidation", Doc: "mixed 1-write-per-N-reads cache hit rate across the shards axis (BenchmarkShardedWriteInvalidation equivalent)", Run: runShardedWriteInvalidation})
+	register(&Scenario{Name: "cache_precision", Doc: "fingerprint invalidation precision: mixed 1-write/8-read hit rate on the community-structured clustered corpus, writes confined to the writer's own cluster", Run: runCachePrecision})
 	register(&Scenario{Name: "wal_append", Doc: "group-commit WAL write throughput at the writers axis (BenchmarkWALAppend equivalent, through System.ApplyRating)", Run: runWALAppend})
 	register(&Scenario{Name: "fleet_graph_memory", Doc: "fleet construction heap vs a single replica across the shards axis (BenchmarkFleetGraphMemory equivalent)", Run: runFleetGraphMemory})
 	register(&Scenario{Name: "coldstart_storm", Doc: "hostile: brand-new users flooding in through the auto-grow write path, then immediately servable", Run: runColdStartStorm})
@@ -261,6 +262,97 @@ func runShardedWriteInvalidation(c *Cell, rep int, rec *Recorder) error {
 	return nil
 }
 
+// runCachePrecision measures what fingerprint invalidation buys on a
+// corpus with real community structure: the same 1-write-per-N-reads mix
+// as sharded_write_invalidation, but on the clustered world and with
+// every write confined to the writer's OWN cluster — the regime where a
+// write provably cannot touch most cached subgraphs, so precision
+// tracking (not shard count) is what keeps entries alive. Under the old
+// epoch-keyed cache this workload measured ~0.005 hit rate at shards=1;
+// the fingerprint path must clear hit_rate_min (default 0.60) there.
+// Axes/params: dataset, shards, cache, algo, ops, reads_per_write,
+// panel_users, hit_rate_min.
+func runCachePrecision(c *Cell, rep int, rec *Recorder) error {
+	kind := c.Str("dataset", "clustered")
+	algo := c.Str("algo", "AT")
+	ops := c.Int("ops", 400)
+	rpw := c.Int("reads_per_write", 8)
+	minHit := c.Float("hit_rate_min", 0.60)
+	if rpw < 1 {
+		return fmt.Errorf("reads_per_write must be >= 1")
+	}
+	w, err := labWorld(kind, c.Seed)
+	if err != nil {
+		return err
+	}
+	// Cluster geometry for in-cluster write targeting; an unclustered
+	// dataset degenerates to whole-universe writes (still sound, just
+	// nothing for the fingerprints to retain).
+	uPer, iPer := w.Config.UsersPerCluster(), w.Config.ItemsPerCluster()
+	sys, err := servingSystem(c, w.Data, 8192, false)
+	if err != nil {
+		return err
+	}
+	// A small panel keeps each user's read-revisit interval short relative
+	// to the write rate, so retention (not re-invalidation) dominates.
+	users, err := panel(w.Data, c.Seed, c.Int("panel_users", 16), 3)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	for _, u := range users { // warm: one guaranteed miss per panel user
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10}); err != nil {
+			return fmt.Errorf("warmup: %w", err)
+		}
+	}
+	warm := sys.ServingStats().Cache
+	epoch0 := sys.Epoch()
+	writes, errs := 0, 0
+	rec.StartTimer()
+	for i := 0; i < ops; i++ {
+		if i%(rpw+1) == rpw {
+			u := users[i%len(users)]
+			item := (u/uPer)*iPer + i%iPer // writer's own cluster
+			if _, _, err := sys.ApplyRating(u, item, 1+float64(i%5)); err != nil {
+				errs++
+			} else {
+				writes++
+			}
+			continue
+		}
+		u := users[(i*7+1)%len(users)]
+		t0 := time.Now()
+		if _, err := sys.Recommend(ctx, algo, longtail.Request{User: u, K: 10}); err != nil {
+			errs++
+		}
+		rec.Observe(time.Since(t0))
+	}
+	rec.StopTimer()
+	after := sys.ServingStats().Cache
+	rec.SetMetric("writes", float64(writes))
+	rec.SetMetric("fingerprint_hits", float64(after.FingerprintHits-warm.FingerprintHits))
+	rec.SetMetric("fingerprint_rejects", float64(after.FingerprintRejects-warm.FingerprintRejects))
+	rec.SetMetric("journal_overflows", float64(after.JournalOverflows-warm.JournalOverflows))
+	if hr, ok := hitRate(warm, after); ok {
+		rec.SetMetric("hit_rate", hr)
+		rec.Assertf("hit_rate_floor", hr >= minHit,
+			"mixed hit rate %.3f under the %.3f floor — fingerprints are not retaining cross-cluster entries", hr, minHit)
+	} else {
+		rec.Assert("hit_rate_floor", false, "no cache lookups recorded")
+	}
+	if c.Int("shards", 1) == 1 {
+		// At one shard every write bumps the only epoch, so any retention
+		// at all must come from fingerprint validation.
+		rec.Assertf("fingerprint_path_exercised", after.FingerprintHits > warm.FingerprintHits,
+			"no fingerprint-validated hits at shards=1 — the precision path never ran")
+	}
+	rec.Assertf("no_errors", errs == 0, "%d operations failed", errs)
+	moved := sys.Epoch() - epoch0
+	rec.Assertf("epoch_tracks_writes", writes == 0 || (moved > 0 && moved <= uint64(writes)),
+		"fleet epoch moved %d for %d accepted writes", moved, writes)
+	return nil
+}
+
 // runWALAppend measures durable write throughput: writers concurrent
 // goroutines ApplyRating through the group-commit WAL, acks_per_sec is
 // the headline. Axes/params: writers, ops, users, items, per_user,
@@ -384,6 +476,11 @@ func measureFleetHeap(d *dataset.Dataset, shards int) (float64, error) {
 	cfg.ShardCount = shards
 	var ms runtime.MemStats
 	for attempt := 0; attempt < 4; attempt++ {
+		// Two collections: sync.Pool contents survive one GC in the victim
+		// cache, so scratch left by earlier grid scenarios would otherwise
+		// be freed by the post-build GC and deflate the measured delta
+		// (observed as a ~15× "ratio" from a baseline measured 15× small).
+		runtime.GC()
 		runtime.GC()
 		runtime.ReadMemStats(&ms)
 		before := ms.HeapAlloc

@@ -118,7 +118,7 @@ func TestExperimentRepeatOverride(t *testing.T) {
 func TestScenariosListed(t *testing.T) {
 	names := Scenarios()
 	want := []string{
-		"coldstart_storm", "flash_crowd", "fleet_graph_memory", "recommend_request",
+		"cache_precision", "coldstart_storm", "flash_crowd", "fleet_graph_memory", "recommend_request",
 		"sharded_write_invalidation", "wal_append", "write_flood", "zipf_soak",
 	}
 	if strings.Join(names, ",") != strings.Join(want, ",") {

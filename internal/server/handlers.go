@@ -26,13 +26,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // CacheStatsResponse is the result-cache section of /v1/stats: the counters
 // behind the hit-rate vs recompute-cost tradeoff PERFORMANCE.md documents.
 type CacheStatsResponse struct {
-	Hits      uint64  `json:"hits"`
-	Misses    uint64  `json:"misses"`
-	Shared    uint64  `json:"shared"` // singleflight piggybacks
-	Evictions uint64  `json:"evictions"`
-	Size      int     `json:"size"`
-	Capacity  int     `json:"capacity"`
-	HitRate   float64 `json:"hit_rate"` // (hits+shared) / lookups
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Shared    uint64 `json:"shared"` // singleflight piggybacks
+	Evictions uint64 `json:"evictions"`
+	// Precision-invalidation counters: hits proven fresh by subgraph
+	// fingerprint despite epoch movement, entries dropped on fingerprint
+	// evidence, and rejects caused by write-journal overflow.
+	FingerprintHits    uint64  `json:"fingerprint_hits"`
+	FingerprintRejects uint64  `json:"fingerprint_rejects"`
+	JournalOverflows   uint64  `json:"journal_overflows"`
+	Size               int     `json:"size"`
+	Capacity           int     `json:"capacity"`
+	HitRate            float64 `json:"hit_rate"` // (hits+shared) / lookups
 }
 
 // ShardStatsResponse is one serving shard's slice of /v1/stats: its own
@@ -91,13 +97,16 @@ func cacheStatsResponse(cs cache.Stats) *CacheStatsResponse {
 		rate = float64(cs.Hits+cs.Shared) / float64(lookups)
 	}
 	return &CacheStatsResponse{
-		Hits:      cs.Hits,
-		Misses:    cs.Misses,
-		Shared:    cs.Shared,
-		Evictions: cs.Evictions,
-		Size:      cs.Size,
-		Capacity:  cs.Capacity,
-		HitRate:   rate,
+		Hits:               cs.Hits,
+		Misses:             cs.Misses,
+		Shared:             cs.Shared,
+		Evictions:          cs.Evictions,
+		FingerprintHits:    cs.FingerprintHits,
+		FingerprintRejects: cs.FingerprintRejects,
+		JournalOverflows:   cs.JournalOverflows,
+		Size:               cs.Size,
+		Capacity:           cs.Capacity,
+		HitRate:            rate,
 	}
 }
 

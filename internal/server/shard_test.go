@@ -189,3 +189,137 @@ func TestRatingsCapIn404Message(t *testing.T) {
 		t.Fatalf("404 body %q does not quote the admission cap %d", raw, graph.MaxDenseAdmissions)
 	}
 }
+
+// clusterSystem is shardedSystem without the bridge user: two fully
+// disconnected rating clusters (users 0-2 over items 0-3, users 3-5 over
+// items 4-7), so a write inside one cluster provably cannot touch the
+// other cluster's subgraphs — the setup under which fingerprint
+// revalidation keeps entries alive across epoch movement.
+func clusterServer(t testing.TB, shards int) (*longtail.System, *httptest.Server) {
+	t.Helper()
+	ratings := []longtail.Rating{
+		{User: 0, Item: 0, Score: 5}, {User: 0, Item: 1, Score: 4}, {User: 0, Item: 2, Score: 5},
+		{User: 1, Item: 0, Score: 4}, {User: 1, Item: 2, Score: 5}, {User: 1, Item: 3, Score: 3},
+		{User: 2, Item: 1, Score: 5}, {User: 2, Item: 3, Score: 4},
+		{User: 3, Item: 4, Score: 5}, {User: 3, Item: 5, Score: 4}, {User: 3, Item: 6, Score: 5},
+		{User: 4, Item: 4, Score: 4}, {User: 4, Item: 6, Score: 5}, {User: 4, Item: 7, Score: 3},
+		{User: 5, Item: 5, Score: 5}, {User: 5, Item: 7, Score: 4},
+	}
+	d, err := longtail.NewDataset(6, 8, ratings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := longtail.ServingConfig(256, 0)
+	cfg.LDA.NumTopics = 2
+	cfg.LDA.Iterations = 5
+	cfg.SVDRank = 2
+	cfg.ShardCount = shards
+	sys, err := longtail.NewSystem(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(sys, Options{
+		DefaultAlgorithm: "AT",
+		Logger:           log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return sys, ts
+}
+
+// TestStatsFingerprintCounters drives the precision-invalidation counters
+// end to end over HTTP at both deployment shapes: after a write in one
+// cluster, the other cluster's warmed entry survives as a fingerprint-
+// proven hit (fingerprint_hits), the writer's own entry is rejected
+// (fingerprint_rejects), and both counters surface in the aggregate and
+// the written shard's /v1/stats entries.
+func TestStatsFingerprintCounters(t *testing.T) {
+	for _, tc := range []struct {
+		shards       int
+		writer, item int // new in-cluster-B edge; writer shares a shard with user 0
+	}{
+		{shards: 1, writer: 3, item: 7},
+		{shards: 4, writer: 4, item: 5},
+	} {
+		t.Run(fmt.Sprintf("shards=%d", tc.shards), func(t *testing.T) {
+			sys, ts := clusterServer(t, tc.shards)
+			if got := sys.ShardFor(tc.writer); got != sys.ShardFor(0) {
+				t.Fatalf("writer %d on shard %d, reader 0 on shard %d: test needs them colocated",
+					tc.writer, got, sys.ShardFor(0))
+			}
+			// Warm both users' entries, then the write.
+			var rec RecommendResponse
+			getJSON(t, fmt.Sprintf("%s/v1/recommend?user=0&k=3", ts.URL), http.StatusOK, &rec)
+			getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&k=3", ts.URL, tc.writer), http.StatusOK, &rec)
+			body := fmt.Sprintf(`{"user":%d,"item":%d,"score":4.5}`, tc.writer, tc.item)
+			resp, err := http.Post(ts.URL+"/v1/ratings", "application/json", bytes.NewBufferString(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				t.Fatalf("POST /v1/ratings = %d, want 201", resp.StatusCode)
+			}
+
+			// Reader 0's entry survives the epoch bump: the write touched
+			// only cluster-B nodes, outside user 0's subgraph bloom.
+			getJSON(t, fmt.Sprintf("%s/v1/recommend?user=0&k=3", ts.URL), http.StatusOK, &rec)
+			if !rec.CacheHit {
+				t.Fatal("cross-cluster write evicted a provably untouched entry")
+			}
+			// The writer's own entry must NOT survive — its subgraph
+			// contains the written nodes.
+			getJSON(t, fmt.Sprintf("%s/v1/recommend?user=%d&k=3", ts.URL, tc.writer), http.StatusOK, &rec)
+			if rec.CacheHit {
+				t.Fatal("writer's own stale entry served after its write")
+			}
+
+			var st StatsResponse
+			getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &st)
+			if st.Cache == nil {
+				t.Fatal("aggregate cache section missing")
+			}
+			if st.Cache.FingerprintHits != 1 {
+				t.Fatalf("fingerprint_hits = %d, want 1 (stats %+v)", st.Cache.FingerprintHits, *st.Cache)
+			}
+			if st.Cache.FingerprintRejects != 1 {
+				t.Fatalf("fingerprint_rejects = %d, want 1 (stats %+v)", st.Cache.FingerprintRejects, *st.Cache)
+			}
+			if st.Cache.JournalOverflows != 0 {
+				t.Fatalf("journal_overflows = %d, want 0", st.Cache.JournalOverflows)
+			}
+			if len(st.Shards) != tc.shards {
+				t.Fatalf("stats reported %d shards, want %d", len(st.Shards), tc.shards)
+			}
+			written := sys.ShardFor(tc.writer)
+			for i, sh := range st.Shards {
+				if sh.Cache == nil {
+					t.Fatalf("shard %d missing cache counters", i)
+				}
+				wantHits, wantRejects := uint64(0), uint64(0)
+				if i == written {
+					wantHits, wantRejects = 1, 1
+				}
+				if sh.Cache.FingerprintHits != wantHits || sh.Cache.FingerprintRejects != wantRejects {
+					t.Fatalf("shard %d fingerprint counters = (%d, %d), want (%d, %d)",
+						i, sh.Cache.FingerprintHits, sh.Cache.FingerprintRejects, wantHits, wantRejects)
+				}
+			}
+
+			// The JSON wire names themselves: decode the raw body and check
+			// the cache section spells the documented keys.
+			raw := struct {
+				Cache map[string]any `json:"cache"`
+			}{}
+			getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &raw)
+			for _, k := range []string{"fingerprint_hits", "fingerprint_rejects", "journal_overflows"} {
+				if _, ok := raw.Cache[k]; !ok {
+					t.Fatalf("stats cache section missing %q: %v", k, raw.Cache)
+				}
+			}
+		})
+	}
+}

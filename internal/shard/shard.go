@@ -61,10 +61,15 @@ func Assign(user, numShards int) int {
 
 // Replica is one shard's serving state: a full graph replica with its own
 // epoch (the graph carries it) and its own result cache. Cache is nil
-// when result caching is disabled.
+// when result caching is disabled. Cached entries carry their dependency
+// fingerprints and revalidate against THIS replica's write journal (each
+// view journals only the writes routed to it), so the per-shard
+// isolation invariant extends below the epoch: a write can only evict
+// entries on its own shard, and there only the entries whose subgraph it
+// plausibly touched.
 type Replica struct {
 	Graph *graph.Bipartite
-	Cache *cache.Cache[core.Response]
+	Cache *cache.Cache[core.CacheEntry]
 }
 
 // Fleet owns N replicas and routes the write/stat surfaces across them.
@@ -240,15 +245,17 @@ func (f *Fleet) Compact() {
 	}
 }
 
-// EvictStale sweeps each replica's cache against that replica's OWN
-// epoch (per-shard epochs are independent counters — comparing against
-// another shard's would evict live entries) and returns the total number
-// of stale entries dropped.
+// EvictStale sweeps each replica's cache through the entry validator
+// bound to that replica's OWN graph (per-shard epochs and write journals
+// are independent — validating against another shard's would evict live
+// entries) and returns the total number of stale entries dropped.
+// Entries a fingerprint proves untouched survive the sweep even though
+// their build epoch has passed.
 func (f *Fleet) EvictStale() int {
 	dropped := 0
 	for _, r := range f.replicas {
 		if r.Cache != nil {
-			dropped += r.Cache.EvictStale(r.Graph.Epoch())
+			dropped += r.Cache.Revalidate(core.EntryValidator(r.Graph))
 		}
 	}
 	return dropped

@@ -60,7 +60,7 @@ func testFleet(t testing.TB, n int, withCache bool) *Fleet {
 	for i := range replicas {
 		replicas[i] = &Replica{Graph: testGraph(t)}
 		if withCache {
-			replicas[i].Cache = cache.New[core.Response](64)
+			replicas[i].Cache = cache.New[core.CacheEntry](64)
 		}
 	}
 	f, err := NewFleet(replicas)
@@ -154,18 +154,30 @@ func TestFleetUniverseAndMergedPopularity(t *testing.T) {
 func TestFleetEvictStaleUsesOwnEpochs(t *testing.T) {
 	f := testFleet(t, 2, true)
 	rep0, rep1 := f.Replica(0), f.Replica(1)
-	// One entry per shard at each shard's current epoch.
-	rep0.Cache.Put(cache.Key{User: 0, Algo: "AT", K: 5, Epoch: rep0.Graph.Epoch()}, core.Response{})
-	rep1.Cache.Put(cache.Key{User: 1, Algo: "AT", K: 5, Epoch: rep1.Graph.Epoch()}, core.Response{})
+	// One fingerprint-less entry per shard, built at each shard's current
+	// epoch — these revalidate epoch-exactly.
+	rep0.Cache.Put(cache.Key{User: 0, Algo: "AT", K: 5},
+		core.CacheEntry{BuildEpoch: rep0.Graph.Epoch()})
+	rep1.Cache.Put(cache.Key{User: 1, Algo: "AT", K: 5},
+		core.CacheEntry{BuildEpoch: rep1.Graph.Epoch()})
+	// A third entry on shard 0 whose fingerprint covers only item 1 — the
+	// upcoming write (user 0, item 2) provably cannot touch it.
+	survivor := core.CacheEntry{BuildEpoch: rep0.Graph.Epoch()}
+	survivor.FP.Reset(rep0.Graph.WriteGen())
+	survivor.FP.AddNode(rep0.Graph.ItemNode(1))
+	rep0.Cache.Put(cache.Key{User: 2, Algo: "AT", K: 5}, survivor)
 	// Bump shard 0's epoch only.
 	if _, _, _, err := f.ApplyRating(0, 2, 1.5, false); err != nil {
 		t.Fatal(err)
 	}
 	if dropped := f.EvictStale(); dropped != 1 {
-		t.Fatalf("EvictStale dropped %d entries, want exactly shard 0's 1", dropped)
+		t.Fatalf("EvictStale dropped %d entries, want exactly shard 0's epoch-only 1", dropped)
 	}
 	if rep1.Cache.Len() != 1 {
 		t.Fatal("shard 1's live entry was evicted against another shard's epoch")
+	}
+	if _, ok := rep0.Cache.Get(cache.Key{User: 2, Algo: "AT", K: 5}); !ok {
+		t.Fatal("fingerprint-proven entry was evicted despite the write missing its subgraph")
 	}
 }
 

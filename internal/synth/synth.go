@@ -40,7 +40,17 @@ type Config struct {
 	PopularityExponent float64 // Zipf exponent for item popularity; <= 0 means 1.0
 	TasteConcentration float64 // Dirichlet α over genres; <= 0 means 0.3
 	NoiseRate          float64 // chance a rating ignores taste; < 0 means 0.1
-	Seed               int64
+	// Clusters, when > 1, partitions the universe into that many fully
+	// independent sub-corpora: users and items are split evenly, each
+	// block is generated on its own (own genres, popularity curve and
+	// noise draws), and the blocks share NO edges — the merged graph has
+	// exactly Clusters connected components. This is the community-
+	// structured regime real catalogs exhibit and the fine-grained cache
+	// invalidation machinery exploits: a write inside one cluster can
+	// never touch a walk extracted in another. NumUsers and NumItems must
+	// be divisible by Clusters.
+	Clusters int
+	Seed     int64
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,29 @@ func DoubanLike() Config {
 	}
 }
 
+// ClusteredLike returns a community-structured corpus: 8 independent
+// taste islands (no cross-cluster ratings at all), each a small
+// MovieLens-shaped world of 300 users over 200 items. Overall scale
+// matches the movielens world; the difference is topology — every walk
+// subgraph is confined to its island, so precision cache invalidation
+// has real structure to exploit (see PERFORMANCE.md).
+func ClusteredLike() Config {
+	return Config{
+		Clusters:           8,
+		NumUsers:           2400,
+		NumItems:           1600,
+		NumGenres:          4,
+		SubgenresPerGenre:  6,
+		MeanRatingsPerUser: 40,
+		MinRatingsPerUser:  12,
+		ActivityExponent:   2.3,
+		PopularityExponent: 1.1,
+		TasteConcentration: 0.3,
+		NoiseRate:          0.1,
+		Seed:               3,
+	}
+}
+
 // World is a generated corpus plus its ground truth.
 type World struct {
 	Data         *dataset.Dataset
@@ -136,6 +169,9 @@ func Generate(cfg Config) (*World, error) {
 	cfg = cfg.withDefaults()
 	if cfg.NoiseRate > 1 {
 		return nil, fmt.Errorf("synth: NoiseRate %v > 1", cfg.NoiseRate)
+	}
+	if cfg.Clusters > 1 {
+		return generateClustered(cfg)
 	}
 	rng := randutil.New(cfg.Seed)
 	w := &World{
@@ -231,6 +267,92 @@ func Generate(cfg Config) (*World, error) {
 	}
 	w.Data = d
 	return w, nil
+}
+
+// generateClustered builds Config.Clusters fully independent sub-worlds
+// and merges them into one universe with dense id offsets: cluster c owns
+// users [c·U/K, (c+1)·U/K) and items [c·I/K, (c+1)·I/K), and no rating
+// crosses a cluster boundary. Genre ids are offset per cluster too, so
+// the merged ground truth (ItemGenre, UserPrefs over K·NumGenres genres,
+// ontology paths) stays consistent: TasteAffinity and the Table 3
+// ontology measurements work unchanged on the merged world.
+func generateClustered(cfg Config) (*World, error) {
+	k := cfg.Clusters
+	if cfg.NumUsers%k != 0 || cfg.NumItems%k != 0 {
+		return nil, fmt.Errorf("synth: universe %d users × %d items not divisible by %d clusters", cfg.NumUsers, cfg.NumItems, k)
+	}
+	subUsers, subItems := cfg.NumUsers/k, cfg.NumItems/k
+	merged := &World{
+		Config:       cfg,
+		ItemGenre:    make([]int, cfg.NumItems),
+		ItemSubgenre: make([]int, cfg.NumItems),
+		UserPrefs:    make([][]float64, cfg.NumUsers),
+		Ontology:     ontology.New(),
+		popularity:   make([]float64, cfg.NumItems),
+	}
+	var ratings []dataset.Rating
+	for c := 0; c < k; c++ {
+		sub := cfg
+		sub.Clusters = 0
+		sub.NumUsers, sub.NumItems = subUsers, subItems
+		// Distinct deterministic seed per cluster; the large odd stride
+		// keeps the per-cluster streams from overlapping for nearby seeds.
+		sub.Seed = cfg.Seed + int64(c+1)*1_000_003
+		w, err := Generate(sub)
+		if err != nil {
+			return nil, fmt.Errorf("synth: cluster %d: %w", c, err)
+		}
+		uOff, iOff, gOff := c*subUsers, c*subItems, c*cfg.NumGenres
+		for i := 0; i < subItems; i++ {
+			merged.ItemGenre[iOff+i] = gOff + w.ItemGenre[i]
+			merged.ItemSubgenre[iOff+i] = w.ItemSubgenre[i]
+			merged.popularity[iOff+i] = w.popularity[i]
+			path := []string{
+				fmt.Sprintf("Genre-%02d", merged.ItemGenre[iOff+i]),
+				fmt.Sprintf("Sub-%02d-%d", merged.ItemGenre[iOff+i], w.ItemSubgenre[i]),
+				fmt.Sprintf("Item-%05d", iOff+i),
+			}
+			if err := merged.Ontology.Assign(iOff+i, path); err != nil {
+				return nil, fmt.Errorf("synth: cluster %d ontology: %w", c, err)
+			}
+		}
+		for u := 0; u < subUsers; u++ {
+			prefs := make([]float64, k*cfg.NumGenres)
+			copy(prefs[gOff:], w.UserPrefs[u])
+			merged.UserPrefs[uOff+u] = prefs
+		}
+		for _, r := range w.Data.Ratings() {
+			ratings = append(ratings, dataset.Rating{
+				User: uOff + r.User, Item: iOff + r.Item, Score: r.Score,
+			})
+		}
+	}
+	d, err := dataset.New(cfg.NumUsers, cfg.NumItems, ratings)
+	if err != nil {
+		return nil, fmt.Errorf("synth: %w", err)
+	}
+	merged.Data = d
+	return merged, nil
+}
+
+// UsersPerCluster returns how many users one cluster block owns (the
+// whole universe for an unclustered config): user u lives in cluster
+// u / UsersPerCluster().
+func (c Config) UsersPerCluster() int {
+	if c.Clusters > 1 {
+		return c.NumUsers / c.Clusters
+	}
+	return c.NumUsers
+}
+
+// ItemsPerCluster returns how many items one cluster block owns: writes
+// that must stay inside user u's cluster pick items in
+// [cluster·ItemsPerCluster(), (cluster+1)·ItemsPerCluster()).
+func (c Config) ItemsPerCluster() int {
+	if c.Clusters > 1 {
+		return c.NumItems / c.Clusters
+	}
+	return c.NumItems
 }
 
 // paretoActivity draws a user's rating count: a Pareto tail above the

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"math"
+	"reflect"
 	"testing"
 )
 
@@ -299,5 +300,75 @@ func TestNames(t *testing.T) {
 	}
 	if w.ItemName(42) != "Item-00042" {
 		t.Fatalf("item name %q", w.ItemName(42))
+	}
+}
+
+// TestGenerateClustered pins the clustered corpus contract: dense
+// per-cluster id blocks, NO cross-cluster ratings (the merged graph has
+// exactly Clusters connected components — what the fine-grained cache
+// invalidation benchmarks rely on), merged ground truth confined to the
+// owning cluster's genre block, and determinism.
+func TestGenerateClustered(t *testing.T) {
+	cfg := ClusteredLike()
+	cfg.Clusters, cfg.NumUsers, cfg.NumItems = 4, 240, 160
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Data.NumUsers() != 240 || w.Data.NumItems() != 160 {
+		t.Fatalf("universe = (%d, %d)", w.Data.NumUsers(), w.Data.NumItems())
+	}
+	uPer, iPer := cfg.UsersPerCluster(), cfg.ItemsPerCluster()
+	if uPer != 60 || iPer != 40 {
+		t.Fatalf("cluster geometry = (%d, %d), want (60, 40)", uPer, iPer)
+	}
+	for _, r := range w.Data.Ratings() {
+		if r.User/uPer != r.Item/iPer {
+			t.Fatalf("cross-cluster rating: user %d (cluster %d) rated item %d (cluster %d)",
+				r.User, r.User/uPer, r.Item, r.Item/iPer)
+		}
+	}
+	// Every cluster actually has ratings.
+	perCluster := make([]int, cfg.Clusters)
+	for _, r := range w.Data.Ratings() {
+		perCluster[r.User/uPer]++
+	}
+	for c, n := range perCluster {
+		if n == 0 {
+			t.Fatalf("cluster %d is empty", c)
+		}
+	}
+	// Ground truth: an item's genre lands in its cluster's genre block,
+	// and a user's preference mass stays inside their own block.
+	g := cfg.withDefaults().NumGenres
+	for i, ig := range w.ItemGenre {
+		if c := i / iPer; ig < c*g || ig >= (c+1)*g {
+			t.Fatalf("item %d (cluster %d) has genre %d outside block [%d, %d)", i, c, ig, c*g, (c+1)*g)
+		}
+	}
+	for u, prefs := range w.UserPrefs {
+		if len(prefs) != cfg.Clusters*g {
+			t.Fatalf("user %d prefs dimension %d, want %d", u, len(prefs), cfg.Clusters*g)
+		}
+		c := u / uPer
+		for gi, p := range prefs {
+			if p != 0 && (gi < c*g || gi >= (c+1)*g) {
+				t.Fatalf("user %d (cluster %d) has preference mass %v at genre %d", u, c, p, gi)
+			}
+		}
+	}
+	// Determinism.
+	again, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Data.Ratings(), again.Data.Ratings()) {
+		t.Fatal("clustered generation is not deterministic")
+	}
+	// Indivisible universes are rejected, not silently truncated.
+	bad := cfg
+	bad.NumUsers = 241
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("indivisible user count accepted")
 	}
 }

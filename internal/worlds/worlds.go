@@ -30,6 +30,7 @@ func Kinds() []string {
 var registry = map[string]func() synth.Config{
 	"movielens": synth.MovieLensLike,
 	"douban":    synth.DoubanLike,
+	"clustered": synth.ClusteredLike,
 }
 
 // Config resolves a corpus kind to its synth configuration with the seed

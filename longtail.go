@@ -47,6 +47,7 @@ import (
 	"longtailrec/internal/synth"
 	"longtailrec/internal/topk"
 	"longtailrec/internal/wal"
+	"longtailrec/internal/worlds"
 )
 
 // Re-exported core types, so callers interact with one package.
@@ -294,7 +295,7 @@ func NewSystem(d *dataset.Dataset, cfg Config) (*System, error) {
 	for i := range replicas {
 		rep := &shard.Replica{Graph: views[i]}
 		if perShardCache > 0 {
-			rep.Cache = cache.New[core.Response](perShardCache)
+			rep.Cache = cache.New[core.CacheEntry](perShardCache)
 		}
 		replicas[i] = rep
 	}
@@ -627,6 +628,9 @@ func (s *System) ServingStats() core.ServingStats {
 		st.Cache.Misses += sh.Cache.Misses
 		st.Cache.Shared += sh.Cache.Shared
 		st.Cache.Evictions += sh.Cache.Evictions
+		st.Cache.FingerprintHits += sh.Cache.FingerprintHits
+		st.Cache.FingerprintRejects += sh.Cache.FingerprintRejects
+		st.Cache.JournalOverflows += sh.Cache.JournalOverflows
 		st.Cache.Size += sh.Cache.Size
 		st.Cache.Capacity += sh.Cache.Capacity
 	}
@@ -1477,3 +1481,13 @@ func GenerateDoubanLike(seed int64) (*World, error) {
 	cfg.Seed = seed
 	return synth.Generate(cfg)
 }
+
+// GenerateWorld builds any corpus from the internal/worlds registry
+// ("movielens", "douban", "clustered", ...) — the same single-sourced
+// calibrations the bench and lab tooling measure against.
+func GenerateWorld(kind string, seed int64) (*World, error) {
+	return worlds.Generate(kind, seed)
+}
+
+// WorldKinds returns the registered corpus kinds, sorted.
+func WorldKinds() []string { return worlds.Kinds() }
